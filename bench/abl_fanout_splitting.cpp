@@ -1,0 +1,33 @@
+// Ablation A1: how much does fanout splitting buy?
+//
+// The paper (Section VI) asserts that "fanout splitting is necessary for
+// an algorithm to achieve high throughput under multicast traffic".  This
+// bench runs FIFOMS against FIFOMS-nosplit (all-or-nothing scheduling in
+// the same FIFO order) under Bernoulli multicast traffic.  Expected: the
+// no-split variant saturates at a visibly lower load and holds much more
+// buffer at every load above its knee.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "traffic/bernoulli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+  const double b = 0.2;
+
+  auto args = bench::parse_args(
+      argc, argv, "abl_fanout_splitting",
+      "ablation: FIFOMS with and without fanout splitting (Bernoulli b=0.2)",
+      {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  if (!args.parsed_ok) return 1;
+
+  const int ports = args.sweep.num_ports;
+  const auto points = run_sweep(
+      args.sweep, {make_fifoms(), make_fifoms_nosplit()},
+      [ports, b](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<BernoulliTraffic>(
+            ports, BernoulliTraffic::p_for_load(load, b, ports), b);
+      });
+  bench::emit("Ablation A1 — fanout splitting on/off", args, points);
+  return 0;
+}

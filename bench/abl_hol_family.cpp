@@ -1,0 +1,35 @@
+// Ablation A8: the three single-FIFO multicast policies head to head.
+//
+// TATRA (Tetris placement), WBA (age-minus-fanout weights) and
+// Concentrate (largest-residue-first greedy) all run on the same
+// single input-queued switch, under the paper's Fig. 4 traffic, with
+// FIFOMS as the VOQ reference.  Expected: the three HOL policies track
+// each other closely (the architecture's HOL blocking, not the policy,
+// is the binding constraint — the paper's core argument for the VOQ
+// structure), while FIFOMS keeps working well past their common knee.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "traffic/bernoulli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+  const double b = 0.2;
+
+  auto args = bench::parse_args(
+      argc, argv, "abl_hol_family",
+      "ablation: TATRA vs WBA vs Concentrate vs FIFOMS (Bernoulli b=0.2)",
+      {0.3, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9});
+  if (!args.parsed_ok) return 1;
+
+  const int ports = args.sweep.num_ports;
+  const auto points = run_sweep(
+      args.sweep,
+      {make_tatra(), make_wba(), make_concentrate(), make_fifoms()},
+      [ports, b](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<BernoulliTraffic>(
+            ports, BernoulliTraffic::p_for_load(load, b, ports), b);
+      });
+  bench::emit("Ablation A8 — single-FIFO policy family", args, points);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every fig*/abl* binary follows the same protocol: parse the standard
+// flags, run a load sweep (paper protocol, Section V), print per-algorithm
+// console tables and write a CSV for re-plotting.  Defaults are sized so
+// the full bench suite finishes in minutes on a laptop; pass --slots
+// 1000000 --reps 5 to match the paper's horizon exactly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace fifoms::bench {
+
+struct BenchArgs {
+  SweepConfig sweep;
+  std::string csv_path;
+  bool parsed_ok = false;
+};
+
+/// Parse the standard bench flags; `default_loads` is used unless --loads
+/// overrides it ("0.1,0.2,0.3" format).
+inline BenchArgs parse_args(int argc, char** argv, const char* name,
+                            const char* description,
+                            std::vector<double> default_loads,
+                            int default_ports = 16,
+                            SlotTime default_slots = 100'000) {
+  ArgParser parser(name, description);
+  parser.add_int("ports", default_ports, "switch radix N");
+  parser.add_int("slots", default_slots,
+                 "simulated slots per run (paper: 1000000)");
+  parser.add_int("reps", 2, "replications per point");
+  parser.add_int("seed", 42, "master seed");
+  parser.add_string("loads", "", "comma-separated load override");
+  parser.add_string("out", std::string(name) + ".csv", "CSV output path");
+  parser.add_int("max-buffered", 50'000,
+                 "instability threshold (total buffered cells)");
+  parser.add_int("threads", 1,
+                 "worker threads (0 = all cores; results identical)");
+  parser.add_bool("verbose", false, "progress lines to stderr");
+
+  BenchArgs args;
+  if (!parser.parse(argc, argv)) return args;
+
+  args.sweep.num_ports = static_cast<int>(parser.get_int("ports"));
+  args.sweep.slots = parser.get_int("slots");
+  args.sweep.replications = static_cast<int>(parser.get_int("reps"));
+  args.sweep.master_seed =
+      static_cast<std::uint64_t>(parser.get_int("seed"));
+  args.sweep.stability.max_buffered =
+      static_cast<std::size_t>(parser.get_int("max-buffered"));
+  args.sweep.threads = static_cast<int>(parser.get_int("threads"));
+  args.sweep.verbose = parser.get_bool("verbose");
+
+  const std::string loads_text = parser.get_string("loads");
+  if (loads_text.empty()) {
+    args.sweep.loads = std::move(default_loads);
+  } else {
+    std::size_t start = 0;
+    while (start < loads_text.size()) {
+      const std::size_t comma = loads_text.find(',', start);
+      const std::string item =
+          loads_text.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+      args.sweep.loads.push_back(std::stod(item));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  args.csv_path = parser.get_string("out");
+  args.parsed_ok = true;
+  return args;
+}
+
+/// Print the banner, the per-algorithm tables and the CSV.
+inline void emit(const char* title, const BenchArgs& args,
+                 const std::vector<PointSummary>& points) {
+  std::printf("== %s ==\n", title);
+  std::printf("N=%d, slots=%lld (warm-up half), reps=%d, seed=%llu\n",
+              args.sweep.num_ports,
+              static_cast<long long>(args.sweep.slots),
+              args.sweep.replications,
+              static_cast<unsigned long long>(args.sweep.master_seed));
+  print_sweep_tables(points);
+  write_sweep_csv(args.csv_path, points);
+  std::printf("\nCSV written to %s\n", args.csv_path.c_str());
+}
+
+}  // namespace fifoms::bench

@@ -1,0 +1,30 @@
+// Fig. 6 reproduction: 16x16 switch under uniform traffic with
+// maxFanout = 1, i.e. pure unicast Bernoulli i.i.d. traffic.
+//
+// Expected shape: FIFOMS matches (or slightly beats) iSLIP on delay and
+// has the smallest buffers; TATRA saturates near the Karol et al. 0.586
+// single-FIFO bound; OQFIFO is the lower envelope.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "traffic/uniform_fanout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+
+  auto args = bench::parse_args(
+      argc, argv, "fig6_unicast",
+      "paper Fig. 6: uniform traffic, maxFanout=1 (pure unicast)",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 0.95});
+  if (!args.parsed_ok) return 1;
+
+  const int ports = args.sweep.num_ports;
+  const auto points = run_sweep(
+      args.sweep, standard_lineup(),
+      [ports](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<UniformFanoutTraffic>(
+            ports, UniformFanoutTraffic::p_for_load(load, 1), 1);
+      });
+  bench::emit("Fig. 6 — uniform traffic, maxFanout=1", args, points);
+  return 0;
+}

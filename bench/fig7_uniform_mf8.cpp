@@ -1,0 +1,32 @@
+// Fig. 7 reproduction: 16x16 switch under uniform traffic with
+// maxFanout = 8 (fanout uniform on {1..8}, destinations a random subset).
+//
+// Expected shape: FIFOMS has the shortest delays of the input-queued
+// algorithms and can beat OQFIFO on buffer occupancy; TATRA does better
+// than under Fig. 4 (more Tetris moves) but still saturates first.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "traffic/uniform_fanout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+  const int max_fanout = 8;
+
+  auto args = bench::parse_args(
+      argc, argv, "fig7_uniform_mf8",
+      "paper Fig. 7: uniform traffic, maxFanout=8",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95});
+  if (!args.parsed_ok) return 1;
+
+  const int ports = args.sweep.num_ports;
+  const auto points = run_sweep(
+      args.sweep, standard_lineup(),
+      [ports, max_fanout](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<UniformFanoutTraffic>(
+            ports, UniformFanoutTraffic::p_for_load(load, max_fanout),
+            max_fanout);
+      });
+  bench::emit("Fig. 7 — uniform traffic, maxFanout=8", args, points);
+  return 0;
+}

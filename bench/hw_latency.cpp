@@ -1,0 +1,78 @@
+// Hardware-cost bench (paper Section IV): comparator-tree latency and
+// comparator activity of the FIFOMS control unit across switch sizes.
+//
+// Reports, per N: comparator levels per round (2*ceil(log2 N) — the
+// critical path Section IV argues is O(1)-ish for practical N), measured
+// average rounds per slot at 80% Bernoulli multicast load, the implied
+// comparator levels per slot, and average comparator evaluations per slot
+// (an area/energy proxy).
+#include <cstdio>
+#include <memory>
+
+#include "hw/fifoms_control_unit.hpp"
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+
+  ArgParser parser("hw_latency",
+                   "comparator cost of the FIFOMS control unit vs N");
+  parser.add_int("slots", 20000, "simulated slots per size");
+  parser.add_double("load", 0.8, "effective load per output");
+  parser.add_double("b", 0.2, "per-output destination probability");
+  parser.add_int("seed", 42, "simulation seed");
+  parser.add_string("out", "hw_latency.csv", "CSV output path");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const double load = parser.get_double("load");
+  const double b = parser.get_double("b");
+
+  std::printf("== Section IV — FIFOMS control unit comparator cost ==\n");
+  std::printf("Bernoulli b=%.2f, load=%.2f, %lld slots per size\n\n", b, load,
+              static_cast<long long>(parser.get_int("slots")));
+
+  TablePrinter table({"N", "levels/round", "rounds/slot", "levels/slot",
+                      "comparisons/slot", "out_delay"});
+  CsvWriter csv(parser.get_string("out"));
+  csv.row({"ports", "levels_per_round", "rounds_per_slot",
+           "levels_per_slot", "comparisons_per_slot", "output_delay"});
+
+  for (int ports : {4, 8, 16, 32, 64}) {
+    auto unit = std::make_unique<hw::FifomsControlUnit>();
+    hw::FifomsControlUnit* raw = unit.get();
+    VoqSwitch sw(ports, std::move(unit));
+    BernoulliTraffic traffic(
+        ports, BernoulliTraffic::p_for_load(load, b, ports), b);
+    SimConfig config;
+    config.total_slots = parser.get_int("slots");
+    config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+    Simulator sim(sw, traffic, config);
+    const SimResult result = sim.run();
+
+    const double slots = static_cast<double>(result.total_slots);
+    const double rounds_per_slot =
+        static_cast<double>(raw->total_rounds()) / slots;
+    const int levels = raw->levels_per_round();
+    const double comparisons_per_slot =
+        static_cast<double>(raw->total_comparisons()) / slots;
+
+    table.row({std::to_string(ports), std::to_string(levels),
+               TablePrinter::fixed(rounds_per_slot, 2),
+               TablePrinter::fixed(levels * rounds_per_slot, 2),
+               TablePrinter::fixed(comparisons_per_slot, 1),
+               TablePrinter::fixed(result.output_delay.mean(), 2)});
+    csv.row({std::to_string(ports), std::to_string(levels),
+             CsvWriter::num(rounds_per_slot),
+             CsvWriter::num(levels * rounds_per_slot),
+             CsvWriter::num(comparisons_per_slot),
+             CsvWriter::num(result.output_delay.mean())});
+  }
+  table.print();
+  std::printf("\nCSV written to %s\n", parser.get_string("out").c_str());
+  return 0;
+}

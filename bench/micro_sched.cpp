@@ -1,0 +1,101 @@
+// Ablation A5: scheduler CPU cost (google-benchmark).
+//
+// Measures simulated slots per second for each scheduler on a backlogged
+// 16x16 (and 64x64) switch — the software-model counterpart of the
+// paper's O(N)/O(1) hardware complexity discussion, and the number that
+// determines how long the figure benches take.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "sched/islip.hpp"
+#include "sched/pim.hpp"
+#include "sched/tatra.hpp"
+#include "sched/wba.hpp"
+#include "sim/oq_switch.hpp"
+#include "sim/single_fifo_switch.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace {
+
+using namespace fifoms;
+
+/// Drive one switch model under Bernoulli multicast at 80% load.
+void run_slots(benchmark::State& state, SwitchModel& sw, int ports) {
+  const double b = 0.2;
+  BernoulliTraffic traffic(
+      ports, BernoulliTraffic::p_for_load(0.8, b, ports), b);
+  Rng traffic_rng(1);
+  Rng sched_rng(2);
+  PacketId next_id = 0;
+  SlotTime now = 0;
+  SlotResult result;
+  for (auto _ : state) {
+    for (PortId input = 0; input < ports; ++input) {
+      const PortSet dests = traffic.arrival(input, now, traffic_rng);
+      if (dests.empty()) continue;
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = input;
+      packet.arrival = now;
+      packet.destinations = dests;
+      sw.inject(packet);
+    }
+    result.clear();
+    sw.step(now, sched_rng, result);
+    benchmark::DoNotOptimize(result.matched_pairs);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["buffered"] =
+      static_cast<double>(sw.total_buffered());
+}
+
+void BM_Fifoms(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  VoqSwitch sw(ports, std::make_unique<FifomsScheduler>());
+  run_slots(state, sw, ports);
+}
+
+void BM_Islip(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  VoqSwitch sw(ports, std::make_unique<IslipScheduler>());
+  run_slots(state, sw, ports);
+}
+
+void BM_Pim(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  VoqSwitch sw(ports, std::make_unique<PimScheduler>());
+  run_slots(state, sw, ports);
+}
+
+void BM_Tatra(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  SingleFifoSwitch sw(ports, std::make_unique<TatraScheduler>());
+  run_slots(state, sw, ports);
+}
+
+void BM_Wba(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  SingleFifoSwitch sw(ports, std::make_unique<WbaScheduler>());
+  run_slots(state, sw, ports);
+}
+
+void BM_OqFifo(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  OqSwitch sw(ports);
+  run_slots(state, sw, ports);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fifoms)->Arg(16)->Arg(64);
+BENCHMARK(BM_Islip)->Arg(16)->Arg(64);
+BENCHMARK(BM_Pim)->Arg(16)->Arg(64);
+BENCHMARK(BM_Tatra)->Arg(16)->Arg(64);
+BENCHMARK(BM_Wba)->Arg(16)->Arg(64);
+BENCHMARK(BM_OqFifo)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

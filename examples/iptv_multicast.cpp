@@ -1,0 +1,92 @@
+// IPTV channel distribution — the workload class the paper's introduction
+// motivates: long-lived multicast groups with bursty sources.
+//
+// A head-end router fans popular TV channels out to many subscriber line
+// cards.  We model each input as a bursty source (two-state Markov, as in
+// paper Section V-C) whose bursts are addressed to a fixed mid-size group
+// of outputs (b = 0.4 -> mean group of ~6 line cards on a 16-port router).
+//
+// The example compares FIFOMS against iSLIP (which would copy each frame
+// once per subscriber) and OQFIFO (the ideal but unbuildable reference),
+// then prints a verdict on buffering cost — the metric that sizes line
+// card SRAM.
+#include <cstdio>
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "sched/islip.hpp"
+#include "sim/oq_switch.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/burst.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+
+  ArgParser parser("iptv_multicast",
+                   "bursty IPTV multicast distribution scenario");
+  parser.add_int("ports", 16, "router radix");
+  parser.add_int("slots", 100000, "simulated slots");
+  parser.add_double("load", 0.6, "effective load per output");
+  parser.add_double("b", 0.4, "per-output subscription probability");
+  parser.add_int("eon", 16, "mean burst length (slots)");
+  parser.add_int("seed", 7, "simulation seed");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const int ports = static_cast<int>(parser.get_int("ports"));
+  const double load = parser.get_double("load");
+  const double b = parser.get_double("b");
+  const double e_on = static_cast<double>(parser.get_int("eon"));
+
+  SimConfig config;
+  config.total_slots = parser.get_int("slots");
+  config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  auto run = [&](std::unique_ptr<SwitchModel> sw) {
+    BurstTraffic traffic(ports,
+                         BurstTraffic::e_off_for_load(load, e_on, b, ports),
+                         e_on, b);
+    Simulator sim(*sw, traffic, config);
+    return sim.run();
+  };
+
+  std::printf("IPTV multicast: %dx%d router, bursty channels "
+              "(b=%.2f, Eon=%.0f), load %.2f\n\n",
+              ports, ports, b, e_on, load);
+
+  TablePrinter table({"scheduler", "frame_delay", "worst_sub_delay",
+                      "avg_buffer", "max_buffer", "status"});
+  struct Row {
+    const char* label;
+    SimResult result;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"FIFOMS", run(std::make_unique<VoqSwitch>(
+                                ports, std::make_unique<FifomsScheduler>()))});
+  rows.push_back({"iSLIP", run(std::make_unique<VoqSwitch>(
+                               ports, std::make_unique<IslipScheduler>()))});
+  rows.push_back({"OQFIFO (ideal)", run(std::make_unique<OqSwitch>(ports))});
+
+  for (const Row& row : rows) {
+    table.row({row.label,
+               TablePrinter::fixed(row.result.output_delay.mean(), 2),
+               TablePrinter::fixed(row.result.input_delay.mean(), 2),
+               TablePrinter::fixed(row.result.queue_mean.mean(), 2),
+               std::to_string(row.result.queue_max),
+               row.result.unstable ? "OVERLOADED" : "ok"});
+  }
+  table.print();
+
+  const SimResult& fifoms = rows[0].result;
+  const SimResult& islip = rows[1].result;
+  std::printf("\nFIFOMS delivers a frame to its slowest subscriber in "
+              "%.1f slots on average;\n"
+              "iSLIP-style unicast cloning %s.\n",
+              fifoms.input_delay.mean(),
+              islip.unstable
+                  ? "cannot even sustain this load (queues diverge)"
+                  : "needs far larger line-card buffers for the same job");
+  return 0;
+}

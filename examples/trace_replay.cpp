@@ -1,0 +1,75 @@
+// Record-once / replay-everywhere: capture an arrival trace from any
+// generative model, persist it to a text file, and replay the identical
+// trace through several schedulers.
+//
+//   $ ./trace_replay --traffic uniform:p=0.18,maxf=8 --slots 20000
+//
+// This is the workflow for comparing schedulers on captured production
+// traces (the file format is "slot input {d0,d1,...}" per line, easy to
+// synthesise from a packet capture).
+#include <cstdio>
+#include <memory>
+
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/factory.hpp"
+#include "traffic/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifoms;
+
+  ArgParser parser("trace_replay",
+                   "record a traffic trace and replay it across schedulers");
+  parser.add_int("ports", 16, "switch radix");
+  parser.add_int("slots", 20000, "trace length in slots");
+  parser.add_int("seed", 5, "recording seed");
+  parser.add_string("traffic", "uniform:p=0.18,maxf=8",
+                    "generative model to record (p=0.18, maxf=8 -> load 0.81)");
+  parser.add_string("trace", "recorded.trace", "trace file path");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const int ports = static_cast<int>(parser.get_int("ports"));
+  const SlotTime slots = parser.get_int("slots");
+  const std::string trace_path = parser.get_string("trace");
+
+  // ---- Record ----------------------------------------------------------
+  {
+    auto inner = make_traffic(ports, parser.get_string("traffic"));
+    TraceRecorder recorder(*inner);
+    Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    recorder.reset(rng);
+    for (SlotTime now = 0; now < slots; ++now)
+      for (PortId input = 0; input < ports; ++input)
+        (void)recorder.arrival(input, now, rng);
+    recorder.save(trace_path);
+    std::printf("Recorded %zu packets over %lld slots into %s\n",
+                recorder.records().size(), static_cast<long long>(slots),
+                trace_path.c_str());
+  }
+
+  // ---- Replay through each scheduler ------------------------------------
+  SimConfig config;
+  config.total_slots = slots;
+  config.warmup_fraction = 0.25;
+  config.seed = 99;  // scheduler tie-break randomness only
+
+  TablePrinter table({"scheduler", "out_delay", "in_delay", "avg_queue",
+                      "max_queue", "status"});
+  for (const SwitchFactory& factory :
+       {make_fifoms(), make_islip(), make_tatra(), make_oqfifo()}) {
+    auto sw = factory.make(ports);
+    ScriptedTraffic traffic = ScriptedTraffic::load(trace_path);
+    Simulator sim(*sw, traffic, config);
+    const SimResult r = sim.run();
+    table.row({factory.label, TablePrinter::fixed(r.output_delay.mean(), 2),
+               TablePrinter::fixed(r.input_delay.mean(), 2),
+               TablePrinter::fixed(r.queue_mean.mean(), 2),
+               std::to_string(r.queue_max),
+               r.unstable ? "OVERLOADED" : "ok"});
+  }
+  table.print();
+  std::printf("\nEvery scheduler replayed the byte-identical trace "
+              "from %s.\n", trace_path.c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "analysis/queueing.hpp"
+
+#include <cmath>
+
+#include "common/panic.hpp"
+
+namespace fifoms::analysis {
+
+double karol_saturation() { return 2.0 - std::sqrt(2.0); }
+
+double slotted_queue_mean(double mean_arrivals, double var_arrivals) {
+  FIFOMS_ASSERT(mean_arrivals >= 0.0 && mean_arrivals < 1.0,
+                "slotted queue requires E[A] in [0, 1)");
+  FIFOMS_ASSERT(var_arrivals >= 0.0, "variance cannot be negative");
+  if (mean_arrivals == 0.0) return 0.0;
+  return (var_arrivals + mean_arrivals * mean_arrivals - mean_arrivals) /
+         (2.0 * (1.0 - mean_arrivals));
+}
+
+double slotted_queue_delay(double mean_arrivals, double var_arrivals,
+                           double mean_a_times_a_minus_1) {
+  if (mean_arrivals == 0.0) return 0.0;
+  // A tagged cell waits behind the queue left by the previous slot plus
+  // the cells of its own batch that are served before it (uniform rank
+  // inside the batch, size-biased batch): E[A(A-1)] / (2 E[A]).
+  return slotted_queue_mean(mean_arrivals, var_arrivals) +
+         mean_a_times_a_minus_1 / (2.0 * mean_arrivals);
+}
+
+double oqfifo_queue_bernoulli(int num_ports, double p, double b) {
+  const double n = static_cast<double>(num_ports);
+  const double a = p * b;           // per-input probability of a copy
+  const double mean = n * a;        // Binomial(N, a) mean
+  const double var = n * a * (1.0 - a);
+  return slotted_queue_mean(mean, var);
+}
+
+double oqfifo_delay_bernoulli(int num_ports, double p, double b) {
+  const double n = static_cast<double>(num_ports);
+  const double a = p * b;
+  const double mean = n * a;
+  const double var = n * a * (1.0 - a);
+  // For Binomial(N, a): E[A(A-1)] = N(N-1)a^2.
+  const double factorial_moment = n * (n - 1.0) * a * a;
+  return slotted_queue_delay(mean, var, factorial_moment);
+}
+
+}  // namespace fifoms::analysis

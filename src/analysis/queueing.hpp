@@ -1,0 +1,42 @@
+// Closed-form queueing results used to cross-validate the simulator.
+//
+// The OQFIFO switch is analytically tractable: each output is a slotted
+// queue q_{t+1} = max(q_t + A_t - 1, 0) with i.i.d. batch arrivals A_t,
+// and its stationary mean queue and mean cell delay have exact closed
+// forms.  Tests compare the simulator's measured OQFIFO statistics
+// against these formulas — an end-to-end check that arrivals, service,
+// warm-up accounting and the metrics pipeline are all correct, against an
+// independent source of truth.
+//
+// Also provides the classical saturation constants quoted by the paper.
+#pragma once
+
+namespace fifoms::analysis {
+
+/// Karol/Hluchyj/Morgan single-FIFO saturation throughput, 2 - sqrt(2).
+/// The paper's Fig. 6 shows TATRA capped near this value.
+double karol_saturation();
+
+/// Stationary mean queue length of the slotted queue
+/// q' = max(q + A - 1, 0) with i.i.d. arrivals A per slot:
+///     E[q] = (Var[A] + E[A]^2 - E[A]) / (2 (1 - E[A])),
+/// sampled at slot boundaries (after arrivals and service).
+/// Requires E[A] < 1.
+double slotted_queue_mean(double mean_arrivals, double var_arrivals);
+
+/// Mean cell delay in the same queue under FIFO with random order inside
+/// a batch, with the library's convention that a cell served in its
+/// arrival slot has delay 0:
+///     E[W] = E[q] + E[A (A - 1)] / (2 E[A]).
+double slotted_queue_delay(double mean_arrivals, double var_arrivals,
+                           double mean_a_times_a_minus_1);
+
+/// Mean queue of one OQFIFO output under Bernoulli multicast traffic
+/// (paper Section V-A): arrivals per output per slot are
+/// Binomial(N, p*b).
+double oqfifo_queue_bernoulli(int num_ports, double p, double b);
+
+/// Mean cell delay of the same system (library delay convention).
+double oqfifo_delay_bernoulli(int num_ports, double p, double b);
+
+}  // namespace fifoms::analysis

@@ -1,0 +1,15 @@
+#include "common/panic.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fifoms {
+
+void panic(const char* file, int line, std::string_view message) {
+  std::fprintf(stderr, "fifoms panic at %s:%d: %.*s\n", file, line,
+               static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fifoms

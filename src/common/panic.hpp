@@ -1,0 +1,33 @@
+// Invariant-checking machinery.
+//
+// FIFOMS_ASSERT is active in all build types: a switch simulator that
+// silently corrupts queue state produces plausible-looking but wrong
+// statistics, so we always pay the (cheap, branch-predicted) check.
+// FIFOMS_DASSERT compiles out in NDEBUG builds and is reserved for
+// hot-loop checks that measurably affect simulation throughput.
+#pragma once
+
+#include <string_view>
+
+namespace fifoms {
+
+/// Print a diagnostic (file:line + message) to stderr and abort.
+[[noreturn]] void panic(const char* file, int line, std::string_view message);
+
+}  // namespace fifoms
+
+#define FIFOMS_ASSERT(cond, msg)                        \
+  do {                                                  \
+    if (!(cond)) [[unlikely]] {                         \
+      ::fifoms::panic(__FILE__, __LINE__,               \
+                      "assertion failed: " #cond ": " msg); \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define FIFOMS_DASSERT(cond, msg) \
+  do {                            \
+  } while (0)
+#else
+#define FIFOMS_DASSERT(cond, msg) FIFOMS_ASSERT(cond, msg)
+#endif

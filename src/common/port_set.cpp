@@ -1,0 +1,66 @@
+#include "common/port_set.hpp"
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+
+PortId PortSet::nth(int k) const {
+  FIFOMS_ASSERT(k >= 0, "nth requires k >= 0");
+  for (int w = 0; w < kWords; ++w) {
+    std::uint64_t word = words_[w];
+    const int pop = std::popcount(word);
+    if (k >= pop) {
+      k -= pop;
+      continue;
+    }
+    // k-th set bit within this word.
+    while (k-- > 0) word &= word - 1;  // clear lowest set bit
+    return PortId(w * 64 + std::countr_zero(word));
+  }
+  panic(__FILE__, __LINE__, "PortSet::nth: k >= count()");
+}
+
+PortId PortSet::random_member(Rng& rng) const {
+  const int n = count();
+  FIFOMS_ASSERT(n > 0, "random_member on empty PortSet");
+  return nth(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))));
+}
+
+std::string PortSet::to_string() const {
+  std::string out = "{";
+  bool first_item = true;
+  for (PortId p : *this) {
+    if (!first_item) out += ',';
+    out += std::to_string(p);
+    first_item = false;
+  }
+  out += '}';
+  return out;
+}
+
+PortSet PortSet::from_string(std::string_view text) {
+  FIFOMS_ASSERT(text.size() >= 2 && text.front() == '{' && text.back() == '}',
+                "PortSet::from_string: expected {...}");
+  PortSet out;
+  std::size_t i = 1;
+  while (i < text.size() - 1) {
+    int value = 0;
+    bool any_digit = false;
+    while (i < text.size() - 1 && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + (text[i] - '0');
+      any_digit = true;
+      ++i;
+    }
+    FIFOMS_ASSERT(any_digit, "PortSet::from_string: expected a digit");
+    out.insert(value);
+    if (i < text.size() - 1) {
+      FIFOMS_ASSERT(text[i] == ',', "PortSet::from_string: expected ','");
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace fifoms

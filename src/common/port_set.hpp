@@ -1,0 +1,180 @@
+// PortSet: a fixed-capacity bitset of switch ports (up to kMaxPorts).
+//
+// Destination sets of multicast packets are the single hottest data
+// structure in the simulator: every arrival, request and grant touches one.
+// A four-word bitset with popcount/countr_zero iteration is both compact
+// (32 bytes, trivially copyable) and fast, and unlike std::bitset it offers
+// set-algebra in value form plus iteration over set bits.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/panic.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+class Rng;
+
+class PortSet {
+ public:
+  static constexpr int kWords = kMaxPorts / 64;
+
+  /// The empty set.
+  constexpr PortSet() = default;
+
+  /// Set containing exactly the listed ports.
+  PortSet(std::initializer_list<PortId> ports) {
+    for (PortId p : ports) insert(p);
+  }
+
+  /// Set {0, 1, ..., n-1}: all ports of an n-port switch.
+  static PortSet all(int n) {
+    FIFOMS_ASSERT(n >= 0 && n <= kMaxPorts, "port count out of range");
+    PortSet s;
+    for (int w = 0; w * 64 < n; ++w) {
+      const int bits = n - w * 64;
+      s.words_[w] = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+    }
+    return s;
+  }
+
+  /// Singleton {p}.
+  static PortSet single(PortId p) {
+    PortSet s;
+    s.insert(p);
+    return s;
+  }
+
+  void insert(PortId p) {
+    check(p);
+    words_[p >> 6] |= 1ULL << (p & 63);
+  }
+
+  void erase(PortId p) {
+    check(p);
+    words_[p >> 6] &= ~(1ULL << (p & 63));
+  }
+
+  bool contains(PortId p) const {
+    check(p);
+    return (words_[p >> 6] >> (p & 63)) & 1;
+  }
+
+  bool empty() const {
+    for (auto w : words_)
+      if (w) return false;
+    return true;
+  }
+
+  /// Number of ports in the set (the packet's fanout).
+  int count() const {
+    int c = 0;
+    for (auto w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  /// Smallest port in the set, or kNoPort if empty.
+  PortId first() const {
+    for (int w = 0; w < kWords; ++w)
+      if (words_[w]) return PortId(w * 64 + std::countr_zero(words_[w]));
+    return kNoPort;
+  }
+
+  /// Smallest port strictly greater than `p`, or kNoPort.
+  PortId next_after(PortId p) const {
+    if (p < 0) return first();
+    if (p + 1 >= kMaxPorts) return kNoPort;
+    const PortId q = p + 1;
+    int w = q >> 6;
+    std::uint64_t word = words_[w] & (~0ULL << (q & 63));
+    while (true) {
+      if (word) return PortId(w * 64 + std::countr_zero(word));
+      if (++w == kWords) return kNoPort;
+      word = words_[w];
+    }
+  }
+
+  /// k-th smallest element (0-based); requires k < count().
+  PortId nth(int k) const;
+
+  /// Uniformly random member; requires non-empty set.
+  PortId random_member(Rng& rng) const;
+
+  void clear() { words_ = {}; }
+
+  PortSet operator|(const PortSet& o) const {
+    PortSet r;
+    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] | o.words_[w];
+    return r;
+  }
+  PortSet operator&(const PortSet& o) const {
+    PortSet r;
+    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] & o.words_[w];
+    return r;
+  }
+  /// Set difference: elements of *this not in `o`.
+  PortSet operator-(const PortSet& o) const {
+    PortSet r;
+    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] & ~o.words_[w];
+    return r;
+  }
+  PortSet& operator|=(const PortSet& o) { return *this = *this | o; }
+  PortSet& operator&=(const PortSet& o) { return *this = *this & o; }
+  PortSet& operator-=(const PortSet& o) { return *this = *this - o; }
+
+  bool operator==(const PortSet& o) const = default;
+
+  bool is_subset_of(const PortSet& o) const {
+    for (int w = 0; w < kWords; ++w)
+      if (words_[w] & ~o.words_[w]) return false;
+    return true;
+  }
+
+  bool intersects(const PortSet& o) const {
+    for (int w = 0; w < kWords; ++w)
+      if (words_[w] & o.words_[w]) return true;
+    return false;
+  }
+
+  /// Iterator over members in increasing order.
+  class const_iterator {
+   public:
+    using value_type = PortId;
+
+    const_iterator(const PortSet* set, PortId at) : set_(set), at_(at) {}
+    PortId operator*() const { return at_; }
+    const_iterator& operator++() {
+      at_ = set_->next_after(at_);
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return at_ != o.at_; }
+    bool operator==(const const_iterator& o) const { return at_ == o.at_; }
+
+   private:
+    const PortSet* set_;
+    PortId at_;
+  };
+
+  const_iterator begin() const { return {this, first()}; }
+  const_iterator end() const { return {this, kNoPort}; }
+
+  /// "{0,3,7}" — for diagnostics and trace files.
+  std::string to_string() const;
+
+  /// Parse the to_string() format; panics on malformed input.
+  static PortSet from_string(std::string_view text);
+
+ private:
+  static void check(PortId p) {
+    FIFOMS_ASSERT(p >= 0 && p < kMaxPorts, "port id out of range");
+  }
+
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+}  // namespace fifoms

@@ -1,0 +1,138 @@
+// RingBuffer<T>: a growable circular FIFO.
+//
+// Each input port of the switch owns N virtual output queues of address
+// cells that are pushed at the tail and popped at the head every slot.
+// std::deque allocates in fixed-size blocks and thrashes the allocator at
+// high load; this ring amortises to zero allocation once a queue has seen
+// its high-water mark.  Only the operations the simulator needs are
+// provided (no iterators invalidation subtleties: random access is by
+// logical index from the head).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  explicit RingBuffer(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  RingBuffer(const RingBuffer& other) { *this = other; }
+
+  RingBuffer& operator=(const RingBuffer& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    return *this;
+  }
+
+  RingBuffer(RingBuffer&& other) noexcept
+      : data_(std::move(other.data_)),
+        capacity_(std::exchange(other.capacity_, 0)),
+        head_(std::exchange(other.head_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    data_ = std::move(other.data_);
+    capacity_ = std::exchange(other.capacity_, 0);
+    head_ = std::exchange(other.head_, 0);
+    size_ = std::exchange(other.size_, 0);
+    return *this;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Element at logical position `i` from the head (0 == front).
+  T& operator[](std::size_t i) {
+    FIFOMS_DASSERT(i < size_, "RingBuffer index out of range");
+    return data_[wrap(head_ + i)];
+  }
+  const T& operator[](std::size_t i) const {
+    FIFOMS_DASSERT(i < size_, "RingBuffer index out of range");
+    return data_[wrap(head_ + i)];
+  }
+
+  T& front() {
+    FIFOMS_ASSERT(size_ > 0, "front() on empty RingBuffer");
+    return data_[head_];
+  }
+  const T& front() const {
+    FIFOMS_ASSERT(size_ > 0, "front() on empty RingBuffer");
+    return data_[head_];
+  }
+
+  T& back() {
+    FIFOMS_ASSERT(size_ > 0, "back() on empty RingBuffer");
+    return data_[wrap(head_ + size_ - 1)];
+  }
+  const T& back() const {
+    FIFOMS_ASSERT(size_ > 0, "back() on empty RingBuffer");
+    return data_[wrap(head_ + size_ - 1)];
+  }
+
+  void push_back(T value) {
+    if (size_ == capacity_) grow();
+    data_[wrap(head_ + size_)] = std::move(value);
+    ++size_;
+  }
+
+  T pop_front() {
+    FIFOMS_ASSERT(size_ > 0, "pop_front() on empty RingBuffer");
+    T value = std::move(data_[head_]);
+    head_ = wrap(head_ + 1);
+    --size_;
+    if (size_ == 0) head_ = 0;
+    return value;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Ensure room for at least `n` elements without reallocation.
+  void reserve(std::size_t n) {
+    if (n > capacity_) reallocate(round_up(n));
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c *= 2;
+    return c;
+  }
+
+  std::size_t wrap(std::size_t i) const {
+    // capacity_ is always a power of two.
+    return i & (capacity_ - 1);
+  }
+
+  void grow() { reallocate(capacity_ == 0 ? 8 : capacity_ * 2); }
+
+  void reallocate(std::size_t new_capacity) {
+    auto fresh = std::make_unique<T[]>(new_capacity);
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = std::move((*this)[i]);
+    data_ = std::move(fresh);
+    capacity_ = new_capacity;
+    head_ = 0;
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,30 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace fifoms {
+
+std::int64_t Rng::geometric(double p) {
+  FIFOMS_ASSERT(p > 0.0 && p <= 1.0, "geometric requires p in (0, 1]");
+  if (p == 1.0) return 0;
+  // Inversion: floor(log(U) / log(1-p)) with U in (0, 1].
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0); next_double() < 1 already
+  const double value = std::floor(std::log(u) / std::log1p(-p));
+  // Clamp pathological rounding to a sane non-negative result.
+  return value < 0.0 ? 0 : static_cast<std::int64_t>(value);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream,
+                          std::uint64_t replication) {
+  // Mix the three components through splitmix64 rounds.  The odd constants
+  // decorrelate (stream, replication) pairs that differ in one component.
+  std::uint64_t s = master ^ 0x9e3779b97f4a7c15ULL;
+  (void)splitmix64(s);
+  s ^= stream * 0xbf58476d1ce4e5b9ULL;
+  (void)splitmix64(s);
+  s ^= replication * 0x94d049bb133111ebULL;
+  return splitmix64(s);
+}
+
+}  // namespace fifoms

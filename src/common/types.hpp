@@ -1,0 +1,39 @@
+// Fundamental identifier and time types shared by every module.
+//
+// The simulator runs in discrete time slots (the paper's "time slot mode"),
+// so time is a signed 64-bit slot counter.  Ports and packets are plain
+// integer ids; sentinel values are provided for "no port"/"no packet".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fifoms {
+
+/// Discrete simulation time, measured in slots.
+using SlotTime = std::int64_t;
+
+/// Index of an input or output port, 0-based.
+using PortId = std::int32_t;
+
+/// Monotonically increasing packet identifier, unique per simulation run.
+using PacketId = std::uint64_t;
+
+/// Sentinel meaning "no port selected".
+inline constexpr PortId kNoPort = -1;
+
+/// Sentinel meaning "no packet".
+inline constexpr PacketId kNoPacket = std::numeric_limits<PacketId>::max();
+
+/// Largest switch radix supported by PortSet (see port_set.hpp).
+inline constexpr int kMaxPorts = 256;
+
+/// Largest QoS class value (0 = highest priority).  Priorities and
+/// arrival slots are packed into one 64-bit scheduling weight
+/// (priority-major), so the bounds below must hold jointly.
+inline constexpr int kMaxPriority = 255;
+
+/// Largest arrival slot representable inside a scheduling weight.
+inline constexpr SlotTime kMaxWeightSlot = (SlotTime{1} << 48) - 1;
+
+}  // namespace fifoms

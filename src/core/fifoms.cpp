@@ -1,0 +1,134 @@
+#include "core/fifoms.hpp"
+
+#include <algorithm>
+
+namespace fifoms {
+
+namespace {
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+void FifomsScheduler::reset(int num_inputs, int num_outputs) {
+  (void)num_inputs;
+  best_timestamp_.assign(static_cast<std::size_t>(num_outputs), kInfinity);
+  candidates_.assign(static_cast<std::size_t>(num_outputs), {});
+}
+
+void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
+                               SlotTime /*now*/, SlotMatching& matching,
+                               Rng& rng) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+  FIFOMS_ASSERT(static_cast<int>(best_timestamp_.size()) == num_outputs,
+                "FifomsScheduler::reset not called for this switch size");
+
+  int rounds = 0;
+  while (options_.max_rounds == 0 || rounds < options_.max_rounds) {
+    // ---- Request step -------------------------------------------------
+    // Each free input selects the HOL address cells with the smallest time
+    // stamp among VOQs whose output is still free; those cells request
+    // their outputs with the time stamp as weight.
+    bool any_request = false;
+    for (PortId output = 0; output < num_outputs; ++output) {
+      best_timestamp_[static_cast<std::size_t>(output)] = kInfinity;
+      candidates_[static_cast<std::size_t>(output)].clear();
+    }
+
+    for (PortId input = 0; input < num_inputs; ++input) {
+      if (matching.input_matched(input)) continue;  // already sending a cell
+      const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
+
+      std::uint64_t smallest = kInfinity;
+      for (PortId output = 0; output < num_outputs; ++output) {
+        if (matching.output_matched(output) || port.voq_empty(output))
+          continue;
+        smallest = std::min(smallest, port.hol(output).weight);
+      }
+      if (smallest == kInfinity) continue;  // nothing eligible at this input
+
+      for (PortId output = 0; output < num_outputs; ++output) {
+        if (matching.output_matched(output) || port.voq_empty(output))
+          continue;
+        if (port.hol(output).weight != smallest) continue;
+        any_request = true;
+        auto& best = best_timestamp_[static_cast<std::size_t>(output)];
+        auto& cands = candidates_[static_cast<std::size_t>(output)];
+        if (smallest < best) {
+          best = smallest;
+          cands.clear();
+        }
+        if (smallest == best) cands.push_back(input);
+      }
+    }
+    if (!any_request) break;  // converged: no free pair can match
+    ++rounds;
+
+    // ---- Grant step ----------------------------------------------------
+    // Every output with requests grants the smallest time stamp; ties are
+    // broken per the configured policy.  Grants are based purely on the
+    // requests collected above, so the outputs decide independently; an
+    // input may collect several grants (multicast transmission).
+    for (PortId output = 0; output < num_outputs; ++output) {
+      const auto& cands = candidates_[static_cast<std::size_t>(output)];
+      if (cands.empty()) continue;
+      PortId winner;
+      if (options_.tie_break == TieBreak::kRandom) {
+        winner = cands[rng.next_below(cands.size())];
+      } else {
+        // Candidates were collected in increasing input order.
+        winner = cands.front();
+      }
+      matching.add_match(winner, output);
+    }
+  }
+
+  matching.rounds = rounds;
+}
+
+void FifomsNoSplitScheduler::reset(int /*num_inputs*/, int /*num_outputs*/) {}
+
+void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
+                                      SlotTime /*now*/, SlotMatching& matching,
+                                      Rng& rng) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+
+  // Within one input, the earliest packet's address cells are at the HOL of
+  // every VOQ they occupy (VOQs are FIFO by arrival), so the set of outputs
+  // whose HOL time stamp equals the input's minimum is exactly the earliest
+  // packet's residue.
+  order_.clear();
+  for (PortId input = 0; input < num_inputs; ++input) {
+    const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
+    std::uint64_t smallest = kInfinity;
+    for (PortId output = 0; output < num_outputs; ++output) {
+      if (port.voq_empty(output)) continue;
+      smallest = std::min(smallest, port.hol(output).weight);
+    }
+    if (smallest == kInfinity) continue;
+    order_.push_back(Entry{smallest, rng.next_u64(), input});
+  }
+  std::sort(order_.begin(), order_.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.shuffle_key < b.shuffle_key;  // random tie order
+  });
+
+  for (const Entry& entry : order_) {
+    const McVoqInput& port = inputs[static_cast<std::size_t>(entry.input)];
+    // Residue of the input's earliest packet.
+    PortSet residue;
+    bool all_free = true;
+    for (PortId output = 0; output < num_outputs; ++output) {
+      if (port.voq_empty(output)) continue;
+      if (port.hol(output).weight != entry.weight) continue;
+      residue.insert(output);
+      if (matching.output_matched(output)) all_free = false;
+    }
+    if (!all_free || residue.empty()) continue;  // all-or-nothing
+    for (PortId output : residue) matching.add_match(entry.input, output);
+  }
+
+  matching.rounds = 1;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,60 @@
+#include "core/matching.hpp"
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+void SlotMatching::reset(int num_inputs, int num_outputs) {
+  FIFOMS_ASSERT(num_inputs > 0 && num_outputs > 0, "empty switch");
+  input_grants_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+  output_source_.assign(static_cast<std::size_t>(num_outputs), kNoPort);
+  matched_pairs_ = 0;
+  rounds = 0;
+}
+
+void SlotMatching::add_match(PortId input, PortId output) {
+  FIFOMS_ASSERT(input >= 0 && input < num_inputs(), "input out of range");
+  FIFOMS_ASSERT(output >= 0 && output < num_outputs(), "output out of range");
+  PortId& source = output_source_[static_cast<std::size_t>(output)];
+  FIFOMS_ASSERT(source == kNoPort, "output granted twice in one slot");
+  source = input;
+  input_grants_[static_cast<std::size_t>(input)].insert(output);
+  ++matched_pairs_;
+}
+
+PortId SlotMatching::source(PortId output) const {
+  FIFOMS_ASSERT(output >= 0 && output < num_outputs(), "output out of range");
+  return output_source_[static_cast<std::size_t>(output)];
+}
+
+const PortSet& SlotMatching::grants(PortId input) const {
+  FIFOMS_ASSERT(input >= 0 && input < num_inputs(), "input out of range");
+  return input_grants_[static_cast<std::size_t>(input)];
+}
+
+int SlotMatching::matched_inputs() const {
+  int total = 0;
+  for (const auto& grants : input_grants_)
+    if (!grants.empty()) ++total;
+  return total;
+}
+
+void SlotMatching::validate() const {
+  int pairs = 0;
+  for (PortId output = 0; output < num_outputs(); ++output) {
+    const PortId input = source(output);
+    if (input == kNoPort) continue;
+    FIFOMS_ASSERT(input >= 0 && input < num_inputs(),
+                  "matching references unknown input");
+    FIFOMS_ASSERT(grants(input).contains(output),
+                  "output source not mirrored in input grants");
+    ++pairs;
+  }
+  int granted = 0;
+  for (PortId input = 0; input < num_inputs(); ++input)
+    granted += grants(input).count();
+  FIFOMS_ASSERT(granted == pairs && pairs == matched_pairs_,
+                "matching views disagree");
+}
+
+}  // namespace fifoms

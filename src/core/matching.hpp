@@ -1,0 +1,66 @@
+// SlotMatching: the output of one slot's scheduling decision.
+//
+// Both scheduler families (VOQ-based and HOL-based) produce the same
+// artefact: for each input the set of outputs it will drive, and for each
+// output the input driving it.  The two views are kept redundantly —
+// schedulers fill them via add_match(), and validate() cross-checks them,
+// which catches a whole class of scheduler bugs (double grants, dangling
+// reservations) at the point of the mistake.
+#pragma once
+
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+class SlotMatching {
+ public:
+  SlotMatching() = default;
+  SlotMatching(int num_inputs, int num_outputs) {
+    reset(num_inputs, num_outputs);
+  }
+
+  void reset(int num_inputs, int num_outputs);
+
+  int num_inputs() const { return static_cast<int>(input_grants_.size()); }
+  int num_outputs() const { return static_cast<int>(output_source_.size()); }
+
+  /// Record that `output` will receive from `input` this slot.
+  /// Panics if the output is already taken.
+  void add_match(PortId input, PortId output);
+
+  bool output_matched(PortId output) const {
+    return source(output) != kNoPort;
+  }
+  bool input_matched(PortId input) const { return !grants(input).empty(); }
+
+  PortId source(PortId output) const;
+  const PortSet& grants(PortId input) const;
+
+  /// All per-input grant sets (e.g. for Crossbar::configure).
+  const std::vector<PortSet>& input_grant_sets() const {
+    return input_grants_;
+  }
+
+  /// Total matched (input, output) pairs, i.e. copies transmitted.
+  int matched_pairs() const { return matched_pairs_; }
+
+  /// Number of distinct inputs transmitting.
+  int matched_inputs() const;
+
+  /// Iterative rounds the scheduler used to build this matching
+  /// (the paper's "convergence rounds"); 1 for single-shot schedulers.
+  int rounds = 0;
+
+  /// Cross-check the redundant views; panics on inconsistency.
+  void validate() const;
+
+ private:
+  std::vector<PortSet> input_grants_;
+  std::vector<PortId> output_source_;
+  int matched_pairs_ = 0;
+};
+
+}  // namespace fifoms

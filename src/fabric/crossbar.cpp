@@ -1,0 +1,62 @@
+#include "fabric/crossbar.hpp"
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+Crossbar::Crossbar(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs) {
+  FIFOMS_ASSERT(num_inputs > 0 && num_inputs <= kMaxPorts,
+                "unsupported input count");
+  FIFOMS_ASSERT(num_outputs > 0 && num_outputs <= kMaxPorts,
+                "unsupported output count");
+  output_source_.assign(static_cast<std::size_t>(num_outputs), kNoPort);
+  input_targets_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+}
+
+void Crossbar::configure(std::span<const PortSet> input_to_outputs) {
+  FIFOMS_ASSERT(static_cast<int>(input_to_outputs.size()) == num_inputs_,
+                "configure expects one PortSet per input");
+  release();
+  for (PortId input = 0; input < num_inputs_; ++input) {
+    const PortSet& targets = input_to_outputs[static_cast<std::size_t>(input)];
+    for (PortId output : targets) {
+      FIFOMS_ASSERT(output < num_outputs_, "crosspoint beyond output range");
+      PortId& source = output_source_[static_cast<std::size_t>(output)];
+      FIFOMS_ASSERT(source == kNoPort,
+                    "two inputs driving the same output in one slot");
+      source = input;
+    }
+    input_targets_[static_cast<std::size_t>(input)] = targets;
+  }
+}
+
+void Crossbar::release() {
+  for (auto& source : output_source_) source = kNoPort;
+  for (auto& targets : input_targets_) targets.clear();
+}
+
+PortId Crossbar::input_for_output(PortId output) const {
+  FIFOMS_ASSERT(output >= 0 && output < num_outputs_, "output out of range");
+  return output_source_[static_cast<std::size_t>(output)];
+}
+
+const PortSet& Crossbar::outputs_for_input(PortId input) const {
+  FIFOMS_ASSERT(input >= 0 && input < num_inputs_, "input out of range");
+  return input_targets_[static_cast<std::size_t>(input)];
+}
+
+int Crossbar::closed_crosspoints() const {
+  int total = 0;
+  for (const auto& targets : input_targets_) total += targets.count();
+  return total;
+}
+
+int Crossbar::active_inputs() const {
+  int total = 0;
+  for (const auto& targets : input_targets_)
+    if (!targets.empty()) ++total;
+  return total;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,54 @@
+// Crossbar: the multicast-capable switching fabric.
+//
+// A crossbar configuration is a set of closed crosspoints (input, output).
+// The fabric enforces the two physical constraints of a crossbar:
+//   * each output is driven by at most one input per slot, and
+//   * an input drives every output it is connected to with the same cell
+//     (multicast is free: one input row can close many crosspoints).
+// Schedulers produce matchings; the crossbar validates them before any
+// transmission happens, so an illegal matching is a hard error rather than
+// a silently wrong simulation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+class Crossbar {
+ public:
+  Crossbar(int num_inputs, int num_outputs);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+
+  /// Close the crosspoints described by `input_to_outputs` (one PortSet per
+  /// input).  Panics if two inputs claim the same output.
+  void configure(std::span<const PortSet> input_to_outputs);
+
+  /// Release all crosspoints.
+  void release();
+
+  /// Input currently driving `output`, or kNoPort.
+  PortId input_for_output(PortId output) const;
+
+  /// Outputs currently driven by `input` (empty if idle).
+  const PortSet& outputs_for_input(PortId input) const;
+
+  /// Number of closed (input, output) crosspoints.
+  int closed_crosspoints() const;
+
+  /// Number of distinct inputs transmitting.
+  int active_inputs() const;
+
+ private:
+  int num_inputs_;
+  int num_outputs_;
+  std::vector<PortId> output_source_;
+  std::vector<PortSet> input_targets_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,77 @@
+#include "fabric/data_cell_pool.hpp"
+
+namespace fifoms {
+
+DataCellRef DataCellPool::allocate(const Packet& packet) {
+  const int fanout = packet.fanout();
+  FIFOMS_ASSERT(fanout > 0, "data cell requires at least one destination");
+
+  std::uint32_t index;
+  if (free_head_ != DataCellRef::kInvalidIndex) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    FIFOMS_ASSERT(slots_.size() < DataCellRef::kInvalidIndex,
+                  "data cell pool exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+
+  Slot& slot = slots_[index];
+  slot.live = true;
+  slot.cell = DataCell{
+      .packet = packet.id,
+      .timestamp = packet.arrival,
+      .fanout_counter = fanout,
+      .initial_fanout = fanout,
+      .payload_tag = packet.payload_tag(),
+  };
+  ++live_count_;
+  return DataCellRef{index, slot.generation};
+}
+
+const DataCellPool::Slot& DataCellPool::checked_slot(DataCellRef ref) const {
+  FIFOMS_ASSERT(ref.valid() && ref.index < slots_.size(),
+                "invalid data cell handle");
+  const Slot& slot = slots_[ref.index];
+  FIFOMS_ASSERT(slot.live && slot.generation == ref.generation,
+                "stale data cell handle (cell already destroyed)");
+  return slot;
+}
+
+DataCell& DataCellPool::get(DataCellRef ref) {
+  return const_cast<Slot&>(checked_slot(ref)).cell;
+}
+
+const DataCell& DataCellPool::get(DataCellRef ref) const {
+  return checked_slot(ref).cell;
+}
+
+bool DataCellPool::is_live(DataCellRef ref) const {
+  if (!ref.valid() || ref.index >= slots_.size()) return false;
+  const Slot& slot = slots_[ref.index];
+  return slot.live && slot.generation == ref.generation;
+}
+
+bool DataCellPool::release_one(DataCellRef ref) {
+  Slot& slot = const_cast<Slot&>(checked_slot(ref));
+  FIFOMS_ASSERT(slot.cell.fanout_counter > 0,
+                "release_one on fully served data cell");
+  if (--slot.cell.fanout_counter > 0) return false;
+
+  // fanoutCounter hit zero: destroy the cell, return the buffer slot.
+  slot.live = false;
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = ref.index;
+  --live_count_;
+  return true;
+}
+
+void DataCellPool::clear() {
+  slots_.clear();
+  free_head_ = DataCellRef::kInvalidIndex;
+  live_count_ = 0;
+}
+
+}  // namespace fifoms

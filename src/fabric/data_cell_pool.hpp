@@ -1,0 +1,85 @@
+// DataCell and DataCellPool: the "data cell" half of the paper's queue
+// structure (Section II).
+//
+// A data cell stores the payload of a packet exactly once, together with a
+// fanoutCounter that is decremented as copies are delivered; when the
+// counter reaches zero the cell is destroyed and its buffer slot returned.
+//
+// Cells live in a slab pool indexed by 32-bit handles with a generation
+// counter.  Address cells reference data cells through these handles, so a
+// stale reference (use after the fanout counter hit zero) is detected
+// immediately instead of silently reading recycled memory — the classic
+// failure mode of pointer-based implementations of this structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/panic.hpp"
+#include "common/types.hpp"
+#include "fabric/packet.hpp"
+
+namespace fifoms {
+
+/// Generation-checked handle to a DataCell inside a DataCellPool.
+struct DataCellRef {
+  std::uint32_t index = kInvalidIndex;
+  std::uint32_t generation = 0;
+
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  bool valid() const { return index != kInvalidIndex; }
+  bool operator==(const DataCellRef&) const = default;
+};
+
+struct DataCell {
+  PacketId packet = kNoPacket;
+  /// Arrival slot of the packet; shared by all of its address cells.
+  SlotTime timestamp = 0;
+  /// Destinations not yet served.  Destruction happens at zero.
+  int fanout_counter = 0;
+  int initial_fanout = 0;
+  /// Simulated payload (see Packet::payload_tag).
+  std::uint64_t payload_tag = 0;
+};
+
+class DataCellPool {
+ public:
+  /// Create a data cell for `packet` with fanout_counter = packet.fanout().
+  DataCellRef allocate(const Packet& packet);
+
+  /// Access a live cell; panics if the handle is stale or invalid.
+  DataCell& get(DataCellRef ref);
+  const DataCell& get(DataCellRef ref) const;
+
+  bool is_live(DataCellRef ref) const;
+
+  /// Decrement the fanout counter after one copy is delivered.
+  /// Returns true when the cell was destroyed (counter reached zero).
+  bool release_one(DataCellRef ref);
+
+  /// Number of live cells — the paper's per-input "queue size" metric.
+  std::size_t live_count() const { return live_count_; }
+
+  /// Total slots ever allocated (high-water mark of the buffer).
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Destroy all cells (simulation reset).
+  void clear();
+
+ private:
+  struct Slot {
+    DataCell cell;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = DataCellRef::kInvalidIndex;
+    bool live = false;
+  };
+
+  const Slot& checked_slot(DataCellRef ref) const;
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = DataCellRef::kInvalidIndex;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace fifoms

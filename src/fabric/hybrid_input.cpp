@@ -1,0 +1,83 @@
+#include "fabric/hybrid_input.hpp"
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+HybridInput::HybridInput(PortId input, int num_outputs)
+    : input_(input), num_outputs_(num_outputs) {
+  FIFOMS_ASSERT(num_outputs > 0 && num_outputs <= kMaxPorts,
+                "unsupported output count");
+  voqs_.resize(static_cast<std::size_t>(num_outputs));
+}
+
+RingBuffer<UnicastCell>& HybridInput::voq(PortId output) {
+  FIFOMS_ASSERT(output >= 0 && output < num_outputs_, "output out of range");
+  return voqs_[static_cast<std::size_t>(output)];
+}
+
+const RingBuffer<UnicastCell>& HybridInput::voq(PortId output) const {
+  return const_cast<HybridInput*>(this)->voq(output);
+}
+
+void HybridInput::accept(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input == input_, "packet injected at wrong input");
+  FIFOMS_ASSERT(!packet.destinations.empty(),
+                "packet must have at least one destination");
+  if (packet.fanout() == 1) {
+    const PortId output = packet.destinations.first();
+    FIFOMS_ASSERT(output < num_outputs_, "destination beyond switch radix");
+    voq(output).push_back(UnicastCell{
+        .packet = packet.id,
+        .arrival = packet.arrival,
+        .payload_tag = packet.payload_tag(),
+    });
+    return;
+  }
+  mcq_.push_back(FifoCell{
+      .packet = packet.id,
+      .arrival = packet.arrival,
+      .remaining = packet.destinations,
+      .initial_fanout = packet.fanout(),
+      .payload_tag = packet.payload_tag(),
+  });
+}
+
+UnicastCell HybridInput::serve_unicast(PortId output) {
+  RingBuffer<UnicastCell>& queue = voq(output);
+  FIFOMS_ASSERT(!queue.empty(), "serve_unicast on empty VOQ");
+  return queue.pop_front();
+}
+
+bool HybridInput::serve_multicast(const PortSet& outputs) {
+  FIFOMS_ASSERT(!mcq_.empty(), "serve_multicast on empty multicast queue");
+  FifoCell& cell = mcq_.front();
+  FIFOMS_ASSERT(outputs.is_subset_of(cell.remaining),
+                "serving outputs not in the multicast HOL residue");
+  FIFOMS_ASSERT(!outputs.empty(), "serve_multicast with no outputs");
+  cell.remaining -= outputs;
+  if (!cell.remaining.empty()) return false;
+  mcq_.pop_front();
+  return true;
+}
+
+std::size_t HybridInput::queue_size() const {
+  std::size_t total = mcq_.size();
+  for (const auto& queue : voqs_) total += queue.size();
+  return total;
+}
+
+std::size_t HybridInput::pending_copies() const {
+  std::size_t total = 0;
+  for (const auto& queue : voqs_) total += queue.size();
+  for (std::size_t k = 0; k < mcq_.size(); ++k)
+    total += static_cast<std::size_t>(mcq_[k].remaining.count());
+  return total;
+}
+
+void HybridInput::clear() {
+  for (auto& queue : voqs_) queue.clear();
+  mcq_.clear();
+}
+
+}  // namespace fifoms

@@ -1,0 +1,72 @@
+// HybridInput: the queue structure of practical multicast routers before
+// the paper's address-cell scheme — N unicast VOQs plus ONE multicast
+// FIFO per input (e.g. McKeown's Tiny Tera / ESLIP design).
+//
+// Unicast packets (fanout 1) go to the VOQ of their output; multicast
+// packets (fanout > 1) share a single FIFO, so multicast traffic suffers
+// HOL blocking *within its own class* while unicast traffic does not.
+// This is the structural middle ground between the paper's Fig. 1(b)
+// and Fig. 1(c), and the substrate the ESLIP scheduler runs on.
+#pragma once
+
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "fabric/packet.hpp"
+#include "fabric/single_fifo_input.hpp"  // FifoCell
+
+namespace fifoms {
+
+struct UnicastCell {
+  PacketId packet = kNoPacket;
+  SlotTime arrival = 0;
+  std::uint64_t payload_tag = 0;
+};
+
+class HybridInput {
+ public:
+  HybridInput(PortId input, int num_outputs);
+
+  PortId port() const { return input_; }
+  int num_outputs() const { return num_outputs_; }
+
+  void accept(const Packet& packet);
+
+  // --- unicast side -----------------------------------------------------
+  bool voq_empty(PortId output) const { return voq(output).empty(); }
+  std::size_t voq_size(PortId output) const { return voq(output).size(); }
+  const UnicastCell& voq_hol(PortId output) const {
+    return voq(output).front();
+  }
+  UnicastCell serve_unicast(PortId output);
+
+  // --- multicast side ---------------------------------------------------
+  bool mcq_empty() const { return mcq_.empty(); }
+  std::size_t mcq_size() const { return mcq_.size(); }
+  const FifoCell& mcq_hol() const { return mcq_.front(); }
+  /// Serve part of the multicast HOL residue; true when the cell departs.
+  bool serve_multicast(const PortSet& outputs);
+
+  /// Packets buffered (unicast cells + multicast packets) — the
+  /// queue-size metric for this structure.
+  std::size_t queue_size() const;
+
+  /// Copies still to transmit: unicast cells plus every queued multicast
+  /// cell's remaining fanout (conservation checks).
+  std::size_t pending_copies() const;
+
+  void clear();
+
+ private:
+  RingBuffer<UnicastCell>& voq(PortId output);
+  const RingBuffer<UnicastCell>& voq(PortId output) const;
+
+  PortId input_;
+  int num_outputs_;
+  std::vector<RingBuffer<UnicastCell>> voqs_;
+  RingBuffer<FifoCell> mcq_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,96 @@
+#include "fabric/mc_voq_input.hpp"
+
+namespace fifoms {
+
+McVoqInput::McVoqInput(PortId input, int num_outputs, int num_classes)
+    : input_(input), num_outputs_(num_outputs), num_classes_(num_classes) {
+  FIFOMS_ASSERT(num_outputs > 0 && num_outputs <= kMaxPorts,
+                "unsupported output count");
+  FIFOMS_ASSERT(num_classes >= 1 && num_classes <= kMaxPriority + 1,
+                "unsupported class count");
+  voqs_.resize(static_cast<std::size_t>(num_outputs) *
+               static_cast<std::size_t>(num_classes));
+}
+
+RingBuffer<AddressCell>& McVoqInput::voq(int priority, PortId output) {
+  FIFOMS_ASSERT(output >= 0 && output < num_outputs_, "output out of range");
+  FIFOMS_ASSERT(priority >= 0 && priority < num_classes_,
+                "priority beyond configured class count");
+  return voqs_[static_cast<std::size_t>(priority) *
+                   static_cast<std::size_t>(num_outputs_) +
+               static_cast<std::size_t>(output)];
+}
+
+const RingBuffer<AddressCell>& McVoqInput::voq(int priority,
+                                               PortId output) const {
+  return const_cast<McVoqInput*>(this)->voq(priority, output);
+}
+
+void McVoqInput::accept(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input == input_, "packet injected at wrong input");
+  FIFOMS_ASSERT(!packet.destinations.empty(),
+                "packet must have at least one destination");
+
+  const DataCellRef data = pool_.allocate(packet);
+  const std::uint64_t weight =
+      scheduling_weight(packet.priority, packet.arrival);
+  for (PortId output : packet.destinations) {
+    FIFOMS_ASSERT(output < num_outputs_, "destination beyond switch radix");
+    voq(packet.priority, output)
+        .push_back(AddressCell{.timestamp = packet.arrival,
+                               .weight = weight,
+                               .data = data,
+                               .packet = packet.id});
+  }
+}
+
+int McVoqInput::hol_class(PortId output) const {
+  // Sub-queue heads are weight-sorted by class construction (class-major
+  // weights), so the first non-empty class holds the smallest weight.
+  for (int priority = 0; priority < num_classes_; ++priority)
+    if (!voq(priority, output).empty()) return priority;
+  return -1;
+}
+
+bool McVoqInput::voq_empty(PortId output) const {
+  return hol_class(output) < 0;
+}
+
+std::size_t McVoqInput::voq_size(PortId output) const {
+  std::size_t total = 0;
+  for (int priority = 0; priority < num_classes_; ++priority)
+    total += voq(priority, output).size();
+  return total;
+}
+
+const AddressCell& McVoqInput::hol(PortId output) const {
+  const int priority = hol_class(output);
+  FIFOMS_ASSERT(priority >= 0, "hol() on empty VOQ");
+  return voq(priority, output).front();
+}
+
+McVoqInput::Served McVoqInput::serve_hol(PortId output) {
+  const int priority = hol_class(output);
+  FIFOMS_ASSERT(priority >= 0, "serve_hol on empty VOQ");
+  RingBuffer<AddressCell>& queue =
+      voq(priority, output);
+
+  Served served;
+  served.cell = queue.pop_front();
+  served.payload_tag = pool_.get(served.cell.data).payload_tag;
+  served.data_cell_destroyed = pool_.release_one(served.cell.data);
+  return served;
+}
+
+std::size_t McVoqInput::address_cell_count() const {
+  std::size_t total = 0;
+  for (const auto& queue : voqs_) total += queue.size();
+  return total;
+}
+
+void McVoqInput::clear() {
+  pool_.clear();
+  for (auto& queue : voqs_) queue.clear();
+}
+
+}  // namespace fifoms

@@ -1,0 +1,107 @@
+// McVoqInput: one input port of the paper's multicast VOQ switch.
+//
+// This is the core queue structure of Section II: a buffer of data cells
+// (one per unserved packet, payload stored once) plus N virtual output
+// queues of address cells.  An address cell is a placeholder for one
+// (packet, destination) pair and carries the packet's arrival time stamp
+// and a handle to its data cell.  accept() implements the preprocessing
+// algorithm of Table 1; serve_hol() implements the post-transmission
+// processing of Table 2 for one granted address cell.
+#pragma once
+
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "fabric/data_cell_pool.hpp"
+#include "fabric/packet.hpp"
+
+namespace fifoms {
+
+/// The paper's address cell: {timeStamp, pDataCell} plus the packet id
+/// (carried for statistics; a hardware implementation would not store it).
+///
+/// `weight` is the scheduling key FIFOMS arbitrates on.  For the paper's
+/// single-class traffic it equals the time stamp; with QoS classes it is
+/// priority-major: (priority << 48) | arrival — a strictly smaller weight
+/// means "serve first", so class 0 beats class 1 regardless of age while
+/// FIFO order is preserved within a class.  Delay statistics always use
+/// `timestamp` (the real arrival slot).
+struct AddressCell {
+  SlotTime timestamp = 0;
+  std::uint64_t weight = 0;
+  DataCellRef data;
+  PacketId packet = kNoPacket;
+};
+
+/// The priority-major scheduling weight of a packet.
+inline std::uint64_t scheduling_weight(int priority, SlotTime arrival) {
+  FIFOMS_ASSERT(priority >= 0 && priority <= kMaxPriority,
+                "priority out of range");
+  FIFOMS_ASSERT(arrival >= 0 && arrival <= kMaxWeightSlot,
+                "arrival slot too large for a scheduling weight");
+  return (static_cast<std::uint64_t>(priority) << 48) |
+         static_cast<std::uint64_t>(arrival);
+}
+
+class McVoqInput {
+ public:
+  /// `num_classes` > 1 enables the QoS extension: each virtual output
+  /// queue is split into per-class FIFO sub-queues and hol() returns the
+  /// smallest-weight head (strict priority across classes, FIFO within).
+  /// The default of 1 is exactly the paper's structure.
+  McVoqInput(PortId input, int num_outputs, int num_classes = 1);
+
+  PortId port() const { return input_; }
+  int num_outputs() const { return num_outputs_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Packet preprocessing (paper Table 1): create one data cell and one
+  /// address cell per destination, appended to the matching VOQs.
+  void accept(const Packet& packet);
+
+  bool voq_empty(PortId output) const;
+  std::size_t voq_size(PortId output) const;
+
+  /// Head-of-line address cell for `output`: the smallest-weight head
+  /// across the per-class sub-queues (must be non-empty).
+  const AddressCell& hol(PortId output) const;
+
+  /// Serve the HOL address cell of `output`: remove it from the queue,
+  /// decrement the data cell's fanoutCounter and destroy the data cell when
+  /// it reaches zero.  Returns the served address cell (still carrying a
+  /// handle that may now be stale) plus the payload tag that was sent.
+  struct Served {
+    AddressCell cell;
+    std::uint64_t payload_tag = 0;
+    bool data_cell_destroyed = false;
+  };
+  Served serve_hol(PortId output);
+
+  /// Number of live data cells — the paper's queue-size metric for the
+  /// multicast VOQ switch ("how many unsent packets an input needs to hold").
+  std::size_t data_cell_count() const { return pool_.live_count(); }
+
+  /// Total address cells over all VOQs (pending copies).
+  std::size_t address_cell_count() const;
+
+  const DataCell& data(DataCellRef ref) const { return pool_.get(ref); }
+  const DataCellPool& pool() const { return pool_; }
+
+  /// Drop all queued state (simulation reset).
+  void clear();
+
+ private:
+  RingBuffer<AddressCell>& voq(int priority, PortId output);
+  const RingBuffer<AddressCell>& voq(int priority, PortId output) const;
+  /// Class whose sub-queue head has the smallest weight; -1 if all empty.
+  int hol_class(PortId output) const;
+
+  PortId input_;
+  int num_outputs_;
+  int num_classes_;
+  DataCellPool pool_;
+  std::vector<RingBuffer<AddressCell>> voqs_;  // [class * num_outputs + out]
+};
+
+}  // namespace fifoms

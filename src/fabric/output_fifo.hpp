@@ -1,0 +1,43 @@
+// OutputFifo: per-output queue of an output-queued switch (paper Fig. 1(a)).
+//
+// The OQ switch assumes an internal speedup of N: every copy of an
+// arriving packet is enqueued at its destination output in the arrival
+// slot, and each output drains one cell per slot.  The paper uses OQFIFO
+// as the performance upper bound.
+#pragma once
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "fabric/packet.hpp"
+
+namespace fifoms {
+
+struct OutputCell {
+  PacketId packet = kNoPacket;
+  PortId input = kNoPort;
+  SlotTime arrival = 0;
+  std::uint64_t payload_tag = 0;
+};
+
+class OutputFifo {
+ public:
+  explicit OutputFifo(PortId output) : output_(output) {}
+
+  PortId port() const { return output_; }
+
+  void push(const OutputCell& cell) { queue_.push_back(cell); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  const OutputCell& front() const { return queue_.front(); }
+  OutputCell pop() { return queue_.pop_front(); }
+
+  void clear() { queue_.clear(); }
+
+ private:
+  PortId output_;
+  RingBuffer<OutputCell> queue_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,34 @@
+// Packet: one fixed-size multicast cell arriving at an input port.
+//
+// The paper assumes fixed-length packets, so the "payload" is modelled as
+// a 64-bit tag derived from the packet id; the switch models propagate the
+// tag to every delivered copy, which lets tests verify that the data path
+// (and not just the bookkeeping) delivers the right payload to the right
+// output.
+#pragma once
+
+#include "common/port_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+struct Packet {
+  PacketId id = kNoPacket;
+  PortId input = kNoPort;
+  SlotTime arrival = 0;
+  PortSet destinations;
+  /// QoS class, 0 = highest priority (library extension; the paper's
+  /// traffic is single-class).  Bounded by kMaxPriority.
+  int priority = 0;
+
+  int fanout() const { return destinations.count(); }
+
+  /// Deterministic payload stand-in used for data-path verification.
+  std::uint64_t payload_tag() const {
+    std::uint64_t s = id ^ 0xa076'1d64'78bd'642fULL;
+    return splitmix64(s);
+  }
+};
+
+}  // namespace fifoms

@@ -1,0 +1,124 @@
+#include "fabric/segmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fifoms {
+
+Segmenter::Segmenter(int cell_payload_bytes)
+    : cell_payload_bytes_(cell_payload_bytes) {
+  FIFOMS_ASSERT(cell_payload_bytes >= 1, "cell payload must be positive");
+}
+
+int Segmenter::cells_for(int length_bytes) const {
+  FIFOMS_ASSERT(length_bytes >= 0, "negative frame length");
+  if (length_bytes == 0) return 1;
+  return (length_bytes + cell_payload_bytes_ - 1) / cell_payload_bytes_;
+}
+
+FrameTraffic::FrameTraffic(int num_ports, Segmenter segmenter, double frame_p,
+                           int min_bytes, int max_bytes, double b)
+    : TrafficModel(num_ports), segmenter_(segmenter), frame_p_(frame_p),
+      min_bytes_(min_bytes), max_bytes_(max_bytes), b_(b) {
+  FIFOMS_ASSERT(frame_p >= 0.0 && frame_p <= 1.0,
+                "frame probability out of [0,1]");
+  FIFOMS_ASSERT(min_bytes >= 1 && min_bytes <= max_bytes,
+                "frame length bounds out of order");
+  FIFOMS_ASSERT(b > 0.0 && b <= 1.0, "destination probability out of (0,1]");
+  inputs_.resize(static_cast<std::size_t>(num_ports));
+}
+
+PortSet FrameTraffic::arrival(PortId input, SlotTime now, Rng& rng) {
+  InputState& state = inputs_[static_cast<std::size_t>(input)];
+
+  // New frame reaches the ingress?
+  if (rng.bernoulli(frame_p_)) {
+    PortSet destinations;
+    do {
+      destinations.clear();
+      for (PortId output = 0; output < num_ports(); ++output)
+        if (rng.bernoulli(b_)) destinations.insert(output);
+    } while (destinations.empty());
+    const int length = static_cast<int>(
+        rng.uniform_int(min_bytes_, max_bytes_));
+    Frame frame;
+    frame.id = static_cast<FrameId>(frames_.size());
+    frame.input = input;
+    frame.created = now;
+    frame.length_bytes = length;
+    frame.cells = segmenter_.cells_for(length);
+    frame.destinations = destinations;
+    frames_.push_back(frame);
+    state.pending.push_back(frame.id);
+  }
+
+  if (state.pending.empty()) {
+    state.last_cell = -1;
+    return {};
+  }
+
+  // Emit the next cell of the frame at the head of the ingress queue.
+  const Frame& front = frames_[static_cast<std::size_t>(state.pending.front())];
+  state.last_frame = front.id;
+  state.last_cell = state.next_cell;
+  const PortSet destinations = front.destinations;
+  if (++state.next_cell == front.cells) {
+    state.pending.pop_front();
+    state.next_cell = 0;
+  }
+  return destinations;
+}
+
+const Frame& FrameTraffic::last_frame(PortId input) const {
+  const InputState& state = inputs_[static_cast<std::size_t>(input)];
+  FIFOMS_ASSERT(state.last_cell >= 0,
+                "last_frame before a non-empty arrival()");
+  return frames_[static_cast<std::size_t>(state.last_frame)];
+}
+
+int FrameTraffic::last_cell_index(PortId input) const {
+  const InputState& state = inputs_[static_cast<std::size_t>(input)];
+  FIFOMS_ASSERT(state.last_cell >= 0,
+                "last_cell_index before a non-empty arrival()");
+  return state.last_cell;
+}
+
+double FrameTraffic::mean_cells_per_frame() const {
+  // Average of ceil(L / payload) over L uniform on [min, max].
+  double total = 0.0;
+  for (int length = min_bytes_; length <= max_bytes_; ++length)
+    total += segmenter_.cells_for(length);
+  return total / static_cast<double>(max_bytes_ - min_bytes_ + 1);
+}
+
+double FrameTraffic::offered_load() const {
+  // Cells per input per slot (capped at the ingress line rate of one cell
+  // per slot) times the mean fanout, where the fanout is b*N conditioned
+  // on the non-empty redraw.
+  const double n = static_cast<double>(num_ports());
+  const double empty = std::pow(1.0 - b_, n);
+  const double mean_fanout = b_ * n / (1.0 - empty);
+  const double cells_per_slot =
+      std::min(1.0, frame_p_ * mean_cells_per_frame());
+  return cells_per_slot * mean_fanout;
+}
+
+std::optional<Reassembler::Completion> Reassembler::on_cell(
+    const Frame& frame, PortId output, SlotTime now) {
+  FIFOMS_ASSERT(frame.destinations.contains(output),
+                "cell delivered to a non-member output");
+  const std::uint64_t k = key(frame.id, output);
+  int& received = progress_[k];
+  ++received;
+  FIFOMS_ASSERT(received <= frame.cells, "more cells than the frame has");
+  if (received < frame.cells) return std::nullopt;
+  progress_.erase(k);
+  return Completion{
+      .frame = frame.id,
+      .output = output,
+      .completed = now,
+      .latency = now - frame.created,
+  };
+}
+
+}  // namespace fifoms

@@ -1,0 +1,128 @@
+// Frame segmentation and reassembly — the variable-length front end of a
+// fixed-size-cell switch.
+//
+// The paper (like most crossbar scheduling work) assumes fixed-length
+// packets; a real router receives variable-length frames, chops them into
+// cells at ingress, schedules the cells independently and reassembles at
+// egress.  This module provides that shell so the examples can report
+// *frame*-level latency — the number an application actually sees:
+//
+//   * Segmenter      — frame -> cell count for a given cell payload size;
+//   * FrameTraffic   — TrafficModel adapter: generates variable-length
+//     multicast frames and emits their cells one per slot per input (the
+//     link feeds the switch at line rate);
+//   * Reassembler    — egress tracker: feed per-cell deliveries, get
+//     completed (frame, output) records with frame latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/panic.hpp"
+#include "common/port_set.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+using FrameId = std::uint64_t;
+
+struct Frame {
+  FrameId id = 0;
+  PortId input = kNoPort;
+  SlotTime created = 0;   ///< slot the frame reached the ingress
+  int length_bytes = 0;
+  int cells = 0;          ///< segmentation result
+  PortSet destinations;
+};
+
+class Segmenter {
+ public:
+  explicit Segmenter(int cell_payload_bytes);
+
+  int cell_payload_bytes() const { return cell_payload_bytes_; }
+
+  /// Cells needed for a frame of `length_bytes` (>= 1; a zero-length
+  /// frame still occupies one cell for its header).
+  int cells_for(int length_bytes) const;
+
+ private:
+  int cell_payload_bytes_;
+};
+
+/// Generates multicast frames and feeds their cells into the slot model.
+///
+/// Frame process per input: Bernoulli(frame_p) new-frame arrivals with
+/// length uniform on [min_bytes, max_bytes] and destinations drawn with
+/// per-output probability b (empty draws redrawn).  Cells of queued
+/// frames are emitted one per slot; a new frame queues behind the cells
+/// of earlier frames (ingress serialisation).  Because the switch sees
+/// only cells, every scheduler runs unmodified.
+class FrameTraffic final : public TrafficModel {
+ public:
+  FrameTraffic(int num_ports, Segmenter segmenter, double frame_p,
+               int min_bytes, int max_bytes, double b);
+
+  std::string_view name() const override { return "frames"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  /// Frame whose cell was returned by the most recent arrival() for the
+  /// given input (valid immediately after a non-empty arrival()).
+  const Frame& last_frame(PortId input) const;
+
+  /// Index of that cell within its frame, 0-based.
+  int last_cell_index(PortId input) const;
+
+  /// All frames ever created (for egress reassembly bookkeeping).
+  const std::vector<Frame>& frames() const { return frames_; }
+
+  double mean_cells_per_frame() const;
+
+ private:
+  struct InputState {
+    std::deque<FrameId> pending;  // frames with cells still to emit
+    int next_cell = 0;            // cell index within the front frame
+    FrameId last_frame = 0;
+    int last_cell = -1;
+  };
+
+  Segmenter segmenter_;
+  double frame_p_;
+  int min_bytes_;
+  int max_bytes_;
+  double b_;
+  std::vector<Frame> frames_;
+  std::vector<InputState> inputs_;
+};
+
+/// Egress reassembly: complete a (frame, output) when all its cells have
+/// been delivered to that output.
+class Reassembler {
+ public:
+  struct Completion {
+    FrameId frame = 0;
+    PortId output = kNoPort;
+    SlotTime completed = 0;   ///< slot the last cell arrived
+    SlotTime latency = 0;     ///< completed - frame creation slot
+  };
+
+  /// Record one delivered cell; returns the completion record when this
+  /// cell was the frame's last at that output.
+  std::optional<Completion> on_cell(const Frame& frame, PortId output,
+                                    SlotTime now);
+
+  std::size_t incomplete() const { return progress_.size(); }
+
+ private:
+  static std::uint64_t key(FrameId frame, PortId output) {
+    return (frame << 9) ^ static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(output));
+  }
+
+  std::unordered_map<std::uint64_t, int> progress_;  // cells received
+};
+
+}  // namespace fifoms

@@ -1,0 +1,30 @@
+#include "fabric/single_fifo_input.hpp"
+
+namespace fifoms {
+
+void SingleFifoInput::accept(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input == input_, "packet injected at wrong input");
+  FIFOMS_ASSERT(!packet.destinations.empty(),
+                "packet must have at least one destination");
+  queue_.push_back(FifoCell{
+      .packet = packet.id,
+      .arrival = packet.arrival,
+      .remaining = packet.destinations,
+      .initial_fanout = packet.fanout(),
+      .payload_tag = packet.payload_tag(),
+  });
+}
+
+bool SingleFifoInput::serve_hol(const PortSet& outputs) {
+  FIFOMS_ASSERT(!queue_.empty(), "serve_hol on empty input FIFO");
+  FifoCell& cell = queue_.front();
+  FIFOMS_ASSERT(outputs.is_subset_of(cell.remaining),
+                "serving outputs not in the HOL cell's residue");
+  FIFOMS_ASSERT(!outputs.empty(), "serve_hol with no outputs");
+  cell.remaining -= outputs;
+  if (!cell.remaining.empty()) return false;
+  queue_.pop_front();
+  return true;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,53 @@
+// SingleFifoInput: one input port of a single input-queued switch
+// (paper Fig. 1(b)) — the buffering architecture TATRA and WBA run on.
+//
+// Each input holds one FIFO of multicast cells.  Only the head-of-line
+// cell is visible to the scheduler; its residue (destinations not yet
+// served) shrinks across slots under fanout splitting, and the cell
+// departs when the residue becomes empty.  The HOL blocking the paper
+// attributes to this structure arises here by construction: cells behind
+// the head cannot be scheduled at all.
+#pragma once
+
+#include "common/port_set.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "fabric/packet.hpp"
+
+namespace fifoms {
+
+struct FifoCell {
+  PacketId packet = kNoPacket;
+  SlotTime arrival = 0;
+  PortSet remaining;
+  int initial_fanout = 0;
+  std::uint64_t payload_tag = 0;
+};
+
+class SingleFifoInput {
+ public:
+  explicit SingleFifoInput(PortId input) : input_(input) {}
+
+  PortId port() const { return input_; }
+
+  void accept(const Packet& packet);
+
+  bool empty() const { return queue_.empty(); }
+
+  /// Packets currently buffered — the queue-size metric for this switch.
+  std::size_t queue_size() const { return queue_.size(); }
+
+  const FifoCell& hol() const { return queue_.front(); }
+
+  /// Serve the HOL cell at `outputs` (must be a subset of its residue).
+  /// Returns true when the cell fully departed (residue exhausted).
+  bool serve_hol(const PortSet& outputs);
+
+  void clear() { queue_.clear(); }
+
+ private:
+  PortId input_;
+  RingBuffer<FifoCell> queue_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,48 @@
+#include "flows/flow_traffic.hpp"
+
+namespace fifoms {
+
+FlowTraffic::FlowTraffic(GroupTable table, double p, double zipf_skew,
+                         double churn_rate)
+    : TrafficModel(table.num_ports()), table_(std::move(table)), p_(p),
+      popularity_(static_cast<int>(table_.size()), zipf_skew),
+      churn_rate_(churn_rate) {
+  FIFOMS_ASSERT(p >= 0.0 && p <= 1.0, "arrival probability out of [0,1]");
+  FIFOMS_ASSERT(churn_rate >= 0.0 && churn_rate <= 1.0,
+                "churn rate out of [0,1]");
+  FIFOMS_ASSERT(table_.size() >= 1, "flow traffic needs at least one group");
+}
+
+PortSet FlowTraffic::arrival(PortId input, SlotTime /*now*/, Rng& rng) {
+  // Churn is driven once per slot from input 0's call so the table
+  // mutates at a rate independent of the port count.
+  if (input == 0 && churn_rate_ > 0.0 && rng.bernoulli(churn_rate_)) {
+    const auto group =
+        static_cast<GroupId>(rng.next_below(table_.size()));
+    const auto port = static_cast<PortId>(
+        rng.next_below(static_cast<std::uint64_t>(num_ports())));
+    if (table_.members(group).contains(port)) {
+      table_.leave(group, port);
+    } else {
+      table_.join(group, port);
+    }
+  }
+
+  if (!rng.bernoulli(p_)) return {};
+  const auto group = static_cast<GroupId>(popularity_.sample(rng));
+  const PortSet& members = table_.members(group);
+  if (members.empty()) return {};  // nobody joined: packet is filtered
+  last_group_ = group;
+  return members;
+}
+
+double FlowTraffic::offered_load() const {
+  // Expected copies per input per slot: p * E_popularity[|members|].
+  const double mean_fanout = popularity_.expectation([&](int rank) {
+    return static_cast<double>(
+        table_.members(static_cast<GroupId>(rank)).count());
+  });
+  return p_ * mean_fanout;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,49 @@
+// FlowTraffic: flow-level multicast workload on top of a GroupTable.
+//
+// Each input port carries Bernoulli(p) packet arrivals; every packet
+// belongs to a multicast group drawn from a Zipf popularity distribution,
+// and its destination set is the group's *current* membership (so
+// join/leave churn is visible mid-flow).  Optional churn: each slot, with
+// probability churn_rate, one uniformly chosen (group, port) membership
+// is toggled — the steady-state group sizes then wander around their
+// initial values.
+//
+// This is the workload model the paper's motivation implies (channels /
+// feeds with skewed popularity) and the substrate the flow-level example
+// uses for per-group latency statistics.
+#pragma once
+
+#include "flows/group_table.hpp"
+#include "flows/zipf.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class FlowTraffic final : public TrafficModel {
+ public:
+  /// `table` is copied; churn mutates the internal copy only.
+  FlowTraffic(GroupTable table, double p, double zipf_skew,
+              double churn_rate = 0.0);
+
+  std::string_view name() const override { return "flows"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  const GroupTable& groups() const { return table_; }
+  const ZipfSampler& popularity() const { return popularity_; }
+
+  /// Group the most recent arrival() packet belonged to (kNoGroup before
+  /// the first arrival).  Lets callers attribute packets to flows without
+  /// widening the TrafficModel interface.
+  static constexpr GroupId kNoGroup = 0xffffffffu;
+  GroupId last_group() const { return last_group_; }
+
+ private:
+  GroupTable table_;
+  double p_;
+  ZipfSampler popularity_;
+  double churn_rate_;
+  GroupId last_group_ = kNoGroup;
+};
+
+}  // namespace fifoms

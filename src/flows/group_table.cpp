@@ -1,0 +1,56 @@
+#include "flows/group_table.hpp"
+
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms {
+
+GroupId GroupTable::add_group(PortSet members) {
+  FIFOMS_ASSERT(members.is_subset_of(PortSet::all(num_ports_)),
+                "group member beyond switch radix");
+  groups_.push_back(members);
+  return static_cast<GroupId>(groups_.size() - 1);
+}
+
+const PortSet& GroupTable::members(GroupId group) const {
+  FIFOMS_ASSERT(group < groups_.size(), "unknown group id");
+  return groups_[group];
+}
+
+PortSet& GroupTable::members_mutable(GroupId group) {
+  FIFOMS_ASSERT(group < groups_.size(), "unknown group id");
+  return groups_[group];
+}
+
+void GroupTable::join(GroupId group, PortId port) {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "port beyond switch radix");
+  members_mutable(group).insert(port);
+}
+
+void GroupTable::leave(GroupId group, PortId port) {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "port beyond switch radix");
+  members_mutable(group).erase(port);
+}
+
+std::size_t GroupTable::total_memberships() const {
+  std::size_t total = 0;
+  for (const PortSet& group : groups_)
+    total += static_cast<std::size_t>(group.count());
+  return total;
+}
+
+GroupTable GroupTable::random(int num_ports, int count, int min_size,
+                              int max_size, Rng& rng) {
+  FIFOMS_ASSERT(count >= 1, "need at least one group");
+  FIFOMS_ASSERT(min_size >= 1 && min_size <= max_size &&
+                    max_size <= num_ports,
+                "group size bounds out of range");
+  GroupTable table(num_ports);
+  for (int g = 0; g < count; ++g) {
+    const int size = static_cast<int>(rng.uniform_int(min_size, max_size));
+    table.add_group(
+        UniformFanoutTraffic::random_subset(num_ports, size, rng));
+  }
+  return table;
+}
+
+}  // namespace fifoms

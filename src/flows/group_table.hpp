@@ -1,0 +1,54 @@
+// GroupTable: multicast group membership, the router-side state that a
+// real deployment maintains via IGMP/PIM joins and leaves.
+//
+// A group is a stable id mapping to a PortSet of member output ports.
+// The table supports join/leave churn; the flow-level traffic model looks
+// up the current membership at packet creation, so long-lived flows see
+// membership changes mid-stream exactly as a real switch would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/panic.hpp"
+#include "common/port_set.hpp"
+#include "common/rng.hpp"
+
+namespace fifoms {
+
+using GroupId = std::uint32_t;
+
+class GroupTable {
+ public:
+  explicit GroupTable(int num_ports) : num_ports_(num_ports) {
+    FIFOMS_ASSERT(num_ports > 0 && num_ports <= kMaxPorts,
+                  "unsupported port count");
+  }
+
+  int num_ports() const { return num_ports_; }
+  std::size_t size() const { return groups_.size(); }
+
+  /// Register a group; members may be empty (a group nobody joined yet).
+  GroupId add_group(PortSet members);
+
+  const PortSet& members(GroupId group) const;
+
+  void join(GroupId group, PortId port);
+  void leave(GroupId group, PortId port);
+
+  /// Total (group, member) pairs — the table's memory footprint driver.
+  std::size_t total_memberships() const;
+
+  /// Populate `count` groups whose sizes are uniform on
+  /// [min_size, max_size] with uniformly random members.
+  static GroupTable random(int num_ports, int count, int min_size,
+                           int max_size, Rng& rng);
+
+ private:
+  PortSet& members_mutable(GroupId group);
+
+  int num_ports_;
+  std::vector<PortSet> groups_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,35 @@
+#include "flows/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+ZipfSampler::ZipfSampler(int n, double s) : skew_(s) {
+  FIFOMS_ASSERT(n >= 1, "Zipf needs at least one rank");
+  FIFOMS_ASSERT(s >= 0.0, "Zipf skew cannot be negative");
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[static_cast<std::size_t>(rank)] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against rounding at the top
+}
+
+double ZipfSampler::probability(int rank) const {
+  FIFOMS_ASSERT(rank >= 0 && rank < size(), "rank out of range");
+  const auto index = static_cast<std::size_t>(rank);
+  return rank == 0 ? cdf_[0] : cdf_[index] - cdf_[index - 1];
+}
+
+int ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace fifoms

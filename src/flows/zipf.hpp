@@ -1,0 +1,45 @@
+// ZipfSampler: draw from a Zipf(s) distribution over ranks 0..n-1.
+//
+// Multicast group popularity in deployed systems (TV channels, market
+// data feeds, replication groups) is heavy-tailed; the flow-level traffic
+// model uses this sampler to pick which group a packet belongs to.
+// Implementation: precomputed CDF + binary search, O(log n) per draw,
+// deterministic given the Rng stream.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+
+class ZipfSampler {
+ public:
+  /// Ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.  s = 0 is
+  /// uniform; larger s concentrates mass on low ranks.
+  ZipfSampler(int n, double s);
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+  double skew() const { return skew_; }
+
+  /// Probability of a given rank.
+  double probability(int rank) const;
+
+  /// Draw one rank.
+  int sample(Rng& rng) const;
+
+  /// Expected value of f(rank) under the distribution.
+  template <typename F>
+  double expectation(F f) const {
+    double total = 0.0;
+    for (int rank = 0; rank < size(); ++rank)
+      total += probability(rank) * f(rank);
+    return total;
+  }
+
+ private:
+  double skew_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace fifoms

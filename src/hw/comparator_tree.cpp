@@ -1,0 +1,77 @@
+#include "hw/comparator_tree.hpp"
+
+namespace fifoms::hw {
+
+namespace {
+int ceil_log2(int n) {
+  int depth = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++depth;
+  }
+  return depth;
+}
+}  // namespace
+
+ComparatorTree::ComparatorTree(int lanes)
+    : lanes_(lanes), depth_(ceil_log2(lanes)) {
+  FIFOMS_ASSERT(lanes >= 1, "comparator tree needs at least one lane");
+  inputs_.resize(static_cast<std::size_t>(lanes));
+  scratch_.resize(static_cast<std::size_t>(lanes));
+}
+
+void ComparatorTree::set_lane(int lane, std::uint64_t key) {
+  FIFOMS_ASSERT(lane >= 0 && lane < lanes_, "lane out of range");
+  inputs_[static_cast<std::size_t>(lane)] = Lane{key, true};
+}
+
+void ComparatorTree::clear_lane(int lane) {
+  FIFOMS_ASSERT(lane >= 0 && lane < lanes_, "lane out of range");
+  inputs_[static_cast<std::size_t>(lane)] = Lane{};
+}
+
+void ComparatorTree::clear_all() {
+  for (auto& lane : inputs_) lane = Lane{};
+}
+
+CompareResult ComparatorTree::evaluate() {
+  // Level 0: copy lanes into the scratch rail.
+  int width = lanes_;
+  for (int lane = 0; lane < lanes_; ++lane) {
+    const Lane& in = inputs_[static_cast<std::size_t>(lane)];
+    scratch_[static_cast<std::size_t>(lane)] =
+        CompareResult{lane, in.key, in.valid};
+  }
+
+  // Balanced binary reduction; each node is one physical comparator.
+  while (width > 1) {
+    const int next_width = (width + 1) / 2;
+    for (int node = 0; node < width / 2; ++node) {
+      const CompareResult& a = scratch_[static_cast<std::size_t>(2 * node)];
+      const CompareResult& b =
+          scratch_[static_cast<std::size_t>(2 * node + 1)];
+      ++comparisons_;
+      CompareResult out;
+      if (!a.valid) {
+        out = b;
+      } else if (!b.valid) {
+        out = a;
+      } else if (b.key < a.key) {
+        out = b;  // strict: ties keep the lower lane (a)
+      } else {
+        out = a;
+      }
+      scratch_[static_cast<std::size_t>(node)] = out;
+    }
+    if (width % 2 == 1) {
+      // Odd lane passes through without a comparator.
+      scratch_[static_cast<std::size_t>(width / 2)] =
+          scratch_[static_cast<std::size_t>(width - 1)];
+    }
+    width = next_width;
+  }
+  return scratch_[0];
+}
+
+}  // namespace fifoms::hw

@@ -1,0 +1,71 @@
+// Gate-level model of the parallel comparator trees of paper Section IV.
+//
+// The FIFOMS control unit uses one comparator at each input port to find
+// the HOL address cell with the smallest time stamp, and one at each
+// output port to pick the winning request — "since the comparison
+// operation of each input port does not depend on each other, it can be
+// performed in parallel", giving the O(1)-per-round argument (citing the
+// WBA scheduler's comparator design).
+//
+// ComparatorTree models that structure bit-for-bit at the register level:
+// a balanced binary reduction over N lanes where each node forwards the
+// smaller key (ties: lower lane index, matching a fixed tie-break wire).
+// It reports the circuit depth (comparator levels on the critical path),
+// which is ceil(log2(lanes)) — the number every latency claim in Section
+// IV rests on.  The behavioural schedulers do not use this class; it
+// exists so tests can check the hardware-faithful datapath computes the
+// same winners as the software implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/panic.hpp"
+
+namespace fifoms::hw {
+
+/// Result of one reduction: winning lane and its key.
+struct CompareResult {
+  int lane = -1;
+  std::uint64_t key = 0;
+  bool valid = false;
+};
+
+class ComparatorTree {
+ public:
+  /// A tree over `lanes` input lanes (lanes >= 1).
+  explicit ComparatorTree(int lanes);
+
+  int lanes() const { return lanes_; }
+
+  /// Comparator levels on the critical path: ceil(log2(lanes)).
+  int depth() const { return depth_; }
+
+  /// Present a key on one lane for the next evaluate(); lanes without a
+  /// key participate as invalid and never win.
+  void set_lane(int lane, std::uint64_t key);
+  void clear_lane(int lane);
+  void clear_all();
+
+  /// Evaluate the tree: smallest key wins, ties go to the lower lane.
+  /// Also counts the comparator evaluations performed (for the energy /
+  /// area accounting in the hw bench).
+  CompareResult evaluate();
+
+  /// Total pairwise comparator evaluations since construction.
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  struct Lane {
+    std::uint64_t key = 0;
+    bool valid = false;
+  };
+
+  int lanes_;
+  int depth_;
+  std::vector<Lane> inputs_;
+  std::vector<CompareResult> scratch_;
+  std::uint64_t comparisons_ = 0;
+};
+
+}  // namespace fifoms::hw

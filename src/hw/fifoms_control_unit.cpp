@@ -1,0 +1,84 @@
+#include "hw/fifoms_control_unit.hpp"
+
+namespace fifoms::hw {
+
+void FifomsControlUnit::reset(int num_inputs, int num_outputs) {
+  num_inputs_ = num_inputs;
+  num_outputs_ = num_outputs;
+  input_trees_.clear();
+  output_trees_.clear();
+  input_trees_.reserve(static_cast<std::size_t>(num_inputs));
+  output_trees_.reserve(static_cast<std::size_t>(num_outputs));
+  for (int i = 0; i < num_inputs; ++i) input_trees_.emplace_back(num_outputs);
+  for (int j = 0; j < num_outputs; ++j) output_trees_.emplace_back(num_inputs);
+  total_rounds_ = 0;
+}
+
+int FifomsControlUnit::levels_per_round() const {
+  FIFOMS_ASSERT(!input_trees_.empty(), "reset() not called");
+  return input_trees_.front().depth() + output_trees_.front().depth();
+}
+
+std::uint64_t FifomsControlUnit::total_comparisons() const {
+  std::uint64_t total = 0;
+  for (const auto& tree : input_trees_) total += tree.comparisons();
+  for (const auto& tree : output_trees_) total += tree.comparisons();
+  return total;
+}
+
+void FifomsControlUnit::schedule(std::span<const McVoqInput> inputs,
+                                 SlotTime /*now*/, SlotMatching& matching,
+                                 Rng& /*rng*/) {
+  FIFOMS_ASSERT(static_cast<int>(inputs.size()) == num_inputs_,
+                "FifomsControlUnit::reset not called for this switch size");
+
+  int rounds = 0;
+  while (true) {
+    // ---- Input-side comparator trees: find each free input's smallest
+    // HOL time stamp among free outputs.
+    bool any_request = false;
+    for (auto& tree : output_trees_) tree.clear_all();
+
+    for (PortId input = 0; input < num_inputs_; ++input) {
+      if (matching.input_matched(input)) continue;
+      ComparatorTree& tree = input_trees_[static_cast<std::size_t>(input)];
+      tree.clear_all();
+      const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
+      for (PortId output = 0; output < num_outputs_; ++output) {
+        if (matching.output_matched(output) || port.voq_empty(output))
+          continue;
+        tree.set_lane(output, port.hol(output).weight);
+      }
+      const CompareResult winner = tree.evaluate();
+      if (!winner.valid) continue;
+
+      // ---- Request wires: every HOL cell carrying the winning time
+      // stamp raises its request line toward its output's tree.
+      for (PortId output = 0; output < num_outputs_; ++output) {
+        if (matching.output_matched(output) || port.voq_empty(output))
+          continue;
+        if (port.hol(output).weight != winner.key) continue;
+        output_trees_[static_cast<std::size_t>(output)].set_lane(input,
+                                                                 winner.key);
+        any_request = true;
+      }
+    }
+    if (!any_request) break;
+    ++rounds;
+    ++total_rounds_;
+
+    // ---- Output-side comparator trees: grant the smallest time stamp;
+    // the fixed tie-break wire prefers the lower input index.
+    for (PortId output = 0; output < num_outputs_; ++output) {
+      if (matching.output_matched(output)) continue;
+      const CompareResult winner =
+          output_trees_[static_cast<std::size_t>(output)].evaluate();
+      if (!winner.valid) continue;
+      matching.add_match(static_cast<PortId>(winner.lane), output);
+    }
+  }
+
+  matching.rounds = rounds;
+}
+
+}  // namespace fifoms::hw

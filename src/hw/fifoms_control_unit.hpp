@@ -1,0 +1,55 @@
+// Register-level model of the FIFOMS scheduler control unit (Fig. 3 of
+// the paper): the "control unit on the left" that owns the address-cell
+// queues and the per-port comparators, wired exactly as Section IV
+// describes.
+//
+// Per iterative round:
+//   1. every free input's comparator tree reduces the HOL time stamps of
+//      its VOQs whose output is free — the winning time stamp selects the
+//      requesting address cells;
+//   2. request wires carry (time stamp, input) to the outputs;
+//   3. every free output's comparator tree reduces its incoming requests
+//      and raises one grant wire;
+//   4. grant results feed back to the inputs before the next round.
+//
+// Tie-breaking in hardware is a fixed priority wire (lowest index), which
+// corresponds to FifomsScheduler with TieBreak::kLowestInput.  The class
+// implements the VoqScheduler interface, so the differential test can run
+// the gate-level datapath and the behavioural scheduler side by side on
+// identical queue states and demand identical matchings — and it reports
+// the latency figures (comparator levels per round) that back the paper's
+// O(1)-per-round hardware claim.
+#pragma once
+
+#include <memory>
+
+#include "hw/comparator_tree.hpp"
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms::hw {
+
+class FifomsControlUnit final : public VoqScheduler {
+ public:
+  std::string_view name() const override { return "FIFOMS-hw"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+  /// Comparator levels traversed per round: input tree + output tree.
+  int levels_per_round() const;
+
+  /// Total comparator evaluations across all schedule() calls.
+  std::uint64_t total_comparisons() const;
+
+  /// Rounds executed across all schedule() calls.
+  std::uint64_t total_rounds() const { return total_rounds_; }
+
+ private:
+  int num_inputs_ = 0;
+  int num_outputs_ = 0;
+  std::vector<ComparatorTree> input_trees_;   // one per input port
+  std::vector<ComparatorTree> output_trees_;  // one per output port
+  std::uint64_t total_rounds_ = 0;
+};
+
+}  // namespace fifoms::hw

@@ -1,0 +1,174 @@
+#include "io/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  Flag flag;
+  flag.kind = Kind::kInt;
+  flag.help = help;
+  flag.int_value = default_value;
+  flag.default_text = std::to_string(default_value);
+  FIFOMS_ASSERT(flags_.emplace(name, std::move(flag)).second,
+                "duplicate flag");
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.kind = Kind::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", default_value);
+  flag.default_text = buffer;
+  FIFOMS_ASSERT(flags_.emplace(name, std::move(flag)).second,
+                "duplicate flag");
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.kind = Kind::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flag.default_text = default_value;
+  FIFOMS_ASSERT(flags_.emplace(name, std::move(flag)).second,
+                "duplicate flag");
+  order_.push_back(name);
+}
+
+void ArgParser::add_bool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.kind = Kind::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flag.default_text = default_value ? "true" : "false";
+  FIFOMS_ASSERT(flags_.emplace(name, std::move(flag)).second,
+                "duplicate flag");
+  order_.push_back(name);
+}
+
+bool ArgParser::set_from_text(Flag& flag, const std::string& text) {
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt:
+      flag.int_value = std::strtoll(text.c_str(), &end, 10);
+      return end != text.c_str() && *end == '\0';
+    case Kind::kDouble:
+      flag.double_value = std::strtod(text.c_str(), &end);
+      return end != text.c_str() && *end == '\0';
+    case Kind::kString:
+      flag.string_value = text;
+      return true;
+    case Kind::kBool:
+      if (text == "true" || text == "1") {
+        flag.bool_value = true;
+        return true;
+      }
+      if (text == "false" || text == "0") {
+        flag.bool_value = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                   arg.c_str());
+      print_usage();
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    bool have_value = false;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "%s: unknown flag '--%s'\n", program_.c_str(),
+                   arg.c_str());
+      print_usage();
+      return false;
+    }
+    if (!have_value) {
+      if (it->second.kind == Kind::kBool) {
+        it->second.bool_value = true;  // bare --flag enables a boolean
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag '--%s' needs a value\n",
+                     program_.c_str(), arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!set_from_text(it->second, value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for flag '--%s'\n",
+                   program_.c_str(), value.c_str(), arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name,
+                                       Kind kind) const {
+  const auto it = flags_.find(name);
+  FIFOMS_ASSERT(it != flags_.end(), "flag was never declared");
+  FIFOMS_ASSERT(it->second.kind == kind, "flag accessed with wrong type");
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return find(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).bool_value;
+}
+
+void ArgParser::print_usage() const {
+  std::fprintf(stderr, "%s — %s\n\nflags:\n", program_.c_str(),
+               description_.c_str());
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    std::fprintf(stderr, "  --%-14s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.default_text.c_str());
+  }
+}
+
+}  // namespace fifoms

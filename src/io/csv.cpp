@@ -1,0 +1,65 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+
+#include "common/panic.hpp"
+#include "sim/experiment.hpp"
+
+namespace fifoms {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  FIFOMS_ASSERT(out_.good(), "cannot open CSV file for writing");
+}
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << (needs_quoting(fields[i]) ? quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+  FIFOMS_ASSERT(out_.good(), "CSV write failed");
+}
+
+std::string CsvWriter::num(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+void write_sweep_csv(const std::string& path,
+                     const std::vector<PointSummary>& points) {
+  CsvWriter csv(path);
+  csv.row({"algorithm", "load", "replications", "unstable", "input_delay",
+           "input_delay_se", "output_delay", "output_delay_se",
+           "output_delay_p99", "queue_mean", "queue_max", "rounds_busy",
+           "rounds_all", "throughput"});
+  for (const PointSummary& p : points) {
+    csv.row({p.algorithm, CsvWriter::num(p.load),
+             std::to_string(p.replications), std::to_string(p.unstable_count),
+             CsvWriter::num(p.input_delay), CsvWriter::num(p.input_delay_se),
+             CsvWriter::num(p.output_delay), CsvWriter::num(p.output_delay_se),
+             CsvWriter::num(p.output_delay_p99), CsvWriter::num(p.queue_mean),
+             CsvWriter::num(p.queue_max), CsvWriter::num(p.rounds_busy),
+             CsvWriter::num(p.rounds_all), CsvWriter::num(p.throughput)});
+  }
+}
+
+}  // namespace fifoms

@@ -1,0 +1,36 @@
+// CsvWriter: RFC-4180-ish CSV output with quoting.
+//
+// Every bench writes its sweep results as CSV next to the console table,
+// so figures can be re-plotted without re-running the simulation.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fifoms {
+
+struct PointSummary;
+
+class CsvWriter {
+ public:
+  /// Open `path` for writing; panics if it cannot be created.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; fields are quoted when they contain , " or newline.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles with enough precision for re-plotting.
+  static std::string num(double value);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Standard header + rows for a vector of sweep summaries.
+void write_sweep_csv(const std::string& path,
+                     const std::vector<PointSummary>& points);
+
+}  // namespace fifoms

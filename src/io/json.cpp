@@ -1,0 +1,156 @@
+#include "io/json.hpp"
+
+#include <cstdio>
+
+#include "common/panic.hpp"
+#include "sim/experiment.hpp"
+
+namespace fifoms {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::raw(const std::string& text) {
+  FIFOMS_ASSERT(!done_, "JsonWriter: document already complete");
+  out_ += text;
+}
+
+void JsonWriter::before_value() {
+  if (scopes_.empty()) return;  // top-level single value
+  if (scopes_.back() == Scope::kObject) {
+    FIFOMS_ASSERT(expecting_value_, "JsonWriter: value in object needs key()");
+    expecting_value_ = false;
+    return;
+  }
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  FIFOMS_ASSERT(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                "JsonWriter: end_object outside object");
+  FIFOMS_ASSERT(!expecting_value_, "JsonWriter: dangling key");
+  raw("}");
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (scopes_.empty()) done_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  FIFOMS_ASSERT(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                "JsonWriter: end_array outside array");
+  raw("]");
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (scopes_.empty()) done_ = true;
+}
+
+void JsonWriter::key(const std::string& name) {
+  FIFOMS_ASSERT(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                "JsonWriter: key outside object");
+  FIFOMS_ASSERT(!expecting_value_, "JsonWriter: two keys in a row");
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  raw("\"" + escape(name) + "\":");
+  expecting_value_ = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  before_value();
+  raw("\"" + escape(text) + "\"");
+  if (scopes_.empty()) done_ = true;
+}
+
+void JsonWriter::value(double number) {
+  before_value();
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.10g", number);
+  raw(buffer);
+  if (scopes_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  before_value();
+  raw(std::to_string(number));
+  if (scopes_.empty()) done_ = true;
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  raw(flag ? "true" : "false");
+  if (scopes_.empty()) done_ = true;
+}
+
+const std::string& JsonWriter::str() const {
+  FIFOMS_ASSERT(scopes_.empty(), "JsonWriter: unbalanced document");
+  return out_;
+}
+
+std::string sweep_to_json(const std::vector<PointSummary>& points) {
+  JsonWriter json;
+  json.begin_array();
+  for (const PointSummary& p : points) {
+    json.begin_object();
+    json.key("algorithm");
+    json.value(p.algorithm);
+    json.key("load");
+    json.value(p.load);
+    json.key("replications");
+    json.value(p.replications);
+    json.key("unstable_count");
+    json.value(p.unstable_count);
+    json.key("input_delay");
+    json.value(p.input_delay);
+    json.key("output_delay");
+    json.value(p.output_delay);
+    json.key("output_delay_p99");
+    json.value(p.output_delay_p99);
+    json.key("queue_mean");
+    json.value(p.queue_mean);
+    json.key("queue_max");
+    json.value(p.queue_max);
+    json.key("rounds_busy");
+    json.value(p.rounds_busy);
+    json.key("throughput");
+    json.value(p.throughput);
+    json.end_object();
+  }
+  json.end_array();
+  return json.str();
+}
+
+}  // namespace fifoms

@@ -1,0 +1,57 @@
+// Minimal JSON writer (objects, arrays, scalars) — enough to dump sweep
+// results for downstream tooling without an external dependency.
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.key("loads"); json.begin_array(); json.value(0.5); json.end_array();
+//   json.end_object();
+//   std::string text = json.str();
+//
+// The writer tracks nesting and comma placement; misuse (value without a
+// key inside an object, unbalanced end_*) panics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fifoms {
+
+struct PointSummary;
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object (must be followed by a value or container).
+  void key(const std::string& name);
+
+  void value(const std::string& text);
+  void value(const char* text) { value(std::string(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool flag);
+
+  const std::string& str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void raw(const std::string& text);
+  static std::string escape(const std::string& text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool expecting_value_ = false;  // a key was just written
+  bool done_ = false;
+};
+
+/// Serialise sweep summaries as a JSON array of objects.
+std::string sweep_to_json(const std::vector<PointSummary>& points);
+
+}  // namespace fifoms

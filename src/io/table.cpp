@@ -1,0 +1,84 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+
+#include "common/panic.hpp"
+#include "sim/experiment.hpp"
+
+namespace fifoms {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FIFOMS_ASSERT(!headers_.empty(), "table without columns");
+}
+
+void TablePrinter::row(std::vector<std::string> fields) {
+  FIFOMS_ASSERT(fields.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(fields));
+}
+
+std::string TablePrinter::fixed(double value, int decimals) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, "%s%-*s", c ? "  " : "",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    std::fprintf(out, "\n");
+  };
+
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_sweep_tables(const std::vector<PointSummary>& points,
+                        std::FILE* out) {
+  // Preserve first-seen algorithm order.
+  std::vector<std::string> algorithms;
+  for (const PointSummary& p : points)
+    if (std::find(algorithms.begin(), algorithms.end(), p.algorithm) ==
+        algorithms.end())
+      algorithms.push_back(p.algorithm);
+
+  for (const std::string& algorithm : algorithms) {
+    std::fprintf(out, "\n%s\n", algorithm.c_str());
+    TablePrinter table({"load", "in_delay", "out_delay", "avg_queue",
+                        "max_queue", "rounds", "throughput", "status"});
+    for (const PointSummary& p : points) {
+      if (p.algorithm != algorithm) continue;
+      table.row({TablePrinter::fixed(p.load, 3),
+                 TablePrinter::fixed(p.input_delay, 2),
+                 TablePrinter::fixed(p.output_delay, 2),
+                 TablePrinter::fixed(p.queue_mean, 2),
+                 TablePrinter::fixed(p.queue_max, 1),
+                 TablePrinter::fixed(p.rounds_busy, 2),
+                 TablePrinter::fixed(p.throughput, 3),
+                 p.unstable() ? "UNSTABLE"
+                 : p.unstable_count > 0
+                     ? std::to_string(p.unstable_count) + "/" +
+                           std::to_string(p.replications) + " unstable"
+                     : "ok"});
+    }
+    table.print(out);
+  }
+}
+
+}  // namespace fifoms

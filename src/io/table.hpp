@@ -1,0 +1,37 @@
+// TablePrinter: aligned plain-text tables for bench/example output.
+//
+// The benches print the paper's series as console tables (one row per
+// load point, one column group per metric) so the "same rows the paper
+// reports" are readable without any plotting step.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fifoms {
+
+struct PointSummary;
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void row(std::vector<std::string> fields);
+
+  /// Render to `out` with columns padded to their widest cell.
+  void print(std::FILE* out = stdout) const;
+
+  static std::string fixed(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a sweep as one table per algorithm: load vs the four paper
+/// metrics (plus throughput), flagging unstable points.
+void print_sweep_tables(const std::vector<PointSummary>& points,
+                        std::FILE* out = stdout);
+
+}  // namespace fifoms

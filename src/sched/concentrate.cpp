@@ -1,0 +1,39 @@
+#include "sched/concentrate.hpp"
+
+#include <algorithm>
+
+namespace fifoms {
+
+void ConcentrateScheduler::reset(int /*num_inputs*/, int /*num_outputs*/) {}
+
+void ConcentrateScheduler::schedule(std::span<const HolCellView> hol,
+                                    SlotTime /*now*/, SlotMatching& matching,
+                                    Rng& rng) {
+  const int num_inputs = static_cast<int>(hol.size());
+
+  order_.clear();
+  for (PortId input = 0; input < num_inputs; ++input) {
+    const HolCellView& cell = hol[static_cast<std::size_t>(input)];
+    if (!cell.valid) continue;
+    order_.push_back(Entry{cell.remaining.count(), cell.arrival,
+                           rng.next_u64(), input});
+  }
+  // Largest residue first: serving the big cells completely leaves the
+  // leftover contention concentrated on few (small) cells.
+  std::sort(order_.begin(), order_.end(), [](const Entry& a, const Entry& b) {
+    if (a.residue != b.residue) return a.residue > b.residue;
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.shuffle_key < b.shuffle_key;
+  });
+
+  for (const Entry& entry : order_) {
+    const HolCellView& cell = hol[static_cast<std::size_t>(entry.input)];
+    for (PortId output : cell.remaining) {
+      if (matching.output_matched(output)) continue;
+      matching.add_match(entry.input, output);
+    }
+  }
+  matching.rounds = 1;
+}
+
+}  // namespace fifoms

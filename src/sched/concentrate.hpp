@@ -1,0 +1,44 @@
+// Concentrate — residue-concentrating multicast scheduling for the single
+// input-queued switch (McKeown & Prabhakar, INFOCOM 1996; the policy
+// family TATRA and WBA approximate).
+//
+// The residue of a slot is the set of cell copies that lose contention
+// and stay at their inputs' heads of line.  Concentrating that residue on
+// as FEW inputs as possible maximises the number of HOL cells that depart
+// (and is throughput-optimal within this architecture under the paper's
+// assumptions).  We implement the standard greedy realisation: HOL cells
+// are considered in decreasing residue size (ties: older first, then
+// random) and each cell is granted every output in its residue that is
+// still free.  Cells considered early are served completely and depart;
+// the residue piles up on the few late losers.
+//
+// Note the deliberate contrast with WBA, which *penalises* large fanouts:
+// Concentrate maximises departures per slot, WBA trades some of that for
+// per-cell fairness.  The scheduler_faceoff example puts all three
+// single-FIFO policies side by side.
+#pragma once
+
+#include <vector>
+
+#include "sched/hol_scheduler.hpp"
+
+namespace fifoms {
+
+class ConcentrateScheduler final : public HolScheduler {
+ public:
+  std::string_view name() const override { return "Concentrate"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const HolCellView> hol, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+ private:
+  struct Entry {
+    int residue;
+    SlotTime arrival;
+    std::uint64_t shuffle_key;
+    PortId input;
+  };
+  std::vector<Entry> order_;
+};
+
+}  // namespace fifoms

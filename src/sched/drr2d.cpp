@@ -1,0 +1,43 @@
+#include "sched/drr2d.hpp"
+
+namespace fifoms {
+
+void Drr2dScheduler::reset(int num_inputs, int num_outputs) {
+  FIFOMS_ASSERT(num_inputs == num_outputs,
+                "2DRR is defined on square switches");
+  size_ = num_inputs;
+  first_diagonal_ = 0;
+}
+
+void Drr2dScheduler::schedule(std::span<const McVoqInput> inputs,
+                              SlotTime /*now*/, SlotMatching& matching,
+                              Rng& /*rng*/) {
+  FIFOMS_ASSERT(static_cast<int>(inputs.size()) == size_,
+                "Drr2dScheduler::reset not called for this switch size");
+
+  // Visit all N diagonals starting from the rotating offset.  Diagonal k
+  // contains the pairs (i, (i+k) mod N); pairs on earlier-visited
+  // diagonals have priority, which is what rotates fairness across slots.
+  int rounds = 0;
+  for (int step = 0; step < size_; ++step) {
+    const int k = (first_diagonal_ + step) % size_;
+    bool any = false;
+    for (PortId input = 0; input < size_; ++input) {
+      const PortId output = static_cast<PortId>((input + k) % size_);
+      if (matching.input_matched(input) || matching.output_matched(output))
+        continue;
+      if (inputs[static_cast<std::size_t>(input)].voq_empty(output)) continue;
+      matching.add_match(input, output);
+      any = true;
+    }
+    if (any) ++rounds;
+  }
+
+  // Advance the starting diagonal; a stride co-prime with N cycles through
+  // all diagonals and de-correlates consecutive slots.  1 is always
+  // co-prime; for even N a stride of 1 is the classical choice.
+  first_diagonal_ = (first_diagonal_ + 1) % size_;
+  matching.rounds = rounds == 0 ? 1 : rounds;
+}
+
+}  // namespace fifoms

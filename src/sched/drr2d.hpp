@@ -1,0 +1,35 @@
+// 2DRR — Two-Dimensional Round-Robin (LaMaire & Serpanos, ToN 1994),
+// reference [9] of the paper.
+//
+// The request matrix R[i][j] (= VOQ(i,j) non-empty) is swept along its N
+// generalised diagonals D_k = {(i, (i+k) mod N)}.  Each slot the sweep
+// starts from a different diagonal (rotating offset), and within the slot
+// the diagonals are visited in an order that guarantees every (i, j) pair
+// is visited first once every N slots — we use the classical
+// "pattern sequence" formed by stepping the diagonal index by a constant
+// co-prime stride per slot.  Every requested pair on a visited diagonal
+// whose input and output are both still free is matched, so the result is
+// maximal.  Like iSLIP, 2DRR schedules multicast as independent unicast
+// cells: one output per input per slot.
+#pragma once
+
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms {
+
+class Drr2dScheduler final : public VoqScheduler {
+ public:
+  std::string_view name() const override { return "2DRR"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+  /// Diagonal visited first in the current slot (exposed for tests).
+  int first_diagonal() const { return first_diagonal_; }
+
+ private:
+  int size_ = 0;            // 2DRR is defined on square switches
+  int first_diagonal_ = 0;  // rotates every slot
+};
+
+}  // namespace fifoms

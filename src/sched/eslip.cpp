@@ -1,0 +1,200 @@
+#include "sched/eslip.hpp"
+
+namespace fifoms {
+
+namespace {
+
+/// First member of `set` at or after `start` (cyclic).
+PortId round_robin_pick(const PortSet& set, PortId start, int modulus) {
+  if (start >= modulus) start = 0;
+  const PortId p = set.next_after(start - 1);
+  return p != kNoPort ? p : set.first();
+}
+
+}  // namespace
+
+EslipSwitch::EslipSwitch(int num_ports, int max_iterations)
+    : num_ports_(num_ports), max_iterations_(max_iterations),
+      crossbar_(num_ports, num_ports) {
+  inputs_.reserve(static_cast<std::size_t>(num_ports));
+  for (PortId port = 0; port < num_ports; ++port)
+    inputs_.emplace_back(port, num_ports);
+  unicast_grant_ptr_.assign(static_cast<std::size_t>(num_ports), 0);
+  unicast_accept_ptr_.assign(static_cast<std::size_t>(num_ports), 0);
+  last_arrival_slot_.assign(static_cast<std::size_t>(num_ports), -1);
+  mode_.resize(static_cast<std::size_t>(num_ports));
+  unicast_offers_.resize(static_cast<std::size_t>(num_ports));
+}
+
+bool EslipSwitch::inject(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input >= 0 && packet.input < num_ports_,
+                "packet input out of range");
+  SlotTime& last = last_arrival_slot_[static_cast<std::size_t>(packet.input)];
+  FIFOMS_ASSERT(packet.arrival > last,
+                "more than one packet per input per slot");
+  last = packet.arrival;
+  inputs_[static_cast<std::size_t>(packet.input)].accept(packet);
+  return true;
+}
+
+void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
+                             std::vector<Mode>& mode) {
+  // Even slots prefer multicast at contended outputs, odd slots unicast.
+  const bool multicast_preferred = (now % 2) == 0;
+
+  int rounds = 0;
+  bool progressed = true;
+  while (progressed &&
+         (max_iterations_ == 0 || rounds < max_iterations_)) {
+    progressed = false;
+
+    // ---- Grant step -----------------------------------------------------
+    // Unicast grants are offers an input may decline (accept step);
+    // multicast grants are final — all of them reference the input's one
+    // multicast HOL cell, so no conflict is possible (FIFOMS's argument).
+    for (auto& offers : unicast_offers_) offers.clear();
+    bool any_grant = false;
+
+    for (PortId output = 0; output < num_ports_; ++output) {
+      if (matching.output_matched(output)) continue;
+      PortSet multicast_req, unicast_req;
+      for (PortId input = 0; input < num_ports_; ++input) {
+        const Mode m = mode[static_cast<std::size_t>(input)];
+        if (m == Mode::kUnicast) continue;  // committed to a unicast cell
+        const HybridInput& port = inputs_[static_cast<std::size_t>(input)];
+        // An input already matched in multicast mode may still collect
+        // additional outputs for the SAME cell (fanout accumulation).
+        if (!port.mcq_empty() && port.mcq_hol().remaining.contains(output))
+          multicast_req.insert(input);
+        if (m == Mode::kNone && !port.voq_empty(output))
+          unicast_req.insert(input);
+      }
+
+      const bool use_multicast =
+          !multicast_req.empty() &&
+          (multicast_preferred || unicast_req.empty());
+      if (use_multicast) {
+        // Shared pointer: all outputs favour the same input, so the
+        // multicast cell collects its full fanout in one slot when free.
+        const PortId granted =
+            round_robin_pick(multicast_req, multicast_ptr_, num_ports_);
+        matching.add_match(granted, output);
+        mode[static_cast<std::size_t>(granted)] = Mode::kMulticast;
+        any_grant = true;
+        progressed = true;
+      } else if (!unicast_req.empty()) {
+        const PortId granted = round_robin_pick(
+            unicast_req, unicast_grant_ptr_[static_cast<std::size_t>(output)],
+            num_ports_);
+        unicast_offers_[static_cast<std::size_t>(granted)].insert(output);
+        any_grant = true;
+      }
+    }
+    if (!any_grant) break;
+    ++rounds;
+
+    // ---- Accept step (unicast offers only) ------------------------------
+    for (PortId input = 0; input < num_ports_; ++input) {
+      // A multicast grant this round invalidates unicast offers: the
+      // input transmits its multicast cell.
+      if (mode[static_cast<std::size_t>(input)] != Mode::kNone) continue;
+      const PortSet& offers = unicast_offers_[static_cast<std::size_t>(input)];
+      if (offers.empty()) continue;
+      const PortId accepted = round_robin_pick(
+          offers, unicast_accept_ptr_[static_cast<std::size_t>(input)],
+          num_ports_);
+      matching.add_match(input, accepted);
+      mode[static_cast<std::size_t>(input)] = Mode::kUnicast;
+      progressed = true;
+      if (rounds == 1) {
+        unicast_grant_ptr_[static_cast<std::size_t>(accepted)] =
+            (input + 1) % num_ports_;
+        unicast_accept_ptr_[static_cast<std::size_t>(input)] =
+            (accepted + 1) % num_ports_;
+      }
+    }
+  }
+  matching.rounds = rounds;
+}
+
+void EslipSwitch::step(SlotTime now, Rng& /*rng*/, SlotResult& result) {
+  for (auto& m : mode_) m = Mode::kNone;
+  matching_.reset(num_ports_, num_ports_);
+  run_rounds(now, matching_, mode_);
+  matching_.validate();
+  crossbar_.configure(matching_.input_grant_sets());
+
+  // Transmit + the ESLIP pointer rule: the shared pointer moves past an
+  // input only when its multicast cell departed with its full fanout.
+  PortId departed_at_pointer = kNoPort;
+  PortId best_distance = kMaxPorts + 1;
+  for (PortId input = 0; input < num_ports_; ++input) {
+    const PortSet& targets = crossbar_.outputs_for_input(input);
+    if (targets.empty()) continue;
+    HybridInput& port = inputs_[static_cast<std::size_t>(input)];
+    if (mode_[static_cast<std::size_t>(input)] == Mode::kUnicast) {
+      const PortId output = targets.first();
+      FIFOMS_ASSERT(targets.count() == 1, "unicast input with several outputs");
+      const UnicastCell cell = port.serve_unicast(output);
+      result.deliveries.push_back(Delivery{
+          .packet = cell.packet,
+          .input = input,
+          .output = output,
+          .arrival = cell.arrival,
+          .payload_tag = cell.payload_tag,
+      });
+    } else {
+      const FifoCell cell = port.mcq_hol();  // copy; serve may pop
+      const bool departed = port.serve_multicast(targets);
+      for (PortId output : targets) {
+        result.deliveries.push_back(Delivery{
+            .packet = cell.packet,
+            .input = input,
+            .output = output,
+            .arrival = cell.arrival,
+            .payload_tag = cell.payload_tag,
+        });
+      }
+      if (departed) {
+        // Closest departure at/after the pointer decides the advance.
+        const PortId distance = static_cast<PortId>(
+            (input - multicast_ptr_ + num_ports_) % num_ports_);
+        if (distance < best_distance) {
+          best_distance = distance;
+          departed_at_pointer = input;
+        }
+      }
+    }
+  }
+  if (departed_at_pointer != kNoPort)
+    multicast_ptr_ = (departed_at_pointer + 1) % num_ports_;
+  crossbar_.release();
+
+  result.rounds = matching_.rounds;
+  result.matched_pairs = matching_.matched_pairs();
+}
+
+std::size_t EslipSwitch::occupancy(PortId port) const {
+  return input(port).queue_size();
+}
+
+std::size_t EslipSwitch::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& port : inputs_) total += port.queue_size();
+  return total;
+}
+
+void EslipSwitch::clear() {
+  for (auto& port : inputs_) port.clear();
+  for (auto& ptr : unicast_grant_ptr_) ptr = 0;
+  for (auto& ptr : unicast_accept_ptr_) ptr = 0;
+  multicast_ptr_ = 0;
+  for (auto& slot : last_arrival_slot_) slot = -1;
+}
+
+const HybridInput& EslipSwitch::input(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
+  return inputs_[static_cast<std::size_t>(port)];
+}
+
+}  // namespace fifoms

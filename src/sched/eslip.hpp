@@ -1,0 +1,74 @@
+// EslipSwitch — ESLIP-style hybrid unicast/multicast scheduling
+// (McKeown, "A Fast Switched Backplane for a Gigabit Switched Router";
+// the scheduler of the Tiny Tera prototype), on the HybridInput structure
+// (N unicast VOQs + one multicast FIFO per input).
+//
+// Faithful-behaviour reimplementation (see DESIGN.md §4) of the published
+// description:
+//
+//   * iterative request/grant/accept like iSLIP;
+//   * unicast arbitration uses per-output grant pointers and per-input
+//     accept pointers, updated on first-iteration accepts;
+//   * multicast arbitration uses ONE grant pointer shared by all outputs,
+//     so independent outputs favour the *same* input and a multicast cell
+//     tends to depart in one slot — ESLIP's counterpart of FIFOMS's
+//     time-stamp alignment;
+//   * outputs alternate preference between multicast and unicast on
+//     even/odd slots (the published fairness device between classes);
+//   * the shared multicast pointer advances past an input only when that
+//     input's multicast cell has been delivered to its complete fanout
+//     (fanout splitting leaves the pointer, so residues keep priority).
+//
+// Because the queue structure is unique to this scheduler, the class
+// implements SwitchModel directly rather than the VoqScheduler interface.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/matching.hpp"
+#include "fabric/crossbar.hpp"
+#include "fabric/hybrid_input.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class EslipSwitch final : public SwitchModel {
+ public:
+  explicit EslipSwitch(int num_ports, int max_iterations = 0);
+
+  std::string_view name() const override { return "ESLIP"; }
+  int num_inputs() const override { return num_ports_; }
+  int num_outputs() const override { return num_ports_; }
+
+  bool inject(const Packet& packet) override;
+  void step(SlotTime now, Rng& rng, SlotResult& result) override;
+
+  std::size_t occupancy(PortId port) const override;
+  int occupancy_ports() const override { return num_ports_; }
+  std::size_t total_buffered() const override;
+  void clear() override;
+
+  const HybridInput& input(PortId port) const;
+  PortId multicast_pointer() const { return multicast_ptr_; }
+
+ private:
+  enum class Mode { kNone, kUnicast, kMulticast };
+
+  void run_rounds(SlotTime now, SlotMatching& matching,
+                  std::vector<Mode>& mode);
+
+  int num_ports_;
+  int max_iterations_;
+  std::vector<HybridInput> inputs_;
+  Crossbar crossbar_;
+  SlotMatching matching_;
+  std::vector<PortId> unicast_grant_ptr_;   // per output
+  std::vector<PortId> unicast_accept_ptr_;  // per input
+  PortId multicast_ptr_ = 0;                // shared by all outputs
+  std::vector<SlotTime> last_arrival_slot_;
+  std::vector<Mode> mode_;                  // scratch, per input
+  std::vector<PortSet> unicast_offers_;     // scratch, per input
+};
+
+}  // namespace fifoms

@@ -1,0 +1,42 @@
+// HolScheduler: policy interface for schedulers running on the single
+// input-queued switch (TATRA, WBA).
+//
+// The observable state of that architecture is exactly one head-of-line
+// multicast cell per input (or none); everything behind the head is
+// invisible — that is the HOL blocking the paper measures.  Schedulers
+// receive a HolCellView per input and fill a SlotMatching whose per-input
+// grants must be subsets of the corresponding residues.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/port_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/matching.hpp"
+
+namespace fifoms {
+
+struct HolCellView {
+  bool valid = false;  ///< false when the input queue is empty
+  PortId input = kNoPort;
+  PacketId packet = kNoPacket;
+  SlotTime arrival = 0;
+  PortSet remaining;  ///< destinations not yet served (the residue)
+  int initial_fanout = 0;
+};
+
+class HolScheduler {
+ public:
+  virtual ~HolScheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual void reset(int num_inputs, int num_outputs) = 0;
+
+  virtual void schedule(std::span<const HolCellView> hol, SlotTime now,
+                        SlotMatching& matching, Rng& rng) = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,92 @@
+#include "sched/ilqf.hpp"
+
+#include <vector>
+
+namespace fifoms {
+
+void IlqfScheduler::reset(int num_inputs, int /*num_outputs*/) {
+  grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+}
+
+namespace {
+
+/// Pick the member of `candidates` maximising `weight`, ties random.
+template <typename WeightFn>
+PortId argmax_random_ties(const PortSet& candidates, WeightFn weight,
+                          Rng& rng) {
+  PortId best = kNoPort;
+  std::size_t best_weight = 0;
+  int ties = 0;
+  for (PortId candidate : candidates) {
+    const std::size_t w = weight(candidate);
+    if (best == kNoPort || w > best_weight) {
+      best = candidate;
+      best_weight = w;
+      ties = 1;
+    } else if (w == best_weight) {
+      // Reservoir sampling over the ties: uniform without a second pass.
+      ++ties;
+      if (rng.next_below(static_cast<std::uint64_t>(ties)) == 0)
+        best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void IlqfScheduler::schedule(std::span<const McVoqInput> inputs,
+                             SlotTime /*now*/, SlotMatching& matching,
+                             Rng& rng) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+
+  int rounds = 0;
+  bool progressed = true;
+  while (progressed &&
+         (options_.max_iterations == 0 || rounds < options_.max_iterations)) {
+    progressed = false;
+
+    // Grant: each free output grants its longest requesting VOQ.
+    for (auto& set : grants_to_input_) set.clear();
+    bool any_grant = false;
+    for (PortId output = 0; output < num_outputs; ++output) {
+      if (matching.output_matched(output)) continue;
+      PortSet requesters;
+      for (PortId input = 0; input < num_inputs; ++input) {
+        if (matching.input_matched(input)) continue;
+        if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
+          requesters.insert(input);
+      }
+      if (requesters.empty()) continue;
+      const PortId granted = argmax_random_ties(
+          requesters,
+          [&](PortId input) {
+            return inputs[static_cast<std::size_t>(input)].voq_size(output);
+          },
+          rng);
+      grants_to_input_[static_cast<std::size_t>(granted)].insert(output);
+      any_grant = true;
+    }
+    if (!any_grant) break;
+    ++rounds;
+
+    // Accept: each granted input accepts its longest-VOQ offer.
+    for (PortId input = 0; input < num_inputs; ++input) {
+      const PortSet& offers = grants_to_input_[static_cast<std::size_t>(input)];
+      if (offers.empty()) continue;
+      const PortId accepted = argmax_random_ties(
+          offers,
+          [&](PortId output) {
+            return inputs[static_cast<std::size_t>(input)].voq_size(output);
+          },
+          rng);
+      matching.add_match(input, accepted);
+      progressed = true;
+    }
+  }
+
+  matching.rounds = rounds;
+}
+
+}  // namespace fifoms

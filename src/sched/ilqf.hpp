@@ -1,0 +1,38 @@
+// iLQF — iterative Longest Queue First (McKeown, 1995).
+//
+// Same request/grant/accept skeleton as iSLIP but the arbitration weight
+// is the VOQ occupancy: outputs grant the longest requesting VOQ, inputs
+// accept the grant from the output whose VOQ is longest (ties broken
+// randomly).  iLQF approximates maximum-weight matching — the policy that
+// provably gives 100% throughput for i.i.d. arrivals [McKeown et al. '99]
+// — at iterative-hardware cost.  Included as the queue-length-weighted
+// counterpart of FIFOMS's time-stamp weighting; multicast is scheduled as
+// independent unicast cells.
+#pragma once
+
+#include <vector>
+
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms {
+
+struct IlqfOptions {
+  /// Maximum iterations per slot; 0 = iterate to convergence.
+  int max_iterations = 0;
+};
+
+class IlqfScheduler final : public VoqScheduler {
+ public:
+  explicit IlqfScheduler(IlqfOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "iLQF"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+ private:
+  IlqfOptions options_;
+  std::vector<PortSet> grants_to_input_;
+};
+
+}  // namespace fifoms

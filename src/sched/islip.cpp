@@ -1,0 +1,83 @@
+#include "sched/islip.hpp"
+
+namespace fifoms {
+
+void IslipScheduler::reset(int num_inputs, int num_outputs) {
+  grant_ptr_.assign(static_cast<std::size_t>(num_outputs), 0);
+  accept_ptr_.assign(static_cast<std::size_t>(num_inputs), 0);
+  grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+}
+
+namespace {
+
+/// First member of `set` at or after `start` (cyclic); set must be non-empty.
+PortId round_robin_pick(const PortSet& set, PortId start, int modulus) {
+  FIFOMS_DASSERT(!set.empty(), "round_robin_pick on empty set");
+  if (start >= modulus) start = 0;
+  PortId p = set.next_after(start - 1);
+  if (p != kNoPort) return p;
+  return set.first();  // wrap around
+}
+
+}  // namespace
+
+void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
+                              SlotTime /*now*/, SlotMatching& matching,
+                              Rng& /*rng*/) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+  FIFOMS_ASSERT(static_cast<int>(accept_ptr_.size()) == num_inputs &&
+                    static_cast<int>(grant_ptr_.size()) == num_outputs,
+                "IslipScheduler::reset not called for this switch size");
+
+  int rounds = 0;
+  bool progressed = true;
+  while (progressed &&
+         (options_.max_iterations == 0 || rounds < options_.max_iterations)) {
+    progressed = false;
+    const bool first_iteration = rounds == 0;
+
+    // ---- Grant step (requests are implicit: input i requests output j
+    // iff i is unmatched, j is unmatched and VOQ(i, j) is non-empty). ----
+    for (auto& set : grants_to_input_) set.clear();
+    bool any_grant = false;
+    for (PortId output = 0; output < num_outputs; ++output) {
+      if (matching.output_matched(output)) continue;
+      PortSet requesters;
+      for (PortId input = 0; input < num_inputs; ++input) {
+        if (matching.input_matched(input)) continue;
+        if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
+          requesters.insert(input);
+      }
+      if (requesters.empty()) continue;
+      const PortId granted = round_robin_pick(
+          requesters, grant_ptr_[static_cast<std::size_t>(output)],
+          num_inputs);
+      grants_to_input_[static_cast<std::size_t>(granted)].insert(output);
+      any_grant = true;
+    }
+    if (!any_grant) break;
+    ++rounds;
+
+    // ---- Accept step ---------------------------------------------------
+    for (PortId input = 0; input < num_inputs; ++input) {
+      const PortSet& offers = grants_to_input_[static_cast<std::size_t>(input)];
+      if (offers.empty()) continue;
+      const PortId accepted = round_robin_pick(
+          offers, accept_ptr_[static_cast<std::size_t>(input)], num_outputs);
+      matching.add_match(input, accepted);
+      progressed = true;
+      if (first_iteration) {
+        // Pointer update only on first-iteration matches (iSLIP rule).
+        grant_ptr_[static_cast<std::size_t>(accepted)] =
+            (input + 1) % num_inputs;
+        accept_ptr_[static_cast<std::size_t>(input)] =
+            (accepted + 1) % num_outputs;
+      }
+    }
+  }
+
+  matching.rounds = rounds;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,54 @@
+// iSLIP (McKeown 1999) on the multicast VOQ structure.
+//
+// Classic iterative unicast matching with rotating priorities:
+//
+//   Request — every unmatched input requests every free output whose VOQ
+//   is non-empty.
+//   Grant — every free output grants the requesting input that appears
+//   first at or after its grant pointer (round robin).
+//   Accept — every unmatched input accepts the granting output that
+//   appears first at or after its accept pointer.
+//
+// Pointers advance one position beyond the matched peer, and — the key
+// iSLIP property that makes it live-lock free and fair — only for matches
+// made in the *first* iteration of a slot.
+//
+// Per the paper's methodology, a multicast packet is scheduled as
+// independent unicast cells: the input accepts at most one output per
+// slot, so a fanout-k packet needs at least k slots.  Buffering still
+// uses the paper's address-cell/data-cell structure (payload stored once).
+#pragma once
+
+#include <vector>
+
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms {
+
+struct IslipOptions {
+  /// Maximum iterations per slot; 0 = iterate to convergence.
+  int max_iterations = 0;
+};
+
+class IslipScheduler final : public VoqScheduler {
+ public:
+  explicit IslipScheduler(IslipOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "iSLIP"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+  /// Exposed for tests: current pointer positions.
+  const std::vector<PortId>& grant_pointers() const { return grant_ptr_; }
+  const std::vector<PortId>& accept_pointers() const { return accept_ptr_; }
+
+ private:
+  IslipOptions options_;
+  std::vector<PortId> grant_ptr_;   // per output
+  std::vector<PortId> accept_ptr_;  // per input
+  // Scratch: grants collected per input during the grant phase.
+  std::vector<PortSet> grants_to_input_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,52 @@
+#include "sched/pim.hpp"
+
+namespace fifoms {
+
+void PimScheduler::reset(int num_inputs, int /*num_outputs*/) {
+  grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+}
+
+void PimScheduler::schedule(std::span<const McVoqInput> inputs,
+                            SlotTime /*now*/, SlotMatching& matching,
+                            Rng& rng) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+
+  int rounds = 0;
+  bool progressed = true;
+  while (progressed &&
+         (options_.max_iterations == 0 || rounds < options_.max_iterations)) {
+    progressed = false;
+
+    // Grant: each free output picks a random requesting input.
+    for (auto& set : grants_to_input_) set.clear();
+    bool any_grant = false;
+    for (PortId output = 0; output < num_outputs; ++output) {
+      if (matching.output_matched(output)) continue;
+      PortSet requesters;
+      for (PortId input = 0; input < num_inputs; ++input) {
+        if (matching.input_matched(input)) continue;
+        if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
+          requesters.insert(input);
+      }
+      if (requesters.empty()) continue;
+      grants_to_input_[static_cast<std::size_t>(requesters.random_member(rng))]
+          .insert(output);
+      any_grant = true;
+    }
+    if (!any_grant) break;
+    ++rounds;
+
+    // Accept: each granted input picks a random offer.
+    for (PortId input = 0; input < num_inputs; ++input) {
+      const PortSet& offers = grants_to_input_[static_cast<std::size_t>(input)];
+      if (offers.empty()) continue;
+      matching.add_match(input, offers.random_member(rng));
+      progressed = true;
+    }
+  }
+
+  matching.rounds = rounds;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,36 @@
+// PIM — Parallel Iterative Matching (Anderson et al. 1993) on the
+// multicast VOQ structure.
+//
+// Same request/grant/accept skeleton as iSLIP, but both grant and accept
+// choose uniformly at random instead of round robin.  PIM converges in
+// O(log N) expected iterations but, unlike iSLIP, gives no fairness
+// guarantee and wastes grants under contention.  Multicast packets are
+// scheduled as independent unicast cells, exactly like iSLIP.
+#pragma once
+
+#include <vector>
+
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms {
+
+struct PimOptions {
+  /// Maximum iterations per slot; 0 = iterate to convergence.
+  int max_iterations = 0;
+};
+
+class PimScheduler final : public VoqScheduler {
+ public:
+  explicit PimScheduler(PimOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "PIM"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+ private:
+  PimOptions options_;
+  std::vector<PortSet> grants_to_input_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,34 @@
+#include "sched/random_voq.hpp"
+
+namespace fifoms {
+
+void RandomVoqScheduler::reset(int num_inputs, int /*num_outputs*/) {
+  grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+}
+
+void RandomVoqScheduler::schedule(std::span<const McVoqInput> inputs,
+                                  SlotTime /*now*/, SlotMatching& matching,
+                                  Rng& rng) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+
+  for (auto& set : grants_to_input_) set.clear();
+  for (PortId output = 0; output < num_outputs; ++output) {
+    PortSet requesters;
+    for (PortId input = 0; input < num_inputs; ++input) {
+      if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
+        requesters.insert(input);
+    }
+    if (requesters.empty()) continue;
+    grants_to_input_[static_cast<std::size_t>(requesters.random_member(rng))]
+        .insert(output);
+  }
+  for (PortId input = 0; input < num_inputs; ++input) {
+    const PortSet& offers = grants_to_input_[static_cast<std::size_t>(input)];
+    if (offers.empty()) continue;
+    matching.add_match(input, offers.random_member(rng));
+  }
+  matching.rounds = 1;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,26 @@
+// RandomVoqScheduler: single-iteration random matching.
+//
+// Equivalent to one round of PIM.  Deliberately weak — it exists as a
+// sanity floor for the experiment harness (every serious scheduler should
+// beat it) and as a simple reference implementation of the VoqScheduler
+// interface for documentation and tests.
+#pragma once
+
+#include <vector>
+
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms {
+
+class RandomVoqScheduler final : public VoqScheduler {
+ public:
+  std::string_view name() const override { return "Random"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+ private:
+  std::vector<PortSet> grants_to_input_;
+};
+
+}  // namespace fifoms

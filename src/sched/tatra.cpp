@@ -1,0 +1,62 @@
+#include "sched/tatra.hpp"
+
+#include <algorithm>
+
+namespace fifoms {
+
+void TatraScheduler::reset(int num_inputs, int num_outputs) {
+  columns_.assign(static_cast<std::size_t>(num_outputs), RingBuffer<Block>{});
+  placed_packet_.assign(static_cast<std::size_t>(num_inputs), kNoPacket);
+}
+
+void TatraScheduler::schedule(std::span<const HolCellView> hol,
+                              SlotTime /*now*/, SlotMatching& matching,
+                              Rng& rng) {
+  const int num_inputs = static_cast<int>(hol.size());
+  FIFOMS_ASSERT(static_cast<int>(placed_packet_.size()) == num_inputs,
+                "TatraScheduler::reset not called for this switch size");
+
+  // ---- Place newly arrived HOL cells into the Tetris box. -------------
+  entrants_.clear();
+  for (PortId input = 0; input < num_inputs; ++input) {
+    const HolCellView& cell = hol[static_cast<std::size_t>(input)];
+    if (!cell.valid) {
+      placed_packet_[static_cast<std::size_t>(input)] = kNoPacket;
+      continue;
+    }
+    if (placed_packet_[static_cast<std::size_t>(input)] == cell.packet)
+      continue;  // already in the box
+    entrants_.push_back(Entrant{cell.arrival, rng.next_u64(), input});
+  }
+  // Earlier HOL entrants settle lower; simultaneous entrants in random order.
+  std::sort(entrants_.begin(), entrants_.end(),
+            [](const Entrant& a, const Entrant& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.shuffle_key < b.shuffle_key;
+            });
+  for (const Entrant& entrant : entrants_) {
+    const HolCellView& cell = hol[static_cast<std::size_t>(entrant.input)];
+    for (PortId output : cell.remaining)
+      columns_[static_cast<std::size_t>(output)].push_back(
+          Block{entrant.input, cell.packet});
+    placed_packet_[static_cast<std::size_t>(entrant.input)] = cell.packet;
+  }
+
+  // ---- Serve the bottom row: one block per non-empty column. ----------
+  // All bottom blocks of one input belong to its (unique) HOL cell, so the
+  // resulting matching is a legal multicast crossbar configuration.
+  const int num_outputs = matching.num_outputs();
+  for (PortId output = 0; output < num_outputs; ++output) {
+    auto& column = columns_[static_cast<std::size_t>(output)];
+    if (column.empty()) continue;
+    const Block block = column.pop_front();
+    FIFOMS_DASSERT(
+        hol[static_cast<std::size_t>(block.input)].valid &&
+            hol[static_cast<std::size_t>(block.input)].packet == block.packet,
+        "Tetris block references a cell that is no longer at HOL");
+    matching.add_match(block.input, output);
+  }
+  matching.rounds = 1;
+}
+
+}  // namespace fifoms

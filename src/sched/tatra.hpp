@@ -1,0 +1,55 @@
+// TATRA (Ahuja, Prabhakar, McKeown, JSAC 1997) — Tetris-based multicast
+// scheduling for the single input-queued switch.
+//
+// Outputs are the columns of a Tetris box.  When a multicast cell reaches
+// the head of its input's FIFO, it drops one block into each destination
+// column; each block settles independently on top of that column's stack.
+// Every time slot each output serves the bottom block of its column; a
+// cell departs (the input FIFO pops) when its last block has been served.
+// Cells reaching HOL in the same slot are placed in a randomised order
+// (ordering among simultaneous entrants is the only freedom the Tetris
+// formulation leaves; we sort by arrival time first, then randomly).
+//
+// This reading preserves the properties the ICPP'04 comparison relies on:
+// strict FCFS-by-HOL-entry fairness per output (the paper's "strict
+// fairness"), fanout splitting with residue, and — because only the HOL
+// cell of each input owns blocks — the HOL blocking that caps the
+// architecture's throughput.  See DESIGN.md §4 for the substitution note.
+#pragma once
+
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "sched/hol_scheduler.hpp"
+
+namespace fifoms {
+
+class TatraScheduler final : public HolScheduler {
+ public:
+  std::string_view name() const override { return "TATRA"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const HolCellView> hol, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+  /// Exposed for tests: height of one output's column stack.
+  std::size_t column_height(PortId output) const {
+    return columns_[static_cast<std::size_t>(output)].size();
+  }
+
+ private:
+  struct Block {
+    PortId input = kNoPort;
+    PacketId packet = kNoPacket;
+  };
+  struct Entrant {
+    SlotTime arrival;
+    std::uint64_t shuffle_key;
+    PortId input;
+  };
+
+  std::vector<RingBuffer<Block>> columns_;  // one stack per output
+  std::vector<PacketId> placed_packet_;     // HOL packet with blocks, per input
+  std::vector<Entrant> entrants_;           // scratch
+};
+
+}  // namespace fifoms

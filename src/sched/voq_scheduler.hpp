@@ -1,0 +1,38 @@
+// VoqScheduler: policy interface for schedulers running on the multicast
+// VOQ switch (FIFOMS, iSLIP, PIM, random).
+//
+// A scheduler is a pure policy: it reads the head-of-line state of the
+// input ports and fills a SlotMatching.  All mutation (transmission,
+// fanout-counter bookkeeping) is owned by the switch model, so schedulers
+// can be unit-tested against hand-built queue states.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/matching.hpp"
+#include "fabric/mc_voq_input.hpp"
+
+namespace fifoms {
+
+class VoqScheduler {
+ public:
+  virtual ~VoqScheduler() = default;
+
+  /// Human-readable algorithm name (used in reports and CSV headers).
+  virtual std::string_view name() const = 0;
+
+  /// (Re-)initialise internal state (round-robin pointers etc.) for a
+  /// switch of the given size.  Called once before the first slot.
+  virtual void reset(int num_inputs, int num_outputs) = 0;
+
+  /// Compute the matching for the current slot.  `matching` arrives
+  /// cleared to the correct dimensions; the scheduler must also set
+  /// matching.rounds to the number of iterative rounds it used.
+  virtual void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                        SlotMatching& matching, Rng& rng) = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,37 @@
+#include "sched/wba.hpp"
+
+#include <vector>
+
+namespace fifoms {
+
+void WbaScheduler::reset(int /*num_inputs*/, int /*num_outputs*/) {}
+
+void WbaScheduler::schedule(std::span<const HolCellView> hol, SlotTime now,
+                            SlotMatching& matching, Rng& rng) {
+  const int num_inputs = static_cast<int>(hol.size());
+  const int num_outputs = matching.num_outputs();
+
+  for (PortId output = 0; output < num_outputs; ++output) {
+    double best_weight = 0.0;
+    std::vector<PortId> best_inputs;
+    for (PortId input = 0; input < num_inputs; ++input) {
+      const HolCellView& cell = hol[static_cast<std::size_t>(input)];
+      if (!cell.valid || !cell.remaining.contains(output)) continue;
+      const double w = weight(cell, now);
+      if (best_inputs.empty() || w > best_weight) {
+        best_weight = w;
+        best_inputs.clear();
+        best_inputs.push_back(input);
+      } else if (w == best_weight) {
+        best_inputs.push_back(input);
+      }
+    }
+    if (best_inputs.empty()) continue;
+    const PortId winner =
+        best_inputs[rng.next_below(best_inputs.size())];
+    matching.add_match(winner, output);
+  }
+  matching.rounds = 1;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,44 @@
+// WBA — Weight Based Algorithm (Prabhakar, McKeown, Ahuja, JSAC 1997) for
+// the single input-queued multicast switch.
+//
+// Each slot every HOL cell computes a weight
+//
+//     weight = age_weight * age  -  fanout_weight * |residue|
+//
+// favouring old cells (fairness) and penalising large fanouts (residue
+// concentration: a cell with a small residue should win everywhere and
+// depart, rather than many cells each losing somewhere).  Every HOL cell
+// requests all outputs in its residue; every output independently grants
+// the request with the largest weight (ties broken randomly).  Fanout
+// splitting is implicit: whatever is not granted stays as residue.
+#pragma once
+
+#include "sched/hol_scheduler.hpp"
+
+namespace fifoms {
+
+struct WbaOptions {
+  double age_weight = 1.0;
+  double fanout_weight = 1.0;
+};
+
+class WbaScheduler final : public HolScheduler {
+ public:
+  explicit WbaScheduler(WbaOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "WBA"; }
+  void reset(int num_inputs, int num_outputs) override;
+  void schedule(std::span<const HolCellView> hol, SlotTime now,
+                SlotMatching& matching, Rng& rng) override;
+
+  /// The weight function, exposed for tests.
+  double weight(const HolCellView& cell, SlotTime now) const {
+    return options_.age_weight * static_cast<double>(now - cell.arrival) -
+           options_.fanout_weight * static_cast<double>(cell.remaining.count());
+  }
+
+ private:
+  WbaOptions options_;
+};
+
+}  // namespace fifoms

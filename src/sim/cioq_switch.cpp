@@ -1,0 +1,111 @@
+#include "sim/cioq_switch.hpp"
+
+namespace fifoms {
+
+CioqSwitch::CioqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler,
+                       int speedup)
+    : num_ports_(num_ports), speedup_(speedup),
+      scheduler_(std::move(scheduler)), crossbar_(num_ports, num_ports) {
+  FIFOMS_ASSERT(scheduler_ != nullptr, "CioqSwitch requires a scheduler");
+  FIFOMS_ASSERT(speedup >= 1 && speedup <= num_ports,
+                "speedup must be in [1, N]");
+  label_ = std::string(scheduler_->name()) + "-s" + std::to_string(speedup);
+  inputs_.reserve(static_cast<std::size_t>(num_ports));
+  outputs_.reserve(static_cast<std::size_t>(num_ports));
+  for (PortId port = 0; port < num_ports; ++port) {
+    inputs_.emplace_back(port, num_ports);
+    outputs_.emplace_back(port);
+  }
+  last_arrival_slot_.assign(static_cast<std::size_t>(num_ports), -1);
+  scheduler_->reset(num_ports, num_ports);
+}
+
+bool CioqSwitch::inject(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input >= 0 && packet.input < num_ports_,
+                "packet input out of range");
+  SlotTime& last = last_arrival_slot_[static_cast<std::size_t>(packet.input)];
+  FIFOMS_ASSERT(packet.arrival > last,
+                "more than one packet per input per slot");
+  last = packet.arrival;
+  inputs_[static_cast<std::size_t>(packet.input)].accept(packet);
+  return true;
+}
+
+void CioqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
+  int total_rounds = 0;
+  int crossed = 0;
+
+  // S fabric phases: schedule + cross into the output FIFOs.
+  for (int phase = 0; phase < speedup_; ++phase) {
+    matching_.reset(num_ports_, num_ports_);
+    scheduler_->schedule(inputs_, now, matching_, rng);
+    matching_.validate();
+    if (matching_.matched_pairs() == 0) break;  // nothing left to cross
+    crossbar_.configure(matching_.input_grant_sets());
+
+    for (PortId input = 0; input < num_ports_; ++input) {
+      const PortSet& targets = crossbar_.outputs_for_input(input);
+      if (targets.empty()) continue;
+      McVoqInput& port = inputs_[static_cast<std::size_t>(input)];
+      for (PortId output : targets) {
+        const McVoqInput::Served served = port.serve_hol(output);
+        outputs_[static_cast<std::size_t>(output)].push(OutputCell{
+            .packet = served.cell.packet,
+            .input = input,
+            .arrival = served.cell.timestamp,
+            .payload_tag = served.payload_tag,
+        });
+        ++crossed;
+      }
+    }
+    crossbar_.release();
+    total_rounds += matching_.rounds;
+  }
+
+  // Line side: each output transmits one cell per slot.
+  for (PortId output = 0; output < num_ports_; ++output) {
+    OutputFifo& queue = outputs_[static_cast<std::size_t>(output)];
+    if (queue.empty()) continue;
+    const OutputCell cell = queue.pop();
+    result.deliveries.push_back(Delivery{
+        .packet = cell.packet,
+        .input = cell.input,
+        .output = output,
+        .arrival = cell.arrival,
+        .payload_tag = cell.payload_tag,
+    });
+  }
+
+  result.rounds = total_rounds;
+  result.matched_pairs = crossed;
+}
+
+std::size_t CioqSwitch::occupancy(PortId port) const {
+  return input(port).data_cell_count();
+}
+
+std::size_t CioqSwitch::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& port : inputs_) total += port.data_cell_count();
+  for (const auto& queue : outputs_) total += queue.size();
+  return total;
+}
+
+void CioqSwitch::clear() {
+  for (auto& port : inputs_) port.clear();
+  for (auto& queue : outputs_) queue.clear();
+  for (auto& slot : last_arrival_slot_) slot = -1;
+  scheduler_->reset(num_ports_, num_ports_);
+}
+
+std::size_t CioqSwitch::output_occupancy(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "output out of range");
+  return outputs_[static_cast<std::size_t>(port)].size();
+}
+
+const McVoqInput& CioqSwitch::input(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
+  return inputs_[static_cast<std::size_t>(port)];
+}
+
+}  // namespace fifoms

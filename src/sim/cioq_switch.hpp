@@ -1,0 +1,61 @@
+// CioqSwitch: combined input/output queued switch with speedup S
+// (library extension; the design point between the paper's two extremes).
+//
+// The paper contrasts the pure input-queued switch (speedup 1, hard
+// scheduling problem) with the output-queued switch (speedup N,
+// unbuildable fabric).  A CIOQ switch runs the fabric S times per slot:
+// each of the S phases computes a fresh matching with the configured
+// VoqScheduler and moves one cell per matched pair into per-output FIFOs,
+// which drain one cell per slot onto the line.  S = 1 degenerates to the
+// VOQ switch (plus an output register); growing S converges toward OQ
+// behaviour.  The abl_speedup bench quantifies how much speedup FIFOMS
+// leaves on the table.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/matching.hpp"
+#include "fabric/crossbar.hpp"
+#include "fabric/mc_voq_input.hpp"
+#include "fabric/output_fifo.hpp"
+#include "sched/voq_scheduler.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class CioqSwitch final : public SwitchModel {
+ public:
+  CioqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler,
+             int speedup);
+
+  std::string_view name() const override { return label_; }
+  int num_inputs() const override { return num_ports_; }
+  int num_outputs() const override { return num_ports_; }
+  int speedup() const { return speedup_; }
+
+  bool inject(const Packet& packet) override;
+  void step(SlotTime now, Rng& rng, SlotResult& result) override;
+
+  /// Input-side occupancy (data cells), comparable with VoqSwitch.
+  std::size_t occupancy(PortId port) const override;
+  int occupancy_ports() const override { return num_ports_; }
+  std::size_t total_buffered() const override;
+  void clear() override;
+
+  std::size_t output_occupancy(PortId port) const;
+  const McVoqInput& input(PortId port) const;
+
+ private:
+  int num_ports_;
+  int speedup_;
+  std::string label_;
+  std::unique_ptr<VoqScheduler> scheduler_;
+  std::vector<McVoqInput> inputs_;
+  std::vector<OutputFifo> outputs_;
+  Crossbar crossbar_;
+  SlotMatching matching_;
+  std::vector<SlotTime> last_arrival_slot_;
+};
+
+}  // namespace fifoms

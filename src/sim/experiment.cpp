@@ -1,0 +1,289 @@
+#include "sim/experiment.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/fifoms.hpp"
+#include "hw/fifoms_control_unit.hpp"
+#include "sched/concentrate.hpp"
+#include "sched/eslip.hpp"
+#include "sched/drr2d.hpp"
+#include "sched/ilqf.hpp"
+#include "sched/islip.hpp"
+#include "sched/pim.hpp"
+#include "sched/tatra.hpp"
+#include "sched/wba.hpp"
+#include "sim/cioq_switch.hpp"
+#include "sim/oq_switch.hpp"
+#include "sim/single_fifo_switch.hpp"
+#include "sim/voq_switch.hpp"
+
+namespace fifoms {
+
+namespace {
+
+/// Pool one (algorithm, load) point from its replications.
+PointSummary summarise(const std::string& algorithm, double load,
+                       const std::vector<SimResult>& runs) {
+  PointSummary point;
+  point.algorithm = algorithm;
+  point.load = load;
+  point.replications = static_cast<int>(runs.size());
+
+  RunningStat in_delay, out_delay, out_p99, q_mean, q_max, r_busy, r_all, thr;
+  for (const SimResult& run : runs) {
+    if (run.unstable) {
+      ++point.unstable_count;
+      continue;  // delay numbers of a diverging run are meaningless
+    }
+    in_delay.add(run.input_delay.mean());
+    out_delay.add(run.output_delay.mean());
+    out_p99.add(run.output_delay_p99);
+    q_mean.add(run.queue_mean.mean());
+    q_max.add(static_cast<double>(run.queue_max));
+    r_busy.add(run.rounds_busy.mean());
+    r_all.add(run.rounds_all.mean());
+    thr.add(run.throughput);
+  }
+  if (in_delay.empty()) {
+    // Every replication diverged: report throughput anyway (it saturates
+    // at the capacity of the scheduler), leave delays at zero.
+    for (const SimResult& run : runs) thr.add(run.throughput);
+  }
+  point.input_delay = in_delay.mean();
+  point.output_delay = out_delay.mean();
+  point.output_delay_p99 = out_p99.mean();
+  point.queue_mean = q_mean.mean();
+  point.queue_max = q_max.mean();
+  point.rounds_busy = r_busy.mean();
+  point.rounds_all = r_all.mean();
+  point.throughput = thr.mean();
+  point.input_delay_se = in_delay.stderr_mean();
+  point.output_delay_se = out_delay.stderr_mean();
+  return point;
+}
+
+}  // namespace
+
+std::vector<PointSummary> run_sweep(const SweepConfig& config,
+                                    const std::vector<SwitchFactory>& switches,
+                                    const TrafficFactory& traffic) {
+  FIFOMS_ASSERT(!config.loads.empty(), "sweep without load points");
+  FIFOMS_ASSERT(config.replications > 0, "sweep without replications");
+  FIFOMS_ASSERT(config.threads >= 0, "negative thread count");
+
+  // Flatten the (algorithm, load, replication) grid.  Every task's seed
+  // is a pure function of its coordinates, so any execution order — and
+  // any thread count — produces identical results.
+  struct Task {
+    std::size_t switch_index;
+    std::size_t load_index;
+    int replication;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(switches.size() * config.loads.size() *
+                static_cast<std::size_t>(config.replications));
+  for (std::size_t s = 0; s < switches.size(); ++s)
+    for (std::size_t l = 0; l < config.loads.size(); ++l)
+      for (int rep = 0; rep < config.replications; ++rep)
+        tasks.push_back(Task{s, l, rep});
+
+  std::vector<SimResult> results(tasks.size());
+  auto run_task = [&](std::size_t task_index) {
+    const Task& task = tasks[task_index];
+    const SwitchFactory& factory = switches[task.switch_index];
+    const double load = config.loads[task.load_index];
+    auto sw = factory.make(config.num_ports);
+    auto model = traffic(load);
+    FIFOMS_ASSERT(model->num_ports() == config.num_ports,
+                  "traffic factory built wrong port count");
+    SimConfig sim_config;
+    sim_config.total_slots = config.slots;
+    sim_config.warmup_fraction = config.warmup_fraction;
+    sim_config.seed =
+        derive_seed(config.master_seed, task.load_index,
+                    static_cast<std::uint64_t>(task.replication));
+    sim_config.stability = config.stability;
+    Simulator simulator(*sw, *model, sim_config);
+    results[task_index] = simulator.run();
+  };
+
+  int threads = config.threads;
+  if (threads == 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 1 || tasks.size() <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) return;
+        run_task(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    const int spawned = std::min<int>(threads, static_cast<int>(tasks.size()));
+    pool.reserve(static_cast<std::size_t>(spawned));
+    for (int t = 0; t < spawned; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  // Pool replications per (algorithm, load), preserving grid order.
+  std::vector<PointSummary> summaries;
+  summaries.reserve(switches.size() * config.loads.size());
+  std::size_t task_index = 0;
+  for (std::size_t s = 0; s < switches.size(); ++s) {
+    for (std::size_t l = 0; l < config.loads.size(); ++l) {
+      std::vector<SimResult> runs;
+      runs.reserve(static_cast<std::size_t>(config.replications));
+      for (int rep = 0; rep < config.replications; ++rep)
+        runs.push_back(std::move(results[task_index++]));
+      summaries.push_back(
+          summarise(switches[s].label, config.loads[l], runs));
+      if (config.verbose) {
+        const PointSummary& point = summaries.back();
+        std::fprintf(stderr,
+                     "  %-16s load=%.3f  in=%.2f out=%.2f q=%.2f%s\n",
+                     point.algorithm.c_str(), point.load, point.input_delay,
+                     point.output_delay, point.queue_mean,
+                     point.unstable() ? "  UNSTABLE" : "");
+      }
+    }
+  }
+  return summaries;
+}
+
+SwitchFactory make_fifoms(int max_rounds) {
+  std::string label = "FIFOMS";
+  if (max_rounds > 0) label += "-r" + std::to_string(max_rounds);
+  return SwitchFactory{
+      label, [max_rounds](int ports) -> std::unique_ptr<SwitchModel> {
+        FifomsOptions options;
+        options.max_rounds = max_rounds;
+        return std::make_unique<VoqSwitch>(
+            ports, std::make_unique<FifomsScheduler>(options));
+      }};
+}
+
+SwitchFactory make_fifoms_nosplit() {
+  return SwitchFactory{"FIFOMS-nosplit",
+                       [](int ports) -> std::unique_ptr<SwitchModel> {
+                         return std::make_unique<VoqSwitch>(
+                             ports,
+                             std::make_unique<FifomsNoSplitScheduler>());
+                       }};
+}
+
+SwitchFactory make_islip(int max_iterations) {
+  std::string label = "iSLIP";
+  if (max_iterations > 0) label += "-i" + std::to_string(max_iterations);
+  return SwitchFactory{
+      label, [max_iterations](int ports) -> std::unique_ptr<SwitchModel> {
+        IslipOptions options;
+        options.max_iterations = max_iterations;
+        return std::make_unique<VoqSwitch>(
+            ports, std::make_unique<IslipScheduler>(options));
+      }};
+}
+
+SwitchFactory make_pim(int max_iterations) {
+  std::string label = "PIM";
+  if (max_iterations > 0) label += "-i" + std::to_string(max_iterations);
+  return SwitchFactory{
+      label, [max_iterations](int ports) -> std::unique_ptr<SwitchModel> {
+        PimOptions options;
+        options.max_iterations = max_iterations;
+        return std::make_unique<VoqSwitch>(
+            ports, std::make_unique<PimScheduler>(options));
+      }};
+}
+
+SwitchFactory make_ilqf(int max_iterations) {
+  std::string label = "iLQF";
+  if (max_iterations > 0) label += "-i" + std::to_string(max_iterations);
+  return SwitchFactory{
+      label, [max_iterations](int ports) -> std::unique_ptr<SwitchModel> {
+        IlqfOptions options;
+        options.max_iterations = max_iterations;
+        return std::make_unique<VoqSwitch>(
+            ports, std::make_unique<IlqfScheduler>(options));
+      }};
+}
+
+SwitchFactory make_drr2d() {
+  return SwitchFactory{"2DRR",
+                       [](int ports) -> std::unique_ptr<SwitchModel> {
+                         return std::make_unique<VoqSwitch>(
+                             ports, std::make_unique<Drr2dScheduler>());
+                       }};
+}
+
+SwitchFactory make_cioq_fifoms(int speedup) {
+  return SwitchFactory{
+      "FIFOMS-s" + std::to_string(speedup),
+      [speedup](int ports) -> std::unique_ptr<SwitchModel> {
+        return std::make_unique<CioqSwitch>(
+            ports, std::make_unique<FifomsScheduler>(), speedup);
+      }};
+}
+
+SwitchFactory make_tatra() {
+  return SwitchFactory{"TATRA",
+                       [](int ports) -> std::unique_ptr<SwitchModel> {
+                         return std::make_unique<SingleFifoSwitch>(
+                             ports, std::make_unique<TatraScheduler>());
+                       }};
+}
+
+SwitchFactory make_wba(double age_weight, double fanout_weight) {
+  return SwitchFactory{
+      "WBA",
+      [age_weight, fanout_weight](int ports) -> std::unique_ptr<SwitchModel> {
+        WbaOptions options;
+        options.age_weight = age_weight;
+        options.fanout_weight = fanout_weight;
+        return std::make_unique<SingleFifoSwitch>(
+            ports, std::make_unique<WbaScheduler>(options));
+      }};
+}
+
+SwitchFactory make_concentrate() {
+  return SwitchFactory{"Concentrate",
+                       [](int ports) -> std::unique_ptr<SwitchModel> {
+                         return std::make_unique<SingleFifoSwitch>(
+                             ports, std::make_unique<ConcentrateScheduler>());
+                       }};
+}
+
+SwitchFactory make_eslip(int max_iterations) {
+  std::string label = "ESLIP";
+  if (max_iterations > 0) label += "-i" + std::to_string(max_iterations);
+  return SwitchFactory{
+      label, [max_iterations](int ports) -> std::unique_ptr<SwitchModel> {
+        return std::make_unique<EslipSwitch>(ports, max_iterations);
+      }};
+}
+
+SwitchFactory make_fifoms_hw() {
+  return SwitchFactory{"FIFOMS-hw",
+                       [](int ports) -> std::unique_ptr<SwitchModel> {
+                         return std::make_unique<VoqSwitch>(
+                             ports,
+                             std::make_unique<hw::FifomsControlUnit>());
+                       }};
+}
+
+SwitchFactory make_oqfifo() {
+  return SwitchFactory{"OQFIFO",
+                       [](int ports) -> std::unique_ptr<SwitchModel> {
+                         return std::make_unique<OqSwitch>(ports);
+                       }};
+}
+
+std::vector<SwitchFactory> standard_lineup() {
+  return {make_fifoms(), make_tatra(), make_islip(), make_oqfifo()};
+}
+
+}  // namespace fifoms

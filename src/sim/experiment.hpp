@@ -1,0 +1,103 @@
+// Experiment harness: load sweeps over algorithms with replications.
+//
+// Every figure in the paper is a sweep of effective load for a fixed
+// switch size and traffic family, one curve per algorithm.  run_sweep()
+// reproduces that protocol: for each (algorithm, load, replication) it
+// builds a fresh switch and traffic model, runs a Simulator with a seed
+// derived from (master_seed, load index, replication), and pools the
+// replications into one PointSummary per (algorithm, load).
+//
+// standard_lineup() returns factories for the paper's four algorithms
+// (FIFOMS, TATRA, iSLIP, OQFIFO); the benches extend it with ablation
+// variants where needed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fifoms {
+
+struct SwitchFactory {
+  std::string label;
+  std::function<std::unique_ptr<SwitchModel>(int num_ports)> make;
+};
+
+/// Builds a traffic model offering the given effective load.
+using TrafficFactory =
+    std::function<std::unique_ptr<TrafficModel>(double load)>;
+
+struct SweepConfig {
+  int num_ports = 16;
+  std::vector<double> loads;
+  SlotTime slots = 200'000;
+  double warmup_fraction = 0.5;
+  int replications = 3;
+  std::uint64_t master_seed = 42;
+  StabilityConfig stability;
+  /// Worker threads for the (algorithm, load, replication) task grid.
+  /// Results are bit-identical for any thread count: every run's seed is
+  /// derived from its grid coordinates, never from execution order.
+  /// 0 = one thread per hardware core; 1 = serial.
+  int threads = 1;
+  /// Print one progress line per finished point to stderr.
+  bool verbose = false;
+};
+
+struct PointSummary {
+  std::string algorithm;
+  double load = 0.0;
+  int replications = 0;
+  int unstable_count = 0;
+
+  // Means over stable replications (all replications when none is stable).
+  double input_delay = 0.0;
+  double output_delay = 0.0;
+  double output_delay_p99 = 0.0;
+  double queue_mean = 0.0;
+  double queue_max = 0.0;  // mean over replications of per-run max
+  double rounds_busy = 0.0;
+  double rounds_all = 0.0;
+  double throughput = 0.0;
+
+  // Standard errors across replications.
+  double input_delay_se = 0.0;
+  double output_delay_se = 0.0;
+
+  bool unstable() const { return unstable_count == replications; }
+};
+
+std::vector<PointSummary> run_sweep(const SweepConfig& config,
+                                    const std::vector<SwitchFactory>& switches,
+                                    const TrafficFactory& traffic);
+
+/// Factories for the paper's algorithm lineup.
+SwitchFactory make_fifoms(int max_rounds = 0);
+SwitchFactory make_fifoms_nosplit();
+SwitchFactory make_islip(int max_iterations = 0);
+SwitchFactory make_pim(int max_iterations = 0);
+SwitchFactory make_ilqf(int max_iterations = 0);
+SwitchFactory make_drr2d();
+SwitchFactory make_tatra();
+SwitchFactory make_wba(double age_weight = 1.0, double fanout_weight = 1.0);
+SwitchFactory make_concentrate();
+
+/// ESLIP on the hybrid (N unicast VOQs + one multicast FIFO) structure.
+SwitchFactory make_eslip(int max_iterations = 0);
+
+/// FIFOMS driven by the gate-level control unit of Section IV
+/// (hw::FifomsControlUnit); matchings are identical to FIFOMS with the
+/// lowest-input tie-break, but comparator usage is accounted.
+SwitchFactory make_fifoms_hw();
+SwitchFactory make_oqfifo();
+
+/// CIOQ switch: FIFOMS with fabric speedup S and per-output FIFOs.
+SwitchFactory make_cioq_fifoms(int speedup);
+
+/// FIFOMS, TATRA, iSLIP, OQFIFO — the four curves of Figs. 4, 6, 7, 8.
+std::vector<SwitchFactory> standard_lineup();
+
+}  // namespace fifoms

@@ -1,0 +1,88 @@
+#include "sim/metrics.hpp"
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+MetricsCollector::MetricsCollector(SlotTime warmup_end, int occupancy_ports)
+    : warmup_end_(warmup_end), occupancy_ports_(occupancy_ports) {
+  FIFOMS_ASSERT(warmup_end >= 0, "negative warm-up boundary");
+  FIFOMS_ASSERT(occupancy_ports > 0, "no occupancy ports");
+}
+
+void MetricsCollector::on_inject(const Packet& packet) {
+  ++packets_offered_;
+  copies_offered_ += static_cast<std::uint64_t>(packet.fanout());
+  const auto [it, inserted] = pending_.emplace(
+      packet.id, Pending{packet.arrival, packet.fanout(), packet.priority});
+  (void)it;
+  FIFOMS_ASSERT(inserted, "duplicate packet id injected");
+}
+
+void MetricsCollector::on_slot_end(const SwitchModel& sw,
+                                   const SlotResult& result, SlotTime now) {
+  const bool measured = now >= warmup_end_;
+
+  for (const Delivery& delivery : result.deliveries) {
+    const auto it = pending_.find(delivery.packet);
+    FIFOMS_ASSERT(it != pending_.end(), "delivery for unknown packet");
+    Pending& pending = it->second;
+    FIFOMS_ASSERT(pending.remaining > 0, "packet delivered too many times");
+    FIFOMS_ASSERT(delivery.arrival == pending.arrival,
+                  "delivery carries wrong arrival slot");
+    FIFOMS_ASSERT(now >= pending.arrival, "delivery before arrival");
+
+    ++copies_delivered_;
+    const bool packet_measured = pending.arrival >= warmup_end_;
+    const auto delay = static_cast<double>(now - pending.arrival);
+    if (packet_measured) {
+      output_delay_.add(delay);
+      output_delay_p99_.add(delay);
+      const auto cls = static_cast<std::size_t>(pending.priority);
+      if (cls >= class_output_delay_.size())
+        class_output_delay_.resize(cls + 1);
+      class_output_delay_[cls].add(delay);
+    }
+    if (--pending.remaining == 0) {
+      ++packets_delivered_;
+      if (packet_measured) input_delay_.add(delay);  // last copy: max delay
+      pending_.erase(it);
+    }
+  }
+
+  if (!measured) return;
+  ++measured_slots_;
+  measured_copies_ += static_cast<std::uint64_t>(result.deliveries.size());
+
+  std::size_t sum = 0;
+  for (PortId port = 0; port < occupancy_ports_; ++port) {
+    const std::size_t occupancy = sw.occupancy(port);
+    sum += occupancy;
+    queue_max_ = std::max(queue_max_, occupancy);
+  }
+  queue_mean_.add(static_cast<double>(sum) /
+                  static_cast<double>(occupancy_ports_));
+
+  rounds_all_.add(static_cast<double>(result.rounds));
+  if (result.matched_pairs > 0) {
+    rounds_busy_.add(static_cast<double>(result.rounds));
+    rounds_hist_.add(result.rounds);
+  }
+}
+
+const RunningStat& MetricsCollector::class_output_delay(int priority) const {
+  static const RunningStat kEmpty;
+  if (priority < 0 ||
+      static_cast<std::size_t>(priority) >= class_output_delay_.size())
+    return kEmpty;
+  return class_output_delay_[static_cast<std::size_t>(priority)];
+}
+
+double MetricsCollector::throughput(int num_outputs) const {
+  if (measured_slots_ == 0) return 0.0;
+  return static_cast<double>(measured_copies_) /
+         (static_cast<double>(measured_slots_) *
+          static_cast<double>(num_outputs));
+}
+
+}  // namespace fifoms

@@ -1,0 +1,100 @@
+// MetricsCollector: turns per-slot events into the paper's statistics.
+//
+//   * average input-oriented delay  — per packet, slot its LAST copy was
+//     delivered minus its arrival slot (sender's view);
+//   * average output-oriented delay — per copy, delivery slot minus
+//     arrival slot (receiver's view);
+//   * average queue size — per-slot mean over ports of the architecture's
+//     occupancy metric, sampled at end of slot;
+//   * maximum queue size — maximum over the run and over ports.
+//
+// Warm-up handling follows the paper: delay statistics only include
+// packets that *arrive* at or after the warm-up boundary; queue sizes and
+// convergence rounds are sampled in slots at or after the boundary.
+// Delay is measured in whole slots: a copy delivered in its arrival slot
+// has delay 0.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/welford.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class MetricsCollector {
+ public:
+  /// `warmup_end`: first slot of the measured interval.
+  MetricsCollector(SlotTime warmup_end, int occupancy_ports);
+
+  void on_inject(const Packet& packet);
+  void on_slot_end(const SwitchModel& sw, const SlotResult& result,
+                   SlotTime now);
+
+  const RunningStat& input_delay() const { return input_delay_; }
+  const RunningStat& output_delay() const { return output_delay_; }
+  const RunningStat& queue_mean() const { return queue_mean_; }
+  std::size_t queue_max() const { return queue_max_; }
+
+  /// Convergence rounds averaged over all measured slots / only slots with
+  /// at least one transmitted copy (the figure-5 statistic).
+  const RunningStat& rounds_all() const { return rounds_all_; }
+  const RunningStat& rounds_busy() const { return rounds_busy_; }
+  const Histogram& rounds_histogram() const { return rounds_hist_; }
+
+  const P2Quantile& output_delay_p99() const { return output_delay_p99_; }
+
+  /// Output-oriented delay of one QoS class (empty stat for unseen
+  /// classes).  Index = Packet::priority.
+  const RunningStat& class_output_delay(int priority) const;
+  int observed_classes() const {
+    return static_cast<int>(class_output_delay_.size());
+  }
+
+  std::uint64_t packets_offered() const { return packets_offered_; }
+  std::uint64_t copies_offered() const { return copies_offered_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t copies_delivered() const { return copies_delivered_; }
+
+  /// Copies delivered per output per measured slot (1.0 = line rate).
+  double throughput(int num_outputs) const;
+
+  /// Packets injected but not yet fully delivered (conservation check).
+  std::size_t in_flight() const { return pending_.size(); }
+
+  SlotTime measured_slots() const { return measured_slots_; }
+
+ private:
+  struct Pending {
+    SlotTime arrival = 0;
+    int remaining = 0;
+    int priority = 0;
+  };
+
+  SlotTime warmup_end_;
+  int occupancy_ports_;
+
+  std::unordered_map<PacketId, Pending> pending_;
+
+  RunningStat input_delay_;
+  RunningStat output_delay_;
+  std::vector<RunningStat> class_output_delay_;
+  RunningStat queue_mean_;
+  std::size_t queue_max_ = 0;
+  RunningStat rounds_all_;
+  RunningStat rounds_busy_;
+  Histogram rounds_hist_;
+  P2Quantile output_delay_p99_{0.99};
+
+  std::uint64_t packets_offered_ = 0;
+  std::uint64_t copies_offered_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t copies_delivered_ = 0;
+  std::uint64_t measured_copies_ = 0;
+  SlotTime measured_slots_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,23 @@
+#include "sim/observer.hpp"
+
+namespace fifoms {
+
+void TextTracer::on_slot(SlotTime now, const SwitchModel& sw,
+                         const SlotResult& result) {
+  if (now < options_.first_slot || now > options_.last_slot) return;
+  if (result.deliveries.empty() && !options_.include_idle) return;
+
+  out_ << "slot " << now << " |";
+  if (result.deliveries.empty()) {
+    out_ << " idle";
+  } else {
+    for (const Delivery& d : result.deliveries)
+      out_ << ' ' << d.input << "->" << d.output;
+  }
+  out_ << " | rounds=" << result.rounds
+       << " copies=" << result.deliveries.size()
+       << " buffered=" << sw.total_buffered() << '\n';
+  ++lines_;
+}
+
+}  // namespace fifoms

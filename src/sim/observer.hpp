@@ -1,0 +1,53 @@
+// SlotObserver: per-slot instrumentation hook for the Simulator.
+//
+// Observers see every slot's deliveries and the switch state after the
+// slot completed — enough to build timelines, per-flow statistics or
+// debugging traces without touching the metrics pipeline.  TextTracer is
+// the standard implementation: a human-readable slot-by-slot log of the
+// matchings, bounded to a slot window so tracing a hot spot of a long run
+// stays cheap.
+#pragma once
+
+#include <limits>
+#include <ostream>
+
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+
+  /// Called once per slot after transmission and metrics accounting.
+  virtual void on_slot(SlotTime now, const SwitchModel& sw,
+                       const SlotResult& result) = 0;
+};
+
+/// Writes one line per traced slot:
+///   "slot 17 | 0->3 0->5 2->1 | rounds=2 copies=3 buffered=12"
+/// Idle slots are skipped unless `include_idle` is set.
+class TextTracer final : public SlotObserver {
+ public:
+  struct Options {
+    SlotTime first_slot = 0;
+    SlotTime last_slot = std::numeric_limits<SlotTime>::max();
+    bool include_idle = false;
+  };
+
+  TextTracer(std::ostream& out, Options options)
+      : out_(out), options_(options) {}
+  explicit TextTracer(std::ostream& out) : TextTracer(out, Options{}) {}
+
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override;
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream& out_;
+  Options options_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,74 @@
+#include "sim/oq_switch.hpp"
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+OqSwitch::OqSwitch(int num_ports) : num_ports_(num_ports) {
+  FIFOMS_ASSERT(num_ports > 0 && num_ports <= kMaxPorts,
+                "unsupported port count");
+  outputs_.reserve(static_cast<std::size_t>(num_ports));
+  for (PortId port = 0; port < num_ports; ++port) outputs_.emplace_back(port);
+  last_arrival_slot_.assign(static_cast<std::size_t>(num_ports), -1);
+}
+
+bool OqSwitch::inject(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input >= 0 && packet.input < num_ports_,
+                "packet input out of range");
+  SlotTime& last = last_arrival_slot_[static_cast<std::size_t>(packet.input)];
+  FIFOMS_ASSERT(packet.arrival > last,
+                "more than one packet per input per slot");
+  last = packet.arrival;
+
+  // N-speedup: all copies reach their output queues in the arrival slot.
+  const OutputCell cell{
+      .packet = packet.id,
+      .input = packet.input,
+      .arrival = packet.arrival,
+      .payload_tag = packet.payload_tag(),
+  };
+  for (PortId output : packet.destinations) {
+    FIFOMS_ASSERT(output < num_ports_, "destination beyond switch radix");
+    outputs_[static_cast<std::size_t>(output)].push(cell);
+  }
+  return true;  // the idealised OQ switch has unlimited output buffers
+}
+
+void OqSwitch::step(SlotTime /*now*/, Rng& /*rng*/, SlotResult& result) {
+  for (PortId output = 0; output < num_ports_; ++output) {
+    OutputFifo& queue = outputs_[static_cast<std::size_t>(output)];
+    if (queue.empty()) continue;
+    const OutputCell cell = queue.pop();
+    result.deliveries.push_back(Delivery{
+        .packet = cell.packet,
+        .input = cell.input,
+        .output = output,
+        .arrival = cell.arrival,
+        .payload_tag = cell.payload_tag,
+    });
+    ++result.matched_pairs;
+  }
+  result.rounds = 0;  // no iterative scheduler
+}
+
+std::size_t OqSwitch::occupancy(PortId port) const {
+  return output(port).size();
+}
+
+std::size_t OqSwitch::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& queue : outputs_) total += queue.size();
+  return total;
+}
+
+void OqSwitch::clear() {
+  for (auto& queue : outputs_) queue.clear();
+  for (auto& slot : last_arrival_slot_) slot = -1;
+}
+
+const OutputFifo& OqSwitch::output(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "output out of range");
+  return outputs_[static_cast<std::size_t>(port)];
+}
+
+}  // namespace fifoms

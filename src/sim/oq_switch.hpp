@@ -1,0 +1,40 @@
+// OqSwitch: output-queued switch with FIFO service (the paper's OQFIFO).
+//
+// Models the N-times-speedup idealisation: every copy of an arriving
+// packet is enqueued at its destination output within the arrival slot,
+// and each output transmits one cell per slot in FIFO order.  No scheduler
+// and no input contention — the delay is pure output queueing, which is
+// why the paper uses OQFIFO as the performance upper bound.
+#pragma once
+
+#include "fabric/output_fifo.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class OqSwitch final : public SwitchModel {
+ public:
+  explicit OqSwitch(int num_ports);
+
+  std::string_view name() const override { return "OQFIFO"; }
+  int num_inputs() const override { return num_ports_; }
+  int num_outputs() const override { return num_ports_; }
+
+  bool inject(const Packet& packet) override;
+  void step(SlotTime now, Rng& rng, SlotResult& result) override;
+
+  /// Queue-size metric for OQFIFO: cells buffered at an output port.
+  std::size_t occupancy(PortId port) const override;
+  int occupancy_ports() const override { return num_ports_; }
+  std::size_t total_buffered() const override;
+  void clear() override;
+
+  const OutputFifo& output(PortId port) const;
+
+ private:
+  int num_ports_;
+  std::vector<OutputFifo> outputs_;
+  std::vector<SlotTime> last_arrival_slot_;
+};
+
+}  // namespace fifoms

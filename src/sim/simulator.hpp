@@ -1,0 +1,92 @@
+// Simulator: the slotted-time driver (paper Section V methodology).
+//
+// Per slot: (1) arrivals — ask the traffic model for at most one packet
+// per input and inject it; (2) step — schedule, transmit, post-process;
+// (3) metrics and stability bookkeeping.  A run ends at the configured
+// horizon or as soon as the stability monitor declares divergence.
+//
+// Determinism: the traffic model and the scheduler draw from two
+// *separate* RNG streams derived from the run seed, so every algorithm
+// sees the bit-identical arrival sequence for a given (config, seed) —
+// scheduler comparisons are paired, not merely statistically matched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/observer.hpp"
+#include "sim/stability.hpp"
+#include "sim/switch_model.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+struct SimConfig {
+  SlotTime total_slots = 200'000;
+  /// Fraction of total_slots used as warm-up (paper: "typically half").
+  double warmup_fraction = 0.5;
+  std::uint64_t seed = 1;
+  StabilityConfig stability;
+};
+
+struct SimResult {
+  std::string algorithm;
+  std::string traffic;
+  double offered_load = 0.0;
+  SlotTime total_slots = 0;
+  SlotTime warmup_end = 0;
+
+  bool unstable = false;
+  SlotTime unstable_at = -1;
+
+  RunningStat input_delay;
+  RunningStat output_delay;
+  double output_delay_p99 = 0.0;
+  /// Per-QoS-class output-oriented delay (index = Packet::priority);
+  /// size 1 for single-class traffic.
+  std::vector<RunningStat> class_output_delays;
+  RunningStat queue_mean;
+  std::size_t queue_max = 0;
+  RunningStat rounds_all;
+  RunningStat rounds_busy;
+  Histogram rounds_hist;
+
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t copies_offered = 0;
+  std::uint64_t copies_delivered = 0;
+  /// Packets refused by a finite input buffer (whole-packet drops).
+  std::uint64_t packets_dropped = 0;
+  std::size_t in_flight_at_end = 0;
+  double throughput = 0.0;
+
+  /// Fraction of offered packets lost to full buffers.
+  double loss_rate() const {
+    const std::uint64_t offered = packets_offered + packets_dropped;
+    return offered == 0 ? 0.0
+                        : static_cast<double>(packets_dropped) /
+                              static_cast<double>(offered);
+  }
+};
+
+class Simulator {
+ public:
+  /// Neither reference is owned; both must outlive the Simulator.
+  Simulator(SwitchModel& sw, TrafficModel& traffic, SimConfig config);
+
+  /// Run the full horizon (or until instability) and return the report.
+  SimResult run();
+
+  /// Attach a per-slot observer (not owned; nullptr detaches).
+  void set_observer(SlotObserver* observer) { observer_ = observer; }
+
+ private:
+  SwitchModel& switch_;
+  TrafficModel& traffic_;
+  SimConfig config_;
+  SlotObserver* observer_ = nullptr;
+  PacketId next_packet_id_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,110 @@
+#include "sim/single_fifo_switch.hpp"
+
+namespace fifoms {
+
+SingleFifoSwitch::SingleFifoSwitch(int num_ports,
+                                   std::unique_ptr<HolScheduler> scheduler)
+    : SingleFifoSwitch(num_ports, std::move(scheduler), Options{}) {}
+
+SingleFifoSwitch::SingleFifoSwitch(int num_ports,
+                                   std::unique_ptr<HolScheduler> scheduler,
+                                   Options options)
+    : num_ports_(num_ports), scheduler_(std::move(scheduler)),
+      options_(options), crossbar_(num_ports, num_ports) {
+  FIFOMS_ASSERT(scheduler_ != nullptr, "SingleFifoSwitch requires a scheduler");
+  inputs_.reserve(static_cast<std::size_t>(num_ports));
+  for (PortId port = 0; port < num_ports; ++port) inputs_.emplace_back(port);
+  hol_views_.resize(static_cast<std::size_t>(num_ports));
+  last_arrival_slot_.assign(static_cast<std::size_t>(num_ports), -1);
+  scheduler_->reset(num_ports, num_ports);
+}
+
+bool SingleFifoSwitch::inject(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input >= 0 && packet.input < num_ports_,
+                "packet input out of range");
+  SlotTime& last = last_arrival_slot_[static_cast<std::size_t>(packet.input)];
+  FIFOMS_ASSERT(packet.arrival > last,
+                "more than one packet per input per slot");
+  last = packet.arrival;
+  SingleFifoInput& port = inputs_[static_cast<std::size_t>(packet.input)];
+  if (options_.input_capacity > 0 &&
+      port.queue_size() >= options_.input_capacity) {
+    ++dropped_;
+    return false;
+  }
+  port.accept(packet);
+  return true;
+}
+
+void SingleFifoSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
+  for (PortId input = 0; input < num_ports_; ++input) {
+    HolCellView& view = hol_views_[static_cast<std::size_t>(input)];
+    const SingleFifoInput& port = inputs_[static_cast<std::size_t>(input)];
+    if (port.empty()) {
+      view = HolCellView{};
+      continue;
+    }
+    const FifoCell& cell = port.hol();
+    view = HolCellView{
+        .valid = true,
+        .input = input,
+        .packet = cell.packet,
+        .arrival = cell.arrival,
+        .remaining = cell.remaining,
+        .initial_fanout = cell.initial_fanout,
+    };
+  }
+
+  matching_.reset(num_ports_, num_ports_);
+  scheduler_->schedule(hol_views_, now, matching_, rng);
+  matching_.validate();
+  crossbar_.configure(matching_.input_grant_sets());
+
+  for (PortId input = 0; input < num_ports_; ++input) {
+    const PortSet& targets = crossbar_.outputs_for_input(input);
+    if (targets.empty()) continue;
+    SingleFifoInput& port = inputs_[static_cast<std::size_t>(input)];
+    FIFOMS_ASSERT(!port.empty(), "matching granted an empty input");
+    const FifoCell cell = port.hol();  // copy before serve_hol may pop it
+    FIFOMS_ASSERT(targets.is_subset_of(cell.remaining),
+                  "scheduler granted outputs outside the HOL residue");
+    port.serve_hol(targets);
+    for (PortId output : targets) {
+      result.deliveries.push_back(Delivery{
+          .packet = cell.packet,
+          .input = input,
+          .output = output,
+          .arrival = cell.arrival,
+          .payload_tag = cell.payload_tag,
+      });
+    }
+  }
+  crossbar_.release();
+
+  result.rounds = matching_.rounds;
+  result.matched_pairs = matching_.matched_pairs();
+}
+
+std::size_t SingleFifoSwitch::occupancy(PortId port) const {
+  return input(port).queue_size();
+}
+
+std::size_t SingleFifoSwitch::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& port : inputs_) total += port.queue_size();
+  return total;
+}
+
+void SingleFifoSwitch::clear() {
+  for (auto& port : inputs_) port.clear();
+  for (auto& slot : last_arrival_slot_) slot = -1;
+  dropped_ = 0;
+  scheduler_->reset(num_ports_, num_ports_);
+}
+
+const SingleFifoInput& SingleFifoSwitch::input(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
+  return inputs_[static_cast<std::size_t>(port)];
+}
+
+}  // namespace fifoms

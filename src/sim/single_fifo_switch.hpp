@@ -1,0 +1,59 @@
+// SingleFifoSwitch: single input-queued switch (paper Fig. 1(b)) with a
+// pluggable HolScheduler (TATRA, WBA).
+//
+// Only the head-of-line cell of each input is visible to the scheduler —
+// the architecture whose HOL blocking the paper quantifies.  Fanout
+// splitting is supported: the scheduler may serve any subset of the HOL
+// cell's residue; the cell departs when the residue is exhausted.
+#pragma once
+
+#include <memory>
+
+#include "core/matching.hpp"
+#include "fabric/crossbar.hpp"
+#include "fabric/single_fifo_input.hpp"
+#include "sched/hol_scheduler.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class SingleFifoSwitch final : public SwitchModel {
+ public:
+  struct Options {
+    /// Maximum packets buffered per input FIFO; 0 = unlimited.
+    std::size_t input_capacity = 0;
+  };
+
+  SingleFifoSwitch(int num_ports, std::unique_ptr<HolScheduler> scheduler);
+  SingleFifoSwitch(int num_ports, std::unique_ptr<HolScheduler> scheduler,
+                   Options options);
+
+  std::string_view name() const override { return scheduler_->name(); }
+  int num_inputs() const override { return num_ports_; }
+  int num_outputs() const override { return num_ports_; }
+
+  bool inject(const Packet& packet) override;
+  std::uint64_t dropped_packets() const override { return dropped_; }
+  void step(SlotTime now, Rng& rng, SlotResult& result) override;
+
+  std::size_t occupancy(PortId port) const override;
+  int occupancy_ports() const override { return num_ports_; }
+  std::size_t total_buffered() const override;
+  void clear() override;
+
+  const SingleFifoInput& input(PortId port) const;
+  HolScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  int num_ports_;
+  std::unique_ptr<HolScheduler> scheduler_;
+  Options options_;
+  std::uint64_t dropped_ = 0;
+  std::vector<SingleFifoInput> inputs_;
+  Crossbar crossbar_;
+  SlotMatching matching_;
+  std::vector<HolCellView> hol_views_;
+  std::vector<SlotTime> last_arrival_slot_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,38 @@
+#include "sim/stability.hpp"
+
+namespace fifoms {
+
+bool StabilityMonitor::check(const SwitchModel& sw, SlotTime now) {
+  if (unstable_) return true;
+
+  const std::size_t buffered = sw.total_buffered();
+  if (config_.max_buffered > 0 && buffered > config_.max_buffered) {
+    unstable_ = true;
+    unstable_at_ = now;
+    return true;
+  }
+
+  if (config_.growth_windows > 0 && config_.window > 0 &&
+      now > 0 && now % config_.window == 0) {
+    if (buffered > last_window_peak_ && buffered > config_.growth_floor) {
+      if (++growth_streak_ >= config_.growth_windows) {
+        unstable_ = true;
+        unstable_at_ = now;
+        return true;
+      }
+    } else {
+      growth_streak_ = 0;
+    }
+    last_window_peak_ = buffered;
+  }
+  return false;
+}
+
+void StabilityMonitor::reset() {
+  unstable_ = false;
+  unstable_at_ = -1;
+  last_window_peak_ = 0;
+  growth_streak_ = 0;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,52 @@
+// StabilityMonitor: detects when a switch "reaches a stage where it is
+// unable to sustain the offered load" (paper Section V).
+//
+// Two signals, both conservative:
+//   * hard backlog bound — total buffered entities exceed a threshold
+//     (an unstable queue grows linearly, so any generous bound is hit
+//     quickly once the load exceeds the scheduler's capacity region);
+//   * sustained growth — backlog sampled once per window keeps making new
+//     highs for `growth_windows` consecutive windows while already above
+//     a floor, which catches slow divergence below the hard bound.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+struct StabilityConfig {
+  /// Hard bound on SwitchModel::total_buffered(); 0 disables.
+  std::size_t max_buffered = 50'000;
+  /// Backlog sampling window in slots.
+  SlotTime window = 2'000;
+  /// Consecutive windows of monotone growth (above `growth_floor`) that
+  /// count as divergence; 0 disables the growth detector.
+  int growth_windows = 8;
+  std::size_t growth_floor = 1'000;
+};
+
+class StabilityMonitor {
+ public:
+  explicit StabilityMonitor(StabilityConfig config = {}) : config_(config) {}
+
+  /// Call once per slot after step(); returns true once instability is
+  /// declared (sticky thereafter).
+  bool check(const SwitchModel& sw, SlotTime now);
+
+  bool unstable() const { return unstable_; }
+  SlotTime unstable_at() const { return unstable_at_; }
+
+  void reset();
+
+ private:
+  StabilityConfig config_;
+  bool unstable_ = false;
+  SlotTime unstable_at_ = -1;
+  std::size_t last_window_peak_ = 0;
+  int growth_streak_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,77 @@
+// SwitchModel: the common surface of the three buffering architectures
+// (multicast VOQ, single input-queued, output queued).
+//
+// The simulator drives a model through two calls per slot: inject() for
+// each arriving packet, then step() to schedule, transmit and post-process
+// (paper Table 2).  Deliveries are reported per copy so the metrics layer
+// can compute both output-oriented delay (per copy) and input-oriented
+// delay (per packet, when its last copy lands).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fabric/packet.hpp"
+
+namespace fifoms {
+
+/// One copy of a packet crossing the fabric to one output.
+struct Delivery {
+  PacketId packet = kNoPacket;
+  PortId input = kNoPort;
+  PortId output = kNoPort;
+  SlotTime arrival = 0;  ///< arrival slot of the packet (for delay calc)
+  std::uint64_t payload_tag = 0;
+};
+
+struct SlotResult {
+  std::vector<Delivery> deliveries;
+  int rounds = 0;         ///< scheduler iterations this slot
+  int matched_pairs = 0;  ///< copies transmitted this slot
+
+  void clear() {
+    deliveries.clear();
+    rounds = 0;
+    matched_pairs = 0;
+  }
+};
+
+class SwitchModel {
+ public:
+  virtual ~SwitchModel() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual int num_inputs() const = 0;
+  virtual int num_outputs() const = 0;
+
+  /// Accept a packet arriving in the current slot.  At most one packet per
+  /// input per slot (the paper's synchronous model); violations panic.
+  /// Returns false when the packet was dropped because the input buffer is
+  /// full (finite-buffer configurations only; the default is unlimited).
+  virtual bool inject(const Packet& packet) = 0;
+
+  /// Packets refused by inject() so far (0 for unlimited buffers).
+  virtual std::uint64_t dropped_packets() const { return 0; }
+
+  /// Run one slot: schedule, transmit, post-process.  Appends one Delivery
+  /// per transmitted copy to `result.deliveries`.
+  virtual void step(SlotTime now, Rng& rng, SlotResult& result) = 0;
+
+  /// The paper's queue-size metric for this architecture, per port:
+  /// buffered data cells (VOQ switch), queued packets (single-FIFO switch)
+  /// or queued cells (OQ switch).
+  virtual std::size_t occupancy(PortId port) const = 0;
+
+  /// Number of ports occupancy() ranges over.
+  virtual int occupancy_ports() const = 0;
+
+  /// Total buffered entities — the stability monitor's divergence signal.
+  virtual std::size_t total_buffered() const = 0;
+
+  /// Drop all queued state (reset between runs).
+  virtual void clear() = 0;
+};
+
+}  // namespace fifoms

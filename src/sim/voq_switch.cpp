@@ -1,0 +1,99 @@
+#include "sim/voq_switch.hpp"
+
+namespace fifoms {
+
+VoqSwitch::VoqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler)
+    : VoqSwitch(num_ports, std::move(scheduler), Options{}) {}
+
+VoqSwitch::VoqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler,
+                     Options options)
+    : num_ports_(num_ports), scheduler_(std::move(scheduler)),
+      options_(options), crossbar_(num_ports, num_ports) {
+  FIFOMS_ASSERT(scheduler_ != nullptr, "VoqSwitch requires a scheduler");
+  inputs_.reserve(static_cast<std::size_t>(num_ports));
+  for (PortId port = 0; port < num_ports; ++port)
+    inputs_.emplace_back(port, num_ports, options_.num_classes);
+  last_arrival_slot_.assign(static_cast<std::size_t>(num_ports), -1);
+  scheduler_->reset(num_ports, num_ports);
+}
+
+bool VoqSwitch::inject(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input >= 0 && packet.input < num_ports_,
+                "packet input out of range");
+  SlotTime& last = last_arrival_slot_[static_cast<std::size_t>(packet.input)];
+  FIFOMS_ASSERT(packet.arrival > last,
+                "more than one packet per input per slot");
+  last = packet.arrival;
+  McVoqInput& port = inputs_[static_cast<std::size_t>(packet.input)];
+  if (options_.input_capacity > 0 &&
+      port.data_cell_count() >= options_.input_capacity) {
+    ++dropped_;  // input buffer full: the whole packet is lost
+    return false;
+  }
+  port.accept(packet);
+  return true;
+}
+
+void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
+  matching_.reset(num_ports_, num_ports_);
+  scheduler_->schedule(inputs_, now, matching_, rng);
+  matching_.validate();
+  crossbar_.configure(matching_.input_grant_sets());
+
+  // Transmit: serve the HOL address cell of every matched (input, output)
+  // pair.  All cells served by one input must share one data cell — the
+  // crossbar can only broadcast a single cell per input row.
+  for (PortId input = 0; input < num_ports_; ++input) {
+    const PortSet& targets = crossbar_.outputs_for_input(input);
+    if (targets.empty()) continue;
+    McVoqInput& port = inputs_[static_cast<std::size_t>(input)];
+    DataCellRef expected;
+    for (PortId output : targets) {
+      FIFOMS_ASSERT(!port.voq_empty(output),
+                    "matching granted an empty VOQ");
+      const DataCellRef ref = port.hol(output).data;
+      if (!expected.valid()) {
+        expected = ref;
+      } else {
+        FIFOMS_ASSERT(ref == expected,
+                      "input scheduled to send two different data cells");
+      }
+      const McVoqInput::Served served = port.serve_hol(output);
+      result.deliveries.push_back(Delivery{
+          .packet = served.cell.packet,
+          .input = input,
+          .output = output,
+          .arrival = served.cell.timestamp,
+          .payload_tag = served.payload_tag,
+      });
+    }
+  }
+  crossbar_.release();
+
+  result.rounds = matching_.rounds;
+  result.matched_pairs = matching_.matched_pairs();
+}
+
+std::size_t VoqSwitch::occupancy(PortId port) const {
+  return input(port).data_cell_count();
+}
+
+std::size_t VoqSwitch::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& port : inputs_) total += port.data_cell_count();
+  return total;
+}
+
+void VoqSwitch::clear() {
+  for (auto& port : inputs_) port.clear();
+  for (auto& slot : last_arrival_slot_) slot = -1;
+  dropped_ = 0;
+  scheduler_->reset(num_ports_, num_ports_);
+}
+
+const McVoqInput& VoqSwitch::input(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
+  return inputs_[static_cast<std::size_t>(port)];
+}
+
+}  // namespace fifoms

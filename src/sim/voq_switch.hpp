@@ -1,0 +1,69 @@
+// VoqSwitch: the paper's multicast VOQ switch (Section II) with a
+// pluggable VoqScheduler (FIFOMS, iSLIP, PIM, ...).
+//
+// Per slot: the scheduler produces a SlotMatching from the HOL state, the
+// crossbar validates and adopts it, every matched (input, output) pair
+// serves one address cell, and the post-transmission processing of Table 2
+// (fanout-counter decrement, data-cell destruction) happens inside
+// McVoqInput::serve_hol.  The switch additionally asserts the structural
+// FIFOMS property that all copies an input sends in one slot belong to the
+// same data cell — one input physically drives the crossbar with one cell.
+#pragma once
+
+#include <memory>
+
+#include "core/matching.hpp"
+#include "fabric/crossbar.hpp"
+#include "fabric/mc_voq_input.hpp"
+#include "sched/voq_scheduler.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms {
+
+class VoqSwitch final : public SwitchModel {
+ public:
+  struct Options {
+    /// Maximum data cells buffered per input port; 0 = unlimited.  A
+    /// packet arriving at a full input is dropped whole (all copies) —
+    /// the paper's "maximum queue size" metric reads off the capacity
+    /// needed to make this never happen.
+    std::size_t input_capacity = 0;
+    /// QoS classes (strict priority, 0 highest).  1 = the paper's
+    /// single-class structure.  Packets carry their class in
+    /// Packet::priority; see McVoqInput for the queueing discipline.
+    int num_classes = 1;
+  };
+
+  VoqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler);
+  VoqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler,
+            Options options);
+
+  std::string_view name() const override { return scheduler_->name(); }
+  int num_inputs() const override { return num_ports_; }
+  int num_outputs() const override { return num_ports_; }
+
+  bool inject(const Packet& packet) override;
+  std::uint64_t dropped_packets() const override { return dropped_; }
+  void step(SlotTime now, Rng& rng, SlotResult& result) override;
+
+  std::size_t occupancy(PortId port) const override;
+  int occupancy_ports() const override { return num_ports_; }
+  std::size_t total_buffered() const override;
+  void clear() override;
+
+  /// Test access to the queue structure of one input port.
+  const McVoqInput& input(PortId port) const;
+  VoqScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  int num_ports_;
+  std::unique_ptr<VoqScheduler> scheduler_;
+  Options options_;
+  std::uint64_t dropped_ = 0;
+  std::vector<McVoqInput> inputs_;
+  Crossbar crossbar_;
+  SlotMatching matching_;                     // reused across slots
+  std::vector<SlotTime> last_arrival_slot_;   // single-arrival enforcement
+};
+
+}  // namespace fifoms

@@ -1,0 +1,37 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  FIFOMS_ASSERT(batch_size >= 1, "batch size must be positive");
+}
+
+void BatchMeans::add(double x) {
+  ++observations_;
+  current_sum_ += x;
+  if (++current_count_ == batch_size_) {
+    batches_.add(current_sum_ / static_cast<double>(batch_size_));
+    current_sum_ = 0.0;
+    current_count_ = 0;
+  }
+}
+
+double BatchMeans::ci_halfwidth(double z) const {
+  if (batches_.count() < 2)
+    return std::numeric_limits<double>::infinity();
+  return z * batches_.sample_stddev() /
+         std::sqrt(static_cast<double>(batches_.count()));
+}
+
+bool BatchMeans::converged(double rel, double z) const {
+  if (batches_.count() < 2) return false;
+  const double half = ci_halfwidth(z);
+  return half <= rel * std::abs(mean());
+}
+
+}  // namespace fifoms

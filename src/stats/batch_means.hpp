@@ -1,0 +1,50 @@
+// BatchMeans: steady-state confidence intervals for correlated series.
+//
+// Per-slot observations from a queueing simulation are strongly
+// autocorrelated, so the naive stderr of RunningStat understates the
+// uncertainty of a steady-state mean.  The method of batch means groups
+// consecutive observations into fixed-size batches; batch averages are
+// approximately independent once the batch size exceeds the correlation
+// time, and their spread yields an honest confidence interval.  The
+// experiment harness reports per-replication means; this class supports
+// single-long-run analyses (examples, methodology tests).
+#pragma once
+
+#include <cstdint>
+
+#include "stats/welford.hpp"
+
+namespace fifoms {
+
+class BatchMeans {
+ public:
+  /// `batch_size`: observations pooled per batch (choose >> correlation
+  /// time; thousands of slots for queue series near saturation).
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void add(double x);
+
+  std::uint64_t batch_size() const { return batch_size_; }
+  std::uint64_t completed_batches() const { return batches_.count(); }
+  std::uint64_t observations() const { return observations_; }
+
+  /// Mean over completed batches (unweighted; the partial tail batch is
+  /// discarded, standard practice).
+  double mean() const { return batches_.mean(); }
+
+  /// Half-width of the CI: z * s_batches / sqrt(k).  Returns +inf with
+  /// fewer than two completed batches.
+  double ci_halfwidth(double z = 1.96) const;
+
+  /// Convenience: does the CI at the given z lie within +-rel of the mean?
+  bool converged(double rel, double z = 1.96) const;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t observations_ = 0;
+  double current_sum_ = 0.0;
+  std::uint64_t current_count_ = 0;
+  RunningStat batches_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,62 @@
+#include "stats/histogram.hpp"
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+void Histogram::add(std::int64_t value) {
+  FIFOMS_ASSERT(value >= 0, "Histogram only supports non-negative values");
+  const auto index = static_cast<std::size_t>(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  ++total_;
+  weighted_sum_ += value;
+}
+
+std::uint64_t Histogram::count_at(std::int64_t value) const {
+  if (value < 0 || static_cast<std::size_t>(value) >= buckets_.size()) return 0;
+  return buckets_[static_cast<std::size_t>(value)];
+}
+
+std::int64_t Histogram::max_value() const {
+  for (std::size_t i = buckets_.size(); i-- > 0;)
+    if (buckets_[i] > 0) return static_cast<std::int64_t>(i);
+  return -1;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(weighted_sum_) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return -1;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target && cumulative > 0)
+      return static_cast<std::int64_t>(i);
+  }
+  return max_value();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
+void Histogram::reset() {
+  buckets_.clear();
+  total_ = 0;
+  weighted_sum_ = 0;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,47 @@
+// Integer-valued histogram with automatic range growth.
+//
+// Used for per-slot distributions whose support is small and discrete:
+// convergence rounds per slot, fanout of arriving packets, instantaneous
+// queue depth.  The exact distribution (not just moments) feeds the
+// convergence-rounds reproduction (paper Fig. 5) and several tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fifoms {
+
+class Histogram {
+ public:
+  /// Record one observation of `value` (must be >= 0).
+  void add(std::int64_t value);
+
+  /// Number of observations equal to `value`.
+  std::uint64_t count_at(std::int64_t value) const;
+
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Largest value observed so far; -1 when empty.
+  std::int64_t max_value() const;
+
+  double mean() const;
+
+  /// Smallest v such that P[X <= v] >= q, with q in [0, 1]; -1 when empty.
+  std::int64_t quantile(double q) const;
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  void reset();
+
+  /// Dense counts [0 .. max_value()].
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  __int128 weighted_sum_ = 0;
+};
+
+}  // namespace fifoms

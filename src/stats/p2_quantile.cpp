@@ -1,0 +1,96 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  FIFOMS_ASSERT(q > 0.0 && q < 1.0, "P2Quantile requires q in (0, 1)");
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qi = heights_[i];
+  const double np = positions_[i + 1] - positions_[i];
+  const double nm = positions_[i] - positions_[i - 1];
+  const double total = positions_[i + 1] - positions_[i - 1];
+  return qi + d / total *
+                  ((nm + d) * (heights_[i + 1] - qi) / np +
+                   (np - d) * (qi - heights_[i - 1]) / nm);
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+
+  // Locate the cell containing x and update extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (move_right || move_left) {
+      const double step = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, step);
+      }
+      positions_[i] += step;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over the few samples seen so far.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto index = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min<std::size_t>(index, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace fifoms

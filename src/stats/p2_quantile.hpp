@@ -1,0 +1,39 @@
+// P² (piecewise-parabolic) streaming quantile estimator, Jain & Chlamtac 1985.
+//
+// Delay distributions at high load are heavy-tailed; the mean alone hides
+// the tail behaviour that distinguishes schedulers near saturation.  P²
+// estimates an arbitrary quantile in O(1) memory without storing samples,
+// which lets the metrics collector report p99 delay alongside the paper's
+// averages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fifoms {
+
+class P2Quantile {
+ public:
+  /// Estimator for the q-th quantile, q in (0, 1).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than five samples have been seen.
+  double value() const;
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};       // marker heights
+  std::array<double, 5> positions_{};     // actual marker positions
+  std::array<double, 5> desired_{};       // desired marker positions
+  std::array<double, 5> increments_{};    // desired position increments
+};
+
+}  // namespace fifoms

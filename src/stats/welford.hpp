@@ -1,0 +1,82 @@
+// Streaming summary statistics (Welford's algorithm).
+//
+// All delay/queue metrics in the paper are long-run averages over millions
+// of samples; Welford's recurrence keeps the mean and variance numerically
+// stable without storing samples.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace fifoms {
+
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merge another accumulator (parallel reduction / multi-seed pooling).
+  void merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Mean of the samples; 0 when empty (convenient for report tables).
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double sample_variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+  double sample_stddev() const { return std::sqrt(sample_variance()); }
+
+  /// Standard error of the mean.
+  double stderr_mean() const {
+    return count_ == 0 ? 0.0
+                       : sample_stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fifoms

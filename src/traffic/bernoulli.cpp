@@ -1,0 +1,29 @@
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms {
+
+BernoulliTraffic::BernoulliTraffic(int num_ports, double p, double b)
+    : TrafficModel(num_ports), p_(p), b_(b) {
+  FIFOMS_ASSERT(p >= 0.0 && p <= 1.0, "arrival probability out of [0,1]");
+  FIFOMS_ASSERT(b >= 0.0 && b <= 1.0, "destination probability out of [0,1]");
+}
+
+PortSet BernoulliTraffic::arrival(PortId /*input*/, SlotTime /*now*/,
+                                  Rng& rng) {
+  if (!rng.bernoulli(p_)) return {};
+  PortSet destinations;
+  for (PortId output = 0; output < num_ports(); ++output)
+    if (rng.bernoulli(b_)) destinations.insert(output);
+  return destinations;  // possibly empty: counted as no arrival
+}
+
+double BernoulliTraffic::offered_load() const {
+  return p_ * b_ * static_cast<double>(num_ports());
+}
+
+double BernoulliTraffic::p_for_load(double load, double b, int num_ports) {
+  FIFOMS_ASSERT(b > 0.0 && num_ports > 0, "degenerate Bernoulli parameters");
+  return load / (b * static_cast<double>(num_ports));
+}
+
+}  // namespace fifoms

@@ -1,0 +1,35 @@
+// Bernoulli multicast traffic (paper Section V-A).
+//
+// Parameters p and b: with probability p an input has a packet in a slot,
+// and the packet is addressed to each output independently with
+// probability b.  Mean fanout is b*N and the effective load is p*b*N.
+//
+// A destination draw can come out empty (probability (1-b)^N); we treat
+// that as "no arrival", which keeps the analytic effective load exactly
+// p*b*N (the empty draw contributes zero copies either way).
+#pragma once
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class BernoulliTraffic final : public TrafficModel {
+ public:
+  BernoulliTraffic(int num_ports, double p, double b);
+
+  std::string_view name() const override { return "bernoulli"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  double arrival_probability() const { return p_; }
+  double destination_probability() const { return b_; }
+
+  /// Arrival probability p that yields the given effective load.
+  static double p_for_load(double load, double b, int num_ports);
+
+ private:
+  double p_;
+  double b_;
+};
+
+}  // namespace fifoms

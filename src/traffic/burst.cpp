@@ -1,0 +1,53 @@
+#include "traffic/burst.hpp"
+
+namespace fifoms {
+
+BurstTraffic::BurstTraffic(int num_ports, double e_off, double e_on, double b)
+    : TrafficModel(num_ports), e_off_(e_off), e_on_(e_on), b_(b) {
+  FIFOMS_ASSERT(e_off >= 1.0, "mean OFF period must be >= 1 slot");
+  FIFOMS_ASSERT(e_on >= 1.0, "mean ON period must be >= 1 slot");
+  FIFOMS_ASSERT(b > 0.0 && b <= 1.0, "destination probability out of (0,1]");
+  sources_.resize(static_cast<std::size_t>(num_ports));
+}
+
+PortSet BurstTraffic::draw_destinations(Rng& rng) const {
+  while (true) {
+    PortSet set;
+    for (PortId output = 0; output < num_ports(); ++output)
+      if (rng.bernoulli(b_)) set.insert(output);
+    if (!set.empty()) return set;  // redraw the (1-b)^N all-empty outcome
+  }
+}
+
+void BurstTraffic::reset(Rng& rng) {
+  const double on_fraction = e_on_ / (e_on_ + e_off_);
+  for (auto& source : sources_) {
+    source.on = rng.bernoulli(on_fraction);
+    if (source.on) source.destinations = draw_destinations(rng);
+  }
+}
+
+PortSet BurstTraffic::arrival(PortId input, SlotTime /*now*/, Rng& rng) {
+  auto& source = sources_[static_cast<std::size_t>(input)];
+  if (source.on) {
+    if (rng.bernoulli(1.0 / e_on_)) source.on = false;
+  } else if (rng.bernoulli(1.0 / e_off_)) {
+    source.on = true;
+    source.destinations = draw_destinations(rng);
+  }
+  return source.on ? source.destinations : PortSet{};
+}
+
+double BurstTraffic::offered_load() const {
+  return b_ * static_cast<double>(num_ports()) * e_on_ / (e_on_ + e_off_);
+}
+
+double BurstTraffic::e_off_for_load(double load, double e_on, double b,
+                                    int num_ports) {
+  FIFOMS_ASSERT(load > 0.0, "load must be positive");
+  const double peak = b * static_cast<double>(num_ports);
+  FIFOMS_ASSERT(load < peak, "load unreachable: must be < b*N");
+  return e_on * (peak / load - 1.0);
+}
+
+}  // namespace fifoms

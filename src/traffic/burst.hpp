@@ -1,0 +1,52 @@
+// Bursty traffic: two-state Markov on/off source per input
+// (paper Section V-C).
+//
+// In the ON state a packet arrives every slot, and all packets of one
+// burst share the same destination set (drawn at burst start, each output
+// with probability b, redrawn on the all-empty outcome — probability
+// (1-b)^N, negligible at the paper's b = 0.5, N = 16).  At each slot the
+// source leaves ON with probability 1/E_on and leaves OFF with probability
+// 1/E_off, giving geometric sojourn times with means E_on and E_off.
+// Arrival rate is E_on/(E_on + E_off); effective load is b*N*rate.
+//
+// reset() draws the initial state from the stationary distribution so the
+// measured interval is not biased by an all-OFF start.
+#pragma once
+
+#include <vector>
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class BurstTraffic final : public TrafficModel {
+ public:
+  BurstTraffic(int num_ports, double e_off, double e_on, double b);
+
+  std::string_view name() const override { return "burst"; }
+  void reset(Rng& rng) override;
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  double mean_off() const { return e_off_; }
+  double mean_on() const { return e_on_; }
+
+  /// E_off that yields the given effective load at fixed (E_on, b, N).
+  static double e_off_for_load(double load, double e_on, double b,
+                               int num_ports);
+
+ private:
+  PortSet draw_destinations(Rng& rng) const;
+
+  struct SourceState {
+    bool on = false;
+    PortSet destinations;
+  };
+
+  double e_off_;
+  double e_on_;
+  double b_;
+  std::vector<SourceState> sources_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,33 @@
+#include "traffic/composite.hpp"
+
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms {
+
+MixedTraffic::MixedTraffic(int num_ports, double p, double unicast_share,
+                           int max_fanout)
+    : TrafficModel(num_ports), p_(p), unicast_share_(unicast_share),
+      max_fanout_(max_fanout) {
+  FIFOMS_ASSERT(p >= 0.0 && p <= 1.0, "arrival probability out of [0,1]");
+  FIFOMS_ASSERT(unicast_share >= 0.0 && unicast_share <= 1.0,
+                "unicast share out of [0,1]");
+  FIFOMS_ASSERT(max_fanout >= 2 && max_fanout <= num_ports,
+                "maxFanout must be in [2, N] for the multicast component");
+}
+
+PortSet MixedTraffic::arrival(PortId /*input*/, SlotTime /*now*/, Rng& rng) {
+  if (!rng.bernoulli(p_)) return {};
+  int fanout = 1;
+  if (!rng.bernoulli(unicast_share_))
+    fanout = static_cast<int>(rng.uniform_int(2, max_fanout_));
+  return UniformFanoutTraffic::random_subset(num_ports(), fanout, rng);
+}
+
+double MixedTraffic::mean_fanout() const {
+  const double multicast_mean = (2.0 + static_cast<double>(max_fanout_)) / 2.0;
+  return unicast_share_ * 1.0 + (1.0 - unicast_share_) * multicast_mean;
+}
+
+double MixedTraffic::offered_load() const { return p_ * mean_fanout(); }
+
+}  // namespace fifoms

@@ -1,0 +1,30 @@
+// Mixed unicast/multicast traffic.
+//
+// The paper's introduction motivates FIFOMS with traffic that mixes
+// unicast and multicast packets (the regime where TATRA degrades).  With
+// probability p an input has a packet; with probability `unicast_share`
+// it is unicast (one uniform destination), otherwise multicast with
+// fanout uniform on {2, ..., maxFanout}.
+#pragma once
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class MixedTraffic final : public TrafficModel {
+ public:
+  MixedTraffic(int num_ports, double p, double unicast_share, int max_fanout);
+
+  std::string_view name() const override { return "mixed"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  double mean_fanout() const;
+
+ private:
+  double p_;
+  double unicast_share_;
+  int max_fanout_;
+};
+
+}  // namespace fifoms

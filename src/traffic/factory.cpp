@@ -1,0 +1,91 @@
+#include "traffic/factory.hpp"
+
+#include <cstdlib>
+#include <map>
+
+#include "traffic/bernoulli.hpp"
+#include "traffic/burst.hpp"
+#include "traffic/composite.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/unicast.hpp"
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms {
+
+namespace {
+
+using KeyValues = std::map<std::string, std::string, std::less<>>;
+
+KeyValues parse_pairs(std::string_view text) {
+  KeyValues out;
+  while (!text.empty()) {
+    const auto comma = text.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? text : text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    const auto eq = item.find('=');
+    FIFOMS_ASSERT(eq != std::string_view::npos,
+                  "traffic spec: expected key=value");
+    out.emplace(std::string(item.substr(0, eq)),
+                std::string(item.substr(eq + 1)));
+  }
+  return out;
+}
+
+double get_double(const KeyValues& kv, std::string_view key) {
+  const auto it = kv.find(key);
+  FIFOMS_ASSERT(it != kv.end(), "traffic spec: missing required key");
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+double get_double_or(const KeyValues& kv, std::string_view key,
+                     double fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+int get_int(const KeyValues& kv, std::string_view key) {
+  return static_cast<int>(get_double(kv, key));
+}
+
+}  // namespace
+
+std::unique_ptr<TrafficModel> make_traffic(int num_ports,
+                                           const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const KeyValues kv =
+      colon == std::string::npos ? KeyValues{} : parse_pairs(
+          std::string_view(spec).substr(colon + 1));
+
+  if (kind == "bernoulli") {
+    return std::make_unique<BernoulliTraffic>(num_ports, get_double(kv, "p"),
+                                              get_double(kv, "b"));
+  }
+  if (kind == "uniform") {
+    return std::make_unique<UniformFanoutTraffic>(
+        num_ports, get_double(kv, "p"), get_int(kv, "maxf"));
+  }
+  if (kind == "unicast") {
+    return std::make_unique<UnicastTraffic>(num_ports, get_double(kv, "p"));
+  }
+  if (kind == "burst") {
+    return std::make_unique<BurstTraffic>(num_ports, get_double(kv, "eoff"),
+                                          get_double(kv, "eon"),
+                                          get_double(kv, "b"));
+  }
+  if (kind == "hotspot") {
+    return std::make_unique<HotspotTraffic>(
+        num_ports, get_double(kv, "p"), get_double(kv, "hot"),
+        static_cast<PortId>(get_double_or(kv, "port", 0)));
+  }
+  if (kind == "mixed") {
+    return std::make_unique<MixedTraffic>(num_ports, get_double(kv, "p"),
+                                          get_double(kv, "u"),
+                                          get_int(kv, "maxf"));
+  }
+  panic(__FILE__, __LINE__, "traffic spec: unknown kind '" + kind + "'");
+}
+
+}  // namespace fifoms

@@ -1,0 +1,27 @@
+// Traffic model factory: build a model from a compact spec string.
+//
+// Spec grammar:  <kind>:<key>=<value>[,<key>=<value>...]
+//
+//   bernoulli:p=0.2,b=0.2          Bernoulli multicast
+//   uniform:p=0.5,maxf=8           uniform fanout in {1..maxf}
+//   unicast:p=0.9                  pure unicast
+//   burst:eon=16,eoff=48,b=0.5     two-state Markov bursts
+//   hotspot:p=0.5,hot=0.3,port=0   skewed unicast
+//   mixed:p=0.5,u=0.5,maxf=8       unicast/multicast mix
+//
+// Used by the example CLIs so a scenario is a single command-line flag.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+/// Build a traffic model from a spec; panics with a clear message on
+/// unknown kinds or missing keys.
+std::unique_ptr<TrafficModel> make_traffic(int num_ports,
+                                           const std::string& spec);
+
+}  // namespace fifoms

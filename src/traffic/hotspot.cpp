@@ -1,0 +1,30 @@
+#include "traffic/hotspot.hpp"
+
+namespace fifoms {
+
+HotspotTraffic::HotspotTraffic(int num_ports, double p, double hot_share,
+                               PortId hot_port)
+    : TrafficModel(num_ports), p_(p), hot_share_(hot_share),
+      hot_port_(hot_port) {
+  FIFOMS_ASSERT(p >= 0.0 && p <= 1.0, "arrival probability out of [0,1]");
+  FIFOMS_ASSERT(hot_share >= 0.0 && hot_share <= 1.0,
+                "hot share out of [0,1]");
+  FIFOMS_ASSERT(hot_port >= 0 && hot_port < num_ports,
+                "hot port out of range");
+}
+
+PortSet HotspotTraffic::arrival(PortId /*input*/, SlotTime /*now*/, Rng& rng) {
+  if (!rng.bernoulli(p_)) return {};
+  if (rng.bernoulli(hot_share_)) return PortSet::single(hot_port_);
+  return PortSet::single(static_cast<PortId>(
+      rng.next_below(static_cast<std::uint64_t>(num_ports()))));
+}
+
+double HotspotTraffic::offered_load() const {
+  // Load on the hot output: N inputs, each sending there with probability
+  // p * (hot_share + (1 - hot_share)/N).
+  const double n = static_cast<double>(num_ports());
+  return n * p_ * (hot_share_ + (1.0 - hot_share_) / n);
+}
+
+}  // namespace fifoms

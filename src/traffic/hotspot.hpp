@@ -1,0 +1,33 @@
+// Hotspot traffic (library extension, not in the paper).
+//
+// Unicast arrivals where a fraction `hot_share` of packets target one hot
+// output and the rest are uniform over all outputs.  Models the skewed
+// popularity seen in real multicast deployments (a popular channel or a
+// storage shard) and lets examples/tests exercise the schedulers under
+// non-uniform load, where the paper's 100%-throughput argument does not
+// apply.  offered_load() reports the load on the *hot* output, the
+// bottleneck that determines stability.
+#pragma once
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class HotspotTraffic final : public TrafficModel {
+ public:
+  HotspotTraffic(int num_ports, double p, double hot_share,
+                 PortId hot_port = 0);
+
+  std::string_view name() const override { return "hotspot"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  PortId hot_port() const { return hot_port_; }
+
+ private:
+  double p_;
+  double hot_share_;
+  PortId hot_port_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,42 @@
+#include "traffic/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fifoms {
+
+PriorityTraffic::PriorityTraffic(std::unique_ptr<TrafficModel> inner,
+                                 std::vector<double> shares)
+    : TrafficModel(inner->num_ports()), inner_(std::move(inner)),
+      shares_(std::move(shares)) {
+  FIFOMS_ASSERT(!shares_.empty() &&
+                    static_cast<int>(shares_.size()) <= kMaxPriority + 1,
+                "class count out of range");
+  double total = 0.0;
+  for (double share : shares_) {
+    FIFOMS_ASSERT(share >= 0.0, "negative class share");
+    total += share;
+    cumulative_.push_back(total);
+  }
+  FIFOMS_ASSERT(std::abs(total - 1.0) < 1e-9, "class shares must sum to 1");
+  cumulative_.back() = 1.0;
+}
+
+PortSet PriorityTraffic::arrival(PortId input, SlotTime now, Rng& rng) {
+  const PortSet destinations = inner_->arrival(input, now, rng);
+  if (destinations.empty()) return destinations;
+  const double u = rng.next_double();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  last_priority_ =
+      static_cast<int>(std::distance(cumulative_.begin(), it));
+  return destinations;
+}
+
+double PriorityTraffic::class_share(int priority) const {
+  FIFOMS_ASSERT(priority >= 0 && priority < num_classes(),
+                "class out of range");
+  return shares_[static_cast<std::size_t>(priority)];
+}
+
+}  // namespace fifoms

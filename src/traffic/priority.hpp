@@ -1,0 +1,41 @@
+// PriorityTraffic: QoS-class decorator for any traffic model.
+//
+// Wraps an inner model and stamps each arriving packet with a class drawn
+// from a configured distribution (class k with probability share[k]).
+// Used with VoqSwitch::Options::num_classes > 1 to exercise the strict-
+// priority extension of the multicast VOQ structure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class PriorityTraffic final : public TrafficModel {
+ public:
+  /// `shares[k]` is the probability that a packet belongs to class k;
+  /// the shares must sum to 1 (within rounding).
+  PriorityTraffic(std::unique_ptr<TrafficModel> inner,
+                  std::vector<double> shares);
+
+  std::string_view name() const override { return "priority"; }
+  void reset(Rng& rng) override { inner_->reset(rng); }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override { return inner_->offered_load(); }
+  int last_priority() const override { return last_priority_; }
+
+  int num_classes() const { return static_cast<int>(shares_.size()); }
+
+  /// Analytic per-class share of the offered load.
+  double class_share(int priority) const;
+
+ private:
+  std::unique_ptr<TrafficModel> inner_;
+  std::vector<double> shares_;     // probabilities per class
+  std::vector<double> cumulative_; // inclusive prefix sums
+  int last_priority_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,77 @@
+#include "traffic/trace.hpp"
+
+#include <fstream>
+
+namespace fifoms {
+
+ScriptedTraffic::ScriptedTraffic(int num_ports,
+                                 std::vector<TraceRecord> records)
+    : TrafficModel(num_ports), records_(std::move(records)) {
+  SlotTime horizon = 0;
+  std::uint64_t copies = 0;
+  for (const auto& record : records_) {
+    FIFOMS_ASSERT(record.input >= 0 && record.input < num_ports,
+                  "trace record input out of range");
+    FIFOMS_ASSERT(!record.destinations.empty(),
+                  "trace record with no destinations");
+    FIFOMS_ASSERT(record.slot >= 0, "trace record with negative slot");
+    const auto [it, inserted] = by_slot_input_.emplace(
+        key(record.input, record.slot), record.destinations);
+    (void)it;
+    FIFOMS_ASSERT(inserted, "two trace records for one (slot, input)");
+    horizon = std::max(horizon, record.slot + 1);
+    copies += static_cast<std::uint64_t>(record.destinations.count());
+  }
+  if (horizon > 0) {
+    offered_load_ = static_cast<double>(copies) /
+                    (static_cast<double>(horizon) *
+                     static_cast<double>(num_ports));
+  }
+}
+
+PortSet ScriptedTraffic::arrival(PortId input, SlotTime now, Rng& /*rng*/) {
+  const auto it = by_slot_input_.find(key(input, now));
+  return it == by_slot_input_.end() ? PortSet{} : it->second;
+}
+
+ScriptedTraffic ScriptedTraffic::load(const std::string& path) {
+  std::ifstream in(path);
+  FIFOMS_ASSERT(in.good(), "cannot open trace file");
+  int num_ports = 0;
+  std::string header;
+  in >> header >> num_ports;
+  FIFOMS_ASSERT(header == "ports" && num_ports > 0,
+                "trace file missing 'ports N' header");
+  std::vector<TraceRecord> records;
+  SlotTime slot;
+  PortId input;
+  std::string destinations;
+  while (in >> slot >> input >> destinations) {
+    records.push_back(
+        TraceRecord{slot, input, PortSet::from_string(destinations)});
+  }
+  return ScriptedTraffic(num_ports, std::move(records));
+}
+
+TraceRecorder::TraceRecorder(TrafficModel& inner)
+    : TrafficModel(inner.num_ports()), inner_(inner) {}
+
+PortSet TraceRecorder::arrival(PortId input, SlotTime now, Rng& rng) {
+  PortSet destinations = inner_.arrival(input, now, rng);
+  if (!destinations.empty())
+    records_.push_back(TraceRecord{now, input, destinations});
+  return destinations;
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  FIFOMS_ASSERT(out.good(), "cannot open trace file for writing");
+  out << "ports " << num_ports() << "\n";
+  for (const auto& record : records_) {
+    out << record.slot << ' ' << record.input << ' '
+        << record.destinations.to_string() << "\n";
+  }
+  FIFOMS_ASSERT(out.good(), "trace file write failed");
+}
+
+}  // namespace fifoms

@@ -1,0 +1,74 @@
+// Scripted and recorded traffic.
+//
+// ScriptedTraffic replays an explicit list of arrival events — the
+// workhorse of deterministic tests ("inject exactly these packets at
+// exactly these slots") and of trace-driven experiments.
+//
+// TraceRecorder wraps any TrafficModel, forwards its arrivals unchanged
+// and remembers them; the trace can be saved to a plain-text file
+// ("slot input {d0,d1,...}" per line) and loaded back into a
+// ScriptedTraffic, enabling record-once / replay-everywhere comparisons
+// where every scheduler sees the bit-identical arrival sequence.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+struct TraceRecord {
+  SlotTime slot = 0;
+  PortId input = kNoPort;
+  PortSet destinations;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+class ScriptedTraffic final : public TrafficModel {
+ public:
+  ScriptedTraffic(int num_ports, std::vector<TraceRecord> records);
+
+  std::string_view name() const override { return "scripted"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override { return offered_load_; }
+
+  std::size_t record_count() const { return records_.size(); }
+
+  /// Parse the text format written by TraceRecorder::save.
+  static ScriptedTraffic load(const std::string& path);
+
+ private:
+  static std::uint64_t key(PortId input, SlotTime slot) {
+    return (static_cast<std::uint64_t>(slot) << 16) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(input));
+  }
+
+  std::vector<TraceRecord> records_;
+  std::unordered_map<std::uint64_t, PortSet> by_slot_input_;
+  double offered_load_ = 0.0;
+};
+
+class TraceRecorder final : public TrafficModel {
+ public:
+  /// Wrap `inner` (not owned) and record every arrival it produces.
+  explicit TraceRecorder(TrafficModel& inner);
+
+  std::string_view name() const override { return "recorded"; }
+  void reset(Rng& rng) override { inner_.reset(rng); }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override { return inner_.offered_load(); }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Write the trace in the text format understood by ScriptedTraffic.
+  void save(const std::string& path) const;
+
+ private:
+  TrafficModel& inner_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,57 @@
+// TrafficModel: source of multicast cell arrivals.
+//
+// The simulator asks the model once per (input port, slot) for the
+// destination set of the arriving packet; an empty set means "no arrival".
+// At most one packet arrives per input per slot (the paper's synchronous
+// slot model).  Models are deterministic functions of the Rng stream, so
+// a run is reproducible from (config, seed).
+//
+// offered_load() returns the analytic effective load normalised per
+// output: expected copies per output per slot under uniformly spread
+// destinations (the x-axis of every figure in the paper).
+#pragma once
+
+#include <string_view>
+
+#include "common/panic.hpp"
+#include "common/port_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  int num_ports() const { return num_ports_; }
+
+  /// Re-initialise per-port state (e.g. burst on/off) before a run.
+  virtual void reset(Rng& /*rng*/) {}
+
+  /// Destination set of the packet arriving at `input` in slot `now`;
+  /// empty set when no packet arrives.  Must be called exactly once per
+  /// (input, slot) in slot order — stateful models advance on each call.
+  virtual PortSet arrival(PortId input, SlotTime now, Rng& rng) = 0;
+
+  /// Analytic effective load per output (1.0 = full line rate).
+  virtual double offered_load() const = 0;
+
+  /// QoS class of the packet returned by the most recent non-empty
+  /// arrival() (0 = highest priority).  Single-class models — everything
+  /// in the paper — keep the default.
+  virtual int last_priority() const { return 0; }
+
+ protected:
+  explicit TrafficModel(int num_ports) : num_ports_(num_ports) {
+    FIFOMS_ASSERT(num_ports > 0 && num_ports <= kMaxPorts,
+                  "unsupported port count");
+  }
+
+ private:
+  int num_ports_;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,16 @@
+#include "traffic/unicast.hpp"
+
+namespace fifoms {
+
+UnicastTraffic::UnicastTraffic(int num_ports, double p)
+    : TrafficModel(num_ports), p_(p) {
+  FIFOMS_ASSERT(p >= 0.0 && p <= 1.0, "arrival probability out of [0,1]");
+}
+
+PortSet UnicastTraffic::arrival(PortId /*input*/, SlotTime /*now*/, Rng& rng) {
+  if (!rng.bernoulli(p_)) return {};
+  return PortSet::single(static_cast<PortId>(
+      rng.next_below(static_cast<std::uint64_t>(num_ports()))));
+}
+
+}  // namespace fifoms

@@ -1,0 +1,26 @@
+// Pure unicast Bernoulli i.i.d. traffic: with probability p a packet
+// arrives, destined to a single uniformly random output.
+//
+// Behaviourally identical to UniformFanoutTraffic with maxFanout = 1 but
+// cheaper (no subset sampling) and explicit about intent.  This is the
+// classical model under which the single input-queued switch saturates at
+// 2 - sqrt(2) ≈ 0.586 (Karol et al. 1987), reproduced in Fig. 6.
+#pragma once
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class UnicastTraffic final : public TrafficModel {
+ public:
+  UnicastTraffic(int num_ports, double p);
+
+  std::string_view name() const override { return "unicast"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace fifoms

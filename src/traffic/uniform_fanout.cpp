@@ -1,0 +1,45 @@
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms {
+
+UniformFanoutTraffic::UniformFanoutTraffic(int num_ports, double p,
+                                           int max_fanout)
+    : TrafficModel(num_ports), p_(p), max_fanout_(max_fanout) {
+  FIFOMS_ASSERT(p >= 0.0 && p <= 1.0, "arrival probability out of [0,1]");
+  FIFOMS_ASSERT(max_fanout >= 1 && max_fanout <= num_ports,
+                "maxFanout must be in [1, N]");
+}
+
+PortSet UniformFanoutTraffic::random_subset(int n, int k, Rng& rng) {
+  FIFOMS_ASSERT(k >= 0 && k <= n, "subset size out of range");
+  // Floyd's algorithm: k iterations, uniform over all k-subsets.
+  PortSet set;
+  for (int j = n - k; j < n; ++j) {
+    const auto t =
+        static_cast<PortId>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (set.contains(t)) {
+      set.insert(j);
+    } else {
+      set.insert(t);
+    }
+  }
+  return set;
+}
+
+PortSet UniformFanoutTraffic::arrival(PortId /*input*/, SlotTime /*now*/,
+                                      Rng& rng) {
+  if (!rng.bernoulli(p_)) return {};
+  const int fanout =
+      static_cast<int>(rng.uniform_int(1, max_fanout_));
+  return random_subset(num_ports(), fanout, rng);
+}
+
+double UniformFanoutTraffic::offered_load() const {
+  return p_ * (1.0 + static_cast<double>(max_fanout_)) / 2.0;
+}
+
+double UniformFanoutTraffic::p_for_load(double load, int max_fanout) {
+  return 2.0 * load / (1.0 + static_cast<double>(max_fanout));
+}
+
+}  // namespace fifoms

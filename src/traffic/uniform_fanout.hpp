@@ -1,0 +1,36 @@
+// Uniform traffic with bounded fanout (paper Section V-B).
+//
+// With probability p an input has a packet; its fanout is uniform on
+// {1, ..., maxFanout} and the destinations are a uniformly random subset
+// of that size.  Mean fanout is (1 + maxFanout)/2 and the effective load
+// is p*(1 + maxFanout)/2.  maxFanout = 1 is pure unicast traffic (the
+// paper's Fig. 6 setting).
+#pragma once
+
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms {
+
+class UniformFanoutTraffic final : public TrafficModel {
+ public:
+  UniformFanoutTraffic(int num_ports, double p, int max_fanout);
+
+  std::string_view name() const override { return "uniform"; }
+  PortSet arrival(PortId input, SlotTime now, Rng& rng) override;
+  double offered_load() const override;
+
+  int max_fanout() const { return max_fanout_; }
+  double arrival_probability() const { return p_; }
+
+  /// Arrival probability p that yields the given effective load.
+  static double p_for_load(double load, int max_fanout);
+
+  /// Uniformly random k-subset of {0..n-1} (Floyd's sampling algorithm).
+  static PortSet random_subset(int n, int k, Rng& rng);
+
+ private:
+  double p_;
+  int max_fanout_;
+};
+
+}  // namespace fifoms

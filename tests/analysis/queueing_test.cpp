@@ -1,0 +1,100 @@
+#include "analysis/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/oq_switch.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(Analysis, KarolConstant) {
+  EXPECT_NEAR(analysis::karol_saturation(), 0.5857864376, 1e-9);
+}
+
+TEST(Analysis, SlottedQueueZeroLoad) {
+  EXPECT_EQ(analysis::slotted_queue_mean(0.0, 0.0), 0.0);
+  EXPECT_EQ(analysis::slotted_queue_delay(0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Analysis, SlottedQueueDeterministicArrivalsNoQueue) {
+  // Bernoulli(λ) single arrivals: Var = λ(1-λ); E[A(A-1)] = 0.
+  // E[q] = (λ(1-λ) + λ² - λ)/(2(1-λ)) = 0 — a queue fed at most one cell
+  // per slot never accumulates.
+  for (double lambda : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(analysis::slotted_queue_mean(lambda, lambda * (1 - lambda)),
+                0.0, 1e-12);
+  }
+}
+
+TEST(Analysis, SlottedQueueGrowsWithVariance) {
+  const double lambda = 0.8;
+  const double low = analysis::slotted_queue_mean(lambda, 0.2);
+  const double high = analysis::slotted_queue_mean(lambda, 0.8);
+  EXPECT_GT(high, low);
+}
+
+TEST(Analysis, OqfifoBernoulliClosedForm) {
+  // E[q] = N a^2 (N-1) / (2 (1 - N a)) with a = p b.
+  const double value = analysis::oqfifo_queue_bernoulli(16, 0.15625, 0.2);
+  const double a = 0.15625 * 0.2;  // load N*a = 0.5
+  const double expected = 16 * a * a * 15 / (2 * (1 - 16 * a));
+  EXPECT_NEAR(value, expected, 1e-12);
+}
+
+TEST(AnalysisDeath, OverloadRejected) {
+  EXPECT_DEATH((void)analysis::slotted_queue_mean(1.0, 0.5), "E\\[A\\]");
+  EXPECT_DEATH((void)analysis::slotted_queue_mean(-0.1, 0.5), "E\\[A\\]");
+}
+
+// ---- Cross-validation: simulator vs closed form ----------------------
+//
+// This is the end-to-end correctness anchor for the whole pipeline:
+// traffic generation, OQ switch mechanics, warm-up accounting and the
+// metrics layer must together land on the analytic values.
+
+struct LoadCase {
+  double load;
+};
+
+class OqfifoClosedFormTest : public ::testing::TestWithParam<LoadCase> {};
+
+TEST_P(OqfifoClosedFormTest, QueueAndDelayMatchFormulas) {
+  const int ports = 16;
+  const double b = 0.2;
+  const double p = BernoulliTraffic::p_for_load(GetParam().load, b, ports);
+
+  OqSwitch sw(ports);
+  BernoulliTraffic traffic(ports, p, b);
+  SimConfig config;
+  config.total_slots = 400'000;
+  config.seed = 2718;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  ASSERT_FALSE(result.unstable);
+
+  const double queue_formula =
+      analysis::oqfifo_queue_bernoulli(ports, p, b);
+  const double delay_formula =
+      analysis::oqfifo_delay_bernoulli(ports, p, b);
+
+  const double queue_tolerance = std::max(0.02, 0.06 * queue_formula);
+  const double delay_tolerance = std::max(0.02, 0.06 * delay_formula);
+  EXPECT_NEAR(result.queue_mean.mean(), queue_formula, queue_tolerance);
+  EXPECT_NEAR(result.output_delay.mean(), delay_formula, delay_tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OqfifoClosedFormTest,
+                         ::testing::Values(LoadCase{0.2}, LoadCase{0.5},
+                                           LoadCase{0.7}, LoadCase{0.85}),
+                         [](const ::testing::TestParamInfo<LoadCase>& info) {
+                           return "load" +
+                                  std::to_string(static_cast<int>(
+                                      info.param.load * 100));
+                         });
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,204 @@
+#include "common/port_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(PortSet, DefaultIsEmpty) {
+  PortSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(), 0);
+  EXPECT_EQ(set.first(), kNoPort);
+}
+
+TEST(PortSet, InsertContainsErase) {
+  PortSet set;
+  set.insert(3);
+  set.insert(200);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(200));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_EQ(set.count(), 2);
+  set.erase(3);
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_EQ(set.count(), 1);
+  set.erase(3);  // idempotent
+  EXPECT_EQ(set.count(), 1);
+}
+
+TEST(PortSet, InitializerList) {
+  PortSet set{0, 5, 63, 64, 255};
+  EXPECT_EQ(set.count(), 5);
+  for (PortId p : {0, 5, 63, 64, 255}) EXPECT_TRUE(set.contains(p));
+}
+
+TEST(PortSet, AllOfN) {
+  for (int n : {1, 7, 63, 64, 65, 128, 200, 256}) {
+    const PortSet set = PortSet::all(n);
+    EXPECT_EQ(set.count(), n) << "n=" << n;
+    EXPECT_TRUE(set.contains(n - 1));
+    if (n < kMaxPorts) EXPECT_FALSE(set.contains(n));
+  }
+  EXPECT_TRUE(PortSet::all(0).empty());
+}
+
+TEST(PortSet, SingleFactory) {
+  const PortSet set = PortSet::single(17);
+  EXPECT_EQ(set.count(), 1);
+  EXPECT_TRUE(set.contains(17));
+}
+
+TEST(PortSet, FirstAndNextAfterCrossWords) {
+  PortSet set{2, 63, 64, 130};
+  EXPECT_EQ(set.first(), 2);
+  EXPECT_EQ(set.next_after(2), 63);
+  EXPECT_EQ(set.next_after(63), 64);
+  EXPECT_EQ(set.next_after(64), 130);
+  EXPECT_EQ(set.next_after(130), kNoPort);
+  EXPECT_EQ(set.next_after(255), kNoPort);
+  EXPECT_EQ(set.next_after(-1), 2);
+}
+
+TEST(PortSet, IterationVisitsInOrder) {
+  PortSet set{7, 1, 200, 64};
+  std::vector<PortId> visited;
+  for (PortId p : set) visited.push_back(p);
+  EXPECT_EQ(visited, (std::vector<PortId>{1, 7, 64, 200}));
+}
+
+TEST(PortSet, IterationOfEmptySet) {
+  PortSet set;
+  for (PortId p : set) {
+    (void)p;
+    FAIL() << "empty set iterated";
+  }
+}
+
+TEST(PortSet, SetAlgebra) {
+  PortSet a{1, 2, 3, 64};
+  PortSet b{3, 4, 64, 200};
+  EXPECT_EQ((a | b), (PortSet{1, 2, 3, 4, 64, 200}));
+  EXPECT_EQ((a & b), (PortSet{3, 64}));
+  EXPECT_EQ((a - b), (PortSet{1, 2}));
+  EXPECT_EQ((b - a), (PortSet{4, 200}));
+}
+
+TEST(PortSet, CompoundAssignment) {
+  PortSet a{1, 2};
+  a |= PortSet{2, 3};
+  EXPECT_EQ(a, (PortSet{1, 2, 3}));
+  a &= PortSet{2, 3, 4};
+  EXPECT_EQ(a, (PortSet{2, 3}));
+  a -= PortSet{3};
+  EXPECT_EQ(a, (PortSet{2}));
+}
+
+TEST(PortSet, SubsetAndIntersection) {
+  PortSet a{1, 2};
+  PortSet b{1, 2, 3};
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(PortSet{}.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(PortSet{3, 4}));
+  EXPECT_FALSE(a.intersects(PortSet{}));
+}
+
+TEST(PortSet, NthSelectsKthSmallest) {
+  PortSet set{5, 70, 130, 255};
+  EXPECT_EQ(set.nth(0), 5);
+  EXPECT_EQ(set.nth(1), 70);
+  EXPECT_EQ(set.nth(2), 130);
+  EXPECT_EQ(set.nth(3), 255);
+}
+
+TEST(PortSet, RandomMemberIsUniform) {
+  PortSet set{0, 10, 63, 64, 100};
+  Rng rng(3);
+  std::map<PortId, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[set.random_member(rng)];
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [port, count] : counts) {
+    EXPECT_TRUE(set.contains(port));
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.2, 0.02);
+  }
+}
+
+TEST(PortSet, ToStringRoundTrip) {
+  for (const PortSet& set :
+       {PortSet{}, PortSet{0}, PortSet{1, 2, 3}, PortSet{63, 64, 255}}) {
+    EXPECT_EQ(PortSet::from_string(set.to_string()), set);
+  }
+  EXPECT_EQ(PortSet({0, 3, 7}).to_string(), "{0,3,7}");
+  EXPECT_EQ(PortSet{}.to_string(), "{}");
+}
+
+TEST(PortSet, ClearEmpties) {
+  PortSet set{1, 2, 3};
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PortSet, FuzzAgainstStdSetReference) {
+  // Random insert/erase/query trace, mirrored into std::set; every
+  // observable must agree, including iteration order and set algebra.
+  Rng rng(1234);
+  PortSet set;
+  std::set<PortId> reference;
+  for (int step = 0; step < 30000; ++step) {
+    const PortId p = static_cast<PortId>(rng.next_below(kMaxPorts));
+    switch (rng.next_below(3)) {
+      case 0:
+        set.insert(p);
+        reference.insert(p);
+        break;
+      case 1:
+        set.erase(p);
+        reference.erase(p);
+        break;
+      default:
+        ASSERT_EQ(set.contains(p), reference.count(p) > 0);
+    }
+    ASSERT_EQ(set.count(), static_cast<int>(reference.size()));
+    if (step % 500 == 0) {
+      std::vector<PortId> via_iteration;
+      for (PortId member : set) via_iteration.push_back(member);
+      std::vector<PortId> expected(reference.begin(), reference.end());
+      ASSERT_EQ(via_iteration, expected);
+      if (!reference.empty()) {
+        ASSERT_EQ(set.first(), *reference.begin());
+        ASSERT_EQ(set.nth(static_cast<int>(reference.size()) - 1),
+                  *reference.rbegin());
+      }
+    }
+  }
+}
+
+TEST(PortSetDeath, OutOfRangeInsertPanics) {
+  PortSet set;
+  EXPECT_DEATH(set.insert(kMaxPorts), "port id out of range");
+  EXPECT_DEATH(set.insert(-1), "port id out of range");
+}
+
+TEST(PortSetDeath, RandomMemberOfEmptyPanics) {
+  PortSet set;
+  Rng rng(1);
+  EXPECT_DEATH((void)set.random_member(rng), "empty PortSet");
+}
+
+TEST(PortSetDeath, MalformedFromStringPanics) {
+  EXPECT_DEATH((void)PortSet::from_string("0,1"), "expected");
+  EXPECT_DEATH((void)PortSet::from_string("{a}"), "digit");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,133 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 100; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rb.pop_front(), i);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FrontBackIndexing) {
+  RingBuffer<int> rb;
+  rb.push_back(10);
+  rb.push_back(20);
+  rb.push_back(30);
+  EXPECT_EQ(rb.front(), 10);
+  EXPECT_EQ(rb.back(), 30);
+  EXPECT_EQ(rb[0], 10);
+  EXPECT_EQ(rb[1], 20);
+  EXPECT_EQ(rb[2], 30);
+  rb[1] = 99;
+  EXPECT_EQ(rb[1], 99);
+}
+
+TEST(RingBuffer, WrapAroundKeepsOrder) {
+  RingBuffer<int> rb(4);
+  // Interleave pushes and pops so head wraps repeatedly.
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) rb.push_back(next_push++);
+    for (int i = 0; i < 2; ++i) EXPECT_EQ(rb.pop_front(), next_pop++);
+  }
+  while (!rb.empty()) EXPECT_EQ(rb.pop_front(), next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(RingBuffer, GrowthPreservesContents) {
+  RingBuffer<int> rb(2);
+  // Force a wrap before growth.
+  rb.push_back(0);
+  rb.push_back(1);
+  rb.pop_front();
+  for (int i = 2; i < 100; ++i) rb.push_back(i);
+  for (int i = 1; i < 100; ++i) EXPECT_EQ(rb.pop_front(), i);
+}
+
+TEST(RingBuffer, ReserveAvoidsLaterGrowth) {
+  RingBuffer<int> rb;
+  rb.reserve(1000);
+  const std::size_t capacity = rb.capacity();
+  for (int i = 0; i < 1000; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.capacity(), capacity);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 10; ++i) rb.push_back(i);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push_back(42);
+  EXPECT_EQ(rb.front(), 42);
+}
+
+TEST(RingBuffer, CopySemantics) {
+  RingBuffer<std::string> rb;
+  rb.push_back("a");
+  rb.push_back("b");
+  RingBuffer<std::string> copy(rb);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.pop_front(), "a");
+  EXPECT_EQ(rb.size(), 2u);  // original untouched
+  copy = rb;
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy[1], "b");
+}
+
+TEST(RingBuffer, MoveSemantics) {
+  RingBuffer<std::string> rb;
+  rb.push_back("x");
+  RingBuffer<std::string> moved(std::move(rb));
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.front(), "x");
+  RingBuffer<std::string> assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.front(), "x");
+}
+
+TEST(RingBuffer, MatchesDequeUnderRandomOps) {
+  RingBuffer<int> rb;
+  std::deque<int> reference;
+  Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    if (reference.empty() || rng.bernoulli(0.55)) {
+      const int value = static_cast<int>(rng.next_below(1000));
+      rb.push_back(value);
+      reference.push_back(value);
+    } else {
+      ASSERT_EQ(rb.pop_front(), reference.front());
+      reference.pop_front();
+    }
+    ASSERT_EQ(rb.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(rb.front(), reference.front());
+      ASSERT_EQ(rb.back(), reference.back());
+    }
+  }
+}
+
+TEST(RingBufferDeath, EmptyAccessPanics) {
+  RingBuffer<int> rb;
+  EXPECT_DEATH((void)rb.front(), "empty RingBuffer");
+  EXPECT_DEATH((void)rb.back(), "empty RingBuffer");
+  EXPECT_DEATH((void)rb.pop_front(), "empty RingBuffer");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,281 @@
+#include "core/fifoms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+/// Build N McVoqInput ports for an N-output switch.
+std::vector<McVoqInput> make_ports(int n) {
+  std::vector<McVoqInput> ports;
+  ports.reserve(static_cast<std::size_t>(n));
+  for (PortId p = 0; p < n; ++p) ports.emplace_back(p, n);
+  return ports;
+}
+
+SlotMatching schedule(FifomsScheduler& sched, std::vector<McVoqInput>& ports,
+                      SlotTime now = 100, std::uint64_t seed = 1) {
+  SlotMatching matching(static_cast<int>(ports.size()),
+                        static_cast<int>(ports.size()));
+  Rng rng(seed);
+  sched.schedule(ports, now, matching, rng);
+  matching.validate();
+  return matching;
+}
+
+TEST(Fifoms, EmptySwitchSchedulesNothing) {
+  auto ports = make_ports(4);
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.matched_pairs(), 0);
+  EXPECT_EQ(m.rounds, 0);
+}
+
+TEST(Fifoms, LoneMulticastPacketGetsAllOutputsInOneRound) {
+  auto ports = make_ports(4);
+  ports[1].accept(make_packet(1, 1, 5, {0, 2, 3}));
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.grants(1), (PortSet{0, 2, 3}));
+  EXPECT_EQ(m.matched_pairs(), 3);
+  EXPECT_EQ(m.rounds, 1);
+}
+
+TEST(Fifoms, EarlierTimestampWinsContention) {
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 3, {2}));
+  ports[1].accept(make_packet(2, 1, 7, {2}));
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(2), 0);  // older packet wins
+  EXPECT_FALSE(m.input_matched(1));
+  EXPECT_EQ(m.matched_pairs(), 1);
+}
+
+TEST(Fifoms, LowestInputTieBreakIsDeterministic) {
+  FifomsOptions options;
+  options.tie_break = TieBreak::kLowestInput;
+  FifomsScheduler sched(options);
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  ports[2].accept(make_packet(1, 2, 5, {0}));
+  ports[3].accept(make_packet(2, 3, 5, {0}));
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(0), 2);
+}
+
+TEST(Fifoms, RandomTieBreakPicksBothSidesOverSeeds) {
+  FifomsScheduler sched;
+  bool saw_two = false, saw_three = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    auto ports = make_ports(4);
+    ports[2].accept(make_packet(1, 2, 5, {0}));
+    ports[3].accept(make_packet(2, 3, 5, {0}));
+    sched.reset(4, 4);
+    const SlotMatching m = schedule(sched, ports, 100, seed);
+    saw_two |= m.source(0) == 2;
+    saw_three |= m.source(0) == 3;
+  }
+  EXPECT_TRUE(saw_two);
+  EXPECT_TRUE(saw_three);
+}
+
+TEST(Fifoms, FanoutSplittingWhenOneOutputLost) {
+  // Input 0 has the older packet at output 1; input 1's multicast {0,1}
+  // wins only output 0 and leaves its residue for later slots.
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 1, {1}));
+  ports[1].accept(make_packet(2, 1, 2, {0, 1}));
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(1), 0);
+  EXPECT_EQ(m.source(0), 1);
+  EXPECT_EQ(m.grants(1), (PortSet{0}));  // split: output 1 lost
+  // The losing address cell is still queued at HOL of VOQ(1, 1).
+  EXPECT_FALSE(ports[1].voq_empty(1));
+  EXPECT_EQ(ports[1].hol(1).packet, 2u);
+}
+
+TEST(Fifoms, SecondRoundMatchesFreedPair) {
+  // Input 1 loses output 0 to input 0 in round 1, then matches its later
+  // packet at output 1 in round 2.
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 1, {0}));
+  ports[1].accept(make_packet(2, 1, 2, {0}));
+  ports[1].accept(make_packet(3, 1, 3, {1}));
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(0), 0);
+  EXPECT_EQ(m.source(1), 1);
+  EXPECT_EQ(m.rounds, 2);
+}
+
+TEST(Fifoms, MatchedInputStopsRequesting) {
+  // Once input 0's packet (ts 1) wins output 0, its later packet (ts 2)
+  // must NOT be scheduled at output 1 in the same slot — one data cell per
+  // input per slot.
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 1, {0}));
+  ports[0].accept(make_packet(2, 0, 2, {1}));
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(0), 0);
+  EXPECT_EQ(m.source(1), kNoPort);
+  EXPECT_EQ(m.matched_pairs(), 1);
+}
+
+TEST(Fifoms, ConvergedMatchingIsMaximal) {
+  // After convergence no (free input with a cell for a free output) pair
+  // may remain — the do/while in Table 2 runs until no pairs match.
+  auto ports = make_ports(8);
+  Rng traffic_rng(77);
+  PacketId id = 0;
+  for (PortId input = 0; input < 8; ++input) {
+    for (SlotTime t = 0; t < 3; ++t) {
+      PortSet dests;
+      for (PortId out = 0; out < 8; ++out)
+        if (traffic_rng.bernoulli(0.3)) dests.insert(out);
+      if (dests.empty()) continue;
+      Packet p;
+      p.id = id++;
+      p.input = input;
+      p.arrival = t;
+      p.destinations = dests;
+      ports[static_cast<std::size_t>(input)].accept(p);
+    }
+  }
+  FifomsScheduler sched;
+  sched.reset(8, 8);
+  const SlotMatching m = schedule(sched, ports);
+  for (PortId input = 0; input < 8; ++input) {
+    if (m.input_matched(input)) continue;
+    for (PortId output = 0; output < 8; ++output) {
+      if (m.output_matched(output)) continue;
+      EXPECT_TRUE(ports[static_cast<std::size_t>(input)].voq_empty(output))
+          << "free pair (" << input << "," << output
+          << ") with a queued cell after convergence";
+    }
+  }
+}
+
+TEST(Fifoms, ConvergesWithinNRounds) {
+  // Worst case: every grant round matches at least one output.
+  auto ports = make_ports(8);
+  PacketId id = 0;
+  // Adversarial staircase: input i has packets to outputs {i, i+1, ..., 7}
+  // with strictly increasing priority by input.
+  for (PortId input = 0; input < 8; ++input) {
+    for (PortId output = input; output < 8; ++output) {
+      Packet p;
+      p.id = id++;
+      p.input = input;
+      p.arrival = input * 10 + output;  // unique timestamps
+      p.destinations = PortSet::single(output);
+      ports[static_cast<std::size_t>(input)].accept(p);
+    }
+  }
+  FifomsScheduler sched;
+  sched.reset(8, 8);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_LE(m.rounds, 8);
+  EXPECT_GE(m.matched_pairs(), 1);
+}
+
+TEST(Fifoms, MaxRoundsCapRespected) {
+  FifomsOptions options;
+  options.max_rounds = 1;
+  FifomsScheduler sched(options);
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 1, {0}));
+  ports[1].accept(make_packet(2, 1, 2, {0}));
+  ports[1].accept(make_packet(3, 1, 3, {1}));
+  const SlotMatching m = schedule(sched, ports);
+  // Round 2 (input 1 -> output 1) must not have happened.
+  EXPECT_EQ(m.rounds, 1);
+  EXPECT_EQ(m.source(0), 0);
+  EXPECT_EQ(m.source(1), kNoPort);
+}
+
+TEST(Fifoms, RecomputesEarliestAfterOutputsFill) {
+  // Input 0's earliest packet targets output 0 only.  When output 0 is
+  // taken by an older competitor, input 0's *next* earliest eligible cell
+  // (a later packet to output 1) requests in round 2 — the request step
+  // re-evaluates the smallest time stamp among free outputs each round.
+  auto ports = make_ports(4);
+  ports[1].accept(make_packet(1, 1, 0, {0}));   // oldest, wins output 0
+  ports[0].accept(make_packet(2, 0, 1, {0}));   // loses output 0
+  ports[0].accept(make_packet(3, 0, 2, {1}));   // should win output 1
+  FifomsScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(0), 1);
+  EXPECT_EQ(m.source(1), 0);
+  EXPECT_EQ(m.grants(0), (PortSet{1}));
+}
+
+TEST(FifomsNoSplit, AllOrNothing) {
+  // Input 1's multicast {0,1} conflicts with input 0 at output 1: under
+  // no-splitting it must transmit nothing, even though output 0 is free.
+  FifomsNoSplitScheduler sched;
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 1, {1}));
+  ports[1].accept(make_packet(2, 1, 2, {0, 1}));
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  sched.schedule(ports, 100, m, rng);
+  m.validate();
+  EXPECT_EQ(m.source(1), 0);
+  EXPECT_FALSE(m.input_matched(1));
+  EXPECT_EQ(m.matched_pairs(), 1);
+}
+
+TEST(FifomsNoSplit, GrantsFullFanoutWhenFree) {
+  FifomsNoSplitScheduler sched;
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  ports[2].accept(make_packet(1, 2, 1, {0, 1, 3}));
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  sched.schedule(ports, 100, m, rng);
+  EXPECT_EQ(m.grants(2), (PortSet{0, 1, 3}));
+}
+
+TEST(FifomsNoSplit, TimestampOrderAcrossInputs) {
+  FifomsNoSplitScheduler sched;
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 5, {0, 1}));
+  ports[1].accept(make_packet(2, 1, 3, {1, 2}));  // older, goes first
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  sched.schedule(ports, 100, m, rng);
+  EXPECT_EQ(m.grants(1), (PortSet{1, 2}));
+  EXPECT_FALSE(m.input_matched(0));  // output 1 already taken
+}
+
+TEST(Fifoms, NameAndOptionsExposed) {
+  FifomsOptions options;
+  options.max_rounds = 3;
+  FifomsScheduler sched(options);
+  EXPECT_EQ(sched.name(), "FIFOMS");
+  EXPECT_EQ(sched.options().max_rounds, 3);
+  FifomsNoSplitScheduler nosplit;
+  EXPECT_EQ(nosplit.name(), "FIFOMS-nosplit");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,77 @@
+#include "core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifoms {
+namespace {
+
+TEST(SlotMatching, ResetDimensions) {
+  SlotMatching m(4, 6);
+  EXPECT_EQ(m.num_inputs(), 4);
+  EXPECT_EQ(m.num_outputs(), 6);
+  EXPECT_EQ(m.matched_pairs(), 0);
+  for (PortId output = 0; output < 6; ++output)
+    EXPECT_FALSE(m.output_matched(output));
+  for (PortId input = 0; input < 4; ++input)
+    EXPECT_FALSE(m.input_matched(input));
+}
+
+TEST(SlotMatching, AddMatchUpdatesBothViews) {
+  SlotMatching m(4, 4);
+  m.add_match(2, 3);
+  EXPECT_TRUE(m.output_matched(3));
+  EXPECT_TRUE(m.input_matched(2));
+  EXPECT_EQ(m.source(3), 2);
+  EXPECT_TRUE(m.grants(2).contains(3));
+  EXPECT_EQ(m.matched_pairs(), 1);
+  EXPECT_EQ(m.matched_inputs(), 1);
+  m.validate();
+}
+
+TEST(SlotMatching, MulticastGrantsSameInput) {
+  SlotMatching m(4, 4);
+  m.add_match(1, 0);
+  m.add_match(1, 2);
+  m.add_match(1, 3);
+  EXPECT_EQ(m.matched_pairs(), 3);
+  EXPECT_EQ(m.matched_inputs(), 1);
+  EXPECT_EQ(m.grants(1), (PortSet{0, 2, 3}));
+  m.validate();
+}
+
+TEST(SlotMatching, ResetClearsPreviousSlot) {
+  SlotMatching m(2, 2);
+  m.add_match(0, 0);
+  m.rounds = 3;
+  m.reset(2, 2);
+  EXPECT_EQ(m.matched_pairs(), 0);
+  EXPECT_EQ(m.rounds, 0);
+  EXPECT_FALSE(m.output_matched(0));
+}
+
+TEST(SlotMatching, InputGrantSetsExposeAllInputs) {
+  SlotMatching m(3, 3);
+  m.add_match(0, 1);
+  m.add_match(2, 0);
+  const auto& sets = m.input_grant_sets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (PortSet{1}));
+  EXPECT_TRUE(sets[1].empty());
+  EXPECT_EQ(sets[2], (PortSet{0}));
+}
+
+TEST(SlotMatchingDeath, DoubleGrantPanics) {
+  SlotMatching m(2, 2);
+  m.add_match(0, 1);
+  EXPECT_DEATH(m.add_match(1, 1), "granted twice");
+}
+
+TEST(SlotMatchingDeath, OutOfRangePanics) {
+  SlotMatching m(2, 2);
+  EXPECT_DEATH(m.add_match(2, 0), "input out of range");
+  EXPECT_DEATH(m.add_match(0, 5), "output out of range");
+  EXPECT_DEATH((void)m.source(-1), "output out of range");
+}
+
+}  // namespace
+}  // namespace fifoms

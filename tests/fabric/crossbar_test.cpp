@@ -1,0 +1,88 @@
+#include "fabric/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fifoms {
+namespace {
+
+TEST(Crossbar, StartsReleased) {
+  Crossbar xbar(4, 4);
+  for (PortId output = 0; output < 4; ++output)
+    EXPECT_EQ(xbar.input_for_output(output), kNoPort);
+  EXPECT_EQ(xbar.closed_crosspoints(), 0);
+  EXPECT_EQ(xbar.active_inputs(), 0);
+}
+
+TEST(Crossbar, UnicastConfiguration) {
+  Crossbar xbar(4, 4);
+  std::vector<PortSet> config{PortSet{1}, PortSet{0}, PortSet{}, PortSet{3}};
+  xbar.configure(config);
+  EXPECT_EQ(xbar.input_for_output(1), 0);
+  EXPECT_EQ(xbar.input_for_output(0), 1);
+  EXPECT_EQ(xbar.input_for_output(2), kNoPort);
+  EXPECT_EQ(xbar.input_for_output(3), 3);
+  EXPECT_EQ(xbar.closed_crosspoints(), 3);
+  EXPECT_EQ(xbar.active_inputs(), 3);
+}
+
+TEST(Crossbar, MulticastOneInputManyOutputs) {
+  Crossbar xbar(4, 4);
+  std::vector<PortSet> config{PortSet{0, 1, 2, 3}, PortSet{}, PortSet{},
+                              PortSet{}};
+  xbar.configure(config);
+  for (PortId output = 0; output < 4; ++output)
+    EXPECT_EQ(xbar.input_for_output(output), 0);
+  EXPECT_EQ(xbar.outputs_for_input(0), PortSet::all(4));
+  EXPECT_EQ(xbar.closed_crosspoints(), 4);
+  EXPECT_EQ(xbar.active_inputs(), 1);
+}
+
+TEST(Crossbar, ReleaseClears) {
+  Crossbar xbar(2, 2);
+  std::vector<PortSet> config{PortSet{0}, PortSet{1}};
+  xbar.configure(config);
+  xbar.release();
+  EXPECT_EQ(xbar.input_for_output(0), kNoPort);
+  EXPECT_TRUE(xbar.outputs_for_input(0).empty());
+}
+
+TEST(Crossbar, ReconfigureReplacesPrevious) {
+  Crossbar xbar(2, 2);
+  std::vector<PortSet> first{PortSet{0}, PortSet{1}};
+  xbar.configure(first);
+  std::vector<PortSet> second{PortSet{1}, PortSet{0}};
+  xbar.configure(second);
+  EXPECT_EQ(xbar.input_for_output(1), 0);
+  EXPECT_EQ(xbar.input_for_output(0), 1);
+}
+
+TEST(Crossbar, RectangularSwitchSupported) {
+  Crossbar xbar(2, 5);
+  std::vector<PortSet> config{PortSet{0, 4}, PortSet{2}};
+  xbar.configure(config);
+  EXPECT_EQ(xbar.input_for_output(4), 0);
+  EXPECT_EQ(xbar.input_for_output(2), 1);
+}
+
+TEST(CrossbarDeath, OutputConflictPanics) {
+  Crossbar xbar(2, 2);
+  std::vector<PortSet> config{PortSet{0}, PortSet{0}};
+  EXPECT_DEATH(xbar.configure(config), "two inputs driving the same output");
+}
+
+TEST(CrossbarDeath, WrongConfigSizePanics) {
+  Crossbar xbar(2, 2);
+  std::vector<PortSet> config{PortSet{0}};
+  EXPECT_DEATH(xbar.configure(config), "one PortSet per input");
+}
+
+TEST(CrossbarDeath, OutputBeyondRangePanics) {
+  Crossbar xbar(2, 2);
+  std::vector<PortSet> config{PortSet{3}, PortSet{}};
+  EXPECT_DEATH(xbar.configure(config), "beyond output range");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,111 @@
+#include "fabric/data_cell_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+TEST(DataCellPool, AllocateInitialisesFromPacket) {
+  DataCellPool pool;
+  const Packet packet = make_packet(7, 0, 42, {1, 3, 5});
+  const DataCellRef ref = pool.allocate(packet);
+  ASSERT_TRUE(ref.valid());
+  const DataCell& cell = pool.get(ref);
+  EXPECT_EQ(cell.packet, 7u);
+  EXPECT_EQ(cell.timestamp, 42);
+  EXPECT_EQ(cell.fanout_counter, 3);
+  EXPECT_EQ(cell.initial_fanout, 3);
+  EXPECT_EQ(cell.payload_tag, packet.payload_tag());
+  EXPECT_EQ(pool.live_count(), 1u);
+}
+
+TEST(DataCellPool, ReleaseCountsDownAndDestroysAtZero) {
+  DataCellPool pool;
+  const DataCellRef ref = pool.allocate(make_packet(1, 0, 0, {0, 1}));
+  EXPECT_FALSE(pool.release_one(ref));
+  EXPECT_TRUE(pool.is_live(ref));
+  EXPECT_EQ(pool.get(ref).fanout_counter, 1);
+  EXPECT_TRUE(pool.release_one(ref));
+  EXPECT_FALSE(pool.is_live(ref));
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(DataCellPool, StaleHandleDetected) {
+  DataCellPool pool;
+  const DataCellRef ref = pool.allocate(make_packet(1, 0, 0, {0}));
+  EXPECT_TRUE(pool.release_one(ref));
+  EXPECT_DEATH((void)pool.get(ref), "stale data cell handle");
+  EXPECT_DEATH((void)pool.release_one(ref), "stale data cell handle");
+}
+
+TEST(DataCellPool, SlotReuseBumpsGeneration) {
+  DataCellPool pool;
+  const DataCellRef first = pool.allocate(make_packet(1, 0, 0, {0}));
+  EXPECT_TRUE(pool.release_one(first));
+  const DataCellRef second = pool.allocate(make_packet(2, 0, 1, {0}));
+  // Freed slot is recycled but with a new generation.
+  EXPECT_EQ(second.index, first.index);
+  EXPECT_NE(second.generation, first.generation);
+  EXPECT_FALSE(pool.is_live(first));
+  EXPECT_TRUE(pool.is_live(second));
+  EXPECT_EQ(pool.get(second).packet, 2u);
+}
+
+TEST(DataCellPool, CapacityIsHighWaterMark) {
+  DataCellPool pool;
+  std::vector<DataCellRef> refs;
+  for (PacketId id = 0; id < 10; ++id)
+    refs.push_back(pool.allocate(make_packet(id, 0, 0, {0})));
+  EXPECT_EQ(pool.capacity(), 10u);
+  for (const DataCellRef& ref : refs) EXPECT_TRUE(pool.release_one(ref));
+  EXPECT_EQ(pool.live_count(), 0u);
+  EXPECT_EQ(pool.capacity(), 10u);  // slots retained for reuse
+  for (PacketId id = 10; id < 20; ++id) pool.allocate(make_packet(id, 0, 0, {0}));
+  EXPECT_EQ(pool.capacity(), 10u);  // reused, not grown
+}
+
+TEST(DataCellPool, InvalidHandleDetected) {
+  DataCellPool pool;
+  EXPECT_FALSE(pool.is_live(DataCellRef{}));
+  EXPECT_DEATH((void)pool.get(DataCellRef{}), "invalid data cell handle");
+  EXPECT_DEATH((void)pool.get(DataCellRef{99, 0}), "invalid data cell handle");
+}
+
+TEST(DataCellPool, ClearDropsEverything) {
+  DataCellPool pool;
+  pool.allocate(make_packet(1, 0, 0, {0, 1}));
+  pool.clear();
+  EXPECT_EQ(pool.live_count(), 0u);
+  EXPECT_EQ(pool.capacity(), 0u);
+}
+
+TEST(DataCellPool, ManyInterleavedAllocReleaseStaysConsistent) {
+  DataCellPool pool;
+  Rng rng(17);
+  std::vector<DataCellRef> live;
+  PacketId next_id = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng.bernoulli(0.5)) {
+      live.push_back(pool.allocate(make_packet(next_id++, 0, step, {0})));
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      EXPECT_TRUE(pool.release_one(live[pick]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(pool.live_count(), live.size());
+    for (const DataCellRef& ref : live) ASSERT_TRUE(pool.is_live(ref));
+  }
+}
+
+TEST(DataCellPoolDeath, ZeroFanoutPacketRejected) {
+  DataCellPool pool;
+  Packet packet = test::make_packet(1, 0, 0, {});
+  EXPECT_DEATH((void)pool.allocate(packet), "at least one destination");
+}
+
+}  // namespace
+}  // namespace fifoms

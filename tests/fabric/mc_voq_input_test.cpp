@@ -1,0 +1,120 @@
+#include "fabric/mc_voq_input.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+TEST(McVoqInput, AcceptCreatesOneAddressCellPerDestination) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 10, {0, 2, 3}));
+  EXPECT_EQ(input.data_cell_count(), 1u);
+  EXPECT_EQ(input.address_cell_count(), 3u);
+  EXPECT_FALSE(input.voq_empty(0));
+  EXPECT_TRUE(input.voq_empty(1));
+  EXPECT_FALSE(input.voq_empty(2));
+  EXPECT_FALSE(input.voq_empty(3));
+}
+
+TEST(McVoqInput, AddressCellsShareOneDataCell) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 10, {0, 1, 2}));
+  const DataCellRef ref = input.hol(0).data;
+  EXPECT_EQ(input.hol(1).data, ref);
+  EXPECT_EQ(input.hol(2).data, ref);
+  EXPECT_EQ(input.hol(0).timestamp, 10);
+  EXPECT_EQ(input.data(ref).fanout_counter, 3);
+}
+
+TEST(McVoqInput, VoqsAreFifoByArrival) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 1, {2}));
+  input.accept(make_packet(2, 0, 5, {2}));
+  EXPECT_EQ(input.voq_size(2), 2u);
+  EXPECT_EQ(input.hol(2).packet, 1u);
+  input.serve_hol(2);
+  EXPECT_EQ(input.hol(2).packet, 2u);
+}
+
+TEST(McVoqInput, ServeHolDecrementsFanoutAndDestroysAtZero) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {0, 1}));
+  const auto first = input.serve_hol(0);
+  EXPECT_FALSE(first.data_cell_destroyed);
+  EXPECT_EQ(input.data_cell_count(), 1u);
+  const auto second = input.serve_hol(1);
+  EXPECT_TRUE(second.data_cell_destroyed);
+  EXPECT_EQ(input.data_cell_count(), 0u);
+  EXPECT_EQ(input.address_cell_count(), 0u);
+}
+
+TEST(McVoqInput, ServedPayloadMatchesPacket) {
+  McVoqInput input(0, 4);
+  const Packet packet = make_packet(42, 0, 0, {1});
+  input.accept(packet);
+  const auto served = input.serve_hol(1);
+  EXPECT_EQ(served.payload_tag, packet.payload_tag());
+  EXPECT_EQ(served.cell.packet, 42u);
+}
+
+TEST(McVoqInput, OnlyOnePayloadCopyForMulticast) {
+  // The whole point of the paper's structure: a fanout-k packet costs one
+  // data cell, not k.
+  McVoqInput input(0, 16);
+  input.accept(make_packet(1, 0, 0,
+                           {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                            15}));
+  EXPECT_EQ(input.data_cell_count(), 1u);
+  EXPECT_EQ(input.address_cell_count(), 16u);
+}
+
+TEST(McVoqInput, InterleavedPacketsKeepIndependentQueues) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {0, 1}));
+  input.accept(make_packet(2, 0, 1, {1, 2}));
+  input.accept(make_packet(3, 0, 2, {0}));
+  EXPECT_EQ(input.voq_size(0), 2u);
+  EXPECT_EQ(input.voq_size(1), 2u);
+  EXPECT_EQ(input.voq_size(2), 1u);
+  EXPECT_EQ(input.data_cell_count(), 3u);
+
+  // Serve packet 1 completely; packets 2 and 3 must be untouched.
+  input.serve_hol(0);
+  input.serve_hol(1);
+  EXPECT_EQ(input.data_cell_count(), 2u);
+  EXPECT_EQ(input.hol(0).packet, 3u);
+  EXPECT_EQ(input.hol(1).packet, 2u);
+}
+
+TEST(McVoqInput, ClearResets) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {0, 1}));
+  input.clear();
+  EXPECT_EQ(input.data_cell_count(), 0u);
+  EXPECT_EQ(input.address_cell_count(), 0u);
+  EXPECT_TRUE(input.voq_empty(0));
+}
+
+TEST(McVoqInputDeath, WrongInputRejected) {
+  McVoqInput input(0, 4);
+  EXPECT_DEATH(input.accept(test::make_packet(1, 2, 0, {0})),
+               "wrong input");
+}
+
+TEST(McVoqInputDeath, ServeEmptyVoqPanics) {
+  McVoqInput input(0, 4);
+  EXPECT_DEATH((void)input.serve_hol(0), "empty VOQ");
+}
+
+TEST(McVoqInputDeath, DestinationBeyondRadixPanics) {
+  McVoqInput input(0, 4);
+  EXPECT_DEATH(input.accept(test::make_packet(1, 0, 0, {5})),
+               "beyond switch radix");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,152 @@
+#include "fabric/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "sim/voq_switch.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(Segmenter, CeilDivision) {
+  Segmenter seg(64);
+  EXPECT_EQ(seg.cells_for(0), 1);   // header-only frame
+  EXPECT_EQ(seg.cells_for(1), 1);
+  EXPECT_EQ(seg.cells_for(64), 1);
+  EXPECT_EQ(seg.cells_for(65), 2);
+  EXPECT_EQ(seg.cells_for(128), 2);
+  EXPECT_EQ(seg.cells_for(1500), 24);
+}
+
+TEST(SegmenterDeath, BadPayloadRejected) {
+  EXPECT_DEATH(Segmenter(0), "payload");
+}
+
+TEST(FrameTraffic, CellsEmittedBackToBack) {
+  // frame_p = 1 at slot 0 only is hard to force; instead use p = 1 and
+  // check the cell stream structure: every slot emits exactly one cell
+  // and consecutive cells of one frame share destinations.
+  FrameTraffic traffic(8, Segmenter(64), 1.0, 65, 65, 0.4);  // 2 cells/frame
+  Rng rng(1);
+  for (SlotTime t = 0; t < 200; ++t) {
+    const PortSet dests = traffic.arrival(0, t, rng);
+    ASSERT_FALSE(dests.empty());
+    const Frame& frame = traffic.last_frame(0);
+    EXPECT_EQ(frame.cells, 2);
+    EXPECT_EQ(dests, frame.destinations);
+    EXPECT_EQ(traffic.last_cell_index(0), static_cast<int>(t % 2));
+  }
+}
+
+TEST(FrameTraffic, IngressQueueSerialisesFrames) {
+  // With p = 1 and 3-cell frames, frames queue at the ingress and are
+  // emitted strictly in order.
+  FrameTraffic traffic(8, Segmenter(64), 1.0, 129, 129, 0.4);
+  Rng rng(2);
+  FrameId last = 0;
+  for (SlotTime t = 0; t < 300; ++t) {
+    (void)traffic.arrival(0, t, rng);
+    const FrameId id = traffic.last_frame(0).id;
+    EXPECT_GE(id, last);
+    EXPECT_LE(id - last, 1u);
+    last = id;
+  }
+}
+
+TEST(FrameTraffic, MeanCellsPerFrame) {
+  // Lengths uniform on [1, 128], payload 64: half need 1 cell, half 2.
+  FrameTraffic traffic(8, Segmenter(64), 0.5, 1, 128, 0.4);
+  EXPECT_NEAR(traffic.mean_cells_per_frame(), 1.5, 1e-12);
+}
+
+TEST(Reassembler, CompletesAtLastCell) {
+  Frame frame;
+  frame.id = 7;
+  frame.created = 10;
+  frame.cells = 3;
+  frame.destinations = PortSet{2, 5};
+  Reassembler reassembler;
+  EXPECT_FALSE(reassembler.on_cell(frame, 2, 11).has_value());
+  EXPECT_FALSE(reassembler.on_cell(frame, 2, 13).has_value());
+  const auto done = reassembler.on_cell(frame, 2, 15);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->frame, 7u);
+  EXPECT_EQ(done->output, 2);
+  EXPECT_EQ(done->completed, 15);
+  EXPECT_EQ(done->latency, 5);
+  EXPECT_EQ(reassembler.incomplete(), 0u);
+}
+
+TEST(Reassembler, OutputsTrackedIndependently) {
+  Frame frame;
+  frame.id = 1;
+  frame.created = 0;
+  frame.cells = 2;
+  frame.destinations = PortSet{0, 1};
+  Reassembler reassembler;
+  EXPECT_FALSE(reassembler.on_cell(frame, 0, 1).has_value());
+  EXPECT_FALSE(reassembler.on_cell(frame, 1, 1).has_value());
+  EXPECT_EQ(reassembler.incomplete(), 2u);
+  EXPECT_TRUE(reassembler.on_cell(frame, 1, 2).has_value());
+  EXPECT_TRUE(reassembler.on_cell(frame, 0, 3).has_value());
+}
+
+TEST(ReassemblerDeath, NonMemberOutputRejected) {
+  Frame frame;
+  frame.id = 1;
+  frame.cells = 1;
+  frame.destinations = PortSet{0};
+  Reassembler reassembler;
+  EXPECT_DEATH((void)reassembler.on_cell(frame, 3, 0), "non-member");
+}
+
+TEST(FrameTraffic, EndToEndThroughSwitchWithReassembly) {
+  // Drive a FIFOMS switch with segmented frames at modest load and verify
+  // every frame reassembles at every member output.
+  const int ports = 4;
+  FrameTraffic traffic(ports, Segmenter(64), 0.15, 1, 256, 0.3);
+  VoqSwitch sw(ports, std::make_unique<FifomsScheduler>());
+  Reassembler reassembler;
+  Rng traffic_rng(3), sched_rng(4);
+
+  // Map PacketId -> (frame id, is-last-cell irrelevant); packets carry no
+  // frame info, so track it at injection time.
+  std::map<PacketId, FrameId> packet_frame;
+  PacketId next_id = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t expected_completions = 0;
+  SlotResult result;
+  SlotTime now = 0;
+  for (; now < 4000; ++now) {
+    for (PortId input = 0; input < ports; ++input) {
+      const PortSet dests = traffic.arrival(input, now, traffic_rng);
+      if (dests.empty()) continue;
+      Packet packet{next_id, input, now, dests};
+      packet_frame[next_id] = traffic.last_frame(input).id;
+      ++next_id;
+      sw.inject(packet);
+    }
+    result.clear();
+    sw.step(now, sched_rng, result);
+    for (const Delivery& d : result.deliveries) {
+      const Frame& frame =
+          traffic.frames()[static_cast<std::size_t>(packet_frame.at(d.packet))];
+      if (reassembler.on_cell(frame, d.output, now)) ++completions;
+    }
+  }
+  // Count the completions the finished frames imply (frames whose cells
+  // all got injected AND delivered; approximate by delivered copies).
+  for (const Frame& frame : traffic.frames())
+    expected_completions += static_cast<std::uint64_t>(
+        frame.destinations.count());
+  EXPECT_GT(completions, 0u);
+  // All but the in-flight tail should have completed.
+  EXPECT_GE(completions + 200, expected_completions / 1);
+  EXPECT_LE(completions, expected_completions);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,80 @@
+#include "fabric/single_fifo_input.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+TEST(SingleFifoInput, AcceptQueuesInOrder) {
+  SingleFifoInput input(0);
+  input.accept(make_packet(1, 0, 0, {0, 1}));
+  input.accept(make_packet(2, 0, 1, {2}));
+  EXPECT_EQ(input.queue_size(), 2u);
+  EXPECT_EQ(input.hol().packet, 1u);
+  EXPECT_EQ(input.hol().remaining, (PortSet{0, 1}));
+  EXPECT_EQ(input.hol().initial_fanout, 2);
+}
+
+TEST(SingleFifoInput, PartialServiceLeavesResidue) {
+  SingleFifoInput input(0);
+  input.accept(make_packet(1, 0, 0, {0, 1, 2}));
+  EXPECT_FALSE(input.serve_hol(PortSet{1}));
+  EXPECT_EQ(input.hol().remaining, (PortSet{0, 2}));
+  EXPECT_EQ(input.queue_size(), 1u);  // still at HOL
+}
+
+TEST(SingleFifoInput, FullServiceDeparts) {
+  SingleFifoInput input(0);
+  input.accept(make_packet(1, 0, 0, {0, 1}));
+  input.accept(make_packet(2, 0, 1, {3}));
+  EXPECT_TRUE(input.serve_hol(PortSet{0, 1}));
+  EXPECT_EQ(input.queue_size(), 1u);
+  EXPECT_EQ(input.hol().packet, 2u);
+}
+
+TEST(SingleFifoInput, SplitAcrossSlotsThenDepart) {
+  SingleFifoInput input(0);
+  input.accept(make_packet(1, 0, 0, {0, 1, 2}));
+  EXPECT_FALSE(input.serve_hol(PortSet{0}));
+  EXPECT_FALSE(input.serve_hol(PortSet{2}));
+  EXPECT_TRUE(input.serve_hol(PortSet{1}));
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(SingleFifoInput, HolBlockingByConstruction) {
+  // The second packet cannot be touched while the first has residue —
+  // there is no API to reach past the head.
+  SingleFifoInput input(0);
+  input.accept(make_packet(1, 0, 0, {0}));
+  input.accept(make_packet(2, 0, 1, {1}));
+  EXPECT_EQ(input.hol().packet, 1u);
+  input.serve_hol(PortSet{0});
+  EXPECT_EQ(input.hol().packet, 2u);
+}
+
+TEST(SingleFifoInputDeath, ServingOutsideResiduePanics) {
+  SingleFifoInput input(0);
+  input.accept(make_packet(1, 0, 0, {0, 1}));
+  EXPECT_DEATH((void)input.serve_hol(PortSet{2}), "not in the HOL");
+  input.serve_hol(PortSet{0});
+  EXPECT_DEATH((void)input.serve_hol(PortSet{0}), "not in the HOL");
+}
+
+TEST(SingleFifoInputDeath, EmptyServePanics) {
+  SingleFifoInput input(0);
+  EXPECT_DEATH((void)input.serve_hol(PortSet{0}), "empty input FIFO");
+  input.accept(make_packet(1, 0, 0, {0}));
+  EXPECT_DEATH((void)input.serve_hol(PortSet{}), "no outputs");
+}
+
+TEST(SingleFifoInputDeath, WrongInputRejected) {
+  SingleFifoInput input(3);
+  EXPECT_DEATH(input.accept(test::make_packet(1, 0, 0, {0})), "wrong input");
+}
+
+}  // namespace
+}  // namespace fifoms

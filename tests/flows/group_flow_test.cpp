@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "flows/flow_traffic.hpp"
+#include "flows/group_table.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(GroupTable, AddAndLookup) {
+  GroupTable table(8);
+  const GroupId g0 = table.add_group(PortSet{0, 1});
+  const GroupId g1 = table.add_group(PortSet{5});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.members(g0), (PortSet{0, 1}));
+  EXPECT_EQ(table.members(g1), (PortSet{5}));
+  EXPECT_EQ(table.total_memberships(), 3u);
+}
+
+TEST(GroupTable, JoinLeave) {
+  GroupTable table(8);
+  const GroupId g = table.add_group(PortSet{});
+  table.join(g, 3);
+  table.join(g, 7);
+  EXPECT_EQ(table.members(g), (PortSet{3, 7}));
+  table.leave(g, 3);
+  EXPECT_EQ(table.members(g), (PortSet{7}));
+  table.leave(g, 3);  // idempotent
+  EXPECT_EQ(table.members(g).count(), 1);
+}
+
+TEST(GroupTable, RandomPopulationRespectsBounds) {
+  Rng rng(3);
+  GroupTable table = GroupTable::random(16, 40, 2, 6, rng);
+  EXPECT_EQ(table.size(), 40u);
+  for (GroupId g = 0; g < 40; ++g) {
+    const int size = table.members(g).count();
+    EXPECT_GE(size, 2);
+    EXPECT_LE(size, 6);
+    EXPECT_TRUE(table.members(g).is_subset_of(PortSet::all(16)));
+  }
+}
+
+TEST(GroupTableDeath, BadInputsPanic) {
+  GroupTable table(4);
+  EXPECT_DEATH(table.add_group(PortSet{4}), "beyond switch radix");
+  EXPECT_DEATH((void)table.members(0), "unknown group");
+  const GroupId g = table.add_group(PortSet{0});
+  EXPECT_DEATH(table.join(g, 9), "beyond switch radix");
+}
+
+TEST(FlowTraffic, DestinationsAreGroupMemberships) {
+  GroupTable table(8);
+  table.add_group(PortSet{1, 2, 3});
+  FlowTraffic traffic(std::move(table), 1.0, 0.0);
+  Rng rng(1);
+  for (SlotTime t = 0; t < 100; ++t) {
+    EXPECT_EQ(traffic.arrival(0, t, rng), (PortSet{1, 2, 3}));
+    EXPECT_EQ(traffic.last_group(), 0u);
+  }
+}
+
+TEST(FlowTraffic, PopularGroupDominatesUnderSkew) {
+  GroupTable table(8);
+  table.add_group(PortSet{0});
+  table.add_group(PortSet{1});
+  table.add_group(PortSet{2});
+  table.add_group(PortSet{3});
+  FlowTraffic traffic(std::move(table), 1.0, 2.0);
+  Rng rng(2);
+  int rank0 = 0;
+  const int slots = 50000;
+  for (SlotTime t = 0; t < slots; ++t)
+    if (traffic.arrival(0, t, rng).contains(0)) ++rank0;
+  // Zipf s=2 over 4 ranks: P(0) = 1 / (1 + 1/4 + 1/9 + 1/16) ~ 0.72.
+  EXPECT_NEAR(static_cast<double>(rank0) / slots, 0.72, 0.02);
+}
+
+TEST(FlowTraffic, OfferedLoadUsesPopularityWeightedFanout) {
+  GroupTable table(8);
+  table.add_group(PortSet{0, 1, 2, 3});  // fanout 4
+  table.add_group(PortSet{5});           // fanout 1
+  FlowTraffic traffic(std::move(table), 0.5, 0.0);  // uniform popularity
+  EXPECT_NEAR(traffic.offered_load(), 0.5 * 2.5, 1e-12);
+}
+
+TEST(FlowTraffic, EmptyGroupFiltersPacket) {
+  GroupTable table(8);
+  table.add_group(PortSet{});  // a group nobody joined
+  FlowTraffic traffic(std::move(table), 1.0, 0.0);
+  Rng rng(4);
+  for (SlotTime t = 0; t < 50; ++t)
+    EXPECT_TRUE(traffic.arrival(0, t, rng).empty());
+}
+
+TEST(FlowTraffic, ChurnTogglesMemberships) {
+  GroupTable table(8);
+  table.add_group(PortSet{0});
+  FlowTraffic traffic(std::move(table), 0.0, 0.0, /*churn_rate=*/1.0);
+  Rng rng(5);
+  // With p = 0 no packets arrive, but churn (driven by input 0's calls)
+  // keeps mutating the single group.
+  std::size_t changes = 0;
+  int last = traffic.groups().members(0).count();
+  for (SlotTime t = 0; t < 200; ++t) {
+    for (PortId input = 0; input < 8; ++input)
+      (void)traffic.arrival(input, t, rng);
+    const int size = traffic.groups().members(0).count();
+    if (size != last) ++changes;
+    last = size;
+  }
+  EXPECT_GT(changes, 50u);
+}
+
+TEST(FlowTraffic, RunsInsideFullSimulation) {
+  Rng setup(7);
+  GroupTable table = GroupTable::random(8, 24, 1, 4, setup);
+  FlowTraffic traffic(std::move(table), 0.25, 1.0, 0.001);
+  VoqSwitch sw(8, std::make_unique<FifomsScheduler>());
+  SimConfig config;
+  config.total_slots = 10000;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  EXPECT_FALSE(result.unstable);
+  EXPECT_GT(result.copies_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,71 @@
+#include "flows/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fifoms {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (double s : {0.0, 0.8, 1.0, 2.0}) {
+    ZipfSampler zipf(50, s);
+    double total = 0.0;
+    for (int rank = 0; rank < zipf.size(); ++rank)
+      total += zipf.probability(rank);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (int rank = 0; rank < 10; ++rank)
+    EXPECT_NEAR(zipf.probability(rank), 0.1, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesDecreaseWithRank) {
+  ZipfSampler zipf(20, 1.0);
+  for (int rank = 1; rank < 20; ++rank)
+    EXPECT_LT(zipf.probability(rank), zipf.probability(rank - 1));
+}
+
+TEST(Zipf, ClassicRatios) {
+  // With s = 1, P(rank 0) / P(rank 1) = 2 exactly.
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(3), 4.0, 1e-9);
+}
+
+TEST(Zipf, SingleRankAlwaysZero) {
+  ZipfSampler zipf(1, 1.5);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0);
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatch) {
+  ZipfSampler zipf(8, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int rank = 0; rank < 8; ++rank) {
+    EXPECT_NEAR(static_cast<double>(counts[rank]) / n,
+                zipf.probability(rank), 0.01)
+        << "rank " << rank;
+  }
+}
+
+TEST(Zipf, ExpectationHelper) {
+  ZipfSampler zipf(4, 0.0);  // uniform over {0,1,2,3}
+  const double mean =
+      zipf.expectation([](int rank) { return static_cast<double>(rank); });
+  EXPECT_NEAR(mean, 1.5, 1e-12);
+}
+
+TEST(ZipfDeath, BadParametersPanic) {
+  EXPECT_DEATH(ZipfSampler(0, 1.0), "at least one rank");
+  EXPECT_DEATH(ZipfSampler(5, -0.5), "skew");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,122 @@
+#include "hw/comparator_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifoms::hw {
+namespace {
+
+TEST(ComparatorTree, DepthIsCeilLog2) {
+  EXPECT_EQ(ComparatorTree(1).depth(), 0);
+  EXPECT_EQ(ComparatorTree(2).depth(), 1);
+  EXPECT_EQ(ComparatorTree(3).depth(), 2);
+  EXPECT_EQ(ComparatorTree(4).depth(), 2);
+  EXPECT_EQ(ComparatorTree(5).depth(), 3);
+  EXPECT_EQ(ComparatorTree(16).depth(), 4);
+  EXPECT_EQ(ComparatorTree(17).depth(), 5);
+  EXPECT_EQ(ComparatorTree(64).depth(), 6);
+}
+
+TEST(ComparatorTree, EmptyIsInvalid) {
+  ComparatorTree tree(8);
+  EXPECT_FALSE(tree.evaluate().valid);
+}
+
+TEST(ComparatorTree, SingleLaneWins) {
+  ComparatorTree tree(8);
+  tree.set_lane(5, 1234);
+  const CompareResult result = tree.evaluate();
+  EXPECT_TRUE(result.valid);
+  EXPECT_EQ(result.lane, 5);
+  EXPECT_EQ(result.key, 1234u);
+}
+
+TEST(ComparatorTree, SmallestKeyWins) {
+  ComparatorTree tree(4);
+  tree.set_lane(0, 30);
+  tree.set_lane(1, 10);
+  tree.set_lane(2, 20);
+  const CompareResult result = tree.evaluate();
+  EXPECT_EQ(result.lane, 1);
+  EXPECT_EQ(result.key, 10u);
+}
+
+TEST(ComparatorTree, TiesPickLowestLane) {
+  ComparatorTree tree(8);
+  tree.set_lane(6, 7);
+  tree.set_lane(2, 7);
+  tree.set_lane(4, 7);
+  EXPECT_EQ(tree.evaluate().lane, 2);
+}
+
+TEST(ComparatorTree, ClearLaneRemovesContender) {
+  ComparatorTree tree(4);
+  tree.set_lane(0, 1);
+  tree.set_lane(1, 2);
+  tree.clear_lane(0);
+  EXPECT_EQ(tree.evaluate().lane, 1);
+  tree.clear_all();
+  EXPECT_FALSE(tree.evaluate().valid);
+}
+
+TEST(ComparatorTree, NonPowerOfTwoLanes) {
+  for (int lanes : {3, 5, 7, 11, 13}) {
+    ComparatorTree tree(lanes);
+    tree.set_lane(lanes - 1, 42);  // the pass-through odd lane
+    const CompareResult result = tree.evaluate();
+    EXPECT_EQ(result.lane, lanes - 1) << "lanes " << lanes;
+  }
+}
+
+TEST(ComparatorTree, MatchesStdMinElementUnderFuzz) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int lanes = 1 + static_cast<int>(rng.next_below(20));
+    ComparatorTree tree(lanes);
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(lanes),
+                                    ~0ull);
+    bool any = false;
+    for (int lane = 0; lane < lanes; ++lane) {
+      if (rng.bernoulli(0.6)) {
+        const std::uint64_t key = rng.next_below(50);  // force tie chances
+        tree.set_lane(lane, key);
+        keys[static_cast<std::size_t>(lane)] = key;
+        any = true;
+      }
+    }
+    const CompareResult result = tree.evaluate();
+    if (!any) {
+      EXPECT_FALSE(result.valid);
+      continue;
+    }
+    const auto it = std::min_element(keys.begin(), keys.end());
+    EXPECT_TRUE(result.valid);
+    EXPECT_EQ(result.key, *it);
+    // Lowest lane among the minima.
+    EXPECT_EQ(result.lane,
+              static_cast<int>(std::distance(keys.begin(), it)));
+  }
+}
+
+TEST(ComparatorTree, ComparisonCountPerEvaluation) {
+  // A full binary tree over 8 lanes burns exactly 7 comparators per pass.
+  ComparatorTree tree(8);
+  for (int lane = 0; lane < 8; ++lane) tree.set_lane(lane, lane);
+  (void)tree.evaluate();
+  EXPECT_EQ(tree.comparisons(), 7u);
+  (void)tree.evaluate();
+  EXPECT_EQ(tree.comparisons(), 14u);
+}
+
+TEST(ComparatorTreeDeath, LaneOutOfRangePanics) {
+  ComparatorTree tree(4);
+  EXPECT_DEATH(tree.set_lane(4, 0), "lane out of range");
+  EXPECT_DEATH(tree.set_lane(-1, 0), "lane out of range");
+}
+
+}  // namespace
+}  // namespace fifoms::hw

@@ -1,0 +1,154 @@
+#include "hw/fifoms_control_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "test_util.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+std::vector<McVoqInput> make_ports(int n) {
+  std::vector<McVoqInput> ports;
+  for (PortId p = 0; p < n; ++p) ports.emplace_back(p, n);
+  return ports;
+}
+
+TEST(FifomsControlUnit, LevelsPerRoundIsTwoLogN) {
+  hw::FifomsControlUnit unit;
+  unit.reset(16, 16);
+  EXPECT_EQ(unit.levels_per_round(), 8);  // 4 input + 4 output levels
+  unit.reset(64, 64);
+  EXPECT_EQ(unit.levels_per_round(), 12);
+}
+
+TEST(FifomsControlUnit, LoneMulticastFullyGranted) {
+  auto ports = make_ports(4);
+  ports[1].accept(make_packet(1, 1, 5, {0, 2, 3}));
+  hw::FifomsControlUnit unit;
+  unit.reset(4, 4);
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  unit.schedule(ports, 5, m, rng);
+  m.validate();
+  EXPECT_EQ(m.grants(1), (PortSet{0, 2, 3}));
+  EXPECT_EQ(m.rounds, 1);
+}
+
+TEST(FifomsControlUnit, TieBreaksToLowestInput) {
+  auto ports = make_ports(4);
+  ports[2].accept(make_packet(1, 2, 5, {0}));
+  ports[3].accept(make_packet(2, 3, 5, {0}));
+  hw::FifomsControlUnit unit;
+  unit.reset(4, 4);
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  unit.schedule(ports, 5, m, rng);
+  EXPECT_EQ(m.source(0), 2);
+}
+
+TEST(FifomsControlUnit, CountsComparisonsAndRounds) {
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 1, {0}));
+  hw::FifomsControlUnit unit;
+  unit.reset(4, 4);
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  unit.schedule(ports, 1, m, rng);
+  EXPECT_GT(unit.total_comparisons(), 0u);
+  EXPECT_EQ(unit.total_rounds(), 1u);
+}
+
+// ---- Differential test: gate-level datapath == behavioural scheduler --
+//
+// Both schedulers implement FIFOMS with deterministic lowest-input
+// tie-break; on identical queue states they must emit identical matchings
+// slot for slot.  This is the strongest statement that Section IV's
+// comparator-tree hardware really computes the algorithm of Section III.
+
+struct DiffParam {
+  int ports;
+  double p;
+  double b;
+  std::uint64_t seed;
+};
+
+class HwDifferentialTest : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(HwDifferentialTest, HardwareMatchesBehaviouralScheduler) {
+  const DiffParam param = GetParam();
+
+  FifomsOptions options;
+  options.tie_break = TieBreak::kLowestInput;
+  VoqSwitch sw_behavioural(param.ports,
+                           std::make_unique<FifomsScheduler>(options));
+  VoqSwitch sw_hardware(param.ports,
+                        std::make_unique<hw::FifomsControlUnit>());
+
+  BernoulliTraffic traffic_a(param.ports, param.p, param.b);
+  BernoulliTraffic traffic_b(param.ports, param.p, param.b);
+  Rng rng_a(param.seed), rng_b(param.seed);
+  Rng sched_a(1), sched_b(1);
+
+  PacketId next_a = 0, next_b = 0;
+  SlotResult result_a, result_b;
+  for (SlotTime now = 0; now < 500; ++now) {
+    for (PortId input = 0; input < param.ports; ++input) {
+      const PortSet dests_a = traffic_a.arrival(input, now, rng_a);
+      const PortSet dests_b = traffic_b.arrival(input, now, rng_b);
+      ASSERT_EQ(dests_a, dests_b);
+      if (dests_a.empty()) continue;
+      Packet pa{next_a++, input, now, dests_a};
+      Packet pb{next_b++, input, now, dests_b};
+      sw_behavioural.inject(pa);
+      sw_hardware.inject(pb);
+    }
+    result_a.clear();
+    result_b.clear();
+    sw_behavioural.step(now, sched_a, result_a);
+    sw_hardware.step(now, sched_b, result_b);
+
+    ASSERT_EQ(result_a.rounds, result_b.rounds) << "slot " << now;
+    ASSERT_EQ(result_a.deliveries.size(), result_b.deliveries.size())
+        << "slot " << now;
+    for (std::size_t k = 0; k < result_a.deliveries.size(); ++k) {
+      const Delivery& da = result_a.deliveries[k];
+      const Delivery& db = result_b.deliveries[k];
+      ASSERT_EQ(da.packet, db.packet) << "slot " << now;
+      ASSERT_EQ(da.input, db.input) << "slot " << now;
+      ASSERT_EQ(da.output, db.output) << "slot " << now;
+    }
+  }
+  EXPECT_EQ(sw_behavioural.total_buffered(), sw_hardware.total_buffered());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HwDifferentialTest,
+    ::testing::Values(DiffParam{2, 0.8, 0.8, 1}, DiffParam{4, 0.5, 0.4, 2},
+                      DiffParam{8, 0.4, 0.25, 3}, DiffParam{16, 0.3, 0.2, 4},
+                      DiffParam{16, 0.9, 0.3, 5}, DiffParam{5, 0.7, 0.5, 6}),
+    [](const ::testing::TestParamInfo<DiffParam>& info) {
+      return "N" + std::to_string(info.param.ports) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(FifomsControlUnit, WorksInsideFullSimulation) {
+  VoqSwitch sw(8, std::make_unique<hw::FifomsControlUnit>());
+  BernoulliTraffic traffic(8, 0.35, 0.25);
+  SimConfig config;
+  config.total_slots = 5000;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  EXPECT_FALSE(result.unstable);
+  EXPECT_GT(result.copies_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,114 @@
+#include "io/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fifoms {
+namespace {
+
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    pointers.push_back(const_cast<char*>("prog"));
+    for (auto& arg : storage) pointers.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers.size()); }
+  char** argv() { return pointers.data(); }
+
+  std::vector<std::string> storage;
+  std::vector<char*> pointers;
+};
+
+ArgParser make_parser() {
+  ArgParser parser("test", "test parser");
+  parser.add_int("slots", 1000, "slot count");
+  parser.add_double("load", 0.5, "offered load");
+  parser.add_string("out", "result.csv", "output file");
+  parser.add_bool("verbose", false, "chatty mode");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsWhenNoArgs) {
+  auto parser = make_parser();
+  Argv argv({});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("slots"), 1000);
+  EXPECT_DOUBLE_EQ(parser.get_double("load"), 0.5);
+  EXPECT_EQ(parser.get_string("out"), "result.csv");
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  auto parser = make_parser();
+  Argv argv({"--slots", "500", "--load", "0.75", "--out", "x.csv"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("slots"), 500);
+  EXPECT_DOUBLE_EQ(parser.get_double("load"), 0.75);
+  EXPECT_EQ(parser.get_string("out"), "x.csv");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  auto parser = make_parser();
+  Argv argv({"--slots=42", "--load=0.1", "--verbose=true"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("slots"), 42);
+  EXPECT_DOUBLE_EQ(parser.get_double("load"), 0.1);
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, BareBooleanFlag) {
+  auto parser = make_parser();
+  Argv argv({"--verbose"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, NegativeNumbers) {
+  auto parser = make_parser();
+  Argv argv({"--slots", "-5", "--load", "-0.5"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("slots"), -5);
+  EXPECT_DOUBLE_EQ(parser.get_double("load"), -0.5);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto parser = make_parser();
+  Argv argv({"--help"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(ArgParser, UnknownFlagRejected) {
+  auto parser = make_parser();
+  Argv argv({"--nope", "1"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(ArgParser, BadValueRejected) {
+  auto parser = make_parser();
+  Argv bad_int({"--slots", "abc"});
+  EXPECT_FALSE(parser.parse(bad_int.argc(), bad_int.argv()));
+  auto parser2 = make_parser();
+  Argv bad_bool({"--verbose=maybe"});
+  EXPECT_FALSE(parser2.parse(bad_bool.argc(), bad_bool.argv()));
+}
+
+TEST(ArgParser, MissingValueRejected) {
+  auto parser = make_parser();
+  Argv argv({"--slots"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(ArgParser, PositionalArgumentRejected) {
+  auto parser = make_parser();
+  Argv argv({"positional"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(ArgParserDeath, UndeclaredFlagAccessPanics) {
+  auto parser = make_parser();
+  EXPECT_DEATH((void)parser.get_int("nope"), "never declared");
+  EXPECT_DEATH((void)parser.get_double("slots"), "wrong type");
+}
+
+}  // namespace
+}  // namespace fifoms

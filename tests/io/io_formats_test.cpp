@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace fifoms {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+PointSummary sample_point() {
+  PointSummary point;
+  point.algorithm = "FIFOMS";
+  point.load = 0.5;
+  point.replications = 3;
+  point.input_delay = 2.25;
+  point.output_delay = 1.5;
+  point.queue_mean = 0.75;
+  point.queue_max = 12;
+  point.rounds_busy = 1.9;
+  point.throughput = 0.499;
+  return point;
+}
+
+TEST(Csv, PlainRow) {
+  const std::string path = temp_path("plain.csv");
+  {
+    CsvWriter csv(path);
+    csv.row({"a", "b", "c"});
+    csv.row({"1", "2", "3"});
+  }
+  EXPECT_EQ(slurp(path), "a,b,c\n1,2,3\n");
+}
+
+TEST(Csv, QuotingRules) {
+  const std::string path = temp_path("quoted.csv");
+  {
+    CsvWriter csv(path);
+    csv.row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  }
+  EXPECT_EQ(slurp(path),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(Csv, NumFormatsCompactly) {
+  EXPECT_EQ(CsvWriter::num(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::num(3.0), "3");
+  EXPECT_EQ(CsvWriter::num(1.0 / 3.0), "0.333333");
+}
+
+TEST(Csv, SweepCsvHasHeaderAndRows) {
+  const std::string path = temp_path("sweep.csv");
+  write_sweep_csv(path, {sample_point()});
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("algorithm,load"), std::string::npos);
+  EXPECT_NE(text.find("FIFOMS,0.5,3,0,2.25"), std::string::npos);
+}
+
+TEST(CsvDeath, UnwritablePathPanics) {
+  EXPECT_DEATH(CsvWriter("/nonexistent_dir/x.csv"), "cannot open");
+}
+
+TEST(Json, ScalarsAndNesting) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name");
+  json.value("fifoms");
+  json.key("ports");
+  json.value(16);
+  json.key("load");
+  json.value(0.5);
+  json.key("stable");
+  json.value(true);
+  json.key("series");
+  json.begin_array();
+  json.value(1.0);
+  json.value(2.5);
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"fifoms\",\"ports\":16,\"load\":0.5,"
+            "\"stable\":true,\"series\":[1,2.5]}");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter json;
+  json.value(std::string("a\"b\\c\nd"));
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, SweepSerialisation) {
+  const std::string text = sweep_to_json({sample_point()});
+  EXPECT_NE(text.find("\"algorithm\":\"FIFOMS\""), std::string::npos);
+  EXPECT_NE(text.find("\"load\":0.5"), std::string::npos);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), ']');
+}
+
+TEST(JsonDeath, MisuseDetected) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_DEATH(json.value(1.0), "needs key");
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_DEATH(json.key("x"), "key outside object");
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_DEATH((void)json.str(), "unbalanced");
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.row({"x", "1"});
+  table.row({"longer", "2.5"});
+  const std::string path = temp_path("table.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    table.print(f);
+    std::fclose(f);
+  }
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("name    value"), std::string::npos);
+  EXPECT_NE(text.find("longer  2.5"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+}
+
+TEST(Table, FixedFormatsDecimals) {
+  EXPECT_EQ(TablePrinter::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fixed(1.0, 3), "1.000");
+}
+
+TEST(Table, SweepTablesGroupByAlgorithm) {
+  PointSummary a = sample_point();
+  PointSummary b = sample_point();
+  b.algorithm = "iSLIP";
+  b.unstable_count = b.replications;
+  const std::string path = temp_path("sweeptables.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    print_sweep_tables({a, b}, f);
+    std::fclose(f);
+  }
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("FIFOMS"), std::string::npos);
+  EXPECT_NE(text.find("iSLIP"), std::string::npos);
+  EXPECT_NE(text.find("UNSTABLE"), std::string::npos);
+}
+
+TEST(TableDeath, RowWidthMismatchPanics) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.row({"only one"}), "row width");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "sched/drr2d.hpp"
+#include "sched/ilqf.hpp"
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+std::vector<McVoqInput> make_ports(int n) {
+  std::vector<McVoqInput> ports;
+  for (PortId p = 0; p < n; ++p) ports.emplace_back(p, n);
+  return ports;
+}
+
+template <typename Scheduler>
+SlotMatching schedule(Scheduler& sched, std::vector<McVoqInput>& ports,
+                      std::uint64_t seed = 1) {
+  SlotMatching m(static_cast<int>(ports.size()),
+                 static_cast<int>(ports.size()));
+  Rng rng(seed);
+  sched.schedule(ports, 0, m, rng);
+  m.validate();
+  return m;
+}
+
+void fill_backlog(std::vector<McVoqInput>& ports, PacketId& id) {
+  const int n = static_cast<int>(ports.size());
+  for (PortId input = 0; input < n; ++input) {
+    Packet p;
+    p.id = id++;
+    p.input = input;
+    p.arrival = static_cast<SlotTime>(id);
+    p.destinations = PortSet::all(n);
+    ports[static_cast<std::size_t>(input)].accept(p);
+  }
+}
+
+TEST(Drr2d, EmptyIdle) {
+  auto ports = make_ports(4);
+  Drr2dScheduler sched;
+  sched.reset(4, 4);
+  EXPECT_EQ(schedule(sched, ports).matched_pairs(), 0);
+}
+
+TEST(Drr2d, PerfectMatchingUnderFullBacklog) {
+  auto ports = make_ports(4);
+  PacketId id = 0;
+  fill_backlog(ports, id);
+  Drr2dScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.matched_pairs(), 4);  // first diagonal matches everyone
+}
+
+TEST(Drr2d, FirstDiagonalRotatesEverySlot) {
+  auto ports = make_ports(4);
+  Drr2dScheduler sched;
+  sched.reset(4, 4);
+  SlotMatching m(4, 4);
+  Rng rng(1);
+  EXPECT_EQ(sched.first_diagonal(), 0);
+  sched.schedule(ports, 0, m, rng);
+  EXPECT_EQ(sched.first_diagonal(), 1);
+  m.reset(4, 4);
+  sched.schedule(ports, 1, m, rng);
+  EXPECT_EQ(sched.first_diagonal(), 2);
+}
+
+TEST(Drr2d, DiagonalPriorityVisible) {
+  // With first diagonal 0, pair (i, i) has priority over (i, i+1).
+  auto ports = make_ports(2);
+  ports[0].accept(make_packet(0, 0, 0, {0, 1}));
+  ports[1].accept(make_packet(1, 1, 0, {0, 1}));
+  Drr2dScheduler sched;
+  sched.reset(2, 2);
+  const SlotMatching m = schedule(sched, ports);
+  // Diagonal 0: (0,0) and (1,1) matched first; nothing left after.
+  EXPECT_EQ(m.source(0), 0);
+  EXPECT_EQ(m.source(1), 1);
+}
+
+TEST(Drr2d, RotationGivesEveryPairServiceOverNSlots) {
+  // One persistent VOQ(0, 1) competitor against VOQ(1, 1): both get
+  // served within a 2-slot rotation cycle.
+  auto ports = make_ports(2);
+  PacketId id = 0;
+  for (int k = 0; k < 4; ++k) {
+    ports[0].accept(make_packet(id++, 0, k, {1}));
+    ports[1].accept(make_packet(id++, 1, k, {1}));
+  }
+  Drr2dScheduler sched;
+  sched.reset(2, 2);
+  Rng rng(1);
+  std::set<PortId> sources;
+  for (SlotTime now = 0; now < 2; ++now) {
+    SlotMatching m(2, 2);
+    sched.schedule(ports, now, m, rng);
+    m.validate();
+    ASSERT_TRUE(m.output_matched(1));
+    sources.insert(m.source(1));
+    ports[static_cast<std::size_t>(m.source(1))].serve_hol(1);
+  }
+  EXPECT_EQ(sources.size(), 2u);  // both inputs served across the cycle
+}
+
+TEST(Drr2d, MaximalUnderScatteredRequests) {
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(0, 0, 0, {2}));
+  ports[3].accept(make_packet(1, 3, 0, {1}));
+  Drr2dScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(2), 0);
+  EXPECT_EQ(m.source(1), 3);
+}
+
+TEST(Drr2dDeath, RectangularRejected) {
+  Drr2dScheduler sched;
+  EXPECT_DEATH(sched.reset(2, 4), "square");
+}
+
+TEST(Ilqf, LongestQueueWinsGrant) {
+  auto ports = make_ports(2);
+  // VOQ(0, 0) has 3 cells, VOQ(1, 0) has 1.
+  for (int k = 0; k < 3; ++k)
+    ports[0].accept(make_packet(static_cast<PacketId>(k), 0, k, {0}));
+  ports[1].accept(make_packet(10, 1, 0, {0}));
+  IlqfScheduler sched;
+  sched.reset(2, 2);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(0), 0);
+}
+
+TEST(Ilqf, AcceptPrefersLongestVoq) {
+  auto ports = make_ports(2);
+  // Input 0 has VOQ(0,0) with 1 cell and VOQ(0,1) with 3 cells; both
+  // outputs grant it (no competition): it must accept output 1.
+  ports[0].accept(make_packet(0, 0, 0, {0, 1}));
+  ports[0].accept(make_packet(1, 0, 1, {1}));
+  ports[0].accept(make_packet(2, 0, 2, {1}));
+  IlqfScheduler sched;
+  sched.reset(2, 2);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.grants(0), (PortSet{1}));
+}
+
+TEST(Ilqf, IteratesToMaximal) {
+  auto ports = make_ports(3);
+  PacketId id = 0;
+  fill_backlog(ports, id);
+  IlqfScheduler sched;
+  sched.reset(3, 3);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.matched_pairs(), 3);
+}
+
+TEST(Ilqf, TiesRandomised) {
+  bool zero_won = false, one_won = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    auto ports = make_ports(2);
+    ports[0].accept(make_packet(0, 0, 0, {0}));
+    ports[1].accept(make_packet(1, 1, 0, {0}));
+    IlqfScheduler sched;
+    sched.reset(2, 2);
+    const SlotMatching m = schedule(sched, ports, seed);
+    zero_won |= m.source(0) == 0;
+    one_won |= m.source(0) == 1;
+  }
+  EXPECT_TRUE(zero_won);
+  EXPECT_TRUE(one_won);
+}
+
+TEST(Ilqf, IterationCapRespected) {
+  IlqfOptions options;
+  options.max_iterations = 1;
+  IlqfScheduler sched(options);
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  PacketId id = 0;
+  fill_backlog(ports, id);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.rounds, 1);
+}
+
+}  // namespace
+}  // namespace fifoms

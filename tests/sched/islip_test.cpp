@@ -1,0 +1,176 @@
+#include "sched/islip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+std::vector<McVoqInput> make_ports(int n) {
+  std::vector<McVoqInput> ports;
+  for (PortId p = 0; p < n; ++p) ports.emplace_back(p, n);
+  return ports;
+}
+
+SlotMatching schedule(IslipScheduler& sched, std::vector<McVoqInput>& ports) {
+  SlotMatching m(static_cast<int>(ports.size()),
+                 static_cast<int>(ports.size()));
+  Rng rng(1);
+  sched.schedule(ports, 0, m, rng);
+  m.validate();
+  return m;
+}
+
+TEST(Islip, EmptySwitchIdle) {
+  auto ports = make_ports(4);
+  IslipScheduler sched;
+  sched.reset(4, 4);
+  EXPECT_EQ(schedule(sched, ports).matched_pairs(), 0);
+}
+
+TEST(Islip, SingleRequestMatched) {
+  auto ports = make_ports(4);
+  ports[2].accept(make_packet(1, 2, 0, {3}));
+  IslipScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(3), 2);
+  EXPECT_EQ(m.matched_pairs(), 1);
+}
+
+TEST(Islip, AtMostOneOutputPerInput) {
+  // iSLIP treats multicast as independent unicast: even a fanout-4 packet
+  // gets exactly one output per slot.
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 0, {0, 1, 2, 3}));
+  IslipScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.matched_pairs(), 1);
+  EXPECT_EQ(m.grants(0).count(), 1);
+}
+
+TEST(Islip, GrantPointerRoundRobin) {
+  // Both inputs request output 0; pointers start at 0 so input 0 wins,
+  // then the pointer moves past it and input 1 wins the next slot.
+  IslipScheduler sched;
+  sched.reset(2, 2);
+  auto ports = make_ports(2);
+  ports[0].accept(make_packet(1, 0, 0, {0}));
+  ports[0].accept(make_packet(2, 0, 1, {0}));
+  ports[1].accept(make_packet(3, 1, 0, {0}));
+  ports[1].accept(make_packet(4, 1, 1, {0}));
+
+  SlotMatching first = schedule(sched, ports);
+  EXPECT_EQ(first.source(0), 0);
+  EXPECT_EQ(sched.grant_pointers()[0], 1);  // advanced past input 0
+  ports[0].serve_hol(0);
+
+  SlotMatching second = schedule(sched, ports);
+  EXPECT_EQ(second.source(0), 1);
+  EXPECT_EQ(sched.grant_pointers()[0], 0);  // wrapped past input 1
+}
+
+TEST(Islip, PointerNotUpdatedWithoutAccept) {
+  IslipScheduler sched;
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  // No requests at all: pointers stay at initial positions.
+  (void)schedule(sched, ports);
+  EXPECT_EQ(sched.grant_pointers(), std::vector<PortId>(4, 0));
+  EXPECT_EQ(sched.accept_pointers(), std::vector<PortId>(4, 0));
+}
+
+TEST(Islip, AcceptPointerPrefersRotatedOutput) {
+  IslipScheduler sched;
+  sched.reset(2, 2);
+  auto ports = make_ports(2);
+  // Input 0 has traffic for both outputs; nobody competes.
+  ports[0].accept(make_packet(1, 0, 0, {0}));
+  ports[0].accept(make_packet(2, 0, 1, {1}));
+  SlotMatching first = schedule(sched, ports);
+  // Accept pointer at 0: output 0 accepted.
+  EXPECT_EQ(first.grants(0), (PortSet{0}));
+  EXPECT_EQ(sched.accept_pointers()[0], 1);
+  ports[0].serve_hol(0);
+  SlotMatching second = schedule(sched, ports);
+  EXPECT_EQ(second.grants(0), (PortSet{1}));
+}
+
+TEST(Islip, IterativeRoundsFillUnmatchedPairs) {
+  // Classic 2x2 scenario needing a second iteration:
+  // input 0 -> {0, 1}, input 1 -> {0}.  Iteration 1 with zeroed pointers:
+  // output 0 grants input 0, output 1 grants input 0; input 0 accepts
+  // output 0; input 1 got nothing.  Iteration 2: output 1 regrants? no
+  // requests from input 1 for output 1 — but output 0 is taken, so input 1
+  // stays unmatched.  Use input 1 -> {1} backlog instead to see the fill.
+  IslipScheduler sched;
+  sched.reset(2, 2);
+  auto ports = make_ports(2);
+  ports[0].accept(make_packet(1, 0, 0, {0}));
+  ports[0].accept(make_packet(2, 0, 1, {1}));
+  ports[1].accept(make_packet(3, 1, 0, {0}));
+  ports[1].accept(make_packet(4, 1, 1, {1}));
+  const SlotMatching m = schedule(sched, ports);
+  // Full matching must be found (iSLIP converges to maximal here).
+  EXPECT_EQ(m.matched_pairs(), 2);
+  EXPECT_TRUE(m.output_matched(0));
+  EXPECT_TRUE(m.output_matched(1));
+}
+
+TEST(Islip, MaxIterationCapLimitsMatching) {
+  IslipOptions options;
+  options.max_iterations = 1;
+  IslipScheduler sched(options);
+  sched.reset(3, 3);
+  auto ports = make_ports(3);
+  // All inputs request only output 0 plus private outputs; one iteration
+  // can match at most ... construct: inputs {0,1} both want {0,1}:
+  ports[0].accept(make_packet(1, 0, 0, {0}));
+  ports[0].accept(make_packet(2, 0, 1, {1}));
+  ports[1].accept(make_packet(3, 1, 0, {0}));
+  ports[1].accept(make_packet(4, 1, 1, {1}));
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.rounds, 1);
+}
+
+TEST(Islip, DesynchronisesUnderFullBacklog) {
+  // The hallmark of iSLIP: with all VOQs backlogged, pointers desynchronise
+  // and the switch settles into a 100%-throughput rotating schedule.
+  const int n = 4;
+  IslipScheduler sched;
+  sched.reset(n, n);
+  auto ports = make_ports(n);
+  PacketId id = 0;
+  SlotTime arrival = 0;
+  // Deep backlog in every VOQ.
+  for (int round = 0; round < 32; ++round) {
+    for (PortId input = 0; input < n; ++input) {
+      Packet p;
+      p.id = id++;
+      p.input = input;
+      p.arrival = arrival;
+      p.destinations = PortSet::all(n);
+      ports[static_cast<std::size_t>(input)].accept(p);
+    }
+    ++arrival;
+  }
+  // After a few warm-up slots every slot must be a perfect matching.
+  Rng rng(3);
+  for (int slot = 0; slot < 16; ++slot) {
+    SlotMatching m(n, n);
+    sched.schedule(ports, slot, m, rng);
+    m.validate();
+    for (PortId input = 0; input < n; ++input)
+      for (PortId output : m.grants(input)) {
+        ports[static_cast<std::size_t>(input)].serve_hol(output);
+      }
+    if (slot >= 4) EXPECT_EQ(m.matched_pairs(), n) << "slot " << slot;
+  }
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "sched/pim.hpp"
+#include "sched/random_voq.hpp"
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+std::vector<McVoqInput> make_ports(int n) {
+  std::vector<McVoqInput> ports;
+  for (PortId p = 0; p < n; ++p) ports.emplace_back(p, n);
+  return ports;
+}
+
+template <typename Scheduler>
+SlotMatching schedule(Scheduler& sched, std::vector<McVoqInput>& ports,
+                      std::uint64_t seed = 1) {
+  SlotMatching m(static_cast<int>(ports.size()),
+                 static_cast<int>(ports.size()));
+  Rng rng(seed);
+  sched.schedule(ports, 0, m, rng);
+  m.validate();
+  return m;
+}
+
+TEST(Pim, EmptyIdle) {
+  auto ports = make_ports(4);
+  PimScheduler sched;
+  sched.reset(4, 4);
+  EXPECT_EQ(schedule(sched, ports).matched_pairs(), 0);
+}
+
+TEST(Pim, SinglePairMatched) {
+  auto ports = make_ports(4);
+  ports[1].accept(make_packet(1, 1, 0, {2}));
+  PimScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(2), 1);
+}
+
+TEST(Pim, OneOutputPerInputPerSlot) {
+  auto ports = make_ports(4);
+  ports[0].accept(make_packet(1, 0, 0, {0, 1, 2, 3}));
+  PimScheduler sched;
+  sched.reset(4, 4);
+  EXPECT_EQ(schedule(sched, ports).matched_pairs(), 1);
+}
+
+TEST(Pim, ConvergesToMaximalMatching) {
+  // With a full backlog a converged PIM matching is maximal: no free
+  // input/output pair with a queued cell remains.
+  auto ports = make_ports(6);
+  PacketId id = 0;
+  for (PortId input = 0; input < 6; ++input) {
+    Packet p;
+    p.id = id++;
+    p.input = input;
+    p.arrival = 0;
+    p.destinations = PortSet::all(6);
+    ports[static_cast<std::size_t>(input)].accept(p);
+  }
+  PimScheduler sched;
+  sched.reset(6, 6);
+  const SlotMatching m = schedule(sched, ports, 9);
+  EXPECT_EQ(m.matched_pairs(), 6);  // perfect under full backlog
+}
+
+TEST(Pim, RandomnessVariesAcrossSeeds) {
+  PimScheduler sched;
+  bool differs = false;
+  PortId first_choice = kNoPort;
+  for (std::uint64_t seed = 0; seed < 32 && !differs; ++seed) {
+    auto ports = make_ports(4);
+    ports[0].accept(make_packet(1, 0, 0, {0, 1, 2, 3}));
+    sched.reset(4, 4);
+    const SlotMatching m = schedule(sched, ports, seed);
+    const PortId choice = m.grants(0).first();
+    if (first_choice == kNoPort) {
+      first_choice = choice;
+    } else if (choice != first_choice) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Pim, IterationCapRespected) {
+  PimOptions options;
+  options.max_iterations = 1;
+  PimScheduler sched(options);
+  sched.reset(4, 4);
+  auto ports = make_ports(4);
+  for (PortId input = 0; input < 4; ++input) {
+    Packet p;
+    p.id = static_cast<PacketId>(input);
+    p.input = input;
+    p.arrival = 0;
+    p.destinations = PortSet::all(4);
+    ports[static_cast<std::size_t>(input)].accept(p);
+  }
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.rounds, 1);
+  EXPECT_GE(m.matched_pairs(), 1);
+}
+
+TEST(RandomVoq, SingleIterationOnly) {
+  auto ports = make_ports(4);
+  for (PortId input = 0; input < 4; ++input) {
+    Packet p;
+    p.id = static_cast<PacketId>(input);
+    p.input = input;
+    p.arrival = 0;
+    p.destinations = PortSet::all(4);
+    ports[static_cast<std::size_t>(input)].accept(p);
+  }
+  RandomVoqScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports, 5);
+  EXPECT_EQ(m.rounds, 1);
+  EXPECT_GE(m.matched_pairs(), 1);
+  EXPECT_LE(m.matched_pairs(), 4);
+}
+
+TEST(RandomVoq, MatchesLoneRequest) {
+  auto ports = make_ports(4);
+  ports[3].accept(make_packet(1, 3, 0, {1}));
+  RandomVoqScheduler sched;
+  sched.reset(4, 4);
+  const SlotMatching m = schedule(sched, ports);
+  EXPECT_EQ(m.source(1), 3);
+}
+
+TEST(RandomVoq, NeverGrantsEmptyVoq) {
+  Rng traffic_rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto ports = make_ports(4);
+    PacketId id = 0;
+    for (PortId input = 0; input < 4; ++input) {
+      PortSet dests;
+      for (PortId out = 0; out < 4; ++out)
+        if (traffic_rng.bernoulli(0.4)) dests.insert(out);
+      if (dests.empty()) continue;
+      Packet p;
+      p.id = id++;
+      p.input = input;
+      p.arrival = 0;
+      p.destinations = dests;
+      ports[static_cast<std::size_t>(input)].accept(p);
+    }
+    RandomVoqScheduler sched;
+    sched.reset(4, 4);
+    const SlotMatching m =
+        schedule(sched, ports, static_cast<std::uint64_t>(trial));
+    for (PortId input = 0; input < 4; ++input)
+      for (PortId output : m.grants(input))
+        EXPECT_FALSE(ports[static_cast<std::size_t>(input)].voq_empty(output));
+  }
+}
+
+}  // namespace
+}  // namespace fifoms

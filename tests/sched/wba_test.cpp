@@ -1,0 +1,130 @@
+#include "sched/wba.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fifoms {
+namespace {
+
+HolCellView cell(PortId input, PacketId packet, SlotTime arrival,
+                 std::initializer_list<PortId> remaining) {
+  HolCellView view;
+  view.valid = true;
+  view.input = input;
+  view.packet = packet;
+  view.arrival = arrival;
+  view.remaining = PortSet(remaining);
+  view.initial_fanout = view.remaining.count();
+  return view;
+}
+
+SlotMatching schedule(WbaScheduler& sched, std::vector<HolCellView>& hol,
+                      SlotTime now, std::uint64_t seed = 1) {
+  SlotMatching m(static_cast<int>(hol.size()), static_cast<int>(hol.size()));
+  Rng rng(seed);
+  sched.schedule(hol, now, m, rng);
+  m.validate();
+  return m;
+}
+
+TEST(Wba, WeightFormula) {
+  WbaScheduler sched(WbaOptions{.age_weight = 2.0, .fanout_weight = 3.0});
+  const HolCellView view = cell(0, 1, 10, {0, 1});
+  EXPECT_DOUBLE_EQ(sched.weight(view, 15), 2.0 * 5 - 3.0 * 2);
+}
+
+TEST(Wba, OlderCellWins) {
+  WbaScheduler sched;
+  sched.reset(2, 2);
+  std::vector<HolCellView> hol(2);
+  hol[0] = cell(0, 1, 2, {0});
+  hol[1] = cell(1, 2, 8, {0});
+  const SlotMatching m = schedule(sched, hol, 10);
+  EXPECT_EQ(m.source(0), 0);  // age 8 beats age 2
+}
+
+TEST(Wba, SmallFanoutBeatsLargeAtEqualAge) {
+  // Residue concentration: equal ages, the unicast cell outweighs the
+  // fanout-3 multicast at the shared output.
+  WbaScheduler sched;
+  sched.reset(2, 4);
+  std::vector<HolCellView> hol(2);
+  hol[0] = cell(0, 1, 5, {0, 1, 2});
+  hol[1] = cell(1, 2, 5, {0});
+  SlotMatching m(2, 4);
+  Rng rng(1);
+  sched.schedule(hol, 10, m, rng);
+  m.validate();
+  EXPECT_EQ(m.source(0), 1);
+  // The multicast still gets its uncontended outputs.
+  EXPECT_EQ(m.grants(0), (PortSet{1, 2}));
+}
+
+TEST(Wba, MulticastServedEverywhereWhenAlone) {
+  WbaScheduler sched;
+  sched.reset(4, 4);
+  std::vector<HolCellView> hol(4);
+  hol[2] = cell(2, 1, 0, {0, 1, 3});
+  const SlotMatching m = schedule(sched, hol, 1);
+  EXPECT_EQ(m.grants(2), (PortSet{0, 1, 3}));
+}
+
+TEST(Wba, TiesRandomised) {
+  bool first_won = false, second_won = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    WbaScheduler sched;
+    sched.reset(2, 2);
+    std::vector<HolCellView> hol(2);
+    hol[0] = cell(0, 1, 5, {0});
+    hol[1] = cell(1, 2, 5, {0});
+    const SlotMatching m = schedule(sched, hol, 9, seed);
+    first_won |= m.source(0) == 0;
+    second_won |= m.source(0) == 1;
+  }
+  EXPECT_TRUE(first_won);
+  EXPECT_TRUE(second_won);
+}
+
+TEST(Wba, AgeEventuallyDominatesFanoutPenalty) {
+  // Starvation resistance: a multicast that keeps losing gains age weight
+  // every slot and must eventually beat a stream of fresh unicasts.
+  WbaScheduler sched;
+  sched.reset(2, 2);
+  for (SlotTime now = 0;; ++now) {
+    std::vector<HolCellView> hol(2);
+    hol[0] = cell(0, 1, 0, {0, 1});        // the aging multicast
+    hol[1] = cell(1, 100 + static_cast<PacketId>(now), now, {0});
+    const SlotMatching m = schedule(sched, hol, now);
+    ASSERT_LE(now, 10) << "multicast starved";
+    if (m.source(0) == 0) break;  // finally won the contended output
+  }
+}
+
+TEST(Wba, CustomWeightsChangeDecisions) {
+  // With fanout_weight = 0 the multicast ties on age and can win; with a
+  // huge fanout penalty the unicast always wins.
+  std::vector<HolCellView> hol(2);
+  hol[0] = cell(0, 1, 5, {0, 1});
+  hol[1] = cell(1, 2, 5, {0});
+
+  WbaScheduler heavy(WbaOptions{.age_weight = 1.0, .fanout_weight = 100.0});
+  heavy.reset(2, 2);
+  SlotMatching m(2, 2);
+  Rng rng(1);
+  heavy.schedule(hol, 9, m, rng);
+  EXPECT_EQ(m.source(0), 1);
+}
+
+TEST(Wba, SkipsInvalidInputs) {
+  WbaScheduler sched;
+  sched.reset(3, 3);
+  std::vector<HolCellView> hol(3);
+  hol[1] = cell(1, 1, 0, {2});
+  const SlotMatching m = schedule(sched, hol, 5);
+  EXPECT_EQ(m.matched_pairs(), 1);
+  EXPECT_EQ(m.source(2), 1);
+}
+
+}  // namespace
+}  // namespace fifoms

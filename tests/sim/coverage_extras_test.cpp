@@ -1,0 +1,124 @@
+// Final-pass coverage: corner combinations of independently tested
+// features (CIOQ with other schedulers, three QoS classes, 256-lane
+// comparator trees, ESLIP iteration caps, observer during instability).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/fifoms.hpp"
+#include "hw/comparator_tree.hpp"
+#include "sched/eslip.hpp"
+#include "sched/ilqf.hpp"
+#include "sched/islip.hpp"
+#include "sim/cioq_switch.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/priority.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(CoverageExtras, CioqWorksWithIslipAndIlqf) {
+  for (int speedup : {1, 2}) {
+    CioqSwitch islip_sw(8, std::make_unique<IslipScheduler>(), speedup);
+    CioqSwitch ilqf_sw(8, std::make_unique<IlqfScheduler>(), speedup);
+    BernoulliTraffic traffic(8, 0.3, 0.25);
+    SimConfig config;
+    config.total_slots = 4000;
+    {
+      BernoulliTraffic t(8, 0.3, 0.25);
+      Simulator sim(islip_sw, t, config);
+      EXPECT_FALSE(sim.run().unstable) << "iSLIP s" << speedup;
+    }
+    {
+      Simulator sim(ilqf_sw, traffic, config);
+      EXPECT_FALSE(sim.run().unstable) << "iLQF s" << speedup;
+    }
+  }
+}
+
+TEST(CoverageExtras, ThreeQosClassesStrictlyOrdered) {
+  VoqSwitch::Options options;
+  options.num_classes = 3;
+  VoqSwitch sw(8, std::make_unique<FifomsScheduler>(), options);
+  PriorityTraffic traffic(
+      std::make_unique<BernoulliTraffic>(
+          8, BernoulliTraffic::p_for_load(0.9, 0.25, 8), 0.25),
+      {0.1, 0.3, 0.6});
+  SimConfig config;
+  config.total_slots = 30000;
+  config.seed = 33;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  ASSERT_FALSE(result.unstable);
+  ASSERT_EQ(result.class_output_delays.size(), 3u);
+  const double c0 = result.class_output_delays[0].mean();
+  const double c1 = result.class_output_delays[1].mean();
+  const double c2 = result.class_output_delays[2].mean();
+  EXPECT_LT(c0, c1);
+  EXPECT_LT(c1, c2);
+}
+
+TEST(CoverageExtras, ComparatorTreeAtMaxPorts) {
+  hw::ComparatorTree tree(kMaxPorts);
+  EXPECT_EQ(tree.depth(), 8);  // log2(256)
+  tree.set_lane(255, 7);
+  tree.set_lane(0, 7);  // tie: lowest lane must win
+  const auto result = tree.evaluate();
+  EXPECT_EQ(result.lane, 0);
+  tree.clear_lane(0);
+  EXPECT_EQ(tree.evaluate().lane, 255);
+}
+
+TEST(CoverageExtras, EslipIterationCapStillLegal) {
+  EslipSwitch sw(8, /*max_iterations=*/1);
+  BernoulliTraffic traffic(8, 0.4, 0.3);
+  SimConfig config;
+  config.total_slots = 3000;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  EXPECT_GT(result.copies_delivered, 0u);
+  EXPECT_LE(result.rounds_busy.max(), 1.0);
+}
+
+TEST(CoverageExtras, ObserverSeesSlotsUntilInstabilityCutoff) {
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>());
+  BernoulliTraffic traffic(4, 1.0, 0.9);  // load 3.6: rapid divergence
+  SimConfig config;
+  config.total_slots = 100000;
+  config.stability.max_buffered = 200;
+  Simulator sim(sw, traffic, config);
+  std::ostringstream out;
+  TextTracer::Options options;
+  options.include_idle = true;
+  TextTracer tracer(out, options);
+  sim.set_observer(&tracer);
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.unstable);
+  // One trace line per executed slot, no more after the cut-off.
+  EXPECT_EQ(tracer.lines_written(),
+            static_cast<std::uint64_t>(result.total_slots));
+}
+
+TEST(CoverageExtras, PriorityWithFinateBufferDropsStillCount) {
+  VoqSwitch::Options options;
+  options.num_classes = 2;
+  options.input_capacity = 3;
+  VoqSwitch sw(8, std::make_unique<FifomsScheduler>(), options);
+  PriorityTraffic traffic(std::make_unique<BernoulliTraffic>(8, 1.0, 0.5),
+                          {0.5, 0.5});
+  SimConfig config;
+  config.total_slots = 4000;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  EXPECT_GT(result.packets_dropped, 0u);
+  EXPECT_FALSE(result.unstable);  // finite buffer bounds the backlog
+  EXPECT_EQ(result.packets_offered,
+            result.packets_delivered + result.in_flight_at_end);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "sched/tatra.hpp"
+#include "sim/simulator.hpp"
+#include "sim/single_fifo_switch.hpp"
+#include "sim/voq_switch.hpp"
+#include "test_util.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+TEST(FiniteBuffer, UnlimitedByDefault) {
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>());
+  for (SlotTime t = 0; t < 100; ++t)
+    EXPECT_TRUE(sw.inject(make_packet(static_cast<PacketId>(t), 0, t, {0})));
+  EXPECT_EQ(sw.dropped_packets(), 0u);
+  EXPECT_EQ(sw.occupancy(0), 100u);
+}
+
+TEST(FiniteBuffer, DropsWhenInputFull) {
+  VoqSwitch::Options options;
+  options.input_capacity = 3;
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>(), options);
+  for (SlotTime t = 0; t < 5; ++t) {
+    const bool accepted =
+        sw.inject(make_packet(static_cast<PacketId>(t), 0, t, {0}));
+    EXPECT_EQ(accepted, t < 3) << "slot " << t;
+  }
+  EXPECT_EQ(sw.dropped_packets(), 2u);
+  EXPECT_EQ(sw.occupancy(0), 3u);
+}
+
+TEST(FiniteBuffer, CapacityIsPerInput) {
+  VoqSwitch::Options options;
+  options.input_capacity = 1;
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>(), options);
+  EXPECT_TRUE(sw.inject(make_packet(0, 0, 0, {0})));
+  EXPECT_TRUE(sw.inject(make_packet(1, 1, 0, {0})));  // different input
+  EXPECT_FALSE(sw.inject(make_packet(2, 0, 1, {1})));
+}
+
+TEST(FiniteBuffer, ServiceFreesCapacity) {
+  VoqSwitch::Options options;
+  options.input_capacity = 1;
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>(), options);
+  Rng rng(1);
+  EXPECT_TRUE(sw.inject(make_packet(0, 0, 0, {2})));
+  SlotResult result;
+  sw.step(0, rng, result);  // delivers, frees the buffer slot
+  EXPECT_TRUE(sw.inject(make_packet(1, 0, 1, {2})));
+}
+
+TEST(FiniteBuffer, MulticastPacketStillOneBufferSlot) {
+  // The paper's structure: a fanout-4 packet occupies ONE data cell, so a
+  // capacity-1 buffer accepts it whole.
+  VoqSwitch::Options options;
+  options.input_capacity = 1;
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>(), options);
+  EXPECT_TRUE(sw.inject(make_packet(0, 0, 0, {0, 1, 2, 3})));
+  EXPECT_EQ(sw.occupancy(0), 1u);
+}
+
+TEST(FiniteBuffer, SingleFifoSwitchDropsToo) {
+  SingleFifoSwitch::Options options;
+  options.input_capacity = 2;
+  SingleFifoSwitch sw(4, std::make_unique<TatraScheduler>(), options);
+  EXPECT_TRUE(sw.inject(make_packet(0, 0, 0, {0})));
+  EXPECT_TRUE(sw.inject(make_packet(1, 0, 1, {1})));
+  EXPECT_FALSE(sw.inject(make_packet(2, 0, 2, {2})));
+  EXPECT_EQ(sw.dropped_packets(), 1u);
+}
+
+TEST(FiniteBuffer, ClearResetsDropCounter) {
+  VoqSwitch::Options options;
+  options.input_capacity = 1;
+  VoqSwitch sw(4, std::make_unique<FifomsScheduler>(), options);
+  sw.inject(make_packet(0, 0, 0, {0}));
+  sw.inject(make_packet(1, 0, 1, {0}));
+  EXPECT_EQ(sw.dropped_packets(), 1u);
+  sw.clear();
+  EXPECT_EQ(sw.dropped_packets(), 0u);
+}
+
+TEST(FiniteBuffer, SimulatorAccountsLoss) {
+  // Overload a tiny buffer: the simulator must report a positive loss
+  // rate and keep conservation among ACCEPTED packets only.
+  VoqSwitch::Options options;
+  options.input_capacity = 4;
+  VoqSwitch sw(8, std::make_unique<FifomsScheduler>(), options);
+  BernoulliTraffic traffic(8, 1.0, 0.25);  // load 2.0: heavy overload
+  SimConfig config;
+  config.total_slots = 5000;
+  config.seed = 4;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  EXPECT_GT(result.packets_dropped, 0u);
+  EXPECT_GT(result.loss_rate(), 0.1);
+  EXPECT_LT(result.loss_rate(), 1.0);
+  EXPECT_EQ(result.packets_offered,
+            result.packets_delivered + result.in_flight_at_end);
+  // A finite buffer keeps the switch trivially stable.
+  EXPECT_FALSE(result.unstable);
+}
+
+TEST(FiniteBuffer, LossRateZeroWhenNoDrops) {
+  VoqSwitch sw(8, std::make_unique<FifomsScheduler>());
+  BernoulliTraffic traffic(8, 0.2, 0.25);
+  SimConfig config;
+  config.total_slots = 2000;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  EXPECT_EQ(result.packets_dropped, 0u);
+  EXPECT_EQ(result.loss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace fifoms

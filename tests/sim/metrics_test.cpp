@@ -1,0 +1,149 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "sim/oq_switch.hpp"
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+using test::make_packet;
+
+Delivery deliver(PacketId packet, PortId input, PortId output,
+                 SlotTime arrival) {
+  return Delivery{packet, input, output, arrival, 0};
+}
+
+TEST(Metrics, OutputDelayPerCopyInputDelayPerPacket) {
+  OqSwitch sw(4);  // only used for occupancy sampling
+  MetricsCollector metrics(/*warmup_end=*/0, 4);
+
+  metrics.on_inject(make_packet(1, 0, 0, {0, 1}));
+  SlotResult slot0;
+  slot0.deliveries.push_back(deliver(1, 0, 0, 0));
+  slot0.matched_pairs = 1;
+  metrics.on_slot_end(sw, slot0, 0);
+
+  SlotResult slot3;
+  slot3.deliveries.push_back(deliver(1, 0, 1, 0));
+  slot3.matched_pairs = 1;
+  metrics.on_slot_end(sw, slot3, 3);
+
+  // Output-oriented: copies at delay 0 and 3 -> mean 1.5.
+  EXPECT_EQ(metrics.output_delay().count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.output_delay().mean(), 1.5);
+  // Input-oriented: one packet, finished at its LAST copy -> delay 3.
+  EXPECT_EQ(metrics.input_delay().count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.input_delay().mean(), 3.0);
+  EXPECT_EQ(metrics.packets_delivered(), 1u);
+  EXPECT_EQ(metrics.copies_delivered(), 2u);
+  EXPECT_EQ(metrics.in_flight(), 0u);
+}
+
+TEST(Metrics, WarmupPacketsExcludedFromDelays) {
+  OqSwitch sw(4);
+  MetricsCollector metrics(/*warmup_end=*/10, 4);
+
+  // Arrives during warm-up, delivered after it: excluded from delays but
+  // counted in copies.
+  metrics.on_inject(make_packet(1, 0, 5, {0}));
+  SlotResult result;
+  result.deliveries.push_back(deliver(1, 0, 0, 5));
+  result.matched_pairs = 1;
+  metrics.on_slot_end(sw, result, 12);
+  EXPECT_EQ(metrics.output_delay().count(), 0u);
+  EXPECT_EQ(metrics.input_delay().count(), 0u);
+  EXPECT_EQ(metrics.copies_delivered(), 1u);
+
+  // Arrives after warm-up: measured.
+  metrics.on_inject(make_packet(2, 0, 15, {0}));
+  SlotResult second;
+  second.deliveries.push_back(deliver(2, 0, 0, 15));
+  second.matched_pairs = 1;
+  metrics.on_slot_end(sw, second, 17);
+  EXPECT_EQ(metrics.output_delay().count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.output_delay().mean(), 2.0);
+}
+
+TEST(Metrics, QueueSamplesOnlyAfterWarmup) {
+  OqSwitch sw(2);
+  sw.inject(make_packet(1, 0, 0, {0, 1}));
+  sw.inject(make_packet(2, 1, 0, {0}));
+  // Output 0 holds 2 cells, output 1 holds 1.
+  MetricsCollector metrics(/*warmup_end=*/5, 2);
+  SlotResult idle;
+  metrics.on_slot_end(sw, idle, 3);  // during warm-up: ignored
+  EXPECT_EQ(metrics.queue_mean().count(), 0u);
+  metrics.on_slot_end(sw, idle, 5);  // first measured slot
+  EXPECT_EQ(metrics.queue_mean().count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.queue_mean().mean(), 1.5);
+  EXPECT_EQ(metrics.queue_max(), 2u);
+}
+
+TEST(Metrics, RoundsBusyOnlyCountsTransmittingSlots) {
+  OqSwitch sw(2);
+  MetricsCollector fresh(0, 2);
+  fresh.on_inject(make_packet(9, 0, 0, {0}));
+  SlotResult busy2;
+  busy2.rounds = 3;
+  busy2.matched_pairs = 1;
+  busy2.deliveries.push_back(deliver(9, 0, 0, 0));
+  fresh.on_slot_end(sw, busy2, 0);
+  SlotResult idle2;
+  idle2.rounds = 0;
+  fresh.on_slot_end(sw, idle2, 1);
+  EXPECT_EQ(fresh.rounds_all().count(), 2u);
+  EXPECT_EQ(fresh.rounds_busy().count(), 1u);
+  EXPECT_DOUBLE_EQ(fresh.rounds_busy().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(fresh.rounds_all().mean(), 1.5);
+  EXPECT_EQ(fresh.rounds_histogram().count_at(3), 1u);
+}
+
+TEST(Metrics, ThroughputCountsMeasuredCopiesPerOutput) {
+  OqSwitch sw(2);
+  MetricsCollector metrics(0, 2);
+  metrics.on_inject(make_packet(1, 0, 0, {0, 1}));
+  SlotResult result;
+  result.deliveries.push_back(deliver(1, 0, 0, 0));
+  result.deliveries.push_back(deliver(1, 0, 1, 0));
+  result.matched_pairs = 2;
+  metrics.on_slot_end(sw, result, 0);
+  SlotResult idle;
+  metrics.on_slot_end(sw, idle, 1);
+  // 2 copies over 2 slots over 2 outputs = 0.5.
+  EXPECT_DOUBLE_EQ(metrics.throughput(2), 0.5);
+}
+
+TEST(MetricsDeath, UnknownPacketDeliveryPanics) {
+  OqSwitch sw(2);
+  MetricsCollector metrics(0, 2);
+  SlotResult result;
+  result.deliveries.push_back(deliver(77, 0, 0, 0));
+  EXPECT_DEATH(metrics.on_slot_end(sw, result, 0), "unknown packet");
+}
+
+TEST(MetricsDeath, OverDeliveryPanics) {
+  OqSwitch sw(2);
+  MetricsCollector metrics(0, 2);
+  metrics.on_inject(make_packet(1, 0, 0, {0}));
+  SlotResult result;
+  result.deliveries.push_back(deliver(1, 0, 0, 0));
+  metrics.on_slot_end(sw, result, 0);
+  SlotResult again;
+  again.deliveries.push_back(deliver(1, 0, 0, 0));
+  EXPECT_DEATH(metrics.on_slot_end(sw, again, 1), "unknown packet");
+}
+
+TEST(MetricsDeath, DuplicateInjectPanics) {
+  MetricsCollector metrics(0, 2);
+  metrics.on_inject(make_packet(1, 0, 0, {0}));
+  EXPECT_DEATH(metrics.on_inject(make_packet(1, 0, 1, {1})),
+               "duplicate packet id");
+}
+
+}  // namespace
+}  // namespace fifoms

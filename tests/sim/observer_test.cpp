@@ -1,0 +1,96 @@
+#include "sim/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/fifoms.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/trace.hpp"
+
+namespace fifoms {
+namespace {
+
+SimConfig tiny_config(SlotTime slots) {
+  SimConfig config;
+  config.total_slots = slots;
+  config.warmup_fraction = 0.0;
+  return config;
+}
+
+TEST(TextTracer, LogsMatchedSlots) {
+  VoqSwitch sw(2, std::make_unique<FifomsScheduler>());
+  ScriptedTraffic traffic(2, {{0, 0, PortSet{0, 1}}, {2, 1, PortSet{0}}});
+  Simulator sim(sw, traffic, tiny_config(5));
+  std::ostringstream out;
+  TextTracer tracer(out);
+  sim.set_observer(&tracer);
+  (void)sim.run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("slot 0 | 0->0 0->1 | rounds=1 copies=2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("slot 2 | 1->0"), std::string::npos) << text;
+  EXPECT_EQ(tracer.lines_written(), 2u);  // idle slots skipped
+}
+
+TEST(TextTracer, IncludeIdleOption) {
+  VoqSwitch sw(2, std::make_unique<FifomsScheduler>());
+  ScriptedTraffic traffic(2, {});
+  Simulator sim(sw, traffic, tiny_config(3));
+  std::ostringstream out;
+  TextTracer::Options options;
+  options.include_idle = true;
+  TextTracer tracer(out, options);
+  sim.set_observer(&tracer);
+  (void)sim.run();
+  EXPECT_EQ(tracer.lines_written(), 3u);
+  EXPECT_NE(out.str().find("idle"), std::string::npos);
+}
+
+TEST(TextTracer, WindowBoundsRespected) {
+  VoqSwitch sw(2, std::make_unique<FifomsScheduler>());
+  ScriptedTraffic traffic(
+      2, {{0, 0, PortSet{0}}, {1, 0, PortSet{0}}, {2, 0, PortSet{0}}});
+  Simulator sim(sw, traffic, tiny_config(4));
+  std::ostringstream out;
+  TextTracer::Options options;
+  options.first_slot = 1;
+  options.last_slot = 1;
+  TextTracer tracer(out, options);
+  sim.set_observer(&tracer);
+  (void)sim.run();
+  EXPECT_EQ(tracer.lines_written(), 1u);
+  EXPECT_NE(out.str().find("slot 1 |"), std::string::npos);
+  EXPECT_EQ(out.str().find("slot 0"), std::string::npos);
+}
+
+TEST(TextTracer, DetachStopsLogging) {
+  VoqSwitch sw(2, std::make_unique<FifomsScheduler>());
+  ScriptedTraffic traffic(2, {{0, 0, PortSet{0}}});
+  Simulator sim(sw, traffic, tiny_config(2));
+  std::ostringstream out;
+  TextTracer tracer(out);
+  sim.set_observer(&tracer);
+  sim.set_observer(nullptr);
+  (void)sim.run();
+  EXPECT_EQ(tracer.lines_written(), 0u);
+}
+
+TEST(TextTracer, ReportsBufferedBacklog) {
+  // Two packets contend for one output: after slot 0 one cell remains.
+  VoqSwitch sw(2, std::make_unique<FifomsScheduler>());
+  ScriptedTraffic traffic(2, {{0, 0, PortSet{0}}, {0, 1, PortSet{0}}});
+  Simulator sim(sw, traffic, tiny_config(1));
+  std::ostringstream out;
+  TextTracer tracer(out);
+  sim.set_observer(&tracer);
+  (void)sim.run();
+  EXPECT_NE(out.str().find("buffered=1"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace fifoms

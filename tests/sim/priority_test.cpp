@@ -1,0 +1,150 @@
+// Tests of the strict-priority QoS extension: per-class sub-queues in
+// McVoqInput, priority-major scheduling weights, per-class delay stats.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fifoms.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/priority.hpp"
+
+namespace fifoms {
+namespace {
+
+Packet packet(PacketId id, PortId input, SlotTime arrival,
+              std::initializer_list<PortId> dests, int priority) {
+  Packet p;
+  p.id = id;
+  p.input = input;
+  p.arrival = arrival;
+  p.destinations = PortSet(dests);
+  p.priority = priority;
+  return p;
+}
+
+TEST(SchedulingWeight, PriorityMajorOrdering) {
+  // Any class-0 weight beats any class-1 weight, regardless of age.
+  EXPECT_LT(scheduling_weight(0, 1'000'000), scheduling_weight(1, 0));
+  // Within a class, earlier arrival is smaller.
+  EXPECT_LT(scheduling_weight(1, 5), scheduling_weight(1, 6));
+}
+
+TEST(SchedulingWeightDeath, BoundsEnforced) {
+  EXPECT_DEATH((void)scheduling_weight(-1, 0), "priority");
+  EXPECT_DEATH((void)scheduling_weight(256, 0), "priority");
+  EXPECT_DEATH((void)scheduling_weight(0, kMaxWeightSlot + 1), "arrival");
+}
+
+TEST(McVoqInputPriority, HighClassOvertakesWithinVoq) {
+  McVoqInput input(0, 4, /*num_classes=*/2);
+  input.accept(packet(1, 0, 0, {2}, /*priority=*/1));  // low class, older
+  input.accept(packet(2, 0, 5, {2}, /*priority=*/0));  // high class, newer
+  EXPECT_EQ(input.voq_size(2), 2u);
+  EXPECT_EQ(input.hol(2).packet, 2u);  // the class-0 cell jumps the queue
+  input.serve_hol(2);
+  EXPECT_EQ(input.hol(2).packet, 1u);
+}
+
+TEST(McVoqInputPriority, FifoWithinClassPreserved) {
+  McVoqInput input(0, 4, 2);
+  input.accept(packet(1, 0, 0, {1}, 1));
+  input.accept(packet(2, 0, 1, {1}, 1));
+  input.accept(packet(3, 0, 2, {1}, 1));
+  EXPECT_EQ(input.hol(1).packet, 1u);
+  input.serve_hol(1);
+  EXPECT_EQ(input.hol(1).packet, 2u);
+}
+
+TEST(McVoqInputPriority, SingleClassUnchanged) {
+  // Default construction must behave exactly like the paper's structure.
+  McVoqInput input(0, 4);
+  input.accept(packet(1, 0, 0, {0}, 0));
+  EXPECT_EQ(input.num_classes(), 1);
+  EXPECT_EQ(input.hol(0).weight,
+            scheduling_weight(0, 0));
+}
+
+TEST(McVoqInputPriorityDeath, ClassBeyondConfiguredPanics) {
+  McVoqInput input(0, 4, 2);
+  EXPECT_DEATH(input.accept(packet(1, 0, 0, {0}, 2)),
+               "priority beyond configured class count");
+}
+
+TEST(FifomsPriority, HighClassWinsContention) {
+  // Input 0 carries an old low-class packet; input 1 a fresh high-class
+  // one.  Under plain FIFOMS the older would win; with priority-major
+  // weights the class-0 packet takes the output.
+  std::vector<McVoqInput> ports;
+  ports.emplace_back(0, 2, 2);
+  ports.emplace_back(1, 2, 2);
+  ports[0].accept(packet(1, 0, 0, {0}, 1));
+  ports[1].accept(packet(2, 1, 9, {0}, 0));
+  FifomsScheduler sched;
+  sched.reset(2, 2);
+  SlotMatching m(2, 2);
+  Rng rng(1);
+  sched.schedule(ports, 9, m, rng);
+  m.validate();
+  EXPECT_EQ(m.source(0), 1);
+}
+
+TEST(PriorityTraffic, SharesRespected) {
+  auto inner = std::make_unique<BernoulliTraffic>(8, 1.0, 0.3);
+  PriorityTraffic traffic(std::move(inner), {0.25, 0.75});
+  Rng rng(3);
+  int high = 0, total = 0;
+  for (SlotTime t = 0; t < 50000; ++t) {
+    if (traffic.arrival(0, t, rng).empty()) continue;
+    ++total;
+    if (traffic.last_priority() == 0) ++high;
+  }
+  EXPECT_GT(total, 40000);
+  EXPECT_NEAR(static_cast<double>(high) / total, 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(traffic.class_share(1), 0.75);
+}
+
+TEST(PriorityTrafficDeath, SharesMustSumToOne) {
+  EXPECT_DEATH(PriorityTraffic(
+                   std::make_unique<BernoulliTraffic>(8, 0.5, 0.3), {0.5, 0.4}),
+               "sum to 1");
+}
+
+TEST(PriorityEndToEnd, HighClassSeesLowerDelayUnderLoad) {
+  // 16x16, heavy multicast load, 20% of packets in class 0: strict
+  // priority must give class 0 a markedly lower mean delay.
+  VoqSwitch::Options options;
+  options.num_classes = 2;
+  VoqSwitch sw(16, std::make_unique<FifomsScheduler>(), options);
+  PriorityTraffic traffic(
+      std::make_unique<BernoulliTraffic>(
+          16, BernoulliTraffic::p_for_load(0.9, 0.2, 16), 0.2),
+      {0.2, 0.8});
+  SimConfig config;
+  config.total_slots = 40000;
+  config.seed = 17;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  ASSERT_FALSE(result.unstable);
+  ASSERT_EQ(result.class_output_delays.size(), 2u);
+  const double high = result.class_output_delays[0].mean();
+  const double low = result.class_output_delays[1].mean();
+  EXPECT_LT(high * 1.5, low)
+      << "class 0 delay " << high << " vs class 1 delay " << low;
+}
+
+TEST(PriorityEndToEnd, SingleClassMatchesAggregate) {
+  VoqSwitch sw(8, std::make_unique<FifomsScheduler>());
+  BernoulliTraffic traffic(8, 0.3, 0.25);
+  SimConfig config;
+  config.total_slots = 8000;
+  Simulator sim(sw, traffic, config);
+  const SimResult result = sim.run();
+  ASSERT_EQ(result.class_output_delays.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.class_output_delays[0].mean(),
+                   result.output_delay.mean());
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,87 @@
+#include "stats/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(BatchMeans, EmptyHasInfiniteCi) {
+  BatchMeans bm(10);
+  EXPECT_EQ(bm.completed_batches(), 0u);
+  EXPECT_TRUE(std::isinf(bm.ci_halfwidth()));
+  EXPECT_FALSE(bm.converged(0.5));
+}
+
+TEST(BatchMeans, PartialBatchDiscarded) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 25; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.observations(), 25u);
+  EXPECT_EQ(bm.completed_batches(), 2u);  // 5 leftover observations dropped
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, MeanOfBatches) {
+  BatchMeans bm(2);
+  bm.add(1.0);
+  bm.add(3.0);  // batch mean 2
+  bm.add(5.0);
+  bm.add(7.0);  // batch mean 6
+  EXPECT_EQ(bm.completed_batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+}
+
+TEST(BatchMeans, ConstantSeriesConvergesImmediately) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 50; ++i) bm.add(3.0);
+  EXPECT_DOUBLE_EQ(bm.ci_halfwidth(), 0.0);
+  EXPECT_TRUE(bm.converged(0.01));
+}
+
+TEST(BatchMeans, CiShrinksWithMoreBatches) {
+  Rng rng(1);
+  BatchMeans early(100), late(100);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    early.add(x);
+    late.add(x);
+  }
+  const double half_early = early.ci_halfwidth();
+  for (int i = 0; i < 50000; ++i) late.add(rng.next_double());
+  EXPECT_LT(late.ci_halfwidth(), half_early);
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidSeries) {
+  // 95% CI should cover the true mean in most independent repetitions.
+  int covered = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    BatchMeans bm(200);
+    for (int i = 0; i < 20000; ++i) bm.add(rng.next_double());
+    if (std::abs(bm.mean() - 0.5) <= bm.ci_halfwidth()) ++covered;
+  }
+  EXPECT_GE(covered, 33);  // ~95% of 40, with slack
+}
+
+TEST(BatchMeans, HonestOnCorrelatedSeries) {
+  // AR(1)-style series: small batches understate the CI vs large batches.
+  Rng rng(9);
+  BatchMeans small(10), large(2000);
+  double state = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    state = 0.99 * state + (rng.next_double() - 0.5);
+    small.add(state);
+    large.add(state);
+  }
+  EXPECT_LT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(BatchMeansDeath, ZeroBatchRejected) {
+  EXPECT_DEATH(BatchMeans(0), "batch size");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,102 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifoms {
+namespace {
+
+TEST(Histogram, EmptyDefaults) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), -1);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), -1);
+  EXPECT_EQ(h.count_at(0), 0u);
+}
+
+TEST(Histogram, CountsAndMean) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_at(1), 2u);
+  EXPECT_EQ(h.count_at(3), 1u);
+  EXPECT_EQ(h.count_at(2), 0u);
+  EXPECT_EQ(h.count_at(100), 0u);
+  EXPECT_EQ(h.max_value(), 7);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, QuantileOnSmallSet) {
+  Histogram h;
+  for (int v : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(0.5), 4);
+  EXPECT_EQ(h.quantile(1.0), 9);
+}
+
+TEST(Histogram, QuantileClampedOutsideRange) {
+  Histogram h;
+  h.add(5);
+  EXPECT_EQ(h.quantile(-1.0), 5);
+  EXPECT_EQ(h.quantile(2.0), 5);
+}
+
+TEST(Histogram, ZeroOnlyValues) {
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(0);
+  EXPECT_EQ(h.max_value(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(10);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count_at(2), 2u);
+  EXPECT_EQ(a.count_at(10), 1u);
+  EXPECT_EQ(a.max_value(), 10);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.75);
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.count_at(4), 1u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.add(3);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.max_value(), -1);
+}
+
+TEST(Histogram, BucketsAreDense) {
+  Histogram h;
+  h.add(0);
+  h.add(4);
+  ASSERT_EQ(h.buckets().size(), 5u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 0u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(HistogramDeath, NegativeValuePanics) {
+  Histogram h;
+  EXPECT_DEATH(h.add(-1), "non-negative");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,81 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+namespace {
+
+double exact_quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile p2(0.5);
+  EXPECT_EQ(p2.value(), 0.0);
+  EXPECT_EQ(p2.count(), 0u);
+}
+
+TEST(P2Quantile, FewSamplesExact) {
+  P2Quantile p2(0.5);
+  p2.add(3.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 3.0);
+  p2.add(1.0);
+  p2.add(2.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 2.0);  // exact median of {1,2,3}
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile p2(0.5);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) p2.add(rng.next_double());
+  EXPECT_NEAR(p2.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailQuantileOfUniform) {
+  P2Quantile p2(0.99);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) p2.add(rng.next_double());
+  EXPECT_NEAR(p2.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, ExponentialTail) {
+  P2Quantile p2(0.9);
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -std::log(1.0 - rng.next_double());
+    samples.push_back(x);
+    p2.add(x);
+  }
+  const double exact = exact_quantile(samples, 0.9);
+  EXPECT_NEAR(p2.value(), exact, 0.05 * exact + 0.02);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile p2(0.75);
+  for (int i = 0; i < 1000; ++i) p2.add(7.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 7.0);
+}
+
+TEST(P2Quantile, MonotoneIncreasingStream) {
+  P2Quantile p2(0.5);
+  for (int i = 1; i <= 10001; ++i) p2.add(static_cast<double>(i));
+  EXPECT_NEAR(p2.value(), 5001.0, 120.0);
+}
+
+TEST(P2QuantileDeath, DegenerateQuantilePanics) {
+  EXPECT_DEATH(P2Quantile(0.0), "q in");
+  EXPECT_DEATH(P2Quantile(1.0), "q in");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,119 @@
+#include "stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat stat;
+  EXPECT_TRUE(stat.empty());
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.min(), 0.0);
+  EXPECT_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat stat;
+  stat.add(4.5);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.5);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stat.max(), 4.5);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+  EXPECT_NEAR(stat.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat stat;
+  stat.add(-10.0);
+  stat.add(10.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 100.0);
+  EXPECT_DOUBLE_EQ(stat.min(), -10.0);
+}
+
+TEST(RunningStat, MergeMatchesPooled) {
+  Rng rng(4);
+  RunningStat left, right, pooled;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10.0;
+    left.add(x);
+    pooled.add(x);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double() * 3.0 - 5.0;
+    right.add(x);
+    pooled.add(x);
+  }
+  RunningStat merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_NEAR(merged.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(merged.max(), pooled.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(3.0);
+  RunningStat empty;
+  RunningStat a = stat;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStat b = empty;
+  b.merge(stat);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, NumericallyStableAtLargeOffsets) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  RunningStat stat;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0})
+    stat.add(x);
+  EXPECT_NEAR(stat.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(stat.variance(), 22.5, 1e-6);
+}
+
+TEST(RunningStat, StderrShrinksWithSamples) {
+  Rng rng(8);
+  RunningStat small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 10000; ++i) large.add(rng.next_double());
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+  EXPECT_NEAR(large.stderr_mean(),
+              large.sample_stddev() / std::sqrt(10000.0), 1e-12);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat stat;
+  stat.add(5.0);
+  stat.reset();
+  EXPECT_TRUE(stat.empty());
+  EXPECT_EQ(stat.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace fifoms

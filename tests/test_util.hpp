@@ -1,0 +1,89 @@
+// Shared helpers for the fifoms test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/packet.hpp"
+#include "sim/switch_model.hpp"
+#include "traffic/trace.hpp"
+
+namespace fifoms::test {
+
+/// Build a packet with an auto-incrementing id.
+inline Packet make_packet(PacketId id, PortId input, SlotTime arrival,
+                          std::initializer_list<PortId> destinations) {
+  Packet packet;
+  packet.id = id;
+  packet.input = input;
+  packet.arrival = arrival;
+  packet.destinations = PortSet(destinations);
+  return packet;
+}
+
+/// Drive `sw` for `slots` slots with a scripted arrival list, collecting
+/// all deliveries.  Injection happens at each record's slot; the Rng seeds
+/// any scheduler randomness.
+inline std::vector<Delivery> run_scripted(
+    SwitchModel& sw, const std::vector<TraceRecord>& records, SlotTime slots,
+    std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<Delivery> deliveries;
+  PacketId next_id = 0;
+  SlotResult result;
+  for (SlotTime now = 0; now < slots; ++now) {
+    for (const TraceRecord& record : records) {
+      if (record.slot != now) continue;
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = record.input;
+      packet.arrival = now;
+      packet.destinations = record.destinations;
+      sw.inject(packet);
+    }
+    result.clear();
+    sw.step(now, rng, result);
+    deliveries.insert(deliveries.end(), result.deliveries.begin(),
+                      result.deliveries.end());
+  }
+  return deliveries;
+}
+
+/// Count deliveries for a given (packet, output) pair.
+inline int count_delivery(const std::vector<Delivery>& deliveries,
+                          PacketId packet, PortId output) {
+  int count = 0;
+  for (const Delivery& d : deliveries)
+    if (d.packet == packet && d.output == output) ++count;
+  return count;
+}
+
+/// Slot in which (packet, output) was delivered; requires injection via
+/// run_scripted so arrival is recorded in the Delivery.  Returns -1 when
+/// the copy was never delivered.
+inline SlotTime delivery_slot(SwitchModel& sw,
+                              const std::vector<TraceRecord>& records,
+                              SlotTime slots, PacketId packet, PortId output,
+                              std::uint64_t seed = 7) {
+  Rng rng(seed);
+  PacketId next_id = 0;
+  SlotResult result;
+  for (SlotTime now = 0; now < slots; ++now) {
+    for (const TraceRecord& record : records) {
+      if (record.slot != now) continue;
+      Packet p;
+      p.id = next_id++;
+      p.input = record.input;
+      p.arrival = now;
+      p.destinations = record.destinations;
+      sw.inject(p);
+    }
+    result.clear();
+    sw.step(now, rng, result);
+    for (const Delivery& d : result.deliveries)
+      if (d.packet == packet && d.output == output) return now;
+  }
+  return -1;
+}
+
+}  // namespace fifoms::test

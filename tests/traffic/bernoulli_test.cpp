@@ -1,0 +1,82 @@
+#include "traffic/bernoulli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifoms {
+namespace {
+
+TEST(BernoulliTraffic, OfferedLoadFormula) {
+  BernoulliTraffic traffic(16, 0.25, 0.2);
+  EXPECT_DOUBLE_EQ(traffic.offered_load(), 0.25 * 0.2 * 16);
+  EXPECT_EQ(traffic.name(), "bernoulli");
+}
+
+TEST(BernoulliTraffic, PForLoadInvertsOfferedLoad) {
+  const double p = BernoulliTraffic::p_for_load(0.8, 0.2, 16);
+  BernoulliTraffic traffic(16, p, 0.2);
+  EXPECT_NEAR(traffic.offered_load(), 0.8, 1e-12);
+}
+
+TEST(BernoulliTraffic, ZeroArrivalProbabilityNeverArrives) {
+  BernoulliTraffic traffic(16, 0.0, 0.5);
+  Rng rng(1);
+  for (SlotTime t = 0; t < 1000; ++t)
+    EXPECT_TRUE(traffic.arrival(0, t, rng).empty());
+}
+
+TEST(BernoulliTraffic, ArrivalRateMatchesP) {
+  // Measured arrival rate is p * (1 - (1-b)^N): empty draws count as no
+  // arrival.  With b = 0.5, N = 16 the correction is ~1.5e-5.
+  BernoulliTraffic traffic(16, 0.4, 0.5);
+  Rng rng(2);
+  int arrivals = 0;
+  const int slots = 200000;
+  for (SlotTime t = 0; t < slots; ++t)
+    if (!traffic.arrival(0, t, rng).empty()) ++arrivals;
+  EXPECT_NEAR(static_cast<double>(arrivals) / slots, 0.4, 0.005);
+}
+
+TEST(BernoulliTraffic, MeanFanoutIsBTimesN) {
+  BernoulliTraffic traffic(16, 1.0, 0.2);
+  Rng rng(3);
+  std::uint64_t copies = 0;
+  const int slots = 100000;
+  for (SlotTime t = 0; t < slots; ++t)
+    copies += static_cast<std::uint64_t>(traffic.arrival(0, t, rng).count());
+  // Copies per slot (counting empty draws as zero) must equal p*b*N = 3.2.
+  EXPECT_NEAR(static_cast<double>(copies) / slots, 3.2, 0.05);
+}
+
+TEST(BernoulliTraffic, DestinationsUniformAcrossOutputs) {
+  BernoulliTraffic traffic(8, 1.0, 0.3);
+  Rng rng(4);
+  std::vector<int> hits(8, 0);
+  const int slots = 100000;
+  for (SlotTime t = 0; t < slots; ++t)
+    for (PortId output : traffic.arrival(0, t, rng)) ++hits[output];
+  for (int count : hits)
+    EXPECT_NEAR(static_cast<double>(count) / slots, 0.3, 0.01);
+}
+
+TEST(BernoulliTraffic, FullBroadcastWhenBIsOne) {
+  BernoulliTraffic traffic(16, 1.0, 1.0);
+  Rng rng(5);
+  const PortSet set = traffic.arrival(3, 0, rng);
+  EXPECT_EQ(set, PortSet::all(16));
+}
+
+TEST(BernoulliTraffic, DeterministicGivenSeed) {
+  BernoulliTraffic a(16, 0.5, 0.2), b(16, 0.5, 0.2);
+  Rng ra(9), rb(9);
+  for (SlotTime t = 0; t < 1000; ++t)
+    EXPECT_EQ(a.arrival(0, t, ra), b.arrival(0, t, rb));
+}
+
+TEST(BernoulliTrafficDeath, BadParametersPanic) {
+  EXPECT_DEATH(BernoulliTraffic(16, -0.1, 0.5), "probability");
+  EXPECT_DEATH(BernoulliTraffic(16, 0.5, 1.5), "probability");
+  EXPECT_DEATH(BernoulliTraffic(0, 0.5, 0.5), "port count");
+}
+
+}  // namespace
+}  // namespace fifoms

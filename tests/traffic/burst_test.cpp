@@ -1,0 +1,117 @@
+#include "traffic/burst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fifoms {
+namespace {
+
+TEST(BurstTraffic, OfferedLoadFormula) {
+  BurstTraffic traffic(16, 48.0, 16.0, 0.5);
+  // b*N*Eon/(Eon+Eoff) = 0.5*16*16/64 = 2.0
+  EXPECT_DOUBLE_EQ(traffic.offered_load(), 2.0);
+}
+
+TEST(BurstTraffic, EOffForLoadInverts) {
+  const double e_off = BurstTraffic::e_off_for_load(0.7, 16.0, 0.5, 16);
+  BurstTraffic traffic(16, e_off, 16.0, 0.5);
+  EXPECT_NEAR(traffic.offered_load(), 0.7, 1e-12);
+}
+
+TEST(BurstTraffic, ArrivalRateMatchesOnFraction) {
+  BurstTraffic traffic(16, 32.0, 16.0, 0.5);
+  Rng rng(1);
+  traffic.reset(rng);
+  int arrivals = 0;
+  const int slots = 300000;
+  for (SlotTime t = 0; t < slots; ++t)
+    if (!traffic.arrival(0, t, rng).empty()) ++arrivals;
+  EXPECT_NEAR(static_cast<double>(arrivals) / slots, 16.0 / 48.0, 0.01);
+}
+
+TEST(BurstTraffic, MeanBurstLengthIsEOn) {
+  BurstTraffic traffic(4, 20.0, 8.0, 0.5);
+  Rng rng(2);
+  traffic.reset(rng);
+  std::vector<int> burst_lengths;
+  int current = 0;
+  for (SlotTime t = 0; t < 400000; ++t) {
+    if (!traffic.arrival(0, t, rng).empty()) {
+      ++current;
+    } else if (current > 0) {
+      burst_lengths.push_back(current);
+      current = 0;
+    }
+  }
+  double sum = 0;
+  for (int length : burst_lengths) sum += length;
+  EXPECT_GT(burst_lengths.size(), 1000u);
+  EXPECT_NEAR(sum / static_cast<double>(burst_lengths.size()), 8.0, 0.3);
+}
+
+TEST(BurstTraffic, DestinationsConstantWithinBurst) {
+  BurstTraffic traffic(16, 10.0, 16.0, 0.5);
+  Rng rng(3);
+  traffic.reset(rng);
+  PortSet current;
+  for (SlotTime t = 0; t < 50000; ++t) {
+    const PortSet set = traffic.arrival(0, t, rng);
+    if (set.empty()) {
+      current.clear();
+      continue;
+    }
+    if (!current.empty()) {
+      EXPECT_EQ(set, current) << "destinations changed mid-burst at " << t;
+    }
+    current = set;
+  }
+}
+
+TEST(BurstTraffic, DestinationsNeverEmptyDuringBurst) {
+  BurstTraffic traffic(8, 5.0, 4.0, 0.1);  // small b: empty draws likely
+  Rng rng(4);
+  traffic.reset(rng);
+  for (SlotTime t = 0; t < 20000; ++t) {
+    const PortSet set = traffic.arrival(0, t, rng);
+    if (!set.empty()) EXPECT_GE(set.count(), 1);
+  }
+}
+
+TEST(BurstTraffic, StationaryResetStartsSomeSourcesOn) {
+  BurstTraffic traffic(64, 16.0, 16.0, 0.5);  // 50% on in steady state
+  Rng rng(5);
+  traffic.reset(rng);
+  int on = 0;
+  for (PortId input = 0; input < 64; ++input)
+    if (!traffic.arrival(input, 0, rng).empty()) ++on;
+  EXPECT_GT(on, 15);
+  EXPECT_LT(on, 50);
+}
+
+TEST(BurstTraffic, SourcesIndependent) {
+  BurstTraffic traffic(2, 16.0, 16.0, 0.5);
+  Rng rng(6);
+  traffic.reset(rng);
+  int both = 0, only_first = 0;
+  for (SlotTime t = 0; t < 100000; ++t) {
+    const bool a = !traffic.arrival(0, t, rng).empty();
+    const bool b = !traffic.arrival(1, t, rng).empty();
+    both += a && b;
+    only_first += a && !b;
+  }
+  // With independent 0.5-on sources both counts hover near 25k.
+  EXPECT_NEAR(both, 25000, 2500);
+  EXPECT_NEAR(only_first, 25000, 2500);
+}
+
+TEST(BurstTrafficDeath, BadParametersPanic) {
+  EXPECT_DEATH(BurstTraffic(16, 0.5, 16.0, 0.5), "OFF period");
+  EXPECT_DEATH(BurstTraffic(16, 16.0, 0.0, 0.5), "ON period");
+  EXPECT_DEATH(BurstTraffic(16, 16.0, 16.0, 0.0), "probability");
+  EXPECT_DEATH(BurstTraffic::e_off_for_load(9.0, 16.0, 0.5, 16),
+               "unreachable");
+}
+
+}  // namespace
+}  // namespace fifoms

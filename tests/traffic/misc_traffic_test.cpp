@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "traffic/composite.hpp"
+#include "traffic/factory.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/unicast.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(UnicastTraffic, SingleDestinationAlways) {
+  UnicastTraffic traffic(16, 1.0);
+  Rng rng(1);
+  for (SlotTime t = 0; t < 5000; ++t)
+    EXPECT_EQ(traffic.arrival(0, t, rng).count(), 1);
+}
+
+TEST(UnicastTraffic, OfferedLoadIsP) {
+  UnicastTraffic traffic(16, 0.37);
+  EXPECT_DOUBLE_EQ(traffic.offered_load(), 0.37);
+}
+
+TEST(UnicastTraffic, DestinationsUniform) {
+  UnicastTraffic traffic(8, 1.0);
+  Rng rng(2);
+  std::vector<int> hits(8, 0);
+  const int slots = 80000;
+  for (SlotTime t = 0; t < slots; ++t)
+    ++hits[traffic.arrival(0, t, rng).first()];
+  for (int count : hits)
+    EXPECT_NEAR(static_cast<double>(count) / slots, 0.125, 0.01);
+}
+
+TEST(HotspotTraffic, HotPortDominates) {
+  HotspotTraffic traffic(8, 1.0, 0.75, 2);
+  Rng rng(3);
+  int hot_hits = 0;
+  const int slots = 80000;
+  for (SlotTime t = 0; t < slots; ++t)
+    if (traffic.arrival(0, t, rng).contains(2)) ++hot_hits;
+  // hot_share + (1-hot_share)/N = 0.75 + 0.25/8
+  EXPECT_NEAR(static_cast<double>(hot_hits) / slots, 0.78125, 0.01);
+}
+
+TEST(HotspotTraffic, ZeroShareIsUniform) {
+  HotspotTraffic traffic(8, 1.0, 0.0);
+  Rng rng(4);
+  std::vector<int> hits(8, 0);
+  const int slots = 80000;
+  for (SlotTime t = 0; t < slots; ++t)
+    ++hits[traffic.arrival(0, t, rng).first()];
+  for (int count : hits)
+    EXPECT_NEAR(static_cast<double>(count) / slots, 0.125, 0.01);
+}
+
+TEST(HotspotTraffic, OfferedLoadIsHotOutputLoad) {
+  HotspotTraffic traffic(16, 0.5, 0.3);
+  EXPECT_NEAR(traffic.offered_load(), 16 * 0.5 * (0.3 + 0.7 / 16.0), 1e-12);
+}
+
+TEST(MixedTraffic, FanoutDistribution) {
+  MixedTraffic traffic(16, 1.0, 0.5, 8);
+  Rng rng(5);
+  int unicast = 0, multicast = 0;
+  const int slots = 100000;
+  for (SlotTime t = 0; t < slots; ++t) {
+    const int fanout = traffic.arrival(0, t, rng).count();
+    ASSERT_GE(fanout, 1);
+    ASSERT_LE(fanout, 8);
+    if (fanout == 1) {
+      ++unicast;
+    } else {
+      ++multicast;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(unicast) / slots, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(multicast) / slots, 0.5, 0.01);
+}
+
+TEST(MixedTraffic, OfferedLoadUsesMeanFanout) {
+  MixedTraffic traffic(16, 0.2, 0.5, 8);
+  EXPECT_DOUBLE_EQ(traffic.mean_fanout(), 0.5 * 1.0 + 0.5 * 5.0);
+  EXPECT_DOUBLE_EQ(traffic.offered_load(), 0.2 * 3.0);
+}
+
+TEST(TrafficFactory, BuildsEveryKind) {
+  EXPECT_EQ(make_traffic(16, "bernoulli:p=0.2,b=0.2")->name(), "bernoulli");
+  EXPECT_EQ(make_traffic(16, "uniform:p=0.5,maxf=8")->name(), "uniform");
+  EXPECT_EQ(make_traffic(16, "unicast:p=0.9")->name(), "unicast");
+  EXPECT_EQ(make_traffic(16, "burst:eon=16,eoff=48,b=0.5")->name(), "burst");
+  EXPECT_EQ(make_traffic(16, "hotspot:p=0.5,hot=0.3,port=2")->name(),
+            "hotspot");
+  EXPECT_EQ(make_traffic(16, "mixed:p=0.5,u=0.5,maxf=8")->name(), "mixed");
+}
+
+TEST(TrafficFactory, ParametersReachModel) {
+  auto traffic = make_traffic(16, "bernoulli:p=0.25,b=0.2");
+  EXPECT_DOUBLE_EQ(traffic->offered_load(), 0.25 * 0.2 * 16);
+  auto burst = make_traffic(16, "burst:eon=16,eoff=48,b=0.5");
+  EXPECT_DOUBLE_EQ(burst->offered_load(), 2.0);
+}
+
+TEST(TrafficFactoryDeath, UnknownKindPanics) {
+  EXPECT_DEATH((void)make_traffic(16, "nonsense:p=1"), "unknown kind");
+}
+
+TEST(TrafficFactoryDeath, MissingKeyPanics) {
+  EXPECT_DEATH((void)make_traffic(16, "bernoulli:p=0.5"), "missing");
+}
+
+TEST(TrafficFactoryDeath, MalformedPairPanics) {
+  EXPECT_DEATH((void)make_traffic(16, "bernoulli:p0.5"), "key=value");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,91 @@
+#include "traffic/uniform_fanout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fifoms {
+namespace {
+
+TEST(UniformFanoutTraffic, OfferedLoadFormula) {
+  UniformFanoutTraffic traffic(16, 0.2, 8);
+  EXPECT_DOUBLE_EQ(traffic.offered_load(), 0.2 * 4.5);
+}
+
+TEST(UniformFanoutTraffic, PForLoadInverts) {
+  const double p = UniformFanoutTraffic::p_for_load(0.9, 8);
+  UniformFanoutTraffic traffic(16, p, 8);
+  EXPECT_NEAR(traffic.offered_load(), 0.9, 1e-12);
+}
+
+TEST(UniformFanoutTraffic, FanoutAlwaysInRange) {
+  UniformFanoutTraffic traffic(16, 1.0, 5);
+  Rng rng(1);
+  for (SlotTime t = 0; t < 10000; ++t) {
+    const int fanout = traffic.arrival(0, t, rng).count();
+    EXPECT_GE(fanout, 1);
+    EXPECT_LE(fanout, 5);
+  }
+}
+
+TEST(UniformFanoutTraffic, FanoutUniformOverRange) {
+  UniformFanoutTraffic traffic(16, 1.0, 4);
+  Rng rng(2);
+  std::map<int, int> counts;
+  const int slots = 100000;
+  for (SlotTime t = 0; t < slots; ++t)
+    ++counts[traffic.arrival(0, t, rng).count()];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [fanout, count] : counts)
+    EXPECT_NEAR(static_cast<double>(count) / slots, 0.25, 0.01)
+        << "fanout " << fanout;
+}
+
+TEST(UniformFanoutTraffic, MaxFanoutOneIsUnicast) {
+  UniformFanoutTraffic traffic(16, 1.0, 1);
+  Rng rng(3);
+  for (SlotTime t = 0; t < 1000; ++t)
+    EXPECT_EQ(traffic.arrival(0, t, rng).count(), 1);
+}
+
+TEST(UniformFanoutTraffic, DestinationsCoverAllOutputs) {
+  UniformFanoutTraffic traffic(8, 1.0, 3);
+  Rng rng(4);
+  std::vector<int> hits(8, 0);
+  for (SlotTime t = 0; t < 50000; ++t)
+    for (PortId output : traffic.arrival(0, t, rng)) ++hits[output];
+  const double mean_hits = 50000.0 * 2.0 / 8.0;  // E[fanout]=2 over 8 ports
+  for (int count : hits)
+    EXPECT_NEAR(static_cast<double>(count), mean_hits, mean_hits * 0.05);
+}
+
+TEST(RandomSubset, ExactSizeAndRange) {
+  Rng rng(5);
+  for (int k = 0; k <= 16; ++k) {
+    const PortSet set = UniformFanoutTraffic::random_subset(16, k, rng);
+    EXPECT_EQ(set.count(), k);
+    EXPECT_TRUE(set.is_subset_of(PortSet::all(16)));
+  }
+}
+
+TEST(RandomSubset, UniformOverSubsets) {
+  // All C(4,2)=6 subsets of {0..3} should appear equally often.
+  Rng rng(6);
+  std::map<std::string, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i)
+    ++counts[UniformFanoutTraffic::random_subset(4, 2, rng).to_string()];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [subset, count] : counts)
+    EXPECT_NEAR(static_cast<double>(count) / n, 1.0 / 6.0, 0.01)
+        << subset;
+}
+
+TEST(UniformFanoutTrafficDeath, BadParametersPanic) {
+  EXPECT_DEATH(UniformFanoutTraffic(16, 0.5, 0), "maxFanout");
+  EXPECT_DEATH(UniformFanoutTraffic(16, 0.5, 17), "maxFanout");
+  EXPECT_DEATH(UniformFanoutTraffic(16, 1.5, 4), "probability");
+}
+
+}  // namespace
+}  // namespace fifoms

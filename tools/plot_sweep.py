@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Plot the CSVs written by the fifoms benches as paper-style figures.
+
+Usage:
+    python3 tools/plot_sweep.py fig4_bernoulli.csv [-o fig4.png]
+
+Produces a 2x2 panel (the paper's layout): average input-oriented delay,
+average output-oriented delay, average queue size, maximum queue size —
+one line per algorithm, unstable points omitted (the curves simply stop,
+as in the paper).  Requires matplotlib; the C++ toolchain never depends
+on this script.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    series = defaultdict(lambda: defaultdict(list))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            algo = row["algorithm"]
+            unstable = int(row.get("unstable", 0) or 0)
+            reps = int(row.get("replications", 1) or 1)
+            if unstable >= reps:  # fully unstable point: cut the curve
+                continue
+            series[algo]["load"].append(float(row["load"]))
+            for key in ("input_delay", "output_delay", "queue_mean",
+                        "queue_max"):
+                series[algo][key].append(float(row[key]))
+    return series
+
+
+PANELS = [
+    ("input_delay", "avg input-oriented delay (slots)"),
+    ("output_delay", "avg output-oriented delay (slots)"),
+    ("queue_mean", "avg queue size (cells/port)"),
+    ("queue_max", "max queue size (cells)"),
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="sweep CSV written by a bench binary")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output image (default: <csv>.png)")
+    parser.add_argument("--log", action="store_true",
+                        help="log-scale the y axes")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    series = load(args.csv)
+    if not series:
+        sys.exit(f"no stable points found in {args.csv}")
+
+    fig, axes = plt.subplots(2, 2, figsize=(10, 8))
+    for ax, (key, title) in zip(axes.flat, PANELS):
+        for algo, data in series.items():
+            ax.plot(data["load"], data[key], marker="o", markersize=3,
+                    label=algo)
+        ax.set_xlabel("effective load")
+        ax.set_ylabel(title)
+        if args.log:
+            ax.set_yscale("log")
+        ax.grid(True, alpha=0.3)
+    axes.flat[0].legend(fontsize=8)
+    fig.suptitle(args.csv)
+    fig.tight_layout()
+
+    out = args.output or args.csv.rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
