@@ -1,8 +1,7 @@
 // Custom sweep: the experiment harness as a command-line tool.
 //
-//   $ ./custom_sweep --algos FIFOMS,iSLIP,OQFIFO \
-//                    --traffic bernoulli --b 0.2 \
-//                    --loads 0.3,0.6,0.9 --slots 50000 --out my.csv
+//   $ ./custom_sweep --algos FIFOMS,iSLIP,OQFIFO --traffic bernoulli
+//                    --b 0.2 --loads 0.3,0.6,0.9 --slots 50000 --out my.csv
 //
 // Runs the paper's protocol (load sweep x algorithms x replications) for
 // any combination of the library's schedulers and traffic families, and

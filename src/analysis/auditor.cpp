@@ -1,0 +1,453 @@
+#include "analysis/auditor.hpp"
+
+#include <limits>
+#include <string>
+
+#include "common/panic.hpp"
+#include "sched/eslip.hpp"
+#include "sim/cioq_switch.hpp"
+#include "sim/oq_switch.hpp"
+#include "sim/single_fifo_switch.hpp"
+#include "sim/voq_switch.hpp"
+
+// Every audit diagnostic goes through this macro so the message always
+// carries the slot number (tools/lint.py enforces both properties).
+#define FIFOMS_AUDIT_FAIL(now, msg)                                   \
+  ::fifoms::panic(__FILE__, __LINE__,                                 \
+                  "audit violation at slot " + std::to_string(now) +  \
+                      ": " + (msg))
+
+namespace fifoms {
+
+#if FIFOMS_AUDIT
+
+namespace {
+
+std::string port_str(PortId p) { return std::to_string(p); }
+std::string pkt_str(PacketId p) { return std::to_string(p); }
+
+constexpr SlotTime kNeverServed = std::numeric_limits<SlotTime>::min();
+
+}  // namespace
+
+MatchingAuditor::MatchingAuditor(Options options) : options_(options) {}
+
+namespace {
+
+template <typename T>
+void ensure_size(std::vector<T>& v, std::size_t n, T fill) {
+  if (v.size() < n) v.resize(n, fill);
+}
+
+}  // namespace
+
+void MatchingAuditor::reset() {
+  live_.clear();
+  live_per_input_.clear();
+  queued_per_output_.clear();
+  last_pair_ts_.clear();
+  last_input_ts_.clear();
+  last_output_ts_.clear();
+  copies_in_ = 0;
+  copies_out_ = 0;
+  packets_retired_ = 0;
+  slots_audited_ = 0;
+}
+
+void MatchingAuditor::on_inject(const SwitchModel& sw, const Packet& packet) {
+  ensure_size(live_per_input_, static_cast<std::size_t>(sw.num_inputs()),
+              std::uint64_t{0});
+  ensure_size(queued_per_output_, static_cast<std::size_t>(sw.num_outputs()),
+              std::uint64_t{0});
+
+  const SlotTime now = packet.arrival;
+  if (packet.input < 0 || packet.input >= sw.num_inputs())
+    FIFOMS_AUDIT_FAIL(now, "injected packet " + pkt_str(packet.id) +
+                               " claims out-of-range input " +
+                               port_str(packet.input));
+  if (packet.destinations.empty())
+    FIFOMS_AUDIT_FAIL(now, "injected packet " + pkt_str(packet.id) +
+                               " has an empty destination set");
+  const auto [it, inserted] = live_.emplace(
+      packet.id, Shadow{.input = packet.input,
+                        .arrival = packet.arrival,
+                        .remaining = packet.destinations,
+                        .payload_tag = packet.payload_tag()});
+  if (!inserted)
+    FIFOMS_AUDIT_FAIL(now, "packet id " + pkt_str(packet.id) +
+                               " injected twice (first at input " +
+                               port_str(it->second.input) + ")");
+  ++live_per_input_[static_cast<std::size_t>(packet.input)];
+  for (PortId output : packet.destinations) {
+    if (output >= sw.num_outputs())
+      FIFOMS_AUDIT_FAIL(now, "injected packet " + pkt_str(packet.id) +
+                                 " targets out-of-range output " +
+                                 port_str(output));
+    ++queued_per_output_[static_cast<std::size_t>(output)];
+  }
+  copies_in_ += static_cast<std::uint64_t>(packet.fanout());
+}
+
+void MatchingAuditor::on_slot(SlotTime now, const SwitchModel& sw,
+                              const SlotResult& result) {
+  check_deliveries(now, sw, result);
+  check_conservation(now, sw);
+  if (options_.deep_structure && options_.structure_every > 0 &&
+      now % options_.structure_every == 0)
+    check_structure(now, sw);
+  ++slots_audited_;
+}
+
+void MatchingAuditor::check_deliveries(SlotTime now, const SwitchModel& sw,
+                                       const SlotResult& result) {
+  const int num_inputs = sw.num_inputs();
+  const int num_outputs = sw.num_outputs();
+  ensure_size(last_pair_ts_,
+              static_cast<std::size_t>(num_inputs) *
+                  static_cast<std::size_t>(num_outputs),
+              kNeverServed);
+  ensure_size(last_input_ts_, static_cast<std::size_t>(num_inputs),
+              kNeverServed);
+  ensure_size(last_output_ts_, static_cast<std::size_t>(num_outputs),
+              kNeverServed);
+  ensure_size(live_per_input_, static_cast<std::size_t>(num_inputs),
+              std::uint64_t{0});
+  ensure_size(queued_per_output_, static_cast<std::size_t>(num_outputs),
+              std::uint64_t{0});
+
+  // Architecture-dependent rule selection.  The crossbar rule (one data
+  // cell per input row) holds for the matching-driven switches; the OQ and
+  // CIOQ line sides legally emit unrelated packets from one input.  The
+  // per-(input, output) FIFO rule holds everywhere except the ESLIP hybrid
+  // (two queues per input interleave) and multi-class VOQs (strict
+  // priority overtakes FIFO order across classes).
+  const bool is_eslip = dynamic_cast<const EslipSwitch*>(&sw) != nullptr;
+  const auto* voq = dynamic_cast<const VoqSwitch*>(&sw);
+  const bool crossbar_rule =
+      voq != nullptr || is_eslip ||
+      dynamic_cast<const SingleFifoSwitch*>(&sw) != nullptr;
+  const bool multi_class =
+      voq != nullptr && num_inputs > 0 && voq->input(0).num_classes() > 1;
+  const bool pair_fifo_rule = !is_eslip && !multi_class;
+  const bool input_fifo_rule =
+      dynamic_cast<const SingleFifoSwitch*>(&sw) != nullptr;
+  const bool output_fifo_rule = dynamic_cast<const OqSwitch*>(&sw) != nullptr;
+
+  // Per-slot scratch: who drives each output, what each input transmits.
+  std::vector<PortId> output_source(static_cast<std::size_t>(num_outputs),
+                                    kNoPort);
+  std::vector<PacketId> input_cell(static_cast<std::size_t>(num_inputs),
+                                   kNoPacket);
+
+  for (const Delivery& d : result.deliveries) {
+    if (d.input < 0 || d.input >= num_inputs || d.output < 0 ||
+        d.output >= num_outputs)
+      FIFOMS_AUDIT_FAIL(now, "delivery of packet " + pkt_str(d.packet) +
+                                 " names out-of-range ports " +
+                                 port_str(d.input) + "->" +
+                                 port_str(d.output));
+
+    // Matching validity: each output fed by at most one input per slot.
+    PortId& source = output_source[static_cast<std::size_t>(d.output)];
+    if (source != kNoPort && source != d.input)
+      FIFOMS_AUDIT_FAIL(now, "matching corrupt: output " +
+                                 port_str(d.output) +
+                                 " granted to inputs " + port_str(source) +
+                                 " and " + port_str(d.input) +
+                                 " in one slot");
+    if (source == d.input)
+      FIFOMS_AUDIT_FAIL(now, "matching corrupt: output " +
+                                 port_str(d.output) +
+                                 " served twice in one slot by input " +
+                                 port_str(d.input));
+    source = d.input;
+
+    // The multicast crossbar exception: one input may feed several
+    // outputs, but only with copies of the same data cell.
+    if (crossbar_rule) {
+      PacketId& cell = input_cell[static_cast<std::size_t>(d.input)];
+      if (cell != kNoPacket && cell != d.packet)
+        FIFOMS_AUDIT_FAIL(now, "matching corrupt: input " +
+                                   port_str(d.input) +
+                                   " scheduled to send two different data "
+                                   "cells (packets " +
+                                   pkt_str(cell) + " and " +
+                                   pkt_str(d.packet) + ")");
+      cell = d.packet;
+    }
+
+    // Fanout-counter conservation against the shadow copy.
+    const auto it = live_.find(d.packet);
+    if (it == live_.end())
+      FIFOMS_AUDIT_FAIL(now, "delivery at output " + port_str(d.output) +
+                                 " of unknown or already-retired packet " +
+                                 pkt_str(d.packet) +
+                                 " (fanout counter over-decremented)");
+    Shadow& shadow = it->second;
+    if (shadow.input != d.input)
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " delivered from input " + port_str(d.input) +
+                                 " but was injected at input " +
+                                 port_str(shadow.input));
+    if (shadow.arrival != d.arrival)
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " arrival stamp corrupted: delivery says " +
+                                 std::to_string(d.arrival) +
+                                 ", injection said " +
+                                 std::to_string(shadow.arrival));
+    if (d.arrival > now)
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " delivered before its arrival slot " +
+                                 std::to_string(d.arrival));
+    if (shadow.payload_tag != d.payload_tag)
+      FIFOMS_AUDIT_FAIL(now, "payload corruption: packet " +
+                                 pkt_str(d.packet) + " copy at output " +
+                                 port_str(d.output) +
+                                 " carries the wrong payload tag");
+    if (!shadow.remaining.contains(d.output))
+      FIFOMS_AUDIT_FAIL(now, "fanout counter corrupt: packet " +
+                                 pkt_str(d.packet) + " copy to output " +
+                                 port_str(d.output) +
+                                 " already served or not a destination");
+    shadow.remaining.erase(d.output);
+    ++copies_out_;
+    --queued_per_output_[static_cast<std::size_t>(d.output)];
+
+    // FIFO order rules.
+    const auto pair = static_cast<std::size_t>(d.input) *
+                          static_cast<std::size_t>(num_outputs) +
+                      static_cast<std::size_t>(d.output);
+    if (pair_fifo_rule) {
+      if (d.arrival < last_pair_ts_[pair])
+        FIFOMS_AUDIT_FAIL(now, "per-VOQ FIFO order violated: (input " +
+                                   port_str(d.input) + ", output " +
+                                   port_str(d.output) +
+                                   ") served timestamp " +
+                                   std::to_string(d.arrival) + " after " +
+                                   std::to_string(last_pair_ts_[pair]));
+      last_pair_ts_[pair] = d.arrival;
+    }
+    if (input_fifo_rule) {
+      SlotTime& last = last_input_ts_[static_cast<std::size_t>(d.input)];
+      if (d.arrival < last)
+        FIFOMS_AUDIT_FAIL(now, "input FIFO order violated: input " +
+                                   port_str(d.input) +
+                                   " served timestamp " +
+                                   std::to_string(d.arrival) + " after " +
+                                   std::to_string(last));
+      last = d.arrival;
+    }
+    if (output_fifo_rule) {
+      SlotTime& last = last_output_ts_[static_cast<std::size_t>(d.output)];
+      if (d.arrival < last)
+        FIFOMS_AUDIT_FAIL(now, "output FIFO order violated: output " +
+                                   port_str(d.output) +
+                                   " served timestamp " +
+                                   std::to_string(d.arrival) + " after " +
+                                   std::to_string(last));
+      last = d.arrival;
+    }
+
+    // Retire the packet when its last copy lands (fanout counter zero).
+    if (shadow.remaining.empty()) {
+      --live_per_input_[static_cast<std::size_t>(d.input)];
+      live_.erase(it);
+      ++packets_retired_;
+    }
+  }
+}
+
+void MatchingAuditor::check_conservation(SlotTime now, const SwitchModel& sw) {
+  const std::uint64_t pending = copies_in_ - copies_out_;
+
+  if (const auto* voq = dynamic_cast<const VoqSwitch*>(&sw)) {
+    std::uint64_t queued = 0;
+    for (PortId p = 0; p < voq->num_inputs(); ++p) {
+      const McVoqInput& input = voq->input(p);
+      queued += input.address_cell_count();
+      if (input.data_cell_count() !=
+          live_per_input_[static_cast<std::size_t>(p)])
+        FIFOMS_AUDIT_FAIL(now, "data cell conservation violated at input " +
+                                   port_str(p) + ": pool holds " +
+                                   std::to_string(input.data_cell_count()) +
+                                   " live cells, auditor expects " +
+                                   std::to_string(live_per_input_
+                                       [static_cast<std::size_t>(p)]));
+    }
+    if (queued != pending)
+      FIFOMS_AUDIT_FAIL(now, "cell conservation violated: " +
+                                 std::to_string(queued) +
+                                 " address cells queued but arrivals - "
+                                 "departures = " +
+                                 std::to_string(pending));
+    return;
+  }
+
+  if (const auto* cioq = dynamic_cast<const CioqSwitch*>(&sw)) {
+    // Data cells are freed when the last copy crosses the fabric, possibly
+    // before it leaves the line, so only copy-level conservation is exact:
+    // pending copies live either as address cells or in the output FIFOs.
+    std::uint64_t queued = 0;
+    for (PortId p = 0; p < cioq->num_inputs(); ++p)
+      queued += cioq->input(p).address_cell_count();
+    for (PortId p = 0; p < cioq->num_outputs(); ++p)
+      queued += cioq->output_occupancy(p);
+    if (queued != pending)
+      FIFOMS_AUDIT_FAIL(now, "cell conservation violated: " +
+                                 std::to_string(queued) +
+                                 " copies queued (address cells + output "
+                                 "FIFOs) but arrivals - departures = " +
+                                 std::to_string(pending));
+    return;
+  }
+
+  if (const auto* fifo = dynamic_cast<const SingleFifoSwitch*>(&sw)) {
+    for (PortId p = 0; p < fifo->num_inputs(); ++p)
+      if (fifo->occupancy(p) != live_per_input_[static_cast<std::size_t>(p)])
+        FIFOMS_AUDIT_FAIL(now, "packet conservation violated at input " +
+                                   port_str(p) + ": queue holds " +
+                                   std::to_string(fifo->occupancy(p)) +
+                                   " packets, auditor expects " +
+                                   std::to_string(live_per_input_
+                                       [static_cast<std::size_t>(p)]));
+    return;
+  }
+
+  if (const auto* oq = dynamic_cast<const OqSwitch*>(&sw)) {
+    for (PortId p = 0; p < oq->num_outputs(); ++p)
+      if (oq->occupancy(p) != queued_per_output_[static_cast<std::size_t>(p)])
+        FIFOMS_AUDIT_FAIL(now, "cell conservation violated at output " +
+                                   port_str(p) + ": queue holds " +
+                                   std::to_string(oq->occupancy(p)) +
+                                   " cells, auditor expects " +
+                                   std::to_string(queued_per_output_
+                                       [static_cast<std::size_t>(p)]));
+    if (oq->total_buffered() != pending)
+      FIFOMS_AUDIT_FAIL(now, "cell conservation violated: " +
+                                 std::to_string(oq->total_buffered()) +
+                                 " cells buffered but arrivals - "
+                                 "departures = " +
+                                 std::to_string(pending));
+    return;
+  }
+
+  if (const auto* eslip = dynamic_cast<const EslipSwitch*>(&sw)) {
+    std::uint64_t queued = 0;
+    for (PortId p = 0; p < eslip->num_inputs(); ++p)
+      queued += eslip->input(p).pending_copies();
+    if (queued != pending)
+      FIFOMS_AUDIT_FAIL(now, "cell conservation violated: " +
+                                 std::to_string(queued) +
+                                 " pending copies queued but arrivals - "
+                                 "departures = " +
+                                 std::to_string(pending));
+    return;
+  }
+  // Unknown model (e.g. a test double): delivery-stream checks only.
+}
+
+namespace {
+
+/// Walk every VOQ ring of one multicast-VOQ input and cross-check the
+/// address cells against the live DataCellPool (shared by VoqSwitch and
+/// CioqSwitch conservation audits).
+void audit_mc_voq_input(SlotTime now, const McVoqInput& input) {
+  const DataCellPool& pool = input.pool();
+  // Pending address cells per referenced data cell, indexed by pool slot.
+  std::unordered_map<std::uint32_t, int> ref_count;
+  ref_count.reserve(pool.live_count());
+
+  for (int priority = 0; priority < input.num_classes(); ++priority) {
+    for (PortId output = 0; output < input.num_outputs(); ++output) {
+      const RingBuffer<AddressCell>& ring =
+          input.address_cells(priority, output);
+      std::uint64_t prev_weight = 0;
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const AddressCell& cell = ring[i];
+        if (i > 0 && cell.weight < prev_weight)
+          FIFOMS_AUDIT_FAIL(now, "VOQ weight order violated at (input " +
+                                     std::to_string(input.port()) +
+                                     ", output " + std::to_string(output) +
+                                     ", class " + std::to_string(priority) +
+                                     "), position " + std::to_string(i));
+        prev_weight = cell.weight;
+        if (!pool.is_live(cell.data))
+          FIFOMS_AUDIT_FAIL(now, "stale data cell reference: address cell "
+                                 "of packet " +
+                                     std::to_string(cell.packet) +
+                                     " at (input " +
+                                     std::to_string(input.port()) +
+                                     ", output " + std::to_string(output) +
+                                     ") points at a destroyed data cell");
+        const DataCell& data = pool.get(cell.data);
+        if (data.packet != cell.packet || data.timestamp != cell.timestamp)
+          FIFOMS_AUDIT_FAIL(now, "address cell of packet " +
+                                     std::to_string(cell.packet) +
+                                     " disagrees with its data cell "
+                                     "(packet " +
+                                     std::to_string(data.packet) +
+                                     ", timestamp " +
+                                     std::to_string(data.timestamp) + ")");
+        ++ref_count[cell.data.index];
+      }
+    }
+  }
+
+  if (ref_count.size() != pool.live_count())
+    FIFOMS_AUDIT_FAIL(now, "data cell leak at input " +
+                               std::to_string(input.port()) + ": " +
+                               std::to_string(pool.live_count()) +
+                               " live cells but only " +
+                               std::to_string(ref_count.size()) +
+                               " referenced by address cells");
+  // Second walk for the counter comparison: a cell's fanoutCounter must
+  // equal the number of address cells still referencing it (Table 2 —
+  // decrements happen exactly when a copy is served, destruction at zero).
+  for (int priority = 0; priority < input.num_classes(); ++priority) {
+    for (PortId output = 0; output < input.num_outputs(); ++output) {
+      const RingBuffer<AddressCell>& ring =
+          input.address_cells(priority, output);
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const AddressCell& cell = ring[i];
+        const DataCell& data = pool.get(cell.data);
+        const auto it = ref_count.find(cell.data.index);
+        if (it != ref_count.end() && data.fanout_counter != it->second)
+          FIFOMS_AUDIT_FAIL(now, "fanout counter mismatch: data cell of "
+                                 "packet " +
+                                     std::to_string(data.packet) +
+                                     " has counter " +
+                                     std::to_string(data.fanout_counter) +
+                                     " but " + std::to_string(it->second) +
+                                     " pending address cells");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MatchingAuditor::check_structure(SlotTime now, const SwitchModel& sw) {
+  if (const auto* voq = dynamic_cast<const VoqSwitch*>(&sw)) {
+    for (PortId p = 0; p < voq->num_inputs(); ++p)
+      audit_mc_voq_input(now, voq->input(p));
+  } else if (const auto* cioq = dynamic_cast<const CioqSwitch*>(&sw)) {
+    for (PortId p = 0; p < cioq->num_inputs(); ++p)
+      audit_mc_voq_input(now, cioq->input(p));
+  }
+}
+
+#else  // !FIFOMS_AUDIT — the auditor compiles to an inert observer.
+
+MatchingAuditor::MatchingAuditor(Options options) : options_(options) {}
+void MatchingAuditor::reset() {}
+void MatchingAuditor::on_inject(const SwitchModel&, const Packet&) {}
+void MatchingAuditor::on_slot(SlotTime, const SwitchModel&,
+                              const SlotResult&) {}
+void MatchingAuditor::check_deliveries(SlotTime, const SwitchModel&,
+                                       const SlotResult&) {}
+void MatchingAuditor::check_conservation(SlotTime, const SwitchModel&) {}
+void MatchingAuditor::check_structure(SlotTime, const SwitchModel&) {}
+
+#endif  // FIFOMS_AUDIT
+
+}  // namespace fifoms

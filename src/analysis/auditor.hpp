@@ -1,0 +1,108 @@
+// MatchingAuditor: a runtime invariant checker for every switch model.
+//
+// Attached through the SlotObserver interface, the auditor rebuilds an
+// independent shadow copy of the switch's bookkeeping from the event
+// stream it can see (injections and per-copy deliveries) and cross-checks
+// it against the paper's queue-structure rules every slot:
+//
+//   * matching validity — each output receives from at most one input per
+//     slot, and an input transmitting to several outputs does so only with
+//     copies of ONE data cell (the multicast crossbar exception, paper
+//     Section II);
+//   * fanout-counter conservation — every delivered copy decrements the
+//     packet's remaining fanout exactly once, no copy is delivered twice
+//     or outside the packet's destination set, and the data cell is freed
+//     iff the counter reaches zero (checked structurally against
+//     DataCellPool for the VOQ-based switches);
+//   * per-VOQ FIFO order — timestamps served on one (input, output) pair
+//     never decrease (disabled where the architecture legitimately
+//     reorders: the ESLIP hybrid structure and multi-class VOQs);
+//   * end-to-end cell conservation — copies offered equal copies
+//     delivered plus copies still queued, checked against the switch's
+//     own occupancy counters per model.
+//
+// Violations panic with a slot-stamped diagnostic naming the ports and
+// packet involved.  The checks compile to no-ops when FIFOMS_AUDIT is 0
+// (the Release preset), so hot paths stay untouched; the auditor is also
+// pay-as-you-go at runtime — nothing is checked unless one is attached.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "sim/observer.hpp"
+
+// FIFOMS_AUDIT is normally set by the build system (ON everywhere except
+// the Release preset).  Standalone consumers of the headers get a
+// build-type-derived default.
+#ifndef FIFOMS_AUDIT
+#ifdef NDEBUG
+#define FIFOMS_AUDIT 0
+#else
+#define FIFOMS_AUDIT 1
+#endif
+#endif
+
+namespace fifoms {
+
+class MatchingAuditor final : public SlotObserver {
+ public:
+  struct Options {
+    /// Walk every VOQ ring of the VOQ-based switches each audited slot to
+    /// cross-check fanout counters and per-class FIFO order against the
+    /// live DataCellPool.  O(queued address cells) per audited slot.
+    bool deep_structure = true;
+    /// Audit only every k-th slot's structural state (delivery-stream
+    /// checks always run).  1 = every slot.
+    SlotTime structure_every = 1;
+  };
+
+  MatchingAuditor() : MatchingAuditor(Options{}) {}
+  explicit MatchingAuditor(Options options);
+
+  /// False when the build compiled the checks out (FIFOMS_AUDIT=0).
+  static constexpr bool enabled() { return FIFOMS_AUDIT != 0; }
+
+  void on_inject(const SwitchModel& sw, const Packet& packet) override;
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override;
+
+  /// Slots that went through the full check battery.
+  std::uint64_t slots_audited() const { return slots_audited_; }
+  /// Delivered copies individually verified.
+  std::uint64_t copies_checked() const { return copies_out_; }
+  /// Packets whose full fanout was observed and retired.
+  std::uint64_t packets_retired() const { return packets_retired_; }
+
+  /// Forget all shadow state (call between simulation runs).
+  void reset();
+
+ private:
+  struct Shadow {  // one live (injected, not fully served) packet
+    PortId input = kNoPort;
+    SlotTime arrival = 0;
+    PortSet remaining;
+    std::uint64_t payload_tag = 0;
+  };
+
+  void check_deliveries(SlotTime now, const SwitchModel& sw,
+                        const SlotResult& result);
+  void check_conservation(SlotTime now, const SwitchModel& sw);
+  void check_structure(SlotTime now, const SwitchModel& sw);
+
+  Options options_;
+  std::unordered_map<PacketId, Shadow> live_;
+  std::vector<std::uint64_t> live_per_input_;
+  std::vector<std::uint64_t> queued_per_output_;  // copies, OQ conservation
+  std::vector<SlotTime> last_pair_ts_;     // per (input * N + output)
+  std::vector<SlotTime> last_input_ts_;    // single-FIFO whole-queue order
+  std::vector<SlotTime> last_output_ts_;   // OQ per-output order
+  std::uint64_t copies_in_ = 0;
+  std::uint64_t copies_out_ = 0;
+  std::uint64_t packets_retired_ = 0;
+  std::uint64_t slots_audited_ = 0;
+};
+
+}  // namespace fifoms

@@ -88,6 +88,14 @@ class McVoqInput {
   const DataCell& data(DataCellRef ref) const { return pool_.get(ref); }
   const DataCellPool& pool() const { return pool_; }
 
+  /// Read-only view of one (class, output) sub-queue, head first — the
+  /// structural-audit and test surface (MatchingAuditor walks every
+  /// address cell each slot to cross-check fanout counters).
+  const RingBuffer<AddressCell>& address_cells(int priority,
+                                               PortId output) const {
+    return voq(priority, output);
+  }
+
   /// Drop all queued state (simulation reset).
   void clear();
 

@@ -85,13 +85,17 @@ void JsonWriter::key(const std::string& name) {
   FIFOMS_ASSERT(!expecting_value_, "JsonWriter: two keys in a row");
   if (!first_in_scope_.back()) out_ += ',';
   first_in_scope_.back() = false;
-  raw("\"" + escape(name) + "\":");
+  raw("\"");
+  raw(escape(name));
+  raw("\":");
   expecting_value_ = true;
 }
 
 void JsonWriter::value(const std::string& text) {
   before_value();
-  raw("\"" + escape(text) + "\"");
+  raw("\"");
+  raw(escape(text));
+  raw("\"");
   if (scopes_.empty()) done_ = true;
 }
 

@@ -19,6 +19,14 @@ class SlotObserver {
  public:
   virtual ~SlotObserver() = default;
 
+  /// Called for every packet the switch accepted (not for drops), before
+  /// the slot's step().  Default is a no-op; observers that track
+  /// conservation (e.g. MatchingAuditor) override it.
+  virtual void on_inject(const SwitchModel& sw, const Packet& packet) {
+    (void)sw;
+    (void)packet;
+  }
+
   /// Called once per slot after transmission and metrics accounting.
   virtual void on_slot(SlotTime now, const SwitchModel& sw,
                        const SlotResult& result) = 0;

@@ -39,6 +39,7 @@ SimResult Simulator::run() {
       };
       if (!switch_.inject(packet)) continue;  // dropped at a full buffer
       metrics.on_inject(packet);
+      if (observer_ != nullptr) observer_->on_inject(switch_, packet);
     }
 
     slot_result.clear();

@@ -1,0 +1,159 @@
+// Negative-injection tests: deliberately corrupt a matching, a fanout
+// counter and a VOQ timestamp order in a scripted harness and assert the
+// auditor dies with the matching slot-stamped diagnostic.  The three
+// corruption shapes mirror the invariant families of docs/CORRECTNESS.md.
+#include "analysis/auditor.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/switch_model.hpp"
+#include "test_util.hpp"
+
+namespace fifoms {
+namespace {
+
+/// A switch whose step() replays a per-slot script of deliveries verbatim
+/// — the corruption vehicle.  The auditor classifies it as an unknown
+/// architecture, so the delivery-stream checks (matching validity, fanout
+/// conservation, per-pair FIFO order) run while the model-specific
+/// occupancy cross-checks stay off.
+class ScriptedSwitch final : public SwitchModel {
+ public:
+  explicit ScriptedSwitch(int num_ports) : num_ports_(num_ports) {}
+
+  std::string_view name() const override { return "scripted"; }
+  int num_inputs() const override { return num_ports_; }
+  int num_outputs() const override { return num_ports_; }
+
+  bool inject(const Packet&) override { return true; }
+  void step(SlotTime now, Rng&, SlotResult& result) override {
+    const auto slot = static_cast<std::size_t>(now);
+    if (slot < script_.size())
+      result.deliveries.insert(result.deliveries.end(), script_[slot].begin(),
+                               script_[slot].end());
+  }
+
+  std::size_t occupancy(PortId) const override { return 0; }
+  int occupancy_ports() const override { return num_ports_; }
+  std::size_t total_buffered() const override { return 0; }
+  void clear() override { script_.clear(); }
+
+  /// Schedule `delivery` to be reported in `slot`'s SlotResult.
+  void script(SlotTime slot, const Delivery& delivery) {
+    const auto index = static_cast<std::size_t>(slot);
+    if (script_.size() <= index) script_.resize(index + 1);
+    script_[index].push_back(delivery);
+  }
+
+ private:
+  int num_ports_;
+  std::vector<std::vector<Delivery>> script_;
+};
+
+Delivery copy_of(const Packet& packet, PortId output) {
+  return Delivery{.packet = packet.id,
+                  .input = packet.input,
+                  .output = output,
+                  .arrival = packet.arrival,
+                  .payload_tag = packet.payload_tag()};
+}
+
+/// Inject `packets` at their arrival slots, then run the scripted slots
+/// with the auditor attached.  Panics propagate out (EXPECT_DEATH).
+void drive(ScriptedSwitch& sw, const std::vector<Packet>& packets,
+           SlotTime slots) {
+  MatchingAuditor auditor;
+  Rng rng(1);
+  SlotResult result;
+  for (SlotTime now = 0; now < slots; ++now) {
+    for (const Packet& packet : packets) {
+      if (packet.arrival != now) continue;
+      sw.inject(packet);
+      auditor.on_inject(sw, packet);
+    }
+    result.clear();
+    sw.step(now, rng, result);
+    auditor.on_slot(now, sw, result);
+  }
+}
+
+class AuditorNegative : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!MatchingAuditor::enabled())
+      GTEST_SKIP() << "FIFOMS_AUDIT compiled out in this build";
+  }
+};
+
+TEST_F(AuditorNegative, CleanScriptPasses) {
+  ScriptedSwitch sw(4);
+  const Packet p0 = test::make_packet(0, 0, 0, {1, 2});
+  const Packet p1 = test::make_packet(1, 1, 0, {3});
+  sw.script(1, copy_of(p0, 1));
+  sw.script(1, copy_of(p1, 3));
+  sw.script(2, copy_of(p0, 2));
+  drive(sw, {p0, p1}, 3);  // must not panic
+}
+
+TEST_F(AuditorNegative, CorruptMatchingPanicsWithOutputDiagnostic) {
+  // Two inputs granted the same output in one slot — an invalid crossbar
+  // configuration no scheduler may produce.
+  ScriptedSwitch sw(4);
+  const Packet p0 = test::make_packet(0, 0, 0, {2});
+  const Packet p1 = test::make_packet(1, 1, 0, {2});
+  sw.script(1, copy_of(p0, 2));
+  sw.script(1, copy_of(p1, 2));
+  EXPECT_DEATH(drive(sw, {p0, p1}, 2),
+               "audit violation at slot 1: matching corrupt: "
+               "output 2 granted to inputs 0 and 1");
+}
+
+TEST_F(AuditorNegative, CorruptFanoutCounterPanicsWithPacketDiagnostic) {
+  // The same copy transmitted twice: the fanout counter would have to be
+  // decremented below its Table-2 budget.
+  ScriptedSwitch sw(4);
+  const Packet p0 = test::make_packet(0, 0, 0, {1, 3});
+  sw.script(1, copy_of(p0, 1));
+  sw.script(2, copy_of(p0, 1));  // output 1 served again, 3 never
+  EXPECT_DEATH(drive(sw, {p0}, 3),
+               "audit violation at slot 2: fanout counter corrupt: "
+               "packet 0 copy to output 1 already served");
+}
+
+TEST_F(AuditorNegative, CorruptTimestampOrderPanicsWithVoqDiagnostic) {
+  // A younger cell overtakes an older one on the same (input, output)
+  // pair — a FIFO violation in the VOQ discipline.
+  ScriptedSwitch sw(4);
+  const Packet older = test::make_packet(0, 0, 0, {1});
+  const Packet younger = test::make_packet(1, 0, 1, {1});
+  sw.script(2, copy_of(younger, 1));
+  sw.script(3, copy_of(older, 1));
+  EXPECT_DEATH(drive(sw, {older, younger}, 4),
+               "audit violation at slot 3: per-VOQ FIFO order violated: "
+               "\\(input 0, output 1\\) served timestamp 0 after 1");
+}
+
+TEST_F(AuditorNegative, UnknownPacketPanics) {
+  ScriptedSwitch sw(4);
+  const Packet ghost = test::make_packet(7, 0, 0, {1});
+  sw.script(1, copy_of(ghost, 1));  // never injected
+  EXPECT_DEATH(drive(sw, {}, 2),
+               "audit violation at slot 1: delivery at output 1 of unknown "
+               "or already-retired packet 7");
+}
+
+TEST_F(AuditorNegative, PayloadCorruptionPanics) {
+  ScriptedSwitch sw(4);
+  const Packet p0 = test::make_packet(0, 0, 0, {1});
+  Delivery corrupted = copy_of(p0, 1);
+  corrupted.payload_tag ^= 1;  // single bit flip on the data path
+  sw.script(1, corrupted);
+  EXPECT_DEATH(drive(sw, {p0}, 2),
+               "audit violation at slot 1: payload corruption: packet 0");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -44,7 +44,9 @@ TEST(PortSet, AllOfN) {
     const PortSet set = PortSet::all(n);
     EXPECT_EQ(set.count(), n) << "n=" << n;
     EXPECT_TRUE(set.contains(n - 1));
-    if (n < kMaxPorts) EXPECT_FALSE(set.contains(n));
+    if (n < kMaxPorts) {
+      EXPECT_FALSE(set.contains(n));
+    }
   }
   EXPECT_TRUE(PortSet::all(0).empty());
 }

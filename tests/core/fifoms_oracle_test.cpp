@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/fifoms.hpp"
@@ -176,8 +177,11 @@ INSTANTIATE_TEST_SUITE_P(
                       OracleParam{8, 0.3, 0.25, 15},
                       OracleParam{8, 0.95, 0.4, 16}),
     [](const ::testing::TestParamInfo<OracleParam>& info) {
-      return "N" + std::to_string(info.param.ports) + "_seed" +
-             std::to_string(info.param.seed);
+      std::string name = "N";
+      name += std::to_string(info.param.ports);
+      name += "_seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 }  // namespace

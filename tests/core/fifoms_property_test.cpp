@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "core/fifoms.hpp"
@@ -66,7 +67,9 @@ TEST_P(FifomsPropertyTest, StructuralInvariantsHold) {
       // One payload per input per slot (single data cell).
       const auto [it, inserted] =
           input_payload.emplace(d.input, d.payload_tag);
-      if (!inserted) ASSERT_EQ(it->second, d.payload_tag);
+      if (!inserted) {
+        ASSERT_EQ(it->second, d.payload_tag);
+      }
       // Causality.
       ASSERT_LE(d.arrival, now);
       // Per-VOQ FIFO: arrival stamps non-decreasing per (input, output).
@@ -138,8 +141,11 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{16, 0.9, 0.1, 9}, SweepParam{32, 0.3, 0.1, 10},
         SweepParam{3, 1.0, 1.0, 11}, SweepParam{16, 1.0, 0.05, 12}),
     [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "N" + std::to_string(info.param.ports) + "_seed" +
-             std::to_string(info.param.seed);
+      std::string name = "N";
+      name += std::to_string(info.param.ports);
+      name += "_seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 // The same invariants must hold for the no-splitting ablation variant.
@@ -185,8 +191,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepParam{4, 0.5, 0.5, 21}, SweepParam{8, 0.4, 0.3, 22},
                       SweepParam{16, 0.3, 0.2, 23}),
     [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "N" + std::to_string(info.param.ports) + "_seed" +
-             std::to_string(info.param.seed);
+      std::string name = "N";
+      name += std::to_string(info.param.ports);
+      name += "_seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "core/fifoms.hpp"
 #include "sim/simulator.hpp"
@@ -135,8 +136,11 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffParam{8, 0.4, 0.25, 3}, DiffParam{16, 0.3, 0.2, 4},
                       DiffParam{16, 0.9, 0.3, 5}, DiffParam{5, 0.7, 0.5, 6}),
     [](const ::testing::TestParamInfo<DiffParam>& info) {
-      return "N" + std::to_string(info.param.ports) + "_seed" +
-             std::to_string(info.param.seed);
+      std::string name = "N";
+      name += std::to_string(info.param.ports);
+      name += "_seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 TEST(FifomsControlUnit, WorksInsideFullSimulation) {

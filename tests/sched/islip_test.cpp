@@ -168,7 +168,9 @@ TEST(Islip, DesynchronisesUnderFullBacklog) {
       for (PortId output : m.grants(input)) {
         ports[static_cast<std::size_t>(input)].serve_hol(output);
       }
-    if (slot >= 4) EXPECT_EQ(m.matched_pairs(), n) << "slot " << slot;
+    if (slot >= 4) {
+      EXPECT_EQ(m.matched_pairs(), n) << "slot " << slot;
+    }
   }
 }
 

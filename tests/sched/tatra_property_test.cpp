@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "sched/tatra.hpp"
 #include "sim/single_fifo_switch.hpp"
@@ -121,8 +122,11 @@ INSTANTIATE_TEST_SUITE_P(
                       TatraParam{16, 0.15, 0.2, 34},
                       TatraParam{8, 0.9, 0.5, 35}),
     [](const ::testing::TestParamInfo<TatraParam>& info) {
-      return "N" + std::to_string(info.param.ports) + "_seed" +
-             std::to_string(info.param.seed);
+      std::string name = "N";
+      name += std::to_string(info.param.ports);
+      name += "_seed";
+      name += std::to_string(info.param.seed);
+      return name;
     });
 
 }  // namespace

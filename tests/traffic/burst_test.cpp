@@ -74,7 +74,9 @@ TEST(BurstTraffic, DestinationsNeverEmptyDuringBurst) {
   traffic.reset(rng);
   for (SlotTime t = 0; t < 20000; ++t) {
     const PortSet set = traffic.arrival(0, t, rng);
-    if (!set.empty()) EXPECT_GE(set.count(), 1);
+    if (!set.empty()) {
+      EXPECT_GE(set.count(), 1);
+    }
   }
 }
 

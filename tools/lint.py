@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Project-rule lint for the FIFOMS codebase.
+
+A deliberately small AST-grep-style checker for rules that neither the
+compiler nor clang-tidy enforces:
+
+  no-raw-rand
+      The simulator's determinism contract (see DESIGN.md and
+      common/rng.hpp) requires every random draw to flow through the
+      seeded Rng streams.  Raw `rand()`, `srand()`, `std::random_device`
+      and `std::random_shuffle` break run reproducibility, so they are
+      banned in src/, bench/ and examples/.
+
+  no-unordered-in-decision-path
+      Scheduler decision code (src/sched/, src/core/) must not iterate
+      hash containers: their iteration order is implementation-defined,
+      which silently turns "the same matching on every platform" into
+      "a different matching per libstdc++ version".  Use std::map,
+      sorted vectors, or index loops.
+
+  audit-panic-slot
+      Every diagnostic raised by the runtime invariant auditor
+      (src/analysis/auditor.cpp) must name the slot it fired in:
+      violations are only actionable if they can be replayed up to an
+      exact slot.  Concretely: all failures must go through
+      FIFOMS_AUDIT_FAIL(now, ...) — whose expansion stamps the slot —
+      and direct panic()/FIFOMS_ASSERT() calls are forbidden there.
+
+Suppress a finding (sparingly) with a same-line comment:
+    // fifoms-lint: allow(<rule-name>)
+
+Usage:
+    tools/lint.py [--root DIR]     # scan the repo, exit 1 on findings
+    tools/lint.py --self-test      # run the checker's own unit checks
+    tools/lint.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_noise(line: str) -> str:
+    """Remove string literals and // comments (rough but sufficient)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def suppressed(raw_line: str, rule: str) -> bool:
+    return f"fifoms-lint: allow({rule})" in raw_line
+
+
+RAW_RAND = re.compile(
+    r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_shuffle\b"
+    r"|\bstd::random_device\b"
+)
+UNORDERED = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+AUDIT_FAIL_CALL = re.compile(r"\bFIFOMS_AUDIT_FAIL\s*\(\s*([A-Za-z_]\w*)")
+DIRECT_PANIC = re.compile(r"\bpanic\s*\(|\bFIFOMS_D?ASSERT\s*\(")
+
+
+def check_no_raw_rand(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith(("src/", "bench/", "examples/")):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        if suppressed(raw, "no-raw-rand"):
+            continue
+        if RAW_RAND.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "no-raw-rand",
+                        "raw C randomness breaks run determinism; "
+                        "draw from a seeded fifoms::Rng stream instead"))
+    return findings
+
+
+def check_no_unordered(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith(("src/sched/", "src/core/")):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        if suppressed(raw, "no-unordered-in-decision-path"):
+            continue
+        if UNORDERED.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "no-unordered-in-decision-path",
+                        "hash-container iteration order is nondeterministic; "
+                        "scheduler decisions must use ordered containers"))
+    return findings
+
+
+def check_audit_panic_slot(rel: str, lines: list[str]) -> list[Finding]:
+    if rel != "src/analysis/auditor.cpp":
+        return []
+    findings = []
+    in_define = False
+    for i, raw in enumerate(lines, start=1):
+        stripped = raw.lstrip()
+        # Lines belonging to a macro definition are the one place the raw
+        # panic() call legitimately lives.
+        this_is_define = in_define or stripped.startswith("#define")
+        in_define = raw.rstrip().endswith("\\") and this_is_define
+
+        code = strip_noise(raw)
+        call = AUDIT_FAIL_CALL.search(code)
+        if call and not suppressed(raw, "audit-panic-slot"):
+            if call.group(1) != "now":
+                findings.append(
+                    Finding(rel, i, "audit-panic-slot",
+                            "FIFOMS_AUDIT_FAIL must receive the current "
+                            "slot (`now`) as its first argument"))
+        if this_is_define:
+            continue
+        if DIRECT_PANIC.search(code) and not suppressed(raw,
+                                                        "audit-panic-slot"):
+            findings.append(
+                Finding(rel, i, "audit-panic-slot",
+                        "auditor diagnostics must go through "
+                        "FIFOMS_AUDIT_FAIL(now, ...) so every message "
+                        "carries the slot number"))
+    return findings
+
+
+CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot]
+RULES = {
+    "no-raw-rand": "ban rand()/srand()/random_device/random_shuffle",
+    "no-unordered-in-decision-path":
+        "ban hash containers in src/sched/ and src/core/",
+    "audit-panic-slot":
+        "auditor panics must carry the slot number via FIFOMS_AUDIT_FAIL",
+}
+
+
+def scan(root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for top in ("src", "bench", "examples"):
+        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if not name.endswith(CPP_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as handle:
+                    lines = handle.read().splitlines()
+                for check in CHECKS:
+                    findings.extend(check(rel, lines))
+    return findings
+
+
+def self_test() -> int:
+    def lines(text: str) -> list[str]:
+        return text.splitlines()
+
+    cases = [
+        # (description, expect_findings, check, rel_path, source)
+        ("rand() flagged", True, check_no_raw_rand, "src/a.cpp",
+         "int x = rand();"),
+        ("std::random_device flagged", True, check_no_raw_rand, "bench/b.cpp",
+         "std::random_device rd;"),
+        ("random_member ok", False, check_no_raw_rand, "src/a.cpp",
+         "set.random_member(rng);"),
+        ("operand( ok", False, check_no_raw_rand, "src/a.cpp",
+         "int operand(int);"),
+        ("rand in string ok", False, check_no_raw_rand, "src/a.cpp",
+         'log("calling rand() is banned");'),
+        ("tests not scanned", False, check_no_raw_rand, "tests/a.cpp",
+         "int x = rand();"),
+        ("suppression honoured", False, check_no_raw_rand, "src/a.cpp",
+         "int x = rand();  // fifoms-lint: allow(no-raw-rand)"),
+        ("unordered_map in sched flagged", True, check_no_unordered,
+         "src/sched/x.cpp", "std::unordered_map<int, int> m;"),
+        ("unordered_set in core flagged", True, check_no_unordered,
+         "src/core/x.hpp", "std::unordered_set<PortId> s;"),
+        ("unordered ok outside decision path", False, check_no_unordered,
+         "src/sim/x.cpp", "std::unordered_map<int, int> m;"),
+        ("audit fail with now ok", False, check_audit_panic_slot,
+         "src/analysis/auditor.cpp", "FIFOMS_AUDIT_FAIL(now, msg);"),
+        ("audit fail without now flagged", True, check_audit_panic_slot,
+         "src/analysis/auditor.cpp", "FIFOMS_AUDIT_FAIL(slot_guess, msg);"),
+        ("direct panic flagged", True, check_audit_panic_slot,
+         "src/analysis/auditor.cpp", "panic(__FILE__, __LINE__, msg);"),
+        ("direct assert flagged", True, check_audit_panic_slot,
+         "src/analysis/auditor.cpp", 'FIFOMS_ASSERT(ok, "msg");'),
+        ("panic inside define ok", False, check_audit_panic_slot,
+         "src/analysis/auditor.cpp",
+         "#define FIFOMS_AUDIT_FAIL(now, msg) \\\n"
+         "  ::fifoms::panic(__FILE__, __LINE__, (msg))"),
+        ("other files ignored", False, check_audit_panic_slot,
+         "src/analysis/queueing.cpp", "panic(__FILE__, __LINE__, msg);"),
+    ]
+
+    failures = 0
+    for description, expect, check, rel, source in cases:
+        got = bool(check(rel, lines(source)))
+        if got != expect:
+            print(f"SELF-TEST FAIL: {description}: expected "
+                  f"findings={expect}, got {got}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(f"lint self-test: {len(cases)} cases ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root to scan")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checker's own unit checks")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}: {description}")
+        return 0
+    if args.self_test:
+        return self_test()
+
+    if not os.path.isdir(args.root):
+        print(f"lint: no such directory: {args.root}", file=sys.stderr)
+        return 2
+
+    findings = scan(args.root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
