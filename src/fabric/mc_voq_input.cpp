@@ -88,6 +88,17 @@ std::size_t McVoqInput::address_cell_count() const {
   return total;
 }
 
+void McVoqInput::inject_queue_state(std::span<const Packet> packets) {
+  clear();
+  SlotTime last = -1;
+  for (const Packet& packet : packets) {
+    FIFOMS_ASSERT(packet.arrival > last,
+                  "injected packets must have strictly increasing arrivals");
+    last = packet.arrival;
+    accept(packet);
+  }
+}
+
 void McVoqInput::clear() {
   pool_.clear();
   for (auto& queue : voqs_) queue.clear();

@@ -9,6 +9,7 @@
 // processing of Table 2 for one granted address cell.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
@@ -95,6 +96,16 @@ class McVoqInput {
                                                PortId output) const {
     return voq(priority, output);
   }
+
+  /// Deterministic state-injection hook for the bounded verifier
+  /// (src/verify/) and the fuzz harnesses: drop all queued state and
+  /// rebuild it from an explicit packet list.  Packets must belong to
+  /// this input, carry strictly increasing arrival slots (the one-arrival
+  /// -per-slot contract the preprocessing algorithm assumes) and
+  /// non-empty destination sets.  Equivalent to clear() followed by
+  /// accept() per packet, so injected states are indistinguishable from
+  /// organically reached ones.
+  void inject_queue_state(std::span<const Packet> packets);
 
   /// Drop all queued state (simulation reset).
   void clear();

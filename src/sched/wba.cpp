@@ -12,12 +12,12 @@ void WbaScheduler::schedule(std::span<const HolCellView> hol, SlotTime now,
   const int num_outputs = matching.num_outputs();
 
   for (PortId output = 0; output < num_outputs; ++output) {
-    double best_weight = 0.0;
+    std::int64_t best_weight = 0;
     std::vector<PortId> best_inputs;
     for (PortId input = 0; input < num_inputs; ++input) {
       const HolCellView& cell = hol[static_cast<std::size_t>(input)];
       if (!cell.valid || !cell.remaining.contains(output)) continue;
-      const double w = weight(cell, now);
+      const std::int64_t w = weight(cell, now);
       if (best_inputs.empty() || w > best_weight) {
         best_weight = w;
         best_inputs.clear();

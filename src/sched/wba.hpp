@@ -13,13 +13,19 @@
 // splitting is implicit: whatever is not granted stays as residue.
 #pragma once
 
+#include <cstdint>
+
 #include "sched/hol_scheduler.hpp"
 
 namespace fifoms {
 
+// Integer coefficients on purpose: ages and fanouts are integers, so
+// integer weights lose nothing, and scheduler decision paths must stay
+// float-free (tools/lint.py no-float-in-decision-path) — floating-point
+// comparison would make grant decisions platform- and flag-dependent.
 struct WbaOptions {
-  double age_weight = 1.0;
-  double fanout_weight = 1.0;
+  std::int64_t age_weight = 1;
+  std::int64_t fanout_weight = 1;
 };
 
 class WbaScheduler final : public HolScheduler {
@@ -32,9 +38,10 @@ class WbaScheduler final : public HolScheduler {
                 SlotMatching& matching, Rng& rng) override;
 
   /// The weight function, exposed for tests.
-  double weight(const HolCellView& cell, SlotTime now) const {
-    return options_.age_weight * static_cast<double>(now - cell.arrival) -
-           options_.fanout_weight * static_cast<double>(cell.remaining.count());
+  std::int64_t weight(const HolCellView& cell, SlotTime now) const {
+    return options_.age_weight * static_cast<std::int64_t>(now - cell.arrival) -
+           options_.fanout_weight *
+               static_cast<std::int64_t>(cell.remaining.count());
   }
 
  private:

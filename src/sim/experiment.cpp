@@ -237,7 +237,7 @@ SwitchFactory make_tatra() {
                        }};
 }
 
-SwitchFactory make_wba(double age_weight, double fanout_weight) {
+SwitchFactory make_wba(std::int64_t age_weight, std::int64_t fanout_weight) {
   return SwitchFactory{
       "WBA",
       [age_weight, fanout_weight](int ports) -> std::unique_ptr<SwitchModel> {

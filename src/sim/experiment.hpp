@@ -12,6 +12,7 @@
 // variants where needed.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -82,7 +83,8 @@ SwitchFactory make_pim(int max_iterations = 0);
 SwitchFactory make_ilqf(int max_iterations = 0);
 SwitchFactory make_drr2d();
 SwitchFactory make_tatra();
-SwitchFactory make_wba(double age_weight = 1.0, double fanout_weight = 1.0);
+SwitchFactory make_wba(std::int64_t age_weight = 1,
+                       std::int64_t fanout_weight = 1);
 SwitchFactory make_concentrate();
 
 /// ESLIP on the hybrid (N unicast VOQs + one multicast FIFO) structure.

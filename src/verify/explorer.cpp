@@ -1,0 +1,437 @@
+#include "verify/explorer.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace fifoms::verify {
+
+namespace {
+
+PortSet mask_to_set(std::uint32_t mask, int ports) {
+  PortSet set;
+  for (PortId p = 0; p < ports; ++p)
+    if ((mask >> p) & 1u) set.insert(p);
+  return set;
+}
+
+std::uint32_t set_to_mask(const PortSet& set) {
+  std::uint32_t mask = 0;
+  for (PortId p : set) mask |= 1u << p;
+  return mask;
+}
+
+/// One adversarial arrival decision as a mixed-radix code: digit i (base
+/// 2^ports) is input i's destination bitmask, 0 meaning no arrival.
+ArrivalVector code_to_arrival(std::uint64_t code, int ports) {
+  const std::uint64_t choices = 1ull << ports;
+  ArrivalVector arrival(static_cast<std::size_t>(ports));
+  for (int input = 0; input < ports; ++input) {
+    arrival[static_cast<std::size_t>(input)] =
+        mask_to_set(static_cast<std::uint32_t>(code % choices), ports);
+    code /= choices;
+  }
+  return arrival;
+}
+
+std::string hex_mask(std::uint32_t mask) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%x", mask);
+  return buf;
+}
+
+}  // namespace
+
+std::string encode_trace(const Trace& trace) {
+  std::string text;
+  for (const ArrivalVector& arrival : trace) {
+    if (!text.empty()) text += ';';
+    for (std::size_t input = 0; input < arrival.size(); ++input) {
+      if (input != 0) text += ',';
+      text += hex_mask(set_to_mask(arrival[input]));
+    }
+  }
+  return text;
+}
+
+bool decode_trace(std::string_view text, int ports, Trace& out) {
+  out.clear();
+  if (ports < 1 || ports > kMaxVerifyPorts) return false;
+  if (text.empty()) return true;
+  const std::uint32_t limit = 1u << ports;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string_view slot = text.substr(pos, end - pos);
+    ArrivalVector arrival;
+    std::size_t item = 0;
+    while (item <= slot.size()) {
+      const std::size_t comma = std::min(slot.find(',', item), slot.size());
+      const std::string_view digits = slot.substr(item, comma - item);
+      std::uint32_t mask = 0;
+      const auto [ptr, ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), mask, 16);
+      if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+          mask >= limit)
+        return false;
+      arrival.push_back(mask_to_set(mask, ports));
+      if (comma == slot.size()) break;
+      item = comma + 1;
+    }
+    if (static_cast<int>(arrival.size()) != ports) return false;
+    out.push_back(std::move(arrival));
+    if (end == text.size()) break;
+    pos = end + 1;
+  }
+  return true;
+}
+
+SlotEngine::SlotEngine(int ports, Mutation mutation, bool check_equivalence)
+    : ports_(ports),
+      check_equivalence_(check_equivalence),
+      scheduler_(make_mutant_scheduler(mutation)),
+      rng_(0x5eedULL) {
+  scheduler_->reset(ports, ports);
+  hw_.reset(ports, ports);
+}
+
+int SlotEngine::step(const SwitchState& state, Outcome& outcome,
+                     std::vector<Violation>& violations) {
+  state.materialize_into(scratch_ports_);
+  outcome.matching.reset(ports_, ports_);
+  // FIFOMS never reads the wall clock, but the interface carries one; any
+  // value past every queued stamp is faithful.
+  const auto now = static_cast<SlotTime>(state.packet_count() + 1);
+  scheduler_->schedule(scratch_ports_, now, outcome.matching, rng_);
+  outcome.matching.validate();
+
+  const std::size_t before = violations.size();
+  check_matching_properties(state, outcome.matching, violations);
+  if (check_equivalence_) {
+    hw_matching_.reset(ports_, ports_);
+    hw_.schedule(scratch_ports_, now, hw_matching_, rng_);
+    hw_matching_.validate();
+    check_equivalence(state, outcome.matching, hw_matching_, violations);
+  }
+  const int found = static_cast<int>(violations.size() - before);
+
+  if (found == 0) {
+    outcome.next = state;
+    outcome.departed_mask = outcome.next.apply_matching(outcome.matching);
+  } else {
+    // A violating state is terminal: applying a broken matching (e.g. one
+    // granting an empty VOQ) is undefined, and the explorer will not
+    // expand past it anyway.
+    outcome.next = SwitchState(ports_);
+    outcome.departed_mask = 0;
+  }
+  return found;
+}
+
+Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {
+  options_.ports = std::clamp(options_.ports, 2, 4);
+  options_.max_packets_per_input = std::clamp(options_.max_packets_per_input,
+                                              1, 8);
+}
+
+namespace {
+
+/// Provenance of a stored post-service state: the arrival code that led
+/// from `parent` to it (root: parent == -1).
+struct Pred {
+  std::int32_t parent = -1;
+  std::uint64_t code = 0;
+};
+
+/// Outgoing transition for the starvation fixpoint.
+struct Edge {
+  std::uint32_t next = 0;      ///< successor post-service state id
+  std::uint32_t departed = 0;  ///< front-departure bitmask of the slot
+  std::uint64_t code = 0;      ///< arrival code taken
+};
+
+/// Memoized result of one distinct post-arrival state.
+struct ArrivalOutcome {
+  std::uint32_t next = 0;
+  std::uint32_t departed = 0;
+  bool violated = false;
+};
+
+Trace build_trace(const std::vector<Pred>& pred, std::uint32_t state_id,
+                  int ports) {
+  std::vector<std::uint64_t> codes;
+  for (std::int32_t v = static_cast<std::int32_t>(state_id);
+       pred[static_cast<std::size_t>(v)].parent >= 0;
+       v = pred[static_cast<std::size_t>(v)].parent)
+    codes.push_back(pred[static_cast<std::size_t>(v)].code);
+  std::reverse(codes.begin(), codes.end());
+  Trace trace;
+  trace.reserve(codes.size());
+  for (const std::uint64_t code : codes)
+    trace.push_back(code_to_arrival(code, ports));
+  return trace;
+}
+
+}  // namespace
+
+ExplorerResult Explorer::run() {
+  const int ports = options_.ports;
+  const std::uint64_t choices = 1ull << ports;
+  std::uint64_t total_codes = 1;
+  for (int i = 0; i < ports; ++i) total_codes *= choices;
+
+  ExplorerResult result;
+  const bool track_edges = options_.check_starvation;
+
+  std::vector<SwitchState> states;
+  std::vector<Pred> pred;
+  std::vector<int> depth;
+  std::vector<std::vector<Edge>> edges;
+  std::unordered_map<std::string, std::uint32_t> service_ids;
+  std::unordered_map<std::string, ArrivalOutcome> arrival_cache;
+
+  SwitchState root(ports);
+  service_ids.emplace(root.encode(), 0u);
+  states.push_back(std::move(root));
+  pred.push_back({});
+  depth.push_back(0);
+  if (track_edges) edges.emplace_back();
+
+  SlotEngine engine(ports, options_.mutation, options_.check_equivalence);
+  std::vector<Violation> violations_scratch;
+  ArrivalVector arrival(static_cast<std::size_t>(ports));
+
+  bool truncated = false;
+  bool stop = false;
+  for (std::uint32_t s = 0; s < states.size() && !stop; ++s) {
+    if (options_.max_slots > 0 &&
+        depth[s] >= options_.max_slots) {
+      truncated = true;
+      continue;
+    }
+    if (options_.max_states > 0 && states.size() >= options_.max_states) {
+      truncated = true;
+      break;
+    }
+    // `states` grows while we expand `s`; keep a stable copy of the base.
+    const SwitchState base = states[s];
+
+    for (std::uint64_t code = 0; code < total_codes && !stop; ++code) {
+      std::uint64_t rem = code;
+      bool pruned = false;
+      for (int input = 0; input < ports; ++input) {
+        const auto mask = static_cast<std::uint32_t>(rem % choices);
+        rem /= choices;
+        if (mask != 0 &&
+            base.packets_at(input) >=
+                static_cast<std::size_t>(options_.max_packets_per_input)) {
+          pruned = true;  // adversary respects the queue-depth bound
+          break;
+        }
+        arrival[static_cast<std::size_t>(input)] = mask_to_set(mask, ports);
+      }
+      if (pruned) continue;
+
+      SwitchState post_arrival = base;
+      post_arrival.push_arrivals(arrival);
+      ++result.stats.transitions;
+
+      auto [it, fresh] = arrival_cache.try_emplace(post_arrival.encode());
+      if (!fresh) {
+        ++result.stats.dedup_hits;
+      } else {
+        ++result.stats.canonical_states;
+        violations_scratch.clear();
+        SlotEngine::Outcome outcome;
+        const int found = engine.step(post_arrival, outcome,
+                                      violations_scratch);
+        if (found > 0) {
+          it->second.violated = true;
+          CounterExample counterexample;
+          counterexample.trace = build_trace(pred, s, ports);
+          counterexample.trace.push_back(arrival);
+          counterexample.violations = std::move(violations_scratch);
+          violations_scratch = {};
+          result.counterexamples.push_back(std::move(counterexample));
+          if (static_cast<int>(result.counterexamples.size()) >=
+              options_.max_counterexamples)
+            stop = true;
+        } else {
+          auto [sit, snew] = service_ids.try_emplace(
+              outcome.next.encode(),
+              static_cast<std::uint32_t>(states.size()));
+          if (snew) {
+            states.push_back(std::move(outcome.next));
+            pred.push_back({static_cast<std::int32_t>(s), code});
+            depth.push_back(depth[s] + 1);
+            if (track_edges) edges.emplace_back();
+            result.stats.frontier_slots =
+                std::max(result.stats.frontier_slots, depth[s] + 1);
+          }
+          it->second.next = sit->second;
+          it->second.departed = outcome.departed_mask;
+        }
+      }
+      if (track_edges && !it->second.violated)
+        edges[s].push_back({it->second.next, it->second.departed, code});
+    }
+  }
+
+  result.stats.service_states = states.size();
+  result.stats.complete = !truncated && !stop;
+
+  // --- property (d): bounded starvation -------------------------------
+  // h(s, i) = worst-case slots until input i's current front packet
+  // departs, over every arrival choice the bounded adversary has in s.
+  // A cycle in the "front survives" relation means the adversary can
+  // defer that packet forever.  Only sound on a complete graph.
+  if (options_.check_starvation && result.stats.complete &&
+      result.counterexamples.empty()) {
+    constexpr std::int64_t kUnvisited = -2;
+    constexpr std::int64_t kOnStack = -1;
+    struct Frame {
+      std::uint32_t sid;
+      std::size_t edge = 0;
+      std::int64_t best = 0;
+    };
+    std::vector<std::int64_t> h(states.size() * static_cast<std::size_t>(ports),
+                                kUnvisited);
+    std::vector<Frame> stack;
+    std::int64_t bound = 0;
+    bool starved = false;
+
+    for (std::uint32_t s0 = 0;
+         s0 < states.size() && !starved; ++s0) {
+      for (int input = 0; input < ports && !starved; ++input) {
+        if (states[s0].packets_at(input) == 0) continue;
+        const std::size_t idx0 =
+            s0 * static_cast<std::size_t>(ports) +
+            static_cast<std::size_t>(input);
+        if (h[idx0] != kUnvisited) {
+          bound = std::max(bound, h[idx0]);
+          continue;
+        }
+        h[idx0] = kOnStack;
+        stack.assign(1, Frame{s0});
+        while (!stack.empty()) {
+          Frame& frame = stack.back();
+          if (frame.edge < edges[frame.sid].size()) {
+            const Edge edge = edges[frame.sid][frame.edge++];
+            if ((edge.departed >> input) & 1u) {
+              frame.best = std::max<std::int64_t>(frame.best, 1);
+              continue;
+            }
+            const std::size_t idx2 =
+                edge.next * static_cast<std::size_t>(ports) +
+                static_cast<std::size_t>(input);
+            if (h[idx2] == kOnStack) {
+              // Reconstruct the arrival cycle from the DFS stack: the
+              // frames from the revisited state to the top, each with the
+              // edge it took (the top frame took `edge` itself).
+              Trace cycle;
+              std::size_t at = 0;
+              while (stack[at].sid != edge.next) ++at;
+              for (std::size_t j = at; j + 1 < stack.size(); ++j)
+                cycle.push_back(code_to_arrival(
+                    edges[stack[j].sid][stack[j].edge - 1].code, ports));
+              cycle.push_back(code_to_arrival(edge.code, ports));
+
+              CounterExample counterexample;
+              counterexample.trace = build_trace(pred, edge.next, ports);
+              counterexample.violations.push_back(Violation{
+                  Property::kBoundedStarvation,
+                  "input " + std::to_string(input) +
+                      "'s front packet can be deferred forever: after the "
+                      "trace, repeating the arrival cycle \"" +
+                      encode_trace(cycle) +
+                      "\" returns to the same state without serving it",
+                  states[edge.next].hash(), states[edge.next]});
+              result.counterexamples.push_back(std::move(counterexample));
+              starved = true;
+              break;
+            }
+            if (h[idx2] >= 0) {
+              frame.best = std::max(frame.best, 1 + h[idx2]);
+              continue;
+            }
+            h[idx2] = kOnStack;
+            stack.push_back(Frame{edge.next});  // invalidates `frame`
+            continue;
+          }
+          const std::int64_t value = frame.best;
+          h[frame.sid * static_cast<std::size_t>(ports) +
+            static_cast<std::size_t>(input)] = value;
+          stack.pop_back();
+          if (!stack.empty())
+            stack.back().best = std::max(stack.back().best, 1 + value);
+        }
+        if (!starved) bound = std::max(bound, h[idx0]);
+      }
+    }
+    if (!starved) result.stats.starvation_bound = bound;
+  }
+
+  return result;
+}
+
+ReplayResult replay_trace(const ExplorerOptions& options, const Trace& trace) {
+  ReplayResult result;
+  const int ports = std::clamp(options.ports, 2, 4);
+  SlotEngine engine(ports, options.mutation, options.check_equivalence);
+  SwitchState state(ports);
+  char hash_buf[32];
+  int slot = 0;
+
+  for (const ArrivalVector& arrival : trace) {
+    if (static_cast<int>(arrival.size()) != ports) {
+      result.log += "slot " + std::to_string(slot) +
+                    ": malformed arrival vector, aborting replay\n";
+      break;
+    }
+    state.push_arrivals(arrival);
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                  static_cast<unsigned long long>(state.hash()));
+    result.log += "slot " + std::to_string(slot) + ": arrivals";
+    for (std::size_t input = 0; input < arrival.size(); ++input)
+      result.log += " in" + std::to_string(input) + "=" +
+                    (arrival[input].empty() ? std::string("-")
+                                            : arrival[input].to_string());
+    result.log += "\n  post-arrival [" + std::string(hash_buf) + "] " +
+                  state.to_string() + "\n";
+
+    SlotEngine::Outcome outcome;
+    std::vector<Violation> violations;
+    const int found = engine.step(state, outcome, violations);
+
+    result.log += "  matching:";
+    bool any = false;
+    for (PortId output = 0; output < ports; ++output) {
+      const PortId source = outcome.matching.source(output);
+      if (source == kNoPort) continue;
+      result.log += " out" + std::to_string(output) + "<-in" +
+                    std::to_string(source);
+      any = true;
+    }
+    if (!any) result.log += " (none)";
+    result.log += " rounds=" + std::to_string(outcome.matching.rounds) + "\n";
+
+    if (found > 0) {
+      for (const Violation& violation : violations)
+        result.log += "  VIOLATION [" +
+                      std::string(property_name(violation.property)) + "] " +
+                      violation.detail + "\n";
+      result.violations.insert(result.violations.end(),
+                               std::make_move_iterator(violations.begin()),
+                               std::make_move_iterator(violations.end()));
+      break;
+    }
+    state = std::move(outcome.next);
+    result.log += "  post-service " + state.to_string() + "\n";
+    ++slot;
+  }
+  return result;
+}
+
+}  // namespace fifoms::verify

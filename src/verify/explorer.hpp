@@ -1,0 +1,131 @@
+// Bounded exhaustive explorer: model-checks the FIFOMS properties over
+// every switch state reachable from the empty switch under adversarial
+// arrivals (any destination set per input per slot), with two finiteness
+// bounds — a per-input queue-depth cap and the stamp-symmetry quotient of
+// verify::SwitchState.
+//
+// The transition system alternates arrival and service phases exactly
+// like VoqSwitch::step: from a canonical post-service state, every
+// arrival vector within the depth bound yields a post-arrival state; the
+// scheduler under test produces its matching there (that is where
+// properties (a), (b), (c) and (e) are checked), and applying the
+// matching yields the canonical successor.  Property (d) — bounded
+// starvation — is a fixpoint over the finished graph: for every state
+// and every input, the input's front packet must depart within finitely
+// many slots on EVERY adversarial arrival path; the maximum over the
+// graph is the reported starvation bound.
+//
+// Every violation comes with a replayable counterexample: the exact
+// arrival-vector sequence from the empty switch, re-executable with
+// replay_trace() or `fifoms_verify --replay`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "hw/fifoms_control_unit.hpp"
+#include "verify/mutants.hpp"
+#include "verify/properties.hpp"
+#include "verify/state.hpp"
+
+namespace fifoms::verify {
+
+/// One slot's adversarial arrival decision: destination set per input
+/// (empty set = no arrival at that input).
+using ArrivalVector = std::vector<PortSet>;
+
+/// Arrival sequence from the empty switch — the replayable seed of every
+/// counterexample.
+using Trace = std::vector<ArrivalVector>;
+
+/// "3,0;1,2" — per-slot arrival vectors joined by ';', per-input
+/// destination bitmasks in hex joined by ','.
+std::string encode_trace(const Trace& trace);
+bool decode_trace(std::string_view text, int ports, Trace& out);
+
+struct ExplorerOptions {
+  int ports = 2;                 ///< switch radix (2..4; 2-3 practical)
+  int max_packets_per_input = 4; ///< queue-depth bound (arrivals beyond
+                                 ///< it are pruned from the adversary)
+  std::uint64_t max_states = 0;  ///< abort bound on stored states; 0 = off
+  int max_slots = 0;             ///< BFS depth bound; 0 = run to fixpoint
+  bool check_starvation = true;  ///< property (d); needs a complete run
+  bool check_equivalence = true; ///< property (e) against the hw unit
+  int max_counterexamples = 1;   ///< stop after this many failing states
+  Mutation mutation = Mutation::kNone;  ///< scheduler under test
+};
+
+struct CounterExample {
+  Trace trace;                        ///< arrivals reproducing the state
+  std::vector<Violation> violations;  ///< everything wrong with it
+};
+
+struct ExplorerStats {
+  std::uint64_t canonical_states = 0;  ///< distinct post-arrival states
+                                       ///< property-checked
+  std::uint64_t service_states = 0;    ///< distinct post-service states
+  std::uint64_t transitions = 0;       ///< arrival branches traversed
+  std::uint64_t dedup_hits = 0;        ///< branches folded by the quotient
+  int frontier_slots = 0;              ///< deepest BFS layer reached
+  bool complete = false;               ///< fixpoint reached within bounds
+  std::int64_t starvation_bound = -1;  ///< property (d) bound; -1 = not
+                                       ///< computed
+};
+
+struct ExplorerResult {
+  ExplorerStats stats;
+  std::vector<CounterExample> counterexamples;
+
+  bool ok() const { return counterexamples.empty(); }
+};
+
+/// Runs one slot of the scheduler under test on explicit queue states;
+/// shared by the explorer, replay_trace and the fuzz harnesses.
+class SlotEngine {
+ public:
+  SlotEngine(int ports, Mutation mutation, bool check_equivalence);
+
+  struct Outcome {
+    SlotMatching matching;           ///< scheduler under test's decision
+    SwitchState next;                ///< canonical post-service successor
+    std::uint32_t departed_mask = 0; ///< inputs whose front packet left
+  };
+
+  /// Schedule one slot on canonical post-arrival `state`; check
+  /// properties (a), (b), (c) and optionally (e); fill `outcome`.
+  /// `outcome.next` is only valid when no violation was appended.
+  /// Returns the number of violations appended.
+  int step(const SwitchState& state, Outcome& outcome,
+           std::vector<Violation>& violations);
+
+ private:
+  int ports_;
+  bool check_equivalence_;
+  std::unique_ptr<VoqScheduler> scheduler_;
+  hw::FifomsControlUnit hw_;
+  std::vector<McVoqInput> scratch_ports_;
+  SlotMatching hw_matching_;
+  Rng rng_;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options);
+
+  ExplorerResult run();
+
+ private:
+  ExplorerOptions options_;
+};
+
+/// Re-execute a counterexample trace slot by slot from the empty switch,
+/// collecting every violation and a human-readable per-slot log.
+struct ReplayResult {
+  std::vector<Violation> violations;
+  std::string log;
+};
+ReplayResult replay_trace(const ExplorerOptions& options, const Trace& trace);
+
+}  // namespace fifoms::verify

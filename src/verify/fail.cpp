@@ -1,0 +1,22 @@
+#include "verify/fail.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "common/panic.hpp"
+
+namespace fifoms::verify {
+
+void verify_panic(const char* file, int line, std::uint64_t state_hash,
+                  std::string_view message) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "verify failure in state %016" PRIx64
+                                        ": ",
+                state_hash);
+  std::string full = prefix;
+  full.append(message);
+  panic(file, line, full);  // fifoms-lint: allow(verify-panic-state-hash)
+}
+
+}  // namespace fifoms::verify

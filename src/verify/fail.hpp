@@ -1,0 +1,33 @@
+// Failure channel for the bounded verifier.
+//
+// Every internal panic raised inside src/verify/ must carry the canonical
+// hash of the switch state being processed, so that a crash report alone
+// is enough to reproduce the offending state (`fifoms_verify` prints the
+// same hashes in its traces, and tools/lint.py enforces the convention
+// with the verify-panic-state-hash rule).  Property *violations* are not
+// panics — they are returned as verify::Violation records; this channel
+// is for contract breaches inside the verifier itself.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fifoms::verify {
+
+/// Print "verify failure in state <hex hash>: <message>" and abort.
+[[noreturn]] void verify_panic(const char* file, int line,
+                               std::uint64_t state_hash,
+                               std::string_view message);
+
+}  // namespace fifoms::verify
+
+#define FIFOMS_VERIFY_FAIL(state_hash, msg) \
+  ::fifoms::verify::verify_panic(__FILE__, __LINE__, (state_hash), (msg))
+
+#define FIFOMS_VERIFY_CHECK(cond, state_hash, msg)    \
+  do {                                                \
+    if (!(cond)) [[unlikely]] {                       \
+      FIFOMS_VERIFY_FAIL(state_hash,                  \
+                         "check failed: " #cond ": " msg); \
+    }                                                 \
+  } while (0)

@@ -1,0 +1,197 @@
+// fifoms_verify: bounded exhaustive model checker for FIFOMS.
+//
+// Explores every switch state reachable from the empty switch (under the
+// configured radix and queue-depth bound), checks the five FIFOMS
+// properties on each, and prints state-space statistics.  On a violation
+// it prints the counterexample — the exact arrival trace from the empty
+// switch plus a replayable state dump — and exits 1.
+//
+//   fifoms_verify --preset full2x2          # exhaustive 2x2 fixpoint
+//   fifoms_verify --preset ci               # CI lane: 2x2 + bounded 3x3
+//   fifoms_verify --ports 3 --depth 2       # custom bounds
+//   fifoms_verify --mutate single-round     # prove the verifier's teeth
+//   fifoms_verify --ports 2 --depth 3 --replay "3,0;1,2"
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "io/cli.hpp"
+#include "verify/explorer.hpp"
+
+namespace fifoms::verify {
+namespace {
+
+void print_counterexample(const CounterExample& counterexample) {
+  std::printf("counterexample trace (arrival masks per slot): \"%s\"\n",
+              encode_trace(counterexample.trace).c_str());
+  for (const Violation& violation : counterexample.violations) {
+    std::printf("  violated %-19s %s\n", property_name(violation.property),
+                violation.detail.c_str());
+    std::printf("    in state [%016" PRIx64 "] %s\n", violation.state_hash,
+                violation.state.to_string().c_str());
+  }
+}
+
+ExplorerOptions make_replay_options(const ExplorerOptions& base) {
+  ExplorerOptions options = base;
+  options.check_starvation = false;
+  return options;
+}
+
+/// Run one configuration; returns true when no property was violated.
+bool run_config(const ExplorerOptions& options, bool print_trace_replay) {
+  std::printf(
+      "== %dx%d switch, depth<=%d, scheduler=%s, max_slots=%d, "
+      "max_states=%" PRIu64 " ==\n",
+      options.ports, options.ports, options.max_packets_per_input,
+      std::string(mutation_name(options.mutation)).c_str(), options.max_slots,
+      options.max_states);
+
+  Explorer explorer(options);
+  const ExplorerResult result = explorer.run();
+  const ExplorerStats& stats = result.stats;
+
+  std::printf("canonical states checked : %" PRIu64 "\n",
+              stats.canonical_states);
+  std::printf("post-service states      : %" PRIu64 "\n",
+              stats.service_states);
+  std::printf("transitions traversed    : %" PRIu64 "\n", stats.transitions);
+  std::printf("symmetry dedup hits      : %" PRIu64 "\n", stats.dedup_hits);
+  std::printf("frontier depth (slots)   : %d\n", stats.frontier_slots);
+  std::printf("exploration complete     : %s\n",
+              stats.complete ? "yes (fixpoint)" : "no (bounded)");
+  if (stats.starvation_bound >= 0)
+    std::printf("starvation bound (slots) : %" PRId64 "\n",
+                stats.starvation_bound);
+
+  if (result.ok()) {
+    std::printf("all properties hold on every explored state\n\n");
+    return true;
+  }
+  std::printf("%zu counterexample(s) found:\n", result.counterexamples.size());
+  for (const CounterExample& counterexample : result.counterexamples) {
+    print_counterexample(counterexample);
+    if (print_trace_replay) {
+      const ReplayResult replay =
+          replay_trace(make_replay_options(options), counterexample.trace);
+      std::printf("replay:\n%s", replay.log.c_str());
+    }
+  }
+  std::printf("\n");
+  return false;
+}
+
+int verify_main(int argc, char** argv) {
+  ArgParser args("fifoms_verify",
+                 "Bounded exhaustive model checker for the FIFOMS "
+                 "scheduler: explores every reachable small-switch state "
+                 "and checks matching maximality, no-accept safety, "
+                 "timestamp service order, bounded starvation and "
+                 "hardware/behavioural equivalence.");
+  args.add_string("preset", "",
+                  "named configuration: 'full2x2' (exhaustive 2x2 fixpoint) "
+                  "or 'ci' (full2x2 plus depth-bounded 3x3); overrides "
+                  "--ports/--depth/--max-slots/--max-states");
+  args.add_int("ports", 2, "switch radix N for the NxN switch (2..4)");
+  args.add_int("depth", 4, "max queued packets per input (arrival bound)");
+  args.add_int("max-states", 0,
+               "stop after storing this many post-service states (0 = off)");
+  args.add_int("max-slots", 0, "BFS depth bound in slots (0 = fixpoint)");
+  args.add_bool("starvation", true,
+                "check bounded starvation (needs a complete exploration)");
+  args.add_bool("equivalence", true,
+                "check hw::FifomsControlUnit equivalence on every state");
+  args.add_string("mutate", "none",
+                  "scheduler fault to inject: none, "
+                  "highest-input-tiebreak, single-round, youngest-first, "
+                  "ignore-timestamps");
+  args.add_string("replay", "",
+                  "replay an arrival trace (e.g. \"3,0;1,2\") instead of "
+                  "exploring; slot-by-slot log on stdout");
+  args.add_int("counterexamples", 1, "stop after this many counterexamples");
+  if (!args.parse(argc, argv)) return 2;
+
+  ExplorerOptions options;
+  options.ports = static_cast<int>(args.get_int("ports"));
+  options.max_packets_per_input = static_cast<int>(args.get_int("depth"));
+  options.max_states = static_cast<std::uint64_t>(args.get_int("max-states"));
+  options.max_slots = static_cast<int>(args.get_int("max-slots"));
+  options.check_starvation = args.get_bool("starvation");
+  options.check_equivalence = args.get_bool("equivalence");
+  options.max_counterexamples =
+      static_cast<int>(args.get_int("counterexamples"));
+  if (options.ports < 2 || options.ports > 4) {
+    std::fprintf(stderr, "fifoms_verify: --ports must be 2..4\n");
+    return 2;
+  }
+
+  const auto mutation = parse_mutation(args.get_string("mutate"));
+  if (!mutation) {
+    std::fprintf(stderr, "fifoms_verify: unknown --mutate '%s'\n",
+                 args.get_string("mutate").c_str());
+    return 2;
+  }
+  options.mutation = *mutation;
+
+  if (!args.get_string("replay").empty()) {
+    Trace trace;
+    if (!decode_trace(args.get_string("replay"), options.ports, trace)) {
+      std::fprintf(stderr,
+                   "fifoms_verify: malformed --replay trace for a %dx%d "
+                   "switch: '%s'\n",
+                   options.ports, options.ports,
+                   args.get_string("replay").c_str());
+      return 2;
+    }
+    const ReplayResult replay =
+        replay_trace(make_replay_options(options), trace);
+    std::printf("%s", replay.log.c_str());
+    if (!replay.violations.empty()) {
+      std::printf("replay reproduced %zu violation(s)\n",
+                  replay.violations.size());
+      return 1;
+    }
+    std::printf("replay clean: no property violated along the trace\n");
+    return 0;
+  }
+
+  const std::string& preset = args.get_string("preset");
+  bool ok = true;
+  if (preset.empty()) {
+    ok = run_config(options, /*print_trace_replay=*/true);
+  } else if (preset == "full2x2") {
+    ExplorerOptions full = options;
+    full.ports = 2;
+    full.max_packets_per_input = 4;
+    full.max_slots = 0;
+    full.max_states = 0;
+    ok = run_config(full, /*print_trace_replay=*/true);
+  } else if (preset == "ci") {
+    ExplorerOptions full = options;
+    full.ports = 2;
+    full.max_packets_per_input = 4;
+    full.max_slots = 0;
+    full.max_states = 0;
+    ok = run_config(full, /*print_trace_replay=*/true);
+
+    ExplorerOptions bounded = options;
+    bounded.ports = 3;
+    bounded.max_packets_per_input = 2;
+    bounded.max_slots = 4;
+    bounded.max_states = 0;
+    bounded.check_starvation = false;  // bounded run: no fixpoint, no (d)
+    ok = run_config(bounded, /*print_trace_replay=*/true) && ok;
+  } else {
+    std::fprintf(stderr, "fifoms_verify: unknown --preset '%s'\n",
+                 preset.c_str());
+    return 2;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fifoms::verify
+
+int main(int argc, char** argv) {
+  return fifoms::verify::verify_main(argc, argv);
+}

@@ -1,0 +1,145 @@
+#include "verify/mutants.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "core/fifoms.hpp"
+
+namespace fifoms::verify {
+
+namespace {
+
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
+
+/// FIFOMS request/grant loop with selectable faults.  Mirrors
+/// FifomsScheduler::schedule closely on purpose: the interesting part is
+/// the single twisted decision, not a rewrite.
+class MutantFifoms final : public VoqScheduler {
+ public:
+  explicit MutantFifoms(Mutation mutation) : mutation_(mutation) {}
+
+  std::string_view name() const override { return "FIFOMS-mutant"; }
+
+  void reset(int /*num_inputs*/, int num_outputs) override {
+    best_.assign(static_cast<std::size_t>(num_outputs), kInfinity);
+    candidates_.assign(static_cast<std::size_t>(num_outputs), {});
+  }
+
+  void schedule(std::span<const McVoqInput> inputs, SlotTime /*now*/,
+                SlotMatching& matching, Rng& /*rng*/) override {
+    const int num_inputs = static_cast<int>(inputs.size());
+    const int num_outputs = matching.num_outputs();
+
+    if (mutation_ == Mutation::kIgnoreTimestamps) {
+      // Bypass the request step entirely: every output grabs the lowest
+      // input holding any cell for it.  Violates no-accept safety — two
+      // outputs can pick different packets of the same input.
+      for (PortId output = 0; output < num_outputs; ++output) {
+        for (PortId input = 0; input < num_inputs; ++input) {
+          if (inputs[static_cast<std::size_t>(input)].voq_empty(output))
+            continue;
+          matching.add_match(input, output);
+          break;
+        }
+      }
+      matching.rounds = matching.matched_pairs() > 0 ? 1 : 0;
+      return;
+    }
+
+    int rounds = 0;
+    while (true) {
+      bool any_request = false;
+      for (PortId output = 0; output < num_outputs; ++output) {
+        best_[static_cast<std::size_t>(output)] =
+            mutation_ == Mutation::kYoungestFirst ? 0 : kInfinity;
+        candidates_[static_cast<std::size_t>(output)].clear();
+      }
+
+      for (PortId input = 0; input < num_inputs; ++input) {
+        if (matching.input_matched(input)) continue;
+        const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
+        std::uint64_t smallest = kInfinity;
+        for (PortId output = 0; output < num_outputs; ++output) {
+          if (matching.output_matched(output) || port.voq_empty(output))
+            continue;
+          smallest = std::min(smallest, port.hol(output).weight);
+        }
+        if (smallest == kInfinity) continue;
+
+        for (PortId output = 0; output < num_outputs; ++output) {
+          if (matching.output_matched(output) || port.voq_empty(output))
+            continue;
+          if (port.hol(output).weight != smallest) continue;
+          any_request = true;
+          auto& best = best_[static_cast<std::size_t>(output)];
+          auto& cands = candidates_[static_cast<std::size_t>(output)];
+          const bool wins = mutation_ == Mutation::kYoungestFirst
+                                ? smallest > best || cands.empty()
+                                : smallest < best;
+          if (wins) {
+            best = smallest;
+            cands.clear();
+          }
+          if (smallest == best) cands.push_back(input);
+        }
+      }
+      if (!any_request) break;
+      ++rounds;
+
+      for (PortId output = 0; output < num_outputs; ++output) {
+        const auto& cands = candidates_[static_cast<std::size_t>(output)];
+        if (cands.empty()) continue;
+        const PortId winner = mutation_ == Mutation::kHighestInputTieBreak
+                                  ? cands.back()
+                                  : cands.front();
+        matching.add_match(winner, output);
+      }
+
+      if (mutation_ == Mutation::kSingleRound) break;
+    }
+    matching.rounds = rounds;
+  }
+
+ private:
+  Mutation mutation_;
+  std::vector<std::uint64_t> best_;
+  std::vector<std::vector<PortId>> candidates_;
+};
+
+}  // namespace
+
+std::string_view mutation_name(Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kHighestInputTieBreak:
+      return "highest-input-tiebreak";
+    case Mutation::kSingleRound:
+      return "single-round";
+    case Mutation::kYoungestFirst:
+      return "youngest-first";
+    case Mutation::kIgnoreTimestamps:
+      return "ignore-timestamps";
+  }
+  return "unknown";
+}
+
+std::optional<Mutation> parse_mutation(std::string_view name) {
+  for (const Mutation m :
+       {Mutation::kNone, Mutation::kHighestInputTieBreak,
+        Mutation::kSingleRound, Mutation::kYoungestFirst,
+        Mutation::kIgnoreTimestamps})
+    if (name == mutation_name(m)) return m;
+  return std::nullopt;
+}
+
+std::unique_ptr<VoqScheduler> make_mutant_scheduler(Mutation mutation) {
+  if (mutation == Mutation::kNone) {
+    FifomsOptions options;
+    options.tie_break = TieBreak::kLowestInput;
+    return std::make_unique<FifomsScheduler>(options);
+  }
+  return std::make_unique<MutantFifoms>(mutation);
+}
+
+}  // namespace fifoms::verify

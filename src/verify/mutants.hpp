@@ -1,0 +1,39 @@
+// Fault-injection schedulers for the bounded verifier.
+//
+// Each mutant is FIFOMS with one deliberate bug.  They exist purely to
+// prove the verifier's teeth: tests/verify/ runs the explorer over every
+// mutant and demands a counterexample trace, and `fifoms_verify --mutate`
+// reproduces those traces interactively.  Never wire a mutant into a
+// simulation result.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "sched/voq_scheduler.hpp"
+
+namespace fifoms::verify {
+
+enum class Mutation {
+  kNone,                 ///< pristine FIFOMS, lowest-input tie-break
+  kHighestInputTieBreak, ///< outputs break stamp ties toward the highest
+                         ///< input — still a valid FIFOMS, but disagrees
+                         ///< with the hardware's fixed priority wire (e)
+  kSingleRound,          ///< stop after one request/grant round —
+                         ///< matchings stop being maximal (a)
+  kYoungestFirst,        ///< outputs grant the LARGEST requested stamp —
+                         ///< the globally oldest cell loses (c)
+  kIgnoreTimestamps,     ///< outputs grab the lowest input with a
+                         ///< non-empty VOQ, bypassing the request step —
+                         ///< one input gets asked for two data cells (b)
+};
+
+std::string_view mutation_name(Mutation mutation);
+std::optional<Mutation> parse_mutation(std::string_view name);
+
+/// Scheduler under test for the given mutation.  kNone returns the real
+/// FifomsScheduler with TieBreak::kLowestInput.
+std::unique_ptr<VoqScheduler> make_mutant_scheduler(Mutation mutation);
+
+}  // namespace fifoms::verify

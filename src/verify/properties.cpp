@@ -1,0 +1,160 @@
+#include "verify/properties.hpp"
+
+namespace fifoms::verify {
+
+namespace {
+
+std::string port_pair(PortId input, PortId output) {
+  return "input " + std::to_string(input) + ", output " +
+         std::to_string(output);
+}
+
+}  // namespace
+
+const char* property_name(Property property) {
+  switch (property) {
+    case Property::kMaximalMatching:
+      return "maximal-matching";
+    case Property::kNoAcceptSafety:
+      return "no-accept-safety";
+    case Property::kTimestampOrder:
+      return "timestamp-order";
+    case Property::kBoundedStarvation:
+      return "bounded-starvation";
+    case Property::kHwEquivalence:
+      return "hw-equivalence";
+  }
+  return "unknown";
+}
+
+int check_matching_properties(const SwitchState& state,
+                              const SlotMatching& matching,
+                              std::vector<Violation>& out) {
+  const int ports = state.ports();
+  const std::uint64_t state_hash = state.hash();
+  int found = 0;
+  auto report = [&](Property property, std::string detail) {
+    out.push_back(Violation{property, std::move(detail), state_hash, state});
+    ++found;
+  };
+
+  // --- (b) no-accept-step safety -------------------------------------
+  // Every grant must reference a queued address cell, and all grants of
+  // one input must reference the same packet (equal HOL stamps suffice:
+  // stamps are unique within an input).  This is the paper's argument for
+  // dropping iSLIP's accept step — the crossbar broadcasts a single data
+  // cell per input row, so two different cells would be unsendable.
+  std::vector<std::uint32_t> served_stamp(static_cast<std::size_t>(ports),
+                                          SwitchState::kNoStamp);
+  for (PortId input = 0; input < ports; ++input) {
+    for (PortId output : matching.grants(input)) {
+      const PacketState* cell = state.hol(input, output);
+      if (cell == nullptr) {
+        report(Property::kNoAcceptSafety,
+               "grant references an empty VOQ (" + port_pair(input, output) +
+                   ")");
+        continue;
+      }
+      auto& stamp = served_stamp[static_cast<std::size_t>(input)];
+      if (stamp == SwitchState::kNoStamp) {
+        stamp = cell->stamp;
+      } else if (stamp != cell->stamp) {
+        report(Property::kNoAcceptSafety,
+               "input " + std::to_string(input) +
+                   " granted two different data cells (stamps " +
+                   std::to_string(stamp) + " and " +
+                   std::to_string(cell->stamp) + ")");
+      }
+    }
+  }
+
+  // --- (a) maximal matching ------------------------------------------
+  // After convergence no free input may still hold a cell for a free
+  // output; otherwise another request/grant round would have matched it.
+  for (PortId input = 0; input < ports; ++input) {
+    if (matching.input_matched(input)) continue;
+    for (PortId output = 0; output < ports; ++output) {
+      if (matching.output_matched(output)) continue;
+      if (state.hol(input, output) != nullptr)
+        report(Property::kMaximalMatching,
+               "free pair with a waiting cell (" + port_pair(input, output) +
+                   ")");
+    }
+  }
+
+  // --- (c) timestamp service order ------------------------------------
+  // (c1) Global-minimum service: let W be the smallest stamp of any HOL
+  // cell.  Every output whose own HOL minimum equals W must serve stamp W
+  // this slot — the W-holder's input requests it in round one and no
+  // smaller request can exist.  (Pairwise per-output ordering is NOT
+  // invariant; see docs/VERIFICATION.md for the three-port
+  // counterexample.)
+  std::uint32_t global_min = SwitchState::kNoStamp;
+  for (PortId input = 0; input < ports; ++input)
+    global_min = std::min(global_min, state.front_stamp(input));
+  for (PortId output = 0; output < ports && global_min != SwitchState::kNoStamp;
+       ++output) {
+    std::uint32_t output_min = SwitchState::kNoStamp;
+    for (PortId input = 0; input < ports; ++input) {
+      const PacketState* cell = state.hol(input, output);
+      if (cell != nullptr) output_min = std::min(output_min, cell->stamp);
+    }
+    if (output_min != global_min) continue;
+    const PortId source = matching.source(output);
+    const PacketState* served =
+        source == kNoPort ? nullptr : state.hol(source, output);
+    if (served == nullptr || served->stamp != global_min)
+      report(Property::kTimestampOrder,
+             "output " + std::to_string(output) +
+                 " holds the globally oldest stamp " +
+                 std::to_string(global_min) + " but served " +
+                 (served == nullptr ? std::string("nothing")
+                                    : std::to_string(served->stamp)));
+  }
+
+  // (c2) Matched-input dominance: a matched input serves the minimum
+  // stamp over the outputs that were free when it won, so any output
+  // that stays free to the end of the slot bounds the served stamp from
+  // below.
+  for (PortId input = 0; input < ports; ++input) {
+    const std::uint32_t stamp = served_stamp[static_cast<std::size_t>(input)];
+    if (stamp == SwitchState::kNoStamp) continue;
+    for (PortId output = 0; output < ports; ++output) {
+      if (matching.output_matched(output)) continue;
+      const PacketState* cell = state.hol(input, output);
+      if (cell != nullptr && cell->stamp < stamp)
+        report(Property::kTimestampOrder,
+               "input " + std::to_string(input) + " served stamp " +
+                   std::to_string(stamp) + " although its older stamp " +
+                   std::to_string(cell->stamp) + " for the end-free output " +
+                   std::to_string(output) + " was available all slot");
+    }
+  }
+
+  return found;
+}
+
+int check_equivalence(const SwitchState& state, const SlotMatching& sw,
+                      const SlotMatching& hw, std::vector<Violation>& out) {
+  const int ports = state.ports();
+  const std::uint64_t state_hash = state.hash();
+  int found = 0;
+  auto report = [&](std::string detail) {
+    out.push_back(Violation{Property::kHwEquivalence, std::move(detail),
+                            state_hash, state});
+    ++found;
+  };
+
+  for (PortId output = 0; output < ports; ++output) {
+    if (sw.source(output) != hw.source(output))
+      report("output " + std::to_string(output) + ": behavioural source " +
+             std::to_string(sw.source(output)) + " vs hardware source " +
+             std::to_string(hw.source(output)));
+  }
+  if (sw.rounds != hw.rounds)
+    report("round count: behavioural " + std::to_string(sw.rounds) +
+           " vs hardware " + std::to_string(hw.rounds));
+  return found;
+}
+
+}  // namespace fifoms::verify

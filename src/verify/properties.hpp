@@ -1,0 +1,55 @@
+// Property engine for the bounded exhaustive verifier.
+//
+// Checks the paper's universally-quantified claims on one (state,
+// matching) pair; the explorer applies them to every reachable state, the
+// fuzz harnesses to arbitrary decoded states.  The exact property
+// statements — and in particular why "an output never serves a cell when
+// a strictly older HOL cell for it exists anywhere" is deliberately NOT
+// among them (it is false even for correct FIFOMS) — are derived in
+// docs/VERIFICATION.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/matching.hpp"
+#include "verify/state.hpp"
+
+namespace fifoms::verify {
+
+enum class Property {
+  kMaximalMatching,    ///< (a) no free input/free output pair with a
+                       ///<     non-empty VOQ survives the slot
+  kNoAcceptSafety,     ///< (b) all grants to one input reference one data
+                       ///<     cell, and only queued cells are granted
+  kTimestampOrder,     ///< (c) global-minimum stamps win everywhere they
+                       ///<     compete; matched inputs never skip an older
+                       ///<     own cell whose output stayed free
+  kBoundedStarvation,  ///< (d) every front packet departs within a bound
+                       ///<     (explorer-wide fixpoint, not per-slot)
+  kHwEquivalence,      ///< (e) hw::FifomsControlUnit computes bit-exactly
+                       ///<     the behavioural kLowestInput matching
+};
+
+const char* property_name(Property property);
+
+struct Violation {
+  Property property;
+  std::string detail;        ///< human-readable failure description
+  std::uint64_t state_hash;  ///< canonical hash of the state checked
+  SwitchState state;         ///< the (post-arrival) state checked
+};
+
+/// Check per-slot properties (a), (b), (c) of `matching` against `state`
+/// (the queue state the scheduler saw).  Appends one Violation per
+/// failure; returns the number appended.
+int check_matching_properties(const SwitchState& state,
+                              const SlotMatching& matching,
+                              std::vector<Violation>& out);
+
+/// Property (e): `hw` must equal `sw` output-for-output, including the
+/// round count.  Appends one Violation per differing port.
+int check_equivalence(const SwitchState& state, const SlotMatching& sw,
+                      const SlotMatching& hw, std::vector<Violation>& out);
+
+}  // namespace fifoms::verify

@@ -1,0 +1,366 @@
+#include "verify/state.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/matching.hpp"
+#include "verify/fail.hpp"
+
+namespace fifoms::verify {
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint8_t residue_mask(const PortSet& residue, int ports) {
+  std::uint8_t mask = 0;
+  for (PortId p : residue)
+    if (p < ports) mask = static_cast<std::uint8_t>(mask | (1u << p));
+  return mask;
+}
+
+PortSet mask_to_set(std::uint8_t mask) {
+  PortSet set;
+  for (PortId p = 0; p < 8; ++p)
+    if (mask & (1u << p)) set.insert(p);
+  return set;
+}
+
+}  // namespace
+
+SwitchState::SwitchState(int ports) : ports_(ports) {
+  if (ports < 1 || ports > kMaxVerifyPorts) {
+    const std::uint64_t state_hash = 0;  // no state exists yet
+    FIFOMS_VERIFY_FAIL(state_hash, "switch radix outside [1, 8]");
+  }
+  inputs_.resize(static_cast<std::size_t>(ports));
+}
+
+bool SwitchState::is_empty() const {
+  for (const InputState& input : inputs_)
+    if (!input.packets.empty()) return false;
+  return true;
+}
+
+std::size_t SwitchState::packet_count() const {
+  std::size_t total = 0;
+  for (const InputState& input : inputs_) total += input.packets.size();
+  return total;
+}
+
+std::size_t SwitchState::address_cell_count() const {
+  std::size_t total = 0;
+  for (const InputState& input : inputs_)
+    for (const PacketState& packet : input.packets)
+      total += static_cast<std::size_t>(packet.residue.count());
+  return total;
+}
+
+std::size_t SwitchState::packets_at(PortId input) const {
+  return inputs_[static_cast<std::size_t>(input)].packets.size();
+}
+
+std::uint32_t SwitchState::front_stamp(PortId input) const {
+  const InputState& port = inputs_[static_cast<std::size_t>(input)];
+  return port.packets.empty() ? kNoStamp : port.packets.front().stamp;
+}
+
+const PacketState* SwitchState::hol(PortId input, PortId output) const {
+  for (const PacketState& packet :
+       inputs_[static_cast<std::size_t>(input)].packets)
+    if (packet.residue.contains(output)) return &packet;
+  return nullptr;
+}
+
+bool SwitchState::well_formed(std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (ports_ < 1 || ports_ > kMaxVerifyPorts)
+    return fail("radix outside [1, 8]");
+  if (static_cast<int>(inputs_.size()) != ports_)
+    return fail("input vector does not match radix");
+  for (PortId i = 0; i < ports_; ++i) {
+    std::uint32_t last = kNoStamp;
+    for (const PacketState& packet : inputs_[static_cast<std::size_t>(i)]
+                                         .packets) {
+      if (packet.residue.empty())
+        return fail("packet with empty residue at input " +
+                    std::to_string(i));
+      for (PortId p : packet.residue)
+        if (p >= ports_)
+          return fail("residue port beyond radix at input " +
+                      std::to_string(i));
+      if (last != kNoStamp && packet.stamp <= last)
+        return fail("stamps not strictly increasing at input " +
+                    std::to_string(i));
+      last = packet.stamp;
+    }
+  }
+  return true;
+}
+
+void SwitchState::canonicalize() {
+  std::vector<std::uint32_t> stamps;
+  for (const InputState& input : inputs_)
+    for (const PacketState& packet : input.packets)
+      stamps.push_back(packet.stamp);
+  std::sort(stamps.begin(), stamps.end());
+  stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+  for (InputState& input : inputs_)
+    for (PacketState& packet : input.packets)
+      packet.stamp = static_cast<std::uint32_t>(
+          std::lower_bound(stamps.begin(), stamps.end(), packet.stamp) -
+          stamps.begin());
+}
+
+void SwitchState::push_arrivals(std::span<const PortSet> destinations) {
+  const std::uint64_t state_hash = hash();
+  FIFOMS_VERIFY_CHECK(static_cast<int>(destinations.size()) == ports_,
+                      state_hash, "one destination set per input required");
+  std::uint32_t fresh = 0;
+  for (const InputState& input : inputs_)
+    if (!input.packets.empty())
+      fresh = std::max(fresh, input.packets.back().stamp + 1);
+  for (PortId i = 0; i < ports_; ++i) {
+    const PortSet& dests = destinations[static_cast<std::size_t>(i)];
+    if (dests.empty()) continue;
+    for (PortId p : dests)
+      FIFOMS_VERIFY_CHECK(p < ports_, state_hash,
+                          "arrival destination beyond radix");
+    inputs_[static_cast<std::size_t>(i)].packets.push_back(
+        PacketState{.stamp = fresh, .residue = dests});
+  }
+  canonicalize();
+}
+
+std::uint32_t SwitchState::apply_matching(const SlotMatching& matching) {
+  const std::uint64_t state_hash = hash();
+  FIFOMS_VERIFY_CHECK(matching.num_inputs() == ports_ &&
+                          matching.num_outputs() == ports_,
+                      state_hash, "matching dimensions mismatch state");
+
+  std::vector<std::uint32_t> front_before(static_cast<std::size_t>(ports_));
+  for (PortId i = 0; i < ports_; ++i)
+    front_before[static_cast<std::size_t>(i)] = front_stamp(i);
+
+  for (PortId i = 0; i < ports_; ++i) {
+    InputState& port = inputs_[static_cast<std::size_t>(i)];
+    for (PortId j : matching.grants(i)) {
+      // Pop the HOL of VOQ (i, j): the earliest packet holding output j.
+      bool served = false;
+      for (PacketState& packet : port.packets) {
+        if (!packet.residue.contains(j)) continue;
+        packet.residue.erase(j);
+        served = true;
+        break;
+      }
+      if (!served)
+        FIFOMS_VERIFY_FAIL(state_hash, "matching granted an empty VOQ");
+    }
+    std::erase_if(port.packets, [](const PacketState& packet) {
+      return packet.residue.empty();
+    });
+  }
+
+  std::uint32_t departed = 0;
+  for (PortId i = 0; i < ports_; ++i) {
+    const std::uint32_t before = front_before[static_cast<std::size_t>(i)];
+    if (before == kNoStamp) continue;  // nothing was tracked at this input
+    if (front_stamp(i) != before) departed |= 1u << i;
+  }
+  canonicalize();
+  return departed;
+}
+
+std::string SwitchState::encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(ports_));
+  for (const InputState& input : inputs_) {
+    out.push_back(static_cast<char>(input.packets.size()));
+    for (const PacketState& packet : input.packets) {
+      append_u32(out, packet.stamp);
+      out.push_back(static_cast<char>(residue_mask(packet.residue, ports_)));
+    }
+  }
+  return out;
+}
+
+bool SwitchState::decode(std::string_view bytes, SwitchState& out) {
+  std::size_t at = 0;
+  auto take_u8 = [&](std::uint8_t& v) {
+    if (at >= bytes.size()) return false;
+    v = static_cast<std::uint8_t>(bytes[at++]);
+    return true;
+  };
+  auto take_u32 = [&](std::uint32_t& v) {
+    if (at + 4 > bytes.size()) return false;
+    v = 0;
+    for (int k = 0; k < 4; ++k)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at++]))
+           << (8 * k);
+    return true;
+  };
+
+  std::uint8_t ports = 0;
+  if (!take_u8(ports) || ports < 1 || ports > kMaxVerifyPorts) return false;
+  SwitchState state(ports);
+  for (PortId i = 0; i < ports; ++i) {
+    std::uint8_t count = 0;
+    if (!take_u8(count)) return false;
+    std::uint32_t last = kNoStamp;
+    for (int k = 0; k < count; ++k) {
+      std::uint32_t stamp = 0;
+      std::uint8_t mask = 0;
+      if (!take_u32(stamp) || !take_u8(mask)) return false;
+      if (mask == 0 || mask >= (1u << ports)) return false;
+      if (last != kNoStamp && stamp <= last) return false;
+      last = stamp;
+      state.inputs_[static_cast<std::size_t>(i)].packets.push_back(
+          PacketState{.stamp = stamp, .residue = mask_to_set(mask)});
+    }
+  }
+  if (at != bytes.size()) return false;
+  out = std::move(state);
+  return true;
+}
+
+std::uint64_t SwitchState::hash() const {
+  // FNV-1a over the encoding, then a splitmix-style finalizer so that
+  // near-identical states land far apart.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : encode()) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::string SwitchState::to_string() const {
+  std::string out;
+  for (PortId i = 0; i < ports_; ++i) {
+    if (i > 0) out += " | ";
+    out += "in" + std::to_string(i) + ":";
+    const InputState& input = inputs_[static_cast<std::size_t>(i)];
+    if (input.packets.empty()) {
+      out += " -";
+      continue;
+    }
+    for (const PacketState& packet : input.packets)
+      out += " " + std::to_string(packet.stamp) + "@" +
+             packet.residue.to_string();
+  }
+  return out;
+}
+
+void SwitchState::materialize_into(std::vector<McVoqInput>& ports) const {
+  const std::uint64_t state_hash = hash();
+  std::string why;
+  if (!well_formed(&why))
+    FIFOMS_VERIFY_FAIL(state_hash,
+                       std::string("materialize of malformed state: ") + why);
+
+  bool reusable = static_cast<int>(ports.size()) == ports_;
+  for (const McVoqInput& port : ports)
+    reusable = reusable && port.num_outputs() == ports_ &&
+               port.num_classes() == 1;
+  if (!reusable) {
+    ports.clear();
+    ports.reserve(static_cast<std::size_t>(ports_));
+    for (PortId i = 0; i < ports_; ++i) ports.emplace_back(i, ports_);
+  }
+
+  std::vector<Packet> packets;
+  for (PortId i = 0; i < ports_; ++i) {
+    packets.clear();
+    const InputState& input = inputs_[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < input.packets.size(); ++k) {
+      const PacketState& packet = input.packets[k];
+      packets.push_back(Packet{
+          .id = (static_cast<PacketId>(i) << 32) | k,
+          .input = i,
+          .arrival = static_cast<SlotTime>(packet.stamp),
+          .destinations = packet.residue,
+      });
+    }
+    ports[static_cast<std::size_t>(i)].inject_queue_state(packets);
+  }
+}
+
+SwitchState SwitchState::read_back(std::span<const McVoqInput> ports) {
+  const int radix = static_cast<int>(ports.size());
+  {
+    const std::uint64_t state_hash = 0;  // state is being reconstructed
+    FIFOMS_VERIFY_CHECK(radix >= 1 && radix <= kMaxVerifyPorts, state_hash,
+                        "read_back radix outside [1, 8]");
+    for (const McVoqInput& port : ports) {
+      FIFOMS_VERIFY_CHECK(port.num_outputs() == radix, state_hash,
+                          "read_back requires a square switch");
+      FIFOMS_VERIFY_CHECK(port.num_classes() == 1, state_hash,
+                          "verifier states are single-class");
+    }
+  }
+
+  SwitchState state(radix);
+  for (PortId i = 0; i < radix; ++i) {
+    // Gather (stamp -> residue) from the per-VOQ projections.
+    std::vector<PacketState>& packets =
+        state.inputs_[static_cast<std::size_t>(i)].packets;
+    for (PortId j = 0; j < radix; ++j) {
+      const auto& voq = ports[static_cast<std::size_t>(i)].address_cells(0, j);
+      for (std::size_t k = 0; k < voq.size(); ++k) {
+        const auto stamp = static_cast<std::uint32_t>(voq[k].timestamp);
+        auto it = std::find_if(packets.begin(), packets.end(),
+                               [stamp](const PacketState& p) {
+                                 return p.stamp == stamp;
+                               });
+        if (it == packets.end()) {
+          packets.push_back(PacketState{.stamp = stamp, .residue = {}});
+          it = packets.end() - 1;
+        }
+        it->residue.insert(j);
+      }
+    }
+    std::sort(packets.begin(), packets.end(),
+              [](const PacketState& a, const PacketState& b) {
+                return a.stamp < b.stamp;
+              });
+  }
+  return state;
+}
+
+SwitchState SwitchState::from_fuzz_bytes(std::span<const unsigned char> bytes) {
+  std::size_t at = 0;
+  auto next = [&]() -> std::uint8_t {
+    return at < bytes.size() ? bytes[at++] : 0;
+  };
+
+  const int ports = 2 + next() % (kMaxVerifyPorts - 1);  // radix 2..8
+  const int depth = 1 + next() % 6;
+  SwitchState state(ports);
+  const std::uint8_t full = static_cast<std::uint8_t>((1u << ports) - 1);
+  for (PortId i = 0; i < ports; ++i) {
+    const int count = next() % (depth + 1);
+    std::uint32_t stamp = next() % 4;  // allow cross-input stamp ties
+    for (int k = 0; k < count; ++k) {
+      std::uint8_t mask = static_cast<std::uint8_t>(next() & full);
+      if (mask == 0) mask = static_cast<std::uint8_t>(1u << (next() % ports));
+      state.inputs_[static_cast<std::size_t>(i)].packets.push_back(
+          PacketState{.stamp = stamp, .residue = mask_to_set(mask)});
+      stamp += 1 + next() % 3;
+    }
+  }
+  state.canonicalize();
+  return state;
+}
+
+}  // namespace fifoms::verify

@@ -1,0 +1,137 @@
+// Canonical encoding of a full multicast-VOQ switch state for the bounded
+// exhaustive verifier (docs/VERIFICATION.md).
+//
+// A state captures everything the FIFOMS scheduler can observe: for every
+// input, the sequence of unserved packets in arrival order, each carrying
+// its arrival stamp and its residue (the destinations whose address cells
+// are still queued).  The per-VOQ address-cell queues of McVoqInput are a
+// projection of this: VOQ (i, j) holds, head first, the packets of input i
+// whose residue contains j, in stamp order.  Because at most one packet
+// arrives per input per slot, stamps are strictly increasing within an
+// input; ties only occur across inputs (same-slot arrivals).
+//
+// Symmetry reduction: FIFOMS compares stamps but never reads their
+// absolute values, so two states whose stamp multisets are related by any
+// order- and tie-preserving renumbering are indistinguishable — this
+// subsumes the obvious shift symmetry (adding a constant to every stamp).
+// canonicalize() quotients by it, rank-compressing the stamps to
+// 0..k-1.  The quotient is what makes the reachable space finite: without
+// it every slot mints a fresh stamp and no state ever repeats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+#include "core/matching.hpp"
+#include "fabric/mc_voq_input.hpp"
+
+namespace fifoms::verify {
+
+/// Largest switch radix the verifier handles (fuzz harnesses go to 8;
+/// exhaustive exploration is practical up to 3, at a stretch 4).
+inline constexpr int kMaxVerifyPorts = 8;
+
+/// One unserved multicast packet at an input.
+struct PacketState {
+  std::uint32_t stamp = 0;  ///< arrival stamp (canonical rank after
+                            ///< canonicalize(); raw slot before)
+  PortSet residue;          ///< destinations still awaiting the data cell
+
+  bool operator==(const PacketState&) const = default;
+};
+
+/// One input port: packets in arrival order (strictly increasing stamp).
+struct InputState {
+  std::vector<PacketState> packets;
+
+  bool operator==(const InputState&) const = default;
+};
+
+class SwitchState {
+ public:
+  static constexpr std::uint32_t kNoStamp = 0xffffffffu;
+
+  SwitchState() = default;
+  explicit SwitchState(int ports);
+
+  int ports() const { return ports_; }
+  const std::vector<InputState>& inputs() const { return inputs_; }
+
+  bool is_empty() const;
+  std::size_t packet_count() const;
+  std::size_t address_cell_count() const;
+  std::size_t packets_at(PortId input) const;
+
+  /// Stamp of input's earliest unserved packet, kNoStamp when idle.
+  std::uint32_t front_stamp(PortId input) const;
+
+  /// HOL address cell of VOQ (input, output): the earliest packet of
+  /// `input` whose residue contains `output`.  nullptr when the VOQ is
+  /// empty.  Mirrors McVoqInput::hol().
+  const PacketState* hol(PortId input, PortId output) const;
+
+  /// Structural invariants: residues non-empty and within radix, stamps
+  /// strictly increasing per input.  Fills `why` on failure.
+  bool well_formed(std::string* why = nullptr) const;
+
+  /// Quotient by stamp symmetry: renumber stamps to their rank among the
+  /// distinct stamps present (order- and tie-preserving).  Idempotent.
+  void canonicalize();
+
+  /// Append one arriving packet per non-empty destination set in
+  /// `destinations` (indexed by input; empty set = no arrival).  All
+  /// arrivals of the call share one fresh stamp — they land in the same
+  /// slot — and the state is re-canonicalized.
+  void push_arrivals(std::span<const PortSet> destinations);
+
+  /// Serve every granted (input, output) pair of `matching`: pop the HOL
+  /// cell of each granted VOQ, exactly like VoqSwitch::step's transmit
+  /// loop.  Returns a bitmask over inputs whose pre-call front packet
+  /// fully departed (the tracked object of the bounded-starvation check).
+  /// Panics if a grant references an empty VOQ.  Re-canonicalizes.
+  std::uint32_t apply_matching(const SlotMatching& matching);
+
+  /// Compact byte encoding; equal canonical states encode identically,
+  /// so encode() of a canonicalized state is a valid dedup key.
+  std::string encode() const;
+
+  /// Exact inverse of encode(); returns false on malformed input.
+  static bool decode(std::string_view bytes, SwitchState& out);
+
+  /// Stable 64-bit hash of encode() (FNV-1a + splitmix finalizer) — the
+  /// identifier printed in every verifier diagnostic.
+  std::uint64_t hash() const;
+
+  /// "in0: 0@{0,1} 2@{1} | in1: -" — for traces and failure reports.
+  std::string to_string() const;
+
+  /// Rebuild real input ports carrying exactly this state, via the
+  /// McVoqInput::inject_queue_state hook.  Reuses `ports` when the sizes
+  /// match, reconstructs it otherwise.
+  void materialize_into(std::vector<McVoqInput>& ports) const;
+
+  /// Read the state back out of live input ports (inverse bridge, used to
+  /// cross-check the injection hook).  Not canonicalized.
+  static SwitchState read_back(std::span<const McVoqInput> ports);
+
+  /// Lenient builder for the fuzz harnesses: interpret arbitrary bytes as
+  /// a queue state (radix 2..kMaxVerifyPorts) such that the result is
+  /// always well-formed and canonical.
+  static SwitchState from_fuzz_bytes(std::span<const unsigned char> bytes);
+
+  bool operator==(const SwitchState&) const = default;
+
+  /// Mutable access for state builders (explorer, tests).
+  std::vector<InputState>& mutable_inputs() { return inputs_; }
+
+ private:
+  int ports_ = 0;
+  std::vector<InputState> inputs_;
+};
+
+}  // namespace fifoms::verify

@@ -1,0 +1,39 @@
+// libFuzzer harness: hardware/behavioural FIFOMS equivalence at radix
+// 2..8 on fuzzer-chosen queue states — the fuzz extension of the
+// exhaustive small-radix check in tests/verify/hw_equiv_exhaustive_test.
+// A mismatch between hw::FifomsControlUnit and FifomsScheduler
+// {kLowestInput} prints the state and aborts.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "verify/explorer.hpp"
+#include "verify/state.hpp"
+
+using fifoms::verify::Mutation;
+using fifoms::verify::SlotEngine;
+using fifoms::verify::SwitchState;
+using fifoms::verify::Violation;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const SwitchState state =
+      SwitchState::from_fuzz_bytes(std::span(data, size));
+
+  SlotEngine engine(state.ports(), Mutation::kNone,
+                    /*check_equivalence=*/true);
+  SlotEngine::Outcome outcome;
+  std::vector<Violation> violations;
+  if (engine.step(state, outcome, violations) != 0) {
+    std::fprintf(stderr, "hw/sw divergence (or property failure) on: %s\n",
+                 state.to_string().c_str());
+    for (const Violation& violation : violations)
+      std::fprintf(stderr, "  [%s] %s\n",
+                   fifoms::verify::property_name(violation.property),
+                   violation.detail.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// libFuzzer harness: FIFOMS per-slot properties on arbitrary queue states.
+//
+// Bytes decode into a well-formed canonical SwitchState of radix 2..8
+// (SwitchState::from_fuzz_bytes), the real FIFOMS scheduler runs one slot
+// on it, and properties (a), (b), (c) must hold — plus the state codec
+// must round-trip.  Any failure prints the state and aborts, handing
+// libFuzzer a minimizable crash input.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "verify/explorer.hpp"
+#include "verify/state.hpp"
+
+using fifoms::verify::Mutation;
+using fifoms::verify::SlotEngine;
+using fifoms::verify::SwitchState;
+using fifoms::verify::Violation;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const SwitchState state =
+      SwitchState::from_fuzz_bytes(std::span(data, size));
+
+  SwitchState decoded;
+  if (!SwitchState::decode(state.encode(), decoded) || decoded != state) {
+    std::fprintf(stderr, "state codec round-trip failed for: %s\n",
+                 state.to_string().c_str());
+    std::abort();
+  }
+
+  SlotEngine engine(state.ports(), Mutation::kNone,
+                    /*check_equivalence=*/false);
+  SlotEngine::Outcome outcome;
+  std::vector<Violation> violations;
+  if (engine.step(state, outcome, violations) != 0) {
+    std::fprintf(stderr, "property violated on: %s\n",
+                 state.to_string().c_str());
+    for (const Violation& violation : violations)
+      std::fprintf(stderr, "  [%s] %s\n",
+                   fifoms::verify::property_name(violation.property),
+                   violation.detail.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -71,8 +71,11 @@ TEST(FifomsControlUnit, CountsComparisonsAndRounds) {
 //
 // Both schedulers implement FIFOMS with deterministic lowest-input
 // tie-break; on identical queue states they must emit identical matchings
-// slot for slot.  This is the strongest statement that Section IV's
-// comparator-tree hardware really computes the algorithm of Section III.
+// slot for slot.  At N <= 3 this sampled sweep is superseded by the
+// EXHAUSTIVE equivalence check in tests/verify/hw_equiv_exhaustive_test.cpp
+// (every reachable state, not 500 random slots), so the rows below start
+// at N = 4 where exhaustion is out of reach and sampling still earns its
+// keep.
 
 struct DiffParam {
   int ports;
@@ -132,7 +135,7 @@ TEST_P(HwDifferentialTest, HardwareMatchesBehaviouralScheduler) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, HwDifferentialTest,
-    ::testing::Values(DiffParam{2, 0.8, 0.8, 1}, DiffParam{4, 0.5, 0.4, 2},
+    ::testing::Values(DiffParam{4, 0.5, 0.4, 2},
                       DiffParam{8, 0.4, 0.25, 3}, DiffParam{16, 0.3, 0.2, 4},
                       DiffParam{16, 0.9, 0.3, 5}, DiffParam{5, 0.7, 0.5, 6}),
     [](const ::testing::TestParamInfo<DiffParam>& info) {

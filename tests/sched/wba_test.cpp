@@ -29,9 +29,9 @@ SlotMatching schedule(WbaScheduler& sched, std::vector<HolCellView>& hol,
 }
 
 TEST(Wba, WeightFormula) {
-  WbaScheduler sched(WbaOptions{.age_weight = 2.0, .fanout_weight = 3.0});
+  WbaScheduler sched(WbaOptions{.age_weight = 2, .fanout_weight = 3});
   const HolCellView view = cell(0, 1, 10, {0, 1});
-  EXPECT_DOUBLE_EQ(sched.weight(view, 15), 2.0 * 5 - 3.0 * 2);
+  EXPECT_EQ(sched.weight(view, 15), 2 * 5 - 3 * 2);
 }
 
 TEST(Wba, OlderCellWins) {
@@ -108,7 +108,7 @@ TEST(Wba, CustomWeightsChangeDecisions) {
   hol[0] = cell(0, 1, 5, {0, 1});
   hol[1] = cell(1, 2, 5, {0});
 
-  WbaScheduler heavy(WbaOptions{.age_weight = 1.0, .fanout_weight = 100.0});
+  WbaScheduler heavy(WbaOptions{.age_weight = 1, .fanout_weight = 100});
   heavy.reset(2, 2);
   SlotMatching m(2, 2);
   Rng rng(1);

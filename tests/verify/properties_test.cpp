@@ -1,0 +1,155 @@
+#include "verify/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fifoms.hpp"
+#include "core/matching.hpp"
+#include "verify/explorer.hpp"
+
+namespace fifoms::verify {
+namespace {
+
+SwitchState make_state(int ports,
+                       std::vector<std::vector<PacketState>> packets) {
+  SwitchState state(ports);
+  for (std::size_t i = 0; i < packets.size(); ++i)
+    state.mutable_inputs()[i].packets = std::move(packets[i]);
+  return state;
+}
+
+bool has_property(const std::vector<Violation>& violations,
+                  Property property) {
+  for (const Violation& violation : violations)
+    if (violation.property == property) return true;
+  return false;
+}
+
+/// The real scheduler's matching on `state`, via the explorer's engine.
+SlotMatching real_matching(const SwitchState& state) {
+  SlotEngine engine(state.ports(), Mutation::kNone,
+                    /*check_equivalence=*/false);
+  SlotEngine::Outcome outcome;
+  std::vector<Violation> violations;
+  EXPECT_EQ(engine.step(state, outcome, violations), 0);
+  return outcome.matching;
+}
+
+TEST(Properties, CleanMatchingPasses) {
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0, 1}}},
+                              {{.stamp = 0, .residue = {0}}}});
+  std::vector<Violation> violations;
+  EXPECT_EQ(check_matching_properties(state, real_matching(state), violations),
+            0);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Properties, NonMaximalMatchingIsFlagged) {
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0}}},
+                              {{.stamp = 0, .residue = {1}}}});
+  SlotMatching matching(2, 2);
+  matching.add_match(0, 0);  // leaves free pair (1, 1) with a waiting cell
+  std::vector<Violation> violations;
+  EXPECT_GT(check_matching_properties(state, matching, violations), 0);
+  EXPECT_TRUE(has_property(violations, Property::kMaximalMatching));
+  EXPECT_EQ(violations.front().state_hash, state.hash());
+}
+
+TEST(Properties, GrantOfTwoDifferentDataCellsIsFlagged) {
+  // in0 holds two packets; granting it both outputs would require the
+  // crossbar row to carry two different data cells at once.
+  auto state = make_state(
+      2, {{{.stamp = 0, .residue = {0}}, {.stamp = 1, .residue = {1}}}, {}});
+  SlotMatching matching(2, 2);
+  matching.add_match(0, 0);
+  matching.add_match(0, 1);
+  std::vector<Violation> violations;
+  EXPECT_GT(check_matching_properties(state, matching, violations), 0);
+  EXPECT_TRUE(has_property(violations, Property::kNoAcceptSafety));
+}
+
+TEST(Properties, FanoutSplitOfOnePacketIsSafe) {
+  // Both grants reference the SAME packet (equal stamps) — the paper's
+  // no-accept argument — so this must pass (b).
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0, 1}}}, {}});
+  SlotMatching matching(2, 2);
+  matching.add_match(0, 0);
+  matching.add_match(0, 1);
+  std::vector<Violation> violations;
+  EXPECT_EQ(check_matching_properties(state, matching, violations), 0);
+}
+
+TEST(Properties, GrantToEmptyVoqIsFlagged) {
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0}}}, {}});
+  SlotMatching matching(2, 2);
+  matching.add_match(1, 1);  // in1 has nothing queued
+  std::vector<Violation> violations;
+  EXPECT_GT(check_matching_properties(state, matching, violations), 0);
+  EXPECT_TRUE(has_property(violations, Property::kNoAcceptSafety));
+}
+
+TEST(Properties, GlobalMinimumMustBeServedWhereItCompetes) {
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0}}},
+                              {{.stamp = 1, .residue = {0}}}});
+  SlotMatching matching(2, 2);
+  matching.add_match(1, 0);  // serves the younger cell over the global min
+  std::vector<Violation> violations;
+  EXPECT_GT(check_matching_properties(state, matching, violations), 0);
+  EXPECT_TRUE(has_property(violations, Property::kTimestampOrder));
+}
+
+TEST(Properties, MatchedInputMayNotSkipOlderCellForFreeOutput) {
+  // in0's older packet wants output 1 (which stays free); serving only the
+  // younger packet to output 0 violates FIFO service order at the input.
+  auto state = make_state(
+      2, {{{.stamp = 0, .residue = {1}}, {.stamp = 1, .residue = {0}}}, {}});
+  SlotMatching matching(2, 2);
+  matching.add_match(0, 0);  // serves stamp 1 while stamp 0 could go out 1
+  std::vector<Violation> violations;
+  EXPECT_GT(check_matching_properties(state, matching, violations), 0);
+  EXPECT_TRUE(has_property(violations, Property::kTimestampOrder));
+}
+
+// The naive phrasing of property (c) — "an output never serves a cell
+// while a strictly older HOL cell for it exists anywhere" — is FALSE for
+// correct FIFOMS.  This is the three-port witness from
+// docs/VERIFICATION.md: output 1 serves stamp 3 although input 1 holds
+// stamp 1 for it, because input 1 lost output 2 to stamp 0 first.  The
+// real scheduler must PASS the property engine on this state.
+TEST(Properties, CorrectFifomsMayServeYoungerCellAtAnOutput) {
+  auto state = make_state(
+      3, {{{.stamp = 3, .residue = {1}}},
+          {{.stamp = 1, .residue = {2}}, {.stamp = 2, .residue = {1}}},
+          {{.stamp = 0, .residue = {2}}}});
+  const SlotMatching matching = real_matching(state);
+  // Input 1's minimum HOL stamp is 1, so it requests only output 2 — and
+  // loses it to input 2's stamp 0.  Output 1's sole request is input 0's
+  // stamp 3, which it serves although input 1 queues stamp 2 for it.
+  EXPECT_EQ(matching.source(2), 2);
+  EXPECT_EQ(matching.source(1), 0);
+  std::vector<Violation> violations;
+  EXPECT_EQ(check_matching_properties(state, matching, violations), 0)
+      << (violations.empty() ? "" : violations.front().detail);
+}
+
+TEST(Properties, EquivalenceComparesSourcesAndRounds) {
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0}}}, {}});
+  SlotMatching sw(2, 2), hw(2, 2);
+  sw.add_match(0, 0);
+  sw.rounds = 1;
+  hw.rounds = 1;  // hardware left output 0 idle
+  std::vector<Violation> violations;
+  EXPECT_EQ(check_equivalence(state, sw, hw, violations), 1);
+  EXPECT_TRUE(has_property(violations, Property::kHwEquivalence));
+
+  violations.clear();
+  hw.add_match(0, 0);
+  EXPECT_EQ(check_equivalence(state, sw, hw, violations), 0);
+
+  hw.rounds = 2;
+  EXPECT_EQ(check_equivalence(state, sw, hw, violations), 1);
+}
+
+}  // namespace
+}  // namespace fifoms::verify

@@ -1,0 +1,187 @@
+#include "verify/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/matching.hpp"
+
+namespace fifoms::verify {
+namespace {
+
+SwitchState make_state(int ports,
+                       std::vector<std::vector<PacketState>> packets) {
+  SwitchState state(ports);
+  for (std::size_t i = 0; i < packets.size(); ++i)
+    state.mutable_inputs()[i].packets = std::move(packets[i]);
+  return state;
+}
+
+TEST(SwitchState, EmptyStateBasics) {
+  SwitchState state(3);
+  EXPECT_EQ(state.ports(), 3);
+  EXPECT_TRUE(state.is_empty());
+  EXPECT_EQ(state.packet_count(), 0u);
+  EXPECT_EQ(state.address_cell_count(), 0u);
+  EXPECT_EQ(state.front_stamp(0), SwitchState::kNoStamp);
+  EXPECT_EQ(state.hol(0, 0), nullptr);
+  EXPECT_TRUE(state.well_formed());
+}
+
+TEST(SwitchState, CanonicalizeRankCompressesPreservingOrderAndTies) {
+  auto state = make_state(
+      2, {{{.stamp = 7, .residue = {0}}, {.stamp = 40, .residue = {1}}},
+          {{.stamp = 7, .residue = {1}}, {.stamp = 9, .residue = {0}}}});
+  state.canonicalize();
+  EXPECT_EQ(state.inputs()[0].packets[0].stamp, 0u);
+  EXPECT_EQ(state.inputs()[0].packets[1].stamp, 2u);
+  EXPECT_EQ(state.inputs()[1].packets[0].stamp, 0u);  // tie with in0 kept
+  EXPECT_EQ(state.inputs()[1].packets[1].stamp, 1u);
+
+  // Idempotent: a second pass changes nothing.
+  const SwitchState once = state;
+  state.canonicalize();
+  EXPECT_EQ(state, once);
+}
+
+TEST(SwitchState, ShiftedStatesShareOneCanonicalForm) {
+  auto a = make_state(2, {{{.stamp = 3, .residue = {0}}},
+                          {{.stamp = 5, .residue = {1}}}});
+  auto b = make_state(2, {{{.stamp = 100, .residue = {0}}},
+                          {{.stamp = 202, .residue = {1}}}});
+  a.canonicalize();
+  b.canonicalize();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.encode(), b.encode());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(SwitchState, PushArrivalsSharesOneFreshStamp) {
+  SwitchState state(3);
+  state.push_arrivals(std::vector<PortSet>{{0, 2}, {}, {1}});
+  EXPECT_EQ(state.packet_count(), 2u);
+  EXPECT_EQ(state.front_stamp(0), 0u);
+  EXPECT_EQ(state.front_stamp(1), SwitchState::kNoStamp);
+  EXPECT_EQ(state.front_stamp(2), 0u);  // same slot, same stamp
+
+  state.push_arrivals(std::vector<PortSet>{{1}, {}, {}});
+  EXPECT_EQ(state.inputs()[0].packets[1].stamp, 1u);
+  EXPECT_TRUE(state.well_formed());
+}
+
+TEST(SwitchState, HolProjectsPerVoqHeads) {
+  auto state = make_state(
+      2, {{{.stamp = 0, .residue = {1}}, {.stamp = 1, .residue = {0, 1}}},
+          {}});
+  ASSERT_NE(state.hol(0, 0), nullptr);
+  EXPECT_EQ(state.hol(0, 0)->stamp, 1u);  // first packet holding output 0
+  ASSERT_NE(state.hol(0, 1), nullptr);
+  EXPECT_EQ(state.hol(0, 1)->stamp, 0u);
+  EXPECT_EQ(state.hol(1, 0), nullptr);
+}
+
+TEST(SwitchState, EncodeDecodeRoundTrips) {
+  auto state = make_state(
+      3, {{{.stamp = 0, .residue = {0, 2}}, {.stamp = 2, .residue = {1}}},
+          {{.stamp = 0, .residue = {1}}},
+          {}});
+  SwitchState decoded;
+  ASSERT_TRUE(SwitchState::decode(state.encode(), decoded));
+  EXPECT_EQ(decoded, state);
+
+  SwitchState dummy;
+  EXPECT_FALSE(SwitchState::decode("", dummy));
+  EXPECT_FALSE(SwitchState::decode(std::string("\x02\x01", 2), dummy));
+  EXPECT_FALSE(SwitchState::decode(state.encode() + "x", dummy));
+}
+
+TEST(SwitchState, WellFormedRejectsBrokenStates) {
+  std::string why;
+  auto empty_residue = make_state(2, {{{.stamp = 0, .residue = {}}}, {}});
+  EXPECT_FALSE(empty_residue.well_formed(&why));
+  EXPECT_NE(why.find("empty residue"), std::string::npos);
+
+  auto out_of_radix = make_state(2, {{{.stamp = 0, .residue = {5}}}, {}});
+  EXPECT_FALSE(out_of_radix.well_formed(&why));
+
+  auto bad_order = make_state(2, {{{.stamp = 3, .residue = {0}},
+                                   {.stamp = 3, .residue = {1}}},
+                                  {}});
+  EXPECT_FALSE(bad_order.well_formed(&why));
+  EXPECT_NE(why.find("strictly increasing"), std::string::npos);
+}
+
+TEST(SwitchState, ApplyMatchingPopsHolCellsAndReportsDepartures) {
+  // in0 = multicast {0,1} then unicast {1}; in1 = unicast {1}.
+  auto state = make_state(
+      2, {{{.stamp = 0, .residue = {0, 1}}, {.stamp = 1, .residue = {1}}},
+          {{.stamp = 0, .residue = {1}}}});
+
+  SlotMatching matching(2, 2);
+  matching.add_match(0, 0);  // serves half of in0's multicast
+  matching.add_match(1, 1);  // serves in1's only packet
+  const std::uint32_t departed = state.apply_matching(matching);
+
+  EXPECT_EQ(departed, 0b10u);  // in1's front left; in0's front kept {1}
+  ASSERT_EQ(state.packets_at(0), 2u);
+  EXPECT_EQ(state.inputs()[0].packets[0].residue, (PortSet{1}));
+  EXPECT_EQ(state.packets_at(1), 0u);
+
+  SlotMatching rest(2, 2);
+  rest.add_match(0, 1);
+  EXPECT_EQ(state.apply_matching(rest), 0b01u);  // now in0's front departs
+  EXPECT_EQ(state.packet_count(), 1u);
+}
+
+TEST(SwitchState, MaterializeAndReadBackAreInverse) {
+  auto state = make_state(
+      3, {{{.stamp = 0, .residue = {0, 1, 2}}, {.stamp = 1, .residue = {2}}},
+          {{.stamp = 1, .residue = {0}}},
+          {}});
+  std::vector<McVoqInput> ports;
+  state.materialize_into(ports);
+
+  // The VOQ projection must match hol() exactly.
+  for (PortId i = 0; i < 3; ++i)
+    for (PortId j = 0; j < 3; ++j) {
+      const PacketState* cell = state.hol(i, j);
+      EXPECT_EQ(ports[i].voq_empty(j), cell == nullptr) << i << "," << j;
+      if (cell != nullptr) {
+        EXPECT_EQ(ports[i].hol(j).weight, cell->stamp) << i << "," << j;
+      }
+    }
+
+  EXPECT_EQ(SwitchState::read_back(ports), state);
+
+  // Reuse path: materializing a different state into the same ports.
+  auto other = make_state(3, {{}, {{.stamp = 0, .residue = {1}}}, {}});
+  other.materialize_into(ports);
+  EXPECT_EQ(SwitchState::read_back(ports), other);
+}
+
+TEST(SwitchState, FromFuzzBytesAlwaysWellFormedAndCanonical) {
+  std::vector<unsigned char> bytes;
+  for (unsigned seed = 0; seed < 64; ++seed) {
+    bytes.clear();
+    for (unsigned k = 0; k < 3 + seed; ++k)
+      bytes.push_back(static_cast<unsigned char>(seed * 131 + k * 29));
+    const SwitchState state = SwitchState::from_fuzz_bytes(bytes);
+    std::string why;
+    EXPECT_TRUE(state.well_formed(&why)) << why;
+    SwitchState copy = state;
+    copy.canonicalize();
+    EXPECT_EQ(copy, state) << "fuzz state not canonical";
+  }
+  EXPECT_TRUE(SwitchState::from_fuzz_bytes({}).well_formed());
+}
+
+TEST(SwitchState, ToStringIsReadable) {
+  auto state = make_state(2, {{{.stamp = 0, .residue = {0, 1}},
+                               {.stamp = 2, .residue = {1}}},
+                              {}});
+  EXPECT_EQ(state.to_string(), "in0: 0@{0,1} 2@{1} | in1: -");
+}
+
+}  // namespace
+}  // namespace fifoms::verify

@@ -26,6 +26,24 @@ compiler nor clang-tidy enforces:
       FIFOMS_AUDIT_FAIL(now, ...) — whose expansion stamps the slot —
       and direct panic()/FIFOMS_ASSERT() calls are forbidden there.
 
+  verify-panic-state-hash
+      The bounded exhaustive verifier (src/verify/) reports failures in
+      terms of canonical state hashes — that hash is the key a user needs
+      to replay the offending state, so every panic raised there must
+      carry one.  Concretely: all failures must go through
+      FIFOMS_VERIFY_FAIL(<hash>, ...) / FIFOMS_VERIFY_CHECK(cond, <hash>,
+      ...) where the hash argument mentions `hash` (a `state_hash` local
+      or a direct `.hash()` call), and direct panic()/FIFOMS_ASSERT()
+      calls are forbidden in src/verify/.
+
+  no-float-in-decision-path
+      Scheduler decision code (src/sched/, src/core/, src/hw/) must not
+      use float/double: floating-point comparison makes grant decisions
+      depend on compiler flags (-ffast-math, x87 excess precision) and
+      platform rounding, breaking the bit-exact hw/sw equivalence the
+      verifier proves.  Ages, fanouts and time stamps are integers;
+      integer weights lose nothing.
+
 Suppress a finding (sparingly) with a same-line comment:
     // fifoms-lint: allow(<rule-name>)
 
@@ -139,13 +157,108 @@ def check_audit_panic_slot(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
-CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot]
+VERIFY_MACRO = re.compile(r"\bFIFOMS_VERIFY_(FAIL|CHECK)\s*\(")
+FLOAT_TYPE = re.compile(r"\b(?:float|double|long\s+double)\b")
+
+
+def split_macro_args(text: str, start: int) -> list[str] | None:
+    """Split the balanced-paren argument list opening at text[start] == '('
+    into top-level arguments.  Returns None when the call never closes
+    (malformed source)."""
+    depth = 0
+    args: list[str] = []
+    current: list[str] = []
+    for ch in text[start:]:
+        if ch == "(":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current).strip())
+                return args
+        elif ch == "," and depth == 1:
+            args.append("".join(current).strip())
+            current = []
+            continue
+        current.append(ch)
+    return None
+
+
+def check_verify_panic_state_hash(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/verify/"):
+        return []
+    findings = []
+
+    # Pass 1 (whole-text): every FIFOMS_VERIFY_FAIL/CHECK call — which may
+    # span lines — must pass a canonical state hash in the hash slot
+    # (argument 1 of FAIL, argument 2 of CHECK).
+    text = "\n".join(strip_noise(line) for line in lines)
+    for call in VERIFY_MACRO.finditer(text):
+        line_no = text.count("\n", 0, call.start()) + 1
+        if suppressed(lines[line_no - 1], "verify-panic-state-hash"):
+            continue
+        if lines[line_no - 1].lstrip().startswith("#define"):
+            continue  # the macro's own definition
+        args = split_macro_args(text, call.end() - 1)
+        hash_index = 0 if call.group(1) == "FAIL" else 1
+        hash_arg = args[hash_index] if args and len(args) > hash_index else ""
+        if "hash" not in hash_arg:
+            findings.append(
+                Finding(rel, line_no, "verify-panic-state-hash",
+                        f"FIFOMS_VERIFY_{call.group(1)} must receive a "
+                        "canonical state hash (a `state_hash` local or a "
+                        f"`.hash()` call), got `{hash_arg}`"))
+
+    # Pass 2 (per line): raw panic()/FIFOMS_ASSERT() bypasses the hash
+    # prefix entirely.
+    in_define = False
+    for i, raw in enumerate(lines, start=1):
+        this_is_define = in_define or raw.lstrip().startswith("#define")
+        in_define = raw.rstrip().endswith("\\") and this_is_define
+        if this_is_define:
+            continue
+        if suppressed(raw, "verify-panic-state-hash"):
+            continue
+        if DIRECT_PANIC.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "verify-panic-state-hash",
+                        "verifier failures must go through "
+                        "FIFOMS_VERIFY_FAIL/CHECK so every message carries "
+                        "the canonical state hash"))
+    findings.sort(key=lambda f: f.line)
+    return findings
+
+
+def check_no_float_in_decision_path(rel: str,
+                                    lines: list[str]) -> list[Finding]:
+    if not rel.startswith(("src/sched/", "src/core/", "src/hw/")):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        if suppressed(raw, "no-float-in-decision-path"):
+            continue
+        if FLOAT_TYPE.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "no-float-in-decision-path",
+                        "float/double comparison makes scheduler decisions "
+                        "platform-dependent; use integer weights"))
+    return findings
+
+
+CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot,
+          check_verify_panic_state_hash, check_no_float_in_decision_path]
 RULES = {
     "no-raw-rand": "ban rand()/srand()/random_device/random_shuffle",
     "no-unordered-in-decision-path":
         "ban hash containers in src/sched/ and src/core/",
     "audit-panic-slot":
         "auditor panics must carry the slot number via FIFOMS_AUDIT_FAIL",
+    "verify-panic-state-hash":
+        "src/verify/ panics must carry the canonical state hash",
+    "no-float-in-decision-path":
+        "ban float/double in src/sched/, src/core/ and src/hw/",
 }
 
 
@@ -205,6 +318,58 @@ def self_test() -> int:
          "  ::fifoms::panic(__FILE__, __LINE__, (msg))"),
         ("other files ignored", False, check_audit_panic_slot,
          "src/analysis/queueing.cpp", "panic(__FILE__, __LINE__, msg);"),
+        ("verify fail with state_hash ok", False,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         'FIFOMS_VERIFY_FAIL(state_hash, "boom");'),
+        ("verify fail with .hash() ok", False,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         'FIFOMS_VERIFY_FAIL(state.hash(), "boom");'),
+        ("verify fail without hash flagged", True,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         'FIFOMS_VERIFY_FAIL(0, "boom");'),
+        ("verify check second arg checked across lines", True,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         'FIFOMS_VERIFY_CHECK(count(a, b) == ports,\n'
+         '                    some_id, "boom");'),
+        ("verify check with state_hash across lines ok", False,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         'FIFOMS_VERIFY_CHECK(count(a, b) == ports,\n'
+         '                    state_hash, "boom");'),
+        ("direct panic in verify flagged", True,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         "panic(__FILE__, __LINE__, msg);"),
+        ("direct assert in verify flagged", True,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         'FIFOMS_ASSERT(ok, "msg");'),
+        ("verify_panic name does not trip the panic ban", False,
+         check_verify_panic_state_hash, "src/verify/x.cpp",
+         "void verify_panic(const char* file, int line);"),
+        ("verify macro definition exempt", False,
+         check_verify_panic_state_hash, "src/verify/fail.hpp",
+         "#define FIFOMS_VERIFY_FAIL(state_hash, msg) \\\n"
+         "  ::fifoms::verify::verify_panic(__FILE__, __LINE__, (msg))"),
+        ("verify suppression honoured", False,
+         check_verify_panic_state_hash, "src/verify/fail.cpp",
+         "panic(file, line, full);  "
+         "// fifoms-lint: allow(verify-panic-state-hash)"),
+        ("verify rule ignores other dirs", False,
+         check_verify_panic_state_hash, "src/core/fifoms.cpp",
+         'FIFOMS_ASSERT(ok, "msg");'),
+        ("double in sched flagged", True, check_no_float_in_decision_path,
+         "src/sched/x.cpp", "double weight = 0.0;"),
+        ("float in hw flagged", True, check_no_float_in_decision_path,
+         "src/hw/x.hpp", "float level;"),
+        ("long double in core flagged", True,
+         check_no_float_in_decision_path, "src/core/x.cpp",
+         "long double acc = 0;"),
+        ("double ok outside decision path", False,
+         check_no_float_in_decision_path, "src/stats/x.cpp",
+         "double mean = 0.0;"),
+        ("double in comment ok", False, check_no_float_in_decision_path,
+         "src/sched/x.cpp", "// double grants are caught by validate()"),
+        ("float suppression honoured", False, check_no_float_in_decision_path,
+         "src/sched/x.cpp",
+         "double d;  // fifoms-lint: allow(no-float-in-decision-path)"),
     ]
 
     failures = 0
