@@ -1,0 +1,226 @@
+#include "bench_json.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/panic.hpp"
+#include "io/json.hpp"
+#include "sim/switch_model.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms::bench {
+
+std::string current_git_sha() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[128] = {};
+  std::string sha;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+  ::pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  const bool looks_like_sha =
+      sha.size() == 40 &&
+      sha.find_first_not_of("0123456789abcdef") == std::string::npos;
+  return looks_like_sha ? sha : "unknown";
+#endif
+}
+
+std::string bench_report_to_json(const BenchReport& report) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value("fifoms-bench-v1");
+  json.key("kind");
+  json.value(report.kind);
+  json.key("git_sha");
+  json.value(report.git_sha);
+  json.key("threads");
+  json.value(report.threads);
+  json.key("records");
+  json.begin_array();
+  for (const BenchRecord& record : report.records) {
+    json.begin_object();
+    json.key("name");
+    json.value(record.name);
+    json.key("ports");
+    json.value(record.ports);
+    json.key("slots");
+    json.value(record.slots);
+    json.key("wall_seconds");
+    json.value(record.wall_seconds);
+    json.key("slots_per_sec");
+    json.value(record.slots_per_sec);
+    json.key("cells_per_sec");
+    json.value(record.cells_per_sec);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void write_bench_json(const std::string& path, const BenchReport& report) {
+  std::ofstream out(path);
+  FIFOMS_ASSERT(out.good(), "cannot open bench JSON output path");
+  out << bench_report_to_json(report) << '\n';
+}
+
+BenchRecord measure_switch(const std::string& name, SwitchModel& sw,
+                           int ports, std::int64_t slots,
+                           std::int64_t warmup) {
+  // The micro_sched workload: Bernoulli multicast at 80% offered load with
+  // a 20% multicast fraction keeps every scheduler busy without diverging.
+  const double multicast_fraction = 0.2;
+  BernoulliTraffic traffic(
+      ports, BernoulliTraffic::p_for_load(0.8, multicast_fraction, ports),
+      multicast_fraction);
+  Rng traffic_rng(1);
+  Rng sched_rng(2);
+  PacketId next_id = 0;
+  SlotTime now = 0;
+  SlotResult result;
+  std::int64_t cells = 0;
+
+  auto run_one_slot = [&] {
+    for (PortId input = 0; input < ports; ++input) {
+      const PortSet dests = traffic.arrival(input, now, traffic_rng);
+      if (dests.empty()) continue;
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = input;
+      packet.arrival = now;
+      packet.destinations = dests;
+      sw.inject(packet);
+    }
+    result.clear();
+    sw.step(now, sched_rng, result);
+    cells += result.matched_pairs;
+    ++now;
+  };
+
+  for (std::int64_t slot = 0; slot < warmup; ++slot) run_one_slot();
+  cells = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t slot = 0; slot < slots; ++slot) run_one_slot();
+  const auto stop = std::chrono::steady_clock::now();
+
+  BenchRecord record;
+  record.name = name;
+  record.ports = ports;
+  record.slots = slots;
+  record.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  if (record.wall_seconds > 0.0) {
+    record.slots_per_sec = static_cast<double>(slots) / record.wall_seconds;
+    record.cells_per_sec = static_cast<double>(cells) / record.wall_seconds;
+  }
+  return record;
+}
+
+BenchRecord measure_wall(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  BenchRecord record;
+  record.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return record;
+}
+
+namespace {
+
+/// Extract the string value following `"key":` at or after `from`;
+/// npos-safe.  Only handles the shapes this writer emits.
+bool scan_string(const std::string& text, std::size_t from,
+                 const std::string& key, std::string& out,
+                 std::size_t* where = nullptr) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return false;
+  const std::size_t open = text.find('"', text.find(':', at));
+  if (open == std::string::npos) return false;
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  out = text.substr(open + 1, close - open - 1);
+  if (where != nullptr) *where = at;
+  return true;
+}
+
+bool scan_number(const std::string& text, std::size_t from,
+                 const std::string& key, double& out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return false;
+  const std::size_t colon = text.find(':', at);
+  if (colon == std::string::npos) return false;
+  try {
+    out = std::stod(text.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> read_bench_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.find("fifoms-bench-v1") == std::string::npos) return {};
+
+  std::vector<BaselineEntry> entries;
+  std::size_t cursor = text.find("\"records\"");
+  if (cursor == std::string::npos) return {};
+  while (true) {
+    BaselineEntry entry;
+    std::size_t name_at = 0;
+    if (!scan_string(text, cursor, "name", entry.name, &name_at)) break;
+    if (!scan_number(text, name_at, "slots_per_sec", entry.slots_per_sec))
+      break;
+    entries.push_back(entry);
+    cursor = name_at + 1;
+  }
+  return entries;
+}
+
+RegressionReport check_regressions(const BenchReport& current,
+                                   const std::vector<BaselineEntry>& baseline,
+                                   double tolerance) {
+  RegressionReport report;
+  for (const BenchRecord& record : current.records) {
+    const BaselineEntry* base = nullptr;
+    for (const BaselineEntry& entry : baseline)
+      if (entry.name == record.name) base = &entry;
+    if (base == nullptr || base->slots_per_sec <= 0.0) continue;
+    ++report.compared;
+    const double ratio = record.slots_per_sec / base->slots_per_sec;
+    char line[256];
+    if (ratio < 1.0 - tolerance) {
+      ++report.regressions;
+      std::snprintf(line, sizeof(line),
+                    "REGRESSION %-16s %.0f slots/s vs baseline %.0f "
+                    "(%.1f%%, tolerance %.0f%%)",
+                    record.name.c_str(), record.slots_per_sec,
+                    base->slots_per_sec, (ratio - 1.0) * 100.0,
+                    tolerance * 100.0);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "ok         %-16s %.0f slots/s vs baseline %.0f (%+.1f%%)",
+                    record.name.c_str(), record.slots_per_sec,
+                    base->slots_per_sec, (ratio - 1.0) * 100.0);
+    }
+    report.messages.emplace_back(line);
+  }
+  return report;
+}
+
+}  // namespace fifoms::bench

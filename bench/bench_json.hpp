@@ -1,0 +1,95 @@
+// BENCH-JSON: machine-readable performance records for CI and regression
+// tracking.
+//
+// Schema (fifoms-bench-v1):
+//
+//   {
+//     "schema": "fifoms-bench-v1",
+//     "kind": "sched" | "sweep",
+//     "git_sha": "<full sha or 'unknown'>",
+//     "threads": <worker threads used>,
+//     "records": [
+//       { "name": "FIFOMS/16", "ports": 16, "slots": 200000,
+//         "wall_seconds": 0.41, "slots_per_sec": 487804.9,
+//         "cells_per_sec": 3902439.0 }, ...
+//     ]
+//   }
+//
+// `slots_per_sec` is simulated switch slots per wall-clock second (the
+// number that determines how long the figure benches take);
+// `cells_per_sec` counts cells delivered across the fabric.  The checked
+// -in baselines (bench/BENCH_sched.json) feed the micro_sched regression
+// guard: warn-only by default because absolute throughput is machine
+// -dependent, failing when FIFOMS_BENCH_STRICT=1 is set (see
+// docs/BENCHMARKING.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fifoms {
+class SwitchModel;
+}
+
+namespace fifoms::bench {
+
+struct BenchRecord {
+  std::string name;  // e.g. "FIFOMS/16"
+  int ports = 0;
+  std::int64_t slots = 0;  // simulated slots measured
+  double wall_seconds = 0.0;
+  double slots_per_sec = 0.0;
+  double cells_per_sec = 0.0;  // cells delivered across the fabric
+};
+
+struct BenchReport {
+  std::string kind;  // "sched" or "sweep"
+  int threads = 1;
+  std::string git_sha;
+  std::vector<BenchRecord> records;
+};
+
+/// HEAD commit of the working tree this binary runs in; "unknown" when
+/// git or the repository is unavailable (e.g. extracted tarball).
+std::string current_git_sha();
+
+std::string bench_report_to_json(const BenchReport& report);
+void write_bench_json(const std::string& path, const BenchReport& report);
+
+/// Drive `sw` under backlogged Bernoulli multicast (80% offered load,
+/// 20% multicast fraction — the micro_sched setup) for `slots` slots and
+/// time it.  Runs `warmup` unmeasured slots first so the queues reach
+/// their operating point before the clock starts.
+BenchRecord measure_switch(const std::string& name, SwitchModel& sw,
+                           int ports, std::int64_t slots,
+                           std::int64_t warmup = 2'000);
+
+/// Time an arbitrary callable; only wall_seconds is filled in — the
+/// caller owns name/ports/slots and derives the rates it cares about.
+BenchRecord measure_wall(const std::function<void()>& fn);
+
+struct BaselineEntry {
+  std::string name;
+  double slots_per_sec = 0.0;
+};
+
+/// Minimal reader for this writer's own records: returns (name,
+/// slots_per_sec) pairs, or an empty vector when the file is missing or
+/// not recognisable.  Not a general JSON parser.
+std::vector<BaselineEntry> read_bench_baseline(const std::string& path);
+
+struct RegressionReport {
+  int compared = 0;     // records with a matching baseline entry
+  int regressions = 0;  // records slower than baseline by > tolerance
+  std::vector<std::string> messages;  // one human-readable line per record
+};
+
+/// Compare `current` against `baseline`: a record regresses when its
+/// slots_per_sec drops more than `tolerance` (fraction) below baseline.
+RegressionReport check_regressions(const BenchReport& current,
+                                   const std::vector<BaselineEntry>& baseline,
+                                   double tolerance = 0.15);
+
+}  // namespace fifoms::bench

@@ -1,0 +1,151 @@
+// fifoms_bench: performance aggregator emitting BENCH-JSON records.
+//
+// Two reports per run (schema in bench_json.hpp):
+//
+//   BENCH_sched.json — single-threaded slots/sec for each scheduler on a
+//   backlogged switch; the record set the micro_sched regression guard
+//   compares against.
+//
+//   BENCH_sweep.json — wall time for a standard_lineup() load sweep run
+//   through the parallel experiment engine, at 1 thread and at all
+//   cores; the speed of the thing users actually wait on.
+//
+// CI runs `fifoms_bench --quick` as a smoke check and uploads both files
+// as artifacts; refreshing the checked-in baselines is documented in
+// docs/BENCHMARKING.md.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/thread_pool.hpp"
+#include "core/fifoms.hpp"
+#include "io/cli.hpp"
+#include "sched/islip.hpp"
+#include "sched/pim.hpp"
+#include "sched/tatra.hpp"
+#include "sim/experiment.hpp"
+#include "sim/oq_switch.hpp"
+#include "sim/single_fifo_switch.hpp"
+#include "sim/switch_model.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace {
+
+using namespace fifoms;
+using namespace fifoms::bench;
+
+BenchReport run_sched_report(std::int64_t slots) {
+  BenchReport report;
+  report.kind = "sched";
+  report.threads = 1;
+  report.git_sha = current_git_sha();
+
+  const auto measure = [&](const std::string& name, SwitchModel& sw,
+                           int ports) {
+    report.records.push_back(measure_switch(name, sw, ports, slots));
+    const BenchRecord& r = report.records.back();
+    std::printf("  %-12s %8.3fs  %12.0f slots/s  %12.0f cells/s\n",
+                r.name.c_str(), r.wall_seconds, r.slots_per_sec,
+                r.cells_per_sec);
+  };
+
+  for (const int ports : {16, 64}) {
+    VoqSwitch fifoms_sw(ports, std::make_unique<FifomsScheduler>());
+    measure("FIFOMS/" + std::to_string(ports), fifoms_sw, ports);
+    VoqSwitch islip_sw(ports, std::make_unique<IslipScheduler>());
+    measure("iSLIP/" + std::to_string(ports), islip_sw, ports);
+  }
+  {
+    const int ports = 16;
+    VoqSwitch pim_sw(ports, std::make_unique<PimScheduler>());
+    measure("PIM/16", pim_sw, ports);
+    SingleFifoSwitch tatra_sw(ports, std::make_unique<TatraScheduler>());
+    measure("TATRA/16", tatra_sw, ports);
+    OqSwitch oq_sw(ports);
+    measure("OQFIFO/16", oq_sw, ports);
+  }
+  return report;
+}
+
+BenchReport run_sweep_report(std::int64_t slots) {
+  BenchReport report;
+  report.kind = "sweep";
+  report.git_sha = current_git_sha();
+  report.threads = ThreadPool::resolve_threads(0);
+
+  SweepConfig config;
+  config.num_ports = 16;
+  config.loads = {0.5, 0.7, 0.9};
+  config.slots = slots;
+  config.replications = 2;
+
+  const int ports = config.num_ports;
+  const double b = 0.2;
+  const TrafficFactory traffic =
+      [ports, b](double load) -> std::unique_ptr<TrafficModel> {
+    return std::make_unique<BernoulliTraffic>(
+        ports, BernoulliTraffic::p_for_load(load, b, ports), b);
+  };
+
+  for (const int threads : {1, 0}) {
+    config.threads = threads;
+    const int resolved = ThreadPool::resolve_threads(threads);
+    if (threads == 0 && resolved == 1) continue;  // single core: t1 recorded
+    const auto lineup = standard_lineup();
+    const auto grid_slots =
+        static_cast<std::int64_t>(lineup.size() * config.loads.size() *
+                                  static_cast<std::size_t>(
+                                      config.replications)) *
+        slots;
+
+    BenchRecord record = measure_wall(
+        [&] { run_sweep(config, lineup, traffic); });
+    record.name = "sweep/standard_lineup/t" + std::to_string(resolved);
+    record.ports = config.num_ports;
+    record.slots = grid_slots;
+    if (record.wall_seconds > 0.0)
+      record.slots_per_sec =
+          static_cast<double>(grid_slots) / record.wall_seconds;
+    report.records.push_back(record);
+    std::printf("  %-28s %8.3fs  %12.0f slots/s\n",
+                record.name.c_str(), record.wall_seconds,
+                record.slots_per_sec);
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("fifoms_bench",
+                   "Aggregate performance benchmark emitting BENCH-JSON "
+                   "(see docs/BENCHMARKING.md)");
+  parser.add_bool("quick", false,
+                  "CI smoke mode: fewer slots, same record names");
+  parser.add_int("slots", 200'000, "measured slots per sched record");
+  parser.add_string("out-dir", ".", "directory for BENCH_*.json");
+  if (!parser.parse(argc, argv)) return 2;
+
+  const bool quick = parser.get_bool("quick");
+  const std::int64_t sched_slots = quick ? 20'000 : parser.get_int("slots");
+  const std::int64_t sweep_slots = quick ? 5'000 : 20'000;
+  const std::string out_dir = parser.get_string("out-dir");
+
+  std::printf("== fifoms_bench (sched: %lld slots) ==\n",
+              static_cast<long long>(sched_slots));
+  const BenchReport sched = run_sched_report(sched_slots);
+  write_bench_json(out_dir + "/BENCH_sched.json", sched);
+
+  std::printf("== fifoms_bench (sweep: %lld slots/run) ==\n",
+              static_cast<long long>(sweep_slots));
+  const BenchReport sweep = run_sweep_report(sweep_slots);
+  write_bench_json(out_dir + "/BENCH_sweep.json", sweep);
+
+  std::printf("BENCH JSON written to %s/BENCH_sched.json and "
+              "%s/BENCH_sweep.json\n",
+              out_dir.c_str(), out_dir.c_str());
+  return 0;
+}

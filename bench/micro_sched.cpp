@@ -4,9 +4,24 @@
 // 16x16 (and 64x64) switch — the software-model counterpart of the
 // paper's O(N)/O(1) hardware complexity discussion, and the number that
 // determines how long the figure benches take.
+//
+// After the google-benchmark run, a regression guard re-measures the
+// FIFOMS and iSLIP records with the BENCH-JSON harness and compares them
+// against the checked-in baseline (bench/BENCH_sched.json).  Warn-only by
+// default — absolute slots/sec is machine-dependent, so CI only annotates
+// — but FIFOMS_BENCH_STRICT=1 turns a >15% drop into a non-zero exit for
+// local before/after checks.  FIFOMS_BENCH_BASELINE overrides the
+// baseline path; FIFOMS_BENCH_GUARD=0 skips the guard.  See
+// docs/BENCHMARKING.md.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+
+#include "bench_json.hpp"
 
 #include "core/fifoms.hpp"
 #include "sched/islip.hpp"
@@ -98,4 +113,69 @@ BENCHMARK(BM_Tatra)->Arg(16)->Arg(64);
 BENCHMARK(BM_Wba)->Arg(16)->Arg(64);
 BENCHMARK(BM_OqFifo)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Regression guard: measure the baseline record set with the BENCH-JSON
+/// harness and compare to bench/BENCH_sched.json.  Returns the process
+/// exit code (non-zero only in strict mode).
+int run_regression_guard() {
+  const char* guard_env = std::getenv("FIFOMS_BENCH_GUARD");
+  if (guard_env != nullptr && std::strcmp(guard_env, "0") == 0) return 0;
+
+  const char* baseline_env = std::getenv("FIFOMS_BENCH_BASELINE");
+  const std::string baseline_path =
+      baseline_env != nullptr ? baseline_env : FIFOMS_BENCH_BASELINE_DEFAULT;
+  const auto baseline = bench::read_bench_baseline(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr,
+                 "\n[bench guard] no baseline at %s — skipping regression "
+                 "check\n",
+                 baseline_path.c_str());
+    return 0;
+  }
+
+  const char* slots_env = std::getenv("FIFOMS_BENCH_GUARD_SLOTS");
+  const auto slots =
+      static_cast<std::int64_t>(slots_env != nullptr ? std::atoll(slots_env)
+                                                     : 100'000);
+
+  bench::BenchReport current;
+  current.kind = "sched";
+  current.threads = 1;
+  current.git_sha = bench::current_git_sha();
+  for (const int ports : {16, 64}) {
+    VoqSwitch fifoms_sw(ports, std::make_unique<FifomsScheduler>());
+    current.records.push_back(bench::measure_switch(
+        "FIFOMS/" + std::to_string(ports), fifoms_sw, ports, slots));
+    VoqSwitch islip_sw(ports, std::make_unique<IslipScheduler>());
+    current.records.push_back(bench::measure_switch(
+        "iSLIP/" + std::to_string(ports), islip_sw, ports, slots));
+  }
+
+  const auto result = bench::check_regressions(current, baseline);
+  std::fprintf(stderr, "\n[bench guard] baseline %s (%d records compared)\n",
+               baseline_path.c_str(), result.compared);
+  for (const std::string& line : result.messages)
+    std::fprintf(stderr, "[bench guard] %s\n", line.c_str());
+
+  if (result.regressions == 0) return 0;
+  const char* strict = std::getenv("FIFOMS_BENCH_STRICT");
+  const bool strict_mode = strict != nullptr && std::strcmp(strict, "1") == 0;
+  std::fprintf(stderr,
+               "[bench guard] %d regression(s) beyond tolerance — %s\n",
+               result.regressions,
+               strict_mode ? "failing (FIFOMS_BENCH_STRICT=1)"
+                           : "warning only (set FIFOMS_BENCH_STRICT=1 to "
+                             "fail)");
+  return strict_mode ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_regression_guard();
+}

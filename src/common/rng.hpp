@@ -28,6 +28,17 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Stateless stream derivation: an independent, well-mixed seed for grid
+/// cell `index` of a run keyed by `seed`.  This is how the parallel sweep
+/// engine keeps results bit-identical for any thread count — every cell's
+/// stream is a pure function of (master seed, cell index), never of
+/// execution order.  Two splitmix64 rounds decorrelate adjacent indices.
+constexpr std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
 /// xoshiro256** generator with convenience distributions.
 class Rng {
  public:

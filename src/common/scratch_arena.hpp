@@ -1,0 +1,80 @@
+// ScratchArena: bump-allocated per-slot scratch storage for schedulers.
+//
+// The request/grant loop runs once per simulated slot — hundreds of
+// millions of times in a full sweep — so per-slot heap traffic (a
+// vector-of-vectors of candidates, a temporary ordering array) dominates
+// the profile long before the arbitration logic does.  A scheduler
+// reserves its worst-case scratch once in reset(), then rewinds the
+// arena at the top of every slot and carves typed arrays out of the same
+// allocation: zero heap operations on the hot path, and the arrays are
+// contiguous, so the grant scan walks one cache stream.
+//
+// Rules: only trivially-copyable, trivially-destructible element types
+// (the arena never runs constructors or destructors — arrays start
+// uninitialised); reserve() must be sized before use (take() panics
+// rather than reallocating, because growth would invalidate spans handed
+// out earlier in the slot).
+//
+// This file is scheduler decision-path code: tools/lint.py applies the
+// no-unordered-in-decision-path rule here just like src/sched/ and
+// src/core/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+class ScratchArena {
+ public:
+  /// Ensure capacity for `bytes` of scratch (plus per-array alignment
+  /// padding); existing spans are invalidated.  Call from reset(), never
+  /// from the per-slot path.
+  void reserve(std::size_t bytes) {
+    if (bytes <= capacity_) return;
+    buffer_ = std::make_unique<std::byte[]>(bytes);
+    capacity_ = bytes;
+    offset_ = 0;
+  }
+
+  /// Rewind to empty; previously taken spans are invalidated.  Call once
+  /// at the top of each slot.
+  void rewind() { offset_ = 0; }
+
+  /// Carve an uninitialised array of `count` elements out of the arena.
+  /// Panics when the reservation is too small — size reserve() for the
+  /// worst case instead of growing mid-slot.
+  template <typename T>
+  std::span<T> take(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ScratchArena elements must be trivial");
+    const std::size_t aligned =
+        (offset_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    const std::size_t end = aligned + count * sizeof(T);
+    FIFOMS_ASSERT(end <= capacity_,
+                  "ScratchArena overflow: reserve() more in reset()");
+    offset_ = end;
+    return {reinterpret_cast<T*>(buffer_.get() + aligned), count};
+  }
+
+  /// Convenience: bytes needed by an array of `count` T, padding included.
+  template <typename T>
+  static constexpr std::size_t bytes_for(std::size_t count) {
+    return count * sizeof(T) + alignof(T);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<std::byte[]> buffer_;
+  std::size_t capacity_ = 0;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace fifoms

@@ -1,0 +1,144 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+int ThreadPool::resolve_threads(int requested) {
+  FIFOMS_ASSERT(requested >= 0, "negative thread count");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(resolve_threads(threads)) {
+  if (threads_ <= 1) return;  // inline mode: no workers, no shards
+  shards_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t)
+    shards_.push_back(std::make_unique<Shard>());
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::for_each_index(std::size_t count,
+                                const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Deal contiguous shards; empty shards (count < threads) just steal.
+  const auto n = static_cast<std::size_t>(threads_);
+  const std::size_t base = count / n;
+  const std::size_t extra = count % n;
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    Shard& shard = *shards_[t];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.begin = next;
+    next += base + (t < extra ? 1 : 0);
+    shard.end = next;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    active_ = threads_;
+    ++epoch_;
+  }
+  wake_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int self) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock,
+                 [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    run_shard(self);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_shard(int self) {
+  std::size_t index;
+  while (true) {
+    if (pop_front(self, index)) {
+      (*job_)(index);
+      continue;
+    }
+    if (!steal_into(self)) return;  // every shard drained
+  }
+}
+
+bool ThreadPool::pop_front(int self, std::size_t& index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(self)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.begin == shard.end) return false;
+  index = shard.begin++;
+  return true;
+}
+
+bool ThreadPool::steal_into(int self) {
+  // Steal the back half of the fullest other shard.  Holding only the
+  // victim's lock while splitting (and only our own while installing)
+  // keeps the locking single-level — no deadlock by construction.
+  const auto n = static_cast<std::size_t>(threads_);
+  std::size_t best = n;
+  std::size_t best_size = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (static_cast<int>(t) == self) continue;
+    Shard& victim = *shards_[t];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    const std::size_t size = victim.end - victim.begin;
+    if (size > best_size) {
+      best_size = size;
+      best = t;
+    }
+  }
+  if (best == n) return false;
+
+  std::size_t begin = 0, end = 0;
+  {
+    Shard& victim = *shards_[best];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    const std::size_t size = victim.end - victim.begin;
+    if (size == 0) return true;  // lost the race; rescan
+    const std::size_t keep = (size + 1) / 2;
+    begin = victim.begin + keep;
+    end = victim.end;
+    victim.end = begin;
+  }
+  Shard& mine = *shards_[static_cast<std::size_t>(self)];
+  std::lock_guard<std::mutex> lock(mine.mutex);
+  mine.begin = begin;
+  mine.end = end;
+  return true;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,82 @@
+// ThreadPool: a work-stealing index pool for embarrassingly parallel grids.
+//
+// The experiment harness fans each (algorithm, load, replication) cell of
+// a sweep out to workers.  Cells vary wildly in cost (an unstable run
+// aborts early; a stable high-load run is the slowest thing in the
+// sweep), so static slicing leaves cores idle.  Each worker owns a
+// contiguous shard of the index range and pops from its front; a worker
+// that runs dry steals the back half of the largest remaining shard.
+// Shards only ever shrink or split, so every index is executed exactly
+// once and no worker blocks on another mid-job.
+//
+// Determinism: the pool never influences results — callers derive every
+// cell's RNG stream from the cell index (splitmix64(seed, cell), see
+// common/rng.hpp), never from execution order, so any thread count and
+// any stealing schedule produce bit-identical output.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fifoms {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks one per hardware core; 1 runs jobs inline on the
+  /// calling thread (no workers are spawned).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers executing jobs (1 means inline execution).
+  int thread_count() const { return threads_; }
+
+  /// Run fn(i) for every i in [0, count) across the pool and block until
+  /// all indices completed.  fn must be safe to call concurrently for
+  /// distinct indices; the same pool can run any number of jobs in
+  /// sequence.  Must not be called re-entrantly from inside a job.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// 0 -> hardware_concurrency (min 1), otherwise the request itself.
+  static int resolve_threads(int requested);
+
+ private:
+  /// One worker's contiguous slice of the current job's index range.
+  /// `begin`/`end` are guarded by `mutex`; owners pop from the front,
+  /// thieves split off the back half.
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::mutex mutex;
+  };
+
+  void worker_loop(int self);
+  void run_shard(int self);
+  bool pop_front(int self, std::size_t& index);
+  bool steal_into(int self);
+
+  int threads_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  // Job hand-off: publishing bumps `epoch_` and resets `active_`; each
+  // worker processes the epoch once and decrements `active_` when its
+  // shard (and everything it could steal) is drained.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fifoms

@@ -10,8 +10,11 @@ constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
 
 void FifomsScheduler::reset(int num_inputs, int num_outputs) {
   (void)num_inputs;
-  best_timestamp_.assign(static_cast<std::size_t>(num_outputs), kInfinity);
-  candidates_.assign(static_cast<std::size_t>(num_outputs), {});
+  num_outputs_ = num_outputs;
+  const auto n = static_cast<std::size_t>(num_outputs);
+  arena_.reserve(ScratchArena::bytes_for<std::uint64_t>(n) +
+                 ScratchArena::bytes_for<PortSet>(n) +
+                 ScratchArena::bytes_for<std::uint64_t>(n));
 }
 
 void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
@@ -19,48 +22,62 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
                                Rng& rng) {
   const int num_inputs = static_cast<int>(inputs.size());
   const int num_outputs = matching.num_outputs();
-  FIFOMS_ASSERT(static_cast<int>(best_timestamp_.size()) == num_outputs,
+  FIFOMS_ASSERT(num_outputs_ == num_outputs,
                 "FifomsScheduler::reset not called for this switch size");
+
+  arena_.rewind();
+  const auto n = static_cast<std::size_t>(num_outputs);
+  // Smallest requesting weight per output, and the set of inputs carrying
+  // it; both are only valid for outputs in `requested` this round.
+  auto best_weight = arena_.take<std::uint64_t>(n);
+  auto candidates = arena_.take<PortSet>(n);
+  // HOL-weight cache for the input currently scanning (two passes per
+  // input: find the minimum, then emit requests at that minimum).
+  auto hol_weight = arena_.take<std::uint64_t>(n);
+
+  // The matching arrives cleared (scheduler contract), so every port
+  // starts free; grants peel bits off these masks as rounds progress.
+  PortSet free_inputs = PortSet::all(num_inputs);
+  PortSet free_outputs = PortSet::all(num_outputs);
+  PortSet requested;
 
   int rounds = 0;
   while (options_.max_rounds == 0 || rounds < options_.max_rounds) {
     // ---- Request step -------------------------------------------------
     // Each free input selects the HOL address cells with the smallest time
     // stamp among VOQs whose output is still free; those cells request
-    // their outputs with the time stamp as weight.
-    bool any_request = false;
-    for (PortId output = 0; output < num_outputs; ++output) {
-      best_timestamp_[static_cast<std::size_t>(output)] = kInfinity;
-      candidates_[static_cast<std::size_t>(output)].clear();
-    }
-
-    for (PortId input = 0; input < num_inputs; ++input) {
-      if (matching.input_matched(input)) continue;  // already sending a cell
+    // their outputs with the time stamp as weight.  occupied() & free is
+    // a four-word AND, so empty and already-matched VOQs cost nothing.
+    requested.clear();
+    for (PortId input : free_inputs) {
       const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
+      const PortSet eligible = port.occupied() & free_outputs;
 
       std::uint64_t smallest = kInfinity;
-      for (PortId output = 0; output < num_outputs; ++output) {
-        if (matching.output_matched(output) || port.voq_empty(output))
-          continue;
-        smallest = std::min(smallest, port.hol(output).weight);
+      for (PortId output : eligible) {
+        const std::uint64_t weight = port.hol(output).weight;
+        hol_weight[static_cast<std::size_t>(output)] = weight;
+        smallest = std::min(smallest, weight);
       }
       if (smallest == kInfinity) continue;  // nothing eligible at this input
 
-      for (PortId output = 0; output < num_outputs; ++output) {
-        if (matching.output_matched(output) || port.voq_empty(output))
+      for (PortId output : eligible) {
+        if (hol_weight[static_cast<std::size_t>(output)] != smallest)
           continue;
-        if (port.hol(output).weight != smallest) continue;
-        any_request = true;
-        auto& best = best_timestamp_[static_cast<std::size_t>(output)];
-        auto& cands = candidates_[static_cast<std::size_t>(output)];
-        if (smallest < best) {
-          best = smallest;
-          cands.clear();
+        const auto o = static_cast<std::size_t>(output);
+        if (!requested.contains(output)) {
+          requested.insert(output);
+          best_weight[o] = smallest;
+          candidates[o] = PortSet::single(input);
+        } else if (smallest < best_weight[o]) {
+          best_weight[o] = smallest;
+          candidates[o] = PortSet::single(input);
+        } else if (smallest == best_weight[o]) {
+          candidates[o].insert(input);
         }
-        if (smallest == best) cands.push_back(input);
       }
     }
-    if (!any_request) break;  // converged: no free pair can match
+    if (requested.empty()) break;  // converged: no free pair can match
     ++rounds;
 
     // ---- Grant step ----------------------------------------------------
@@ -68,17 +85,19 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
     // broken per the configured policy.  Grants are based purely on the
     // requests collected above, so the outputs decide independently; an
     // input may collect several grants (multicast transmission).
-    for (PortId output = 0; output < num_outputs; ++output) {
-      const auto& cands = candidates_[static_cast<std::size_t>(output)];
-      if (cands.empty()) continue;
+    for (PortId output : requested) {
+      const PortSet& cands = candidates[static_cast<std::size_t>(output)];
       PortId winner;
-      if (options_.tie_break == TieBreak::kRandom) {
-        winner = cands[rng.next_below(cands.size())];
+      if (options_.tie_break != TieBreak::kRandom || cands.count() == 1) {
+        // Lowest-input policy, or the single-requester fast path: a lone
+        // request needs no arbitration (and burns no RNG draw).
+        winner = cands.first();
       } else {
-        // Candidates were collected in increasing input order.
-        winner = cands.front();
+        winner = cands.random_member(rng);
       }
       matching.add_match(winner, output);
+      free_outputs.erase(output);
+      free_inputs.erase(winner);
     }
   }
 
@@ -91,7 +110,6 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
                                       SlotTime /*now*/, SlotMatching& matching,
                                       Rng& rng) {
   const int num_inputs = static_cast<int>(inputs.size());
-  const int num_outputs = matching.num_outputs();
 
   // Within one input, the earliest packet's address cells are at the HOL of
   // every VOQ they occupy (VOQs are FIFO by arrival), so the set of outputs
@@ -101,10 +119,8 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
   for (PortId input = 0; input < num_inputs; ++input) {
     const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
     std::uint64_t smallest = kInfinity;
-    for (PortId output = 0; output < num_outputs; ++output) {
-      if (port.voq_empty(output)) continue;
+    for (PortId output : port.occupied())
       smallest = std::min(smallest, port.hol(output).weight);
-    }
     if (smallest == kInfinity) continue;
     order_.push_back(Entry{smallest, rng.next_u64(), input});
   }
@@ -118,8 +134,7 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
     // Residue of the input's earliest packet.
     PortSet residue;
     bool all_free = true;
-    for (PortId output = 0; output < num_outputs; ++output) {
-      if (port.voq_empty(output)) continue;
+    for (PortId output : port.occupied()) {
       if (port.hol(output).weight != entry.weight) continue;
       residue.insert(output);
       if (matching.output_matched(output)) all_free = false;

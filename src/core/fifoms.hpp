@@ -30,6 +30,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/scratch_arena.hpp"
 #include "sched/voq_scheduler.hpp"
 
 namespace fifoms {
@@ -60,9 +61,12 @@ class FifomsScheduler final : public VoqScheduler {
 
  private:
   FifomsOptions options_;
-  // Per-output request-collection scratch, reused across slots.
-  std::vector<std::uint64_t> best_timestamp_;
-  std::vector<std::vector<PortId>> candidates_;
+  int num_outputs_ = 0;
+  // Per-slot request-collection scratch (best weight and candidate set
+  // per output, HOL-weight cache per input scan), bump-allocated from one
+  // reservation sized in reset() — the per-slot path never touches the
+  // heap.
+  ScratchArena arena_;
 };
 
 /// Ablation variant (bench A1): fanout splitting disabled.  A packet may

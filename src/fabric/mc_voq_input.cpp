@@ -41,6 +41,7 @@ void McVoqInput::accept(const Packet& packet) {
                                .weight = weight,
                                .data = data,
                                .packet = packet.id});
+    occupied_.insert(output);
   }
 }
 
@@ -79,6 +80,7 @@ McVoqInput::Served McVoqInput::serve_hol(PortId output) {
   served.cell = queue.pop_front();
   served.payload_tag = pool_.get(served.cell.data).payload_tag;
   served.data_cell_destroyed = pool_.release_one(served.cell.data);
+  if (queue.empty() && hol_class(output) < 0) occupied_.erase(output);
   return served;
 }
 
@@ -102,6 +104,7 @@ void McVoqInput::inject_queue_state(std::span<const Packet> packets) {
 void McVoqInput::clear() {
   pool_.clear();
   for (auto& queue : voqs_) queue.clear();
+  occupied_.clear();
 }
 
 }  // namespace fifoms

@@ -64,6 +64,12 @@ class McVoqInput {
   bool voq_empty(PortId output) const;
   std::size_t voq_size(PortId output) const;
 
+  /// Outputs whose VOQ holds at least one address cell (any class).
+  /// Maintained incrementally by accept()/serve_hol()/clear(), so the
+  /// scheduler's request step is a bitword scan instead of an
+  /// every-(input, output) emptiness probe.
+  const PortSet& occupied() const { return occupied_; }
+
   /// Head-of-line address cell for `output`: the smallest-weight head
   /// across the per-class sub-queues (must be non-empty).
   const AddressCell& hol(PortId output) const;
@@ -121,6 +127,7 @@ class McVoqInput {
   int num_classes_;
   DataCellPool pool_;
   std::vector<RingBuffer<AddressCell>> voqs_;  // [class * num_outputs + out]
+  PortSet occupied_;  // outputs with a non-empty VOQ, all classes pooled
 };
 
 }  // namespace fifoms

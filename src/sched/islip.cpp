@@ -6,6 +6,7 @@ void IslipScheduler::reset(int num_inputs, int num_outputs) {
   grant_ptr_.assign(static_cast<std::size_t>(num_outputs), 0);
   accept_ptr_.assign(static_cast<std::size_t>(num_inputs), 0);
   grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+  requesters_.assign(static_cast<std::size_t>(num_outputs), PortSet{});
 }
 
 namespace {
@@ -30,6 +31,11 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
                     static_cast<int>(grant_ptr_.size()) == num_outputs,
                 "IslipScheduler::reset not called for this switch size");
 
+  // The matching arrives cleared (scheduler contract); accepts below peel
+  // bits off these masks as the iterations progress.
+  PortSet free_inputs = PortSet::all(num_inputs);
+  PortSet free_outputs = PortSet::all(num_outputs);
+
   int rounds = 0;
   bool progressed = true;
   while (progressed &&
@@ -38,25 +44,32 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
     const bool first_iteration = rounds == 0;
 
     // ---- Grant step (requests are implicit: input i requests output j
-    // iff i is unmatched, j is unmatched and VOQ(i, j) is non-empty). ----
+    // iff i is unmatched, j is unmatched and VOQ(i, j) is non-empty).
+    // Collected transposed: each free input's occupied() bitset ANDed
+    // with the free outputs, instead of probing every (input, output)
+    // VOQ for emptiness. ----
     for (auto& set : grants_to_input_) set.clear();
-    bool any_grant = false;
-    for (PortId output = 0; output < num_outputs; ++output) {
-      if (matching.output_matched(output)) continue;
-      PortSet requesters;
-      for (PortId input = 0; input < num_inputs; ++input) {
-        if (matching.input_matched(input)) continue;
-        if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
+    PortSet requested;
+    for (PortId input : free_inputs) {
+      const PortSet eligible =
+          inputs[static_cast<std::size_t>(input)].occupied() & free_outputs;
+      for (PortId output : eligible) {
+        auto& requesters = requesters_[static_cast<std::size_t>(output)];
+        if (!requested.contains(output)) {
+          requested.insert(output);
+          requesters = PortSet::single(input);
+        } else {
           requesters.insert(input);
+        }
       }
-      if (requesters.empty()) continue;
-      const PortId granted = round_robin_pick(
-          requesters, grant_ptr_[static_cast<std::size_t>(output)],
-          num_inputs);
-      grants_to_input_[static_cast<std::size_t>(granted)].insert(output);
-      any_grant = true;
     }
-    if (!any_grant) break;
+    for (PortId output : requested) {
+      const PortId granted = round_robin_pick(
+          requesters_[static_cast<std::size_t>(output)],
+          grant_ptr_[static_cast<std::size_t>(output)], num_inputs);
+      grants_to_input_[static_cast<std::size_t>(granted)].insert(output);
+    }
+    if (requested.empty()) break;
     ++rounds;
 
     // ---- Accept step ---------------------------------------------------
@@ -66,6 +79,8 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
       const PortId accepted = round_robin_pick(
           offers, accept_ptr_[static_cast<std::size_t>(input)], num_outputs);
       matching.add_match(input, accepted);
+      free_inputs.erase(input);
+      free_outputs.erase(accepted);
       progressed = true;
       if (first_iteration) {
         // Pointer update only on first-iteration matches (iSLIP rule).

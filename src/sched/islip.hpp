@@ -47,8 +47,11 @@ class IslipScheduler final : public VoqScheduler {
   IslipOptions options_;
   std::vector<PortId> grant_ptr_;   // per output
   std::vector<PortId> accept_ptr_;  // per input
-  // Scratch: grants collected per input during the grant phase.
+  // Scratch: grants collected per input during the grant phase, and
+  // requesters collected per output while scanning inputs' occupancy
+  // bitsets (valid only for outputs requested in the current round).
   std::vector<PortSet> grants_to_input_;
+  std::vector<PortSet> requesters_;
 };
 
 }  // namespace fifoms

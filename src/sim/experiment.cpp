@@ -1,9 +1,8 @@
 #include "sim/experiment.hpp"
 
-#include <atomic>
 #include <cstdio>
-#include <thread>
 
+#include "common/thread_pool.hpp"
 #include "core/fifoms.hpp"
 #include "hw/fifoms_control_unit.hpp"
 #include "sched/concentrate.hpp"
@@ -109,26 +108,11 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
     results[task_index] = simulator.run();
   };
 
-  int threads = config.threads;
-  if (threads == 0)
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  if (threads <= 1 || tasks.size() <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= tasks.size()) return;
-        run_task(i);
-      }
-    };
-    std::vector<std::thread> pool;
-    const int spawned = std::min<int>(threads, static_cast<int>(tasks.size()));
-    pool.reserve(static_cast<std::size_t>(spawned));
-    for (int t = 0; t < spawned; ++t) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
-  }
+  // Work-stealing pool: cells vary wildly in cost (unstable runs abort
+  // early), so dynamic balancing beats static slicing.  Determinism is
+  // untouched — every cell's seed comes from its grid coordinates above.
+  ThreadPool pool(config.threads);
+  pool.for_each_index(tasks.size(), run_task);
 
   // Pool replications per (algorithm, load), preserving grid order.
   std::vector<PointSummary> summaries;

@@ -1,0 +1,69 @@
+// Time-weighted streaming statistics.
+//
+// Queue occupancy is a step function of time, not a sample sequence: a
+// queue that holds 100 cells for one slot and 0 cells for 99 slots has a
+// time-average of 1, not 50.  TimeWeightedStat accumulates value*duration
+// integrals so level-crossing metrics (mean occupancy, link utilisation)
+// are weighted by how long each level persisted, matching the L = lambda*W
+// bookkeeping queueing theory expects.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/panic.hpp"
+
+namespace fifoms {
+
+class TimeWeightedStat {
+ public:
+  /// Record that the observed value was `value` for `duration` time units
+  /// (slots).  Zero durations are accepted and contribute nothing, so
+  /// callers can pass elapsed-time deltas unguarded.
+  void add(double value, double duration) {
+    FIFOMS_ASSERT(duration >= 0.0, "negative duration");
+    if (duration == 0.0) return;
+    integral_ += value * duration;
+    duration_ += duration;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    ++intervals_;
+  }
+
+  /// Merge another accumulator (parallel reduction / multi-run pooling).
+  void merge(const TimeWeightedStat& other) {
+    if (other.intervals_ == 0) return;
+    integral_ += other.integral_;
+    duration_ += other.duration_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    intervals_ += other.intervals_;
+  }
+
+  bool empty() const { return intervals_ == 0; }
+  std::uint64_t intervals() const { return intervals_; }
+
+  /// Total observation time.
+  double duration() const { return duration_; }
+
+  /// Integral of value over time (e.g. cell-slots of buffering).
+  double integral() const { return integral_; }
+
+  /// Time-weighted mean; 0 when nothing was observed.
+  double mean() const { return duration_ == 0.0 ? 0.0 : integral_ / duration_; }
+
+  double min() const { return intervals_ == 0 ? 0.0 : min_; }
+  double max() const { return intervals_ == 0 ? 0.0 : max_; }
+
+  void reset() { *this = TimeWeightedStat{}; }
+
+ private:
+  double integral_ = 0.0;
+  double duration_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t intervals_ = 0;
+};
+
+}  // namespace fifoms

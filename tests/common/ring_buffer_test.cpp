@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -120,6 +122,54 @@ TEST(RingBuffer, MatchesDequeUnderRandomOps) {
       ASSERT_EQ(rb.back(), reference.back());
     }
   }
+}
+
+TEST(RingBuffer, MoveOnlyPayloads) {
+  // unique_ptr payloads: push_back, pop_front and reallocation must move,
+  // never copy.  (The copy constructor/assignment are simply never
+  // instantiated for a move-only T.)
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  for (int i = 0; i < 40; ++i) rb.push_back(std::make_unique<int>(i));
+  EXPECT_EQ(rb.size(), 40u);
+  EXPECT_EQ(*rb.front(), 0);
+  EXPECT_EQ(*rb.back(), 39);
+  for (int i = 0; i < 40; ++i) {
+    auto value = rb.pop_front();
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_TRUE(rb.empty());
+
+  RingBuffer<std::unique_ptr<int>> moved(std::move(rb));
+  moved.push_back(std::make_unique<int>(7));
+  RingBuffer<std::unique_ptr<int>> assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(*assigned.front(), 7);
+}
+
+TEST(RingBuffer, GrowthMidTraversalByIndex) {
+  // The simulator reads queues by logical index (no iterators to
+  // invalidate); a push_back that triggers growth mid-traversal must not
+  // disturb the logical order already observed or still to come.
+  RingBuffer<int> rb(4);  // rounds up to the 8-slot minimum capacity
+  rb.push_back(0);
+  rb.push_back(1);
+  rb.pop_front();  // wrap the head so growth relocates a split ring
+  for (int v = 2; v <= 8; ++v) rb.push_back(v);
+  ASSERT_EQ(rb.size(), rb.capacity());  // full: {1..8}, tail wrapped past 0
+
+  std::vector<int> seen;
+  for (std::size_t i = 0; i < rb.size(); ++i) {
+    seen.push_back(rb[i]);
+    if (i == 1) {
+      const std::size_t before = rb.capacity();
+      rb.push_back(9);  // forces reallocation: capacity 8 -> 16
+      EXPECT_GT(rb.capacity(), before);
+    }
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  for (int expected = 1; expected <= 9; ++expected)
+    EXPECT_EQ(rb.pop_front(), expected);
 }
 
 TEST(RingBufferDeath, EmptyAccessPanics) {

@@ -1,0 +1,67 @@
+#include "common/scratch_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace fifoms {
+namespace {
+
+TEST(ScratchArena, TakeCarvesDisjointSpans) {
+  ScratchArena arena;
+  arena.reserve(ScratchArena::bytes_for<std::uint64_t>(8) +
+                ScratchArena::bytes_for<std::uint32_t>(8));
+  auto a = arena.take<std::uint64_t>(8);
+  auto b = arena.take<std::uint32_t>(8);
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    a[i] = 0xa0a0a0a0a0a0a0a0ULL + i;
+    b[i] = 0xb0b0b0b0u + static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a[i], 0xa0a0a0a0a0a0a0a0ULL + i);
+    EXPECT_EQ(b[i], 0xb0b0b0b0u + static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(ScratchArena, RewindReusesTheSameStorage) {
+  ScratchArena arena;
+  arena.reserve(ScratchArena::bytes_for<int>(16));
+  auto first = arena.take<int>(16);
+  first[0] = 41;
+  const int* address = first.data();
+  arena.rewind();
+  auto second = arena.take<int>(16);
+  EXPECT_EQ(second.data(), address);  // same storage, no reallocation
+}
+
+TEST(ScratchArena, ReserveGrowsOnlyWhenLarger) {
+  ScratchArena arena;
+  arena.reserve(256);
+  const std::size_t capacity = arena.capacity();
+  arena.reserve(64);  // no-op: already large enough
+  EXPECT_EQ(arena.capacity(), capacity);
+  arena.reserve(1024);
+  EXPECT_GE(arena.capacity(), 1024u);
+}
+
+TEST(ScratchArena, AlignmentRespected) {
+  ScratchArena arena;
+  arena.reserve(ScratchArena::bytes_for<char>(3) +
+                ScratchArena::bytes_for<std::uint64_t>(1));
+  (void)arena.take<char>(3);  // misalign the bump pointer
+  auto aligned = arena.take<std::uint64_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned.data()) %
+                alignof(std::uint64_t),
+            0u);
+}
+
+TEST(ScratchArenaDeath, OverflowPanics) {
+  ScratchArena arena;
+  arena.reserve(16);
+  EXPECT_DEATH((void)arena.take<std::uint64_t>(64), "ScratchArena overflow");
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,78 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fifoms {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7);
+}
+
+TEST(ThreadPool, InlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<int> hits(100, 0);
+  pool.for_each_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.for_each_index(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyJobIsANoop) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.for_each_index(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.for_each_index(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int job = 0; job < 5; ++job) {
+    pool.for_each_index(1'000, [&](std::size_t i) {
+      sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (999LL * 1000 / 2));
+}
+
+TEST(ThreadPool, StealingBalancesSkewedWork) {
+  // Front-loaded cost: the first indices busy-wait, the rest are free.
+  // With shard stealing every index still runs exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.for_each_index(hits.size(), [&](std::size_t i) {
+    if (i < 8) {
+      volatile std::int64_t sink = 0;
+      for (int spin = 0; spin < 2'000'000; ++spin) sink = sink + spin;
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,106 @@
+// Thread-count invariance of the parallel sweep engine.
+//
+// The contract (docs/BENCHMARKING.md): every (algorithm, load,
+// replication) cell derives its RNG stream from its grid coordinates,
+// never from execution order, so run_sweep() output is BYTE-identical
+// for any thread count.  This test runs a fig4-style sweep at 1, 2 and 8
+// threads and compares the written CSVs byte for byte.  It is quick
+// -labelled on purpose: the tsan CI lane (ctest -L quick) must exercise
+// the work-stealing pool.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "io/csv.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Small fig4-style sweep: Bernoulli multicast, the paper's lineup.
+std::string sweep_csv(int threads, const char* name) {
+  SweepConfig config;
+  config.num_ports = 8;
+  config.loads = {0.3, 0.6, 0.9};
+  config.slots = 2'000;
+  config.replications = 3;
+  config.master_seed = 2026;
+  config.threads = threads;
+
+  const int ports = config.num_ports;
+  const double b = 0.2;
+  const auto points = run_sweep(
+      config, standard_lineup(),
+      [ports, b](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<BernoulliTraffic>(
+            ports, BernoulliTraffic::p_for_load(load, b, ports), b);
+      });
+
+  const std::string path = temp_path(name);
+  write_sweep_csv(path, points);
+  return read_file(path);
+}
+
+TEST(SweepDeterminism, CsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = sweep_csv(1, "sweep_t1.csv");
+  ASSERT_FALSE(serial.empty());
+  // A sanity anchor: every lineup algorithm appears in the output.
+  EXPECT_NE(serial.find("FIFOMS"), std::string::npos);
+  EXPECT_NE(serial.find("iSLIP"), std::string::npos);
+
+  const std::string two_threads = sweep_csv(2, "sweep_t2.csv");
+  const std::string eight_threads = sweep_csv(8, "sweep_t8.csv");
+  EXPECT_EQ(serial, two_threads)
+      << "sweep output changed between 1 and 2 threads";
+  EXPECT_EQ(serial, eight_threads)
+      << "sweep output changed between 1 and 8 threads";
+}
+
+TEST(SweepDeterminism, OversubscribedPoolMatchesSerial) {
+  // More workers than grid cells: shards are empty for most workers and
+  // the stealing path is exercised immediately.
+  SweepConfig config;
+  config.num_ports = 4;
+  config.loads = {0.5};
+  config.slots = 500;
+  config.replications = 2;
+  config.threads = 16;
+
+  const int ports = config.num_ports;
+  const auto traffic =
+      [ports](double load) -> std::unique_ptr<TrafficModel> {
+    return std::make_unique<BernoulliTraffic>(
+        ports, BernoulliTraffic::p_for_load(load, 0.2, ports), 0.2);
+  };
+
+  const auto parallel = run_sweep(config, {make_fifoms()}, traffic);
+  config.threads = 1;
+  const auto serial = run_sweep(config, {make_fifoms()}, traffic);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].input_delay, serial[i].input_delay);
+    EXPECT_EQ(parallel[i].output_delay, serial[i].output_delay);
+    EXPECT_EQ(parallel[i].throughput, serial[i].throughput);
+    EXPECT_EQ(parallel[i].queue_mean, serial[i].queue_mean);
+  }
+}
+
+}  // namespace
+}  // namespace fifoms

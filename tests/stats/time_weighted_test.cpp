@@ -1,0 +1,93 @@
+#include "stats/time_weighted.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifoms {
+namespace {
+
+TEST(TimeWeighted, EmptyReportsZeros) {
+  TimeWeightedStat stat;
+  EXPECT_TRUE(stat.empty());
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.duration(), 0.0);
+  EXPECT_EQ(stat.integral(), 0.0);
+  EXPECT_EQ(stat.min(), 0.0);
+  EXPECT_EQ(stat.max(), 0.0);
+}
+
+TEST(TimeWeighted, MeanWeightsByDuration) {
+  // A queue holding 100 cells for 1 slot then 0 cells for 99 slots has a
+  // time-average occupancy of 1, not 50 — the defining example.
+  TimeWeightedStat stat;
+  stat.add(100.0, 1.0);
+  stat.add(0.0, 99.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.integral(), 100.0);
+  EXPECT_DOUBLE_EQ(stat.duration(), 100.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 100.0);
+}
+
+TEST(TimeWeighted, ClosedFormStepFunction) {
+  // Piecewise-constant f: 2 on [0,3), 5 on [3,4), 3 on [4,8).
+  // Integral = 6 + 5 + 12 = 23 over duration 8 -> mean 23/8.
+  TimeWeightedStat stat;
+  stat.add(2.0, 3.0);
+  stat.add(5.0, 1.0);
+  stat.add(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(stat.integral(), 23.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 23.0 / 8.0);
+  EXPECT_EQ(stat.intervals(), 3u);
+}
+
+TEST(TimeWeighted, ZeroDurationContributesNothing) {
+  TimeWeightedStat stat;
+  stat.add(1e9, 0.0);  // instantaneous spike: no time weight
+  EXPECT_TRUE(stat.empty());
+  stat.add(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 4.0);  // the spike never entered min/max
+}
+
+TEST(TimeWeighted, MergeMatchesSequential) {
+  TimeWeightedStat left, right, all;
+  const double values[] = {1.0, 7.0, 2.0, 0.0, 9.0, 3.5};
+  const double durations[] = {2.0, 0.5, 3.0, 10.0, 1.0, 4.0};
+  for (int i = 0; i < 6; ++i) {
+    (i < 3 ? left : right).add(values[i], durations[i]);
+    all.add(values[i], durations[i]);
+  }
+  left.merge(right);
+  EXPECT_DOUBLE_EQ(left.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(left.integral(), all.integral());
+  EXPECT_DOUBLE_EQ(left.duration(), all.duration());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  EXPECT_EQ(left.intervals(), all.intervals());
+}
+
+TEST(TimeWeighted, MergeWithEmptySides) {
+  TimeWeightedStat stat, empty;
+  stat.add(3.0, 2.0);
+  stat.merge(empty);  // no-op
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  empty.merge(stat);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_EQ(empty.intervals(), 1u);
+}
+
+TEST(TimeWeighted, ResetClears) {
+  TimeWeightedStat stat;
+  stat.add(5.0, 5.0);
+  stat.reset();
+  EXPECT_TRUE(stat.empty());
+  EXPECT_EQ(stat.mean(), 0.0);
+}
+
+TEST(TimeWeightedDeath, NegativeDurationPanics) {
+  TimeWeightedStat stat;
+  EXPECT_DEATH(stat.add(1.0, -0.5), "negative duration");
+}
+
+}  // namespace
+}  // namespace fifoms

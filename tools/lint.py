@@ -110,8 +110,19 @@ def check_no_raw_rand(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+# Decision-path code: scheduler sources plus the scratch-arena and
+# thread-pool infrastructure they allocate and run on (a hash container
+# there would feed nondeterministic order straight into arbitration).
+DECISION_PATH_PREFIXES = (
+    "src/sched/",
+    "src/core/",
+    "src/common/scratch_arena",
+    "src/common/thread_pool",
+)
+
+
 def check_no_unordered(rel: str, lines: list[str]) -> list[Finding]:
-    if not rel.startswith(("src/sched/", "src/core/")):
+    if not rel.startswith(DECISION_PATH_PREFIXES):
         return []
     findings = []
     for i, raw in enumerate(lines, start=1):
@@ -304,6 +315,12 @@ def self_test() -> int:
          "src/core/x.hpp", "std::unordered_set<PortId> s;"),
         ("unordered ok outside decision path", False, check_no_unordered,
          "src/sim/x.cpp", "std::unordered_map<int, int> m;"),
+        ("unordered in scratch arena flagged", True, check_no_unordered,
+         "src/common/scratch_arena.hpp", "std::unordered_map<int, int> m;"),
+        ("unordered in thread pool flagged", True, check_no_unordered,
+         "src/common/thread_pool.cpp", "std::unordered_set<int> s;"),
+        ("unordered ok in other common code", False, check_no_unordered,
+         "src/common/rng.hpp", "std::unordered_map<int, int> m;"),
         ("audit fail with now ok", False, check_audit_panic_slot,
          "src/analysis/auditor.cpp", "FIFOMS_AUDIT_FAIL(now, msg);"),
         ("audit fail without now flagged", True, check_audit_panic_slot,
