@@ -1,0 +1,195 @@
+// fifoms_soak: fault-storm soak harness (docs/FAULTS.md).
+//
+// Drives FIFOMS on the multicast VOQ switch through the fault scenarios —
+// rolling output flaps under 0.9 load, correlated line-card loss, and the
+// adversarial fault storm under burst traffic — with the runtime invariant
+// auditor attached, under BOTH stranded-cell policies.  The auditor
+// panics the moment a copy lands on a dead port, a purge touches a live
+// output, or a fanout counter drifts, so merely finishing a scenario is
+// the assertion that every invariant held through every down/up
+// transition; the harness adds end-of-run cross-checks of the auditor's
+// counters against the simulator's.
+//
+// Exit status: 0 when every scenario passed, 1 otherwise (CI: the
+// soak-smoke job runs `fifoms_soak --quick` under asan-ubsan).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/auditor.hpp"
+#include "core/fifoms.hpp"
+#include "fault/fault.hpp"
+#include "io/cli.hpp"
+#include "sim/simulator.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/burst.hpp"
+
+namespace {
+
+using namespace fifoms;
+
+struct Scenario {
+  std::string name;
+  fault::FaultPlan plan;
+};
+
+struct SoakStats {
+  int scenarios = 0;
+  int failures = 0;
+};
+
+const char* policy_name(StrandedCellPolicy policy) {
+  return policy == StrandedCellPolicy::kHold ? "hold" : "purge";
+}
+
+void expect(SoakStats& stats, bool ok, const std::string& what) {
+  if (ok) return;
+  ++stats.failures;
+  std::fprintf(stderr, "  FAIL: %s\n", what.c_str());
+}
+
+/// Run one (scenario, policy) combination with the auditor attached and
+/// cross-check its counters against the simulator's report.
+void run_scenario(SoakStats& stats, const Scenario& scenario,
+                  TrafficModel& traffic, StrandedCellPolicy policy,
+                  int ports, SlotTime slots, std::uint64_t seed) {
+  ++stats.scenarios;
+
+  VoqSwitch::Options options;
+  options.stranded_policy = policy;
+  VoqSwitch sw(ports, std::make_unique<FifomsScheduler>(), options);
+
+  SimConfig config;
+  config.total_slots = slots;
+  config.warmup_fraction = 0.25;
+  config.seed = seed;
+  config.fault_plan = &scenario.plan;
+
+  MatchingAuditor auditor;
+  Simulator simulator(sw, traffic, config);
+  simulator.set_observer(&auditor);
+  const SimResult result = simulator.run();
+
+  const std::string tag = scenario.name + "/" + policy_name(policy);
+  expect(stats, result.fault_events_applied > 0,
+         tag + ": no fault events fired");
+  expect(stats, result.packets_delivered > 0,
+         tag + ": nothing was delivered through the storm");
+  if (policy == StrandedCellPolicy::kHold)
+    expect(stats, result.copies_purged == 0,
+           tag + ": hold policy purged " +
+               std::to_string(result.copies_purged) + " copies");
+
+  if (MatchingAuditor::enabled()) {
+    expect(stats, auditor.fault_events_seen() == result.fault_events_applied,
+           tag + ": auditor saw " +
+               std::to_string(auditor.fault_events_seen()) +
+               " fault events, simulator applied " +
+               std::to_string(result.fault_events_applied));
+    expect(stats,
+           auditor.slots_audited() ==
+               static_cast<std::uint64_t>(result.total_slots),
+           tag + ": audited " + std::to_string(auditor.slots_audited()) +
+               " of " + std::to_string(result.total_slots) + " slots");
+    expect(stats, auditor.copies_checked() == result.copies_delivered,
+           tag + ": auditor checked " +
+               std::to_string(auditor.copies_checked()) +
+               " copies, simulator delivered " +
+               std::to_string(result.copies_delivered));
+    expect(stats, auditor.copies_purged() == result.copies_purged,
+           tag + ": auditor verified " +
+               std::to_string(auditor.copies_purged()) +
+               " purges, simulator reported " +
+               std::to_string(result.copies_purged));
+  }
+
+  std::printf(
+      "  %-34s %8llu delivered %6llu purged %5llu suppressed %4llu events%s\n",
+      tag.c_str(),
+      static_cast<unsigned long long>(result.copies_delivered),
+      static_cast<unsigned long long>(result.copies_purged),
+      static_cast<unsigned long long>(result.packets_suppressed),
+      static_cast<unsigned long long>(result.fault_events_applied),
+      result.unstable ? "  UNSTABLE" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("fifoms_soak",
+                   "fault-storm soak: FIFOMS degradation under the "
+                   "docs/FAULTS.md scenarios with the invariant auditor "
+                   "attached");
+  parser.add_int("ports", 16, "switch radix N");
+  parser.add_int("slots", 20'000, "simulated slots per scenario");
+  parser.add_int("seed", 42, "master seed");
+  parser.add_bool("quick", false, "small preset for CI (8 ports, 2k slots)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  int ports = static_cast<int>(parser.get_int("ports"));
+  SlotTime slots = parser.get_int("slots");
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  if (parser.get_bool("quick")) {
+    ports = 8;
+    slots = 2'000;
+  }
+
+  std::printf("== fifoms_soak ==\nN=%d, slots=%lld, seed=%llu, audit=%s\n",
+              ports, static_cast<long long>(slots),
+              static_cast<unsigned long long>(seed),
+              MatchingAuditor::enabled() ? "on" : "OFF (FIFOMS_AUDIT=0)");
+
+  const double b = 0.2;
+  auto bernoulli_09 = [&] {
+    return std::make_unique<BernoulliTraffic>(
+        ports, BernoulliTraffic::p_for_load(0.9, b, ports), b);
+  };
+  // Burst traffic at 0.8 load: the storm scenario's arrival process
+  // (paper Fig. 8 parameters, shortened horizon).
+  const double burst_b = 0.5;
+  const double e_on = 16.0;
+  auto burst_08 = [&] {
+    return std::make_unique<BurstTraffic>(
+        ports, BurstTraffic::e_off_for_load(0.8, e_on, burst_b, ports), e_on,
+        burst_b);
+  };
+
+  // The flap cadence scales with the horizon so every scenario sees many
+  // full down/up cycles regardless of --slots.
+  const SlotTime flap_period = std::max<SlotTime>(16, slots / (4 * ports));
+  const SlotTime flap_down = std::max<SlotTime>(4, flap_period / 2);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(Scenario{
+      "rolling-flaps/bern-0.9",
+      fault::FaultPlan::rolling_port_flaps(ports, flap_period, flap_period,
+                                           flap_down, slots)});
+  scenarios.push_back(Scenario{
+      "line-card-loss/bern-0.9",
+      fault::FaultPlan::correlated_line_card_loss(
+          ports, seed, slots / 4, slots / 2, std::max(1, ports / 4))});
+  scenarios.push_back(Scenario{"fault-storm/burst-0.8",
+                               fault::FaultPlan::fault_storm(ports, seed,
+                                                             slots)});
+
+  SoakStats stats;
+  for (const Scenario& scenario : scenarios) {
+    for (const StrandedCellPolicy policy :
+         {StrandedCellPolicy::kHold, StrandedCellPolicy::kPurge}) {
+      // Fresh traffic per run so the arrival stream restarts identically.
+      auto traffic = scenario.name.find("burst") != std::string::npos
+                         ? std::unique_ptr<TrafficModel>(burst_08())
+                         : std::unique_ptr<TrafficModel>(bernoulli_09());
+      run_scenario(stats, scenario, *traffic, policy, ports, slots, seed);
+    }
+  }
+
+  std::printf("\n%d scenario runs, %d failures\n", stats.scenarios,
+              stats.failures);
+  if (stats.failures > 0) return 1;
+  std::printf("all fault-storm invariants held\n");
+  return 0;
+}

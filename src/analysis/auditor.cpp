@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/panic.hpp"
+#include "fault/fault.hpp"
 #include "sched/eslip.hpp"
 #include "sim/cioq_switch.hpp"
 #include "sim/oq_switch.hpp"
@@ -48,10 +49,53 @@ void MatchingAuditor::reset() {
   last_pair_ts_.clear();
   last_input_ts_.clear();
   last_output_ts_.clear();
+  failed_outputs_ = PortSet{};
+  failed_inputs_ = PortSet{};
+  failed_links_.clear();
   copies_in_ = 0;
   copies_out_ = 0;
+  copies_purged_ = 0;
   packets_retired_ = 0;
   slots_audited_ = 0;
+  fault_events_seen_ = 0;
+}
+
+void MatchingAuditor::on_fault_event(SlotTime now, const SwitchModel& sw,
+                                     const fault::FaultEvent& event) {
+  ensure_size(failed_links_, static_cast<std::size_t>(sw.num_inputs()),
+              PortSet{});
+  ++fault_events_seen_;
+  // The simulator already validated level consistency through FaultPlan,
+  // so a mismatch here means the event stream itself is corrupt.
+  switch (event.kind) {
+    case fault::FaultKind::kOutputDown:
+      if (failed_outputs_.contains(event.port))
+        FIFOMS_AUDIT_FAIL(now, "fault stream corrupt: output " +
+                                   port_str(event.port) + " downed twice");
+      failed_outputs_.insert(event.port);
+      break;
+    case fault::FaultKind::kOutputUp:
+      if (!failed_outputs_.contains(event.port))
+        FIFOMS_AUDIT_FAIL(now, "fault stream corrupt: output " +
+                                   port_str(event.port) +
+                                   " restored while up");
+      failed_outputs_.erase(event.port);
+      break;
+    case fault::FaultKind::kInputDown:
+      failed_inputs_.insert(event.port);
+      break;
+    case fault::FaultKind::kInputUp:
+      failed_inputs_.erase(event.port);
+      break;
+    case fault::FaultKind::kLinkDown:
+      failed_links_[static_cast<std::size_t>(event.port)].insert(event.output);
+      break;
+    case fault::FaultKind::kLinkUp:
+      failed_links_[static_cast<std::size_t>(event.port)].erase(event.output);
+      break;
+    case fault::FaultKind::kGrantCorrupt:
+      break;  // transient: sanitisation is checked via the delivery stream
+  }
 }
 
 void MatchingAuditor::on_inject(const SwitchModel& sw, const Packet& packet) {
@@ -90,6 +134,7 @@ void MatchingAuditor::on_inject(const SwitchModel& sw, const Packet& packet) {
 
 void MatchingAuditor::on_slot(SlotTime now, const SwitchModel& sw,
                               const SlotResult& result) {
+  check_purges(now, sw, result);
   check_deliveries(now, sw, result);
   check_conservation(now, sw);
   if (options_.deep_structure && options_.structure_every > 0 &&
@@ -146,6 +191,26 @@ void MatchingAuditor::check_deliveries(SlotTime now, const SwitchModel& sw,
                                  " names out-of-range ports " +
                                  port_str(d.input) + "->" +
                                  port_str(d.output));
+
+    // Fault isolation: a degraded scheduler must never land a copy on a
+    // dead port or push one across a dead crosspoint.
+    if (failed_outputs_.contains(d.output))
+      FIFOMS_AUDIT_FAIL(now, "grant to failed output: packet " +
+                                 pkt_str(d.packet) +
+                                 " delivered to output " + port_str(d.output) +
+                                 " while it is down");
+    if (failed_inputs_.contains(d.input))
+      FIFOMS_AUDIT_FAIL(now, "grant from failed input: packet " +
+                                 pkt_str(d.packet) +
+                                 " transmitted by input " + port_str(d.input) +
+                                 " while its line card is down");
+    if (static_cast<std::size_t>(d.input) < failed_links_.size() &&
+        failed_links_[static_cast<std::size_t>(d.input)].contains(d.output))
+      FIFOMS_AUDIT_FAIL(now, "grant across failed link: packet " +
+                                 pkt_str(d.packet) + " crossed " +
+                                 port_str(d.input) + "->" +
+                                 port_str(d.output) +
+                                 " while that crosspoint is down");
 
     // Matching validity: each output fed by at most one input per slot.
     PortId& source = output_source[static_cast<std::size_t>(d.output)];
@@ -257,8 +322,56 @@ void MatchingAuditor::check_deliveries(SlotTime now, const SwitchModel& sw,
   }
 }
 
+void MatchingAuditor::check_purges(SlotTime now, const SwitchModel& sw,
+                                   const SlotResult& result) {
+  for (const Delivery& purge : result.purged) {
+    if (purge.input < 0 || purge.input >= sw.num_inputs() ||
+        purge.output < 0 || purge.output >= sw.num_outputs())
+      FIFOMS_AUDIT_FAIL(now, "purge of packet " + pkt_str(purge.packet) +
+                                 " names out-of-range ports " +
+                                 port_str(purge.input) + "->" +
+                                 port_str(purge.output));
+    // A purge is only legitimate while its output is actually down:
+    // purging at a live output silently discards deliverable traffic.
+    if (!failed_outputs_.contains(purge.output))
+      FIFOMS_AUDIT_FAIL(now, "purge at live output: packet " +
+                                 pkt_str(purge.packet) +
+                                 " purged at output " + port_str(purge.output) +
+                                 " which is not down");
+    const auto it = live_.find(purge.packet);
+    if (it == live_.end())
+      FIFOMS_AUDIT_FAIL(now, "purge of unknown or already-retired packet " +
+                                 pkt_str(purge.packet) +
+                                 " (fanout counter over-decremented)");
+    Shadow& shadow = it->second;
+    if (shadow.input != purge.input)
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(purge.packet) +
+                                 " purged from input " + port_str(purge.input) +
+                                 " but was injected at input " +
+                                 port_str(shadow.input));
+    if (shadow.arrival != purge.arrival)
+      FIFOMS_AUDIT_FAIL(now, "purged packet " + pkt_str(purge.packet) +
+                                 " carries corrupted arrival stamp " +
+                                 std::to_string(purge.arrival));
+    if (!shadow.remaining.contains(purge.output))
+      FIFOMS_AUDIT_FAIL(now, "fanout counter corrupt: packet " +
+                                 pkt_str(purge.packet) + " copy to output " +
+                                 port_str(purge.output) +
+                                 " purged but already served or not a "
+                                 "destination");
+    shadow.remaining.erase(purge.output);
+    ++copies_purged_;
+    --queued_per_output_[static_cast<std::size_t>(purge.output)];
+    if (shadow.remaining.empty()) {
+      --live_per_input_[static_cast<std::size_t>(purge.input)];
+      live_.erase(it);
+      ++packets_retired_;
+    }
+  }
+}
+
 void MatchingAuditor::check_conservation(SlotTime now, const SwitchModel& sw) {
-  const std::uint64_t pending = copies_in_ - copies_out_;
+  const std::uint64_t pending = copies_in_ - copies_out_ - copies_purged_;
 
   if (const auto* voq = dynamic_cast<const VoqSwitch*>(&sw)) {
     std::uint64_t queued = 0;
@@ -443,8 +556,12 @@ void MatchingAuditor::reset() {}
 void MatchingAuditor::on_inject(const SwitchModel&, const Packet&) {}
 void MatchingAuditor::on_slot(SlotTime, const SwitchModel&,
                               const SlotResult&) {}
+void MatchingAuditor::on_fault_event(SlotTime, const SwitchModel&,
+                                     const fault::FaultEvent&) {}
 void MatchingAuditor::check_deliveries(SlotTime, const SwitchModel&,
                                        const SlotResult&) {}
+void MatchingAuditor::check_purges(SlotTime, const SwitchModel&,
+                                   const SlotResult&) {}
 void MatchingAuditor::check_conservation(SlotTime, const SwitchModel&) {}
 void MatchingAuditor::check_structure(SlotTime, const SwitchModel&) {}
 

@@ -18,8 +18,12 @@
 //     never decrease (disabled where the architecture legitimately
 //     reorders: the ESLIP hybrid structure and multi-class VOQs);
 //   * end-to-end cell conservation — copies offered equal copies
-//     delivered plus copies still queued, checked against the switch's
-//     own occupancy counters per model.
+//     delivered plus copies purged plus copies still queued, checked
+//     against the switch's own occupancy counters per model;
+//   * fault isolation — under an attached fault plan (docs/FAULTS.md) no
+//     copy is ever delivered to a failed output, from a failed input, or
+//     across a failed crosspoint link, and every purged copy names a
+//     currently-failed output and retires real fanout.
 //
 // Violations panic with a slot-stamped diagnostic naming the ports and
 // packet involved.  The checks compile to no-ops when FIFOMS_AUDIT is 0
@@ -68,6 +72,10 @@ class MatchingAuditor final : public SlotObserver {
   void on_inject(const SwitchModel& sw, const Packet& packet) override;
   void on_slot(SlotTime now, const SwitchModel& sw,
                const SlotResult& result) override;
+  /// Mirrors the fault plan into a shadow failure state so deliveries can
+  /// be cross-checked against it (no grant to a dead port).
+  void on_fault_event(SlotTime now, const SwitchModel& sw,
+                      const fault::FaultEvent& event) override;
 
   /// Slots that went through the full check battery.
   std::uint64_t slots_audited() const { return slots_audited_; }
@@ -75,6 +83,10 @@ class MatchingAuditor final : public SlotObserver {
   std::uint64_t copies_checked() const { return copies_out_; }
   /// Packets whose full fanout was observed and retired.
   std::uint64_t packets_retired() const { return packets_retired_; }
+  /// Copies verified as legitimately purged at a failed output.
+  std::uint64_t copies_purged() const { return copies_purged_; }
+  /// Fault events mirrored into the shadow failure state.
+  std::uint64_t fault_events_seen() const { return fault_events_seen_; }
 
   /// Forget all shadow state (call between simulation runs).
   void reset();
@@ -92,6 +104,9 @@ class MatchingAuditor final : public SlotObserver {
   void check_conservation(SlotTime now, const SwitchModel& sw);
   void check_structure(SlotTime now, const SwitchModel& sw);
 
+  void check_purges(SlotTime now, const SwitchModel& sw,
+                    const SlotResult& result);
+
   Options options_;
   std::unordered_map<PacketId, Shadow> live_;
   std::vector<std::uint64_t> live_per_input_;
@@ -99,10 +114,16 @@ class MatchingAuditor final : public SlotObserver {
   std::vector<SlotTime> last_pair_ts_;     // per (input * N + output)
   std::vector<SlotTime> last_input_ts_;    // single-FIFO whole-queue order
   std::vector<SlotTime> last_output_ts_;   // OQ per-output order
+  // Shadow failure state, rebuilt from the on_fault_event stream.
+  PortSet failed_outputs_;
+  PortSet failed_inputs_;
+  std::vector<PortSet> failed_links_;  // per input
   std::uint64_t copies_in_ = 0;
   std::uint64_t copies_out_ = 0;
+  std::uint64_t copies_purged_ = 0;
   std::uint64_t packets_retired_ = 0;
   std::uint64_t slots_audited_ = 0;
+  std::uint64_t fault_events_seen_ = 0;
 };
 
 }  // namespace fifoms

@@ -37,7 +37,17 @@ void ThreadPool::for_each_index(std::size_t count,
                                 const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Inline mode matches the pooled contract: run everything, rethrow
+    // the first failure afterwards.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
 
@@ -65,6 +75,10 @@ void ThreadPool::for_each_index(std::size_t count,
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this] { return active_ == 0; });
   job_ = nullptr;
+  std::exception_ptr first_error;
+  std::swap(first_error, first_error_);
+  lock.unlock();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop(int self) {
@@ -89,7 +103,14 @@ void ThreadPool::run_shard(int self) {
   std::size_t index;
   while (true) {
     if (pop_front(self, index)) {
-      (*job_)(index);
+      try {
+        (*job_)(index);
+      } catch (...) {
+        // Keep the worker (and the rest of the grid) alive; the first
+        // failure is rethrown to the caller of for_each_index.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
       continue;
     }
     if (!steal_into(self)) return;  // every shard drained

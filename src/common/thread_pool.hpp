@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,12 @@ class ThreadPool {
   /// all indices completed.  fn must be safe to call concurrently for
   /// distinct indices; the same pool can run any number of jobs in
   /// sequence.  Must not be called re-entrantly from inside a job.
+  ///
+  /// An exception thrown by fn never takes a worker (or the process)
+  /// down: every remaining index still runs, and the FIRST exception —
+  /// in completion order — is rethrown here once the job has drained.
+  /// Callers that need per-index failure reporting should catch inside
+  /// fn (the sweep engine does; see sim/experiment.hpp).
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& fn);
 
@@ -74,6 +81,7 @@ class ThreadPool {
   std::condition_variable wake_;
   std::condition_variable done_;
   const std::function<void(std::size_t)>* job_ = nullptr;
+  std::exception_ptr first_error_;  // guarded by mutex_
   std::uint64_t epoch_ = 0;
   int active_ = 0;
   bool stop_ = false;

@@ -19,7 +19,8 @@ void FifomsScheduler::reset(int num_inputs, int num_outputs) {
 
 void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
                                SlotTime /*now*/, SlotMatching& matching,
-                               Rng& rng) {
+                               Rng& rng,
+                               const ScheduleConstraints& constraints) {
   const int num_inputs = static_cast<int>(inputs.size());
   const int num_outputs = matching.num_outputs();
   FIFOMS_ASSERT(num_outputs_ == num_outputs,
@@ -37,8 +38,13 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
 
   // The matching arrives cleared (scheduler contract), so every port
   // starts free; grants peel bits off these masks as rounds progress.
-  PortSet free_inputs = PortSet::all(num_inputs);
-  PortSet free_outputs = PortSet::all(num_outputs);
+  // Failed ports never enter the masks: a dead input sends no requests
+  // and a dead output collects none, so degradation is just smaller
+  // request/grant sets — the round structure is untouched.
+  PortSet free_inputs = PortSet::all(num_inputs) - constraints.failed_inputs;
+  PortSet free_outputs =
+      PortSet::all(num_outputs) - constraints.failed_outputs;
+  const bool link_faults = !constraints.failed_links.empty();
   PortSet requested;
 
   int rounds = 0;
@@ -51,7 +57,8 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
     requested.clear();
     for (PortId input : free_inputs) {
       const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
-      const PortSet eligible = port.occupied() & free_outputs;
+      PortSet eligible = port.occupied() & free_outputs;
+      if (link_faults) eligible -= constraints.link_faults(input);
 
       std::uint64_t smallest = kInfinity;
       for (PortId output : eligible) {
@@ -108,7 +115,8 @@ void FifomsNoSplitScheduler::reset(int /*num_inputs*/, int /*num_outputs*/) {}
 
 void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
                                       SlotTime /*now*/, SlotMatching& matching,
-                                      Rng& rng) {
+                                      Rng& rng,
+                                      const ScheduleConstraints& constraints) {
   const int num_inputs = static_cast<int>(inputs.size());
 
   // Within one input, the earliest packet's address cells are at the HOL of
@@ -117,6 +125,7 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
   // packet's residue.
   order_.clear();
   for (PortId input = 0; input < num_inputs; ++input) {
+    if (constraints.failed_inputs.contains(input)) continue;
     const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
     std::uint64_t smallest = kInfinity;
     for (PortId output : port.occupied())
@@ -131,13 +140,17 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
 
   for (const Entry& entry : order_) {
     const McVoqInput& port = inputs[static_cast<std::size_t>(entry.input)];
-    // Residue of the input's earliest packet.
+    // Residue of the input's earliest packet.  A failed output (or dead
+    // link) in the residue blocks the whole packet: all-or-nothing means
+    // it holds until the fabric recovers.
+    const PortSet blocked = constraints.blocked_outputs(entry.input);
     PortSet residue;
     bool all_free = true;
     for (PortId output : port.occupied()) {
       if (port.hol(output).weight != entry.weight) continue;
       residue.insert(output);
-      if (matching.output_matched(output)) all_free = false;
+      if (matching.output_matched(output) || blocked.contains(output))
+        all_free = false;
     }
     if (!all_free || residue.empty()) continue;  // all-or-nothing
     for (PortId output : residue) matching.add_match(entry.input, output);

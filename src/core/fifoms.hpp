@@ -54,8 +54,10 @@ class FifomsScheduler final : public VoqScheduler {
 
   std::string_view name() const override { return "FIFOMS"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
   const FifomsOptions& options() const { return options_; }
 
@@ -80,8 +82,10 @@ class FifomsNoSplitScheduler final : public VoqScheduler {
  public:
   std::string_view name() const override { return "FIFOMS-nosplit"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
  private:
   struct Entry {

@@ -22,6 +22,16 @@ void SlotMatching::add_match(PortId input, PortId output) {
   ++matched_pairs_;
 }
 
+void SlotMatching::remove_match(PortId input, PortId output) {
+  FIFOMS_ASSERT(input >= 0 && input < num_inputs(), "input out of range");
+  FIFOMS_ASSERT(output >= 0 && output < num_outputs(), "output out of range");
+  PortId& source = output_source_[static_cast<std::size_t>(output)];
+  FIFOMS_ASSERT(source == input, "remove_match of a pair that is not matched");
+  source = kNoPort;
+  input_grants_[static_cast<std::size_t>(input)].erase(output);
+  --matched_pairs_;
+}
+
 PortId SlotMatching::source(PortId output) const {
   FIFOMS_ASSERT(output >= 0 && output < num_outputs(), "output out of range");
   return output_source_[static_cast<std::size_t>(output)];

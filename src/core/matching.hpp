@@ -31,6 +31,11 @@ class SlotMatching {
   /// Panics if the output is already taken.
   void add_match(PortId input, PortId output);
 
+  /// Undo add_match(input, output) — used by the fault layer to drop
+  /// grants that reference a dead port (sanitisation after transient
+  /// grant corruption).  Panics if the pair is not currently matched.
+  void remove_match(PortId input, PortId output);
+
   bool output_matched(PortId output) const {
     return source(output) != kNoPort;
   }

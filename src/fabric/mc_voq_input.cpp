@@ -84,6 +84,13 @@ McVoqInput::Served McVoqInput::serve_hol(PortId output) {
   return served;
 }
 
+void McVoqInput::purge_output(PortId output, std::vector<Served>& out) {
+  // Route every drained cell through serve_hol() so the fanout counters,
+  // the pool and occupied() follow exactly the normal-service transitions
+  // — a purge is indistinguishable from transmission for the bookkeeping.
+  while (!voq_empty(output)) out.push_back(serve_hol(output));
+}
+
 std::size_t McVoqInput::address_cell_count() const {
   std::size_t total = 0;
   for (const auto& queue : voqs_) total += queue.size();

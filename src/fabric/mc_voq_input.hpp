@@ -85,6 +85,14 @@ class McVoqInput {
   };
   Served serve_hol(PortId output);
 
+  /// Drain every address cell queued for `output` (all classes), serving
+  /// each through serve_hol() so fanout counters, the data-cell pool and
+  /// the occupied() set stay exactly consistent.  Used by the purge
+  /// degradation policy when `output` has failed; the drained cells are
+  /// appended to `out` so the caller can account for the discarded
+  /// copies.  No-op when the VOQ is already empty.
+  void purge_output(PortId output, std::vector<Served>& out);
+
   /// Number of live data cells — the paper's queue-size metric for the
   /// multicast VOQ switch ("how many unsent packets an input needs to hold").
   std::size_t data_cell_count() const { return pool_.live_count(); }

@@ -1,0 +1,300 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fifoms::fault {
+
+namespace {
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw FaultError(message);
+}
+
+/// Level tracker shared by plan validation and FaultState: applies one
+/// event, throwing on inconsistent transitions (double-down, up with no
+/// preceding down).
+struct Levels {
+  int num_ports = 0;
+  PortSet outputs;
+  PortSet inputs;
+  std::vector<PortSet> links;  // per input
+  int link_count = 0;
+
+  explicit Levels(int n) : num_ports(n), links(static_cast<std::size_t>(n)) {}
+
+  void apply(const FaultEvent& event) {
+    const std::string where =
+        " (" + to_string(event) + " at slot " + std::to_string(event.slot) +
+        ")";
+    switch (event.kind) {
+      case FaultKind::kOutputDown:
+        require(!outputs.contains(event.port), "output already down" + where);
+        outputs.insert(event.port);
+        break;
+      case FaultKind::kOutputUp:
+        require(outputs.contains(event.port), "output not down" + where);
+        outputs.erase(event.port);
+        break;
+      case FaultKind::kInputDown:
+        require(!inputs.contains(event.port), "input already down" + where);
+        inputs.insert(event.port);
+        break;
+      case FaultKind::kInputUp:
+        require(inputs.contains(event.port), "input not down" + where);
+        inputs.erase(event.port);
+        break;
+      case FaultKind::kLinkDown: {
+        PortSet& row = links[static_cast<std::size_t>(event.port)];
+        require(!row.contains(event.output), "link already down" + where);
+        row.insert(event.output);
+        ++link_count;
+        break;
+      }
+      case FaultKind::kLinkUp: {
+        PortSet& row = links[static_cast<std::size_t>(event.port)];
+        require(row.contains(event.output), "link not down" + where);
+        row.erase(event.output);
+        --link_count;
+        break;
+      }
+      case FaultKind::kGrantCorrupt:
+        break;  // transient: no level state
+    }
+  }
+};
+
+void check_event_shape(const FaultEvent& event, int num_ports) {
+  require(event.slot >= 0, "fault event scheduled at a negative slot");
+  switch (event.kind) {
+    case FaultKind::kOutputDown:
+    case FaultKind::kOutputUp:
+    case FaultKind::kInputDown:
+    case FaultKind::kInputUp:
+      require(event.port >= 0 && event.port < num_ports,
+              "fault event port out of range");
+      break;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      require(event.port >= 0 && event.port < num_ports,
+              "link fault input out of range");
+      require(event.output >= 0 && event.output < num_ports,
+              "link fault output out of range");
+      break;
+    case FaultKind::kGrantCorrupt:
+      break;  // port fields unused; the salt picks the corrupted wire
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutputDown: return "output-down";
+    case FaultKind::kOutputUp: return "output-up";
+    case FaultKind::kInputDown: return "input-down";
+    case FaultKind::kInputUp: return "input-up";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kGrantCorrupt: return "grant-corrupt";
+  }
+  return "unknown";
+}
+
+std::string to_string(const FaultEvent& event) {
+  std::string text = fault_kind_name(event.kind);
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      text += " " + std::to_string(event.port) + "->" +
+              std::to_string(event.output);
+      break;
+    case FaultKind::kGrantCorrupt:
+      break;
+    default:
+      text += " " + std::to_string(event.port);
+      break;
+  }
+  return text;
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events, int num_ports,
+                     std::uint64_t seed)
+    : events_(std::move(events)), num_ports_(num_ports), seed_(seed) {
+  require(num_ports > 0 && num_ports <= kMaxPorts,
+          "fault plan port count out of range");
+  for (const FaultEvent& event : events_) check_event_shape(event, num_ports);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.slot < b.slot;
+                   });
+  Levels levels(num_ports);
+  for (const FaultEvent& event : events_) levels.apply(event);
+}
+
+FaultPlan FaultPlan::rolling_port_flaps(int num_ports, SlotTime first_down,
+                                        SlotTime period, SlotTime down_slots,
+                                        SlotTime horizon) {
+  require(period > 0 && down_slots > 0, "flap period/duration must be > 0");
+  require(down_slots < period * num_ports,
+          "flap would re-fail an output before it recovered");
+  std::vector<FaultEvent> events;
+  SlotTime slot = first_down;
+  for (int k = 0; slot < horizon; ++k, slot += period) {
+    const PortId output = static_cast<PortId>(k % num_ports);
+    events.push_back({slot, FaultKind::kOutputDown, output, kNoPort});
+    events.push_back({slot + down_slots, FaultKind::kOutputUp, output,
+                      kNoPort});
+  }
+  return FaultPlan(std::move(events), num_ports);
+}
+
+FaultPlan FaultPlan::correlated_line_card_loss(int num_ports,
+                                               std::uint64_t seed,
+                                               SlotTime down_at,
+                                               SlotTime up_at, int cards) {
+  require(cards > 0 && cards <= num_ports, "card count out of range");
+  require(down_at < up_at, "line cards must recover after they fail");
+  // Seeded partial Fisher-Yates: the failing card set is a pure function
+  // of (seed), independent of any simulation stream.
+  std::vector<PortId> ports(static_cast<std::size_t>(num_ports));
+  std::iota(ports.begin(), ports.end(), PortId{0});
+  Rng pick_rng(splitmix64(seed, 0));
+  std::vector<FaultEvent> events;
+  for (int k = 0; k < cards; ++k) {
+    const auto j = static_cast<std::size_t>(k) +
+                   pick_rng.next_below(static_cast<std::uint64_t>(
+                       num_ports - k));
+    std::swap(ports[static_cast<std::size_t>(k)], ports[j]);
+    const PortId input = ports[static_cast<std::size_t>(k)];
+    events.push_back({down_at, FaultKind::kInputDown, input, kNoPort});
+    events.push_back({up_at, FaultKind::kInputUp, input, kNoPort});
+  }
+  return FaultPlan(std::move(events), num_ports, seed);
+}
+
+FaultPlan FaultPlan::fault_storm(int num_ports, std::uint64_t seed,
+                                 SlotTime horizon) {
+  require(horizon >= 64, "fault storm needs at least 64 slots");
+  Rng storm_rng(splitmix64(seed, 1));
+  std::vector<FaultEvent> events;
+
+  // Rolling output flaps over the whole horizon.
+  const SlotTime period = std::max<SlotTime>(16, horizon / (2 * num_ports));
+  const SlotTime down = std::max<SlotTime>(4, period / 2);
+  const FaultPlan flaps =
+      rolling_port_flaps(num_ports, period / 2, period, down, horizon);
+  events = flaps.events();
+
+  // A few crosspoint link faults: at most one per input, so the pairs
+  // cannot collide regardless of the drawn outputs.
+  const int link_faults = std::min(num_ports, 4);
+  for (int k = 0; k < link_faults; ++k) {
+    const auto input = static_cast<PortId>(k);
+    const auto output = static_cast<PortId>(
+        storm_rng.next_below(static_cast<std::uint64_t>(num_ports)));
+    const auto start = static_cast<SlotTime>(
+        storm_rng.next_below(static_cast<std::uint64_t>(horizon / 2)));
+    const auto duration = static_cast<SlotTime>(
+        1 + storm_rng.next_below(static_cast<std::uint64_t>(horizon / 4)));
+    events.push_back({start, FaultKind::kLinkDown, input, output});
+    events.push_back({start + duration, FaultKind::kLinkUp, input, output});
+  }
+
+  // One brief correlated input loss in the middle of the storm.
+  const auto lost_input = static_cast<PortId>(
+      storm_rng.next_below(static_cast<std::uint64_t>(num_ports)));
+  events.push_back({horizon / 2, FaultKind::kInputDown, lost_input, kNoPort});
+  events.push_back({horizon / 2 + horizon / 8, FaultKind::kInputUp,
+                    lost_input, kNoPort});
+
+  // Transient grant corruption sprinkled across the horizon.
+  for (SlotTime slot = 32; slot < horizon; slot += 64)
+    events.push_back({slot, FaultKind::kGrantCorrupt, kNoPort, kNoPort});
+
+  return FaultPlan(std::move(events), num_ports, seed);
+}
+
+FaultState::FaultState(const FaultPlan& plan)
+    : plan_(&plan),
+      failed_links_(static_cast<std::size_t>(
+          plan.num_ports() > 0 ? plan.num_ports() : 0)) {}
+
+std::span<const FaultEvent> FaultState::advance(SlotTime now) {
+  if (now < last_slot_)
+    throw FaultError("FaultState::advance called with a past slot");
+  last_slot_ = now;
+  outputs_downed_now_.clear();
+  outputs_restored_now_.clear();
+  applied_now_.clear();
+  corruptions_now_.clear();
+
+  const auto& events = plan_->events();
+  // Catch up through `now`: callers that skip slots still see a
+  // consistent level view (the edge view then covers the whole gap).
+  while (cursor_ < events.size() && events[cursor_].slot <= now) {
+    const FaultEvent& event = events[cursor_++];
+    switch (event.kind) {
+      case FaultKind::kOutputDown:
+        failed_outputs_.insert(event.port);
+        outputs_downed_now_.insert(event.port);
+        break;
+      case FaultKind::kOutputUp:
+        failed_outputs_.erase(event.port);
+        outputs_restored_now_.insert(event.port);
+        break;
+      case FaultKind::kInputDown:
+        failed_inputs_.insert(event.port);
+        break;
+      case FaultKind::kInputUp:
+        failed_inputs_.erase(event.port);
+        break;
+      case FaultKind::kLinkDown:
+        failed_links_[static_cast<std::size_t>(event.port)].insert(
+            event.output);
+        ++link_fault_count_;
+        break;
+      case FaultKind::kLinkUp:
+        failed_links_[static_cast<std::size_t>(event.port)].erase(
+            event.output);
+        --link_fault_count_;
+        break;
+      case FaultKind::kGrantCorrupt:
+        if (event.slot == now) corruptions_now_.push_back(event);
+        break;
+    }
+    applied_now_.push_back(event);
+  }
+  return applied_now_;
+}
+
+std::span<const PortSet> FaultState::failed_links() const {
+  if (link_fault_count_ == 0) return {};
+  return failed_links_;
+}
+
+PortSet FaultState::link_faults_for(PortId input) const {
+  if (link_fault_count_ == 0) return {};
+  const auto i = static_cast<std::size_t>(input);
+  return i < failed_links_.size() ? failed_links_[i] : PortSet{};
+}
+
+bool FaultState::link_failed(PortId input, PortId output) const {
+  if (link_fault_count_ == 0) return false;
+  const auto i = static_cast<std::size_t>(input);
+  return i < failed_links_.size() && failed_links_[i].contains(output);
+}
+
+bool FaultState::active() const {
+  return !failed_outputs_.empty() || !failed_inputs_.empty() ||
+         link_fault_count_ > 0 || !corruptions_now_.empty();
+}
+
+std::uint64_t FaultState::corruption_salt(SlotTime now, std::size_t k) const {
+  const std::uint64_t slot_key =
+      plan_->seed() ^ (0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(now) + 1));
+  return splitmix64(slot_key, static_cast<std::uint64_t>(k));
+}
+
+}  // namespace fifoms::fault

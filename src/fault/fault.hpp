@@ -1,0 +1,156 @@
+// Deterministic fault injection: FaultPlan (a reproducible schedule of
+// fabric failures) and FaultState (the per-slot runtime view the switch
+// models and the simulator consume).
+//
+// The plan is immutable and fully determined by its inputs — scenario
+// builders derive every random choice from a seed through the same
+// splitmix64 streams the sweep engine uses, so a fault storm replays
+// bit-identically under any thread count.  FaultState::advance(now)
+// applies the events scheduled for `now` and exposes both the level view
+// (which ports/links are currently down) and the edge view (what changed
+// this slot) that the auditor and the degradation logic need.
+//
+// Error handling contract: this subsystem is exercised while the fabric
+// is already degraded, so it must never take the process down.  All
+// validation throws FaultError; panic()/FIFOMS_ASSERT/abort are banned
+// here by the `no-abort-in-fault-path` lint rule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fifoms::fault {
+
+/// Thrown on malformed plans or misuse of FaultState.  Deliberately an
+/// exception, not a panic: fault handling must degrade, never abort.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind {
+  kOutputDown,    ///< output port stops accepting cells
+  kOutputUp,      ///< output port restored
+  kInputDown,     ///< input line card stops transmitting (and arriving)
+  kInputUp,       ///< input line card restored
+  kLinkDown,      ///< one crosspoint (input, output) link dies
+  kLinkUp,        ///< crosspoint link restored
+  kGrantCorrupt,  ///< one grant wire flips for this slot (transient)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  SlotTime slot = 0;
+  FaultKind kind = FaultKind::kOutputDown;
+  /// The affected output (kOutput*) or input (kInput*, kLink*).
+  PortId port = kNoPort;
+  /// The crosspoint column for kLink*; unused otherwise.
+  PortId output = kNoPort;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+std::string to_string(const FaultEvent& event);
+
+/// An immutable, validated, slot-sorted schedule of fault events.
+class FaultPlan {
+ public:
+  /// The empty plan (no faults ever).
+  FaultPlan() = default;
+
+  /// Validates port ranges, kind-specific fields and down/up consistency
+  /// (no double-down, no up without a preceding down); throws FaultError.
+  /// Events are stable-sorted by slot.  `seed` keys the deterministic
+  /// side effects of transient events (grant corruption).
+  FaultPlan(std::vector<FaultEvent> events, int num_ports,
+            std::uint64_t seed = 0);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  int num_ports() const { return num_ports_; }
+  std::uint64_t seed() const { return seed_; }
+  bool empty() const { return events_.empty(); }
+
+  // ---- Scenario builders (docs/FAULTS.md) -------------------------------
+
+  /// One output at a time goes down for `down_slots`, cycling through all
+  /// ports every `period` slots until `horizon`.
+  static FaultPlan rolling_port_flaps(int num_ports, SlotTime first_down,
+                                      SlotTime period, SlotTime down_slots,
+                                      SlotTime horizon);
+
+  /// `cards` input line cards (chosen by seed) fail together at `down_at`
+  /// and recover together at `up_at` — correlated loss.
+  static FaultPlan correlated_line_card_loss(int num_ports,
+                                             std::uint64_t seed,
+                                             SlotTime down_at, SlotTime up_at,
+                                             int cards);
+
+  /// Adversarial mix until `horizon`: output flaps, link faults and
+  /// transient grant corruption, all drawn from `seed`.
+  static FaultPlan fault_storm(int num_ports, std::uint64_t seed,
+                               SlotTime horizon);
+
+ private:
+  std::vector<FaultEvent> events_;
+  int num_ports_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+/// Runtime cursor over a FaultPlan.  advance(now) must be called with
+/// non-decreasing slots; it applies every event scheduled at `now` and
+/// resets the per-slot edge views.
+class FaultState {
+ public:
+  explicit FaultState(const FaultPlan& plan);
+
+  /// Apply the events scheduled at `now`; returns them (empty span on a
+  /// quiet slot).  Throws FaultError if `now` moves backwards.
+  std::span<const FaultEvent> advance(SlotTime now);
+
+  // ---- Level view (current failure state) -------------------------------
+  const PortSet& failed_outputs() const { return failed_outputs_; }
+  const PortSet& failed_inputs() const { return failed_inputs_; }
+  /// Per-input dead-link masks; empty span while no link fault is active.
+  std::span<const PortSet> failed_links() const;
+  bool link_failed(PortId input, PortId output) const;
+  /// Dead-link mask of one input (empty set while no link fault is active).
+  PortSet link_faults_for(PortId input) const;
+  /// Any failure level or transient event active this slot?
+  bool active() const;
+
+  // ---- Edge view (what changed in the last advance()) -------------------
+  const PortSet& outputs_downed_now() const { return outputs_downed_now_; }
+  const PortSet& outputs_restored_now() const {
+    return outputs_restored_now_;
+  }
+  std::span<const FaultEvent> grant_corruptions() const {
+    return corruptions_now_;
+  }
+
+  /// Deterministic salt for the k-th grant corruption of slot `now`
+  /// (a pure function of the plan seed, never of any simulation RNG).
+  std::uint64_t corruption_salt(SlotTime now, std::size_t k) const;
+
+ private:
+  const FaultPlan* plan_;
+  std::size_t cursor_ = 0;
+  SlotTime last_slot_ = -1;
+  PortSet failed_outputs_;
+  PortSet failed_inputs_;
+  std::vector<PortSet> failed_links_;  // per input
+  int link_fault_count_ = 0;
+  PortSet outputs_downed_now_;
+  PortSet outputs_restored_now_;
+  std::vector<FaultEvent> applied_now_;
+  std::vector<FaultEvent> corruptions_now_;
+};
+
+}  // namespace fifoms::fault

@@ -28,24 +28,31 @@ std::uint64_t FifomsControlUnit::total_comparisons() const {
 
 void FifomsControlUnit::schedule(std::span<const McVoqInput> inputs,
                                  SlotTime /*now*/, SlotMatching& matching,
-                                 Rng& /*rng*/) {
+                                 Rng& /*rng*/,
+                                 const ScheduleConstraints& constraints) {
   FIFOMS_ASSERT(static_cast<int>(inputs.size()) == num_inputs_,
                 "FifomsControlUnit::reset not called for this switch size");
 
   int rounds = 0;
   while (true) {
     // ---- Input-side comparator trees: find each free input's smallest
-    // HOL time stamp among free outputs.
+    // HOL time stamp among free outputs.  Fault degradation in hardware
+    // is a disable wire: a failed port's lanes are simply never set, so
+    // the datapath stays bit-equivalent to the behavioural scheduler
+    // under the same constraints.
     bool any_request = false;
     for (auto& tree : output_trees_) tree.clear_all();
 
     for (PortId input = 0; input < num_inputs_; ++input) {
       if (matching.input_matched(input)) continue;
+      if (constraints.failed_inputs.contains(input)) continue;
+      const PortSet blocked = constraints.blocked_outputs(input);
       ComparatorTree& tree = input_trees_[static_cast<std::size_t>(input)];
       tree.clear_all();
       const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
       for (PortId output = 0; output < num_outputs_; ++output) {
-        if (matching.output_matched(output) || port.voq_empty(output))
+        if (matching.output_matched(output) || port.voq_empty(output) ||
+            blocked.contains(output))
           continue;
         tree.set_lane(output, port.hol(output).weight);
       }
@@ -55,7 +62,8 @@ void FifomsControlUnit::schedule(std::span<const McVoqInput> inputs,
       // ---- Request wires: every HOL cell carrying the winning time
       // stamp raises its request line toward its output's tree.
       for (PortId output = 0; output < num_outputs_; ++output) {
-        if (matching.output_matched(output) || port.voq_empty(output))
+        if (matching.output_matched(output) || port.voq_empty(output) ||
+            blocked.contains(output))
           continue;
         if (port.hol(output).weight != winner.key) continue;
         output_trees_[static_cast<std::size_t>(output)].set_lane(input,

@@ -32,8 +32,10 @@ class FifomsControlUnit final : public VoqScheduler {
  public:
   std::string_view name() const override { return "FIFOMS-hw"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
   /// Comparator levels traversed per round: input tree + output tree.
   int levels_per_round() const;

@@ -137,6 +137,8 @@ std::string sweep_to_json(const std::vector<PointSummary>& points) {
     json.value(p.replications);
     json.key("unstable_count");
     json.value(p.unstable_count);
+    json.key("failed_count");
+    json.value(p.failed_count);
     json.key("input_delay");
     json.value(p.input_delay);
     json.key("output_delay");

@@ -1,0 +1,43 @@
+// ScheduleConstraints: the fault view a scheduler must respect this slot.
+//
+// A default-constructed value means "no faults" and every scheduler is
+// required to behave bit-identically to its pre-fault implementation in
+// that case (identical RNG draw sequence included) — the golden regression
+// suite and the sweep byte-identity tests depend on it.  When faults are
+// active, schedulers simply subtract the failed sets from their request
+// and grant masks: a failed input never transmits, a failed output never
+// receives, and a dead crosspoint (input, output) link is skipped even
+// when both of its endpoints are up.
+#pragma once
+
+#include <span>
+
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+struct ScheduleConstraints {
+  PortSet failed_inputs;
+  PortSet failed_outputs;
+  /// Per-input dead-crosspoint masks; an empty span means no link faults.
+  std::span<const PortSet> failed_links;
+
+  bool any() const {
+    return !failed_inputs.empty() || !failed_outputs.empty() ||
+           !failed_links.empty();
+  }
+
+  /// Outputs unreachable from `input` through its crosspoint links.
+  PortSet link_faults(PortId input) const {
+    const auto i = static_cast<std::size_t>(input);
+    return i < failed_links.size() ? failed_links[i] : PortSet{};
+  }
+
+  /// Everything `input` must not request: dead outputs plus its dead links.
+  PortSet blocked_outputs(PortId input) const {
+    return failed_outputs | link_faults(input);
+  }
+};
+
+}  // namespace fifoms

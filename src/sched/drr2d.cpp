@@ -11,7 +11,8 @@ void Drr2dScheduler::reset(int num_inputs, int num_outputs) {
 
 void Drr2dScheduler::schedule(std::span<const McVoqInput> inputs,
                               SlotTime /*now*/, SlotMatching& matching,
-                              Rng& /*rng*/) {
+                              Rng& /*rng*/,
+                              const ScheduleConstraints& constraints) {
   FIFOMS_ASSERT(static_cast<int>(inputs.size()) == size_,
                 "Drr2dScheduler::reset not called for this switch size");
 
@@ -25,6 +26,11 @@ void Drr2dScheduler::schedule(std::span<const McVoqInput> inputs,
     for (PortId input = 0; input < size_; ++input) {
       const PortId output = static_cast<PortId>((input + k) % size_);
       if (matching.input_matched(input) || matching.output_matched(output))
+        continue;
+      // Fault degradation: a dead endpoint or crosspoint stays unmatched.
+      if (constraints.failed_inputs.contains(input) ||
+          constraints.failed_outputs.contains(output) ||
+          constraints.link_faults(input).contains(output))
         continue;
       if (inputs[static_cast<std::size_t>(input)].voq_empty(output)) continue;
       matching.add_match(input, output);

@@ -21,8 +21,10 @@ class Drr2dScheduler final : public VoqScheduler {
  public:
   std::string_view name() const override { return "2DRR"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
   /// Diagonal visited first in the current slot (exposed for tests).
   int first_diagonal() const { return first_diagonal_; }

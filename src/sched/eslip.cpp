@@ -1,5 +1,7 @@
 #include "sched/eslip.hpp"
 
+#include "fault/fault.hpp"
+
 namespace fifoms {
 
 namespace {
@@ -41,6 +43,12 @@ void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
                              std::vector<Mode>& mode) {
   // Even slots prefer multicast at contended outputs, odd slots unicast.
   const bool multicast_preferred = (now % 2) == 0;
+  // Fault degradation: dead outputs collect no requests, dead inputs stay
+  // silent and dead crosspoints are skipped; queues hold until recovery.
+  const bool faulted = faults_ != nullptr && faults_->active();
+  const PortSet dead_outputs =
+      faulted ? faults_->failed_outputs() : PortSet{};
+  const PortSet dead_inputs = faulted ? faults_->failed_inputs() : PortSet{};
 
   int rounds = 0;
   bool progressed = true;
@@ -57,10 +65,13 @@ void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
 
     for (PortId output = 0; output < num_ports_; ++output) {
       if (matching.output_matched(output)) continue;
+      if (dead_outputs.contains(output)) continue;
       PortSet multicast_req, unicast_req;
       for (PortId input = 0; input < num_ports_; ++input) {
         const Mode m = mode[static_cast<std::size_t>(input)];
         if (m == Mode::kUnicast) continue;  // committed to a unicast cell
+        if (dead_inputs.contains(input)) continue;
+        if (faulted && faults_->link_failed(input, output)) continue;
         const HybridInput& port = inputs_[static_cast<std::size_t>(input)];
         // An input already matched in multicast mode may still collect
         // additional outputs for the SAME cell (fanout accumulation).

@@ -51,6 +51,9 @@ class EslipSwitch final : public SwitchModel {
 
   const HybridInput& input(PortId port) const;
   PortId multicast_pointer() const { return multicast_ptr_; }
+  void set_fault_state(const fault::FaultState* faults) override {
+    faults_ = faults;
+  }
 
  private:
   enum class Mode { kNone, kUnicast, kMulticast };
@@ -60,6 +63,7 @@ class EslipSwitch final : public SwitchModel {
 
   int num_ports_;
   int max_iterations_;
+  const fault::FaultState* faults_ = nullptr;
   std::vector<HybridInput> inputs_;
   Crossbar crossbar_;
   SlotMatching matching_;

@@ -27,8 +27,10 @@ class IlqfScheduler final : public VoqScheduler {
 
   std::string_view name() const override { return "iLQF"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
  private:
   IlqfOptions options_;

@@ -24,7 +24,8 @@ PortId round_robin_pick(const PortSet& set, PortId start, int modulus) {
 
 void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
                               SlotTime /*now*/, SlotMatching& matching,
-                              Rng& /*rng*/) {
+                              Rng& /*rng*/,
+                              const ScheduleConstraints& constraints) {
   const int num_inputs = static_cast<int>(inputs.size());
   const int num_outputs = matching.num_outputs();
   FIFOMS_ASSERT(static_cast<int>(accept_ptr_.size()) == num_inputs &&
@@ -32,9 +33,13 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
                 "IslipScheduler::reset not called for this switch size");
 
   // The matching arrives cleared (scheduler contract); accepts below peel
-  // bits off these masks as the iterations progress.
-  PortSet free_inputs = PortSet::all(num_inputs);
-  PortSet free_outputs = PortSet::all(num_outputs);
+  // bits off these masks as the iterations progress.  Failed ports never
+  // enter the masks (fault degradation: dead inputs stay silent, dead
+  // outputs collect no requests).
+  PortSet free_inputs = PortSet::all(num_inputs) - constraints.failed_inputs;
+  PortSet free_outputs =
+      PortSet::all(num_outputs) - constraints.failed_outputs;
+  const bool link_faults = !constraints.failed_links.empty();
 
   int rounds = 0;
   bool progressed = true;
@@ -51,8 +56,9 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
     for (auto& set : grants_to_input_) set.clear();
     PortSet requested;
     for (PortId input : free_inputs) {
-      const PortSet eligible =
+      PortSet eligible =
           inputs[static_cast<std::size_t>(input)].occupied() & free_outputs;
+      if (link_faults) eligible -= constraints.link_faults(input);
       for (PortId output : eligible) {
         auto& requesters = requesters_[static_cast<std::size_t>(output)];
         if (!requested.contains(output)) {

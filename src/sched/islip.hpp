@@ -36,8 +36,10 @@ class IslipScheduler final : public VoqScheduler {
 
   std::string_view name() const override { return "iSLIP"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
   /// Exposed for tests: current pointer positions.
   const std::vector<PortId>& grant_pointers() const { return grant_ptr_; }

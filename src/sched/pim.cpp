@@ -8,7 +8,7 @@ void PimScheduler::reset(int num_inputs, int /*num_outputs*/) {
 
 void PimScheduler::schedule(std::span<const McVoqInput> inputs,
                             SlotTime /*now*/, SlotMatching& matching,
-                            Rng& rng) {
+                            Rng& rng, const ScheduleConstraints& constraints) {
   const int num_inputs = static_cast<int>(inputs.size());
   const int num_outputs = matching.num_outputs();
 
@@ -18,14 +18,18 @@ void PimScheduler::schedule(std::span<const McVoqInput> inputs,
          (options_.max_iterations == 0 || rounds < options_.max_iterations)) {
     progressed = false;
 
-    // Grant: each free output picks a random requesting input.
+    // Grant: each free output picks a random requesting input.  Failed
+    // ports and dead links are skipped (fault degradation).
     for (auto& set : grants_to_input_) set.clear();
     bool any_grant = false;
     for (PortId output = 0; output < num_outputs; ++output) {
       if (matching.output_matched(output)) continue;
+      if (constraints.failed_outputs.contains(output)) continue;
       PortSet requesters;
       for (PortId input = 0; input < num_inputs; ++input) {
         if (matching.input_matched(input)) continue;
+        if (constraints.failed_inputs.contains(input)) continue;
+        if (constraints.link_faults(input).contains(output)) continue;
         if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
           requesters.insert(input);
       }

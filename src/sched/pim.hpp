@@ -25,8 +25,10 @@ class PimScheduler final : public VoqScheduler {
 
   std::string_view name() const override { return "PIM"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
  private:
   PimOptions options_;

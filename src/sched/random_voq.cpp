@@ -8,14 +8,18 @@ void RandomVoqScheduler::reset(int num_inputs, int /*num_outputs*/) {
 
 void RandomVoqScheduler::schedule(std::span<const McVoqInput> inputs,
                                   SlotTime /*now*/, SlotMatching& matching,
-                                  Rng& rng) {
+                                  Rng& rng,
+                                  const ScheduleConstraints& constraints) {
   const int num_inputs = static_cast<int>(inputs.size());
   const int num_outputs = matching.num_outputs();
 
   for (auto& set : grants_to_input_) set.clear();
   for (PortId output = 0; output < num_outputs; ++output) {
+    if (constraints.failed_outputs.contains(output)) continue;
     PortSet requesters;
     for (PortId input = 0; input < num_inputs; ++input) {
+      if (constraints.failed_inputs.contains(input)) continue;
+      if (constraints.link_faults(input).contains(output)) continue;
       if (!inputs[static_cast<std::size_t>(input)].voq_empty(output))
         requesters.insert(input);
     }

@@ -16,8 +16,10 @@ class RandomVoqScheduler final : public VoqScheduler {
  public:
   std::string_view name() const override { return "Random"; }
   void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
   void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                SlotMatching& matching, Rng& rng) override;
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
 
  private:
   std::vector<PortSet> grants_to_input_;

@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "core/matching.hpp"
 #include "fabric/mc_voq_input.hpp"
+#include "sched/constraints.hpp"
 
 namespace fifoms {
 
@@ -31,8 +32,19 @@ class VoqScheduler {
   /// Compute the matching for the current slot.  `matching` arrives
   /// cleared to the correct dimensions; the scheduler must also set
   /// matching.rounds to the number of iterative rounds it used.
+  /// `constraints` carries the fault view: failed inputs never transmit,
+  /// failed outputs and dead links are never granted.  With the default
+  /// (empty) constraints a scheduler must behave bit-identically to its
+  /// unconstrained implementation, identical RNG draws included.
   virtual void schedule(std::span<const McVoqInput> inputs, SlotTime now,
-                        SlotMatching& matching, Rng& rng) = 0;
+                        SlotMatching& matching, Rng& rng,
+                        const ScheduleConstraints& constraints) = 0;
+
+  /// Fault-free convenience overload (the pre-fault API).
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng) {
+    schedule(inputs, now, matching, rng, ScheduleConstraints{});
+  }
 };
 
 }  // namespace fifoms

@@ -1,5 +1,7 @@
 #include "sim/cioq_switch.hpp"
 
+#include "fault/fault.hpp"
+
 namespace fifoms {
 
 CioqSwitch::CioqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler,
@@ -35,10 +37,23 @@ void CioqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
   int total_rounds = 0;
   int crossed = 0;
 
-  // S fabric phases: schedule + cross into the output FIFOs.
+  // S fabric phases: schedule + cross into the output FIFOs.  Under
+  // faults every phase sees the same constraints; the output FIFOs of
+  // dead ports keep buffering (hold semantics) but stop draining below.
+  const bool faulted = faults_ != nullptr && faults_->active();
+  ScheduleConstraints constraints;
+  if (faulted) {
+    constraints.failed_inputs = faults_->failed_inputs();
+    constraints.failed_outputs = faults_->failed_outputs();
+    constraints.failed_links = faults_->failed_links();
+  }
   for (int phase = 0; phase < speedup_; ++phase) {
     matching_.reset(num_ports_, num_ports_);
-    scheduler_->schedule(inputs_, now, matching_, rng);
+    if (faulted) {
+      scheduler_->schedule(inputs_, now, matching_, rng, constraints);
+    } else {
+      scheduler_->schedule(inputs_, now, matching_, rng);
+    }
     matching_.validate();
     if (matching_.matched_pairs() == 0) break;  // nothing left to cross
     crossbar_.configure(matching_.input_grant_sets());
@@ -62,8 +77,10 @@ void CioqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
     total_rounds += matching_.rounds;
   }
 
-  // Line side: each output transmits one cell per slot.
+  // Line side: each output transmits one cell per slot (a failed output's
+  // line is silent until it recovers).
   for (PortId output = 0; output < num_ports_; ++output) {
+    if (faulted && faults_->failed_outputs().contains(output)) continue;
     OutputFifo& queue = outputs_[static_cast<std::size_t>(output)];
     if (queue.empty()) continue;
     const OutputCell cell = queue.pop();

@@ -45,8 +45,12 @@ class CioqSwitch final : public SwitchModel {
 
   std::size_t output_occupancy(PortId port) const;
   const McVoqInput& input(PortId port) const;
+  void set_fault_state(const fault::FaultState* faults) override {
+    faults_ = faults;
+  }
 
  private:
+  const fault::FaultState* faults_ = nullptr;
   int num_ports_;
   int speedup_;
   std::string label_;

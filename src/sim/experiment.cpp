@@ -22,16 +22,23 @@ namespace fifoms {
 
 namespace {
 
-/// Pool one (algorithm, load) point from its replications.
+/// Pool one (algorithm, load) point from its replications.  `failed[i]`
+/// marks quarantined replications; they contribute to no statistic.
 PointSummary summarise(const std::string& algorithm, double load,
-                       const std::vector<SimResult>& runs) {
+                       const std::vector<SimResult>& runs,
+                       const std::vector<char>& failed) {
   PointSummary point;
   point.algorithm = algorithm;
   point.load = load;
   point.replications = static_cast<int>(runs.size());
 
   RunningStat in_delay, out_delay, out_p99, q_mean, q_max, r_busy, r_all, thr;
-  for (const SimResult& run : runs) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (failed[i]) {
+      ++point.failed_count;
+      continue;  // quarantined cell: its SimResult is a default object
+    }
+    const SimResult& run = runs[i];
     if (run.unstable) {
       ++point.unstable_count;
       continue;  // delay numbers of a diverging run are meaningless
@@ -48,7 +55,8 @@ PointSummary summarise(const std::string& algorithm, double load,
   if (in_delay.empty()) {
     // Every replication diverged: report throughput anyway (it saturates
     // at the capacity of the scheduler), leave delays at zero.
-    for (const SimResult& run : runs) thr.add(run.throughput);
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      if (!failed[i]) thr.add(runs[i].throughput);
   }
   point.input_delay = in_delay.mean();
   point.output_delay = out_delay.mean();
@@ -67,10 +75,12 @@ PointSummary summarise(const std::string& algorithm, double load,
 
 std::vector<PointSummary> run_sweep(const SweepConfig& config,
                                     const std::vector<SwitchFactory>& switches,
-                                    const TrafficFactory& traffic) {
+                                    const TrafficFactory& traffic,
+                                    std::vector<CellOutcome>* outcomes) {
   FIFOMS_ASSERT(!config.loads.empty(), "sweep without load points");
   FIFOMS_ASSERT(config.replications > 0, "sweep without replications");
   FIFOMS_ASSERT(config.threads >= 0, "negative thread count");
+  FIFOMS_ASSERT(config.cell_attempts >= 1, "cell_attempts must be >= 1");
 
   // Flatten the (algorithm, load, replication) grid.  Every task's seed
   // is a pure function of its coordinates, so any execution order — and
@@ -89,23 +99,50 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
         tasks.push_back(Task{s, l, rep});
 
   std::vector<SimResult> results(tasks.size());
+  std::vector<CellOutcome> cell_outcomes(tasks.size());
   auto run_task = [&](std::size_t task_index) {
     const Task& task = tasks[task_index];
-    const SwitchFactory& factory = switches[task.switch_index];
-    const double load = config.loads[task.load_index];
-    auto sw = factory.make(config.num_ports);
-    auto model = traffic(load);
-    FIFOMS_ASSERT(model->num_ports() == config.num_ports,
-                  "traffic factory built wrong port count");
-    SimConfig sim_config;
-    sim_config.total_slots = config.slots;
-    sim_config.warmup_fraction = config.warmup_fraction;
-    sim_config.seed =
-        derive_seed(config.master_seed, task.load_index,
-                    static_cast<std::uint64_t>(task.replication));
-    sim_config.stability = config.stability;
-    Simulator simulator(*sw, *model, sim_config);
-    results[task_index] = simulator.run();
+    CellOutcome& outcome = cell_outcomes[task_index];
+    outcome.switch_index = task.switch_index;
+    outcome.load_index = task.load_index;
+    outcome.replication = task.replication;
+
+    // Bounded retry on the cell's IDENTICAL RNG stream, then quarantine.
+    // Failures never escape to the pool: the rest of the grid — and the
+    // byte-identity of every other cell's result — is unaffected.
+    for (int attempt = 0; attempt < config.cell_attempts; ++attempt) {
+      outcome.attempts = attempt + 1;
+      try {
+        if (config.cell_probe) config.cell_probe(task_index, attempt);
+        const SwitchFactory& factory = switches[task.switch_index];
+        const double load = config.loads[task.load_index];
+        auto sw = factory.make(config.num_ports);
+        auto model = traffic(load);
+        FIFOMS_ASSERT(model->num_ports() == config.num_ports,
+                      "traffic factory built wrong port count");
+        SimConfig sim_config;
+        sim_config.total_slots = config.slots;
+        sim_config.warmup_fraction = config.warmup_fraction;
+        sim_config.seed =
+            derive_seed(config.master_seed, task.load_index,
+                        static_cast<std::uint64_t>(task.replication));
+        sim_config.stability = config.stability;
+        sim_config.fault_plan = config.fault_plan;
+        sim_config.wall_limit_ms = config.cell_timeout_ms;
+        Simulator simulator(*sw, *model, sim_config);
+        results[task_index] = simulator.run();
+        outcome.failed = false;
+        outcome.error.clear();
+        return;
+      } catch (const std::exception& e) {
+        outcome.failed = true;
+        outcome.error = e.what();
+      } catch (...) {
+        outcome.failed = true;
+        outcome.error = "unknown exception";
+      }
+    }
+    results[task_index] = SimResult{};  // quarantined: inert placeholder
   };
 
   // Work-stealing pool: cells vary wildly in cost (unstable runs abort
@@ -121,21 +158,27 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
   for (std::size_t s = 0; s < switches.size(); ++s) {
     for (std::size_t l = 0; l < config.loads.size(); ++l) {
       std::vector<SimResult> runs;
+      std::vector<char> failed;
       runs.reserve(static_cast<std::size_t>(config.replications));
-      for (int rep = 0; rep < config.replications; ++rep)
+      failed.reserve(static_cast<std::size_t>(config.replications));
+      for (int rep = 0; rep < config.replications; ++rep) {
+        failed.push_back(cell_outcomes[task_index].failed ? 1 : 0);
         runs.push_back(std::move(results[task_index++]));
+      }
       summaries.push_back(
-          summarise(switches[s].label, config.loads[l], runs));
+          summarise(switches[s].label, config.loads[l], runs, failed));
       if (config.verbose) {
         const PointSummary& point = summaries.back();
         std::fprintf(stderr,
-                     "  %-16s load=%.3f  in=%.2f out=%.2f q=%.2f%s\n",
+                     "  %-16s load=%.3f  in=%.2f out=%.2f q=%.2f%s%s\n",
                      point.algorithm.c_str(), point.load, point.input_delay,
                      point.output_delay, point.queue_mean,
-                     point.unstable() ? "  UNSTABLE" : "");
+                     point.unstable() ? "  UNSTABLE" : "",
+                     point.failed_count > 0 ? "  FAILED-CELLS" : "");
       }
     }
   }
+  if (outcomes != nullptr) *outcomes = std::move(cell_outcomes);
   return summaries;
 }
 

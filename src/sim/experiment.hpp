@@ -46,6 +46,37 @@ struct SweepConfig {
   int threads = 1;
   /// Print one progress line per finished point to stderr.
   bool verbose = false;
+
+  // ---- Hardening (docs/FAULTS.md, "hardened sweep engine") --------------
+
+  /// Attempts per cell before it is quarantined (>= 1).  A retry replays
+  /// the cell's IDENTICAL derived seed — a deterministic failure fails
+  /// every attempt; only environmental flakes (e.g. a wall-clock timeout
+  /// on a loaded host) can recover.
+  int cell_attempts = 1;
+  /// Per-cell wall-clock watchdog, forwarded to SimConfig::wall_limit_ms;
+  /// a cell that exceeds it throws SimTimeout and is retried/quarantined
+  /// like any other failure.  0 disables the watchdog.
+  std::int64_t cell_timeout_ms = 0;
+  /// Optional fault schedule applied to every cell (not owned; must match
+  /// num_ports and outlive the sweep).
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Test hook, called before every attempt as cell_probe(cell, attempt)
+  /// with the flattened cell index and the 0-based attempt number.  An
+  /// exception it throws counts as that attempt failing — this is how the
+  /// kill tests force a chosen cell to fail without touching the models.
+  std::function<void(std::size_t, int)> cell_probe;
+};
+
+/// Per-cell report of the hardened sweep: which grid cell, how many
+/// attempts it took, and — for quarantined cells — the final error.
+struct CellOutcome {
+  std::size_t switch_index = 0;
+  std::size_t load_index = 0;
+  int replication = 0;
+  int attempts = 0;
+  bool failed = false;
+  std::string error;  // empty unless failed
 };
 
 struct PointSummary {
@@ -53,6 +84,9 @@ struct PointSummary {
   double load = 0.0;
   int replications = 0;
   int unstable_count = 0;
+  /// Replications quarantined by the hardened sweep (excluded from every
+  /// mean below; surfaces as the `failed` CSV column).
+  int failed_count = 0;
 
   // Means over stable replications (all replications when none is stable).
   double input_delay = 0.0;
@@ -71,9 +105,17 @@ struct PointSummary {
   bool unstable() const { return unstable_count == replications; }
 };
 
+/// Runs the grid.  A cell that throws (model failure, SimTimeout, probe
+/// injection) is retried up to cell_attempts times on its identical RNG
+/// stream, then quarantined: the sweep still returns every other cell,
+/// with the casualty excluded from its point's means and counted in
+/// failed_count.  Pass `outcomes` to receive the per-cell report (grid
+/// order; one entry per (algorithm, load, replication)).
 std::vector<PointSummary> run_sweep(const SweepConfig& config,
                                     const std::vector<SwitchFactory>& switches,
-                                    const TrafficFactory& traffic);
+                                    const TrafficFactory& traffic,
+                                    std::vector<CellOutcome>* outcomes =
+                                        nullptr);
 
 /// Factories for the paper's algorithm lineup.
 SwitchFactory make_fifoms(int max_rounds = 0);

@@ -50,6 +50,17 @@ void MetricsCollector::on_slot_end(const SwitchModel& sw,
     }
   }
 
+  // Copies purged at a dead output leave flight without being delivered:
+  // they retire their share of the fanout but contribute no delay sample.
+  for (const Delivery& purge : result.purged) {
+    const auto it = pending_.find(purge.packet);
+    FIFOMS_ASSERT(it != pending_.end(), "purge for unknown packet");
+    Pending& pending = it->second;
+    FIFOMS_ASSERT(pending.remaining > 0, "packet purged too many times");
+    ++copies_purged_;
+    if (--pending.remaining == 0) pending_.erase(it);
+  }
+
   if (!measured) return;
   ++measured_slots_;
   measured_copies_ += static_cast<std::uint64_t>(result.deliveries.size());

@@ -58,6 +58,8 @@ class MetricsCollector {
   std::uint64_t copies_offered() const { return copies_offered_; }
   std::uint64_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t copies_delivered() const { return copies_delivered_; }
+  /// Copies purged at a failed output (StrandedCellPolicy::kPurge).
+  std::uint64_t copies_purged() const { return copies_purged_; }
 
   /// Copies delivered per output per measured slot (1.0 = line rate).
   double throughput(int num_outputs) const;
@@ -93,6 +95,7 @@ class MetricsCollector {
   std::uint64_t copies_offered_ = 0;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t copies_delivered_ = 0;
+  std::uint64_t copies_purged_ = 0;
   std::uint64_t measured_copies_ = 0;
   SlotTime measured_slots_ = 0;
 };

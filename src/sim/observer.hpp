@@ -15,6 +15,10 @@
 
 namespace fifoms {
 
+namespace fault {
+struct FaultEvent;
+}  // namespace fault
+
 class SlotObserver {
  public:
   virtual ~SlotObserver() = default;
@@ -25,6 +29,16 @@ class SlotObserver {
   virtual void on_inject(const SwitchModel& sw, const Packet& packet) {
     (void)sw;
     (void)packet;
+  }
+
+  /// Called once per fault event the simulator applies, at the top of the
+  /// slot (before arrivals and step()).  Default is a no-op; the auditor
+  /// overrides it to track which ports are down.
+  virtual void on_fault_event(SlotTime now, const SwitchModel& sw,
+                              const fault::FaultEvent& event) {
+    (void)now;
+    (void)sw;
+    (void)event;
   }
 
   /// Called once per slot after transmission and metrics accounting.

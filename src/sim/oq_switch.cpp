@@ -1,6 +1,7 @@
 #include "sim/oq_switch.hpp"
 
 #include "common/panic.hpp"
+#include "fault/fault.hpp"
 
 namespace fifoms {
 
@@ -35,7 +36,11 @@ bool OqSwitch::inject(const Packet& packet) {
 }
 
 void OqSwitch::step(SlotTime /*now*/, Rng& /*rng*/, SlotResult& result) {
+  // Fault degradation: a failed output's line stops transmitting; its
+  // queue holds (and keeps growing) until the port recovers.
+  const bool faulted = faults_ != nullptr && faults_->active();
   for (PortId output = 0; output < num_ports_; ++output) {
+    if (faulted && faults_->failed_outputs().contains(output)) continue;
     OutputFifo& queue = outputs_[static_cast<std::size_t>(output)];
     if (queue.empty()) continue;
     const OutputCell cell = queue.pop();

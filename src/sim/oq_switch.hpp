@@ -30,8 +30,12 @@ class OqSwitch final : public SwitchModel {
   void clear() override;
 
   const OutputFifo& output(PortId port) const;
+  void set_fault_state(const fault::FaultState* faults) override {
+    faults_ = faults;
+  }
 
  private:
+  const fault::FaultState* faults_ = nullptr;
   int num_ports_;
   std::vector<OutputFifo> outputs_;
   std::vector<SlotTime> last_arrival_slot_;

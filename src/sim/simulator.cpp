@@ -1,6 +1,22 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+#include <optional>
+
 namespace fifoms {
+
+namespace {
+
+/// Detaches the switch's fault-state pointer on every exit path (normal
+/// return, instability break, SimTimeout, observer exception).
+struct FaultAttachment {
+  SwitchModel* sw = nullptr;
+  ~FaultAttachment() {
+    if (sw != nullptr) sw->set_fault_state(nullptr);
+  }
+};
+
+}  // namespace
 
 Simulator::Simulator(SwitchModel& sw, TrafficModel& traffic, SimConfig config)
     : switch_(sw), traffic_(traffic), config_(config) {
@@ -23,13 +39,45 @@ SimResult Simulator::run() {
   MetricsCollector metrics(warmup_end, switch_.occupancy_ports());
   StabilityMonitor stability(config_.stability);
 
+  // Fault plumbing: advance the plan cursor at the top of every slot and
+  // let the switch model see the level view while it schedules.
+  std::optional<fault::FaultState> faults;
+  FaultAttachment attachment;
+  if (config_.fault_plan != nullptr && !config_.fault_plan->empty()) {
+    FIFOMS_ASSERT(config_.fault_plan->num_ports() == switch_.num_inputs(),
+                  "fault plan and switch disagree on port count");
+    faults.emplace(*config_.fault_plan);
+    switch_.set_fault_state(&*faults);
+    attachment.sw = &switch_;
+  }
+  std::uint64_t packets_suppressed = 0;
+  std::uint64_t fault_events_applied = 0;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr SlotTime kWallCheckPeriod = 512;
+
   const int num_inputs = switch_.num_inputs();
   SlotResult slot_result;
   SlotTime now = 0;
   for (; now < config_.total_slots; ++now) {
+    if (faults) {
+      const auto applied = faults->advance(now);
+      fault_events_applied += applied.size();
+      if (observer_ != nullptr) {
+        for (const fault::FaultEvent& event : applied)
+          observer_->on_fault_event(now, switch_, event);
+      }
+    }
+
     for (PortId input = 0; input < num_inputs; ++input) {
+      // Always draw, even for a failed line card: the arrival stream must
+      // stay bit-identical to the fault-free twin of this run.
       const PortSet destinations = traffic_.arrival(input, now, traffic_rng);
       if (destinations.empty()) continue;
+      if (faults && faults->failed_inputs().contains(input)) {
+        ++packets_suppressed;
+        continue;  // lost at the dead line card, never enters the fabric
+      }
       const Packet packet{
           .id = next_packet_id_++,
           .input = input,
@@ -48,6 +96,16 @@ SimResult Simulator::run() {
     if (observer_ != nullptr) observer_->on_slot(now, switch_, slot_result);
 
     if (stability.check(switch_, now)) break;
+
+    if (config_.wall_limit_ms > 0 && now % kWallCheckPeriod == 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - wall_start);
+      if (elapsed.count() > config_.wall_limit_ms) {
+        throw SimTimeout("simulation exceeded wall-clock limit of " +
+                         std::to_string(config_.wall_limit_ms) + " ms at slot " +
+                         std::to_string(now));
+      }
+    }
   }
   // On an instability break the for-increment did not run: slot `now` was
   // still fully executed, so the executed-slot count is now + 1.
@@ -74,8 +132,11 @@ SimResult Simulator::run() {
   result.packets_offered = metrics.packets_offered();
   result.packets_delivered = metrics.packets_delivered();
   result.packets_dropped = switch_.dropped_packets();
+  result.packets_suppressed = packets_suppressed;
+  result.fault_events_applied = fault_events_applied;
   result.copies_offered = metrics.copies_offered();
   result.copies_delivered = metrics.copies_delivered();
+  result.copies_purged = metrics.copies_purged();
   result.in_flight_at_end = metrics.in_flight();
   result.throughput = metrics.throughput(switch_.num_outputs());
   if (result.unstable && executed_slots > 0) {

@@ -11,9 +11,11 @@
 // scheduler comparisons are paired, not merely statistically matched.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/observer.hpp"
 #include "sim/stability.hpp"
@@ -22,12 +24,29 @@
 
 namespace fifoms {
 
+/// Thrown by Simulator::run when a wall-clock limit is exceeded (the
+/// sweep engine's per-cell watchdog).  An exception — never an abort —
+/// so the sweep can quarantine the cell and keep the rest of the grid.
+class SimTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct SimConfig {
   SlotTime total_slots = 200'000;
   /// Fraction of total_slots used as warm-up (paper: "typically half").
   double warmup_fraction = 0.5;
   std::uint64_t seed = 1;
   StabilityConfig stability;
+  /// Optional fault schedule (not owned; must outlive the run).  The
+  /// traffic streams are drawn identically with or without a plan —
+  /// arrivals at a failed line card are drawn, then suppressed — so a
+  /// faulted run stays paired with its fault-free twin.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Cooperative wall-clock watchdog: > 0 makes run() throw SimTimeout
+  /// once the run has taken this many milliseconds (checked every few
+  /// hundred slots).  0 disables the check.
+  std::int64_t wall_limit_ms = 0;
 };
 
 struct SimResult {
@@ -58,6 +77,12 @@ struct SimResult {
   std::uint64_t copies_delivered = 0;
   /// Packets refused by a finite input buffer (whole-packet drops).
   std::uint64_t packets_dropped = 0;
+  /// Packets drawn by the traffic model but lost at a failed line card.
+  std::uint64_t packets_suppressed = 0;
+  /// Copies purged at a failed output (StrandedCellPolicy::kPurge).
+  std::uint64_t copies_purged = 0;
+  /// Fault events applied over the run (0 without a fault plan).
+  std::uint64_t fault_events_applied = 0;
   std::size_t in_flight_at_end = 0;
   double throughput = 0.0;
 

@@ -1,5 +1,7 @@
 #include "sim/single_fifo_switch.hpp"
 
+#include "fault/fault.hpp"
+
 namespace fifoms {
 
 SingleFifoSwitch::SingleFifoSwitch(int num_ports,
@@ -37,10 +39,16 @@ bool SingleFifoSwitch::inject(const Packet& packet) {
 }
 
 void SingleFifoSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
+  // Fault degradation on the HOL architecture is pure view masking: the
+  // scheduler only ever sees residues restricted to live outputs, and a
+  // failed input presents an empty view.  The queues themselves are
+  // untouched (hold semantics), so service resumes when the fault clears.
+  const bool faulted = faults_ != nullptr && faults_->active();
   for (PortId input = 0; input < num_ports_; ++input) {
     HolCellView& view = hol_views_[static_cast<std::size_t>(input)];
     const SingleFifoInput& port = inputs_[static_cast<std::size_t>(input)];
-    if (port.empty()) {
+    if (port.empty() ||
+        (faulted && faults_->failed_inputs().contains(input))) {
       view = HolCellView{};
       continue;
     }
@@ -53,6 +61,11 @@ void SingleFifoSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
         .remaining = cell.remaining,
         .initial_fanout = cell.initial_fanout,
     };
+    if (faulted) {
+      view.remaining -= faults_->failed_outputs();
+      view.remaining -= faults_->link_faults_for(input);
+      if (view.remaining.empty()) view = HolCellView{};
+    }
   }
 
   matching_.reset(num_ports_, num_ports_);

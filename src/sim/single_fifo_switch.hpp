@@ -43,8 +43,12 @@ class SingleFifoSwitch final : public SwitchModel {
 
   const SingleFifoInput& input(PortId port) const;
   HolScheduler& scheduler() { return *scheduler_; }
+  void set_fault_state(const fault::FaultState* faults) override {
+    faults_ = faults;
+  }
 
  private:
+  const fault::FaultState* faults_ = nullptr;
   int num_ports_;
   std::unique_ptr<HolScheduler> scheduler_;
   Options options_;

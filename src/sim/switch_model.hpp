@@ -17,6 +17,10 @@
 
 namespace fifoms {
 
+namespace fault {
+class FaultState;
+}  // namespace fault
+
 /// One copy of a packet crossing the fabric to one output.
 struct Delivery {
   PacketId packet = kNoPacket;
@@ -28,11 +32,16 @@ struct Delivery {
 
 struct SlotResult {
   std::vector<Delivery> deliveries;
+  /// Copies discarded by a purge degradation policy (stranded at a failed
+  /// output), reported like deliveries so the auditor can keep its
+  /// conservation ledger exact.  Empty without fault injection.
+  std::vector<Delivery> purged;
   int rounds = 0;         ///< scheduler iterations this slot
   int matched_pairs = 0;  ///< copies transmitted this slot
 
   void clear() {
     deliveries.clear();
+    purged.clear();
     rounds = 0;
     matched_pairs = 0;
   }
@@ -72,6 +81,13 @@ class SwitchModel {
 
   /// Drop all queued state (reset between runs).
   virtual void clear() = 0;
+
+  /// Attach (or detach, with nullptr) the fault view.  Models that
+  /// support degradation consult it every step(); the default ignores
+  /// faults entirely (a perfect fabric).
+  virtual void set_fault_state(const fault::FaultState* faults) {
+    (void)faults;
+  }
 };
 
 }  // namespace fifoms

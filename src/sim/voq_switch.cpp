@@ -1,5 +1,7 @@
 #include "sim/voq_switch.hpp"
 
+#include "fault/fault.hpp"
+
 namespace fifoms {
 
 VoqSwitch::VoqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler)
@@ -35,9 +37,28 @@ bool VoqSwitch::inject(const Packet& packet) {
 }
 
 void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
+  const bool faulted = faults_ != nullptr && faults_->active();
+  if (faulted && options_.stranded_policy == StrandedCellPolicy::kPurge)
+    purge_stranded_cells(result);
+
   matching_.reset(num_ports_, num_ports_);
-  scheduler_->schedule(inputs_, now, matching_, rng);
+  if (faulted && !options_.mutant_skip_fault_masking) {
+    ScheduleConstraints constraints;
+    constraints.failed_inputs = faults_->failed_inputs();
+    constraints.failed_outputs = faults_->failed_outputs();
+    constraints.failed_links = faults_->failed_links();
+    scheduler_->schedule(inputs_, now, matching_, rng, constraints);
+  } else {
+    // No active faults (or the test mutant): the fault-free path must
+    // stay bit-identical to the pre-fault behaviour, RNG draws included.
+    scheduler_->schedule(inputs_, now, matching_, rng);
+  }
   matching_.validate();
+  if (faulted) {
+    apply_grant_corruption(now);
+    if (!options_.mutant_skip_fault_masking) sanitize_matching();
+    matching_.validate();
+  }
   crossbar_.configure(matching_.input_grant_sets());
 
   // Transmit: serve the HOL address cell of every matched (input, output)
@@ -72,6 +93,83 @@ void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
 
   result.rounds = matching_.rounds;
   result.matched_pairs = matching_.matched_pairs();
+}
+
+void VoqSwitch::set_fault_state(const fault::FaultState* faults) {
+  faults_ = faults;
+}
+
+void VoqSwitch::purge_stranded_cells(SlotResult& result) {
+  const PortSet& dead = faults_->failed_outputs();
+  if (dead.empty()) return;
+  for (auto& port : inputs_) {
+    if (!port.occupied().intersects(dead)) continue;
+    for (PortId output : dead) {
+      purge_scratch_.clear();
+      port.purge_output(output, purge_scratch_);
+      for (const McVoqInput::Served& served : purge_scratch_) {
+        result.purged.push_back(Delivery{
+            .packet = served.cell.packet,
+            .input = port.port(),
+            .output = output,
+            .arrival = served.cell.timestamp,
+            .payload_tag = served.payload_tag,
+        });
+      }
+    }
+  }
+}
+
+void VoqSwitch::apply_grant_corruption(SlotTime now) {
+  // A corrupted grant wire re-routes one output's grant to an arbitrary
+  // input (or drops it).  The choice is a pure function of the fault
+  // plan's seed — the scheduler's RNG stream is never consulted, so a
+  // corrupted run stays replayable and the fault-free prefix of the
+  // stream stays untouched.
+  const auto corruptions = faults_->grant_corruptions();
+  for (std::size_t k = 0; k < corruptions.size(); ++k) {
+    const std::uint64_t salt = faults_->corruption_salt(now, k);
+    const auto n = static_cast<std::uint64_t>(num_ports_);
+    const auto output = static_cast<PortId>(salt % n);
+    const auto input = static_cast<PortId>((salt >> 20) % n);
+    const PortId previous = matching_.source(output);
+    if (previous != kNoPort) matching_.remove_match(previous, output);
+    const bool rerouted = ((salt >> 40) & 1U) != 0;
+    if (rerouted && matching_.source(output) == kNoPort)
+      matching_.add_match(input, output);
+  }
+}
+
+void VoqSwitch::sanitize_matching() {
+  // First pass: drop grants that reference a dead port, a dead link or an
+  // empty VOQ (grant corruption can produce any of these).
+  for (PortId output = 0; output < num_ports_; ++output) {
+    const PortId input = matching_.source(output);
+    if (input == kNoPort) continue;
+    const bool dead = faults_->failed_outputs().contains(output) ||
+                      faults_->failed_inputs().contains(input) ||
+                      faults_->link_failed(input, output) ||
+                      inputs_[static_cast<std::size_t>(input)].voq_empty(
+                          output);
+    if (dead) matching_.remove_match(input, output);
+  }
+  // Second pass: one input drives the crossbar with one data cell; if a
+  // corrupted grant points an input at a second cell, keep the grants of
+  // the lowest-numbered output's cell and shed the rest.
+  for (PortId input = 0; input < num_ports_; ++input) {
+    const PortSet grants = matching_.grants(input);  // copy: we mutate below
+    if (grants.count() <= 1) continue;
+    const McVoqInput& port = inputs_[static_cast<std::size_t>(input)];
+    DataCellRef expected;
+    for (PortId output : grants) {
+      const DataCellRef ref = port.hol(output).data;
+      if (!expected.valid()) {
+        expected = ref;
+      } else if (!(ref == expected)) {
+        matching_.remove_match(input, output);
+      }
+    }
+  }
 }
 
 std::size_t VoqSwitch::occupancy(PortId port) const {

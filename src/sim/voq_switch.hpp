@@ -20,6 +20,15 @@
 
 namespace fifoms {
 
+/// What happens to address cells stranded in the VOQ of a failed output
+/// (docs/FAULTS.md).  kHold keeps them queued until the output recovers;
+/// kPurge discards them at the top of every faulted slot, decrementing
+/// the data cells' fanout counters through the normal serve path.
+enum class StrandedCellPolicy {
+  kHold,
+  kPurge,
+};
+
 class VoqSwitch final : public SwitchModel {
  public:
   struct Options {
@@ -32,6 +41,13 @@ class VoqSwitch final : public SwitchModel {
     /// single-class structure.  Packets carry their class in
     /// Packet::priority; see McVoqInput for the queueing discipline.
     int num_classes = 1;
+    /// Degradation policy for cells addressed to a failed output.
+    StrandedCellPolicy stranded_policy = StrandedCellPolicy::kHold;
+    /// Test-only mutant: skip fault masking and grant sanitisation so the
+    /// scheduler happily serves dead outputs.  Exists to prove the
+    /// auditor's no-grant-to-failed-output check has teeth; never set it
+    /// in a real configuration.
+    bool mutant_skip_fault_masking = false;
   };
 
   VoqSwitch(int num_ports, std::unique_ptr<VoqScheduler> scheduler);
@@ -50,12 +66,23 @@ class VoqSwitch final : public SwitchModel {
   int occupancy_ports() const override { return num_ports_; }
   std::size_t total_buffered() const override;
   void clear() override;
+  void set_fault_state(const fault::FaultState* faults) override;
 
   /// Test access to the queue structure of one input port.
   const McVoqInput& input(PortId port) const;
   VoqScheduler& scheduler() { return *scheduler_; }
 
  private:
+  /// kPurge housekeeping at the top of a faulted slot: drain every VOQ
+  /// addressed to a currently-failed output into result.purged.
+  void purge_stranded_cells(SlotResult& result);
+  /// Deterministically flip grant wires for this slot's kGrantCorrupt
+  /// events (salts come from the fault plan, never from `rng`).
+  void apply_grant_corruption(SlotTime now);
+  /// Drop matched pairs that reference a dead port/link or an empty VOQ,
+  /// and resolve cross-data-cell grants a corruption may have produced.
+  void sanitize_matching();
+
   int num_ports_;
   std::unique_ptr<VoqScheduler> scheduler_;
   Options options_;
@@ -64,6 +91,8 @@ class VoqSwitch final : public SwitchModel {
   Crossbar crossbar_;
   SlotMatching matching_;                     // reused across slots
   std::vector<SlotTime> last_arrival_slot_;   // single-arrival enforcement
+  const fault::FaultState* faults_ = nullptr;
+  std::vector<McVoqInput::Served> purge_scratch_;
 };
 
 }  // namespace fifoms

@@ -92,7 +92,8 @@ SlotEngine::SlotEngine(int ports, Mutation mutation, bool check_equivalence)
     : ports_(ports),
       check_equivalence_(check_equivalence),
       scheduler_(make_mutant_scheduler(mutation)),
-      rng_(0x5eedULL) {
+      rng_(0x5eedULL),
+      fault_rng_(0xfa017ULL) {
   scheduler_->reset(ports, ports);
   hw_.reset(ports, ports);
 }
@@ -128,6 +129,23 @@ int SlotEngine::step(const SwitchState& state, Outcome& outcome,
     outcome.departed_mask = 0;
   }
   return found;
+}
+
+int SlotEngine::step_with_fault(const SwitchState& state,
+                                const PortSet& failed_outputs,
+                                SlotMatching& matching,
+                                std::vector<Violation>& violations) {
+  state.materialize_into(scratch_ports_);
+  matching.reset(ports_, ports_);
+  const auto now = static_cast<SlotTime>(state.packet_count() + 1);
+  ScheduleConstraints constraints;
+  constraints.failed_outputs = failed_outputs;
+  scheduler_->schedule(scratch_ports_, now, matching, fault_rng_, constraints);
+  matching.validate();
+
+  const std::size_t before = violations.size();
+  check_fault_masking(state, matching, failed_outputs, violations);
+  return static_cast<int>(violations.size() - before);
 }
 
 Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {
@@ -202,9 +220,36 @@ ExplorerResult Explorer::run() {
   SlotEngine engine(ports, options_.mutation, options_.check_equivalence);
   std::vector<Violation> violations_scratch;
   ArrivalVector arrival(static_cast<std::size_t>(ports));
+  SlotMatching fault_matching;
 
   bool truncated = false;
   bool stop = false;
+
+  // Property (f): every fresh post-arrival state is re-scheduled once per
+  // single-output-down mask.  Checked, not expanded — a fault transition
+  // never grows the state graph, it only asserts the degraded matching.
+  auto check_fault_masks = [&](const SwitchState& post_arrival,
+                               std::uint32_t parent, const ArrivalVector& arr) {
+    for (PortId down = 0; down < ports && !stop; ++down) {
+      PortSet mask;
+      mask.insert(down);
+      ++result.stats.fault_checks;
+      violations_scratch.clear();
+      if (engine.step_with_fault(post_arrival, mask, fault_matching,
+                                 violations_scratch) == 0)
+        continue;
+      CounterExample counterexample;
+      counterexample.trace = build_trace(pred, parent, ports);
+      counterexample.trace.push_back(arr);
+      counterexample.violations = std::move(violations_scratch);
+      violations_scratch = {};
+      result.counterexamples.push_back(std::move(counterexample));
+      if (static_cast<int>(result.counterexamples.size()) >=
+          options_.max_counterexamples)
+        stop = true;
+    }
+  };
+
   for (std::uint32_t s = 0; s < states.size() && !stop; ++s) {
     if (options_.max_slots > 0 &&
         depth[s] >= options_.max_slots) {
@@ -259,6 +304,10 @@ ExplorerResult Explorer::run() {
               options_.max_counterexamples)
             stop = true;
         } else {
+          // The fault-free transition is sound; also probe it under every
+          // single-output fault before registering the successor.
+          if (options_.check_fault_transitions)
+            check_fault_masks(post_arrival, s, arrival);
           auto [sit, snew] = service_ids.try_emplace(
               outcome.next.encode(),
               static_cast<std::uint32_t>(states.size()));

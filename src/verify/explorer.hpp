@@ -53,6 +53,9 @@ struct ExplorerOptions {
   int max_slots = 0;             ///< BFS depth bound; 0 = run to fixpoint
   bool check_starvation = true;  ///< property (d); needs a complete run
   bool check_equivalence = true; ///< property (e) against the hw unit
+  bool check_fault_transitions = false;  ///< property (f): re-run every
+                                         ///< fresh post-arrival state with
+                                         ///< each single output down
   int max_counterexamples = 1;   ///< stop after this many failing states
   Mutation mutation = Mutation::kNone;  ///< scheduler under test
 };
@@ -68,6 +71,8 @@ struct ExplorerStats {
   std::uint64_t service_states = 0;    ///< distinct post-service states
   std::uint64_t transitions = 0;       ///< arrival branches traversed
   std::uint64_t dedup_hits = 0;        ///< branches folded by the quotient
+  std::uint64_t fault_checks = 0;      ///< single-output-down slots checked
+                                       ///< for property (f)
   int frontier_slots = 0;              ///< deepest BFS layer reached
   bool complete = false;               ///< fixpoint reached within bounds
   std::int64_t starvation_bound = -1;  ///< property (d) bound; -1 = not
@@ -100,6 +105,16 @@ class SlotEngine {
   int step(const SwitchState& state, Outcome& outcome,
            std::vector<Violation>& violations);
 
+  /// Schedule one slot on `state` with `failed_outputs` constrained down
+  /// and check property (f) — no grant to a dead output, maximality over
+  /// the live outputs.  Draws from a dedicated RNG stream so interleaved
+  /// fault checks never perturb the deterministic step() sequence.  The
+  /// transition is checked, not expanded: faults do not grow the state
+  /// graph.  Returns the number of violations appended.
+  int step_with_fault(const SwitchState& state, const PortSet& failed_outputs,
+                      SlotMatching& matching,
+                      std::vector<Violation>& violations);
+
  private:
   int ports_;
   bool check_equivalence_;
@@ -108,6 +123,7 @@ class SlotEngine {
   std::vector<McVoqInput> scratch_ports_;
   SlotMatching hw_matching_;
   Rng rng_;
+  Rng fault_rng_;
 };
 
 class Explorer {

@@ -57,6 +57,9 @@ bool run_config(const ExplorerOptions& options, bool print_trace_replay) {
               stats.service_states);
   std::printf("transitions traversed    : %" PRIu64 "\n", stats.transitions);
   std::printf("symmetry dedup hits      : %" PRIu64 "\n", stats.dedup_hits);
+  if (stats.fault_checks > 0)
+    std::printf("fault transitions checked: %" PRIu64 "\n",
+                stats.fault_checks);
   std::printf("frontier depth (slots)   : %d\n", stats.frontier_slots);
   std::printf("exploration complete     : %s\n",
               stats.complete ? "yes (fixpoint)" : "no (bounded)");
@@ -101,6 +104,9 @@ int verify_main(int argc, char** argv) {
                 "check bounded starvation (needs a complete exploration)");
   args.add_bool("equivalence", true,
                 "check hw::FifomsControlUnit equivalence on every state");
+  args.add_bool("fault-transitions", false,
+                "re-schedule every fresh state once per single downed "
+                "output and check the degraded matching (property f)");
   args.add_string("mutate", "none",
                   "scheduler fault to inject: none, "
                   "highest-input-tiebreak, single-round, youngest-first, "
@@ -118,6 +124,7 @@ int verify_main(int argc, char** argv) {
   options.max_slots = static_cast<int>(args.get_int("max-slots"));
   options.check_starvation = args.get_bool("starvation");
   options.check_equivalence = args.get_bool("equivalence");
+  options.check_fault_transitions = args.get_bool("fault-transitions");
   options.max_counterexamples =
       static_cast<int>(args.get_int("counterexamples"));
   if (options.ports < 2 || options.ports > 4) {
@@ -165,6 +172,7 @@ int verify_main(int argc, char** argv) {
     full.max_packets_per_input = 4;
     full.max_slots = 0;
     full.max_states = 0;
+    full.check_fault_transitions = true;
     ok = run_config(full, /*print_trace_replay=*/true);
   } else if (preset == "ci") {
     ExplorerOptions full = options;
@@ -172,6 +180,7 @@ int verify_main(int argc, char** argv) {
     full.max_packets_per_input = 4;
     full.max_slots = 0;
     full.max_states = 0;
+    full.check_fault_transitions = true;
     ok = run_config(full, /*print_trace_replay=*/true);
 
     ExplorerOptions bounded = options;

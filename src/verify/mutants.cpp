@@ -25,8 +25,13 @@ class MutantFifoms final : public VoqScheduler {
     candidates_.assign(static_cast<std::size_t>(num_outputs), {});
   }
 
+  using VoqScheduler::schedule;
+  // Mutants deliberately ignore the fault constraints: a mutant that also
+  // grants dead outputs is exactly what the kFaultMasking property must
+  // catch, and the fault-free explorer passes empty constraints anyway.
   void schedule(std::span<const McVoqInput> inputs, SlotTime /*now*/,
-                SlotMatching& matching, Rng& /*rng*/) override {
+                SlotMatching& matching, Rng& /*rng*/,
+                const ScheduleConstraints& /*constraints*/) override {
     const int num_inputs = static_cast<int>(inputs.size());
     const int num_outputs = matching.num_outputs();
 

@@ -23,6 +23,8 @@ const char* property_name(Property property) {
       return "bounded-starvation";
     case Property::kHwEquivalence:
       return "hw-equivalence";
+    case Property::kFaultMasking:
+      return "fault-masking";
   }
   return "unknown";
 }
@@ -128,6 +130,49 @@ int check_matching_properties(const SwitchState& state,
                    std::to_string(stamp) + " although its older stamp " +
                    std::to_string(cell->stamp) + " for the end-free output " +
                    std::to_string(output) + " was available all slot");
+    }
+  }
+
+  return found;
+}
+
+int check_fault_masking(const SwitchState& state, const SlotMatching& matching,
+                        const PortSet& failed_outputs,
+                        std::vector<Violation>& out) {
+  const int ports = state.ports();
+  const std::uint64_t state_hash = state.hash();
+  int found = 0;
+  auto report = [&](std::string detail) {
+    out.push_back(Violation{Property::kFaultMasking, std::move(detail),
+                            state_hash, state});
+    ++found;
+  };
+
+  // No grant may name a dead output, and (as in property (b)) every grant
+  // must reference a queued address cell — a dead-output grant that also
+  // points at an empty VOQ should still read as a masking failure.
+  for (PortId input = 0; input < ports; ++input) {
+    for (PortId output : matching.grants(input)) {
+      if (failed_outputs.contains(output))
+        report("grant to failed output (" + port_pair(input, output) + ")");
+      if (state.hol(input, output) == nullptr)
+        report("grant references an empty VOQ under faults (" +
+               port_pair(input, output) + ")");
+    }
+  }
+
+  // Degraded maximality: the scheduler must keep matching over the live
+  // outputs exactly as it would without the fault — a free input with a
+  // waiting cell for a free LIVE output means it wedged instead of
+  // degrading.
+  for (PortId input = 0; input < ports; ++input) {
+    if (matching.input_matched(input)) continue;
+    for (PortId output = 0; output < ports; ++output) {
+      if (failed_outputs.contains(output)) continue;
+      if (matching.output_matched(output)) continue;
+      if (state.hol(input, output) != nullptr)
+        report("free pair with a waiting cell on a live output (" +
+               port_pair(input, output) + ")");
     }
   }
 

@@ -29,6 +29,9 @@ enum class Property {
                        ///<     (explorer-wide fixpoint, not per-slot)
   kHwEquivalence,      ///< (e) hw::FifomsControlUnit computes bit-exactly
                        ///<     the behavioural kLowestInput matching
+  kFaultMasking,       ///< (f) under a failed-output constraint no grant
+                       ///<     names a dead output, and the matching stays
+                       ///<     maximal over the live outputs
 };
 
 const char* property_name(Property property);
@@ -51,5 +54,14 @@ int check_matching_properties(const SwitchState& state,
 /// round count.  Appends one Violation per differing port.
 int check_equivalence(const SwitchState& state, const SlotMatching& sw,
                       const SlotMatching& hw, std::vector<Violation>& out);
+
+/// Property (f): `matching` was produced under a ScheduleConstraints with
+/// `failed_outputs` down.  No grant may name a dead output, every grant
+/// must reference a queued cell, and maximality must still hold over the
+/// live outputs — degradation, not a wedge.  Appends one Violation per
+/// failure; returns the number appended.
+int check_fault_masking(const SwitchState& state, const SlotMatching& matching,
+                        const PortSet& failed_outputs,
+                        std::vector<Violation>& out);
 
 }  // namespace fifoms::verify

@@ -363,4 +363,12 @@ SwitchState SwitchState::from_fuzz_bytes(std::span<const unsigned char> bytes) {
   return state;
 }
 
+PortSet fault_mask_from_fuzz_byte(unsigned char byte, int ports) {
+  PortSet mask;
+  if (ports <= 0) return mask;
+  const int choice = static_cast<int>(byte) % (ports + 1);
+  if (choice > 0) mask.insert(static_cast<PortId>(choice - 1));
+  return mask;
+}
+
 }  // namespace fifoms::verify

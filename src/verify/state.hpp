@@ -134,4 +134,10 @@ class SwitchState {
   std::vector<InputState> inputs_;
 };
 
+/// Fuzz-byte mapper for fault coverage: interpret one byte as a
+/// failed-output set for a single-fault transition.  byte % (ports + 1)
+/// selects either no fault (0) or exactly one downed output (k-1) — the
+/// shape SlotEngine::step_with_fault checks.
+PortSet fault_mask_from_fuzz_byte(unsigned char byte, int ports);
+
 }  // namespace fifoms::verify

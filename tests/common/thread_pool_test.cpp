@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace fifoms {
@@ -57,6 +58,52 @@ TEST(ThreadPool, ReusableAcrossJobs) {
     });
   }
   EXPECT_EQ(sum.load(), 5 * (999LL * 1000 / 2));
+}
+
+TEST(ThreadPool, ExceptionIsRethrownAfterEveryIndexRan) {
+  // The hardened-sweep contract: a throwing job never skips the rest of
+  // the grid; the first exception (in completion order) surfaces once the
+  // job has drained.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1'000);
+  EXPECT_THROW(pool.for_each_index(hits.size(),
+                                   [&](std::size_t i) {
+                                     hits[i].fetch_add(
+                                         1, std::memory_order_relaxed);
+                                     if (i % 100 == 7)
+                                       throw std::runtime_error("cell died");
+                                   }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionOnInlinePathMatchesPoolSemantics) {
+  ThreadPool pool(1);
+  std::vector<int> hits(50, 0);
+  bool caught = false;
+  try {
+    pool.for_each_index(hits.size(), [&](std::size_t i) {
+      ++hits[i];
+      if (i == 10) throw std::runtime_error("inline cell died");
+    });
+  } catch (const std::runtime_error& error) {
+    caught = true;
+    EXPECT_STREQ(error.what(), "inline cell died");
+  }
+  EXPECT_TRUE(caught);
+  for (int h : hits) EXPECT_EQ(h, 1);  // indices after the throw still ran
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterAThrowingJob) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.for_each_index(
+                   100, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> clean{0};
+  pool.for_each_index(100, [&](std::size_t) {
+    clean.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(clean.load(), 100);
 }
 
 TEST(ThreadPool, StealingBalancesSkewedWork) {

@@ -99,6 +99,73 @@ TEST(McVoqInput, ClearResets) {
   EXPECT_TRUE(input.voq_empty(0));
 }
 
+TEST(McVoqInput, OccupiedTracksAcceptAndServe) {
+  McVoqInput input(0, 4);
+  EXPECT_TRUE(input.occupied().empty());
+  input.accept(make_packet(1, 0, 0, {0, 2}));
+  EXPECT_EQ(input.occupied(), PortSet({0, 2}));
+  input.serve_hol(0);
+  EXPECT_EQ(input.occupied(), PortSet({2}));
+  input.serve_hol(2);
+  EXPECT_TRUE(input.occupied().empty());
+}
+
+TEST(McVoqInput, OccupiedConsistentAcrossClear) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {0, 1, 3}));
+  input.accept(make_packet(2, 0, 1, {1}));
+  EXPECT_EQ(input.occupied(), PortSet({0, 1, 3}));
+  input.clear();
+  EXPECT_TRUE(input.occupied().empty());
+  // The structure is fully reusable after clear(): occupied() keeps
+  // tracking incrementally, not from stale state.
+  input.accept(make_packet(3, 0, 5, {2}));
+  EXPECT_EQ(input.occupied(), PortSet({2}));
+  EXPECT_EQ(input.data_cell_count(), 1u);
+}
+
+TEST(McVoqInput, PurgeOutputDrainsVoqAndKeepsPoolConsistent) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {1, 2}));
+  input.accept(make_packet(2, 0, 1, {1}));
+  std::vector<McVoqInput::Served> purged;
+  input.purge_output(1, purged);
+  ASSERT_EQ(purged.size(), 2u);
+  EXPECT_EQ(purged[0].cell.packet, 1u);
+  EXPECT_EQ(purged[1].cell.packet, 2u);
+  // Packet 2's only copy was purged — its data cell must be gone; packet
+  // 1 still owes output 2 a copy, so its data cell survives.
+  EXPECT_FALSE(purged[0].data_cell_destroyed);
+  EXPECT_TRUE(purged[1].data_cell_destroyed);
+  EXPECT_EQ(input.data_cell_count(), 1u);
+  EXPECT_EQ(input.occupied(), PortSet({2}));
+  EXPECT_TRUE(input.voq_empty(1));
+}
+
+TEST(McVoqInput, PurgeEmptyOutputIsANoop) {
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {3}));
+  std::vector<McVoqInput::Served> purged;
+  input.purge_output(0, purged);
+  EXPECT_TRUE(purged.empty());
+  EXPECT_EQ(input.occupied(), PortSet({3}));
+}
+
+TEST(McVoqInput, OccupiedConsistentThroughPurgeThenRefill) {
+  // The stranded-cell purge path and the normal serve path must leave the
+  // incremental occupied() set indistinguishable from a rebuilt one.
+  McVoqInput input(0, 4);
+  input.accept(make_packet(1, 0, 0, {0, 1, 2, 3}));
+  std::vector<McVoqInput::Served> purged;
+  input.purge_output(2, purged);
+  input.serve_hol(0);
+  EXPECT_EQ(input.occupied(), PortSet({1, 3}));
+  input.accept(make_packet(2, 0, 1, {2}));
+  EXPECT_EQ(input.occupied(), PortSet({1, 2, 3}));
+  for (PortId output = 0; output < 4; ++output)
+    EXPECT_EQ(input.occupied().contains(output), !input.voq_empty(output));
+}
+
 TEST(McVoqInputDeath, WrongInputRejected) {
   McVoqInput input(0, 4);
   EXPECT_DEATH(input.accept(test::make_packet(1, 2, 0, {0})),

@@ -1,0 +1,192 @@
+// FaultPlan / FaultState unit tests: plan validation (everything throws
+// FaultError, never panics), builder determinism, and the level/edge view
+// contract of the runtime cursor.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fifoms::fault {
+namespace {
+
+FaultEvent ev(SlotTime slot, FaultKind kind, PortId port,
+              PortId output = kNoPort) {
+  return FaultEvent{.slot = slot, .kind = kind, .port = port,
+                    .output = output};
+}
+
+TEST(FaultPlan, EmptyPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  FaultState state(plan);
+  EXPECT_TRUE(state.advance(0).empty());
+  EXPECT_TRUE(state.advance(100).empty());
+  EXPECT_FALSE(state.active());
+  EXPECT_TRUE(state.failed_outputs().empty());
+  EXPECT_TRUE(state.failed_inputs().empty());
+  EXPECT_TRUE(state.failed_links().empty());
+}
+
+TEST(FaultPlan, EventsAreStableSortedBySlot) {
+  const FaultPlan plan({ev(9, FaultKind::kOutputDown, 1),
+                        ev(3, FaultKind::kOutputDown, 0),
+                        ev(9, FaultKind::kOutputUp, 1),
+                        ev(5, FaultKind::kOutputUp, 0)},
+                       4);
+  ASSERT_EQ(plan.events().size(), 4u);
+  EXPECT_EQ(plan.events()[0].slot, 3);
+  EXPECT_EQ(plan.events()[1].slot, 5);
+  // Same-slot events keep their original relative order (down before up).
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kOutputDown);
+  EXPECT_EQ(plan.events()[3].kind, FaultKind::kOutputUp);
+}
+
+TEST(FaultPlan, ValidationThrowsFaultError) {
+  // Port beyond the radix.
+  EXPECT_THROW(FaultPlan({ev(0, FaultKind::kOutputDown, 4)}, 4), FaultError);
+  // Double-down without an intervening up.
+  EXPECT_THROW(FaultPlan({ev(0, FaultKind::kOutputDown, 1),
+                          ev(5, FaultKind::kOutputDown, 1)},
+                         4),
+               FaultError);
+  // Up without a preceding down.
+  EXPECT_THROW(FaultPlan({ev(0, FaultKind::kInputUp, 1)}, 4), FaultError);
+  // Link event missing its output column.
+  EXPECT_THROW(FaultPlan({ev(0, FaultKind::kLinkDown, 1)}, 4), FaultError);
+  // Negative slot.
+  EXPECT_THROW(FaultPlan({ev(-1, FaultKind::kOutputDown, 1)}, 4), FaultError);
+}
+
+TEST(FaultState, LevelAndEdgeViewsTrackTransitions) {
+  const FaultPlan plan({ev(2, FaultKind::kOutputDown, 1),
+                        ev(2, FaultKind::kLinkDown, 0, 3),
+                        ev(4, FaultKind::kOutputUp, 1),
+                        ev(4, FaultKind::kLinkUp, 0, 3)},
+                       4);
+  FaultState state(plan);
+
+  EXPECT_TRUE(state.advance(0).empty());
+  EXPECT_FALSE(state.active());
+
+  const auto at2 = state.advance(2);
+  EXPECT_EQ(at2.size(), 2u);
+  EXPECT_TRUE(state.active());
+  EXPECT_EQ(state.failed_outputs(), PortSet({1}));
+  EXPECT_TRUE(state.link_failed(0, 3));
+  EXPECT_FALSE(state.link_failed(1, 3));
+  EXPECT_EQ(state.link_faults_for(0), PortSet({3}));
+  EXPECT_EQ(state.outputs_downed_now(), PortSet({1}));
+  EXPECT_TRUE(state.outputs_restored_now().empty());
+
+  // A quiet slot clears the edge view but keeps the level view.
+  EXPECT_TRUE(state.advance(3).empty());
+  EXPECT_TRUE(state.outputs_downed_now().empty());
+  EXPECT_EQ(state.failed_outputs(), PortSet({1}));
+
+  const auto at4 = state.advance(4);
+  EXPECT_EQ(at4.size(), 2u);
+  EXPECT_TRUE(state.failed_outputs().empty());
+  EXPECT_FALSE(state.link_failed(0, 3));
+  EXPECT_EQ(state.outputs_restored_now(), PortSet({1}));
+  EXPECT_FALSE(state.active());
+}
+
+TEST(FaultState, AdvanceCatchesUpThroughSkippedSlots) {
+  const FaultPlan plan({ev(2, FaultKind::kInputDown, 0),
+                        ev(5, FaultKind::kInputUp, 0),
+                        ev(7, FaultKind::kOutputDown, 3)},
+                       4);
+  FaultState state(plan);
+  // Jumping straight to slot 10 applies everything scheduled on the way;
+  // the edge view (and the returned span) covers the whole gap.
+  EXPECT_EQ(state.advance(10).size(), 3u);
+  EXPECT_TRUE(state.failed_inputs().empty());       // down at 2, up at 5
+  EXPECT_EQ(state.failed_outputs(), PortSet({3}));  // down at 7, still down
+}
+
+TEST(FaultState, AdvanceBackwardsThrows) {
+  const FaultPlan plan({ev(1, FaultKind::kOutputDown, 0)}, 2);
+  FaultState state(plan);
+  state.advance(5);
+  EXPECT_THROW(state.advance(4), FaultError);
+}
+
+TEST(FaultState, CorruptionSaltIsAPureFunctionOfThePlanSeed) {
+  const FaultPlan plan_a({ev(3, FaultKind::kGrantCorrupt, 0)}, 4, 123);
+  const FaultPlan plan_b({ev(3, FaultKind::kGrantCorrupt, 0)}, 4, 123);
+  const FaultPlan plan_c({ev(3, FaultKind::kGrantCorrupt, 0)}, 4, 124);
+  FaultState a(plan_a);
+  FaultState b(plan_b);
+  FaultState c(plan_c);
+  EXPECT_EQ(a.corruption_salt(3, 0), b.corruption_salt(3, 0));
+  EXPECT_NE(a.corruption_salt(3, 0), c.corruption_salt(3, 0));
+  EXPECT_NE(a.corruption_salt(3, 0), a.corruption_salt(3, 1));
+  EXPECT_NE(a.corruption_salt(3, 0), a.corruption_salt(4, 0));
+}
+
+TEST(FaultPlanBuilders, RollingFlapsCycleThroughEveryPort) {
+  const int ports = 4;
+  const FaultPlan plan =
+      FaultPlan::rolling_port_flaps(ports, /*first_down=*/10, /*period=*/20,
+                                    /*down_slots=*/5, /*horizon=*/200);
+  ASSERT_FALSE(plan.empty());
+  PortSet flapped;
+  for (const FaultEvent& event : plan.events()) {
+    if (event.kind == FaultKind::kOutputDown) flapped.insert(event.port);
+    EXPECT_LT(event.slot, 200);
+  }
+  EXPECT_EQ(flapped, PortSet({0, 1, 2, 3}));
+  // Every down has its matching up — the plan validates, and replaying it
+  // through a FaultState must end with a clean fabric.
+  FaultState state(plan);
+  state.advance(400);
+  EXPECT_TRUE(state.failed_outputs().empty());
+}
+
+TEST(FaultPlanBuilders, LineCardLossIsCorrelatedAndSeeded) {
+  const FaultPlan plan = FaultPlan::correlated_line_card_loss(
+      8, /*seed=*/7, /*down_at=*/100, /*up_at=*/200, /*cards=*/3);
+  FaultState state(plan);
+  state.advance(100);
+  EXPECT_EQ(state.failed_inputs().count(), 3);
+  const PortSet during = state.failed_inputs();
+  state.advance(200);
+  EXPECT_TRUE(state.failed_inputs().empty());
+
+  // Same seed -> same cards; different seed -> (almost surely) different.
+  const FaultPlan twin = FaultPlan::correlated_line_card_loss(8, 7, 100, 200,
+                                                              3);
+  EXPECT_EQ(plan.events(), twin.events());
+  FaultState twin_state(twin);
+  twin_state.advance(100);
+  EXPECT_EQ(twin_state.failed_inputs(), during);
+}
+
+TEST(FaultPlanBuilders, FaultStormIsDeterministicPerSeed) {
+  const FaultPlan a = FaultPlan::fault_storm(8, 42, 2'000);
+  const FaultPlan b = FaultPlan::fault_storm(8, 42, 2'000);
+  const FaultPlan c = FaultPlan::fault_storm(8, 43, 2'000);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_NE(a.events(), c.events());
+
+  bool corrupt = false;
+  bool link = false;
+  for (const FaultEvent& event : a.events()) {
+    corrupt |= event.kind == FaultKind::kGrantCorrupt;
+    link |= event.kind == FaultKind::kLinkDown;
+  }
+  EXPECT_TRUE(corrupt);
+  EXPECT_TRUE(link);
+}
+
+TEST(FaultEvent, ToStringNamesTheKindAndTheCrosspoint) {
+  const std::string text =
+      to_string(ev(12, FaultKind::kLinkDown, 1, 3));
+  EXPECT_NE(text.find(fault_kind_name(FaultKind::kLinkDown)),
+            std::string::npos);
+  EXPECT_NE(text.find("1->3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fifoms::fault

@@ -3,8 +3,12 @@
 // Bytes decode into a well-formed canonical SwitchState of radix 2..8
 // (SwitchState::from_fuzz_bytes), the real FIFOMS scheduler runs one slot
 // on it, and properties (a), (b), (c) must hold — plus the state codec
-// must round-trip.  Any failure prints the state and aborts, handing
-// libFuzzer a minimizable crash input.
+// must round-trip.  The final input byte additionally selects a fault
+// mask (fault_mask_from_fuzz_byte): when it picks a downed output, the
+// same state is re-scheduled under that constraint and property (f) —
+// fault masking with live-output maximality — must hold too.  Any
+// failure prints the state and aborts, handing libFuzzer a minimizable
+// crash input.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +47,26 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                    fifoms::verify::property_name(violation.property),
                    violation.detail.c_str());
     std::abort();
+  }
+
+  // The last byte drives the fault dimension: no fault, or exactly one
+  // downed output to degrade around.
+  const unsigned char fault_byte = size > 0 ? data[size - 1] : 0;
+  const fifoms::PortSet fault_mask =
+      fifoms::verify::fault_mask_from_fuzz_byte(fault_byte, state.ports());
+  if (!fault_mask.empty()) {
+    fifoms::SlotMatching fault_matching;
+    violations.clear();
+    if (engine.step_with_fault(state, fault_mask, fault_matching,
+                               violations) != 0) {
+      std::fprintf(stderr, "fault-masking violated (down=%s) on: %s\n",
+                   fault_mask.to_string().c_str(), state.to_string().c_str());
+      for (const Violation& violation : violations)
+        std::fprintf(stderr, "  [%s] %s\n",
+                     fifoms::verify::property_name(violation.property),
+                     violation.detail.c_str());
+      std::abort();
+    }
   }
   return 0;
 }

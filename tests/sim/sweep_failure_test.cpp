@@ -1,0 +1,195 @@
+// Hardened-sweep kill tests (docs/FAULTS.md): a cell forced to throw is
+// retried on its identical RNG stream and then quarantined, while every
+// other cell of the grid stays byte-identical to a failure-free run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms {
+namespace {
+
+SweepConfig base_config() {
+  SweepConfig config;
+  config.num_ports = 4;
+  config.loads = {0.3, 0.6};
+  config.slots = 800;
+  config.warmup_fraction = 0.25;
+  config.replications = 2;
+  config.master_seed = 2026;
+  config.threads = 2;
+  return config;
+}
+
+TrafficFactory bernoulli_traffic(int ports) {
+  return [ports](double load) -> std::unique_ptr<TrafficModel> {
+    return std::make_unique<BernoulliTraffic>(
+        ports, BernoulliTraffic::p_for_load(load, 0.2, ports), 0.2);
+  };
+}
+
+/// Field-for-field equality: doubles compare exactly, because the sweep
+/// contract is byte-identity, not closeness.
+void expect_point_eq(const PointSummary& a, const PointSummary& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.load, b.load);
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.unstable_count, b.unstable_count);
+  EXPECT_EQ(a.failed_count, b.failed_count);
+  EXPECT_EQ(a.input_delay, b.input_delay);
+  EXPECT_EQ(a.output_delay, b.output_delay);
+  EXPECT_EQ(a.output_delay_p99, b.output_delay_p99);
+  EXPECT_EQ(a.queue_mean, b.queue_mean);
+  EXPECT_EQ(a.queue_max, b.queue_max);
+  EXPECT_EQ(a.rounds_busy, b.rounds_busy);
+  EXPECT_EQ(a.rounds_all, b.rounds_all);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.input_delay_se, b.input_delay_se);
+  EXPECT_EQ(a.output_delay_se, b.output_delay_se);
+}
+
+TEST(SweepFailure, KilledCellIsQuarantinedAndTheRestIsByteIdentical) {
+  const SweepConfig config = base_config();
+  const std::vector<SwitchFactory> switches = {make_fifoms(), make_islip()};
+  const TrafficFactory traffic = bernoulli_traffic(config.num_ports);
+
+  std::vector<CellOutcome> clean_outcomes;
+  const auto clean = run_sweep(config, switches, traffic, &clean_outcomes);
+  for (const CellOutcome& outcome : clean_outcomes) {
+    EXPECT_FALSE(outcome.failed);
+    EXPECT_EQ(outcome.attempts, 1);
+  }
+
+  // Kill one mid-grid cell on every attempt.
+  const std::size_t victim = 3;
+  SweepConfig killed = config;
+  killed.cell_probe = [victim](std::size_t cell, int) {
+    if (cell == victim) throw std::runtime_error("injected cell failure");
+  };
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(killed, switches, traffic, &outcomes);
+
+  ASSERT_EQ(outcomes.size(), clean_outcomes.size());
+  const CellOutcome& casualty = outcomes[victim];
+  EXPECT_TRUE(casualty.failed);
+  EXPECT_EQ(casualty.attempts, 1);
+  EXPECT_EQ(casualty.error, "injected cell failure");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == victim) continue;
+    EXPECT_FALSE(outcomes[i].failed) << "collateral damage at cell " << i;
+    EXPECT_TRUE(outcomes[i].error.empty());
+  }
+
+  // The casualty's point carries the quarantine count; every other point
+  // is byte-identical to the failure-free sweep.
+  ASSERT_EQ(points.size(), clean.size());
+  const std::size_t victim_point =
+      casualty.switch_index * config.loads.size() + casualty.load_index;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (p == victim_point) {
+      EXPECT_EQ(points[p].failed_count, 1);
+      continue;
+    }
+    expect_point_eq(points[p], clean[p]);
+  }
+  // The surviving replication still contributes real statistics.
+  EXPECT_GT(points[victim_point].throughput, 0.0);
+  EXPECT_FALSE(points[victim_point].unstable());
+}
+
+TEST(SweepFailure, TransientFlakeRecoversOnRetryWithIdenticalResults) {
+  SweepConfig config = base_config();
+  config.cell_attempts = 2;
+  const std::vector<SwitchFactory> switches = {make_fifoms()};
+  const TrafficFactory traffic = bernoulli_traffic(config.num_ports);
+
+  const auto clean = run_sweep(config, switches, traffic);
+
+  // The probe fails attempt 0 only: the retry replays the cell's
+  // identical derived seed, so recovery changes nothing downstream.
+  const std::size_t victim = 1;
+  SweepConfig flaky = config;
+  flaky.cell_probe = [victim](std::size_t cell, int attempt) {
+    if (cell == victim && attempt == 0)
+      throw std::runtime_error("transient flake");
+  };
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(flaky, switches, traffic, &outcomes);
+
+  ASSERT_GT(outcomes.size(), victim);
+  EXPECT_FALSE(outcomes[victim].failed);
+  EXPECT_EQ(outcomes[victim].attempts, 2);
+  EXPECT_TRUE(outcomes[victim].error.empty());  // cleared by the success
+  ASSERT_EQ(points.size(), clean.size());
+  for (std::size_t p = 0; p < points.size(); ++p)
+    expect_point_eq(points[p], clean[p]);
+}
+
+TEST(SweepFailure, DeterministicFailureExhaustsEveryAttempt) {
+  SweepConfig config = base_config();
+  config.loads = {0.5};
+  config.replications = 1;
+  config.cell_attempts = 3;
+  config.cell_probe = [](std::size_t, int attempt) {
+    throw std::runtime_error("attempt " + std::to_string(attempt) +
+                             " failed deterministically");
+  };
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(config, {make_fifoms()},
+                                bernoulli_traffic(config.num_ports),
+                                &outcomes);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  EXPECT_EQ(outcomes[0].error, "attempt 2 failed deterministically");
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].failed_count, 1);
+  // Every replication quarantined: the point reports inert zeros instead
+  // of statistics fabricated from default SimResult objects.
+  EXPECT_EQ(points[0].throughput, 0.0);
+  EXPECT_EQ(points[0].output_delay, 0.0);
+}
+
+TEST(SweepFailure, NonStandardExceptionIsQuarantinedAsUnknown) {
+  SweepConfig config = base_config();
+  config.loads = {0.4};
+  config.replications = 1;
+  config.cell_probe = [](std::size_t, int) { throw 42; };
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(config, {make_fifoms()},
+                                bernoulli_traffic(config.num_ports),
+                                &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_EQ(outcomes[0].error, "unknown exception");
+  EXPECT_EQ(points[0].failed_count, 1);
+}
+
+TEST(SweepFailure, WallClockWatchdogQuarantinesARunawayCell) {
+  // A 1 ms budget against a few hundred thousand slots: the cooperative
+  // watchdog inside Simulator::run must fire and the sweep must report a
+  // SimTimeout quarantine instead of hanging.
+  SweepConfig config = base_config();
+  config.num_ports = 8;
+  config.loads = {0.9};
+  config.replications = 1;
+  config.slots = 400'000;
+  config.cell_timeout_ms = 1;
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(config, {make_fifoms()},
+                                bernoulli_traffic(config.num_ports),
+                                &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_NE(outcomes[0].error.find("wall-clock limit"), std::string::npos)
+      << outcomes[0].error;
+  EXPECT_EQ(points[0].failed_count, 1);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -36,6 +36,14 @@ compiler nor clang-tidy enforces:
       or a direct `.hash()` call), and direct panic()/FIFOMS_ASSERT()
       calls are forbidden in src/verify/.
 
+  no-abort-in-fault-path
+      The fault subsystem (src/fault/) exists so the hardened sweep
+      engine can quarantine a failing cell and keep the rest of the
+      grid.  That only works if every failure there is a catchable
+      exception (FaultError): abort()/exit()/std::terminate/panic()/
+      FIFOMS_ASSERT would take the whole sweep down with the cell, so
+      they are banned in src/fault/.
+
   no-float-in-decision-path
       Scheduler decision code (src/sched/, src/core/, src/hw/) must not
       use float/double: floating-point comparison makes grant decisions
@@ -168,6 +176,28 @@ def check_audit_panic_slot(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+FAULT_ABORT = re.compile(
+    r"\b(?:std::)?(?:abort|exit|_Exit|quick_exit|terminate)\s*\("
+    r"|\bpanic\s*\(|\bFIFOMS_D?ASSERT\s*\("
+)
+
+
+def check_no_abort_in_fault_path(rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/fault/"):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        if suppressed(raw, "no-abort-in-fault-path"):
+            continue
+        if FAULT_ABORT.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "no-abort-in-fault-path",
+                        "fault-path failures must throw FaultError so the "
+                        "sweep engine can quarantine the cell; aborting "
+                        "kills the whole grid"))
+    return findings
+
+
 VERIFY_MACRO = re.compile(r"\bFIFOMS_VERIFY_(FAIL|CHECK)\s*\(")
 FLOAT_TYPE = re.compile(r"\b(?:float|double|long\s+double)\b")
 
@@ -259,13 +289,16 @@ def check_no_float_in_decision_path(rel: str,
 
 
 CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot,
-          check_verify_panic_state_hash, check_no_float_in_decision_path]
+          check_no_abort_in_fault_path, check_verify_panic_state_hash,
+          check_no_float_in_decision_path]
 RULES = {
     "no-raw-rand": "ban rand()/srand()/random_device/random_shuffle",
     "no-unordered-in-decision-path":
         "ban hash containers in src/sched/ and src/core/",
     "audit-panic-slot":
         "auditor panics must carry the slot number via FIFOMS_AUDIT_FAIL",
+    "no-abort-in-fault-path":
+        "src/fault/ must throw FaultError, never abort/panic/assert",
     "verify-panic-state-hash":
         "src/verify/ panics must carry the canonical state hash",
     "no-float-in-decision-path":
@@ -335,6 +368,27 @@ def self_test() -> int:
          "  ::fifoms::panic(__FILE__, __LINE__, (msg))"),
         ("other files ignored", False, check_audit_panic_slot,
          "src/analysis/queueing.cpp", "panic(__FILE__, __LINE__, msg);"),
+        ("abort in fault path flagged", True, check_no_abort_in_fault_path,
+         "src/fault/fault.cpp", "std::abort();"),
+        ("exit in fault path flagged", True, check_no_abort_in_fault_path,
+         "src/fault/fault.cpp", "exit(1);"),
+        ("terminate in fault path flagged", True,
+         check_no_abort_in_fault_path, "src/fault/fault.cpp",
+         "std::terminate();"),
+        ("assert in fault path flagged", True, check_no_abort_in_fault_path,
+         "src/fault/fault.hpp", 'FIFOMS_ASSERT(ok, "msg");'),
+        ("panic in fault path flagged", True, check_no_abort_in_fault_path,
+         "src/fault/fault.cpp", "panic(__FILE__, __LINE__, msg);"),
+        ("throw FaultError ok", False, check_no_abort_in_fault_path,
+         "src/fault/fault.cpp", 'throw FaultError("bad plan");'),
+        ("abort in comment ok", False, check_no_abort_in_fault_path,
+         "src/fault/fault.hpp", "// abort is banned here"),
+        ("fault rule ignores other dirs", False,
+         check_no_abort_in_fault_path, "src/sim/simulator.cpp",
+         "std::abort();"),
+        ("fault suppression honoured", False, check_no_abort_in_fault_path,
+         "src/fault/fault.cpp",
+         "abort();  // fifoms-lint: allow(no-abort-in-fault-path)"),
         ("verify fail with state_hash ok", False,
          check_verify_panic_state_hash, "src/verify/x.cpp",
          'FIFOMS_VERIFY_FAIL(state_hash, "boom");'),
