@@ -1,7 +1,8 @@
 // Ablation A3: switch-size scaling.
 //
 // Fixed effective load (0.8) under Bernoulli multicast traffic with mean
-// fanout pinned at N/5 (b = 0.2), radix swept over {8, 16, 32, 64}.
+// fanout pinned at N/5 (b = 0.2), radix swept over {16, 64, 128, 256}
+// (the weight-plane kernel's N sweep — docs/PERFORMANCE.md).
 // Expected: FIFOMS delay and convergence rounds grow slowly with N (the
 // paper argues rounds stay far below the worst-case N).
 #include <cstdio>
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"N", "in_delay", "out_delay", "avg_queue", "rounds",
                       "throughput"});
   std::vector<PointSummary> all_points;
-  for (int ports : {8, 16, 32, 64}) {
+  for (int ports : {16, 64, 128, 256}) {
     SweepConfig sweep = args.sweep;
     sweep.num_ports = ports;
     const auto points = run_sweep(

@@ -44,28 +44,32 @@ BenchReport run_sched_report(std::int64_t slots) {
   report.git_sha = current_git_sha();
 
   const auto measure = [&](const std::string& name, SwitchModel& sw,
-                           int ports) {
-    report.records.push_back(measure_switch(name, sw, ports, slots));
+                           int ports, std::int64_t measured_slots) {
+    report.records.push_back(measure_switch(name, sw, ports, measured_slots));
     const BenchRecord& r = report.records.back();
     std::printf("  %-12s %8.3fs  %12.0f slots/s  %12.0f cells/s\n",
                 r.name.c_str(), r.wall_seconds, r.slots_per_sec,
                 r.cells_per_sec);
   };
 
-  for (const int ports : {16, 64}) {
+  // The radix sweep doubles N to show how the word-parallel kernels
+  // scale (docs/PERFORMANCE.md explains how to read these rows).  The
+  // largest sizes get fewer slots so a full run stays affordable.
+  for (const int ports : {16, 64, 128, 256}) {
+    const std::int64_t sized_slots = ports >= 128 ? slots / 4 : slots;
     VoqSwitch fifoms_sw(ports, std::make_unique<FifomsScheduler>());
-    measure("FIFOMS/" + std::to_string(ports), fifoms_sw, ports);
+    measure("FIFOMS/" + std::to_string(ports), fifoms_sw, ports, sized_slots);
     VoqSwitch islip_sw(ports, std::make_unique<IslipScheduler>());
-    measure("iSLIP/" + std::to_string(ports), islip_sw, ports);
+    measure("iSLIP/" + std::to_string(ports), islip_sw, ports, sized_slots);
   }
   {
     const int ports = 16;
     VoqSwitch pim_sw(ports, std::make_unique<PimScheduler>());
-    measure("PIM/16", pim_sw, ports);
+    measure("PIM/16", pim_sw, ports, slots);
     SingleFifoSwitch tatra_sw(ports, std::make_unique<TatraScheduler>());
-    measure("TATRA/16", tatra_sw, ports);
+    measure("TATRA/16", tatra_sw, ports, slots);
     OqSwitch oq_sw(ports);
-    measure("OQFIFO/16", oq_sw, ports);
+    measure("OQFIFO/16", oq_sw, ports, slots);
   }
   return report;
 }

@@ -106,8 +106,8 @@ void BM_OqFifo(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_Fifoms)->Arg(16)->Arg(64);
-BENCHMARK(BM_Islip)->Arg(16)->Arg(64);
+BENCHMARK(BM_Fifoms)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Islip)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_Pim)->Arg(16)->Arg(64);
 BENCHMARK(BM_Tatra)->Arg(16)->Arg(64);
 BENCHMARK(BM_Wba)->Arg(16)->Arg(64);
@@ -143,13 +143,16 @@ int run_regression_guard() {
   current.kind = "sched";
   current.threads = 1;
   current.git_sha = bench::current_git_sha();
-  for (const int ports : {16, 64}) {
+  for (const int ports : {16, 64, 128, 256}) {
+    // Larger radices cost more per slot; scale the sample down so the
+    // guard stays a smoke check, not a benchmark.
+    const std::int64_t sized_slots = ports >= 128 ? slots / 4 : slots;
     VoqSwitch fifoms_sw(ports, std::make_unique<FifomsScheduler>());
     current.records.push_back(bench::measure_switch(
-        "FIFOMS/" + std::to_string(ports), fifoms_sw, ports, slots));
+        "FIFOMS/" + std::to_string(ports), fifoms_sw, ports, sized_slots));
     VoqSwitch islip_sw(ports, std::make_unique<IslipScheduler>());
     current.records.push_back(bench::measure_switch(
-        "iSLIP/" + std::to_string(ports), islip_sw, ports, slots));
+        "iSLIP/" + std::to_string(ports), islip_sw, ports, sized_slots));
   }
 
   const auto result = bench::check_regressions(current, baseline);

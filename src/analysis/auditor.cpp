@@ -506,6 +506,70 @@ void audit_mc_voq_input(SlotTime now, const McVoqInput& input) {
     }
   }
 
+  // Weight-plane / occupied() consistency: rebuild both from the rings
+  // and compare against the incrementally maintained views the scheduler
+  // kernels read.  A drifted plane entry would silently misdirect every
+  // later request step, so catch it at the slot where it diverges.
+  const std::span<const std::uint64_t> plane = input.hol_weights();
+  if (plane.size() % 64 != 0 ||
+      plane.size() < static_cast<std::size_t>(input.num_outputs()))
+    FIFOMS_AUDIT_FAIL(now, "weight plane of input " +
+                               std::to_string(input.port()) +
+                               " is missing its 64-entry padding");
+  for (PortId output = 0; output < input.num_outputs(); ++output) {
+    std::uint64_t expected = kWeightInfinity;
+    for (int priority = 0; priority < input.num_classes(); ++priority) {
+      const RingBuffer<AddressCell>& ring =
+          input.address_cells(priority, output);
+      if (!ring.empty() && ring[0].weight < expected)
+        expected = ring[0].weight;
+    }
+    const std::uint64_t got = plane[static_cast<std::size_t>(output)];
+    if (got != expected)
+      FIFOMS_AUDIT_FAIL(now, "weight plane drift at (input " +
+                                 std::to_string(input.port()) + ", output " +
+                                 std::to_string(output) + "): plane holds " +
+                                 std::to_string(got) +
+                                 " but the rings imply " +
+                                 std::to_string(expected));
+    if (input.occupied().contains(output) != (expected != kWeightInfinity))
+      FIFOMS_AUDIT_FAIL(now, "occupied() bit inconsistent with rings at "
+                             "(input " +
+                                 std::to_string(input.port()) + ", output " +
+                                 std::to_string(output) + ")");
+  }
+  for (std::size_t o = static_cast<std::size_t>(input.num_outputs());
+       o < plane.size(); ++o)
+    if (plane[o] != kWeightInfinity)
+      FIFOMS_AUDIT_FAIL(now, "weight plane padding of input " +
+                                 std::to_string(input.port()) +
+                                 " corrupted at entry " + std::to_string(o));
+
+  // hol_min consistency: the fabric-maintained minimum and carrier mask
+  // must equal a fresh reduction over the plane — the scheduler's request
+  // fast path trusts them without rescanning.
+  std::uint64_t min_expected = kWeightInfinity;
+  PortSet min_mask_expected;
+  for (PortId output = 0; output < input.num_outputs(); ++output) {
+    const std::uint64_t w = plane[static_cast<std::size_t>(output)];
+    if (w < min_expected) {
+      min_expected = w;
+      min_mask_expected = PortSet::single(output);
+    } else if (w == min_expected && w != kWeightInfinity) {
+      min_mask_expected.insert(output);
+    }
+  }
+  if (input.hol_min_weight() != min_expected ||
+      !(input.hol_min_outputs() == min_mask_expected))
+    FIFOMS_AUDIT_FAIL(now, "hol_min drift at input " +
+                               std::to_string(input.port()) +
+                               ": fabric holds " +
+                               std::to_string(input.hol_min_weight()) +
+                               " over " + input.hol_min_outputs().to_string() +
+                               " but the plane implies " +
+                               std::to_string(min_expected) + " over " +
+                               min_mask_expected.to_string());
+
   if (ref_count.size() != pool.live_count())
     FIFOMS_AUDIT_FAIL(now, "data cell leak at input " +
                                std::to_string(input.port()) + ": " +

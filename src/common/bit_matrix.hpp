@@ -1,0 +1,87 @@
+// Word-parallel bit-matrix transpose for the scheduler kernels.
+//
+// The request/grant schedulers keep one bitmask per *input* (which
+// outputs it requests), but the grant step wants one bitmask per
+// *output* (which inputs request it).  Converting between the two views
+// is a bit-matrix transpose; doing it with 64x64 word tiles costs
+// O(W_in * W_out * 64 log 64) word operations instead of one insert per
+// set bit — on a backlogged switch the request matrix is dense, so the
+// per-bit build is the quadratic term the transpose removes.
+//
+// Bit convention matches PortSet::words(): element (row r, column c) is
+// bit (c & 63) of word (c >> 6) of row r, i.e. LSB-first columns.
+//
+// This file is scheduler decision-path code: tools/lint.py applies the
+// no-unordered-in-decision-path rule here just like src/sched/ and
+// src/core/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/port_set.hpp"
+
+namespace fifoms {
+
+/// In-place transpose of a 64x64 bit matrix: bit c of word r moves to
+/// bit r of word c (Hacker's Delight 7-3, adapted to LSB-first columns).
+inline void transpose64(std::uint64_t m[64]) {
+  std::uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k + j] ^= t;
+      m[k] ^= t << j;
+    }
+  }
+}
+
+/// Transpose a bit matrix held as PortSet rows into PortSet columns:
+/// cols[c].contains(r) == rows[r].contains(c).  Every column is fully
+/// overwritten (stale contents of `cols` do not leak through).  Rows may
+/// only carry bits below cols.size() and vice versa — both are PortSets,
+/// so that holds by construction when the caller sizes the spans to the
+/// switch radix.
+inline void transpose_bit_matrix(std::span<const PortSet> rows,
+                                 std::span<PortSet> cols) {
+  const int num_rows = static_cast<int>(rows.size());
+  const int num_cols = static_cast<int>(cols.size());
+  const int row_words = (num_rows + 63) >> 6;   // words of a column set
+  const int col_words = (num_cols + 63) >> 6;   // words of a row set
+  std::uint64_t tile[64];
+
+  for (int wr = 0; wr < row_words; ++wr) {
+    const int row_base = wr << 6;
+    const int rows_here =
+        num_rows - row_base < 64 ? num_rows - row_base : 64;
+    for (int wc = 0; wc < col_words; ++wc) {
+      // Gather the 64x64 tile: tile[r] = word wc of row (row_base + r).
+      std::uint64_t any = 0;
+      for (int r = 0; r < rows_here; ++r) {
+        tile[r] = rows[static_cast<std::size_t>(row_base + r)].words()
+                      [static_cast<std::size_t>(wc)];
+        any |= tile[r];
+      }
+      for (int r = rows_here; r < 64; ++r) tile[r] = 0;
+
+      const int col_base = wc << 6;
+      const int cols_here =
+          num_cols - col_base < 64 ? num_cols - col_base : 64;
+      if (any == 0) {
+        for (int c = 0; c < cols_here; ++c)
+          cols[static_cast<std::size_t>(col_base + c)].set_word(wr, 0);
+        continue;
+      }
+      transpose64(tile);
+      for (int c = 0; c < cols_here; ++c)
+        cols[static_cast<std::size_t>(col_base + c)].set_word(wr, tile[c]);
+    }
+  }
+  // Columns hold row indices < num_rows only, so their higher words are
+  // always zero; writing them keeps reused column storage clean.
+  for (int wr_hi = row_words; wr_hi < PortSet::kWords; ++wr_hi)
+    for (int c = 0; c < num_cols; ++c)
+      cols[static_cast<std::size_t>(c)].set_word(wr_hi, 0);
+}
+
+}  // namespace fifoms

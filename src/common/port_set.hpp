@@ -108,24 +108,35 @@ class PortSet {
   void clear() { words_ = {}; }
 
   PortSet operator|(const PortSet& o) const {
-    PortSet r;
-    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] | o.words_[w];
+    PortSet r = *this;
+    r |= o;
     return r;
   }
   PortSet operator&(const PortSet& o) const {
-    PortSet r;
-    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] & o.words_[w];
+    PortSet r = *this;
+    r &= o;
     return r;
   }
   /// Set difference: elements of *this not in `o`.
   PortSet operator-(const PortSet& o) const {
-    PortSet r;
-    for (int w = 0; w < kWords; ++w) r.words_[w] = words_[w] & ~o.words_[w];
+    PortSet r = *this;
+    r -= o;
     return r;
   }
-  PortSet& operator|=(const PortSet& o) { return *this = *this | o; }
-  PortSet& operator&=(const PortSet& o) { return *this = *this & o; }
-  PortSet& operator-=(const PortSet& o) { return *this = *this - o; }
+  // The compound forms mutate in place (no 32-byte temporary) — they are
+  // the ones the scheduler kernels run per round.
+  PortSet& operator|=(const PortSet& o) {
+    for (int w = 0; w < kWords; ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+  PortSet& operator&=(const PortSet& o) {
+    for (int w = 0; w < kWords; ++w) words_[w] &= o.words_[w];
+    return *this;
+  }
+  PortSet& operator-=(const PortSet& o) {
+    for (int w = 0; w < kWords; ++w) words_[w] &= ~o.words_[w];
+    return *this;
+  }
 
   bool operator==(const PortSet& o) const = default;
 
@@ -162,6 +173,18 @@ class PortSet {
 
   const_iterator begin() const { return {this, first()}; }
   const_iterator end() const { return {this, kNoPort}; }
+
+  /// Raw word view: bit b of word w is port w*64 + b.  Kernels (the
+  /// FIFOMS weight-plane scheduler, the bit-matrix transpose) operate on
+  /// these words directly instead of iterating ports one by one.
+  const std::array<std::uint64_t, kWords>& words() const { return words_; }
+
+  /// Overwrite one raw word.  Every bit pattern is a valid set (the word
+  /// array spans exactly kMaxPorts), so this cannot break invariants.
+  void set_word(int w, std::uint64_t bits) {
+    FIFOMS_ASSERT(w >= 0 && w < kWords, "word index out of range");
+    words_[static_cast<std::size_t>(w)] = bits;
+  }
 
   /// "{0,3,7}" — for diagnostics and trace files.
   std::string to_string() const;

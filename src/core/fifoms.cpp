@@ -1,20 +1,21 @@
+// fifoms-lint: kernel-file — the request step must stay word-parallel
+// (no per-port indexed loops); see tools/lint.py no-per-port-loop-in-kernel.
 #include "core/fifoms.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace fifoms {
 
-namespace {
-constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
-}  // namespace
-
 void FifomsScheduler::reset(int num_inputs, int num_outputs) {
-  (void)num_inputs;
+  num_inputs_ = num_inputs;
   num_outputs_ = num_outputs;
-  const auto n = static_cast<std::size_t>(num_outputs);
-  arena_.reserve(ScratchArena::bytes_for<std::uint64_t>(n) +
-                 ScratchArena::bytes_for<PortSet>(n) +
-                 ScratchArena::bytes_for<std::uint64_t>(n));
+  const auto n_in = static_cast<std::size_t>(num_inputs);
+  const auto n_out = static_cast<std::size_t>(num_outputs);
+  arena_.reserve(ScratchArena::bytes_for<std::uint64_t>(n_in) +
+                 ScratchArena::bytes_for<PortSet>(n_in) +
+                 ScratchArena::bytes_for<std::uint64_t>(n_out) +
+                 ScratchArena::bytes_for<PortSet>(n_out));
 }
 
 void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
@@ -23,18 +24,24 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
                                const ScheduleConstraints& constraints) {
   const int num_inputs = static_cast<int>(inputs.size());
   const int num_outputs = matching.num_outputs();
-  FIFOMS_ASSERT(num_outputs_ == num_outputs,
+  FIFOMS_ASSERT(num_inputs_ == num_inputs && num_outputs_ == num_outputs,
                 "FifomsScheduler::reset not called for this switch size");
 
   arena_.rewind();
-  const auto n = static_cast<std::size_t>(num_outputs);
+  // Per-input cache of the last computed request state: the minimum HOL
+  // weight among then-eligible outputs, and the mask of outputs carrying
+  // it.  Valid from one round to the next because queues are frozen
+  // during a slot and free_outputs only ever shrinks — see below.
+  auto input_min = arena_.take<std::uint64_t>(
+      static_cast<std::size_t>(num_inputs));
+  auto request_mask = arena_.take<PortSet>(
+      static_cast<std::size_t>(num_inputs));
   // Smallest requesting weight per output, and the set of inputs carrying
   // it; both are only valid for outputs in `requested` this round.
-  auto best_weight = arena_.take<std::uint64_t>(n);
-  auto candidates = arena_.take<PortSet>(n);
-  // HOL-weight cache for the input currently scanning (two passes per
-  // input: find the minimum, then emit requests at that minimum).
-  auto hol_weight = arena_.take<std::uint64_t>(n);
+  auto best_weight = arena_.take<std::uint64_t>(
+      static_cast<std::size_t>(num_outputs));
+  auto candidates = arena_.take<PortSet>(
+      static_cast<std::size_t>(num_outputs));
 
   // The matching arrives cleared (scheduler contract), so every port
   // starts free; grants peel bits off these masks as rounds progress.
@@ -48,44 +55,141 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
   PortSet requested;
 
   int rounds = 0;
+  bool first_round = true;
   while (options_.max_rounds == 0 || rounds < options_.max_rounds) {
     // ---- Request step -------------------------------------------------
     // Each free input selects the HOL address cells with the smallest time
     // stamp among VOQs whose output is still free; those cells request
-    // their outputs with the time stamp as weight.  occupied() & free is
-    // a four-word AND, so empty and already-matched VOQs cost nothing.
+    // their outputs with the time stamp as weight.  The scan reads the
+    // input's weight plane (contiguous, kWeightInfinity for empty VOQs)
+    // word by word, masked by occupied() & free_outputs.
     requested.clear();
     for (PortId input : free_inputs) {
-      const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
-      PortSet eligible = port.occupied() & free_outputs;
-      if (link_faults) eligible -= constraints.link_faults(input);
+      const auto i = static_cast<std::size_t>(input);
+      PortSet& mask = request_mask[i];
 
-      std::uint64_t smallest = kInfinity;
-      for (PortId output : eligible) {
-        const std::uint64_t weight = port.hol(output).weight;
-        hol_weight[static_cast<std::size_t>(output)] = weight;
-        smallest = std::min(smallest, weight);
+      // Cache revalidation: the cached mask held the outputs at this
+      // input's minimum weight among the then-free outputs.  Shrinking
+      // free_outputs can only remove eligible outputs, so the true
+      // minimum can only rise.  If any cached-minimum output is still
+      // free, the minimum is unchanged and the surviving bits are
+      // exactly this round's requests — no rescan.
+      bool have_requests = false;
+      if (!first_round) {
+        mask &= free_outputs;
+        have_requests = !mask.empty();
       }
-      if (smallest == kInfinity) continue;  // nothing eligible at this input
 
-      for (PortId output : eligible) {
-        if (hol_weight[static_cast<std::size_t>(output)] != smallest)
+      if (!have_requests) {
+        const McVoqInput& port = inputs[i];
+
+        // Fabric fast path: the input's global HOL minimum and carrier
+        // mask are maintained by McVoqInput across slots.  Whenever any
+        // global-minimum output is still eligible, the minimum over the
+        // eligible set *is* the global minimum, and the outputs carrying
+        // it are exactly `carriers ∩ eligible` (carriers ⊆ occupied(),
+        // so intersecting with free_outputs − link faults suffices).
+        // This skips the plane scan entirely in the common case; the
+        // full reduction below only runs when every minimum carrier has
+        // been matched or faulted away.
+        mask = port.hol_min_outputs();
+        mask &= free_outputs;
+        if (link_faults) mask -= constraints.link_faults(input);
+        if (!mask.empty()) {
+          input_min[i] = port.hol_min_weight();
+          have_requests = true;
+        }
+        // An empty mask falls through to the full reduction, which
+        // rewrites every mask word — the clobber here is harmless.
+      }
+
+      if (!have_requests) {
+        const McVoqInput& port = inputs[i];
+        PortSet eligible = port.occupied() & free_outputs;
+        if (link_faults) eligible -= constraints.link_faults(input);
+        const std::uint64_t* plane = port.hol_weights().data();
+        const auto& eligible_words = eligible.words();
+
+        // Masked min-reduction over the plane.  Only words with eligible
+        // bits are touched; the plane's 64-entry padding guarantees
+        // `plane + 64 * w` is addressable for every such word.
+        std::uint64_t smallest = kWeightInfinity;
+        for (int w = 0; w < PortSet::kWords; ++w) {
+          std::uint64_t bits = eligible_words[static_cast<std::size_t>(w)];
+          if (!bits) continue;
+          const std::uint64_t* base = plane + (w << 6);
+          do {
+            const int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            smallest = std::min(smallest, base[b]);
+          } while (bits);
+        }
+        if (smallest == kWeightInfinity) {
+          // No eligible VOQ.  Queues are frozen and free_outputs only
+          // shrinks, so this input cannot become eligible later in the
+          // slot — drop it so subsequent rounds skip it entirely.
+          // (Erasing the current element is safe: iteration advances via
+          // next_after, which only inspects strictly larger bits.)
+          free_inputs.erase(input);
           continue;
-        const auto o = static_cast<std::size_t>(output);
-        if (!requested.contains(output)) {
-          requested.insert(output);
-          best_weight[o] = smallest;
+        }
+
+        // Word-parallel equality scan: emit the request mask as 64-bit
+        // words, one flag bit per eligible output at the minimum.
+        input_min[i] = smallest;
+        for (int w = 0; w < PortSet::kWords; ++w) {
+          std::uint64_t bits = eligible_words[static_cast<std::size_t>(w)];
+          std::uint64_t req = 0;
+          if (bits) {
+            const std::uint64_t* base = plane + (w << 6);
+            do {
+              const int b = std::countr_zero(bits);
+              bits &= bits - 1;
+              req |= static_cast<std::uint64_t>(base[b] == smallest) << b;
+            } while (bits);
+          }
+          mask.set_word(w, req);
+        }
+      }
+
+      // Deliver the requests to their outputs.  All of an input's
+      // requests this round share one weight (its minimum), matching the
+      // reference's per-output candidate bookkeeping bit for bit.  The
+      // first-request / contested split is resolved per word against
+      // `requested`, so the common case (a fresh output) skips the
+      // per-output weight compare entirely.
+      const std::uint64_t weight = input_min[i];
+      const auto& mask_words = mask.words();
+      for (int w = 0; w < PortSet::kWords; ++w) {
+        const std::uint64_t bits = mask_words[static_cast<std::size_t>(w)];
+        if (!bits) continue;
+        const std::uint64_t seen = requested.words()[static_cast<std::size_t>(w)];
+        requested.set_word(w, seen | bits);
+        std::uint64_t fresh = bits & ~seen;
+        while (fresh) {
+          const int b = std::countr_zero(fresh);
+          fresh &= fresh - 1;
+          const auto o = static_cast<std::size_t>((w << 6) + b);
+          best_weight[o] = weight;
           candidates[o] = PortSet::single(input);
-        } else if (smallest < best_weight[o]) {
-          best_weight[o] = smallest;
-          candidates[o] = PortSet::single(input);
-        } else if (smallest == best_weight[o]) {
-          candidates[o].insert(input);
+        }
+        std::uint64_t contested = bits & seen;
+        while (contested) {
+          const int b = std::countr_zero(contested);
+          contested &= contested - 1;
+          const auto o = static_cast<std::size_t>((w << 6) + b);
+          if (weight < best_weight[o]) {
+            best_weight[o] = weight;
+            candidates[o] = PortSet::single(input);
+          } else if (weight == best_weight[o]) {
+            candidates[o].insert(input);
+          }
         }
       }
     }
     if (requested.empty()) break;  // converged: no free pair can match
     ++rounds;
+    first_round = false;
 
     // ---- Grant step ----------------------------------------------------
     // Every output with requests grants the smallest time stamp; ties are
@@ -111,6 +215,96 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
   matching.rounds = rounds;
 }
 
+void FifomsReferenceScheduler::reset(int num_inputs, int num_outputs) {
+  (void)num_inputs;
+  num_outputs_ = num_outputs;
+  const auto n = static_cast<std::size_t>(num_outputs);
+  arena_.reserve(ScratchArena::bytes_for<std::uint64_t>(n) +
+                 ScratchArena::bytes_for<PortSet>(n) +
+                 ScratchArena::bytes_for<std::uint64_t>(n));
+}
+
+// The original implementation, unchanged: two hol() probing passes per
+// input per round, no cross-round caching.  This is the oracle the
+// weight-plane kernel above is differentially tested against, so keep it
+// boring — clarity over speed.
+// fifoms-lint: allow(no-per-port-loop-in-kernel) — oracle, not hot path.
+void FifomsReferenceScheduler::schedule(std::span<const McVoqInput> inputs,
+                                        SlotTime /*now*/,
+                                        SlotMatching& matching, Rng& rng,
+                                        const ScheduleConstraints& constraints) {
+  const int num_inputs = static_cast<int>(inputs.size());
+  const int num_outputs = matching.num_outputs();
+  FIFOMS_ASSERT(num_outputs_ == num_outputs,
+                "FifomsReferenceScheduler::reset not called for this size");
+
+  arena_.rewind();
+  const auto n = static_cast<std::size_t>(num_outputs);
+  auto best_weight = arena_.take<std::uint64_t>(n);
+  auto candidates = arena_.take<PortSet>(n);
+  // HOL-weight cache for the input currently scanning (two passes per
+  // input: find the minimum, then emit requests at that minimum).
+  auto hol_weight = arena_.take<std::uint64_t>(n);
+
+  PortSet free_inputs = PortSet::all(num_inputs) - constraints.failed_inputs;
+  PortSet free_outputs =
+      PortSet::all(num_outputs) - constraints.failed_outputs;
+  const bool link_faults = !constraints.failed_links.empty();
+  PortSet requested;
+
+  int rounds = 0;
+  while (options_.max_rounds == 0 || rounds < options_.max_rounds) {
+    requested.clear();
+    for (PortId input : free_inputs) {
+      const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
+      PortSet eligible = port.occupied() & free_outputs;
+      if (link_faults) eligible -= constraints.link_faults(input);
+
+      std::uint64_t smallest = kWeightInfinity;
+      for (PortId output : eligible) {
+        const std::uint64_t weight = port.hol(output).weight;
+        hol_weight[static_cast<std::size_t>(output)] = weight;
+        smallest = std::min(smallest, weight);
+      }
+      if (smallest == kWeightInfinity)
+        continue;  // nothing eligible at this input
+
+      for (PortId output : eligible) {
+        if (hol_weight[static_cast<std::size_t>(output)] != smallest)
+          continue;
+        const auto o = static_cast<std::size_t>(output);
+        if (!requested.contains(output)) {
+          requested.insert(output);
+          best_weight[o] = smallest;
+          candidates[o] = PortSet::single(input);
+        } else if (smallest < best_weight[o]) {
+          best_weight[o] = smallest;
+          candidates[o] = PortSet::single(input);
+        } else if (smallest == best_weight[o]) {
+          candidates[o].insert(input);
+        }
+      }
+    }
+    if (requested.empty()) break;
+    ++rounds;
+
+    for (PortId output : requested) {
+      const PortSet& cands = candidates[static_cast<std::size_t>(output)];
+      PortId winner;
+      if (options_.tie_break != TieBreak::kRandom || cands.count() == 1) {
+        winner = cands.first();
+      } else {
+        winner = cands.random_member(rng);
+      }
+      matching.add_match(winner, output);
+      free_outputs.erase(output);
+      free_inputs.erase(winner);
+    }
+  }
+
+  matching.rounds = rounds;
+}
+
 void FifomsNoSplitScheduler::reset(int /*num_inputs*/, int /*num_outputs*/) {}
 
 void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
@@ -122,15 +316,15 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
   // Within one input, the earliest packet's address cells are at the HOL of
   // every VOQ they occupy (VOQs are FIFO by arrival), so the set of outputs
   // whose HOL time stamp equals the input's minimum is exactly the earliest
-  // packet's residue.
+  // packet's residue.  Both are maintained by the fabric (hol_min_weight /
+  // hol_min_outputs): here the scan is over *all* occupied outputs — no
+  // eligibility mask — so the fabric minimum is always the answer.
   order_.clear();
-  for (PortId input = 0; input < num_inputs; ++input) {
-    if (constraints.failed_inputs.contains(input)) continue;
+  const PortSet live = PortSet::all(num_inputs) - constraints.failed_inputs;
+  for (PortId input : live) {
     const McVoqInput& port = inputs[static_cast<std::size_t>(input)];
-    std::uint64_t smallest = kInfinity;
-    for (PortId output : port.occupied())
-      smallest = std::min(smallest, port.hol(output).weight);
-    if (smallest == kInfinity) continue;
+    const std::uint64_t smallest = port.hol_min_weight();
+    if (smallest == kWeightInfinity) continue;
     order_.push_back(Entry{smallest, rng.next_u64(), input});
   }
   std::sort(order_.begin(), order_.end(), [](const Entry& a, const Entry& b) {
@@ -140,19 +334,16 @@ void FifomsNoSplitScheduler::schedule(std::span<const McVoqInput> inputs,
 
   for (const Entry& entry : order_) {
     const McVoqInput& port = inputs[static_cast<std::size_t>(entry.input)];
-    // Residue of the input's earliest packet.  A failed output (or dead
-    // link) in the residue blocks the whole packet: all-or-nothing means
-    // it holds until the fabric recovers.
-    const PortSet blocked = constraints.blocked_outputs(entry.input);
-    PortSet residue;
-    bool all_free = true;
-    for (PortId output : port.occupied()) {
-      if (port.hol(output).weight != entry.weight) continue;
-      residue.insert(output);
-      if (matching.output_matched(output) || blocked.contains(output))
-        all_free = false;
-    }
-    if (!all_free || residue.empty()) continue;  // all-or-nothing
+    // Residue of the input's earliest packet: the outputs carrying the
+    // input's minimum weight — exactly hol_min_outputs() (queues are
+    // frozen during a slot).  A failed output (or dead link) in the
+    // residue blocks the whole packet: all-or-nothing means it holds
+    // until the fabric recovers.
+    const PortSet& residue = port.hol_min_outputs();
+    if (residue.empty()) continue;
+    const PortSet blocked =
+        matching.matched_outputs() | constraints.blocked_outputs(entry.input);
+    if (residue.intersects(blocked)) continue;  // all-or-nothing
     for (PortId output : residue) matching.add_match(entry.input, output);
   }
 

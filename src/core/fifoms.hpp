@@ -25,6 +25,24 @@
 // (starvation-free: a cell is served once every strictly earlier
 // competitor is) and the mechanism that aligns the outputs' independent
 // decisions on the same multicast packet.
+//
+// Two implementations share this contract:
+//
+//   FifomsScheduler — the production kernel.  The request step reads the
+//   inputs' HOL *weight planes* (contiguous per-output weight arrays
+//   maintained by McVoqInput) with word-parallel masked scans, and caches
+//   each input's request mask across rounds: within a slot the queues are
+//   frozen and free_outputs only shrinks, so as long as a cached mask
+//   still intersects the free outputs, the cached minimum is still the
+//   minimum and the surviving mask bits are exactly the new requests.
+//   Unchanged inputs therefore cost O(PortSet::kWords) per round.
+//
+//   FifomsReferenceScheduler — the original ring-buffer-probing
+//   implementation, kept verbatim as the differential-testing oracle.
+//   Both produce bit-identical matchings, round counts and RNG draw
+//   sequences (tests/core/fifoms_kernel_diff_test.cpp and the FIFOMS_FUZZ
+//   harness enforce this on random states, tie-break policies and fault
+//   constraints).
 #pragma once
 
 #include <limits>
@@ -63,11 +81,36 @@ class FifomsScheduler final : public VoqScheduler {
 
  private:
   FifomsOptions options_;
+  int num_inputs_ = 0;
   int num_outputs_ = 0;
-  // Per-slot request-collection scratch (best weight and candidate set
-  // per output, HOL-weight cache per input scan), bump-allocated from one
-  // reservation sized in reset() — the per-slot path never touches the
-  // heap.
+  // Per-slot scratch (request-mask/minimum cache per input, best weight
+  // and candidate set per output), bump-allocated from one reservation
+  // sized in reset() — the per-slot path never touches the heap.
+  ScratchArena arena_;
+};
+
+/// The pre-weight-plane FIFOMS implementation: per-(input, output) HOL
+/// ring-buffer probes, no cross-round caching.  Kept as the independent
+/// oracle the kernel is differentially tested against; also handy when
+/// bisecting a suspected kernel regression.  Not registered as a
+/// simulation scheduler — construct it directly.
+class FifomsReferenceScheduler final : public VoqScheduler {
+ public:
+  explicit FifomsReferenceScheduler(FifomsOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "FIFOMS-ref"; }
+  void reset(int num_inputs, int num_outputs) override;
+  using VoqScheduler::schedule;
+  void schedule(std::span<const McVoqInput> inputs, SlotTime now,
+                SlotMatching& matching, Rng& rng,
+                const ScheduleConstraints& constraints) override;
+
+  const FifomsOptions& options() const { return options_; }
+
+ private:
+  FifomsOptions options_;
+  int num_outputs_ = 0;
   ScratchArena arena_;
 };
 

@@ -49,6 +49,12 @@ class SlotMatching {
     return input_grants_;
   }
 
+  /// Outputs that already have a source this slot, as a bitset.
+  /// Maintained incrementally by add_match()/remove_match()/reset(), so
+  /// schedulers can mask "still free" outputs word-parallel instead of
+  /// probing output_matched() per port.
+  const PortSet& matched_outputs() const { return matched_outputs_; }
+
   /// Total matched (input, output) pairs, i.e. copies transmitted.
   int matched_pairs() const { return matched_pairs_; }
 
@@ -65,6 +71,7 @@ class SlotMatching {
  private:
   std::vector<PortSet> input_grants_;
   std::vector<PortId> output_source_;
+  PortSet matched_outputs_;
   int matched_pairs_ = 0;
 };
 

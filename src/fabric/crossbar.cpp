@@ -11,38 +11,51 @@ Crossbar::Crossbar(int num_inputs, int num_outputs)
   FIFOMS_ASSERT(num_outputs > 0 && num_outputs <= kMaxPorts,
                 "unsupported output count");
   output_source_.assign(static_cast<std::size_t>(num_outputs), kNoPort);
-  input_targets_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
 }
 
 void Crossbar::configure(std::span<const PortSet> input_to_outputs) {
   FIFOMS_ASSERT(static_cast<int>(input_to_outputs.size()) == num_inputs_,
                 "configure expects one PortSet per input");
-  release();
-  for (PortId input = 0; input < num_inputs_; ++input) {
-    const PortSet& targets = input_to_outputs[static_cast<std::size_t>(input)];
-    for (PortId output : targets) {
-      FIFOMS_ASSERT(output < num_outputs_, "crosspoint beyond output range");
-      PortId& source = output_source_[static_cast<std::size_t>(output)];
-      FIFOMS_ASSERT(source == kNoPort,
-                    "two inputs driving the same output in one slot");
-      source = input;
-    }
-    input_targets_[static_cast<std::size_t>(input)] = targets;
+  // Word-parallel legality check: every input's targets must be disjoint
+  // from everything claimed so far and inside the output range.  This is
+  // the whole cost of configure() — the sets themselves are borrowed.
+  PortSet claimed;
+  for (const PortSet& targets : input_to_outputs) {
+    FIFOMS_ASSERT(!targets.intersects(claimed),
+                  "two inputs driving the same output in one slot");
+    claimed |= targets;
   }
+  claimed -= PortSet::all(num_outputs_);
+  FIFOMS_ASSERT(claimed.empty(), "crosspoint beyond output range");
+  input_targets_ = input_to_outputs;
+  output_source_valid_ = false;
 }
 
 void Crossbar::release() {
-  for (auto& source : output_source_) source = kNoPort;
-  for (auto& targets : input_targets_) targets.clear();
+  input_targets_ = {};
+  output_source_valid_ = false;
 }
 
 PortId Crossbar::input_for_output(PortId output) const {
   FIFOMS_ASSERT(output >= 0 && output < num_outputs_, "output out of range");
+  if (!output_source_valid_) {
+    for (auto& source : output_source_) source = kNoPort;
+    for (PortId input = 0;
+         input < static_cast<PortId>(input_targets_.size()); ++input) {
+      for (PortId target : input_targets_[static_cast<std::size_t>(input)])
+        output_source_[static_cast<std::size_t>(target)] = input;
+    }
+    output_source_valid_ = true;
+  }
   return output_source_[static_cast<std::size_t>(output)];
 }
 
 const PortSet& Crossbar::outputs_for_input(PortId input) const {
   FIFOMS_ASSERT(input >= 0 && input < num_inputs_, "input out of range");
+  if (input_targets_.empty()) {
+    static const PortSet kIdle;
+    return kIdle;
+  }
   return input_targets_[static_cast<std::size_t>(input)];
 }
 

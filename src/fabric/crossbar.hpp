@@ -8,6 +8,13 @@
 // Schedulers produce matchings; the crossbar validates them before any
 // transmission happens, so an illegal matching is a hard error rather than
 // a silently wrong simulation.
+//
+// configure() borrows the caller's per-input grant sets for the duration
+// of the slot instead of copying them — the matching that produced them
+// outlives the transmission loop by construction (VoqSwitch::step holds
+// it), and release() drops the borrow.  The per-output source table is
+// only materialised when input_for_output() is actually asked for (test
+// and audit surface, not the transmission hot path).
 #pragma once
 
 #include <span>
@@ -26,10 +33,12 @@ class Crossbar {
   int num_outputs() const { return num_outputs_; }
 
   /// Close the crosspoints described by `input_to_outputs` (one PortSet per
-  /// input).  Panics if two inputs claim the same output.
+  /// input).  Panics if two inputs claim the same output.  The span is
+  /// borrowed until release() or the next configure(); the caller must
+  /// keep it alive and unchanged for that long.
   void configure(std::span<const PortSet> input_to_outputs);
 
-  /// Release all crosspoints.
+  /// Release all crosspoints (and the borrowed configuration).
   void release();
 
   /// Input currently driving `output`, or kNoPort.
@@ -47,8 +56,11 @@ class Crossbar {
  private:
   int num_inputs_;
   int num_outputs_;
-  std::vector<PortId> output_source_;
-  std::vector<PortSet> input_targets_;
+  // Borrowed grant sets; empty span when released.
+  std::span<const PortSet> input_targets_;
+  // Lazily derived inverse of input_targets_ — see input_for_output().
+  mutable std::vector<PortId> output_source_;
+  mutable bool output_source_valid_ = false;
 };
 
 }  // namespace fifoms

@@ -32,6 +32,7 @@ void HybridInput::accept(const Packet& packet) {
         .arrival = packet.arrival,
         .payload_tag = packet.payload_tag(),
     });
+    unicast_occupied_.insert(output);
     return;
   }
   mcq_.push_back(FifoCell{
@@ -46,7 +47,9 @@ void HybridInput::accept(const Packet& packet) {
 UnicastCell HybridInput::serve_unicast(PortId output) {
   RingBuffer<UnicastCell>& queue = voq(output);
   FIFOMS_ASSERT(!queue.empty(), "serve_unicast on empty VOQ");
-  return queue.pop_front();
+  UnicastCell cell = queue.pop_front();
+  if (queue.empty()) unicast_occupied_.erase(output);
+  return cell;
 }
 
 bool HybridInput::serve_multicast(const PortSet& outputs) {
@@ -78,6 +81,7 @@ std::size_t HybridInput::pending_copies() const {
 void HybridInput::clear() {
   for (auto& queue : voqs_) queue.clear();
   mcq_.clear();
+  unicast_occupied_.clear();
 }
 
 }  // namespace fifoms

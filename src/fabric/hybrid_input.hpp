@@ -36,6 +36,10 @@ class HybridInput {
 
   // --- unicast side -----------------------------------------------------
   bool voq_empty(PortId output) const { return voq(output).empty(); }
+  /// Outputs whose unicast VOQ is non-empty.  Maintained incrementally by
+  /// accept()/serve_unicast()/clear(), so the ESLIP grant step can mask
+  /// unicast requests word-parallel instead of probing every VOQ.
+  const PortSet& unicast_occupied() const { return unicast_occupied_; }
   std::size_t voq_size(PortId output) const { return voq(output).size(); }
   const UnicastCell& voq_hol(PortId output) const {
     return voq(output).front();
@@ -67,6 +71,7 @@ class HybridInput {
   int num_outputs_;
   std::vector<RingBuffer<UnicastCell>> voqs_;
   RingBuffer<FifoCell> mcq_;
+  PortSet unicast_occupied_;  // outputs with a non-empty unicast VOQ
 };
 
 }  // namespace fifoms

@@ -1,5 +1,8 @@
 #include "fabric/mc_voq_input.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace fifoms {
 
 McVoqInput::McVoqInput(PortId input, int num_outputs, int num_classes)
@@ -10,6 +13,10 @@ McVoqInput::McVoqInput(PortId input, int num_outputs, int num_classes)
                 "unsupported class count");
   voqs_.resize(static_cast<std::size_t>(num_outputs) *
                static_cast<std::size_t>(num_classes));
+  // Padded to whole 64-entry words so kernels can address the plane by
+  // occupied()-word index without a bounds special case.
+  hol_weights_.assign(
+      (static_cast<std::size_t>(num_outputs) + 63) / 64 * 64, kWeightInfinity);
 }
 
 RingBuffer<AddressCell>& McVoqInput::voq(int priority, PortId output) {
@@ -42,6 +49,63 @@ void McVoqInput::accept(const Packet& packet) {
                                .data = data,
                                .packet = packet.id});
     occupied_.insert(output);
+    // The appended cell changes the HOL weight only if it became the
+    // front of a class that outranks every other occupied class — i.e.
+    // exactly when it lowers the plane entry.
+    if (weight < hol_weights_[static_cast<std::size_t>(output)])
+      set_plane(output, weight);
+  }
+}
+
+void McVoqInput::set_plane(PortId output, std::uint64_t weight) {
+  auto& plane = hol_weights_[static_cast<std::size_t>(output)];
+  const std::uint64_t previous = plane;
+  if (previous == weight) return;
+  plane = weight;
+  if (weight < hol_min_) {
+    hol_min_ = weight;
+    hol_min_mask_ = PortSet::single(output);
+  } else if (weight == hol_min_) {
+    hol_min_mask_.insert(output);
+  } else if (previous == hol_min_) {
+    // The entry rose off the minimum; only when it was the last carrier
+    // does the minimum itself change.
+    hol_min_mask_.erase(output);
+    if (hol_min_mask_.empty()) recompute_hol_min();
+  }
+}
+
+void McVoqInput::recompute_hol_min() {
+  // Word-parallel rescan mirroring the scheduler's masked min-reduction:
+  // only words with occupied bits are touched, and the plane's 64-entry
+  // padding keeps `plane + 64 * w` addressable for every such word.
+  hol_min_ = kWeightInfinity;
+  hol_min_mask_.clear();
+  const std::uint64_t* plane = hol_weights_.data();
+  const auto& occupied_words = occupied_.words();
+  for (int w = 0; w < PortSet::kWords; ++w) {
+    std::uint64_t bits = occupied_words[static_cast<std::size_t>(w)];
+    if (!bits) continue;
+    const std::uint64_t* base = plane + (w << 6);
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      hol_min_ = std::min(hol_min_, base[b]);
+    } while (bits);
+  }
+  if (hol_min_ == kWeightInfinity) return;
+  for (int w = 0; w < PortSet::kWords; ++w) {
+    std::uint64_t bits = occupied_words[static_cast<std::size_t>(w)];
+    std::uint64_t carriers = 0;
+    if (bits) {
+      const std::uint64_t* base = plane + (w << 6);
+      do {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        carriers |= static_cast<std::uint64_t>(base[b] == hol_min_) << b;
+      } while (bits);
+    }
+    hol_min_mask_.set_word(w, carriers);
   }
 }
 
@@ -80,7 +144,17 @@ McVoqInput::Served McVoqInput::serve_hol(PortId output) {
   served.cell = queue.pop_front();
   served.payload_tag = pool_.get(served.cell.data).payload_tag;
   served.data_cell_destroyed = pool_.release_one(served.cell.data);
-  if (queue.empty() && hol_class(output) < 0) occupied_.erase(output);
+  if (queue.empty()) {
+    const int next_class = hol_class(output);
+    if (next_class < 0) {
+      occupied_.erase(output);  // before set_plane: recompute scans occupied
+      set_plane(output, kWeightInfinity);
+    } else {
+      set_plane(output, voq(next_class, output).front().weight);
+    }
+  } else {
+    set_plane(output, queue.front().weight);
+  }
   return served;
 }
 
@@ -112,6 +186,9 @@ void McVoqInput::clear() {
   pool_.clear();
   for (auto& queue : voqs_) queue.clear();
   occupied_.clear();
+  hol_weights_.assign(hol_weights_.size(), kWeightInfinity);
+  hol_min_ = kWeightInfinity;
+  hol_min_mask_.clear();
 }
 
 }  // namespace fifoms

@@ -9,6 +9,8 @@
 // processing of Table 2 for one granted address cell.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -34,6 +36,11 @@ struct AddressCell {
   DataCellRef data;
   PacketId packet = kNoPacket;
 };
+
+/// Weight-plane entry for an empty VOQ: larger than every real scheduling
+/// weight, so masked min-reductions need no emptiness branch.
+inline constexpr std::uint64_t kWeightInfinity =
+    std::numeric_limits<std::uint64_t>::max();
 
 /// The priority-major scheduling weight of a packet.
 inline std::uint64_t scheduling_weight(int priority, SlotTime arrival) {
@@ -73,6 +80,27 @@ class McVoqInput {
   /// Head-of-line address cell for `output`: the smallest-weight head
   /// across the per-class sub-queues (must be non-empty).
   const AddressCell& hol(PortId output) const;
+
+  /// The HOL weight plane: element o is hol(o).weight, or kWeightInfinity
+  /// when VOQ o is empty.  Maintained incrementally by accept()/
+  /// serve_hol()/purge_output()/clear() alongside occupied(), so the
+  /// scheduler's request step is a contiguous array scan instead of a
+  /// ring-buffer probe per (input, output) pair.  The span is padded with
+  /// kWeightInfinity to a multiple of 64 entries: word-parallel kernels
+  /// may form `data() + 64 * w` for every word w that has an occupied()
+  /// bit, without an end-of-array special case.
+  std::span<const std::uint64_t> hol_weights() const { return hol_weights_; }
+
+  /// Smallest weight-plane entry — the weight this input would request
+  /// with in a FIFOMS round — and the set of outputs carrying it.
+  /// kWeightInfinity / empty when nothing is queued.  Maintained
+  /// incrementally across accept()/serve_hol(): serving part of a cell's
+  /// fanout only shrinks the mask, so the full plane rescan happens only
+  /// when the last minimum-weight copy leaves (roughly once per completed
+  /// cell, not once per scheduler round — the scheduler's request fast
+  /// path depends on this).
+  std::uint64_t hol_min_weight() const { return hol_min_; }
+  const PortSet& hol_min_outputs() const { return hol_min_mask_; }
 
   /// Serve the HOL address cell of `output`: remove it from the queue,
   /// decrement the data cell's fanoutCounter and destroy the data cell when
@@ -129,6 +157,12 @@ class McVoqInput {
   const RingBuffer<AddressCell>& voq(int priority, PortId output) const;
   /// Class whose sub-queue head has the smallest weight; -1 if all empty.
   int hol_class(PortId output) const;
+  /// Single write point for the weight plane: stores the new entry and
+  /// keeps hol_min_/hol_min_mask_ consistent.  occupied_ must already
+  /// reflect the change (recompute scans occupied words only).
+  void set_plane(PortId output, std::uint64_t weight);
+  /// Full rescan of the plane for the minimum and its carriers.
+  void recompute_hol_min();
 
   PortId input_;
   int num_outputs_;
@@ -136,6 +170,13 @@ class McVoqInput {
   DataCellPool pool_;
   std::vector<RingBuffer<AddressCell>> voqs_;  // [class * num_outputs + out]
   PortSet occupied_;  // outputs with a non-empty VOQ, all classes pooled
+  // HOL weight per output (kWeightInfinity when empty), padded to a
+  // multiple of 64 entries — see hol_weights().
+  std::vector<std::uint64_t> hol_weights_;
+  // Smallest plane entry and the outputs carrying it — see
+  // hol_min_weight().
+  std::uint64_t hol_min_ = kWeightInfinity;
+  PortSet hol_min_mask_;
 };
 
 }  // namespace fifoms

@@ -104,15 +104,20 @@ const char* fault_kind_name(FaultKind kind) {
 std::string to_string(const FaultEvent& event) {
   std::string text = fault_kind_name(event.kind);
   switch (event.kind) {
+    // Appended piecewise: chaining operator+ temporaries here trips a
+    // gcc-12 -O3 -Wrestrict false positive (and allocates more anyway).
     case FaultKind::kLinkDown:
     case FaultKind::kLinkUp:
-      text += " " + std::to_string(event.port) + "->" +
-              std::to_string(event.output);
+      text += ' ';
+      text += std::to_string(event.port);
+      text += "->";
+      text += std::to_string(event.output);
       break;
     case FaultKind::kGrantCorrupt:
       break;
     default:
-      text += " " + std::to_string(event.port);
+      text += ' ';
+      text += std::to_string(event.port);
       break;
   }
   return text;

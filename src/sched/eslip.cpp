@@ -1,5 +1,6 @@
 #include "sched/eslip.hpp"
 
+#include "common/bit_matrix.hpp"
 #include "fault/fault.hpp"
 
 namespace fifoms {
@@ -26,6 +27,10 @@ EslipSwitch::EslipSwitch(int num_ports, int max_iterations)
   last_arrival_slot_.assign(static_cast<std::size_t>(num_ports), -1);
   mode_.resize(static_cast<std::size_t>(num_ports));
   unicast_offers_.resize(static_cast<std::size_t>(num_ports));
+  request_rows_.resize(static_cast<std::size_t>(num_ports));
+  unicast_cols_.resize(static_cast<std::size_t>(num_ports));
+  multicast_cols_.resize(static_cast<std::size_t>(num_ports));
+  link_fault_cols_.resize(static_cast<std::size_t>(num_ports));
 }
 
 bool EslipSwitch::inject(const Packet& packet) {
@@ -49,6 +54,39 @@ void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
   const PortSet dead_outputs =
       faulted ? faults_->failed_outputs() : PortSet{};
   const PortSet dead_inputs = faulted ? faults_->failed_inputs() : PortSet{};
+  const bool link_faults = faulted && !faults_->failed_links().empty();
+
+  // Queues are frozen while the rounds run (transmission happens in
+  // step() afterwards), so the request matrices are fixed per slot:
+  // build the per-input rows and transpose them once into per-output
+  // requester columns, instead of probing every (input, output) pair in
+  // every round's grant scan.
+  const auto n = static_cast<std::size_t>(num_ports_);
+  const std::span<PortSet> rows(request_rows_.data(), n);
+  for (PortId input = 0; input < num_ports_; ++input) {
+    const HybridInput& port = inputs_[static_cast<std::size_t>(input)];
+    rows[static_cast<std::size_t>(input)] = port.unicast_occupied();
+  }
+  transpose_bit_matrix(rows, std::span<PortSet>(unicast_cols_.data(), n));
+  for (PortId input = 0; input < num_ports_; ++input) {
+    const HybridInput& port = inputs_[static_cast<std::size_t>(input)];
+    rows[static_cast<std::size_t>(input)] =
+        port.mcq_empty() ? PortSet{} : port.mcq_hol().remaining;
+  }
+  transpose_bit_matrix(rows, std::span<PortSet>(multicast_cols_.data(), n));
+  if (link_faults) {
+    for (PortId input = 0; input < num_ports_; ++input)
+      rows[static_cast<std::size_t>(input)] =
+          faults_->link_faults_for(input);
+    transpose_bit_matrix(rows,
+                         std::span<PortSet>(link_fault_cols_.data(), n));
+  }
+
+  // Input-mode masks, maintained as grants commit inputs: an input leaves
+  // `none_mode` on any grant and `not_unicast` on a unicast accept.  Dead
+  // inputs never enter either, so they stay silent in every column AND.
+  PortSet not_unicast = PortSet::all(num_ports_) - dead_inputs;
+  PortSet none_mode = not_unicast;
 
   int rounds = 0;
   bool progressed = true;
@@ -60,25 +98,23 @@ void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
     // Unicast grants are offers an input may decline (accept step);
     // multicast grants are final — all of them reference the input's one
     // multicast HOL cell, so no conflict is possible (FIFOMS's argument).
-    for (auto& offers : unicast_offers_) offers.clear();
+    // Requests per output are column ANDs: the precomputed requester
+    // column masked by the inputs still in the right mode.
     bool any_grant = false;
+    PortSet offered;
 
-    for (PortId output = 0; output < num_ports_; ++output) {
-      if (matching.output_matched(output)) continue;
-      if (dead_outputs.contains(output)) continue;
-      PortSet multicast_req, unicast_req;
-      for (PortId input = 0; input < num_ports_; ++input) {
-        const Mode m = mode[static_cast<std::size_t>(input)];
-        if (m == Mode::kUnicast) continue;  // committed to a unicast cell
-        if (dead_inputs.contains(input)) continue;
-        if (faulted && faults_->link_failed(input, output)) continue;
-        const HybridInput& port = inputs_[static_cast<std::size_t>(input)];
-        // An input already matched in multicast mode may still collect
-        // additional outputs for the SAME cell (fanout accumulation).
-        if (!port.mcq_empty() && port.mcq_hol().remaining.contains(output))
-          multicast_req.insert(input);
-        if (m == Mode::kNone && !port.voq_empty(output))
-          unicast_req.insert(input);
+    const PortSet scan = PortSet::all(num_ports_) - dead_outputs -
+                         matching.matched_outputs();
+    for (PortId output : scan) {
+      const auto o = static_cast<std::size_t>(output);
+      // An input already matched in multicast mode may still collect
+      // additional outputs for the SAME cell (fanout accumulation), so
+      // the multicast column is masked by mode != kUnicast only.
+      PortSet multicast_req = multicast_cols_[o] & not_unicast;
+      PortSet unicast_req = unicast_cols_[o] & none_mode;
+      if (link_faults) {
+        multicast_req -= link_fault_cols_[o];
+        unicast_req -= link_fault_cols_[o];
       }
 
       const bool use_multicast =
@@ -91,13 +127,20 @@ void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
             round_robin_pick(multicast_req, multicast_ptr_, num_ports_);
         matching.add_match(granted, output);
         mode[static_cast<std::size_t>(granted)] = Mode::kMulticast;
+        none_mode.erase(granted);
         any_grant = true;
         progressed = true;
       } else if (!unicast_req.empty()) {
         const PortId granted = round_robin_pick(
             unicast_req, unicast_grant_ptr_[static_cast<std::size_t>(output)],
             num_ports_);
-        unicast_offers_[static_cast<std::size_t>(granted)].insert(output);
+        auto& offers = unicast_offers_[static_cast<std::size_t>(granted)];
+        if (!offered.contains(granted)) {
+          offered.insert(granted);
+          offers = PortSet::single(output);
+        } else {
+          offers.insert(output);
+        }
         any_grant = true;
       }
     }
@@ -105,17 +148,18 @@ void EslipSwitch::run_rounds(SlotTime now, SlotMatching& matching,
     ++rounds;
 
     // ---- Accept step (unicast offers only) ------------------------------
-    for (PortId input = 0; input < num_ports_; ++input) {
+    for (PortId input : offered) {
       // A multicast grant this round invalidates unicast offers: the
       // input transmits its multicast cell.
       if (mode[static_cast<std::size_t>(input)] != Mode::kNone) continue;
       const PortSet& offers = unicast_offers_[static_cast<std::size_t>(input)];
-      if (offers.empty()) continue;
       const PortId accepted = round_robin_pick(
           offers, unicast_accept_ptr_[static_cast<std::size_t>(input)],
           num_ports_);
       matching.add_match(input, accepted);
       mode[static_cast<std::size_t>(input)] = Mode::kUnicast;
+      none_mode.erase(input);
+      not_unicast.erase(input);
       progressed = true;
       if (rounds == 1) {
         unicast_grant_ptr_[static_cast<std::size_t>(accepted)] =

@@ -73,6 +73,15 @@ class EslipSwitch final : public SwitchModel {
   std::vector<SlotTime> last_arrival_slot_;
   std::vector<Mode> mode_;                  // scratch, per input
   std::vector<PortSet> unicast_offers_;     // scratch, per input
+  // Per-slot request columns (queues are frozen while the rounds run, so
+  // the request matrices are fixed per slot): for each output, the inputs
+  // with a non-empty unicast VOQ for it, the inputs whose multicast HOL
+  // residue covers it, and the inputs whose link to it is down.  Built by
+  // transposing the corresponding per-input rows once per slot.
+  std::vector<PortSet> request_rows_;       // scratch for the transposes
+  std::vector<PortSet> unicast_cols_;       // per output
+  std::vector<PortSet> multicast_cols_;     // per output
+  std::vector<PortSet> link_fault_cols_;    // per output
 };
 
 }  // namespace fifoms

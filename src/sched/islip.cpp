@@ -1,12 +1,17 @@
+// fifoms-lint: kernel-file — the request step must stay word-parallel
+// (no per-port indexed loops); see tools/lint.py no-per-port-loop-in-kernel.
 #include "sched/islip.hpp"
+
+#include "common/bit_matrix.hpp"
 
 namespace fifoms {
 
 void IslipScheduler::reset(int num_inputs, int num_outputs) {
   grant_ptr_.assign(static_cast<std::size_t>(num_outputs), 0);
   accept_ptr_.assign(static_cast<std::size_t>(num_inputs), 0);
-  grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
+  request_rows_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
   requesters_.assign(static_cast<std::size_t>(num_outputs), PortSet{});
+  grants_to_input_.assign(static_cast<std::size_t>(num_inputs), PortSet{});
 }
 
 namespace {
@@ -41,6 +46,11 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
       PortSet::all(num_outputs) - constraints.failed_outputs;
   const bool link_faults = !constraints.failed_links.empty();
 
+  // Rows of matched/failed inputs must read empty for the transpose; they
+  // are kept clean incrementally (cleared on accept below), so one wipe
+  // per slot covers the initially-excluded inputs.
+  for (auto& row : request_rows_) row.clear();
+
   int rounds = 0;
   bool progressed = true;
   while (progressed &&
@@ -48,45 +58,52 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
     progressed = false;
     const bool first_iteration = rounds == 0;
 
-    // ---- Grant step (requests are implicit: input i requests output j
-    // iff i is unmatched, j is unmatched and VOQ(i, j) is non-empty).
-    // Collected transposed: each free input's occupied() bitset ANDed
-    // with the free outputs, instead of probing every (input, output)
-    // VOQ for emptiness. ----
-    for (auto& set : grants_to_input_) set.clear();
+    // ---- Request + grant step.  Requests are implicit: input i requests
+    // output j iff i is unmatched, j is unmatched and VOQ(i, j) is
+    // non-empty.  Each free input's request row is its occupied() bitset
+    // ANDed with the free outputs (a few word ops); the per-output
+    // requester columns then come from one word-parallel bit-matrix
+    // transpose instead of one PortSet::insert per request bit — on a
+    // backlogged switch the request matrix is dense, and the per-bit
+    // build is the quadratic term the transpose removes. ----
     PortSet requested;
     for (PortId input : free_inputs) {
-      PortSet eligible =
-          inputs[static_cast<std::size_t>(input)].occupied() & free_outputs;
-      if (link_faults) eligible -= constraints.link_faults(input);
-      for (PortId output : eligible) {
-        auto& requesters = requesters_[static_cast<std::size_t>(output)];
-        if (!requested.contains(output)) {
-          requested.insert(output);
-          requesters = PortSet::single(input);
-        } else {
-          requesters.insert(input);
-        }
-      }
+      PortSet& row = request_rows_[static_cast<std::size_t>(input)];
+      row = inputs[static_cast<std::size_t>(input)].occupied() & free_outputs;
+      if (link_faults) row -= constraints.link_faults(input);
+      requested |= row;
     }
+    if (requested.empty()) break;
+    transpose_bit_matrix(
+        std::span<const PortSet>(request_rows_.data(),
+                                 static_cast<std::size_t>(num_inputs)),
+        std::span<PortSet>(requesters_.data(),
+                           static_cast<std::size_t>(num_outputs)));
+
+    PortSet offered;
     for (PortId output : requested) {
       const PortId granted = round_robin_pick(
           requesters_[static_cast<std::size_t>(output)],
           grant_ptr_[static_cast<std::size_t>(output)], num_inputs);
-      grants_to_input_[static_cast<std::size_t>(granted)].insert(output);
+      auto& grants = grants_to_input_[static_cast<std::size_t>(granted)];
+      if (!offered.contains(granted)) {
+        offered.insert(granted);
+        grants = PortSet::single(output);
+      } else {
+        grants.insert(output);
+      }
     }
-    if (requested.empty()) break;
     ++rounds;
 
     // ---- Accept step ---------------------------------------------------
-    for (PortId input = 0; input < num_inputs; ++input) {
+    for (PortId input : offered) {
       const PortSet& offers = grants_to_input_[static_cast<std::size_t>(input)];
-      if (offers.empty()) continue;
       const PortId accepted = round_robin_pick(
           offers, accept_ptr_[static_cast<std::size_t>(input)], num_outputs);
       matching.add_match(input, accepted);
       free_inputs.erase(input);
       free_outputs.erase(accepted);
+      request_rows_[static_cast<std::size_t>(input)].clear();
       progressed = true;
       if (first_iteration) {
         // Pointer update only on first-iteration matches (iSLIP rule).

@@ -49,11 +49,13 @@ class IslipScheduler final : public VoqScheduler {
   IslipOptions options_;
   std::vector<PortId> grant_ptr_;   // per output
   std::vector<PortId> accept_ptr_;  // per input
-  // Scratch: grants collected per input during the grant phase, and
-  // requesters collected per output while scanning inputs' occupancy
-  // bitsets (valid only for outputs requested in the current round).
-  std::vector<PortSet> grants_to_input_;
+  // Scratch: per-input request rows (input-major view of the request
+  // matrix), its transpose into per-output requester columns, and the
+  // grants collected per input during the grant phase (valid only for
+  // inputs in the round's offered set).
+  std::vector<PortSet> request_rows_;
   std::vector<PortSet> requesters_;
+  std::vector<PortSet> grants_to_input_;
 };
 
 }  // namespace fifoms

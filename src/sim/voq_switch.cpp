@@ -70,16 +70,17 @@ void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
     McVoqInput& port = inputs_[static_cast<std::size_t>(input)];
     DataCellRef expected;
     for (PortId output : targets) {
-      FIFOMS_ASSERT(!port.voq_empty(output),
-                    "matching granted an empty VOQ");
-      const DataCellRef ref = port.hol(output).data;
+      // serve_hol() itself panics on an empty VOQ; comparing the served
+      // cell's data handle (handles are not reused within a slot) keeps
+      // the one-cell-per-row constraint checked without a separate hol()
+      // probe per grant.
+      const McVoqInput::Served served = port.serve_hol(output);
       if (!expected.valid()) {
-        expected = ref;
+        expected = served.cell.data;
       } else {
-        FIFOMS_ASSERT(ref == expected,
+        FIFOMS_ASSERT(served.cell.data == expected,
                       "input scheduled to send two different data cells");
       }
-      const McVoqInput::Served served = port.serve_hol(output);
       result.deliveries.push_back(Delivery{
           .packet = served.cell.packet,
           .input = input,

@@ -249,15 +249,22 @@ std::string SwitchState::to_string() const {
   std::string out;
   for (PortId i = 0; i < ports_; ++i) {
     if (i > 0) out += " | ";
-    out += "in" + std::to_string(i) + ":";
+    // Appended piecewise: chaining operator+ temporaries here trips a
+    // gcc-12 -O3 -Wrestrict false positive (and allocates more anyway).
+    out += "in";
+    out += std::to_string(i);
+    out += ':';
     const InputState& input = inputs_[static_cast<std::size_t>(i)];
     if (input.packets.empty()) {
       out += " -";
       continue;
     }
-    for (const PacketState& packet : input.packets)
-      out += " " + std::to_string(packet.stamp) + "@" +
-             packet.residue.to_string();
+    for (const PacketState& packet : input.packets) {
+      out += ' ';
+      out += std::to_string(packet.stamp);
+      out += '@';
+      out += packet.residue.to_string();
+    }
   }
   return out;
 }

@@ -1,0 +1,81 @@
+#include "common/bit_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fifoms {
+namespace {
+
+TEST(Transpose64, SingleBitMovesToMirror) {
+  for (const auto& [r, c] : {std::pair{0, 0}, {3, 5}, {5, 3}, {0, 63},
+                            {63, 0}, {31, 32}, {63, 63}}) {
+    std::uint64_t m[64] = {};
+    m[r] = 1ULL << c;
+    transpose64(m);
+    for (int row = 0; row < 64; ++row)
+      EXPECT_EQ(m[row], row == c ? 1ULL << r : 0ULL)
+          << "bit (" << r << "," << c << "), row " << row;
+  }
+}
+
+TEST(Transpose64, InvolutionOnRandomMatrices) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint64_t m[64];
+    std::uint64_t original[64];
+    for (int r = 0; r < 64; ++r) original[r] = m[r] = rng.next_u64();
+    transpose64(m);
+    // Spot-check the transpose law on random coordinates...
+    for (int probe = 0; probe < 200; ++probe) {
+      const int r = static_cast<int>(rng.next_below(64));
+      const int c = static_cast<int>(rng.next_below(64));
+      ASSERT_EQ((m[c] >> r) & 1, (original[r] >> c) & 1);
+    }
+    // ...and the involution: transposing twice restores the input.
+    transpose64(m);
+    for (int r = 0; r < 64; ++r) ASSERT_EQ(m[r], original[r]);
+  }
+}
+
+/// Reference transpose: one insert per set bit.
+std::vector<PortSet> naive_transpose(const std::vector<PortSet>& rows,
+                                     int num_cols) {
+  std::vector<PortSet> cols(static_cast<std::size_t>(num_cols));
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (PortId c : rows[r])
+      cols[static_cast<std::size_t>(c)].insert(static_cast<PortId>(r));
+  return cols;
+}
+
+TEST(TransposeBitMatrix, MatchesNaiveOnRandomShapes) {
+  Rng rng(99);
+  for (const auto& [num_rows, num_cols] :
+       {std::pair{1, 1}, {2, 2}, {3, 8}, {16, 16}, {63, 65}, {64, 64},
+        {64, 256}, {100, 100}, {128, 64}, {256, 256}}) {
+    std::vector<PortSet> rows(static_cast<std::size_t>(num_rows));
+    for (auto& row : rows)
+      for (int c = 0; c < num_cols; ++c)
+        if (rng.next_below(3) == 0) row.insert(c);
+
+    // Pre-dirty the destination: transpose must fully overwrite it.
+    std::vector<PortSet> cols(static_cast<std::size_t>(num_cols),
+                              PortSet::all(kMaxPorts));
+    transpose_bit_matrix(rows, cols);
+    EXPECT_EQ(cols, naive_transpose(rows, num_cols))
+        << num_rows << "x" << num_cols;
+  }
+}
+
+TEST(TransposeBitMatrix, EmptyRowsYieldEmptyColumns) {
+  std::vector<PortSet> rows(10);
+  std::vector<PortSet> cols(20, PortSet{5});
+  transpose_bit_matrix(rows, cols);
+  for (const PortSet& col : cols) EXPECT_TRUE(col.empty());
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -144,6 +144,67 @@ TEST(PortSet, ToStringRoundTrip) {
   EXPECT_EQ(PortSet{}.to_string(), "{}");
 }
 
+TEST(PortSet, NthAtWordBoundaries) {
+  // Every boundary pair (63/64, 127/128, 191/192) plus the last port: nth
+  // must step across words without skipping or double-counting.
+  PortSet set{63, 64, 127, 128, 191, 192, 255};
+  EXPECT_EQ(set.nth(0), 63);
+  EXPECT_EQ(set.nth(1), 64);
+  EXPECT_EQ(set.nth(2), 127);
+  EXPECT_EQ(set.nth(3), 128);
+  EXPECT_EQ(set.nth(4), 191);
+  EXPECT_EQ(set.nth(5), 192);
+  EXPECT_EQ(set.nth(6), 255);
+  EXPECT_DEATH((void)set.nth(7), "k >= count");
+}
+
+TEST(PortSet, NextAfterAtWordBoundaries) {
+  PortSet set{63, 64, 127, 128, 191, 192, 255};
+  EXPECT_EQ(set.next_after(62), 63);
+  EXPECT_EQ(set.next_after(63), 64);
+  EXPECT_EQ(set.next_after(64), 127);
+  EXPECT_EQ(set.next_after(126), 127);
+  EXPECT_EQ(set.next_after(127), 128);
+  EXPECT_EQ(set.next_after(128), 191);
+  EXPECT_EQ(set.next_after(190), 191);
+  EXPECT_EQ(set.next_after(191), 192);
+  EXPECT_EQ(set.next_after(192), 255);
+  EXPECT_EQ(set.next_after(254), 255);
+  EXPECT_EQ(set.next_after(255), kNoPort);
+  // A lone last-word bit must be reachable from every earlier word.
+  const PortSet last{255};
+  EXPECT_EQ(last.next_after(-1), 255);
+  EXPECT_EQ(last.next_after(0), 255);
+  EXPECT_EQ(last.next_after(63), 255);
+  EXPECT_EQ(last.next_after(64), 255);
+  EXPECT_EQ(last.next_after(191), 255);
+}
+
+TEST(PortSet, FromStringAtWordBoundaries) {
+  const PortSet set{63, 64, 127, 128, 191, 192, 255};
+  EXPECT_EQ(PortSet::from_string("{63,64,127,128,191,192,255}"), set);
+  EXPECT_EQ(PortSet::from_string(set.to_string()), set);
+  EXPECT_EQ(PortSet::from_string("{255}"), PortSet{255});
+}
+
+TEST(PortSet, WordsViewMatchesMembership) {
+  PortSet set{0, 63, 64, 130, 255};
+  const auto& words = set.words();
+  EXPECT_EQ(words[0], (1ULL << 0) | (1ULL << 63));
+  EXPECT_EQ(words[1], 1ULL << 0);
+  EXPECT_EQ(words[2], 1ULL << (130 - 128));
+  EXPECT_EQ(words[3], 1ULL << (255 - 192));
+}
+
+TEST(PortSet, SetWordRebuildsSet) {
+  PortSet set;
+  set.set_word(1, (1ULL << 0) | (1ULL << 5));
+  set.set_word(3, 1ULL << 63);
+  EXPECT_EQ(set, (PortSet{64, 69, 255}));
+  set.set_word(1, 0);
+  EXPECT_EQ(set, PortSet{255});
+}
+
 TEST(PortSet, ClearEmpties) {
   PortSet set{1, 2, 3};
   set.clear();

@@ -166,6 +166,125 @@ TEST(McVoqInput, OccupiedConsistentThroughPurgeThenRefill) {
     EXPECT_EQ(input.occupied().contains(output), !input.voq_empty(output));
 }
 
+/// The plane invariant: element o equals hol(o).weight when occupied,
+/// kWeightInfinity otherwise, and the padding tail stays at infinity.
+void expect_plane_consistent(const McVoqInput& input) {
+  const auto plane = input.hol_weights();
+  ASSERT_EQ(plane.size() % 64, 0u);
+  ASSERT_GE(plane.size(), static_cast<std::size_t>(input.num_outputs()));
+  for (PortId o = 0; o < input.num_outputs(); ++o) {
+    if (input.voq_empty(o)) {
+      EXPECT_EQ(plane[static_cast<std::size_t>(o)], kWeightInfinity)
+          << "output " << o;
+    } else {
+      EXPECT_EQ(plane[static_cast<std::size_t>(o)], input.hol(o).weight)
+          << "output " << o;
+    }
+  }
+  for (std::size_t o = static_cast<std::size_t>(input.num_outputs());
+       o < plane.size(); ++o)
+    EXPECT_EQ(plane[o], kWeightInfinity) << "padding entry " << o;
+
+  // The fabric-maintained minimum/carrier mask must match a fresh
+  // reduction over the plane — the scheduler fast path trusts them.
+  std::uint64_t min = kWeightInfinity;
+  PortSet carriers;
+  for (PortId o = 0; o < input.num_outputs(); ++o) {
+    const std::uint64_t w = plane[static_cast<std::size_t>(o)];
+    if (w < min) {
+      min = w;
+      carriers = PortSet::single(o);
+    } else if (w == min && w != kWeightInfinity) {
+      carriers.insert(o);
+    }
+  }
+  EXPECT_EQ(input.hol_min_weight(), min);
+  EXPECT_EQ(input.hol_min_outputs(), carriers);
+}
+
+TEST(McVoqInput, WeightPlaneTracksAcceptAndServe) {
+  McVoqInput input(0, 4);
+  expect_plane_consistent(input);
+  input.accept(make_packet(1, 0, 3, {0, 2}));
+  input.accept(make_packet(2, 0, 7, {2, 3}));
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[2], scheduling_weight(0, 3));
+  input.serve_hol(2);  // next cell in VOQ 2 becomes HOL
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[2], scheduling_weight(0, 7));
+  input.serve_hol(2);  // VOQ 2 drains to empty
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[2], kWeightInfinity);
+}
+
+TEST(McVoqInput, WeightPlaneTracksPurgeClearAndInject) {
+  McVoqInput input(0, 70);  // spans two plane words
+  input.accept(make_packet(1, 0, 0, {0, 63, 64, 69}));
+  input.accept(make_packet(2, 0, 1, {63}));
+  expect_plane_consistent(input);
+  std::vector<McVoqInput::Served> purged;
+  input.purge_output(63, purged);
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[63], kWeightInfinity);
+  input.clear();
+  expect_plane_consistent(input);
+  std::vector<Packet> packets = {make_packet(3, 0, 2, {1, 69}),
+                                 make_packet(4, 0, 5, {69})};
+  input.inject_queue_state(packets);
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[69], scheduling_weight(0, 2));
+}
+
+TEST(McVoqInput, WeightPlaneWithPriorityClasses) {
+  // A higher-priority (lower class) arrival must lower the plane entry
+  // even when the lower-priority class already has queued cells; serving
+  // it must restore the lower-priority front.
+  McVoqInput input(0, 4, /*num_classes=*/2);
+  Packet low = make_packet(1, 0, 1, {2});
+  low.priority = 1;
+  input.accept(low);
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[2], scheduling_weight(1, 1));
+  Packet high = make_packet(2, 0, 4, {2});
+  high.priority = 0;
+  input.accept(high);
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[2], scheduling_weight(0, 4));
+  input.serve_hol(2);
+  expect_plane_consistent(input);
+  EXPECT_EQ(input.hol_weights()[2], scheduling_weight(1, 1));
+}
+
+TEST(McVoqInput, HolMinTracksFanoutServiceAndRecompute) {
+  McVoqInput input(0, 70);  // spans two plane words
+  // The oldest packet fans out across both words; a younger one shares
+  // VOQ 1 and adds VOQ 5.
+  input.accept(make_packet(1, 0, 0, {1, 64, 69}));
+  input.accept(make_packet(2, 0, 1, {1, 5}));
+  EXPECT_EQ(input.hol_min_weight(), scheduling_weight(0, 0));
+  EXPECT_EQ(input.hol_min_outputs(), PortSet({1, 64, 69}));
+  expect_plane_consistent(input);
+  // Serving part of the fanout only shrinks the carrier mask.
+  input.serve_hol(64);
+  EXPECT_EQ(input.hol_min_weight(), scheduling_weight(0, 0));
+  EXPECT_EQ(input.hol_min_outputs(), PortSet({1, 69}));
+  // VOQ 1's entry rises to the younger cell when the old HOL leaves.
+  input.serve_hol(1);
+  EXPECT_EQ(input.hol_min_outputs(), PortSet({69}));
+  expect_plane_consistent(input);
+  // The last carrier leaves: the minimum is recomputed from the plane.
+  input.serve_hol(69);
+  EXPECT_EQ(input.hol_min_weight(), scheduling_weight(0, 1));
+  EXPECT_EQ(input.hol_min_outputs(), PortSet({1, 5}));
+  expect_plane_consistent(input);
+  // Drain everything: back to infinity / empty mask.
+  input.serve_hol(1);
+  input.serve_hol(5);
+  EXPECT_EQ(input.hol_min_weight(), kWeightInfinity);
+  EXPECT_TRUE(input.hol_min_outputs().empty());
+  expect_plane_consistent(input);
+}
+
 TEST(McVoqInputDeath, WrongInputRejected) {
   McVoqInput input(0, 4);
   EXPECT_DEATH(input.accept(test::make_packet(1, 2, 0, {0})),

@@ -1,0 +1,99 @@
+// libFuzzer harness: weight-plane FIFOMS kernel vs the ring-probing
+// reference scheduler on fuzzer-chosen queue states (radix 2..8, via the
+// verifier's fuzz-byte mapper) under fuzzer-chosen fault masks.  Any
+// divergence in matching, round count or RNG consumption — for either
+// tie-break policy — prints the state and aborts.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fifoms.hpp"
+#include "verify/state.hpp"
+
+namespace {
+
+using fifoms::FifomsOptions;
+using fifoms::FifomsReferenceScheduler;
+using fifoms::FifomsScheduler;
+using fifoms::kNoPort;
+using fifoms::McVoqInput;
+using fifoms::PortId;
+using fifoms::PortSet;
+using fifoms::Rng;
+using fifoms::ScheduleConstraints;
+using fifoms::SlotMatching;
+using fifoms::TieBreak;
+using fifoms::verify::SwitchState;
+
+void check_policy(const std::vector<McVoqInput>& inputs, int ports,
+                  FifomsOptions options,
+                  const ScheduleConstraints& constraints, std::uint64_t seed,
+                  const SwitchState& state) {
+  FifomsScheduler kernel(options);
+  FifomsReferenceScheduler reference(options);
+  kernel.reset(ports, ports);
+  reference.reset(ports, ports);
+
+  Rng kernel_rng(seed);
+  Rng reference_rng(seed);
+  SlotMatching kernel_matching(ports, ports);
+  SlotMatching reference_matching(ports, ports);
+  kernel.schedule(inputs, 0, kernel_matching, kernel_rng, constraints);
+  reference.schedule(inputs, 0, reference_matching, reference_rng,
+                     constraints);
+
+  bool identical = kernel_matching.rounds == reference_matching.rounds &&
+                   kernel_rng.next_u64() == reference_rng.next_u64();
+  for (PortId output = 0; identical && output < ports; ++output)
+    identical = kernel_matching.source(output) ==
+                reference_matching.source(output);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "kernel/reference divergence (tie_break=%d) on: %s\n",
+                 static_cast<int>(options.tie_break),
+                 state.to_string().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const SwitchState state =
+      SwitchState::from_fuzz_bytes(std::span(data, size));
+  const int ports = state.ports();
+
+  std::vector<McVoqInput> inputs;
+  state.materialize_into(inputs);
+
+  // The trailing bytes (already consumed permissively by the state
+  // mapper; reuse is fine) pick the fault view: one byte for a downed
+  // output, one seeding a sparse dead-crosspoint matrix.
+  ScheduleConstraints constraints;
+  std::vector<PortSet> link_storage(static_cast<std::size_t>(ports));
+  if (size >= 1) {
+    constraints.failed_outputs =
+        fifoms::verify::fault_mask_from_fuzz_byte(data[size - 1], ports);
+    if (size >= 2 && data[size - 2] != 0) {
+      for (PortId input = 0; input < ports; ++input)
+        link_storage[static_cast<std::size_t>(input)] =
+            fifoms::verify::fault_mask_from_fuzz_byte(
+                static_cast<unsigned char>(data[size - 2] + 37 * input),
+                ports);
+      constraints.failed_links = link_storage;
+    }
+  }
+
+  const std::uint64_t seed = 0x5eed ^ (size * 0x9e3779b97f4a7c15ULL);
+  for (const TieBreak tie_break :
+       {TieBreak::kRandom, TieBreak::kLowestInput}) {
+    check_policy(inputs, ports,
+                 FifomsOptions{.max_rounds = 0, .tie_break = tie_break},
+                 constraints, seed, state);
+  }
+  return 0;
+}

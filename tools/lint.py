@@ -52,7 +52,16 @@ compiler nor clang-tidy enforces:
       verifier proves.  Ages, fanouts and time stamps are integers;
       integer weights lose nothing.
 
-Suppress a finding (sparingly) with a same-line comment:
+  no-per-port-loop-in-kernel
+      Files tagged `// fifoms-lint: kernel-file` hold the word-parallel
+      scheduler kernels (src/core/fifoms.cpp, src/sched/islip.cpp): their
+      hot paths scan ports 64 at a time over PortSet words and weight
+      planes.  An indexed `for (PortId p = ...)` loop there reintroduces
+      the O(N) inner loop the kernels exist to remove, so it is banned —
+      iterate PortSet members (range-for) or process whole words instead.
+
+Suppress a finding (sparingly) with a same-line comment (the
+no-per-port-loop-in-kernel rule also accepts it on the preceding line):
     // fifoms-lint: allow(<rule-name>)
 
 Usage:
@@ -288,9 +297,35 @@ def check_no_float_in_decision_path(rel: str,
     return findings
 
 
+KERNEL_FILE_MARKER = "fifoms-lint: kernel-file"
+PORT_INDEX_LOOP = re.compile(r"\bfor\s*\(\s*PortId\s+\w+\s*=")
+
+
+def check_no_per_port_loop_in_kernel(rel: str,
+                                     lines: list[str]) -> list[Finding]:
+    # Scope is the marker, not the path: any file that declares itself a
+    # kernel file opts into the rule wherever it lives.
+    if not any(KERNEL_FILE_MARKER in line for line in lines):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        if suppressed(raw, "no-per-port-loop-in-kernel"):
+            continue
+        # Loop headers are long; accept the allow() on the line above too.
+        if i >= 2 and suppressed(lines[i - 2], "no-per-port-loop-in-kernel"):
+            continue
+        if PORT_INDEX_LOOP.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "no-per-port-loop-in-kernel",
+                        "kernel-tagged files scan ports word-parallel; an "
+                        "indexed per-port loop reintroduces the O(N) inner "
+                        "loop — iterate PortSet members or whole words"))
+    return findings
+
+
 CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot,
           check_no_abort_in_fault_path, check_verify_panic_state_hash,
-          check_no_float_in_decision_path]
+          check_no_float_in_decision_path, check_no_per_port_loop_in_kernel]
 RULES = {
     "no-raw-rand": "ban rand()/srand()/random_device/random_shuffle",
     "no-unordered-in-decision-path":
@@ -303,6 +338,8 @@ RULES = {
         "src/verify/ panics must carry the canonical state hash",
     "no-float-in-decision-path":
         "ban float/double in src/sched/, src/core/ and src/hw/",
+    "no-per-port-loop-in-kernel":
+        "ban indexed per-port loops in `fifoms-lint: kernel-file` sources",
 }
 
 
@@ -441,6 +478,31 @@ def self_test() -> int:
         ("float suppression honoured", False, check_no_float_in_decision_path,
          "src/sched/x.cpp",
          "double d;  // fifoms-lint: allow(no-float-in-decision-path)"),
+        ("indexed port loop in kernel file flagged", True,
+         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
+         "// fifoms-lint: kernel-file\n"
+         "for (PortId p = 0; p < n; ++p) {}"),
+        ("indexed port loop without marker ok", False,
+         check_no_per_port_loop_in_kernel, "src/sched/pim.cpp",
+         "for (PortId p = 0; p < n; ++p) {}"),
+        ("PortSet range-for in kernel file ok", False,
+         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
+         "// fifoms-lint: kernel-file\n"
+         "for (PortId input : free_inputs) {}"),
+        ("port loop in kernel string ok", False,
+         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
+         "// fifoms-lint: kernel-file\n"
+         'log("for (PortId p = 0; ...) is banned");'),
+        ("kernel same-line suppression honoured", False,
+         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
+         "// fifoms-lint: kernel-file\n"
+         "for (PortId p = 0; p < n; ++p) {}  "
+         "// fifoms-lint: allow(no-per-port-loop-in-kernel)"),
+        ("kernel previous-line suppression honoured", False,
+         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
+         "// fifoms-lint: kernel-file\n"
+         "// fifoms-lint: allow(no-per-port-loop-in-kernel) — oracle\n"
+         "for (PortId p = 0; p < n; ++p) {}"),
     ]
 
     failures = 0
