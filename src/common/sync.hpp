@@ -1,0 +1,84 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// std::mutex and std::lock_guard carry no capability annotations in
+// libstdc++, so code locking through them is invisible to
+// -Wthread-safety.  Mutex/MutexLock/CondVar below are thin, zero-cost
+// wrappers that attach the annotations (common/thread_annotations.hpp)
+// while delegating every operation to the standard primitives — the
+// concurrency layer (ThreadPool, the sweep engine) locks exclusively
+// through these so the analysis can prove its lock discipline at compile
+// time.  Outside Clang the annotations vanish and the wrappers are
+// exactly std::mutex / std::lock_guard / std::condition_variable.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace fifoms {
+
+/// Annotated exclusive mutex.  BasicLockable, so it also composes with
+/// std::scoped_lock and friends where a bare annotation-free guard is
+/// acceptable — but prefer MutexLock, which the analysis understands.
+class FIFOMS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FIFOMS_ACQUIRE() { mutex_.lock(); }
+  void unlock() FIFOMS_RELEASE() { mutex_.unlock(); }
+  bool try_lock() FIFOMS_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock on a Mutex; the analysis treats the scope as holding the
+/// capability from construction to destruction.
+class FIFOMS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FIFOMS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() FIFOMS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex.  wait() requires the mutex held —
+/// exactly the std contract, but now compiler-checked.  Callers loop on
+/// their (guarded) predicate around wait(), which re-checks it under the
+/// reacquired lock and so stays inside the annotated discipline:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);   // ready_ GUARDED_BY(mutex_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, block until notified (or spuriously
+  /// woken), reacquire.  The adopt/release dance hands the already-held
+  /// native mutex to std::condition_variable without double-locking.
+  void wait(Mutex& mutex) FIFOMS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fifoms

@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(int threads) : threads_(resolve_threads(threads)) {
 ThreadPool::~ThreadPool() {
   if (workers_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -38,7 +38,8 @@ void ThreadPool::for_each_index(std::size_t count,
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
     // Inline mode matches the pooled contract: run everything, rethrow
-    // the first failure afterwards.
+    // the first failure afterwards.  No shared state is touched, so
+    // inline jobs need no locks (and re-entrant inline calls are fine).
     std::exception_ptr first_error;
     for (std::size_t i = 0; i < count; ++i) {
       try {
@@ -52,63 +53,82 @@ void ThreadPool::for_each_index(std::size_t count,
   }
 
   // Deal contiguous shards; empty shards (count < threads) just steal.
+  // Shard locks are uncontended here — workers only touch shards while a
+  // job is published, and job_running_ below proves none is — but taking
+  // them keeps every shard access inside the annotated discipline.
   const auto n = static_cast<std::size_t>(threads_);
   const std::size_t base = count / n;
   const std::size_t extra = count % n;
   std::size_t next = 0;
   for (std::size_t t = 0; t < n; ++t) {
     Shard& shard = *shards_[t];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.begin = next;
     next += base + (t < extra ? 1 : 0);
     shard.end = next;
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
+    // A nested call from inside a job, or a second caller thread, would
+    // deadlock below (the inner wait can never see active_ == 0 while
+    // the outer job holds a worker).  Panic with a diagnosis instead.
+    FIFOMS_ASSERT(!job_running_,
+                  "for_each_index called re-entrantly or concurrently");
+    job_running_ = true;
     job_ = &fn;
     active_ = threads_;
     ++epoch_;
   }
   wake_.notify_all();
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return active_ == 0; });
-  job_ = nullptr;
   std::exception_ptr first_error;
-  std::swap(first_error, first_error_);
-  lock.unlock();
+  {
+    MutexLock lock(mutex_);
+    while (active_ != 0) done_.wait(mutex_);
+    // active_ == 0: every worker has decremented, so none still holds a
+    // snapshot of job_ (see worker_loop) — fn may die with this frame.
+    job_ = nullptr;
+    job_running_ = false;
+    std::swap(first_error, first_error_);
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop(int self) {
   std::uint64_t seen_epoch = 0;
   while (true) {
+    const std::function<void(std::size_t)>* fn = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock,
-                 [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen_epoch) wake_.wait(mutex_);
       if (stop_) return;
       seen_epoch = epoch_;
+      // Snapshot the job pointer under the lock; it stays valid until
+      // this worker decrements active_ (for_each_index only clears job_
+      // once active_ == 0), so run_shard below never reads the guarded
+      // member lock-free.
+      fn = job_;
     }
-    run_shard(self);
+    run_shard(self, *fn);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--active_ == 0) done_.notify_all();
     }
   }
 }
 
-void ThreadPool::run_shard(int self) {
+void ThreadPool::run_shard(int self,
+                           const std::function<void(std::size_t)>& fn) {
   std::size_t index;
   while (true) {
     if (pop_front(self, index)) {
       try {
-        (*job_)(index);
+        fn(index);
       } catch (...) {
         // Keep the worker (and the rest of the grid) alive; the first
         // failure is rethrown to the caller of for_each_index.
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
       continue;
@@ -119,7 +139,7 @@ void ThreadPool::run_shard(int self) {
 
 bool ThreadPool::pop_front(int self, std::size_t& index) {
   Shard& shard = *shards_[static_cast<std::size_t>(self)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (shard.begin == shard.end) return false;
   index = shard.begin++;
   return true;
@@ -135,7 +155,7 @@ bool ThreadPool::steal_into(int self) {
   for (std::size_t t = 0; t < n; ++t) {
     if (static_cast<int>(t) == self) continue;
     Shard& victim = *shards_[t];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     const std::size_t size = victim.end - victim.begin;
     if (size > best_size) {
       best_size = size;
@@ -147,7 +167,7 @@ bool ThreadPool::steal_into(int self) {
   std::size_t begin = 0, end = 0;
   {
     Shard& victim = *shards_[best];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     const std::size_t size = victim.end - victim.begin;
     if (size == 0) return true;  // lost the race; rescan
     const std::size_t keep = (size + 1) / 2;
@@ -156,7 +176,7 @@ bool ThreadPool::steal_into(int self) {
     victim.end = begin;
   }
   Shard& mine = *shards_[static_cast<std::size_t>(self)];
-  std::lock_guard<std::mutex> lock(mine.mutex);
+  MutexLock lock(mine.mutex);
   mine.begin = begin;
   mine.end = end;
   return true;

@@ -13,16 +13,23 @@
 // cell's RNG stream from the cell index (splitmix64(seed, cell), see
 // common/rng.hpp), never from execution order, so any thread count and
 // any stealing schedule produce bit-identical output.
+//
+// Lock discipline (machine-checked by `clang++ -Wthread-safety`, the
+// `thread-safety` preset): every mutable shared member is GUARDED_BY
+// either `mutex_` (job hand-off protocol) or its shard's `mutex` (index
+// range).  The two levels never nest — shard locks are taken only while
+// `mutex_` is free — so there is no lock order to get wrong.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace fifoms {
 
@@ -42,7 +49,9 @@ class ThreadPool {
   /// Run fn(i) for every i in [0, count) across the pool and block until
   /// all indices completed.  fn must be safe to call concurrently for
   /// distinct indices; the same pool can run any number of jobs in
-  /// sequence.  Must not be called re-entrantly from inside a job.
+  /// sequence.  Must not be called re-entrantly from inside a job, nor
+  /// concurrently from two threads on the same pool — both are detected
+  /// and panic with a diagnostic instead of deadlocking.
   ///
   /// An exception thrown by fn never takes a worker (or the process)
   /// down: every remaining index still runs, and the FIRST exception —
@@ -57,34 +66,47 @@ class ThreadPool {
 
  private:
   /// One worker's contiguous slice of the current job's index range.
-  /// `begin`/`end` are guarded by `mutex`; owners pop from the front,
-  /// thieves split off the back half.
+  /// Owners pop from the front, thieves split off the back half.
   struct Shard {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    std::mutex mutex;
+    Mutex mutex;
+    std::size_t begin FIFOMS_GUARDED_BY(mutex) = 0;
+    std::size_t end FIFOMS_GUARDED_BY(mutex) = 0;
   };
 
   void worker_loop(int self);
-  void run_shard(int self);
+  void run_shard(int self, const std::function<void(std::size_t)>& fn);
   bool pop_front(int self, std::size_t& index);
   bool steal_into(int self);
 
+  // Immutable after construction: the constructor fully builds threads_,
+  // shards_ (the vector and its Shard allocations; the *fields* of each
+  // Shard are guarded above) and then spawns workers_ — std::thread
+  // construction sequences those writes before each worker's first read,
+  // so the lock-free reads of these members in the workers are race-free
+  // without any capability.  After ~ThreadPool joins, the main thread is
+  // again the only accessor.
   int threads_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
 
-  // Job hand-off: publishing bumps `epoch_` and resets `active_`; each
-  // worker processes the epoch once and decrements `active_` when its
-  // shard (and everything it could steal) is drained.
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::exception_ptr first_error_;  // guarded by mutex_
-  std::uint64_t epoch_ = 0;
-  int active_ = 0;
-  bool stop_ = false;
+  // Job hand-off: publishing stores job_, bumps epoch_ and resets
+  // active_ under mutex_; each worker snapshots job_ while holding
+  // mutex_ (never dereferences the member lock-free), processes the
+  // epoch once and decrements active_ when its shard (and everything it
+  // could steal) is drained.  active_ == 0 under mutex_ therefore proves
+  // no worker still holds a snapshot, making it safe to clear job_ and
+  // return (the caller may destroy fn immediately after).
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar done_;
+  const std::function<void(std::size_t)>* job_ FIFOMS_GUARDED_BY(mutex_) =
+      nullptr;
+  std::exception_ptr first_error_ FIFOMS_GUARDED_BY(mutex_);
+  std::uint64_t epoch_ FIFOMS_GUARDED_BY(mutex_) = 0;
+  int active_ FIFOMS_GUARDED_BY(mutex_) = 0;
+  bool stop_ FIFOMS_GUARDED_BY(mutex_) = false;
+  /// Re-entrancy/concurrent-call detector for for_each_index.
+  bool job_running_ FIFOMS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fifoms

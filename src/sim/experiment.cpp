@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "core/fifoms.hpp"
 #include "hw/fifoms_control_unit.hpp"
@@ -71,6 +73,17 @@ PointSummary summarise(const std::string& algorithm, double load,
   return point;
 }
 
+/// Live progress aggregation for verbose sweeps — the only state in
+/// run_sweep that several workers write: a finished-cell counter behind
+/// an annotated Mutex (compile-time checked by the thread-safety lane).
+/// Everything else the workers touch is lock-free by partition; see the
+/// comment at the results/cell_outcomes declarations below.
+struct SweepProgress {
+  Mutex mutex;
+  std::size_t done FIFOMS_GUARDED_BY(mutex) = 0;
+  std::size_t quarantined FIFOMS_GUARDED_BY(mutex) = 0;
+};
+
 }  // namespace
 
 std::vector<PointSummary> run_sweep(const SweepConfig& config,
@@ -98,8 +111,15 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
       for (int rep = 0; rep < config.replications; ++rep)
         tasks.push_back(Task{s, l, rep});
 
+  // Shared across workers but written WITHOUT a lock: the pool hands
+  // every task_index to exactly one worker, so each element has a single
+  // writer, and the pool's join barrier (the final mutex handshake in
+  // for_each_index) publishes all writes back to this thread before
+  // run_sweep reads them.  Workers never resize, only assign elements —
+  // resizing would move the buffer under other workers' feet.
   std::vector<SimResult> results(tasks.size());
   std::vector<CellOutcome> cell_outcomes(tasks.size());
+  SweepProgress progress;
   auto run_task = [&](std::size_t task_index) {
     const Task& task = tasks[task_index];
     CellOutcome& outcome = cell_outcomes[task_index];
@@ -133,7 +153,7 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
         results[task_index] = simulator.run();
         outcome.failed = false;
         outcome.error.clear();
-        return;
+        break;
       } catch (const std::exception& e) {
         outcome.failed = true;
         outcome.error = e.what();
@@ -142,7 +162,21 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
         outcome.error = "unknown exception";
       }
     }
-    results[task_index] = SimResult{};  // quarantined: inert placeholder
+    if (outcome.failed)
+      results[task_index] = SimResult{};  // quarantined: inert placeholder
+    if (config.verbose) {
+      // Live forward-progress line per finished cell (stderr only, never
+      // part of the deterministic results).  The counter is the shared
+      // aggregation point, so it takes the progress mutex.
+      MutexLock lock(progress.mutex);
+      ++progress.done;
+      if (outcome.failed) ++progress.quarantined;
+      std::fprintf(stderr, "  sweep [%zu/%zu] %s load=%.3f rep=%d%s\n",
+                   progress.done, tasks.size(),
+                   switches[task.switch_index].label.c_str(),
+                   config.loads[task.load_index], task.replication,
+                   outcome.failed ? "  QUARANTINED" : "");
+    }
   };
 
   // Work-stealing pool: cells vary wildly in cost (unstable runs abort

@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""fifoms semantic analyzer: project rules the regex lint cannot express.
+
+Usage:
+  tools/analyzer/analyze.py                      # scan the repo
+  tools/analyzer/analyze.py --compdb build/compile_commands.json
+  tools/analyzer/analyze.py --frontend internal  # skip clang even if found
+  tools/analyzer/analyze.py --self-test          # fixture corpus + golden
+  tools/analyzer/analyze.py --list-rules
+
+Frontends:
+  clang     exact lowering from `clang++ -ast-dump=json` (needs a clang
+            binary and a compile_commands.json); results cached under
+            --cache-dir keyed on source hashes.
+  internal  clang-free structural scanner; same IR, same rules.
+  auto      clang when available, internal otherwise; any per-TU clang
+            failure falls back to internal for that TU.
+
+Findings print as `path:line: [rule] message` and exit 1.  Suppress a
+single finding with `// fifoms-analyze: allow(<rule>)` on the flagged
+line or the line directly above; allow() of a rule that does not exist
+is itself a finding (rule unknown-suppression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import clang_frontend  # noqa: E402
+import internal_frontend  # noqa: E402
+from model import Finding, ProjectModel  # noqa: E402
+from rules import RULES, run_rules  # noqa: E402
+
+CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
+SCAN_DIRS = ("src", "bench", "examples")
+ALLOW_RE = re.compile(r"fifoms-analyze:\s*allow\(\s*([\w.-]*)\s*\)")
+
+
+def collect_files(root: Path, scan_dirs: tuple[str, ...]) -> list[Path]:
+    files: list[Path] = []
+    for sub in scan_dirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        files.extend(p for p in sorted(base.rglob("*"))
+                     if p.suffix in CPP_EXTENSIONS and p.is_file())
+    return files
+
+
+def build_model(root: Path, files: list[Path], frontend: str,
+                compdb_path: Path | None, cache_dir: Path | None,
+                verbose: bool) -> tuple[ProjectModel, str]:
+    """Returns (model, frontend_used)."""
+    project = ProjectModel()
+    covered: set[str] = set()
+    used = "internal"
+
+    clang = clang_frontend.find_clang() if frontend in ("auto", "clang") else None
+    entries: list[dict] = []
+    if clang and compdb_path and compdb_path.is_file():
+        try:
+            entries = json.loads(compdb_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            if frontend == "clang":
+                raise SystemExit(f"error: unreadable compdb: {err}")
+            entries = []
+    if frontend == "clang" and not clang:
+        raise SystemExit("error: --frontend clang but no clang++ in PATH")
+    if frontend == "clang" and not entries:
+        raise SystemExit("error: --frontend clang needs a usable --compdb")
+
+    if clang and entries:
+        used = "clang"
+        wanted = {p.resolve() for p in files}
+        headers_hash = None
+        for entry in entries:
+            src = Path(entry["file"])
+            if not src.is_absolute():
+                src = Path(entry.get("directory", ".")) / src
+            if src.resolve() not in wanted:
+                continue
+            try:
+                if headers_hash is None and cache_dir is not None:
+                    headers_hash = clang_frontend._headers_hash(root)
+                models = clang_frontend.parse_tu(
+                    clang, entry, root, cache_dir, headers_hash)
+            except clang_frontend.FrontendError as err:
+                if verbose:
+                    print(f"note: internal fallback for {src.name}: {err}",
+                          file=sys.stderr)
+                continue
+            for rel, model in models.items():
+                covered.add(rel)
+                project.merge(model)
+
+    for path in files:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        if rel in covered:
+            continue
+        try:
+            text = path.read_text(errors="replace")
+        except OSError as err:
+            print(f"warning: cannot read {rel}: {err}", file=sys.stderr)
+            continue
+        project.merge(internal_frontend.parse_source(rel, text))
+    return project, used
+
+
+def apply_suppressions(root: Path, findings: list[Finding],
+                       files: list[Path]) -> list[Finding]:
+    """Drop allow()ed findings; add unknown-suppression findings."""
+    line_cache: dict[str, list[str]] = {}
+
+    def lines_of(rel: str) -> list[str]:
+        if rel not in line_cache:
+            try:
+                line_cache[rel] = (root / rel).read_text(
+                    errors="replace").splitlines()
+            except OSError:
+                line_cache[rel] = []
+        return line_cache[rel]
+
+    kept: list[Finding] = []
+    for finding in findings:
+        lines = lines_of(finding.path)
+        suppressed = False
+        for lineno in (finding.line, finding.line - 1):
+            if 1 <= lineno <= len(lines):
+                for m in ALLOW_RE.finditer(lines[lineno - 1]):
+                    if m.group(1) == finding.rule:
+                        suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    for path in files:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        for idx, text in enumerate(lines_of(rel), start=1):
+            for m in ALLOW_RE.finditer(text):
+                if m.group(1) not in RULES or m.group(1) == "unknown-suppression":
+                    kept.append(Finding(
+                        rel, idx, "unknown-suppression",
+                        f"allow({m.group(1) or ''}) names no analyzer rule; "
+                        f"see --list-rules"))
+    return kept
+
+
+def run_analysis(root: Path, scan_dirs: tuple[str, ...], frontend: str,
+                 compdb_path: Path | None, cache_dir: Path | None,
+                 verbose: bool) -> tuple[list[Finding], str]:
+    files = collect_files(root, scan_dirs)
+    project, used = build_model(root, files, frontend, compdb_path,
+                                cache_dir, verbose)
+    findings = run_rules(project)
+    findings = apply_suppressions(root, findings, files)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, used
+
+
+# ---------------------------------------------------------------------------
+# Self-test: fixture corpus with a golden findings list.
+
+
+def load_golden(path: Path) -> set[tuple[str, int, str]]:
+    golden: set[tuple[str, int, str]] = set()
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"([^:]+):(\d+):\s*\[([\w-]+)\]", line)
+        if not m:
+            raise SystemExit(f"error: malformed golden line: {line}")
+        golden.add((m.group(1), int(m.group(2)), m.group(3)))
+    return golden
+
+
+def self_test(frontend: str, cache_dir: Path | None, verbose: bool) -> int:
+    fixture_root = Path(__file__).resolve().parent / "fixtures"
+    golden_path = fixture_root / "golden.txt"
+    if not golden_path.is_file():
+        print("self-test: FAIL (fixtures/golden.txt missing)")
+        return 1
+
+    # Unit checks for the suppression grammar itself.
+    m = ALLOW_RE.search("// fifoms-analyze: allow(observer-purity)")
+    assert m and m.group(1) == "observer-purity"
+    m = ALLOW_RE.search("x(); // fifoms-analyze:   allow( foo )")
+    assert m and m.group(1) == "foo"
+    assert not ALLOW_RE.search("// fifoms-analyze allow(foo)")  # no colon
+
+    # Synthesize a compdb so the clang frontend (when present) exercises
+    # the same corpus; clang-free containers take the internal path.
+    compdb_path = None
+    if frontend in ("auto", "clang") and clang_frontend.find_clang():
+        entries = [{
+            "directory": str(fixture_root),
+            "file": str(p),
+            "arguments": ["clang++", "-std=c++20",
+                          "-I", str(fixture_root), str(p)],
+        } for p in sorted((fixture_root / "src").rglob("*.cpp"))]
+        compdb_path = fixture_root / ".self-test-compdb.json"
+        compdb_path.write_text(json.dumps(entries))
+
+    try:
+        # support/ is scanned so the internal frontend sees the same
+        # class hierarchy (FaultError subclasses, SlotObserver) that the
+        # clang frontend picks up from the #includes.
+        findings, used = run_analysis(
+            fixture_root, ("src", "support"), frontend, compdb_path,
+            cache_dir, verbose)
+    finally:
+        if compdb_path is not None:
+            compdb_path.unlink(missing_ok=True)
+    got = {f.key() for f in findings}
+    want = load_golden(golden_path)
+
+    missing = sorted(want - got)
+    extra = sorted(got - want)
+    for path, line, rule in missing:
+        print(f"self-test: MISSING expected finding {path}:{line} [{rule}]")
+    for path, line, rule in extra:
+        print(f"self-test: UNEXPECTED finding {path}:{line} [{rule}]")
+        for f in findings:
+            if f.key() == (path, line, rule):
+                print(f"    {f}")
+    status = "ok" if not missing and not extra else "FAIL"
+    print(f"self-test ({used} frontend): {len(want)} golden findings, "
+          f"{len(got)} reported: {status}")
+    return 0 if status == "ok" else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fifoms semantic analyzer (see docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repo root to scan (default: this repo)")
+    parser.add_argument("--compdb", type=Path, default=None,
+                        help="compile_commands.json for the clang frontend")
+    parser.add_argument("--frontend", choices=("auto", "clang", "internal"),
+                        default="auto")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="AST-derivation cache dir "
+                             "(default: <root>/.analyzer-cache)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture corpus against golden findings")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}: {RULES[name]}")
+        return 0
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = args.root / ".analyzer-cache"
+
+    if args.self_test:
+        return self_test(args.frontend, cache_dir, args.verbose)
+
+    root = args.root.resolve()
+    findings, used = run_analysis(root, SCAN_DIRS, args.frontend,
+                                  args.compdb, cache_dir, args.verbose)
+    for finding in findings:
+        print(finding)
+    summary = f"analyze ({used} frontend): {len(findings)} finding(s)"
+    print(summary if findings else summary + " — clean", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,409 @@
+"""Clang JSON-AST frontend: exact semantic lowering into the model IR.
+
+Runs `clang++ -Xclang -ast-dump=json -fsyntax-only` per translation
+unit (arguments taken from compile_commands.json) and walks the dump.
+Two properties of the dump format shape the walker:
+
+* Locations are DIFFERENTIAL: a "loc"/"begin"/"end" object omits its
+  "file" and "line" keys when unchanged since the previously printed
+  location.  Reconstruction therefore replays the dump in document
+  order (dict key order is the serialization order under json.loads)
+  and keeps running file/line state.
+* Macro expansions carry "spellingLoc"/"expansionLoc" pairs; the
+  expansion side is where the code is written, which is what findings
+  should point at, but both sides participate in the differential
+  state and must be replayed.
+
+Results per TU are cached as serialized FileModels keyed on a content
+hash of the TU, every repo header, and the compile command — so CI can
+restore `.analyzer-cache/` and skip clang entirely for unchanged code.
+
+Any failure (clang missing, dump too exotic, JSON hiccup) raises
+FrontendError; analyze.py then falls back to the internal frontend for
+that TU, so this path can never hard-fail an analysis run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import shlex
+import subprocess
+from pathlib import Path
+
+from cpp_source import last_name
+from model import (CallSite, ClassInfo, Construction, FieldInfo, FileModel,
+                   FunctionInfo, GlobalVar, MemberCallSite, Param,
+                   StaticLocal, ThrowSite)
+
+FUNC_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+              "CXXDestructorDecl", "CXXConversionDecl"}
+
+CACHE_VERSION = "1"
+
+
+class FrontendError(RuntimeError):
+    pass
+
+
+def find_clang() -> str | None:
+    import shutil
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+class _Walker:
+    """Document-order AST walk with differential-location replay."""
+
+    def __init__(self, root: Path, main_file: str) -> None:
+        self.root = root
+        self.file = main_file
+        self.line = 0
+        self.models: dict[str, FileModel] = {}
+        self.fn_stack: list[FunctionInfo | None] = []
+        self.record_stack: list[ClassInfo | None] = []
+        self.ns_stack: list[str] = []
+
+    # -- location state ----------------------------------------------------
+
+    def _update_loc(self, loc: dict) -> tuple[str, int]:
+        if "expansionLoc" in loc or "spellingLoc" in loc:
+            # Replay both sides in serialization order; report expansion.
+            result = (self.file, self.line)
+            for key, obj in loc.items():
+                if key in ("spellingLoc", "expansionLoc") and \
+                        isinstance(obj, dict):
+                    updated = self._update_loc(obj)
+                    if key == "expansionLoc":
+                        result = updated
+            return result
+        if "file" in loc:
+            self.file = loc["file"]
+        if "line" in loc:
+            self.line = loc["line"]
+        return (self.file, self.line)
+
+    def _rel(self, path: str) -> str | None:
+        p = Path(path)
+        if not p.is_absolute():
+            p = (self.root / p)
+        try:
+            rel = p.resolve().relative_to(self.root)
+        except ValueError:
+            return None
+        return rel.as_posix()
+
+    def _model_for(self, path: str) -> FileModel | None:
+        rel = self._rel(path)
+        if rel is None:
+            return None
+        if rel not in self.models:
+            self.models[rel] = FileModel(path=rel)
+        return self.models[rel]
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk(self, node) -> None:
+        if isinstance(node, list):
+            for item in node:
+                self.walk(item)
+            return
+        if not isinstance(node, dict):
+            return
+        if "kind" not in node and ("file" in node or "line" in node
+                                   or "offset" in node
+                                   or "spellingLoc" in node):
+            self._update_loc(node)
+            return
+        kind = node.get("kind", "")
+        node_loc: tuple[str, int] | None = None
+        entered = False
+        pushed_fn = pushed_record = pushed_ns = False
+
+        # Replay keys in document order so differential state stays true;
+        # semantic handling happens once, right before descending into
+        # children (or at the end for leaf decls).
+        for key, value in node.items():
+            if key == "loc" and isinstance(value, dict):
+                node_loc = self._update_loc(value)
+                continue
+            if key == "range" and isinstance(value, dict):
+                begin = value.get("begin")
+                if isinstance(begin, dict):
+                    updated = self._update_loc(begin)
+                    if node_loc is None:
+                        node_loc = updated
+                end = value.get("end")
+                if isinstance(end, dict):
+                    self._update_loc(end)
+                continue
+            if key == "inner":
+                if not entered:
+                    entered = True
+                    pushed_fn, pushed_record, pushed_ns = \
+                        self._enter(kind, node, node_loc)
+                self.walk(value)
+                continue
+            self.walk(value)
+        if not entered:
+            pushed_fn, pushed_record, pushed_ns = \
+                self._enter(kind, node, node_loc)
+        self._leave(pushed_fn, pushed_record, pushed_ns)
+
+    # -- semantic handlers -------------------------------------------------
+
+    def _enter(self, kind: str, node: dict,
+               loc: tuple[str, int] | None) -> tuple[bool, bool, bool]:
+        file, line = loc if loc else (self.file, self.line)
+        fn = self.fn_stack[-1] if self.fn_stack else None
+
+        if kind == "NamespaceDecl":
+            self.ns_stack.append(node.get("name", ""))
+            return (False, False, True)
+
+        if kind == "CXXRecordDecl" and node.get("name"):
+            cls = None
+            if node.get("completeDefinition"):
+                cls = ClassInfo(name=node["name"], file=file or "",
+                                line=line)
+                for base in node.get("bases", []):
+                    qual = base.get("type", {}).get("qualType", "")
+                    name = last_name(qual)
+                    if name:
+                        cls.bases.append(name)
+                model = self._model_for(file) if file else None
+                if model is not None:
+                    model.classes.append(cls)
+            self.record_stack.append(cls)
+            return (False, True, False)
+
+        if kind in FUNC_KINDS:
+            record = self.record_stack[-1] if self.record_stack else None
+            has_body = any(isinstance(c, dict)
+                           and c.get("kind") == "CompoundStmt"
+                           for c in node.get("inner", []))
+            name = node.get("name", "")
+            if name and (has_body or not self.fn_stack):
+                qual_parts = [p for p in self.ns_stack if p]
+                if record is not None:
+                    qual_parts.append(record.name)
+                qual_parts.append(name)
+                info = FunctionInfo(
+                    name=name, qualname="::".join(qual_parts),
+                    file=file or "", line=line,
+                    class_name=record.name if record is not None else "")
+                if has_body:
+                    model = self._model_for(file) if file else None
+                    if model is not None:
+                        model.functions.append(info)
+                    self.fn_stack.append(info)
+                    return (True, False, False)
+            return (False, False, False)
+
+        if kind == "ParmVarDecl" and self.fn_stack and self.fn_stack[-1]:
+            qual = node.get("type", {}).get("qualType", "")
+            self.fn_stack[-1].params.append(
+                Param(name=node.get("name", ""),
+                      type_text=qual))
+            return (False, False, False)
+
+        if kind == "VarDecl":
+            qual = node.get("type", {}).get("qualType", "")
+            storage = node.get("storageClass", "")
+            if fn is not None and storage == "static":
+                fn.static_locals.append(StaticLocal(
+                    name=node.get("name", ""), type_text=qual, line=line,
+                    is_const="const" in qual.split()
+                    or qual.startswith("const ")))
+            elif fn is None and not self.fn_stack and \
+                    not self.record_stack and storage != "extern" and \
+                    node.get("name"):
+                model = self._model_for(file) if file else None
+                if model is not None:
+                    model.globals.append(GlobalVar(
+                        name=node["name"], type_text=qual,
+                        file=model.path, line=line,
+                        is_const="const" in qual.replace("&", " ").split()
+                        or "constexpr" in str(node.get("constexpr", ""))))
+            return (False, False, False)
+
+        if kind == "FieldDecl" and self.record_stack and self.record_stack[-1]:
+            qual = node.get("type", {}).get("qualType", "")
+            self.record_stack[-1].fields.append(FieldInfo(
+                name=node.get("name", ""), type_text=qual, line=line))
+            return (False, False, False)
+
+        if fn is None:
+            return (False, False, False)
+
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl", {})
+            if isinstance(ref, dict) and ref.get("kind") in FUNC_KINDS:
+                fn.calls.append(CallSite(callee=ref.get("name", ""),
+                                         line=line))
+        elif kind == "MemberExpr":
+            name = node.get("name", "")
+            if name:
+                fn.member_calls.append(MemberCallSite(obj="", method=name,
+                                                      line=line))
+        elif kind == "CXXConstructExpr":
+            qual = node.get("type", {}).get("qualType", "")
+            if last_name(qual) == "Rng" and "&" not in qual:
+                fn.constructions.append(Construction(type_name="Rng",
+                                                     line=line))
+        elif kind == "CXXThrowExpr":
+            inner = node.get("inner")
+            type_name = ""
+            if inner:
+                qual = (inner[0].get("type", {}) or {}).get("qualType", "")
+                type_name = last_name(qual)
+            fn.throws.append(ThrowSite(type_name=type_name, line=line))
+        elif kind == "CXXConstCastExpr":
+            fn.const_cast_lines.append(line)
+        return (False, False, False)
+
+    def _leave(self, pushed_fn: bool, pushed_record: bool,
+               pushed_ns: bool) -> None:
+        if pushed_fn:
+            self.fn_stack.pop()
+        if pushed_record:
+            self.record_stack.pop()
+        if pushed_ns:
+            self.ns_stack.pop()
+
+
+# ---------------------------------------------------------------------------
+
+
+def _strip_compile_args(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry.get("command", ""))
+    out: list[str] = []
+    skip_next = False
+    for arg in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-c", "-S", "-E", "--analyze"):
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if arg.startswith("-o") and len(arg) > 2:
+            continue
+        if arg in ("-MD", "-MMD", "-fcolor-diagnostics"):
+            continue
+        out.append(arg)
+    return out
+
+
+def _headers_hash(root: Path) -> str:
+    sha = hashlib.sha256()
+    for sub in ("src", "tools/analyzer/fixtures"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.hpp")):
+            sha.update(path.as_posix().encode())
+            sha.update(path.read_bytes())
+    return sha.hexdigest()
+
+
+def _model_to_json(models: dict[str, FileModel]) -> str:
+    return json.dumps({p: dataclasses.asdict(m) for p, m in models.items()})
+
+
+def _model_from_json(text: str) -> dict[str, FileModel]:
+    raw = json.loads(text)
+    models: dict[str, FileModel] = {}
+    for path, data in raw.items():
+        model = FileModel(path=path)
+        for f in data["functions"]:
+            model.functions.append(FunctionInfo(
+                name=f["name"], qualname=f["qualname"], file=f["file"],
+                line=f["line"], class_name=f["class_name"],
+                params=[Param(**p) for p in f["params"]],
+                calls=[CallSite(**c) for c in f["calls"]],
+                member_calls=[MemberCallSite(**m) for m in f["member_calls"]],
+                throws=[ThrowSite(**t) for t in f["throws"]],
+                static_locals=[StaticLocal(**s) for s in f["static_locals"]],
+                constructions=[Construction(**c) for c in f["constructions"]],
+                const_cast_lines=list(f["const_cast_lines"])))
+        for c in data["classes"]:
+            model.classes.append(ClassInfo(
+                name=c["name"], file=c["file"], line=c["line"],
+                bases=list(c["bases"]),
+                fields=[FieldInfo(**fd) for fd in c["fields"]]))
+        for g in data["globals"]:
+            model.globals.append(GlobalVar(**g))
+        models[path] = model
+    return models
+
+
+def parse_tu(clang: str, entry: dict, root: Path,
+             cache_dir: Path | None,
+             headers_hash: str | None = None) -> dict[str, FileModel]:
+    """Parse one compile_commands.json entry; returns FileModels for every
+    repo file the TU touches.  Raises FrontendError on any failure."""
+    source = Path(entry["file"])
+    if not source.is_absolute():
+        source = Path(entry.get("directory", ".")) / source
+    try:
+        source_bytes = source.read_bytes()
+    except OSError as err:
+        raise FrontendError(f"cannot read {source}: {err}") from err
+
+    args = _strip_compile_args(entry)
+    cache_path = None
+    if cache_dir is not None:
+        if headers_hash is None:
+            headers_hash = _headers_hash(root)
+        sha = hashlib.sha256()
+        sha.update(CACHE_VERSION.encode())
+        sha.update(headers_hash.encode())
+        sha.update("\0".join(args).encode())
+        sha.update(source_bytes)
+        cache_path = cache_dir / f"{source.stem}-{sha.hexdigest()[:24]}.json"
+        if cache_path.is_file():
+            try:
+                return _model_from_json(cache_path.read_text())
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                pass  # stale/corrupt cache entry: re-derive below
+
+    cmd = [clang, *args, "-fsyntax-only", "-Xclang", "-ast-dump=json",
+           "-Wno-everything"]
+    try:
+        proc = subprocess.run(
+            cmd, cwd=entry.get("directory", str(root)),
+            capture_output=True, text=True, timeout=600, check=False)
+    except (OSError, subprocess.TimeoutExpired) as err:
+        raise FrontendError(f"clang failed on {source.name}: {err}") from err
+    if proc.returncode != 0 or not proc.stdout.strip():
+        detail = proc.stderr.strip().splitlines()[:3]
+        raise FrontendError(
+            f"clang rc={proc.returncode} on {source.name}: {detail}")
+    try:
+        ast = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        raise FrontendError(f"bad AST JSON for {source.name}: {err}") from err
+
+    walker = _Walker(root=root.resolve(), main_file=str(source))
+    try:
+        walker.walk(ast)
+    except RecursionError as err:
+        raise FrontendError(f"AST too deep for {source.name}") from err
+
+    if cache_path is not None:
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(_model_to_json(walker.models))
+        except OSError:
+            pass  # cache is best-effort
+    return walker.models

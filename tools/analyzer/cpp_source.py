@@ -1,0 +1,107 @@
+"""Lexical preprocessing for the internal C++ frontend.
+
+sanitize() blanks out everything that is not code structure — comments,
+string/char literal contents (raw strings included) and preprocessor
+directives — while preserving the exact line/column layout, so that the
+scanner in internal_frontend.py can match braces and regexes without
+being fooled by `{` inside a string or a multi-line macro definition.
+"""
+
+from __future__ import annotations
+
+import re
+
+_RAW_OPEN = re.compile(r'R"([^\s()\\]{0,16})\(')
+
+
+def sanitize(text: str) -> str:
+    out = list(text)
+    n = len(text)
+    i = 0
+
+    def blank(start: int, end: int) -> None:
+        for k in range(start, min(end, n)):
+            if out[k] != "\n":
+                out[k] = " "
+
+    state = "code"
+    line_start = True  # at start of a (logical) line: directives begin here
+    while i < n:
+        ch = text[i]
+        if state == "code":
+            if line_start and ch == "#":
+                # Preprocessor directive, including backslash continuations.
+                start = i
+                while i < n:
+                    eol = text.find("\n", i)
+                    if eol == -1:
+                        i = n
+                        break
+                    if text[eol - 1] == "\\" if eol > 0 else False:
+                        i = eol + 1
+                        continue
+                    i = eol
+                    break
+                blank(start, i)
+                continue
+            if ch == "/" and i + 1 < n and text[i + 1] == "/":
+                eol = text.find("\n", i)
+                eol = n if eol == -1 else eol
+                blank(i, eol)
+                i = eol
+                continue
+            if ch == "/" and i + 1 < n and text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                end = n if end == -1 else end + 2
+                blank(i, end)
+                i = end
+                continue
+            if ch == '"':
+                raw = _RAW_OPEN.match(text, i - 1) if i > 0 else None
+                if raw and text[i - 1] == "R":
+                    close = ")" + raw.group(1) + '"'
+                    end = text.find(close, raw.end())
+                    end = n if end == -1 else end + len(close)
+                    blank(i - 1, end)
+                    i = end
+                    continue
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                blank(i + 1, j)
+                i = j + 1
+                continue
+            if ch == "'":
+                j = i + 1
+                while j < n and text[j] != "'":
+                    j += 2 if text[j] == "\\" else 1
+                blank(i + 1, j)
+                i = j + 1
+                continue
+            if ch == "\n":
+                line_start = True
+            elif not ch.isspace():
+                line_start = False
+            i += 1
+        else:  # pragma: no cover - state machine is two-state
+            i += 1
+    return "".join(out)
+
+
+def line_of(code: str, pos: int) -> int:
+    """1-based line number of character offset `pos`."""
+    return code.count("\n", 0, pos) + 1
+
+
+def last_name(type_text: str) -> str:
+    """Last identifier component of a (possibly qualified) type spelling:
+    'const fifoms::fault::FaultError &' -> 'FaultError'."""
+    text = re.sub(r"<[^<>]*(?:<[^<>]*>[^<>]*)*>", "", type_text)
+    names = re.findall(r"[A-Za-z_]\w*", text)
+    skip = {"const", "constexpr", "volatile", "struct", "class", "enum",
+            "typename", "unsigned", "signed", "long", "short", "int",
+            "char", "bool", "void", "auto", "inline", "static", "mutable"}
+    for name in reversed(names):
+        if name not in skip:
+            return name
+    return names[-1] if names else ""

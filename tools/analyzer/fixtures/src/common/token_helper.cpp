@@ -1,0 +1,28 @@
+// Transitive target for fault-path-exception-discipline: this file is
+// outside src/fault/, but parse_port_token() is called from
+// fault::load_plan(), so its std::invalid_argument throw is reachable
+// from the fault layer and must be flagged.  unreferenced_parse() is
+// NOT reachable from any fault entry — flagging it would mean the rule
+// lost its reachability analysis.
+#include "support/stubs.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fifoms {
+
+int parse_port_token(const std::string& token) {
+  if (token.empty()) {
+    throw std::invalid_argument("empty port token");  // BAD via load_plan
+  }
+  return static_cast<int>(token.size());
+}
+
+int unreferenced_parse(const std::string& token) {
+  if (token.size() > 8) {
+    throw std::length_error("token too long");  // clean: unreachable
+  }
+  return 0;
+}
+
+}  // namespace fifoms

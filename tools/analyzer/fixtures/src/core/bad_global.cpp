@@ -1,0 +1,24 @@
+// determinism-dataflow: mutable namespace-scope state, plus the
+// suppression-placement edge cases — an allow() two lines above the
+// finding is too far away and must not silence it.
+#include "support/stubs.hpp"
+
+#include <cstdint>
+
+namespace fifoms {
+
+int g_retry_budget = 3;  // BAD: mutable global
+
+const int kMaxPorts = 64;  // clean: const
+
+// fifoms-analyze: allow(determinism-dataflow)
+
+std::uint64_t g_slot_count = 0;  // BAD: the allow() above is too far away
+
+namespace {
+int g_quarantine_count = 0;  // fifoms-analyze: allow(determinism-dataflow)
+}  // namespace
+
+int bump_quarantine() { return ++g_quarantine_count + g_retry_budget; }
+
+}  // namespace fifoms

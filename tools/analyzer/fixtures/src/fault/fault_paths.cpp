@@ -1,0 +1,58 @@
+// fault-path-exception-discipline: throws reachable from the fault
+// layer must be FaultError subclasses.  Covers a direct bad throw, a
+// clean FaultError/subclass throw, a rethrow (no static type — clean),
+// a suppressed legacy throw, and a transitive reach into a helper
+// defined in another file (src/common/token_helper.cpp).
+#include "support/stubs.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fifoms {
+
+int parse_port_token(const std::string& token);
+
+namespace fault {
+
+void validate_plan(int num_ports) {
+  if (num_ports <= 0) {
+    throw FaultError("plan needs at least one port");  // clean
+  }
+}
+
+void mark_link_down(int port) {
+  if (port < 0) {
+    throw LinkFaultError("negative port");  // clean: FaultError subclass
+  }
+}
+
+void apply_event(int port, int num_ports) {
+  if (port >= num_ports) {
+    throw std::out_of_range("event port outside the fabric");  // BAD
+  }
+}
+
+void load_plan(const std::string& text) {
+  int port = parse_port_token(text);
+  validate_plan(port);
+  mark_link_down(port);
+  apply_event(port, port + 1);
+}
+
+void reraise_current() {
+  try {
+    validate_plan(0);
+  } catch (...) {
+    throw;  // clean: rethrow keeps the origin's type
+  }
+}
+
+void legacy_guard(int n) {
+  if (n < 0) {
+    // fifoms-analyze: allow(fault-path-exception-discipline)
+    throw std::runtime_error("legacy path");  // suppressed
+  }
+}
+
+}  // namespace fault
+}  // namespace fifoms

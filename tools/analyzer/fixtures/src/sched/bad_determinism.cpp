@@ -1,0 +1,39 @@
+// determinism-dataflow: positive cases (plus a suppressed one and two
+// clean controls).  Golden findings reference exact lines — keep each
+// construct on its own line.
+#include "support/stubs.hpp"
+
+#include <cstdint>
+
+namespace fifoms {
+
+std::uint64_t stale_counter_next() {
+  static std::uint64_t counter = 0;  // BAD: hidden mutable state
+  return ++counter;
+}
+
+std::uint64_t cached_limit() {
+  static const std::uint64_t limit = 64;  // clean: immutable
+  return limit;
+}
+
+std::uint64_t hidden_stream_draw() {
+  Rng local(7);  // BAD: function-local stream
+  return local.next_u64();  // BAD: draw without an Rng parameter
+}
+
+std::uint64_t seeded_draw(Rng& rng) {
+  return rng.next_u64();  // clean: stream flows in as a parameter
+}
+
+struct JitterSource {
+  Rng dice;  // BAD: value-held stream
+  std::uint64_t sample() { return dice.next_u64(); }  // BAD: no Rng param
+};
+
+std::uint64_t quarantined_draw() {
+  static std::uint64_t epoch = 1;  // fifoms-analyze: allow(determinism-dataflow)
+  return epoch;
+}
+
+}  // namespace fifoms

@@ -1,0 +1,25 @@
+// determinism-dataflow: a fully clean decision-path file — the
+// self-test fails if the analyzer reports anything here.
+#include "support/stubs.hpp"
+
+#include <cstdint>
+
+namespace fifoms {
+
+const int kRoundLimit = 8;
+
+int pick_winner(Rng& rng, int contenders) {
+  if (contenders <= 0) {
+    return -1;
+  }
+  return static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(contenders)));
+}
+
+int bounded_rounds(int requested) {
+  return requested < kRoundLimit ? requested : kRoundLimit;
+}
+
+bool coin_flip(Rng& rng, double bias) { return rng.bernoulli(bias); }
+
+}  // namespace fifoms

@@ -1,0 +1,46 @@
+// observer-purity: const_cast in SlotObserver hook overrides and in
+// helpers the hook calls; a suppressed variant; a clean observer that
+// only reads the model and mutates its own members.
+#include "support/stubs.hpp"
+
+namespace fifoms {
+
+class MutatingTracer : public SlotObserver {
+ public:
+  void on_slot(const SwitchModel& model, int slot) override {
+    auto& writable = const_cast<SwitchModel&>(model);  // BAD
+    writable.drop_cell(slot);
+  }
+};
+
+class IndirectTracer : public SlotObserver {
+ public:
+  void on_inject(const SwitchModel& model, int cell) override {
+    scrub(model, cell);
+  }
+
+ private:
+  void scrub(const SwitchModel& model, int cell) {
+    const_cast<SwitchModel&>(model).drop_cell(cell);  // BAD via on_inject
+  }
+};
+
+class PatchedTracer : public SlotObserver {
+ public:
+  void on_fault_event(const SwitchModel& model, int port) override {
+    // fifoms-analyze: allow(observer-purity)
+    const_cast<SwitchModel&>(model).drop_cell(port);  // suppressed
+  }
+};
+
+class CountingTracer : public SlotObserver {
+ public:
+  void on_slot(const SwitchModel& model, int slot) override {
+    seen_ += slot + model.num_ports();  // clean: reads model, owns seen_
+  }
+
+ private:
+  long seen_ = 0;
+};
+
+}  // namespace fifoms

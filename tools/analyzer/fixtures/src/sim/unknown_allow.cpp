@@ -1,0 +1,12 @@
+// unknown-suppression: allow() must name a real analyzer rule.  A typo
+// would otherwise silently disable nothing while looking authoritative.
+#include "support/stubs.hpp"
+
+namespace fifoms {
+
+// fifoms-analyze: allow(not-a-rule)
+int observer_count() { return 0; }
+
+int hook_count() { return 3; }  // fifoms-analyze: allow(observer-puritty)
+
+}  // namespace fifoms

@@ -1,0 +1,57 @@
+// Minimal stand-ins for the project types the analyzer rules reason
+// about.  The fixtures compile against these under the clang frontend;
+// the internal frontend never parses this header (it sits outside the
+// fixtures' src/ scan root), which is deliberate: rules must work from
+// the names and base lists spelled at the use sites.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fifoms {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : state_(seed) {}
+  std::uint64_t next_u64() { return ++state_; }
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound ? next_u64() % bound : 0;
+  }
+  double next_double() { return 0.0; }
+  bool bernoulli(double) { return false; }
+  int uniform_int(int lo, int) { return lo; }
+  int geometric(double) { return 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+class SwitchModel {
+ public:
+  int num_ports() const { return 4; }
+  void drop_cell(int) {}
+};
+
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+  virtual void on_slot(const SwitchModel&, int) {}
+  virtual void on_inject(const SwitchModel&, int) {}
+  virtual void on_fault_event(const SwitchModel&, int) {}
+};
+
+namespace fault {
+
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class LinkFaultError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+}  // namespace fault
+}  // namespace fifoms

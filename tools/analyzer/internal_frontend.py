@@ -1,0 +1,359 @@
+"""Internal (clang-free) frontend: lowers C++ sources into the model IR.
+
+This is a structural scanner, not a full parser.  sanitize() removes
+comments/strings/preprocessor lines, then a single pass tracks brace
+scopes (namespace / class / function / block), classifying each scope
+from the text between the previous `{`/`}`/`;` and the opening brace.
+Function bodies are harvested with regexes for the constructs the rules
+need: calls, member calls, throws, static locals, Rng constructions and
+const_casts.
+
+It intentionally over-approximates (a function mentioned is an edge in
+the call graph even if only its address is taken) — the rules prefer
+false edges over missed ones, and the suppression syntax handles the
+rare false positive.  The Clang frontend (clang_frontend.py) produces
+the same IR from real ASTs when a clang binary is available.
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpp_source import last_name, line_of, sanitize
+from model import (CallSite, ClassInfo, Construction, FieldInfo, FileModel,
+                   FunctionInfo, GlobalVar, MemberCallSite, Param,
+                   StaticLocal, ThrowSite)
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "alignas", "typeid", "new",
+    "delete", "throw", "co_return", "co_await", "co_yield", "assert",
+    "defined", "requires", "default",
+}
+
+_NAMESPACE = re.compile(r"\bnamespace\s*([\w:]*)\s*$")
+_CLASS = re.compile(
+    r"\b(?:class|struct)\s+(?:\w+\s+)*?([A-Za-z_]\w*)\s*"
+    r"(?:final\s*)?(?::\s*([^{]*?))?\s*$")
+_ENUM = re.compile(r"\benum\b")
+_TEMPLATE_PREFIX = re.compile(r"^\s*template\s*<")
+_ATTR = re.compile(r"\[\[[^\]]*\]\]")
+
+# Body-harvest patterns -------------------------------------------------------
+_STATIC_LOCAL = re.compile(
+    r"\bstatic\s+(?P<quals>(?:(?:const|constexpr|thread_local)\s+)*)"
+    r"(?P<type>[\w:]+(?:\s*<[^<>;]*>)?(?:\s*[&*])*(?:\s+const)?)"
+    r"\s+(?P<name>\w+)\s*(?=[=;{(\[])")
+_THROW = re.compile(
+    r"\bthrow\s*(?:\bnew\b\s*)?([A-Za-z_][\w:]*)?\s*([(;{])")
+_MEMBER_CALL = re.compile(r"(\w+)\s*(?:\.|->)\s*(\w+)\s*\(")
+_CALL = re.compile(r"(?<![\w.>])((?:\w+\s*::\s*)*)(~?\w+)\s*\(")
+# Bare value use of Rng: declarations (`Rng rng`), temporaries (`Rng(`),
+# and value containers (`vector<Rng>`); references/pointers and
+# qualified uses (`Rng::`, `Rng&`) stay legal.
+_RNG_VALUE = re.compile(r"\bRng\b(?!\s*[&*:<])")
+_CONST_CAST = re.compile(r"\bconst_cast\s*<")
+# Project annotation macros (thread_annotations.hpp) decorate class and
+# function heads; strip them so classification sees the real structure.
+_FIFOMS_MACRO = re.compile(
+    r"\bFIFOMS_[A-Z_]+\s*\((?:[^()]|\([^()]*\))*\)|\bFIFOMS_[A-Z_]+\b")
+
+_GLOBAL_VAR = re.compile(
+    r"^\s*(?P<storage>(?:(?:static|inline|thread_local|extern|constinit)\s+)*)"
+    r"(?P<quals>(?:(?:const|constexpr)\s+)*)"
+    r"(?P<type>[\w:]+(?:\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>)?(?:\s*[&*])*"
+    r"(?:\s+const)?)\s+(?P<name>\w+)\s*(?P<arr>\[[^\]]*\])?\s*$")
+
+_SKIP_SEGMENT = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|extern\s+\"|public\s*:|"
+    r"private\s*:|protected\s*:|class\b|struct\b|enum\b|namespace\b|"
+    r"template\b|static_assert\b|goto\b|$)")
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "fn", "body_start", "bases", "fields",
+                 "line")
+
+    def __init__(self, kind: str, name: str = "", fn: FunctionInfo | None = None,
+                 body_start: int = 0, line: int = 0) -> None:
+        self.kind = kind  # tu | namespace | class | function | block | enum
+        self.name = name
+        self.fn = fn
+        self.body_start = body_start
+        self.bases: list[str] = []
+        self.fields: list[FieldInfo] = []
+        self.line = line
+
+
+def _strip_head(head: str) -> str:
+    """Drop leading template<...> prefixes and attributes from a scope head."""
+    head = _ATTR.sub(" ", head)
+    head = _FIFOMS_MACRO.sub(" ", head)
+    while True:
+        m = _TEMPLATE_PREFIX.match(head)
+        if not m:
+            return head.strip()
+        depth, i = 0, head.index("<", m.start())
+        while i < len(head):
+            if head[i] == "<":
+                depth += 1
+            elif head[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        head = head[i + 1:]
+
+
+def _parse_bases(text: str | None) -> list[str]:
+    if not text:
+        return []
+    bases, depth, token = [], 0, []
+    for ch in text + ",":
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        if ch == "," and depth == 0:
+            spec = "".join(token).strip()
+            token = []
+            if spec:
+                bases.append(last_name(spec))
+        else:
+            token.append(ch)
+    return [b for b in bases if b]
+
+
+def _find_signature(head: str) -> tuple[str, str, int] | None:
+    """Locate `name(params)` in a scope head.
+
+    Returns (name, params_text, name_offset) for the FIRST top-level
+    parenthesis group preceded by a plausible function name — first, not
+    last, so constructor init-lists (`Foo::Foo(x) : a_(x)`) resolve to
+    the constructor and not an initializer.
+    """
+    depth = 0
+    for i, ch in enumerate(head):
+        if ch == "(" and depth == 0:
+            before = head[:i].rstrip()
+            m = re.search(r"(operator\s*[^\s\w]{1,3}|[~\w][\w:~]*)$", before)
+            if m:
+                name = m.group(1)
+                base = name.split("::")[-1]
+                if base.lstrip("~") not in KEYWORDS and not base.isdigit():
+                    # Balanced parameter extraction.
+                    d, j = 0, i
+                    while j < len(head):
+                        if head[j] == "(":
+                            d += 1
+                        elif head[j] == ")":
+                            d -= 1
+                            if d == 0:
+                                break
+                        j += 1
+                    tail = head[j + 1:]
+                    # `x = f(...)` heads are initializers, not signatures.
+                    if "=" in head[:m.start()]:
+                        return None
+                    if re.match(r"\s*(==|!=|<|>|\+|-|\*|/|\|\||&&)", tail):
+                        return None
+                    return (name, head[i + 1:j], m.start())
+            return None
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+    return None
+
+
+def _parse_params(params_text: str, line: int) -> list[Param]:
+    del line
+    params: list[Param] = []
+    depth, token, groups = 0, [], []
+    for ch in params_text + ",":
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            groups.append("".join(token).strip())
+            token = []
+        else:
+            token.append(ch)
+    for group in groups:
+        group = group.split("=")[0].strip()
+        if not group or group == "void":
+            continue
+        m = re.search(r"([A-Za-z_]\w*)\s*$", group)
+        name = m.group(1) if m else ""
+        type_text = group[:m.start()].strip() if m else group
+        if not type_text:  # unnamed param spelled as just a type
+            type_text, name = name, ""
+        params.append(Param(name=name, type_text=re.sub(r"\s+", " ", type_text)))
+    return params
+
+
+def _qualname(scopes: list[_Scope], name: str) -> str:
+    parts = [s.name for s in scopes if s.kind in ("namespace", "class") and s.name]
+    parts.append(name)
+    return "::".join(parts)
+
+
+def _enclosing_class(scopes: list[_Scope]) -> str:
+    for scope in reversed(scopes):
+        if scope.kind == "class":
+            return scope.name
+    return ""
+
+
+def _harvest_body(fn: FunctionInfo, body: str, base_line: int) -> None:
+    def bline(pos: int) -> int:
+        return base_line + body.count("\n", 0, pos)
+
+    for m in _STATIC_LOCAL.finditer(body):
+        quals = m.group("quals") or ""
+        type_text = re.sub(r"\s+", " ", m.group("type")).strip()
+        is_const = ("const" in quals.split() or "constexpr" in quals.split()
+                    or re.search(r"\bconst\b", type_text) is not None)
+        fn.static_locals.append(StaticLocal(
+            name=m.group("name"), type_text=type_text,
+            line=bline(m.start()), is_const=is_const))
+    for m in _THROW.finditer(body):
+        type_name = m.group(1) or ""
+        # `throw;` and `throw err;` (rethrowing a caught lowercase-named
+        # object) carry no statically-known type.
+        if m.group(2) == ";" and (not type_name or type_name[0].islower()):
+            type_name = ""
+        fn.throws.append(ThrowSite(
+            type_name=type_name.split("::")[-1], line=bline(m.start())))
+    for m in _MEMBER_CALL.finditer(body):
+        fn.member_calls.append(MemberCallSite(
+            obj=m.group(1), method=m.group(2), line=bline(m.start())))
+    for m in _CALL.finditer(body):
+        callee = m.group(2)
+        if callee in KEYWORDS or callee.isdigit():
+            continue
+        qualifier = re.sub(r"\s|::$", "", m.group(1) or "")
+        fn.calls.append(CallSite(callee=callee, line=bline(m.start()),
+                                 qualifier=qualifier))
+    for m in _RNG_VALUE.finditer(body):
+        fn.constructions.append(Construction(type_name="Rng",
+                                             line=bline(m.start())))
+    for m in _CONST_CAST.finditer(body):
+        fn.const_cast_lines.append(bline(m.start()))
+
+
+def _record_var(segment: str, scope: _Scope, model: FileModel,
+                scopes: list[_Scope], code: str, pos: int) -> None:
+    """Record a namespace-scope variable or class field from a `;` segment
+    (or a brace-init head with the trailing `=`/`{` already stripped)."""
+    segment = _FIFOMS_MACRO.sub(" ", segment)
+    if _SKIP_SEGMENT.match(segment):
+        return
+    # Split off any initializer; a '(' on the left-hand side means a
+    # function declaration (or macro use) rather than a variable.
+    lhs = segment.split("=", 1)[0]
+    if "(" in lhs or ")" in lhs:
+        return
+    m = _GLOBAL_VAR.match(lhs.strip())
+    if not m:
+        return
+    name = m.group("name")
+    type_text = re.sub(r"\s+", " ", m.group("type")).strip()
+    if type_text in ("return", "delete", "operator"):
+        return
+    quals = (m.group("quals") or "").split()
+    storage = (m.group("storage") or "").split()
+    if "extern" in storage:
+        return
+    is_const = ("const" in quals or "constexpr" in quals
+                or re.search(r"\bconst\b", type_text) is not None)
+    while pos < len(code) and code[pos].isspace():
+        pos += 1  # report the declaration's own line, not the segment start
+    line = line_of(code, pos)
+    if scope.kind == "class":
+        scope.fields.append(FieldInfo(name=name, type_text=type_text,
+                                      line=line))
+    elif scope.kind in ("tu", "namespace"):
+        del scopes  # qualname not tracked for globals
+        model.globals.append(GlobalVar(name=name, type_text=type_text,
+                                       file=model.path, line=line,
+                                       is_const=is_const))
+
+
+def parse_source(rel_path: str, text: str) -> FileModel:
+    code = sanitize(text)
+    model = FileModel(path=rel_path)
+    scopes: list[_Scope] = [_Scope("tu")]
+    head_start = 0
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch == "{":
+            head_raw = code[head_start:i]
+            head = _strip_head(head_raw)
+            parent = scopes[-1]
+            scope = None
+            nm = _NAMESPACE.search(head)
+            cm = _CLASS.search(head) if not _ENUM.search(head) else None
+            if head.endswith("=") or head.endswith(","):
+                # Brace initializer (`T x = {` / inner `{...},`): still try
+                # to record the variable being initialized.
+                _record_var(head.rstrip("=,").strip(), parent, model,
+                            scopes, code, head_start)
+                scope = _Scope("block")
+            elif nm and "using" not in head:
+                scope = _Scope("namespace", name=nm.group(1).split("::")[-1])
+            elif cm:
+                scope = _Scope("class", name=cm.group(1),
+                               line=line_of(code, head_start + head_raw.find(
+                                   cm.group(1))))
+                scope.bases = _parse_bases(cm.group(2))
+            elif _ENUM.search(head):
+                scope = _Scope("enum")
+            elif parent.kind in ("tu", "namespace", "class"):
+                sig = _find_signature(head)
+                if sig:
+                    name, params_text, name_off = sig
+                    base = name.split("::")[-1]
+                    cls = _enclosing_class(scopes)
+                    if "::" in name and not cls:
+                        cls = name.split("::")[-2]
+                    line = line_of(code, head_start + head_raw.find(
+                        name.split("::")[0]))
+                    fn = FunctionInfo(
+                        name=base, qualname=_qualname(scopes, name),
+                        file=rel_path, line=line, class_name=cls,
+                        params=_parse_params(params_text, line))
+                    scope = _Scope("function", name=base, fn=fn,
+                                   body_start=i + 1, line=line)
+                    del name_off
+                else:
+                    # Plain brace-init without `=` (`T x{...}`).
+                    _record_var(head, parent, model, scopes, code, head_start)
+                    scope = _Scope("block")
+            else:
+                scope = _Scope("block")
+            scopes.append(scope)
+            head_start = i + 1
+        elif ch == "}":
+            if len(scopes) > 1:
+                top = scopes.pop()
+                if top.kind == "function" and top.fn is not None:
+                    body = code[top.body_start:i]
+                    _harvest_body(top.fn, body,
+                                  line_of(code, top.body_start))
+                    model.functions.append(top.fn)
+                elif top.kind == "class" and top.name:
+                    model.classes.append(ClassInfo(
+                        name=top.name, file=rel_path, line=top.line,
+                        bases=top.bases, fields=top.fields))
+            head_start = i + 1
+        elif ch == ";":
+            segment = code[head_start:i]
+            scope = scopes[-1]
+            if scope.kind in ("tu", "namespace", "class"):
+                _record_var(segment, scope, model, scopes, code, head_start)
+            head_start = i + 1
+        i += 1
+    return model

@@ -1,0 +1,180 @@
+"""Semantic model shared by the analyzer's frontends and rules.
+
+Both frontends — the Clang JSON-AST frontend and the internal
+tokenizer-based fallback — lower C++ translation units into the same
+small intermediate representation: functions with their parameters,
+call sites, throw sites, object constructions and static locals;
+classes with their base lists and fields; namespace-scope variables.
+The rules (rules.py) operate only on this IR, so they behave
+identically whichever frontend produced it.
+
+Paths in the IR are repo-root-relative with forward slashes; that is
+what rule scoping (e.g. "src/sched/") and finding output use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Param:
+    name: str
+    type_text: str  # normalized single-space type spelling
+
+
+@dataclass
+class CallSite:
+    callee: str  # unqualified callee name
+    line: int
+    qualifier: str = ""  # explicit qualifier if spelled (e.g. "PortSet")
+
+
+@dataclass
+class MemberCallSite:
+    obj: str  # spelled object expression (best effort, may be "")
+    method: str
+    line: int
+
+
+@dataclass
+class ThrowSite:
+    type_name: str  # thrown type, last component ("FaultError"); "" = rethrow
+    line: int
+
+
+@dataclass
+class StaticLocal:
+    name: str
+    type_text: str
+    line: int
+    is_const: bool
+
+
+@dataclass
+class Construction:
+    type_name: str  # last component of the constructed type
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    name: str  # unqualified name
+    qualname: str  # Class::name or namespace-qualified best effort
+    file: str
+    line: int
+    class_name: str = ""  # enclosing class for methods, "" otherwise
+    params: list[Param] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    member_calls: list[MemberCallSite] = field(default_factory=list)
+    throws: list[ThrowSite] = field(default_factory=list)
+    static_locals: list[StaticLocal] = field(default_factory=list)
+    constructions: list[Construction] = field(default_factory=list)
+    const_cast_lines: list[int] = field(default_factory=list)
+
+    def key(self) -> tuple[str, int, str]:
+        return (self.file, self.line, self.qualname)
+
+    def has_param_of(self, type_fragment: str) -> bool:
+        return any(type_fragment in p.type_text for p in self.params)
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    type_text: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    name: str  # unqualified
+    file: str
+    line: int
+    bases: list[str] = field(default_factory=list)  # unqualified base names
+    fields: list[FieldInfo] = field(default_factory=list)
+
+    def key(self) -> tuple[str, int, str]:
+        return (self.file, self.line, self.name)
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type_text: str
+    file: str
+    line: int
+    is_const: bool
+
+
+@dataclass
+class FileModel:
+    path: str  # repo-relative, forward slashes
+    functions: list[FunctionInfo] = field(default_factory=list)
+    classes: list[ClassInfo] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+
+
+class ProjectModel:
+    """Merged view over every analyzed file, deduplicated.
+
+    Headers are seen once per including TU by the Clang frontend, so
+    every add_* deduplicates on (file, line, name).
+    """
+
+    def __init__(self) -> None:
+        self.functions: dict[tuple[str, int, str], FunctionInfo] = {}
+        self.classes: dict[tuple[str, int, str], ClassInfo] = {}
+        self.globals: dict[tuple[str, int, str], GlobalVar] = {}
+
+    def merge(self, file_model: FileModel) -> None:
+        for fn in file_model.functions:
+            existing = self.functions.get(fn.key())
+            # Prefer the richer model (a definition over a declaration).
+            if existing is None or len(fn.calls) + len(fn.throws) > len(
+                    existing.calls) + len(existing.throws):
+                self.functions[fn.key()] = fn
+        for cls in file_model.classes:
+            existing = self.classes.get(cls.key())
+            if existing is None or len(cls.bases) + len(cls.fields) > len(
+                    existing.bases) + len(existing.fields):
+                self.classes[cls.key()] = cls
+        for var in file_model.globals:
+            self.globals.setdefault((var.file, var.line, var.name), var)
+
+    # ---- Derived indexes (built lazily by the rules) ---------------------
+
+    def functions_by_name(self) -> dict[str, list[FunctionInfo]]:
+        index: dict[str, list[FunctionInfo]] = {}
+        for fn in self.functions.values():
+            index.setdefault(fn.name, []).append(fn)
+        return index
+
+    def subclasses_of(self, root: str) -> set[str]:
+        """Unqualified names of `root` plus every transitive subclass."""
+        children: dict[str, set[str]] = {}
+        for cls in self.classes.values():
+            for base in cls.bases:
+                children.setdefault(base, set()).add(cls.name)
+        family = {root}
+        frontier = [root]
+        while frontier:
+            for sub in children.get(frontier.pop(), ()):  # noqa: B909
+                if sub not in family:
+                    family.add(sub)
+                    frontier.append(sub)
+        return family
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)

@@ -1,0 +1,218 @@
+"""Semantic project rules over the analyzer IR (model.py).
+
+Each rule is a function ProjectModel -> list[Finding].  The rules are
+frontend-agnostic: they see only the IR, so the Clang frontend (CI) and
+the internal frontend (clang-free containers) report the same findings
+on the same code.
+
+Suppression: a finding is silenced by `// fifoms-analyze: allow(<rule>)`
+on the flagged line or the line directly above it (applied in
+analyze.py, which also flags allow() of rules that do not exist).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import re
+
+from model import Finding, FunctionInfo, ProjectModel
+
+# Directories whose scheduling decisions must be replayable: any
+# randomness there has to flow in through an explicit Rng parameter.
+DETERMINISM_SCOPES = ("src/sched/", "src/core/", "src/hw/")
+FAULT_SCOPE = "src/fault/"
+
+# Draw methods of common/rng.hpp's Rng.
+DRAW_METHODS = {"next_u64", "next_double", "next_below", "bernoulli",
+                "uniform_int", "geometric"}
+
+OBSERVER_ROOT = "SlotObserver"
+OBSERVER_HOOKS = {"on_slot", "on_inject", "on_fault_event"}
+FAULT_ERROR_ROOT = "FaultError"
+
+RULES: dict[str, str] = {
+    "determinism-dataflow":
+        "decision-path code (src/sched, src/core, src/hw) must receive "
+        "randomness via an Rng parameter: no function-local statics, no "
+        "mutable globals, no locally constructed or value-held Rng, no "
+        "draws in functions without an Rng parameter",
+    "fault-path-exception-discipline":
+        "every throw reachable from a function defined in src/fault/ "
+        "must raise FaultError or a subclass",
+    "observer-purity":
+        "SlotObserver hook overrides must not mutate observed switch "
+        "state (no const_cast in the hook or its same-class/same-file "
+        "callees)",
+    "unknown-suppression":
+        "fifoms-analyze: allow(<rule>) must name an existing rule",
+}
+
+
+def _in_scope(path: str, prefixes: tuple[str, ...]) -> bool:
+    return any(path.startswith(p) for p in prefixes)
+
+
+def check_determinism_dataflow(project: ProjectModel) -> list[Finding]:
+    rule = "determinism-dataflow"
+    findings: list[Finding] = []
+    for fn in project.functions.values():
+        if not _in_scope(fn.file, DETERMINISM_SCOPES):
+            continue
+        for sl in fn.static_locals:
+            if sl.is_const:
+                continue
+            findings.append(Finding(
+                fn.file, sl.line, rule,
+                f"function-local static '{sl.name}' in {fn.qualname}() is "
+                f"hidden mutable state; thread the value through parameters "
+                f"or make it const"))
+        for con in fn.constructions:
+            if con.type_name != "Rng":
+                continue
+            findings.append(Finding(
+                fn.file, con.line, rule,
+                f"{fn.qualname}() creates or holds an Rng by value; "
+                f"decision code must draw from an Rng& parameter so runs "
+                f"replay under a single seed"))
+        draws = [mc for mc in fn.member_calls if mc.method in DRAW_METHODS]
+        if draws and fn.class_name != "Rng" and not fn.has_param_of("Rng"):
+            for mc in draws:
+                findings.append(Finding(
+                    fn.file, mc.line, rule,
+                    f"{fn.qualname}() draws randomness ({mc.method}) but "
+                    f"has no Rng parameter; the stream is untraceable from "
+                    f"the experiment seed"))
+    for cls in project.classes.values():
+        if not _in_scope(cls.file, DETERMINISM_SCOPES):
+            continue
+        for field in cls.fields:
+            if re.search(r"\bRng\b", field.type_text) and \
+                    "&" not in field.type_text and "*" not in field.type_text:
+                findings.append(Finding(
+                    cls.file, field.line, rule,
+                    f"{cls.name}::{field.name} stores an Rng by value; "
+                    f"schedulers must borrow the caller's Rng instead of "
+                    f"owning a stream"))
+    for var in project.globals.values():
+        if not _in_scope(var.file, DETERMINISM_SCOPES) or var.is_const:
+            continue
+        findings.append(Finding(
+            var.file, var.line, rule,
+            f"mutable namespace-scope variable '{var.name}' in decision "
+            f"code; state must live in objects the simulator owns"))
+    return findings
+
+
+def _resolve(call_name: str, from_fn: FunctionInfo,
+             by_name: dict[str, list[FunctionInfo]]) -> list[FunctionInfo]:
+    """Name-based call resolution: prefer candidates defined in the same
+    file (overload sets and helpers are file-local in this codebase);
+    otherwise take every project function with that name."""
+    candidates = by_name.get(call_name, [])
+    same_file = [c for c in candidates if c.file == from_fn.file]
+    return same_file or candidates
+
+
+def check_fault_path_exceptions(project: ProjectModel) -> list[Finding]:
+    rule = "fault-path-exception-discipline"
+    findings: list[Finding] = []
+    family = project.subclasses_of(FAULT_ERROR_ROOT)
+    by_name = project.functions_by_name()
+    entries = [fn for fn in project.functions.values()
+               if fn.file.startswith(FAULT_SCOPE)]
+    # BFS over the name-resolved call graph, remembering one witness
+    # chain per reached function for the diagnostic.
+    parent: dict[tuple[str, int, str], tuple[str, int, str] | None] = {}
+    queue: deque[FunctionInfo] = deque()
+    for fn in entries:
+        if fn.key() not in parent:
+            parent[fn.key()] = None
+            queue.append(fn)
+    reached: dict[tuple[str, int, str], FunctionInfo] = {}
+    while queue:
+        fn = queue.popleft()
+        reached[fn.key()] = fn
+        callees = [c.callee for c in fn.calls]
+        callees += [mc.method for mc in fn.member_calls]
+        for name in callees:
+            for target in _resolve(name, fn, by_name):
+                if target.key() not in parent:
+                    parent[target.key()] = fn.key()
+                    queue.append(target)
+
+    def chain(fn: FunctionInfo) -> str:
+        names = [fn.qualname]
+        key = parent.get(fn.key())
+        while key is not None and len(names) < 6:
+            names.append(reached[key].qualname if key in reached else key[2])
+            key = parent.get(key)
+        return " <- ".join(names)
+
+    for fn in reached.values():
+        for throw in fn.throws:
+            if not throw.type_name:  # rethrow: type decided at the origin
+                continue
+            if throw.type_name in family:
+                continue
+            findings.append(Finding(
+                fn.file, throw.line, rule,
+                f"{fn.qualname}() throws {throw.type_name}, reachable from "
+                f"the fault layer ({chain(fn)}); fault paths must raise "
+                f"FaultError subclasses so degradation handlers can "
+                f"classify them"))
+    return findings
+
+
+def check_observer_purity(project: ProjectModel) -> list[Finding]:
+    rule = "observer-purity"
+    findings: list[Finding] = []
+    observers = project.subclasses_of(OBSERVER_ROOT)
+    by_name = project.functions_by_name()
+    hooks = [fn for fn in project.functions.values()
+             if fn.name in OBSERVER_HOOKS and fn.class_name in observers]
+    for hook in hooks:
+        # Walk the hook's call tree, but only through helpers the hook
+        # plausibly owns: same class or same file.
+        visited: set[tuple[str, int, str]] = set()
+        queue: deque[FunctionInfo] = deque([hook])
+        while queue:
+            fn = queue.popleft()
+            if fn.key() in visited:
+                continue
+            visited.add(fn.key())
+            for cast_line in fn.const_cast_lines:
+                findings.append(Finding(
+                    fn.file, cast_line, rule,
+                    f"const_cast in observer hook path "
+                    f"{hook.qualname}() -> {fn.qualname}(); observers get "
+                    f"const views because mutating the switch mid-slot "
+                    f"corrupts the schedule being observed"))
+            names = [c.callee for c in fn.calls]
+            names += [mc.method for mc in fn.member_calls]
+            for name in names:
+                for target in _resolve(name, fn, by_name):
+                    if target.file == hook.file or \
+                            target.class_name == hook.class_name:
+                        if target.key() not in visited:
+                            queue.append(target)
+    # A const_cast can appear once but be reachable from two hooks; one
+    # finding per (file, line) is enough.
+    unique: dict[tuple[str, int], Finding] = {}
+    for f in findings:
+        unique.setdefault((f.path, f.line), f)
+    return list(unique.values())
+
+
+ALL_CHECKS = (
+    check_determinism_dataflow,
+    check_fault_path_exceptions,
+    check_observer_purity,
+)
+
+
+def run_rules(project: ProjectModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for check in ALL_CHECKS:
+        findings.extend(check(project))
+    return findings

@@ -60,6 +60,11 @@ compiler nor clang-tidy enforces:
       the O(N) inner loop the kernels exist to remove, so it is banned —
       iterate PortSet members (range-for) or process whole words instead.
 
+  unknown-suppression
+      `fifoms-lint: allow(<rule>)` naming a rule that does not exist is
+      itself a finding: a typo would otherwise silently disable nothing
+      while looking authoritative.  This rule cannot be suppressed.
+
 Suppress a finding (sparingly) with a same-line comment (the
 no-per-port-loop-in-kernel rule also accepts it on the preceding line):
     // fifoms-lint: allow(<rule-name>)
@@ -323,9 +328,29 @@ def check_no_per_port_loop_in_kernel(rel: str,
     return findings
 
 
+LINT_ALLOW = re.compile(r"fifoms-lint:\s*allow\(\s*([\w.-]*)\s*\)")
+
+
+def check_unknown_suppression(rel: str, lines: list[str]) -> list[Finding]:
+    # A typo in an allow() silently disables nothing while looking
+    # authoritative, so naming a rule that does not exist is itself a
+    # finding.  This rule cannot be suppressed.
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        for m in LINT_ALLOW.finditer(raw):
+            rule = m.group(1)
+            if rule not in RULES or rule == "unknown-suppression":
+                findings.append(
+                    Finding(rel, i, "unknown-suppression",
+                            f"allow({rule}) names no lint rule; see "
+                            "--list-rules"))
+    return findings
+
+
 CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot,
           check_no_abort_in_fault_path, check_verify_panic_state_hash,
-          check_no_float_in_decision_path, check_no_per_port_loop_in_kernel]
+          check_no_float_in_decision_path, check_no_per_port_loop_in_kernel,
+          check_unknown_suppression]
 RULES = {
     "no-raw-rand": "ban rand()/srand()/random_device/random_shuffle",
     "no-unordered-in-decision-path":
@@ -340,6 +365,8 @@ RULES = {
         "ban float/double in src/sched/, src/core/ and src/hw/",
     "no-per-port-loop-in-kernel":
         "ban indexed per-port loops in `fifoms-lint: kernel-file` sources",
+    "unknown-suppression":
+        "fifoms-lint: allow(<rule>) must name an existing lint rule",
 }
 
 
@@ -503,6 +530,27 @@ def self_test() -> int:
          "// fifoms-lint: kernel-file\n"
          "// fifoms-lint: allow(no-per-port-loop-in-kernel) — oracle\n"
          "for (PortId p = 0; p < n; ++p) {}"),
+        # Suppression placement: most rules accept allow() on the same
+        # line only — on the line above it must NOT silence the finding.
+        ("suppression on wrong line does not silence", True,
+         check_no_raw_rand, "src/a.cpp",
+         "// fifoms-lint: allow(no-raw-rand)\n"
+         "int x = rand();"),
+        ("unknown rule name in allow() flagged", True,
+         check_unknown_suppression, "src/a.cpp",
+         "int x = 0;  // fifoms-lint: allow(no-raw-randd)"),
+        ("empty allow() flagged", True,
+         check_unknown_suppression, "src/a.cpp",
+         "int x = 0;  // fifoms-lint: allow()"),
+        ("allow(unknown-suppression) cannot self-exempt", True,
+         check_unknown_suppression, "src/a.cpp",
+         "int x = 0;  // fifoms-lint: allow(unknown-suppression)"),
+        ("known rule name in allow() ok", False,
+         check_unknown_suppression, "src/a.cpp",
+         "int x = rand();  // fifoms-lint: allow(no-raw-rand)"),
+        ("analyzer marker not lint's business", False,
+         check_unknown_suppression, "src/a.cpp",
+         "int x = 0;  // fifoms-analyze: allow(not-a-rule)"),
     ]
 
     failures = 0
