@@ -28,12 +28,12 @@ class PortSet {
   constexpr PortSet() = default;
 
   /// Set containing exactly the listed ports.
-  PortSet(std::initializer_list<PortId> ports) {
+  constexpr PortSet(std::initializer_list<PortId> ports) {
     for (PortId p : ports) insert(p);
   }
 
   /// Set {0, 1, ..., n-1}: all ports of an n-port switch.
-  static PortSet all(int n) {
+  static constexpr PortSet all(int n) {
     FIFOMS_ASSERT(n >= 0 && n <= kMaxPorts, "port count out of range");
     PortSet s;
     for (int w = 0; w * 64 < n; ++w) {
@@ -44,49 +44,49 @@ class PortSet {
   }
 
   /// Singleton {p}.
-  static PortSet single(PortId p) {
+  static constexpr PortSet single(PortId p) {
     PortSet s;
     s.insert(p);
     return s;
   }
 
-  void insert(PortId p) {
+  constexpr void insert(PortId p) {
     check(p);
     words_[p >> 6] |= 1ULL << (p & 63);
   }
 
-  void erase(PortId p) {
+  constexpr void erase(PortId p) {
     check(p);
     words_[p >> 6] &= ~(1ULL << (p & 63));
   }
 
-  bool contains(PortId p) const {
+  constexpr bool contains(PortId p) const {
     check(p);
     return (words_[p >> 6] >> (p & 63)) & 1;
   }
 
-  bool empty() const {
+  constexpr bool empty() const {
     for (auto w : words_)
       if (w) return false;
     return true;
   }
 
   /// Number of ports in the set (the packet's fanout).
-  int count() const {
+  constexpr int count() const {
     int c = 0;
     for (auto w : words_) c += std::popcount(w);
     return c;
   }
 
   /// Smallest port in the set, or kNoPort if empty.
-  PortId first() const {
+  constexpr PortId first() const {
     for (int w = 0; w < kWords; ++w)
       if (words_[w]) return PortId(w * 64 + std::countr_zero(words_[w]));
     return kNoPort;
   }
 
   /// Smallest port strictly greater than `p`, or kNoPort.
-  PortId next_after(PortId p) const {
+  constexpr PortId next_after(PortId p) const {
     if (p < 0) return first();
     if (p + 1 >= kMaxPorts) return kNoPort;
     const PortId q = p + 1;
@@ -105,48 +105,48 @@ class PortSet {
   /// Uniformly random member; requires non-empty set.
   PortId random_member(Rng& rng) const;
 
-  void clear() { words_ = {}; }
+  constexpr void clear() { words_ = {}; }
 
-  PortSet operator|(const PortSet& o) const {
+  constexpr PortSet operator|(const PortSet& o) const {
     PortSet r = *this;
     r |= o;
     return r;
   }
-  PortSet operator&(const PortSet& o) const {
+  constexpr PortSet operator&(const PortSet& o) const {
     PortSet r = *this;
     r &= o;
     return r;
   }
   /// Set difference: elements of *this not in `o`.
-  PortSet operator-(const PortSet& o) const {
+  constexpr PortSet operator-(const PortSet& o) const {
     PortSet r = *this;
     r -= o;
     return r;
   }
   // The compound forms mutate in place (no 32-byte temporary) — they are
   // the ones the scheduler kernels run per round.
-  PortSet& operator|=(const PortSet& o) {
+  constexpr PortSet& operator|=(const PortSet& o) {
     for (int w = 0; w < kWords; ++w) words_[w] |= o.words_[w];
     return *this;
   }
-  PortSet& operator&=(const PortSet& o) {
+  constexpr PortSet& operator&=(const PortSet& o) {
     for (int w = 0; w < kWords; ++w) words_[w] &= o.words_[w];
     return *this;
   }
-  PortSet& operator-=(const PortSet& o) {
+  constexpr PortSet& operator-=(const PortSet& o) {
     for (int w = 0; w < kWords; ++w) words_[w] &= ~o.words_[w];
     return *this;
   }
 
   bool operator==(const PortSet& o) const = default;
 
-  bool is_subset_of(const PortSet& o) const {
+  constexpr bool is_subset_of(const PortSet& o) const {
     for (int w = 0; w < kWords; ++w)
       if (words_[w] & ~o.words_[w]) return false;
     return true;
   }
 
-  bool intersects(const PortSet& o) const {
+  constexpr bool intersects(const PortSet& o) const {
     for (int w = 0; w < kWords; ++w)
       if (words_[w] & o.words_[w]) return true;
     return false;
@@ -157,31 +157,33 @@ class PortSet {
    public:
     using value_type = PortId;
 
-    const_iterator(const PortSet* set, PortId at) : set_(set), at_(at) {}
-    PortId operator*() const { return at_; }
-    const_iterator& operator++() {
+    constexpr const_iterator(const PortSet* set, PortId at) : set_(set), at_(at) {}
+    constexpr PortId operator*() const { return at_; }
+    constexpr const_iterator& operator++() {
       at_ = set_->next_after(at_);
       return *this;
     }
-    bool operator!=(const const_iterator& o) const { return at_ != o.at_; }
-    bool operator==(const const_iterator& o) const { return at_ == o.at_; }
+    constexpr bool operator!=(const const_iterator& o) const { return at_ != o.at_; }
+    constexpr bool operator==(const const_iterator& o) const { return at_ == o.at_; }
 
    private:
     const PortSet* set_;
     PortId at_;
   };
 
-  const_iterator begin() const { return {this, first()}; }
-  const_iterator end() const { return {this, kNoPort}; }
+  constexpr const_iterator begin() const { return {this, first()}; }
+  constexpr const_iterator end() const { return {this, kNoPort}; }
 
   /// Raw word view: bit b of word w is port w*64 + b.  Kernels (the
   /// FIFOMS weight-plane scheduler, the bit-matrix transpose) operate on
   /// these words directly instead of iterating ports one by one.
-  const std::array<std::uint64_t, kWords>& words() const { return words_; }
+  constexpr const std::array<std::uint64_t, kWords>& words() const {
+    return words_;
+  }
 
   /// Overwrite one raw word.  Every bit pattern is a valid set (the word
   /// array spans exactly kMaxPorts), so this cannot break invariants.
-  void set_word(int w, std::uint64_t bits) {
+  constexpr void set_word(int w, std::uint64_t bits) {
     FIFOMS_ASSERT(w >= 0 && w < kWords, "word index out of range");
     words_[static_cast<std::size_t>(w)] = bits;
   }
@@ -193,7 +195,7 @@ class PortSet {
   static PortSet from_string(std::string_view text);
 
  private:
-  static void check(PortId p) {
+  static constexpr void check(PortId p) {
     FIFOMS_ASSERT(p >= 0 && p < kMaxPorts, "port id out of range");
   }
 

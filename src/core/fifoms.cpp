@@ -1,9 +1,13 @@
-// fifoms-lint: kernel-file — the request step must stay word-parallel
-// (no per-port indexed loops); see tools/lint.py no-per-port-loop-in-kernel.
+// Word-parallel kernel file: the scheduling hot path must stay free of
+// per-port indexed loops.  Enforced semantically by tools/analyzer/
+// (rule hot-path-no-port-loop) from the hot-path-root tags below;
+// the old textual kernel-file marker is retired.
 #include "core/fifoms.hpp"
 
 #include <algorithm>
 #include <bit>
+
+#include "sched/kernels.hpp"
 
 namespace fifoms {
 
@@ -18,6 +22,7 @@ void FifomsScheduler::reset(int num_inputs, int num_outputs) {
                  ScratchArena::bytes_for<PortSet>(n_out));
 }
 
+// fifoms-analyze: hot-path-root
 void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
                                SlotTime /*now*/, SlotMatching& matching,
                                Rng& rng,
@@ -107,23 +112,12 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
         const McVoqInput& port = inputs[i];
         PortSet eligible = port.occupied() & free_outputs;
         if (link_faults) eligible -= constraints.link_faults(input);
-        const std::uint64_t* plane = port.hol_weights().data();
-        const auto& eligible_words = eligible.words();
-
-        // Masked min-reduction over the plane.  Only words with eligible
-        // bits are touched; the plane's 64-entry padding guarantees
-        // `plane + 64 * w` is addressable for every such word.
-        std::uint64_t smallest = kWeightInfinity;
-        for (int w = 0; w < PortSet::kWords; ++w) {
-          std::uint64_t bits = eligible_words[static_cast<std::size_t>(w)];
-          if (!bits) continue;
-          const std::uint64_t* base = plane + (w << 6);
-          do {
-            const int b = std::countr_zero(bits);
-            bits &= bits - 1;
-            smallest = std::min(smallest, base[b]);
-          } while (bits);
-        }
+        // Masked min-reduction over the plane (statically proven against
+        // the dense spec — see tests/sched/kernel_static_proof.cpp).
+        // Only words with eligible bits are touched; the plane's
+        // 64-entry padding guarantees addressability for every such word.
+        const std::uint64_t smallest =
+            kernels::masked_min(port.hol_weights(), eligible);
         if (smallest == kWeightInfinity) {
           // No eligible VOQ.  Queues are frozen and free_outputs only
           // shrinks, so this input cannot become eligible later in the
@@ -134,22 +128,10 @@ void FifomsScheduler::schedule(std::span<const McVoqInput> inputs,
           continue;
         }
 
-        // Word-parallel equality scan: emit the request mask as 64-bit
-        // words, one flag bit per eligible output at the minimum.
+        // Word-parallel equality scan: the eligible outputs at the
+        // minimum become this input's request mask.
         input_min[i] = smallest;
-        for (int w = 0; w < PortSet::kWords; ++w) {
-          std::uint64_t bits = eligible_words[static_cast<std::size_t>(w)];
-          std::uint64_t req = 0;
-          if (bits) {
-            const std::uint64_t* base = plane + (w << 6);
-            do {
-              const int b = std::countr_zero(bits);
-              bits &= bits - 1;
-              req |= static_cast<std::uint64_t>(base[b] == smallest) << b;
-            } while (bits);
-          }
-          mask.set_word(w, req);
-        }
+        mask = kernels::equality_scan(port.hol_weights(), eligible, smallest);
       }
 
       // Deliver the requests to their outputs.  All of an input's
@@ -229,6 +211,7 @@ void FifomsReferenceScheduler::reset(int num_inputs, int num_outputs) {
 // weight-plane kernel above is differentially tested against, so keep it
 // boring — clarity over speed.
 // fifoms-lint: allow(no-per-port-loop-in-kernel) — oracle, not hot path.
+// fifoms-analyze: hot-path-root
 void FifomsReferenceScheduler::schedule(std::span<const McVoqInput> inputs,
                                         SlotTime /*now*/,
                                         SlotMatching& matching, Rng& rng,

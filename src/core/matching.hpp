@@ -39,7 +39,9 @@ class SlotMatching {
   bool output_matched(PortId output) const {
     return source(output) != kNoPort;
   }
-  bool input_matched(PortId input) const { return !grants(input).empty(); }
+  bool input_matched(PortId input) const {
+    return matched_inputs_.contains(input);
+  }
 
   PortId source(PortId output) const;
   const PortSet& grants(PortId input) const;
@@ -55,11 +57,17 @@ class SlotMatching {
   /// probing output_matched() per port.
   const PortSet& matched_outputs() const { return matched_outputs_; }
 
+  /// Inputs that hold at least one grant this slot, as a bitset.
+  /// Maintained incrementally like matched_outputs(), so the transmit
+  /// loop and the fault sanitiser can walk only the transmitting inputs
+  /// word-parallel instead of probing every port.
+  const PortSet& matched_input_set() const { return matched_inputs_; }
+
   /// Total matched (input, output) pairs, i.e. copies transmitted.
   int matched_pairs() const { return matched_pairs_; }
 
   /// Number of distinct inputs transmitting.
-  int matched_inputs() const;
+  int matched_inputs() const { return matched_inputs_.count(); }
 
   /// Iterative rounds the scheduler used to build this matching
   /// (the paper's "convergence rounds"); 1 for single-shot schedulers.
@@ -72,6 +80,7 @@ class SlotMatching {
   std::vector<PortSet> input_grants_;
   std::vector<PortId> output_source_;
   PortSet matched_outputs_;
+  PortSet matched_inputs_;
   int matched_pairs_ = 0;
 };
 

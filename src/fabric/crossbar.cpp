@@ -13,6 +13,7 @@ Crossbar::Crossbar(int num_inputs, int num_outputs)
   output_source_.assign(static_cast<std::size_t>(num_outputs), kNoPort);
 }
 
+// fifoms-analyze: hot-path-root
 void Crossbar::configure(std::span<const PortSet> input_to_outputs) {
   FIFOMS_ASSERT(static_cast<int>(input_to_outputs.size()) == num_inputs_,
                 "configure expects one PortSet per input");

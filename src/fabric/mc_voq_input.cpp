@@ -1,8 +1,5 @@
 #include "fabric/mc_voq_input.hpp"
 
-#include <algorithm>
-#include <bit>
-
 namespace fifoms {
 
 McVoqInput::McVoqInput(PortId input, int num_outputs, int num_classes)
@@ -33,6 +30,7 @@ const RingBuffer<AddressCell>& McVoqInput::voq(int priority,
   return const_cast<McVoqInput*>(this)->voq(priority, output);
 }
 
+// fifoms-analyze: hot-path-root
 void McVoqInput::accept(const Packet& packet) {
   FIFOMS_ASSERT(packet.input == input_, "packet injected at wrong input");
   FIFOMS_ASSERT(!packet.destinations.empty(),
@@ -62,51 +60,12 @@ void McVoqInput::set_plane(PortId output, std::uint64_t weight) {
   const std::uint64_t previous = plane;
   if (previous == weight) return;
   plane = weight;
-  if (weight < hol_min_) {
-    hol_min_ = weight;
-    hol_min_mask_ = PortSet::single(output);
-  } else if (weight == hol_min_) {
-    hol_min_mask_.insert(output);
-  } else if (previous == hol_min_) {
-    // The entry rose off the minimum; only when it was the last carrier
-    // does the minimum itself change.
-    hol_min_mask_.erase(output);
-    if (hol_min_mask_.empty()) recompute_hol_min();
-  }
-}
-
-void McVoqInput::recompute_hol_min() {
-  // Word-parallel rescan mirroring the scheduler's masked min-reduction:
-  // only words with occupied bits are touched, and the plane's 64-entry
-  // padding keeps `plane + 64 * w` addressable for every such word.
-  hol_min_ = kWeightInfinity;
-  hol_min_mask_.clear();
-  const std::uint64_t* plane = hol_weights_.data();
-  const auto& occupied_words = occupied_.words();
-  for (int w = 0; w < PortSet::kWords; ++w) {
-    std::uint64_t bits = occupied_words[static_cast<std::size_t>(w)];
-    if (!bits) continue;
-    const std::uint64_t* base = plane + (w << 6);
-    do {
-      const int b = std::countr_zero(bits);
-      bits &= bits - 1;
-      hol_min_ = std::min(hol_min_, base[b]);
-    } while (bits);
-  }
-  if (hol_min_ == kWeightInfinity) return;
-  for (int w = 0; w < PortSet::kWords; ++w) {
-    std::uint64_t bits = occupied_words[static_cast<std::size_t>(w)];
-    std::uint64_t carriers = 0;
-    if (bits) {
-      const std::uint64_t* base = plane + (w << 6);
-      do {
-        const int b = std::countr_zero(bits);
-        bits &= bits - 1;
-        carriers |= static_cast<std::uint64_t>(base[b] == hol_min_) << b;
-      } while (bits);
-    }
-    hol_min_mask_.set_word(w, carriers);
-  }
+  // Incremental maintenance; the fallback is the word-parallel rescan
+  // over occupied words only (the plane's 64-entry padding keeps every
+  // such word addressable).  Both are statically proven against the
+  // dense spec — see tests/sched/kernel_static_proof.cpp.
+  if (kernels::hol_min_update(hol_min_, output, previous, weight))
+    hol_min_ = kernels::recompute_hol_min(hol_weights(), occupied_);
 }
 
 int McVoqInput::hol_class(PortId output) const {
@@ -134,6 +93,7 @@ const AddressCell& McVoqInput::hol(PortId output) const {
   return voq(priority, output).front();
 }
 
+// fifoms-analyze: hot-path-root
 McVoqInput::Served McVoqInput::serve_hol(PortId output) {
   const int priority = hol_class(output);
   FIFOMS_ASSERT(priority >= 0, "serve_hol on empty VOQ");
@@ -158,10 +118,15 @@ McVoqInput::Served McVoqInput::serve_hol(PortId output) {
   return served;
 }
 
+// fifoms-analyze: hot-path-root
 void McVoqInput::purge_output(PortId output, std::vector<Served>& out) {
   // Route every drained cell through serve_hol() so the fanout counters,
   // the pool and occupied() follow exactly the normal-service transitions
   // — a purge is indistinguishable from transmission for the bookkeeping.
+  // Purges run only while a fault is degrading the switch (never on the
+  // fault-free measured path) and callers reuse the scratch vector, so
+  // the append below stops allocating after the first degraded slot.
+  // fifoms-analyze: allow(hot-path-no-alloc)
   while (!voq_empty(output)) out.push_back(serve_hol(output));
 }
 
@@ -187,8 +152,7 @@ void McVoqInput::clear() {
   for (auto& queue : voqs_) queue.clear();
   occupied_.clear();
   hol_weights_.assign(hol_weights_.size(), kWeightInfinity);
-  hol_min_ = kWeightInfinity;
-  hol_min_mask_.clear();
+  hol_min_ = kernels::HolMin{};
 }
 
 }  // namespace fifoms

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <span>
 #include <vector>
 
@@ -18,6 +17,7 @@
 #include "common/types.hpp"
 #include "fabric/data_cell_pool.hpp"
 #include "fabric/packet.hpp"
+#include "sched/kernels.hpp"
 
 namespace fifoms {
 
@@ -36,11 +36,6 @@ struct AddressCell {
   DataCellRef data;
   PacketId packet = kNoPacket;
 };
-
-/// Weight-plane entry for an empty VOQ: larger than every real scheduling
-/// weight, so masked min-reductions need no emptiness branch.
-inline constexpr std::uint64_t kWeightInfinity =
-    std::numeric_limits<std::uint64_t>::max();
 
 /// The priority-major scheduling weight of a packet.
 inline std::uint64_t scheduling_weight(int priority, SlotTime arrival) {
@@ -99,8 +94,8 @@ class McVoqInput {
   /// when the last minimum-weight copy leaves (roughly once per completed
   /// cell, not once per scheduler round — the scheduler's request fast
   /// path depends on this).
-  std::uint64_t hol_min_weight() const { return hol_min_; }
-  const PortSet& hol_min_outputs() const { return hol_min_mask_; }
+  std::uint64_t hol_min_weight() const { return hol_min_.weight; }
+  const PortSet& hol_min_outputs() const { return hol_min_.carriers; }
 
   /// Serve the HOL address cell of `output`: remove it from the queue,
   /// decrement the data cell's fanoutCounter and destroy the data cell when
@@ -158,11 +153,11 @@ class McVoqInput {
   /// Class whose sub-queue head has the smallest weight; -1 if all empty.
   int hol_class(PortId output) const;
   /// Single write point for the weight plane: stores the new entry and
-  /// keeps hol_min_/hol_min_mask_ consistent.  occupied_ must already
-  /// reflect the change (recompute scans occupied words only).
+  /// keeps hol_min_ consistent via kernels::hol_min_update, falling back
+  /// to a full kernels::recompute_hol_min rescan when the last carrier
+  /// of the minimum rises off it.  occupied_ must already reflect the
+  /// change (the rescan covers occupied words only).
   void set_plane(PortId output, std::uint64_t weight);
-  /// Full rescan of the plane for the minimum and its carriers.
-  void recompute_hol_min();
 
   PortId input_;
   int num_outputs_;
@@ -175,8 +170,7 @@ class McVoqInput {
   std::vector<std::uint64_t> hol_weights_;
   // Smallest plane entry and the outputs carrying it — see
   // hol_min_weight().
-  std::uint64_t hol_min_ = kWeightInfinity;
-  PortSet hol_min_mask_;
+  kernels::HolMin hol_min_;
 };
 
 }  // namespace fifoms

@@ -1,5 +1,7 @@
-// fifoms-lint: kernel-file — the request step must stay word-parallel
-// (no per-port indexed loops); see tools/lint.py no-per-port-loop-in-kernel.
+// Word-parallel kernel file: the scheduling hot path must stay free of
+// per-port indexed loops.  Enforced semantically by tools/analyzer/
+// (rule hot-path-no-port-loop) from the hot-path-root tags below;
+// the old textual kernel-file marker is retired.
 #include "sched/islip.hpp"
 
 #include "common/bit_matrix.hpp"
@@ -27,6 +29,7 @@ PortId round_robin_pick(const PortSet& set, PortId start, int modulus) {
 
 }  // namespace
 
+// fifoms-analyze: hot-path-root
 void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
                               SlotTime /*now*/, SlotMatching& matching,
                               Rng& /*rng*/,

@@ -1,0 +1,53 @@
+// Naive dense specification of the weight-plane kernels.
+//
+// Each function here states what the corresponding word-parallel kernel
+// in kernels.hpp computes, in the most obviously-correct form: one port
+// per loop iteration, no bit tricks, no early exits.  These are never
+// called from production code — they exist so the static proof harness
+// (tests/sched/kernel_static_proof.cpp) can static_assert that kernel
+// and specification agree on exhaustive small-width inputs.  Keep them
+// boring: any cleverness added here weakens the proof.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sched/kernels.hpp"
+
+namespace fifoms::spec {
+
+/// Smallest plane entry over the ports in `mask`, port by port.
+constexpr std::uint64_t masked_min(std::span<const std::uint64_t> plane,
+                                   const PortSet& mask) {
+  std::uint64_t smallest = kWeightInfinity;
+  for (std::size_t p = 0; p < plane.size(); ++p) {
+    if (mask.contains(static_cast<PortId>(p)) && plane[p] < smallest) {
+      smallest = plane[p];
+    }
+  }
+  return smallest;
+}
+
+/// The subset of `mask` whose plane entry equals `value`, port by port.
+constexpr PortSet equality_scan(std::span<const std::uint64_t> plane,
+                                const PortSet& mask, std::uint64_t value) {
+  PortSet result;
+  for (std::size_t p = 0; p < plane.size(); ++p) {
+    if (mask.contains(static_cast<PortId>(p)) && plane[p] == value) {
+      result.insert(static_cast<PortId>(p));
+    }
+  }
+  return result;
+}
+
+/// The head-of-line summary, computed from scratch.
+constexpr kernels::HolMin recompute_hol_min(
+    std::span<const std::uint64_t> plane, const PortSet& occupied) {
+  kernels::HolMin state;
+  state.weight = masked_min(plane, occupied);
+  state.carriers = equality_scan(plane, occupied, state.weight);
+  if (state.weight == kWeightInfinity) state.carriers = PortSet{};
+  return state;
+}
+
+}  // namespace fifoms::spec

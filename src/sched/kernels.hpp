@@ -1,0 +1,123 @@
+// Word-parallel weight-plane kernels shared by the FIFOMS hot path.
+//
+// These are the innermost loops of the scheduler: the masked
+// min-reduction that finds an input's request weight, the equality scan
+// that finds the outputs carrying it, and the incremental maintenance
+// of the fabric's (minimum, carrier-set) summary.  They are constexpr
+// so the build can prove them: tests/sched/kernel_static_proof.cpp
+// static_asserts each kernel against the naive dense specification in
+// kernel_spec.hpp over exhaustive small-width inputs.  A kernel bug is
+// a compile error, in every preset.
+//
+// Contract shared by all plane kernels: `plane` is padded so that every
+// 64-entry word containing a set bit of the mask is fully addressable
+// (McVoqInput::hol_weights() pads with kWeightInfinity to a multiple of
+// 64).  Constant evaluation enforces this — an out-of-bounds read is a
+// constant-expression error, so the proof harness also checks the
+// padding contract itself.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "common/panic.hpp"
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+
+namespace fifoms {
+
+/// Weight-plane entry for an empty VOQ: larger than every real scheduling
+/// weight, so masked min-reductions need no emptiness branch.
+inline constexpr std::uint64_t kWeightInfinity =
+    std::numeric_limits<std::uint64_t>::max();
+
+namespace kernels {
+
+/// Smallest plane entry over the ports in `mask`; kWeightInfinity when
+/// the mask is empty.
+constexpr std::uint64_t masked_min(std::span<const std::uint64_t> plane,
+                                   const PortSet& mask) {
+  std::uint64_t smallest = kWeightInfinity;
+  const auto& words = mask.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    if (bits == 0) continue;
+    const std::uint64_t* base = plane.data() + (w << 6);
+    do {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      if (base[bit] < smallest) smallest = base[bit];
+    } while (bits != 0);
+  }
+  return smallest;
+}
+
+/// The subset of `mask` whose plane entry equals `value`.
+constexpr PortSet equality_scan(std::span<const std::uint64_t> plane,
+                                const PortSet& mask, std::uint64_t value) {
+  PortSet result;
+  const auto& words = mask.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    std::uint64_t hits = 0;
+    if (bits != 0) {
+      const std::uint64_t* base = plane.data() + (w << 6);
+      do {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        hits |= static_cast<std::uint64_t>(base[bit] == value) << bit;
+      } while (bits != 0);
+    }
+    result.set_word(static_cast<int>(w), hits);
+  }
+  return result;
+}
+
+/// An input's head-of-line summary: the smallest plane entry over its
+/// occupied outputs and the set of outputs carrying it.  The value the
+/// FIFOMS request fast path reads once per round instead of rescanning
+/// the plane.
+struct HolMin {
+  std::uint64_t weight = kWeightInfinity;
+  PortSet carriers;
+
+  constexpr bool operator==(const HolMin&) const = default;
+};
+
+/// Full rescan: the minimum over `occupied` and its carriers.
+constexpr HolMin recompute_hol_min(std::span<const std::uint64_t> plane,
+                                   const PortSet& occupied) {
+  HolMin state;
+  state.weight = masked_min(plane, occupied);
+  if (state.weight != kWeightInfinity) {
+    state.carriers = equality_scan(plane, occupied, state.weight);
+  }
+  return state;
+}
+
+/// Incremental maintenance for one plane write plane[output]:
+/// previous -> weight (the entry must actually change).  Returns true
+/// when the summary can no longer be maintained locally — the last
+/// carrier of the minimum rose off it — and the caller must fall back
+/// to recompute_hol_min().  Serving part of a cell's fanout only
+/// shrinks the carrier mask, so in steady state the fallback fires
+/// roughly once per completed cell, not once per scheduler round.
+constexpr bool hol_min_update(HolMin& state, PortId output,
+                              std::uint64_t previous, std::uint64_t weight) {
+  FIFOMS_ASSERT(previous != weight, "plane update must change the entry");
+  if (weight < state.weight) {
+    state.weight = weight;
+    state.carriers = PortSet::single(output);
+  } else if (weight == state.weight) {
+    state.carriers.insert(output);
+  } else if (previous == state.weight) {
+    state.carriers.erase(output);
+    if (state.carriers.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace kernels
+}  // namespace fifoms

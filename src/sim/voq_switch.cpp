@@ -36,6 +36,7 @@ bool VoqSwitch::inject(const Packet& packet) {
   return true;
 }
 
+// fifoms-analyze: hot-path-root
 void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
   const bool faulted = faults_ != nullptr && faults_->active();
   if (faulted && options_.stranded_policy == StrandedCellPolicy::kPurge)
@@ -47,10 +48,15 @@ void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
     constraints.failed_inputs = faults_->failed_inputs();
     constraints.failed_outputs = faults_->failed_outputs();
     constraints.failed_links = faults_->failed_links();
+    // The scheduler seam is the one sanctioned dispatch on this path:
+    // every VoqScheduler::schedule implementation carries its own
+    // hot-path-root tag, so the analyzer walks the callees directly.
+    // fifoms-analyze: allow(hot-path-no-virtual)
     scheduler_->schedule(inputs_, now, matching_, rng, constraints);
   } else {
     // No active faults (or the test mutant): the fault-free path must
     // stay bit-identical to the pre-fault behaviour, RNG draws included.
+    // fifoms-analyze: allow(hot-path-no-virtual) — same seam as above
     scheduler_->schedule(inputs_, now, matching_, rng);
   }
   matching_.validate();
@@ -63,10 +69,13 @@ void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
 
   // Transmit: serve the HOL address cell of every matched (input, output)
   // pair.  All cells served by one input must share one data cell — the
-  // crossbar can only broadcast a single cell per input row.
-  for (PortId input = 0; input < num_ports_; ++input) {
+  // crossbar can only broadcast a single cell per input row.  Only the
+  // inputs holding grants are visited (word-parallel bitset walk); on a
+  // lightly loaded switch that skips almost every port.
+  for (PortId input : matching_.matched_input_set()) {
     const PortSet& targets = crossbar_.outputs_for_input(input);
-    if (targets.empty()) continue;
+    FIFOMS_DASSERT(!targets.empty(),
+                   "matched input with no configured crossbar row");
     McVoqInput& port = inputs_[static_cast<std::size_t>(input)];
     DataCellRef expected;
     for (PortId output : targets) {
@@ -143,10 +152,12 @@ void VoqSwitch::apply_grant_corruption(SlotTime now) {
 
 void VoqSwitch::sanitize_matching() {
   // First pass: drop grants that reference a dead port, a dead link or an
-  // empty VOQ (grant corruption can produce any of these).
-  for (PortId output = 0; output < num_ports_; ++output) {
+  // empty VOQ (grant corruption can produce any of these).  Both passes
+  // walk the matched bitsets (copies: remove_match() mutates the
+  // originals mid-iteration), not the full port range.
+  const PortSet matched_outputs = matching_.matched_outputs();
+  for (PortId output : matched_outputs) {
     const PortId input = matching_.source(output);
-    if (input == kNoPort) continue;
     const bool dead = faults_->failed_outputs().contains(output) ||
                       faults_->failed_inputs().contains(input) ||
                       faults_->link_failed(input, output) ||
@@ -157,7 +168,8 @@ void VoqSwitch::sanitize_matching() {
   // Second pass: one input drives the crossbar with one data cell; if a
   // corrupted grant points an input at a second cell, keep the grants of
   // the lowest-numbered output's cell and shed the rest.
-  for (PortId input = 0; input < num_ports_; ++input) {
+  const PortSet matched_inputs = matching_.matched_input_set();
+  for (PortId input : matched_inputs) {
     const PortSet grants = matching_.grants(input);  // copy: we mutate below
     if (grants.count() <= 1) continue;
     const McVoqInput& port = inputs_[static_cast<std::size_t>(input)];

@@ -1,0 +1,155 @@
+// Tests for the annotated synchronization wrappers (common/sync.hpp).
+//
+// The wrappers exist for Clang Thread Safety Analysis, but they must
+// behave exactly like the std primitives they delegate to on every
+// compiler — including GCC, where the annotation macros expand to
+// nothing.  These tests pin the runtime contract: MutexLock is a real
+// scoped lock, CondVar::wait really releases and reacquires, and the
+// predicate-loop idiom from the header comment works under contention.
+#include "common/sync.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fifoms {
+namespace {
+
+TEST(SyncTest, MutexLockHoldsForExactlyItsScope) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    EXPECT_FALSE(mu.try_lock());  // held: a second acquisition must fail
+  }
+  EXPECT_TRUE(mu.try_lock());  // released at scope exit
+  mu.unlock();
+}
+
+TEST(SyncTest, MutexLockExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;  // guarded by mu; races here trip TSan in that lane
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SyncTest, CondVarWaitReleasesAndReacquiresTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::atomic<bool> consumer_done{false};
+
+  std::thread consumer([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);  // the header's predicate-loop idiom
+    // Reacquired: the producer cannot hold the mutex right now.
+    EXPECT_FALSE(mu.try_lock());
+    consumer_done = true;
+  });
+
+  {
+    // If wait() failed to release the mutex this acquisition would
+    // deadlock; the predicate handshake below would never complete.
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  EXPECT_TRUE(consumer_done);
+}
+
+TEST(SyncTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool released = false;
+  std::atomic<int> awake{0};
+  constexpr int kWaiters = 3;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!released) cv.wait(mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    released = true;
+  }
+  cv.notify_all();
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(SyncTest, SpuriousWakeupSafePredicateLoop) {
+  // notify_one() with the predicate still false models a spurious
+  // wakeup: the loop must re-check and go back to waiting rather than
+  // proceed.  The test passes when the waiter is still blocked after
+  // the false notify and completes after the true one.
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::atomic<bool> passed_wait{false};
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    passed_wait = true;
+  });
+
+  cv.notify_one();  // predicate still false: must not release the waiter
+  EXPECT_FALSE(passed_wait);
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(passed_wait);
+}
+
+// The annotation shim itself: under GCC (and any compiler without
+// thread-safety attributes) the FIFOMS_* macros must vanish cleanly.
+// This block compiling at all — annotated types in ordinary contexts,
+// annotated functions taking guarded state — is the assertion; under
+// clang-tidy's -Wthread-safety lane the same code must analyze clean.
+class AnnotatedCounter {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+  int value() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ FIFOMS_GUARDED_BY(mu_) = 0;
+};
+
+TEST(SyncTest, AnnotationShimCompilesAndRuns) {
+  AnnotatedCounter counter;
+  counter.bump();
+  counter.bump();
+  EXPECT_EQ(counter.value(), 2);
+}
+
+}  // namespace
+}  // namespace fifoms

@@ -1,0 +1,405 @@
+// The build is the proof.
+//
+// Every static_assert in this translation unit compares a word-parallel
+// kernel from src/sched/kernels.hpp (or a constexpr PortSet operation)
+// against the naive dense specification in src/sched/kernel_spec.hpp —
+// exhaustively over all 2^k masks at small widths, and pointwise at the
+// 64/65-port word boundary and the kWeightInfinity sentinel.  Because
+// the checks are constant-evaluated, a kernel bug fails compilation in
+// every preset (dev, release, thread-safety) before a single test runs.
+// Constant evaluation also rejects undefined behaviour, so each proof
+// doubles as a UB check on the exact inputs it covers — including the
+// padding contract (`plane + 64 * w` addressable for every masked word).
+//
+// Each proof helper takes the kernel as a function pointer, so the same
+// predicate that proves the real kernel correct is shown to FAIL on a
+// deliberately broken mutant below.  That keeps the harness honest: a
+// proof that cannot reject a wrong kernel proves nothing.
+//
+// Budget: every individual static_assert stays well under ~5 * 10^5
+// constant-evaluation steps (clang's default -fconstexpr-steps is 10^6;
+// GCC's per-loop limit is 262144 iterations).  Widen proofs by adding
+// more static_asserts, not by growing one loop.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include <gtest/gtest.h>
+
+#include "sched/kernel_spec.hpp"
+#include "sched/kernels.hpp"
+
+namespace fifoms {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic constexpr input material (splitmix64; no runtime RNG in a
+// constant expression).  Weights are drawn from a tiny range so ties — the
+// interesting case for carrier masks — are dense, and a kWeightInfinity
+// sentinel is planted inside the live region.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+template <std::size_t N>
+constexpr std::array<std::uint64_t, N> make_plane(std::uint64_t seed,
+                                                  std::uint64_t modulus) {
+  std::array<std::uint64_t, N> plane{};
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < N; ++i) plane[i] = splitmix(s) % modulus;
+  plane[N / 3] = kWeightInfinity;  // sentinel inside the live region
+  return plane;
+}
+
+// One padded word: enough for every mask in [0, 2^8).
+constexpr auto kPlane8 = make_plane<64>(1, 4);
+// Two padded words: straddles the 64/65 boundary.
+constexpr auto kPlane128 = make_plane<128>(2, 6);
+
+constexpr PortSet mask_from_bits(std::uint64_t low_word) {
+  PortSet mask;
+  mask.set_word(0, low_word);
+  return mask;
+}
+
+// A mask whose bits straddle the word boundary: bit i of `pattern` maps
+// to port 61 + i, so a 6-bit pattern covers ports 61..66.
+constexpr PortSet straddle_mask(std::uint64_t pattern) {
+  PortSet mask;
+  mask.set_word(0, (pattern << 61));
+  mask.set_word(1, pattern >> 3);
+  return mask;
+}
+
+// ---------------------------------------------------------------------------
+// Proof predicates, parameterized on the kernel under test.
+// ---------------------------------------------------------------------------
+
+using MinKernel = std::uint64_t (*)(std::span<const std::uint64_t>,
+                                    const PortSet&);
+using ScanKernel = PortSet (*)(std::span<const std::uint64_t>, const PortSet&,
+                               std::uint64_t);
+
+/// Kernel == spec for every mask over the low `bits` ports of `plane`.
+constexpr bool proves_masked_min(MinKernel kernel,
+                                 std::span<const std::uint64_t> plane,
+                                 int bits) {
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << bits); ++m) {
+    const PortSet mask = mask_from_bits(m);
+    if (kernel(plane, mask) != spec::masked_min(plane, mask)) return false;
+  }
+  return true;
+}
+
+/// Kernel == spec for every mask over the low `bits` ports, crossed with
+/// every weight value that can appear in the plane (plus the sentinel).
+constexpr bool proves_equality_scan(ScanKernel kernel,
+                                    std::span<const std::uint64_t> plane,
+                                    int bits, std::uint64_t modulus) {
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << bits); ++m) {
+    const PortSet mask = mask_from_bits(m);
+    for (std::uint64_t v = 0; v < modulus; ++v) {
+      if (!(kernel(plane, mask, v) == spec::equality_scan(plane, mask, v)))
+        return false;
+    }
+    if (!(kernel(plane, mask, kWeightInfinity) ==
+          spec::equality_scan(plane, mask, kWeightInfinity)))
+      return false;
+  }
+  return true;
+}
+
+/// recompute_hol_min == spec for every mask over the low `bits` ports.
+constexpr bool proves_recompute(std::span<const std::uint64_t> plane,
+                                int bits) {
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << bits); ++m) {
+    const PortSet mask = mask_from_bits(m);
+    if (!(kernels::recompute_hol_min(plane, mask) ==
+          spec::recompute_hol_min(plane, mask)))
+      return false;
+  }
+  return true;
+}
+
+/// Kernel == spec for every 6-bit mask pattern laid across ports 61..66
+/// of a two-word plane — the word-boundary cases (N = 64/65) a
+/// first-word-only mutant cannot survive.
+constexpr bool proves_boundary(MinKernel min_kernel, ScanKernel scan_kernel) {
+  const std::span<const std::uint64_t> plane{kPlane128};
+  for (std::uint64_t pattern = 0; pattern < 64; ++pattern) {
+    const PortSet mask = straddle_mask(pattern);
+    const std::uint64_t smallest = min_kernel(plane, mask);
+    if (smallest != spec::masked_min(plane, mask)) return false;
+    if (!(scan_kernel(plane, mask, smallest) ==
+          spec::equality_scan(plane, mask, smallest)))
+      return false;
+    if (!(kernels::recompute_hol_min(plane, mask) ==
+          spec::recompute_hol_min(plane, mask)))
+      return false;
+  }
+  return true;
+}
+
+/// Drive `ops` pseudo-random plane writes through the incremental
+/// hol_min_update kernel (with the recompute fallback, exactly as
+/// McVoqInput::set_plane uses it) over an `n`-port plane, and require
+/// the maintained summary to equal the from-scratch spec after every
+/// step.  Covers lowering, tie-joining, raising off the minimum,
+/// last-carrier departure, and removal to kWeightInfinity — including
+/// transitions (raising an occupied entry) that production reaches only
+/// via serve_hol, so the proof is strictly stronger than the use.
+template <std::size_t Padded>
+constexpr bool proves_incremental_maintenance(int n, std::uint64_t modulus,
+                                              int ops, std::uint64_t seed) {
+  std::array<std::uint64_t, Padded> storage{};
+  for (auto& entry : storage) entry = kWeightInfinity;
+  const std::span<const std::uint64_t> plane{storage};
+  PortSet occupied;
+  kernels::HolMin state;
+  std::uint64_t s = seed;
+  for (int i = 0; i < ops; ++i) {
+    const auto output =
+        static_cast<PortId>(splitmix(s) % static_cast<std::uint64_t>(n));
+    const bool remove = occupied.contains(output) && splitmix(s) % 4 == 0;
+    const std::uint64_t weight =
+        remove ? kWeightInfinity : splitmix(s) % modulus;
+    const std::uint64_t previous = storage[static_cast<std::size_t>(output)];
+    if (previous == weight) continue;
+    storage[static_cast<std::size_t>(output)] = weight;
+    if (remove) {
+      occupied.erase(output);  // before the fallback: it scans occupied
+    } else {
+      occupied.insert(output);
+    }
+    if (kernels::hol_min_update(state, output, previous, weight))
+      state = kernels::recompute_hol_min(plane, occupied);
+    if (!(state == spec::recompute_hol_min(plane, occupied))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The proofs.
+// ---------------------------------------------------------------------------
+
+static_assert(proves_masked_min(&kernels::masked_min, kPlane8, 8),
+              "masked_min != dense spec on some 8-port mask");
+static_assert(proves_equality_scan(&kernels::equality_scan, kPlane8, 8, 4),
+              "equality_scan != dense spec on some (mask, value) pair");
+static_assert(proves_recompute(kPlane8, 8),
+              "recompute_hol_min != dense spec on some 8-port mask");
+static_assert(proves_boundary(&kernels::masked_min, &kernels::equality_scan),
+              "kernels disagree with the spec across the 64/65 boundary");
+
+// Sentinel edge cases, stated directly.
+static_assert(kernels::masked_min(kPlane8, PortSet{}) == kWeightInfinity,
+              "empty mask must reduce to kWeightInfinity");
+static_assert(kernels::recompute_hol_min(kPlane8, PortSet{}) ==
+                  kernels::HolMin{},
+              "empty mask must yield the empty summary");
+static_assert(
+    [] {
+      // A mask selecting only the planted sentinel: kWeightInfinity
+      // means "nothing queued", so the summary must report no carriers
+      // rather than the sentinel port itself.
+      constexpr auto sentinel = static_cast<PortId>(kPlane8.size() / 3);
+      const PortSet only = PortSet::single(sentinel);
+      const auto state = kernels::recompute_hol_min(kPlane8, only);
+      return state.weight == kWeightInfinity && state.carriers.empty();
+    }(),
+    "an all-infinity mask must yield an empty carrier set");
+
+static_assert(proves_incremental_maintenance<64>(8, 4, 120, 11),
+              "hol_min_update drifts from the spec at 8 ports");
+static_assert(proves_incremental_maintenance<128>(65, 6, 120, 13),
+              "hol_min_update drifts from the spec across the word boundary");
+
+// ---------------------------------------------------------------------------
+// Mutant rejection: the same predicates must FAIL on broken kernels.
+// ---------------------------------------------------------------------------
+
+/// Mutant 1: compares weights as signed integers, so the
+/// kWeightInfinity sentinel (all-ones = -1 signed) wins every
+/// reduction.  Caught by the single-word proof: kPlane8 plants a
+/// sentinel inside the live region.
+constexpr std::uint64_t mutant_min_signed_compare(
+    std::span<const std::uint64_t> plane, const PortSet& mask) {
+  std::uint64_t smallest = kWeightInfinity;
+  for (std::size_t p = 0; p < plane.size(); ++p) {
+    if (mask.contains(static_cast<PortId>(p)) &&
+        static_cast<std::int64_t>(plane[p]) <
+            static_cast<std::int64_t>(smallest))
+      smallest = plane[p];
+  }
+  return smallest;
+}
+static_assert(!proves_masked_min(&mutant_min_signed_compare, kPlane8, 8),
+              "the proof failed to reject a signed-compare mutant");
+
+/// Mutant 2: scans only the first mask word — indistinguishable from
+/// the real kernel at N <= 64, so the narrow proof passes it...
+constexpr std::uint64_t mutant_min_first_word_only(
+    std::span<const std::uint64_t> plane, const PortSet& mask) {
+  std::uint64_t bits = mask.words()[0];
+  std::uint64_t smallest = kWeightInfinity;
+  while (bits != 0) {
+    const int bit = std::countr_zero(bits);
+    bits &= bits - 1;
+    if (plane[static_cast<std::size_t>(bit)] < smallest)
+      smallest = plane[static_cast<std::size_t>(bit)];
+  }
+  return smallest;
+}
+static_assert(proves_masked_min(&mutant_min_first_word_only, kPlane8, 8),
+              "(the narrow proof alone cannot see past port 63)");
+/// ...which is exactly why the suite carries the boundary proof: it
+/// rejects the mutant at N = 64/65.
+static_assert(!proves_boundary(&mutant_min_first_word_only,
+                               &kernels::equality_scan),
+              "the boundary proof failed to reject a one-word mutant");
+
+/// Mutant 3: an equality scan with an off-by-one in the flag shift.
+constexpr PortSet mutant_scan_shifted(std::span<const std::uint64_t> plane,
+                                      const PortSet& mask,
+                                      std::uint64_t value) {
+  PortSet result;
+  const auto& words = mask.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    std::uint64_t hits = 0;
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      hits |= static_cast<std::uint64_t>(
+                  plane[(w << 6) + static_cast<std::size_t>(bit)] == value)
+              << (bit == 0 ? 0 : bit - 1);
+    }
+    result.set_word(static_cast<int>(w), hits);
+  }
+  return result;
+}
+static_assert(!proves_equality_scan(&mutant_scan_shifted, kPlane8, 8, 4),
+              "the proof failed to reject a shifted-flag mutant");
+
+// ---------------------------------------------------------------------------
+// Constexpr PortSet algebra: the word-parallel set operations against
+// their quantified definitions, exhaustively over all pairs of 6-bit
+// sets — once at ports 0..5 and once straddled across the word
+// boundary at ports 61..66.
+// ---------------------------------------------------------------------------
+
+using SetPair = PortSet (*)(std::uint64_t);
+
+/// All pairs of 5-bit patterns through `build`, with the quantified set
+/// formulas checked over the port window [lo, hi) the builder populates
+/// (the builders place no bits outside it, so count() is exact).
+constexpr bool proves_set_algebra(SetPair build, PortId lo, PortId hi) {
+  for (std::uint64_t a_bits = 0; a_bits < 32; ++a_bits) {
+    for (std::uint64_t b_bits = 0; b_bits < 32; ++b_bits) {
+      const PortSet a = build(a_bits);
+      const PortSet b = build(b_bits);
+      const PortSet u = a | b;
+      const PortSet n = a & b;
+      const PortSet d = a - b;
+      bool subset = true;
+      bool meets = false;
+      int count = 0;
+      for (PortId p = lo; p < hi; ++p) {
+        const bool in_a = a.contains(p);
+        const bool in_b = b.contains(p);
+        if (u.contains(p) != (in_a || in_b)) return false;
+        if (n.contains(p) != (in_a && in_b)) return false;
+        if (d.contains(p) != (in_a && !in_b)) return false;
+        if (in_a && !in_b) subset = false;
+        if (in_a && in_b) meets = true;
+        if (in_a) ++count;
+      }
+      if (a.is_subset_of(b) != subset) return false;
+      if (a.intersects(b) != meets) return false;
+      if (static_cast<int>(a.count()) != count) return false;
+      if (a.empty() != (count == 0)) return false;
+    }
+  }
+  return true;
+}
+
+static_assert(proves_set_algebra(&mask_from_bits, 0, 8),
+              "PortSet algebra != quantified spec at ports 0..4");
+static_assert(proves_set_algebra(&straddle_mask, 58, 70),
+              "PortSet algebra != quantified spec across the word boundary");
+
+/// first()/next_after() enumerate exactly the members, in order.
+constexpr bool proves_iteration(SetPair build) {
+  for (std::uint64_t bits = 0; bits < 64; ++bits) {
+    const PortSet set = build(bits);
+    PortId cursor = set.first();
+    for (PortId p = 0; p < kMaxPorts; ++p) {
+      if (set.contains(p)) {
+        if (cursor != p) return false;
+        cursor = set.next_after(cursor);
+      }
+    }
+    if (cursor != kNoPort) return false;
+  }
+  return true;
+}
+
+static_assert(proves_iteration(&mask_from_bits),
+              "first/next_after misenumerate a low-word set");
+static_assert(proves_iteration(&straddle_mask),
+              "first/next_after misenumerate across the word boundary");
+
+/// PortSet::all(n) is exactly { p : p < n }, including at word edges.
+constexpr bool proves_all_prefix() {
+  for (int n : {0, 1, 5, 63, 64, 65, 127, 128, 129, 255, 256}) {
+    const PortSet set = PortSet::all(n);
+    for (PortId p = 0; p < kMaxPorts; ++p)
+      if (set.contains(p) != (p < n)) return false;
+  }
+  return true;
+}
+
+static_assert(proves_all_prefix(), "PortSet::all(n) is not the prefix set");
+
+// ---------------------------------------------------------------------------
+// Runtime re-checks: the same predicates executed by the test runner.
+// Redundant with the static proofs on a healthy toolchain, but they put
+// the kernels under the sanitizer presets' dynamic instrumentation,
+// which constant evaluation bypasses.
+// ---------------------------------------------------------------------------
+
+TEST(KernelStaticProof, MaskedMinMatchesSpecAtRuntime) {
+  EXPECT_TRUE(proves_masked_min(&kernels::masked_min, kPlane8, 8));
+  EXPECT_FALSE(proves_masked_min(&mutant_min_signed_compare, kPlane8, 8));
+}
+
+TEST(KernelStaticProof, EqualityScanMatchesSpecAtRuntime) {
+  EXPECT_TRUE(proves_equality_scan(&kernels::equality_scan, kPlane8, 8, 4));
+  EXPECT_FALSE(proves_equality_scan(&mutant_scan_shifted, kPlane8, 8, 4));
+}
+
+TEST(KernelStaticProof, BoundaryAndMaintenanceMatchSpecAtRuntime) {
+  EXPECT_TRUE(proves_boundary(&kernels::masked_min, &kernels::equality_scan));
+  EXPECT_FALSE(
+      proves_boundary(&mutant_min_first_word_only, &kernels::equality_scan));
+  EXPECT_TRUE(proves_incremental_maintenance<64>(8, 4, 120, 11));
+  EXPECT_TRUE(proves_incremental_maintenance<128>(65, 6, 120, 13));
+}
+
+TEST(KernelStaticProof, PortSetAlgebraMatchesSpecAtRuntime) {
+  EXPECT_TRUE(proves_set_algebra(&mask_from_bits, 0, 8));
+  EXPECT_TRUE(proves_set_algebra(&straddle_mask, 58, 70));
+  EXPECT_TRUE(proves_iteration(&mask_from_bits));
+  EXPECT_TRUE(proves_iteration(&straddle_mask));
+  EXPECT_TRUE(proves_all_prefix());
+}
+
+}  // namespace
+}  // namespace fifoms

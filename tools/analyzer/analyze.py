@@ -35,7 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import clang_frontend  # noqa: E402
 import internal_frontend  # noqa: E402
 from model import Finding, ProjectModel  # noqa: E402
-from rules import RULES, run_rules  # noqa: E402
+from rules import HOT_PATH_ROOT_MARKER, RULES, run_rules  # noqa: E402
 
 CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
 SCAN_DIRS = ("src", "bench", "examples")
@@ -79,6 +79,7 @@ def build_model(root: Path, files: list[Path], frontend: str,
         used = "clang"
         wanted = {p.resolve() for p in files}
         headers_hash = None
+        analyzer_hash = None
         for entry in entries:
             src = Path(entry["file"])
             if not src.is_absolute():
@@ -88,8 +89,10 @@ def build_model(root: Path, files: list[Path], frontend: str,
             try:
                 if headers_hash is None and cache_dir is not None:
                     headers_hash = clang_frontend._headers_hash(root)
+                    analyzer_hash = clang_frontend.analyzer_sources_hash()
                 models = clang_frontend.parse_tu(
-                    clang, entry, root, cache_dir, headers_hash)
+                    clang, entry, root, cache_dir, headers_hash,
+                    analyzer_hash)
             except clang_frontend.FrontendError as err:
                 if verbose:
                     print(f"note: internal fallback for {src.name}: {err}",
@@ -110,6 +113,23 @@ def build_model(root: Path, files: list[Path], frontend: str,
             continue
         project.merge(internal_frontend.parse_source(rel, text))
     return project, used
+
+
+def collect_hot_roots(root: Path, files: list[Path]) -> dict[str, set[int]]:
+    """Lines carrying the `// fifoms-analyze: hot-path-root` tag, per
+    repo-relative path.  A function whose signature sits on a tagged
+    line (or directly below one) is a hot-path BFS root."""
+    roots: dict[str, set[int]] = {}
+    for path in files:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        try:
+            text = path.read_text(errors="replace")
+        except OSError:
+            continue
+        for idx, line in enumerate(text.splitlines(), start=1):
+            if HOT_PATH_ROOT_MARKER in line:
+                roots.setdefault(rel, set()).add(idx)
+    return roots
 
 
 def apply_suppressions(root: Path, findings: list[Finding],
@@ -156,10 +176,38 @@ def run_analysis(root: Path, scan_dirs: tuple[str, ...], frontend: str,
     files = collect_files(root, scan_dirs)
     project, used = build_model(root, files, frontend, compdb_path,
                                 cache_dir, verbose)
-    findings = run_rules(project)
+    findings = run_rules(project, collect_hot_roots(root, files))
     findings = apply_suppressions(root, findings, files)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings, used
+
+
+def compare_frontends(root: Path, compdb_path: Path | None,
+                      cache_dir: Path | None, verbose: bool) -> int:
+    """Run the repo scan under both frontends and fail on any
+    disagreement in the post-suppression finding set (the CI agreement
+    gate: a frontend that silently stops seeing a finding class is a
+    hole in the net)."""
+    if not clang_frontend.find_clang():
+        print("compare-frontends: no clang++ in PATH", file=sys.stderr)
+        return 2
+    if compdb_path is None or not compdb_path.is_file():
+        print("compare-frontends: needs --compdb", file=sys.stderr)
+        return 2
+    clang_findings, _ = run_analysis(root, SCAN_DIRS, "clang", compdb_path,
+                                     cache_dir, verbose)
+    internal_findings, _ = run_analysis(root, SCAN_DIRS, "internal", None,
+                                        None, verbose)
+    ck = {f.key() for f in clang_findings}
+    ik = {f.key() for f in internal_findings}
+    for path, line, rule in sorted(ck - ik):
+        print(f"compare-frontends: clang only: {path}:{line} [{rule}]")
+    for path, line, rule in sorted(ik - ck):
+        print(f"compare-frontends: internal only: {path}:{line} [{rule}]")
+    agree = "agree" if ck == ik else "DISAGREE"
+    print(f"compare-frontends: clang {len(ck)} finding(s), internal "
+          f"{len(ik)} finding(s): {agree}")
+    return 0 if ck == ik else 1
 
 
 # ---------------------------------------------------------------------------
@@ -179,6 +227,41 @@ def load_golden(path: Path) -> set[tuple[str, int, str]]:
     return golden
 
 
+def _cache_flip_check(fixture_root: Path) -> bool:
+    """End-to-end regression for the cache key (clang only): an IR
+    derivation cached by analyzer A must be ignored — and re-derived —
+    once the analyzer hash flips to B, otherwise a rule edit keeps
+    serving findings computed by the old analyzer."""
+    clang = clang_frontend.find_clang()
+    if not clang:
+        return True  # exercised in CI; the key unit checks ran above
+    import shutil
+    import tempfile
+    tu = sorted((fixture_root / "src").rglob("*.cpp"))[0]
+    entry = {"directory": str(fixture_root), "file": str(tu),
+             "arguments": ["clang++", "-std=c++20", "-I", str(fixture_root),
+                           str(tu)]}
+    tmp = Path(tempfile.mkdtemp(prefix="fifoms-cache-test-"))
+    try:
+        models = clang_frontend.parse_tu(clang, entry, fixture_root, tmp,
+                                         "hdrs", "analyzer-A")
+        n_real = sum(len(m.functions) for m in models.values())
+        # Poison the cached entry: an "older analyzer" derived an empty IR.
+        for entry_path in tmp.glob("*.json"):
+            entry_path.write_text("{}")
+        stale = clang_frontend.parse_tu(clang, entry, fixture_root, tmp,
+                                        "hdrs", "analyzer-A")
+        served_stale = sum(len(m.functions) for m in stale.values()) == 0
+        fresh = clang_frontend.parse_tu(clang, entry, fixture_root, tmp,
+                                        "hdrs", "analyzer-B")
+        rederived = sum(len(m.functions) for m in fresh.values()) == n_real
+        return n_real > 0 and served_stale and rederived
+    except clang_frontend.FrontendError:
+        return False
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def self_test(frontend: str, cache_dir: Path | None, verbose: bool) -> int:
     fixture_root = Path(__file__).resolve().parent / "fixtures"
     golden_path = fixture_root / "golden.txt"
@@ -192,6 +275,18 @@ def self_test(frontend: str, cache_dir: Path | None, verbose: bool) -> int:
     m = ALLOW_RE.search("x(); // fifoms-analyze:   allow( foo )")
     assert m and m.group(1) == "foo"
     assert not ALLOW_RE.search("// fifoms-analyze allow(foo)")  # no colon
+
+    # The TU cache key must turn over when the analyzer itself changes,
+    # not only when the analyzed source does: a stale IR derivation from
+    # an older rules.py/frontend must never satisfy a newer analyzer.
+    k_base = clang_frontend.cache_key(["-std=c++20"], b"int x;", "h1", "a1")
+    assert k_base == clang_frontend.cache_key(
+        ["-std=c++20"], b"int x;", "h1", "a1")
+    assert k_base != clang_frontend.cache_key(
+        ["-std=c++20"], b"int y;", "h1", "a1")  # source edit
+    assert k_base != clang_frontend.cache_key(
+        ["-std=c++20"], b"int x;", "h1", "a2")  # analyzer edit
+    assert clang_frontend.analyzer_sources_hash() != ""
 
     # Synthesize a compdb so the clang frontend (when present) exercises
     # the same corpus; clang-free containers take the internal path.
@@ -228,7 +323,11 @@ def self_test(frontend: str, cache_dir: Path | None, verbose: bool) -> int:
         for f in findings:
             if f.key() == (path, line, rule):
                 print(f"    {f}")
-    status = "ok" if not missing and not extra else "FAIL"
+    cache_ok = _cache_flip_check(fixture_root)
+    if not cache_ok:
+        print("self-test: FAIL (analyzer-hash flip must invalidate "
+              "cached TU derivations)")
+    status = "ok" if not missing and not extra and cache_ok else "FAIL"
     print(f"self-test ({used} frontend): {len(want)} golden findings, "
           f"{len(got)} reported: {status}")
     return 0 if status == "ok" else 1
@@ -249,6 +348,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: <root>/.analyzer-cache)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the fixture corpus against golden findings")
+    parser.add_argument("--compare-frontends", action="store_true",
+                        help="scan the repo under both frontends and fail "
+                             "if the finding sets disagree")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -264,6 +366,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.self_test:
         return self_test(args.frontend, cache_dir, args.verbose)
+
+    if args.compare_frontends:
+        return compare_frontends(args.root.resolve(), args.compdb,
+                                 cache_dir, args.verbose)
 
     root = args.root.resolve()
     findings, used = run_analysis(root, SCAN_DIRS, args.frontend,

@@ -40,7 +40,71 @@ from model import (CallSite, ClassInfo, Construction, FieldInfo, FileModel,
 FUNC_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
               "CXXDestructorDecl", "CXXConversionDecl"}
 
-CACHE_VERSION = "1"
+# Scoped lock-acquisition guard types (project MutexLock and std guards);
+# mirrors _LOCK_GUARD in internal_frontend.py.
+LOCK_GUARD_TYPES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock",
+                    "shared_lock"}
+
+CACHE_VERSION = "4"
+
+
+def _subscript_base(node: dict) -> dict | None:
+    """Receiver of a subscript expression (`base[i]`), or None when the
+    node is not one.  Covers C arrays (ArraySubscriptExpr) and
+    overloaded operator[] (CXXOperatorCallExpr whose callee is
+    operator[])."""
+    inner = [c for c in node.get("inner") or [] if isinstance(c, dict)]
+    if node.get("kind") == "ArraySubscriptExpr":
+        return inner[0] if inner else None
+    if node.get("kind") == "CXXOperatorCallExpr" and len(inner) >= 2:
+        callee = inner[0]
+        while callee.get("kind") == "ImplicitCastExpr":
+            sub = [c for c in callee.get("inner") or []
+                   if isinstance(c, dict)]
+            if not sub:
+                return None
+            callee = sub[0]
+        ref = callee.get("referencedDecl", {})
+        name = ref.get("name", "") if isinstance(ref, dict) else ""
+        if name == "operator[]":
+            return inner[1]
+    return None
+
+
+def _member_base_name(node: dict) -> str:
+    """Spelled name of a member expression's receiver, mirroring the
+    internal frontend's `obj.method(` / `obj->method(` capture: a
+    DeclRefExpr or MemberExpr base yields its name; a subscripted name
+    yields `name[]` (one `[]` per subscript, typed by the rules as the
+    container's element type); anything else (this, call results,
+    smart-pointer operator->) yields '' so resolution falls back to
+    name fan-out on both frontends."""
+    inner = node.get("inner") or []
+    base = inner[0] if inner and isinstance(inner[0], dict) else None
+    subscripts = 0
+    while base is not None:
+        kind = base.get("kind")
+        if kind in ("ImplicitCastExpr", "ParenExpr", "ExprWithCleanups",
+                    "MaterializeTemporaryExpr"):
+            sub = base.get("inner") or []
+            base = sub[0] if sub and isinstance(sub[0], dict) else None
+            continue
+        sub_base = _subscript_base(base)
+        if sub_base is not None and subscripts < 2:
+            subscripts += 1
+            base = sub_base
+            continue
+        break
+    if base is None:
+        return ""
+    if base.get("kind") == "MemberExpr":
+        name = base.get("name", "")
+    elif base.get("kind") == "DeclRefExpr":
+        ref = base.get("referencedDecl", {})
+        name = ref.get("name", "") if isinstance(ref, dict) else ""
+    else:
+        return ""
+    return name + "[]" * subscripts if name else ""
 
 
 class FrontendError(RuntimeError):
@@ -188,6 +252,13 @@ class _Walker:
                            and c.get("kind") == "CompoundStmt"
                            for c in node.get("inner", []))
             name = node.get("name", "")
+            if record is not None and name and not self.fn_stack \
+                    and not node.get("isImplicit"):
+                record.methods.append(name)
+                # "virtual" reflects isVirtual(): spelled virt-specifiers
+                # and inherited overrides alike.
+                if node.get("virtual"):
+                    record.virtual_methods.append(name)
             if name and (has_body or not self.fn_stack):
                 qual_parts = [p for p in self.ns_stack if p]
                 if record is not None:
@@ -220,6 +291,11 @@ class _Walker:
                     name=node.get("name", ""), type_text=qual, line=line,
                     is_const="const" in qual.split()
                     or qual.startswith("const ")))
+            elif fn is not None and node.get("name"):
+                # Typed local declaration: used by the rules to resolve
+                # member-call receivers (locals shadow params and fields).
+                fn.locals.append(
+                    Param(name=node["name"], type_text=qual))
             elif fn is None and not self.fn_stack and \
                     not self.record_stack and storage != "extern" and \
                     node.get("name"):
@@ -249,13 +325,33 @@ class _Walker:
         elif kind == "MemberExpr":
             name = node.get("name", "")
             if name:
-                fn.member_calls.append(MemberCallSite(obj="", method=name,
-                                                      line=line))
+                fn.member_calls.append(MemberCallSite(
+                    obj=_member_base_name(node), method=name, line=line))
         elif kind == "CXXConstructExpr":
             qual = node.get("type", {}).get("qualType", "")
-            if last_name(qual) == "Rng" and "&" not in qual:
+            type_name = last_name(qual)
+            if type_name == "Rng" and "&" not in qual:
                 fn.constructions.append(Construction(type_name="Rng",
                                                      line=line))
+            elif type_name in LOCK_GUARD_TYPES:
+                fn.constructions.append(Construction(type_name=type_name,
+                                                     line=line))
+        elif kind == "CXXNewExpr":
+            fn.new_lines.append(line)
+        elif kind == "ForStmt":
+            # Per-port induction loop: a DeclStmt in the for-init declaring
+            # a PortId.  Range-fors are CXXForRangeStmt and never match.
+            for child in node.get("inner", []):
+                if not isinstance(child, dict) or \
+                        child.get("kind") != "DeclStmt":
+                    continue
+                for sub in child.get("inner", []):
+                    if isinstance(sub, dict) \
+                            and sub.get("kind") == "VarDecl" \
+                            and "PortId" in sub.get("type", {}).get(
+                                "qualType", ""):
+                        fn.port_loop_lines.append(line)
+                        break
         elif kind == "CXXThrowExpr":
             inner = node.get("inner")
             type_name = ""
@@ -316,6 +412,35 @@ def _headers_hash(root: Path) -> str:
     return sha.hexdigest()
 
 
+def analyzer_sources_hash() -> str:
+    """Hash of the analyzer's own sources (rules, frontends, model, driver).
+
+    Part of every cache key: cached IR derivations must not outlive the
+    code that produced them — an edit to rules.py or a frontend would
+    otherwise keep serving findings derived by the old analyzer.
+    """
+    sha = hashlib.sha256()
+    here = Path(__file__).resolve().parent
+    for path in sorted(here.glob("*.py")):
+        sha.update(path.name.encode())
+        sha.update(path.read_bytes())
+    return sha.hexdigest()
+
+
+def cache_key(args: list[str], source_bytes: bytes, headers_hash: str,
+              analyzer_hash: str) -> str:
+    """Cache key for one TU derivation: the IR is a pure function of the
+    source, the headers, the compile command, the IR format version AND
+    the analyzer sources that lowered it."""
+    sha = hashlib.sha256()
+    sha.update(CACHE_VERSION.encode())
+    sha.update(analyzer_hash.encode())
+    sha.update(headers_hash.encode())
+    sha.update("\0".join(args).encode())
+    sha.update(source_bytes)
+    return sha.hexdigest()
+
+
 def _model_to_json(models: dict[str, FileModel]) -> str:
     return json.dumps({p: dataclasses.asdict(m) for p, m in models.items()})
 
@@ -330,17 +455,22 @@ def _model_from_json(text: str) -> dict[str, FileModel]:
                 name=f["name"], qualname=f["qualname"], file=f["file"],
                 line=f["line"], class_name=f["class_name"],
                 params=[Param(**p) for p in f["params"]],
+                locals=[Param(**p) for p in f.get("locals", [])],
                 calls=[CallSite(**c) for c in f["calls"]],
                 member_calls=[MemberCallSite(**m) for m in f["member_calls"]],
                 throws=[ThrowSite(**t) for t in f["throws"]],
                 static_locals=[StaticLocal(**s) for s in f["static_locals"]],
                 constructions=[Construction(**c) for c in f["constructions"]],
-                const_cast_lines=list(f["const_cast_lines"])))
+                const_cast_lines=list(f["const_cast_lines"]),
+                new_lines=list(f["new_lines"]),
+                port_loop_lines=list(f["port_loop_lines"])))
         for c in data["classes"]:
             model.classes.append(ClassInfo(
                 name=c["name"], file=c["file"], line=c["line"],
                 bases=list(c["bases"]),
-                fields=[FieldInfo(**fd) for fd in c["fields"]]))
+                fields=[FieldInfo(**fd) for fd in c["fields"]],
+                methods=list(c["methods"]),
+                virtual_methods=list(c["virtual_methods"])))
         for g in data["globals"]:
             model.globals.append(GlobalVar(**g))
         models[path] = model
@@ -349,7 +479,8 @@ def _model_from_json(text: str) -> dict[str, FileModel]:
 
 def parse_tu(clang: str, entry: dict, root: Path,
              cache_dir: Path | None,
-             headers_hash: str | None = None) -> dict[str, FileModel]:
+             headers_hash: str | None = None,
+             analyzer_hash: str | None = None) -> dict[str, FileModel]:
     """Parse one compile_commands.json entry; returns FileModels for every
     repo file the TU touches.  Raises FrontendError on any failure."""
     source = Path(entry["file"])
@@ -365,12 +496,10 @@ def parse_tu(clang: str, entry: dict, root: Path,
     if cache_dir is not None:
         if headers_hash is None:
             headers_hash = _headers_hash(root)
-        sha = hashlib.sha256()
-        sha.update(CACHE_VERSION.encode())
-        sha.update(headers_hash.encode())
-        sha.update("\0".join(args).encode())
-        sha.update(source_bytes)
-        cache_path = cache_dir / f"{source.stem}-{sha.hexdigest()[:24]}.json"
+        if analyzer_hash is None:
+            analyzer_hash = analyzer_sources_hash()
+        digest = cache_key(args, source_bytes, headers_hash, analyzer_hash)
+        cache_path = cache_dir / f"{source.stem}-{digest[:24]}.json"
         if cache_path.is_file():
             try:
                 return _model_from_json(cache_path.read_text())

@@ -1,0 +1,104 @@
+// Hot-path discipline corpus: every hot-path rule exercised positively,
+// suppressed, and with a clean control, plus the resolution boundaries
+// (typed receivers, the ScratchArena exemption, the observer seam, the
+// ambiguous-virtual control).  Golden line numbers live in golden.txt.
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "support/stubs.hpp"
+
+namespace fifoms {
+
+// ---- Reachable helpers (positives fire transitively) ----------------------
+
+void spill_row(std::vector<int>& row) {
+  row.push_back(7);  // hot-path-no-alloc: growth on a std:: receiver
+}
+
+void audit_row(int num_ports, const PortSet& row) {
+  for (PortId p = 0; p < num_ports; ++p) {  // hot-path-no-port-loop
+    if (row.contains(p)) continue;
+  }
+}
+
+void fail_row(int width) {
+  if (width < 0) throw std::runtime_error("bad width");  // hot-path-no-throw
+}
+
+class TransmitUnit {
+ public:
+  void bind(CellSink* sink) { sink_ = sink; }
+
+  // fifoms-analyze: hot-path-root
+  void pulse(PortId output) {
+    staging_ = new char[16];  // hot-path-no-alloc: new-expression
+    void* raw = std::malloc(8);  // hot-path-no-alloc: malloc family
+    mu_.lock();  // hot-path-no-lock: direct acquisition
+    cv_.notify_one();  // clean: notify is not an acquisition
+    {
+      MutexLock guard(mu_);  // hot-path-no-lock: scoped guard
+    }
+    sink_->deliver(output);  // hot-path-no-virtual: unsanctioned seam
+    spill_row(scratch_);     // transitively reaches the growth above
+    audit_row(4, occupied_);  // transitively reaches the port loop
+    fail_row(-1);             // transitively reaches the throw
+    static_cast<void>(raw);
+  }
+
+  // Suppressed twins: each allow() names the rule it silences; the
+  // self-test would report any of these as UNEXPECTED if the
+  // suppression grammar regressed.
+  // fifoms-analyze: hot-path-root
+  void pulse_suppressed(PortId output) {
+    // fifoms-analyze: allow(hot-path-no-alloc)
+    staging_ = new char[16];
+    mu_.lock();  // fifoms-analyze: allow(hot-path-no-lock)
+    // fifoms-analyze: allow(hot-path-no-virtual)
+    sink_->deliver(output);
+    // fifoms-analyze: allow(hot-path-no-throw)
+    if (output < 0) throw std::runtime_error("bad output");
+    // fifoms-analyze: allow(hot-path-no-port-loop)
+    for (PortId p = 0; p < 4; ++p) occupied_.erase(p);
+  }
+
+  // Clean control: word-parallel work, typed project receivers, the
+  // sanctioned observer seam and the ScratchArena exemption — none of
+  // it may produce a finding.
+  // fifoms-analyze: hot-path-root
+  void pulse_clean(SlotObserver& observer, const SwitchModel& model) {
+    occupied_.insert(2);            // resolves into PortSet: no growth flag
+    rows_[1].insert(3);             // subscripted receiver typed the same way
+    arena_.refill();                // ScratchArena may allocate
+    observer.on_slot(model, 1);     // sanctioned virtual seam
+    pipe_.forward(0);               // ambiguous-virtual control: not provable
+    const std::uint64_t live = occupied_.word() & rows_[0].word();
+    static_cast<void>(live);
+  }
+
+ private:
+  CellSink* sink_ = nullptr;
+  Mutex mu_;
+  CondVar cv_;
+  ScratchArena arena_;
+  WordPipe pipe_;
+  PortSet occupied_;
+  PortSet rows_[2];
+  std::vector<int> scratch_;
+  char* staging_ = nullptr;
+};
+
+// Boundary control: the implementation behind the CellSink seam is NOT
+// walked (dispatch targets are unknowable), so its allocation must stay
+// unreported until someone tags the implementation as a root.
+class DroppingSink : public CellSink {
+ public:
+  void deliver(PortId) override {
+    log_.push_back(1);  // unreachable by analysis: behind the seam
+  }
+
+ private:
+  std::vector<int> log_;
+};
+
+}  // namespace fifoms

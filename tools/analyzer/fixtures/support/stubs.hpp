@@ -11,6 +11,75 @@
 
 namespace fifoms {
 
+using PortId = int;
+inline constexpr PortId kNoPort = -1;
+
+class PortSet {
+ public:
+  void insert(PortId p) { bits_ |= 1ULL << p; }
+  void erase(PortId p) { bits_ &= ~(1ULL << p); }
+  bool contains(PortId p) const { return (bits_ >> p) & 1ULL; }
+  bool empty() const { return bits_ == 0; }
+  std::uint64_t word() const { return bits_; }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+  bool try_lock() { return true; }
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  void wait(MutexLock&) {}
+  void notify_one() {}
+};
+
+// The one class allowed to allocate on the hot path (warm-up only).
+class ScratchArena {
+ public:
+  void refill() { storage_ = new char[64]; }
+
+ private:
+  char* storage_ = nullptr;
+};
+
+// Pure-virtual delivery seam: `deliver` has no non-virtual homonym
+// anywhere in the fixture corpus, so calls through it are statically
+// known to dispatch.
+class CellSink {
+ public:
+  virtual ~CellSink() = default;
+  virtual void deliver(PortId output) = 0;
+};
+
+// Ambiguity control: `forward` is virtual here but non-virtual on
+// WordPipe below, so a `.forward()` call could be either — the
+// analyzer must not report dispatch it cannot prove.
+class VirtualPipe {
+ public:
+  virtual ~VirtualPipe() = default;
+  virtual void forward(PortId p) = 0;
+};
+
+class WordPipe {
+ public:
+  void forward(PortId) {}
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0) : state_(seed) {}

@@ -47,12 +47,58 @@ _STATIC_LOCAL = re.compile(
 _THROW = re.compile(
     r"\bthrow\s*(?:\bnew\b\s*)?([A-Za-z_][\w:]*)?\s*([(;{])")
 _MEMBER_CALL = re.compile(r"(\w+)\s*(?:\.|->)\s*(\w+)\s*\(")
+# Member calls on subscripted named receivers (`rows_[i].m(`,
+# `planes_[p][o].m(`): recorded as `name[]` / `name[][]` so the rules
+# can type them as the container's element type.  One nesting level in
+# the index (`a[b[i]]`) is understood; deeper shapes fall through to
+# _CHAIN_MEMBER_CALL below.  The Clang frontend's _member_base_name
+# lowers subscripts to the same spelling.
+_SUBSCRIPT_MEMBER_CALL = re.compile(
+    r"(?<![\w.\]>])(\w+)\s*"
+    r"((?:\[(?:[^\][]|\[[^\][]*\])*\]\s*){1,2})(?:\.|->)\s*(\w+)\s*\(")
+# Member calls on call-result / deeper-subscript receivers (`f(x).m(`,
+# `a[i][j][k].m(`): the receiver is untypeable, recorded with obj=""
+# exactly like the Clang frontend does for those shapes, so both
+# frontends fan out identically.
+_CHAIN_MEMBER_CALL = re.compile(r"[\)\]]\s*(?:\.|->)\s*(\w+)\s*\(")
+# Range-for declarations with a spelled project type (`for (PortSet& r :`);
+# `auto` deliberately does not match — see the frontend-divergence note
+# on _LOCAL_DECL.
+_RANGE_FOR_DECL = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?((?:\w+\s*::\s*)*[A-Z]\w*"
+    r"(?:\s*<[^<>;={}]*(?:<[^<>]*>[^<>;={}]*)*>)?)\s*[&*]?\s+(\w+)\s*:")
 _CALL = re.compile(r"(?<![\w.>])((?:\w+\s*::\s*)*)(~?\w+)\s*\(")
 # Bare value use of Rng: declarations (`Rng rng`), temporaries (`Rng(`),
 # and value containers (`vector<Rng>`); references/pointers and
 # qualified uses (`Rng::`, `Rng&`) stay legal.
 _RNG_VALUE = re.compile(r"\bRng\b(?!\s*[&*:<])")
 _CONST_CAST = re.compile(r"\bconst_cast\s*<")
+_NEW_EXPR = re.compile(r"\bnew\b")
+# Allocation helpers called with explicit template arguments
+# (`std::make_unique<T[]>(n)`): _CALL needs `name(` adjacency, so these
+# would otherwise be invisible here while the Clang frontend sees them.
+_ALLOC_TMPL_CALL = re.compile(
+    r"\b(make_unique|make_shared)\s*<[^;()]*>\s*\(")
+# Per-port induction loops (`for (PortId p = …)`); range-fors over word
+# sets use `:` and do not match.
+_PORT_LOOP = re.compile(r"\bfor\s*\(\s*PortId\s+\w+\s*=")
+# Typed local declarations (`PortSet mask;`, `RingBuffer<T>& q = …`):
+# class types follow the project's UpperCamelCase convention, which is
+# what makes this capturable without real name lookup.  Used to type
+# member-call receivers; std:: locals deliberately do not match (their
+# lowercase names fail the [A-Z] head) and fall back to name fan-out.
+# Frontend-divergence note: `auto` receivers are typed by Clang (it
+# sees the deduced type) but not here, so hot-path code spells receiver
+# types — the frontend-agreement gate catches violations of that rule.
+_LOCAL_DECL = re.compile(
+    r"(?:^|[;{(]|\bconst\b)\s*((?:\w+\s*::\s*)*[A-Z]\w*"
+    r"(?:\s*<[^<>;={}]*(?:<[^<>]*>[^<>;={}]*)*>)?)\s*[&*]?\s+"
+    r"(\w+)\s*(?=[=;({])")
+# Scoped lock-acquisition guards (project MutexLock and the std guards).
+_LOCK_GUARD = re.compile(
+    r"\b(MutexLock|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# virt-specifiers in a class-scope method head or declaration.
+_VIRTUAL_HEAD = re.compile(r"\b(?:virtual|override)\b|\bfinal\s*[;={]?\s*$")
 # Project annotation macros (thread_annotations.hpp) decorate class and
 # function heads; strip them so classification sees the real structure.
 _FIFOMS_MACRO = re.compile(
@@ -72,7 +118,7 @@ _SKIP_SEGMENT = re.compile(
 
 class _Scope:
     __slots__ = ("kind", "name", "fn", "body_start", "bases", "fields",
-                 "line")
+                 "line", "methods", "virtuals")
 
     def __init__(self, kind: str, name: str = "", fn: FunctionInfo | None = None,
                  body_start: int = 0, line: int = 0) -> None:
@@ -83,6 +129,8 @@ class _Scope:
         self.bases: list[str] = []
         self.fields: list[FieldInfo] = []
         self.line = line
+        self.methods: list[str] = []
+        self.virtuals: list[str] = []
 
 
 def _strip_head(head: str) -> str:
@@ -138,6 +186,12 @@ def _find_signature(head: str) -> tuple[str, str, int] | None:
             before = head[:i].rstrip()
             m = re.search(r"(operator\s*[^\s\w]{1,3}|[~\w][\w:~]*)$", before)
             if m:
+                # A definition's name can never follow member access:
+                # `xs.push_back(T{...})` is a statement whose braced
+                # argument opens a scope, not a function named push_back.
+                prefix = before[:m.start()].rstrip()
+                if prefix.endswith(".") or prefix.endswith("->"):
+                    return None
                 name = m.group(1)
                 base = name.split("::")[-1]
                 if base.lstrip("~") not in KEYWORDS and not base.isdigit():
@@ -206,6 +260,20 @@ def _enclosing_class(scopes: list[_Scope]) -> str:
     return ""
 
 
+def _subscript_group_count(subscripts: str) -> int:
+    """Number of top-level `[…]` groups in a matched subscript run."""
+    depth = 0
+    groups = 0
+    for ch in subscripts:
+        if ch == "[":
+            if depth == 0:
+                groups += 1
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+    return groups
+
+
 def _harvest_body(fn: FunctionInfo, body: str, base_line: int) -> None:
     def bline(pos: int) -> int:
         return base_line + body.count("\n", 0, pos)
@@ -229,6 +297,27 @@ def _harvest_body(fn: FunctionInfo, body: str, base_line: int) -> None:
     for m in _MEMBER_CALL.finditer(body):
         fn.member_calls.append(MemberCallSite(
             obj=m.group(1), method=m.group(2), line=bline(m.start())))
+    subscript_methods: set[int] = set()
+    for m in _SUBSCRIPT_MEMBER_CALL.finditer(body):
+        subscript_methods.add(m.start(3))
+        depth = _subscript_group_count(m.group(2))
+        fn.member_calls.append(MemberCallSite(
+            obj=m.group(1) + "[]" * depth, method=m.group(3),
+            line=bline(m.start())))
+    for m in _CHAIN_MEMBER_CALL.finditer(body):
+        if m.start(1) in subscript_methods:
+            continue  # already recorded with its `name[]` receiver
+        fn.member_calls.append(MemberCallSite(
+            obj="", method=m.group(1), line=bline(m.start())))
+    for m in _LOCAL_DECL.finditer(body):
+        if m.group(2) not in KEYWORDS:
+            fn.locals.append(Param(
+                name=m.group(2),
+                type_text=re.sub(r"\s+", " ", m.group(1)).strip()))
+    for m in _RANGE_FOR_DECL.finditer(body):
+        fn.locals.append(Param(
+            name=m.group(2),
+            type_text=re.sub(r"\s+", " ", m.group(1)).strip()))
     for m in _CALL.finditer(body):
         callee = m.group(2)
         if callee in KEYWORDS or callee.isdigit():
@@ -239,8 +328,17 @@ def _harvest_body(fn: FunctionInfo, body: str, base_line: int) -> None:
     for m in _RNG_VALUE.finditer(body):
         fn.constructions.append(Construction(type_name="Rng",
                                              line=bline(m.start())))
+    for m in _LOCK_GUARD.finditer(body):
+        fn.constructions.append(Construction(type_name=m.group(1),
+                                             line=bline(m.start())))
     for m in _CONST_CAST.finditer(body):
         fn.const_cast_lines.append(bline(m.start()))
+    for m in _ALLOC_TMPL_CALL.finditer(body):
+        fn.calls.append(CallSite(callee=m.group(1), line=bline(m.start())))
+    for m in _NEW_EXPR.finditer(body):
+        fn.new_lines.append(bline(m.start()))
+    for m in _PORT_LOOP.finditer(body):
+        fn.port_loop_lines.append(bline(m.start()))
 
 
 def _record_var(segment: str, scope: _Scope, model: FileModel,
@@ -325,6 +423,10 @@ def parse_source(rel_path: str, text: str) -> FileModel:
                         name=base, qualname=_qualname(scopes, name),
                         file=rel_path, line=line, class_name=cls,
                         params=_parse_params(params_text, line))
+                    if parent.kind == "class":
+                        parent.methods.append(base)
+                        if _VIRTUAL_HEAD.search(head):
+                            parent.virtuals.append(base)
                     scope = _Scope("function", name=base, fn=fn,
                                    body_start=i + 1, line=line)
                     del name_off
@@ -347,11 +449,23 @@ def parse_source(rel_path: str, text: str) -> FileModel:
                 elif top.kind == "class" and top.name:
                     model.classes.append(ClassInfo(
                         name=top.name, file=rel_path, line=top.line,
-                        bases=top.bases, fields=top.fields))
+                        bases=top.bases, fields=top.fields,
+                        methods=top.methods, virtual_methods=top.virtuals))
             head_start = i + 1
         elif ch == ";":
             segment = code[head_start:i]
             scope = scopes[-1]
+            if scope.kind == "class":
+                # Bodiless method declaration (`void f() const;`), with or
+                # without a virt-specifier (`virtual void f() = 0;`,
+                # `void f() override;`).
+                decl = _strip_head(segment)
+                sig = _find_signature(decl)
+                if sig:
+                    base = sig[0].split("::")[-1]
+                    scope.methods.append(base)
+                    if _VIRTUAL_HEAD.search(decl):
+                        scope.virtuals.append(base)
             if scope.kind in ("tu", "namespace", "class"):
                 _record_var(segment, scope, model, scopes, code, head_start)
             head_start = i + 1

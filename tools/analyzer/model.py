@@ -65,12 +65,15 @@ class FunctionInfo:
     line: int
     class_name: str = ""  # enclosing class for methods, "" otherwise
     params: list[Param] = field(default_factory=list)
+    locals: list[Param] = field(default_factory=list)  # typed local decls
     calls: list[CallSite] = field(default_factory=list)
     member_calls: list[MemberCallSite] = field(default_factory=list)
     throws: list[ThrowSite] = field(default_factory=list)
     static_locals: list[StaticLocal] = field(default_factory=list)
     constructions: list[Construction] = field(default_factory=list)
     const_cast_lines: list[int] = field(default_factory=list)
+    new_lines: list[int] = field(default_factory=list)  # new-expressions
+    port_loop_lines: list[int] = field(default_factory=list)  # for (PortId i = …)
 
     def key(self) -> tuple[str, int, str]:
         return (self.file, self.line, self.qualname)
@@ -93,6 +96,8 @@ class ClassInfo:
     line: int
     bases: list[str] = field(default_factory=list)  # unqualified base names
     fields: list[FieldInfo] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)  # declared in the class body
+    virtual_methods: list[str] = field(default_factory=list)  # declared virtual/override
 
     def key(self) -> tuple[str, int, str]:
         return (self.file, self.line, self.name)
@@ -128,16 +133,22 @@ class ProjectModel:
         self.globals: dict[tuple[str, int, str], GlobalVar] = {}
 
     def merge(self, file_model: FileModel) -> None:
+        def fn_richness(fn: FunctionInfo) -> int:
+            return (len(fn.calls) + len(fn.throws) + len(fn.new_lines)
+                    + len(fn.port_loop_lines) + len(fn.locals))
+
         for fn in file_model.functions:
             existing = self.functions.get(fn.key())
             # Prefer the richer model (a definition over a declaration).
-            if existing is None or len(fn.calls) + len(fn.throws) > len(
-                    existing.calls) + len(existing.throws):
+            if existing is None or fn_richness(fn) > fn_richness(existing):
                 self.functions[fn.key()] = fn
+        def cls_richness(cls: ClassInfo) -> int:
+            return (len(cls.bases) + len(cls.fields) + len(cls.methods)
+                    + len(cls.virtual_methods))
+
         for cls in file_model.classes:
             existing = self.classes.get(cls.key())
-            if existing is None or len(cls.bases) + len(cls.fields) > len(
-                    existing.bases) + len(existing.fields):
+            if existing is None or cls_richness(cls) > cls_richness(existing):
                 self.classes[cls.key()] = cls
         for var in file_model.globals:
             self.globals.setdefault((var.file, var.line, var.name), var)

@@ -16,11 +16,16 @@ from collections import deque
 
 import re
 
+from cpp_source import last_name
 from model import Finding, FunctionInfo, ProjectModel
 
 # Directories whose scheduling decisions must be replayable: any
 # randomness there has to flow in through an explicit Rng parameter.
-DETERMINISM_SCOPES = ("src/sched/", "src/core/", "src/hw/")
+# src/fabric and src/flows joined the scope once the fabric started
+# maintaining scheduling state (HOL weight planes) and the flow layer
+# started driving admission decisions.
+DETERMINISM_SCOPES = ("src/sched/", "src/core/", "src/hw/", "src/fabric/",
+                      "src/flows/")
 FAULT_SCOPE = "src/fault/"
 
 # Draw methods of common/rng.hpp's Rng.
@@ -31,9 +36,35 @@ OBSERVER_ROOT = "SlotObserver"
 OBSERVER_HOOKS = {"on_slot", "on_inject", "on_fault_event"}
 FAULT_ERROR_ROOT = "FaultError"
 
+# ---- Hot-path discipline ----------------------------------------------------
+# Roots are tagged in source with `// fifoms-analyze: hot-path-root` on
+# the signature line or the line above; analyze.py collects the tags and
+# passes them in.  From every root the analyzer BFSes the name-resolved
+# call graph and holds the entire reachable region to the per-slot
+# contract: fixed work, fixed memory, no blocking, no hidden control
+# flow.  The Tiny Tera framing — the slot loop must behave like
+# hardware.
+
+HOT_PATH_ROOT_MARKER = "fifoms-analyze: hot-path-root"
+
+# Free calls that allocate.
+ALLOC_CALLS = {"malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+               "make_unique", "make_shared"}
+# Member calls that may grow a std:: container when the method does not
+# resolve to a project-defined function (RingBuffer::push_back and
+# PortSet::insert resolve, and their definitions are analyzed instead).
+GROWTH_METHODS = {"push_back", "emplace_back", "append", "resize",
+                  "reserve", "assign", "insert", "emplace"}
+# Blocking acquisition: member calls on mutexes/condvars, and scoped
+# guard constructions (both frontends lower the same type set).
+LOCK_METHODS = {"lock", "try_lock", "wait", "wait_for", "wait_until"}
+LOCK_GUARD_TYPES = {"MutexLock", "lock_guard", "unique_lock",
+                    "scoped_lock", "shared_lock"}
+
 RULES: dict[str, str] = {
     "determinism-dataflow":
-        "decision-path code (src/sched, src/core, src/hw) must receive "
+        "decision-path code (src/sched, src/core, src/hw, src/fabric, "
+        "src/flows) must receive "
         "randomness via an Rng parameter: no function-local statics, no "
         "mutable globals, no locally constructed or value-held Rng, no "
         "draws in functions without an Rng parameter",
@@ -46,6 +77,22 @@ RULES: dict[str, str] = {
         "callees)",
     "unknown-suppression":
         "fifoms-analyze: allow(<rule>) must name an existing rule",
+    "hot-path-no-alloc":
+        "no allocation reachable from a hot-path root: no new, no "
+        "malloc-family call, no growing std:: container op outside "
+        "ScratchArena",
+    "hot-path-no-lock":
+        "no mutex/condvar acquisition reachable from a hot-path root: "
+        "the per-slot path never blocks",
+    "hot-path-no-throw":
+        "no throw reachable from a hot-path root: the per-slot path "
+        "fails only through FIFOMS_ASSERT/panic",
+    "hot-path-no-virtual":
+        "no virtual dispatch reachable from a hot-path root outside the "
+        "sanctioned SlotObserver seam",
+    "hot-path-no-port-loop":
+        "no per-port induction loop (for (PortId …)) reachable from a "
+        "hot-path root; iterate PortSet words instead",
 }
 
 
@@ -204,6 +251,252 @@ def check_observer_purity(project: ProjectModel) -> list[Finding]:
     return list(unique.values())
 
 
+def _virtual_name_partition(project: ProjectModel) -> tuple[set[str], set[str]]:
+    """(names declared virtual somewhere, names declared non-virtual
+    somewhere).  A member call is treated as virtual dispatch only when
+    its name is in the first set and NOT in the second: name-based
+    resolution cannot tell `set.clear()` from `model->clear()` apart, so
+    ambiguous names are exempt rather than false-flagged."""
+    virtual_names: set[str] = set()
+    nonvirtual_names: set[str] = set()
+    for cls in project.classes.values():
+        virtuals = set(cls.virtual_methods)
+        virtual_names |= virtuals
+        nonvirtual_names |= set(cls.methods) - virtuals
+    return virtual_names, nonvirtual_names
+
+
+# std:: sequence/associative containers whose GROWTH_METHODS allocate;
+# a member call on a receiver of one of these types is a direct
+# allocation site, not something to resolve into project code.
+STD_CONTAINERS = {"vector", "string", "basic_string", "deque", "map",
+                  "unordered_map", "set", "unordered_set", "list"}
+
+# Indirection wrappers whose `->` receivers the Clang frontend lowers to
+# obj="" (the base is an operator-> call, not a name).  The internal
+# frontend sees the spelled name, so treating these as untypeable here
+# keeps both frontends on the same fan-out path.
+SMART_POINTERS = {"unique_ptr", "shared_ptr", "weak_ptr", "optional"}
+
+
+def _element_type(type_text: str) -> str:
+    """Element type of a container/array type spelling: the first
+    top-level template argument ('std::vector<PortSet>' -> 'PortSet'),
+    or the base of a C-array type ('PortSet[64]' -> 'PortSet')."""
+    text = type_text.strip()
+    arr = re.search(r"\[[^\]]*\]\s*$", text)
+    if arr:
+        return text[:arr.start()].strip()
+    lt = text.find("<")
+    if lt < 0 or ">" not in text:
+        return ""
+    end = text.rfind(">")
+    depth = 0
+    for i in range(lt + 1, end):
+        ch = text[i]
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            end = i
+            break
+    return text[lt + 1:end].strip()
+
+
+def _receiver_type(obj: str, from_fn: FunctionInfo,
+                   classes_by_name: dict[str, list]) -> str:
+    """Best-effort receiver type of a member call: the last type name of
+    the matching local, parameter or enclosing-class field.  A `name[]`
+    receiver (subscripted container) types as the container's element
+    type, one level per `[]`.  Empty when the receiver is an expression,
+    an untyped (std::/auto) local, `this`, or a smart pointer — name-
+    based analysis cannot type those, so the caller falls back to name
+    fan-out."""
+    if not obj or obj == "this":
+        return ""
+    subscripts = 0
+    while obj.endswith("[]"):
+        obj = obj[:-2]
+        subscripts += 1
+    type_text = ""
+    for p in from_fn.locals:  # locals shadow params and fields
+        if p.name == obj:
+            type_text = p.type_text
+            break
+    if not type_text:
+        for p in from_fn.params:
+            if p.name == obj:
+                type_text = p.type_text
+                break
+    if not type_text:
+        for cls in classes_by_name.get(from_fn.class_name, []):
+            for fld in cls.fields:
+                if fld.name == obj:
+                    type_text = fld.type_text
+                    break
+            if type_text:
+                break
+    for _ in range(subscripts):
+        type_text = _element_type(type_text)
+    name = last_name(type_text) if type_text else ""
+    return "" if name in SMART_POINTERS else name
+
+
+def check_hot_path(project: ProjectModel,
+                   hot_root_lines: dict[str, set[int]]) -> list[Finding]:
+    """BFS from tagged hot-path roots; flag any reachable allocation,
+    lock acquisition, throw, unsanctioned virtual dispatch, or per-port
+    induction loop, each with its witness call chain.
+
+    Virtual-dispatch sites are analysis boundaries: the BFS does not
+    descend through them (the dispatch target is unknowable here), so
+    every implementation that belongs to the hot path must carry its own
+    root tag — which is exactly the discipline the tag documents."""
+    roots = [fn for fn in project.functions.values()
+             if fn.line in hot_root_lines.get(fn.file, set())
+             or fn.line - 1 in hot_root_lines.get(fn.file, set())]
+    if not roots:
+        return []
+    by_name = project.functions_by_name()
+    virtual_names, nonvirtual_names = _virtual_name_partition(project)
+    dispatch_names = virtual_names - nonvirtual_names
+    classes_by_name: dict[str, list] = {}
+    for cls in project.classes.values():
+        classes_by_name.setdefault(cls.name, []).append(cls)
+
+    def resolve_member(method: str, obj: str,
+                       fn: FunctionInfo) -> list[FunctionInfo]:
+        """Member-call resolution: when the receiver's type is known
+        (local, field or parameter of a project class that declares
+        `method`), descend only into that class's definition; a known
+        type outside the project model (std:: or external) is terminal —
+        its methods never enter project code.  Only a truly untypeable
+        receiver falls back to name fan-out like _resolve."""
+        recv = _receiver_type(obj, fn, classes_by_name)
+        if recv:
+            if any(method in c.methods
+                   for c in classes_by_name.get(recv, [])):
+                # A declared-but-unmodeled body (header not scanned)
+                # yields nothing to walk; that is still better than
+                # fanning out into same-named methods of unrelated
+                # classes.
+                return [t for t in by_name.get(method, [])
+                        if t.class_name == recv]
+            if recv not in classes_by_name:
+                return []
+            # A project class that doesn't declare `method` (inherited
+            # member): fall through to name fan-out.
+        return _resolve(method, fn, by_name)
+
+    findings: list[Finding] = []
+    parent: dict[tuple[str, int, str], tuple[str, int, str] | None] = {}
+    reached: dict[tuple[str, int, str], FunctionInfo] = {}
+    queue: deque[FunctionInfo] = deque()
+    for fn in roots:
+        if fn.key() not in parent:
+            parent[fn.key()] = None
+            queue.append(fn)
+
+    def chain(fn: FunctionInfo) -> str:
+        names = [fn.qualname]
+        key = parent.get(fn.key())
+        while key is not None and len(names) < 6:
+            names.append(reached[key].qualname if key in reached else key[2])
+            key = parent.get(key)
+        return " <- ".join(names)
+
+    while queue:
+        fn = queue.popleft()
+        reached[fn.key()] = fn
+        descend: list[str] = []
+
+        for line in fn.new_lines:
+            if fn.class_name != "ScratchArena":
+                findings.append(Finding(
+                    fn.file, line, "hot-path-no-alloc",
+                    f"new-expression in {fn.qualname}(), reachable from a "
+                    f"hot-path root ({chain(fn)}); the per-slot path must "
+                    f"not allocate"))
+        for call in fn.calls:
+            if call.callee in ALLOC_CALLS:
+                if fn.class_name != "ScratchArena":
+                    findings.append(Finding(
+                        fn.file, call.line, "hot-path-no-alloc",
+                        f"{fn.qualname}() calls {call.callee}(), reachable "
+                        f"from a hot-path root ({chain(fn)}); the per-slot "
+                        f"path must not allocate"))
+                continue
+            descend.append(call.callee)
+        member_targets: list[FunctionInfo] = []
+        for mc in fn.member_calls:
+            if mc.method in LOCK_METHODS:
+                findings.append(Finding(
+                    fn.file, mc.line, "hot-path-no-lock",
+                    f"{fn.qualname}() acquires via .{mc.method}(), reachable "
+                    f"from a hot-path root ({chain(fn)}); the per-slot path "
+                    f"never blocks"))
+                continue
+            if mc.method in dispatch_names:
+                if mc.method not in OBSERVER_HOOKS:
+                    findings.append(Finding(
+                        fn.file, mc.line, "hot-path-no-virtual",
+                        f"{fn.qualname}() virtually dispatches "
+                        f".{mc.method}(), reachable from a hot-path root "
+                        f"({chain(fn)}); only the SlotObserver seam is "
+                        f"sanctioned — tag the implementations as roots if "
+                        f"this seam is intentional"))
+                continue  # dispatch target unknowable: analysis boundary
+            if mc.method in GROWTH_METHODS:
+                recv = _receiver_type(mc.obj, fn, classes_by_name)
+                targets = resolve_member(mc.method, mc.obj, fn)
+                if recv in STD_CONTAINERS or not targets:
+                    findings.append(Finding(
+                        fn.file, mc.line, "hot-path-no-alloc",
+                        f"{fn.qualname}() may grow a std:: container via "
+                        f".{mc.method}(), reachable from a hot-path root "
+                        f"({chain(fn)}); pre-size in reset() or use "
+                        f"ScratchArena"))
+                    continue
+                member_targets.extend(targets)
+                continue
+            member_targets.extend(resolve_member(mc.method, mc.obj, fn))
+        for con in fn.constructions:
+            if con.type_name in LOCK_GUARD_TYPES:
+                findings.append(Finding(
+                    fn.file, con.line, "hot-path-no-lock",
+                    f"{fn.qualname}() constructs a {con.type_name} guard, "
+                    f"reachable from a hot-path root ({chain(fn)}); the "
+                    f"per-slot path never blocks"))
+        for throw in fn.throws:
+            label = throw.type_name or "a rethrown exception"
+            findings.append(Finding(
+                fn.file, throw.line, "hot-path-no-throw",
+                f"{fn.qualname}() throws {label}, reachable from a "
+                f"hot-path root ({chain(fn)}); the per-slot path fails "
+                f"only through FIFOMS_ASSERT"))
+        for line in fn.port_loop_lines:
+            findings.append(Finding(
+                fn.file, line, "hot-path-no-port-loop",
+                f"per-port induction loop in {fn.qualname}(), reachable "
+                f"from a hot-path root ({chain(fn)}); iterate PortSet "
+                f"words (first()/next_after()/word masks) instead"))
+
+        for name in descend:
+            member_targets.extend(_resolve(name, fn, by_name))
+        for target in member_targets:
+            if target.key() not in parent:
+                parent[target.key()] = fn.key()
+                queue.append(target)
+
+    # A site can be reachable from several roots; one finding per
+    # (file, line, rule) is enough.
+    unique: dict[tuple[str, int, str], Finding] = {}
+    for f in findings:
+        unique.setdefault(f.key(), f)
+    return list(unique.values())
+
+
 ALL_CHECKS = (
     check_determinism_dataflow,
     check_fault_path_exceptions,
@@ -211,8 +504,11 @@ ALL_CHECKS = (
 )
 
 
-def run_rules(project: ProjectModel) -> list[Finding]:
+def run_rules(project: ProjectModel,
+              hot_root_lines: dict[str, set[int]] | None = None
+              ) -> list[Finding]:
     findings: list[Finding] = []
     for check in ALL_CHECKS:
         findings.extend(check(project))
+    findings.extend(check_hot_path(project, hot_root_lines or {}))
     return findings

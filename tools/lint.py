@@ -52,13 +52,14 @@ compiler nor clang-tidy enforces:
       verifier proves.  Ages, fanouts and time stamps are integers;
       integer weights lose nothing.
 
-  no-per-port-loop-in-kernel
-      Files tagged `// fifoms-lint: kernel-file` hold the word-parallel
-      scheduler kernels (src/core/fifoms.cpp, src/sched/islip.cpp): their
-      hot paths scan ports 64 at a time over PortSet words and weight
-      planes.  An indexed `for (PortId p = ...)` loop there reintroduces
-      the O(N) inner loop the kernels exist to remove, so it is banned —
-      iterate PortSet members (range-for) or process whole words instead.
+  no-per-port-loop-in-kernel  (retired)
+      The textual ban on `for (PortId p = ...)` in `fifoms-lint:
+      kernel-file` sources is superseded by the semantic analyzer's
+      hot-path-no-port-loop rule (tools/analyzer/), which follows the
+      call graph from tagged hot-path roots instead of trusting a
+      per-file marker.  The rule name stays registered so existing
+      allow() comments and `kernel-file` markers keep parsing, but the
+      check itself no longer reports anything.
 
   unknown-suppression
       `fifoms-lint: allow(<rule>)` naming a rule that does not exist is
@@ -303,29 +304,19 @@ def check_no_float_in_decision_path(rel: str,
 
 
 KERNEL_FILE_MARKER = "fifoms-lint: kernel-file"
-PORT_INDEX_LOOP = re.compile(r"\bfor\s*\(\s*PortId\s+\w+\s*=")
 
 
 def check_no_per_port_loop_in_kernel(rel: str,
                                      lines: list[str]) -> list[Finding]:
-    # Scope is the marker, not the path: any file that declares itself a
-    # kernel file opts into the rule wherever it lives.
-    if not any(KERNEL_FILE_MARKER in line for line in lines):
-        return []
-    findings = []
-    for i, raw in enumerate(lines, start=1):
-        if suppressed(raw, "no-per-port-loop-in-kernel"):
-            continue
-        # Loop headers are long; accept the allow() on the line above too.
-        if i >= 2 and suppressed(lines[i - 2], "no-per-port-loop-in-kernel"):
-            continue
-        if PORT_INDEX_LOOP.search(strip_noise(raw)):
-            findings.append(
-                Finding(rel, i, "no-per-port-loop-in-kernel",
-                        "kernel-tagged files scan ports word-parallel; an "
-                        "indexed per-port loop reintroduces the O(N) inner "
-                        "loop — iterate PortSet members or whole words"))
-    return findings
+    # Deprecation shim.  The textual rule is retired: the semantic
+    # analyzer's hot-path-no-port-loop (tools/analyzer/rules.py) covers
+    # every per-port loop reachable from a tagged hot-path root, marker
+    # or not, with a witness call chain.  The shim keeps the rule name
+    # alive so `allow(no-per-port-loop-in-kernel)` comments and
+    # `kernel-file` markers in existing sources parse cleanly instead of
+    # tripping unknown-suppression.
+    del rel, lines
+    return []
 
 
 LINT_ALLOW = re.compile(r"fifoms-lint:\s*allow\(\s*([\w.-]*)\s*\)")
@@ -364,7 +355,8 @@ RULES = {
     "no-float-in-decision-path":
         "ban float/double in src/sched/, src/core/ and src/hw/",
     "no-per-port-loop-in-kernel":
-        "ban indexed per-port loops in `fifoms-lint: kernel-file` sources",
+        "(retired) superseded by the semantic analyzer's "
+        "hot-path-no-port-loop; name kept so allow() comments parse",
     "unknown-suppression":
         "fifoms-lint: allow(<rule>) must name an existing lint rule",
 }
@@ -505,31 +497,19 @@ def self_test() -> int:
         ("float suppression honoured", False, check_no_float_in_decision_path,
          "src/sched/x.cpp",
          "double d;  // fifoms-lint: allow(no-float-in-decision-path)"),
-        ("indexed port loop in kernel file flagged", True,
+        # no-per-port-loop-in-kernel is retired (the semantic analyzer's
+        # hot-path-no-port-loop supersedes it): the shim must stay
+        # silent even on its old positives, and the rule name must keep
+        # parsing in allow() comments without an unknown-suppression.
+        ("retired kernel rule reports nothing", False,
          check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
          "// fifoms-lint: kernel-file\n"
          "for (PortId p = 0; p < n; ++p) {}"),
-        ("indexed port loop without marker ok", False,
-         check_no_per_port_loop_in_kernel, "src/sched/pim.cpp",
-         "for (PortId p = 0; p < n; ++p) {}"),
-        ("PortSet range-for in kernel file ok", False,
-         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
-         "// fifoms-lint: kernel-file\n"
-         "for (PortId input : free_inputs) {}"),
-        ("port loop in kernel string ok", False,
-         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
-         "// fifoms-lint: kernel-file\n"
-         'log("for (PortId p = 0; ...) is banned");'),
-        ("kernel same-line suppression honoured", False,
-         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
+        ("retired kernel rule allow() still parses", False,
+         check_unknown_suppression, "src/core/fifoms.cpp",
          "// fifoms-lint: kernel-file\n"
          "for (PortId p = 0; p < n; ++p) {}  "
          "// fifoms-lint: allow(no-per-port-loop-in-kernel)"),
-        ("kernel previous-line suppression honoured", False,
-         check_no_per_port_loop_in_kernel, "src/core/fifoms.cpp",
-         "// fifoms-lint: kernel-file\n"
-         "// fifoms-lint: allow(no-per-port-loop-in-kernel) — oracle\n"
-         "for (PortId p = 0; p < n; ++p) {}"),
         # Suppression placement: most rules accept allow() on the same
         # line only — on the line above it must NOT silence the finding.
         ("suppression on wrong line does not silence", True,
