@@ -5,7 +5,7 @@
 //
 //   {
 //     "schema": "fifoms-bench-v1",
-//     "kind": "sched" | "sweep",
+//     "kind": "sched" | "sweep" | "net",
 //     "git_sha": "<full sha or 'unknown'>",
 //     "threads": <worker threads used>,
 //     "records": [
@@ -45,7 +45,7 @@ struct BenchRecord {
 };
 
 struct BenchReport {
-  std::string kind;  // "sched" or "sweep"
+  std::string kind;  // "sched", "sweep" or "net"
   int threads = 1;
   std::string git_sha;
   std::vector<BenchRecord> records;

@@ -10,9 +10,14 @@
 //   through the parallel experiment engine, at 1 thread and at all
 //   cores; the speed of the thing users actually wait on.
 //
-// CI runs `fifoms_bench --quick` as a smoke check and uploads both files
-// as artifacts; refreshing the checked-in baselines is documented in
-// docs/BENCHMARKING.md.
+//   BENCH_net.json — single-threaded slots/sec for the multistage
+//   fabrics (Clos, fat-tree, and the degenerate single-switch wrapper),
+//   measuring the per-hop relay/backpressure machinery on top of the
+//   element cost (see docs/NETWORK.md).
+//
+// CI runs `fifoms_bench --quick` as a smoke check and uploads all three
+// files as artifacts; refreshing the checked-in baselines is documented
+// in docs/BENCHMARKING.md.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -22,6 +27,8 @@
 #include "common/thread_pool.hpp"
 #include "core/fifoms.hpp"
 #include "io/cli.hpp"
+#include "net/net_experiment.hpp"
+#include "net/network_fabric.hpp"
 #include "sched/islip.hpp"
 #include "sched/pim.hpp"
 #include "sched/tatra.hpp"
@@ -121,6 +128,33 @@ BenchReport run_sweep_report(std::int64_t slots) {
   return report;
 }
 
+BenchReport run_net_report(std::int64_t slots) {
+  BenchReport report;
+  report.kind = "net";
+  report.threads = 1;
+  report.git_sha = current_git_sha();
+
+  const auto measure = [&](const SwitchFactory& factory, int ports,
+                           std::int64_t measured_slots) {
+    const auto fabric = factory.make(ports);
+    const std::string name = factory.label + "/" + std::to_string(ports);
+    report.records.push_back(
+        measure_switch(name, *fabric, ports, measured_slots));
+    const BenchRecord& r = report.records.back();
+    std::printf("  %-20s %8.3fs  %12.0f slots/s  %12.0f cells/s\n",
+                r.name.c_str(), r.wall_seconds, r.slots_per_sec,
+                r.cells_per_sec);
+  };
+
+  // NetSingle vs FIFOMS/16 in BENCH_sched.json isolates the wrapper
+  // overhead; the Clos radix pair shows how the relay plumbing scales.
+  measure(net::make_single_net_fifoms(), 16, slots);
+  measure(net::make_clos3_fifoms(), 16, slots);
+  measure(net::make_clos3_fifoms(), 64, slots / 4);
+  measure(net::make_fat_tree2_fifoms(), 8, slots);
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,8 +182,13 @@ int main(int argc, char** argv) {
   const BenchReport sweep = run_sweep_report(sweep_slots);
   write_bench_json(out_dir + "/BENCH_sweep.json", sweep);
 
-  std::printf("BENCH JSON written to %s/BENCH_sched.json and "
-              "%s/BENCH_sweep.json\n",
-              out_dir.c_str(), out_dir.c_str());
+  const std::int64_t net_slots = quick ? 10'000 : sched_slots;
+  std::printf("== fifoms_bench (net: %lld slots) ==\n",
+              static_cast<long long>(net_slots));
+  const BenchReport net = run_net_report(net_slots);
+  write_bench_json(out_dir + "/BENCH_net.json", net);
+
+  std::printf("BENCH JSON written to %s/BENCH_{sched,sweep,net}.json\n",
+              out_dir.c_str());
   return 0;
 }

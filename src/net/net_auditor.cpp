@@ -1,0 +1,293 @@
+#include "net/net_auditor.hpp"
+
+#include <limits>
+#include <string>
+
+#include "common/panic.hpp"
+#include "fault/fault.hpp"
+#include "net/network_fabric.hpp"
+
+// Every audit diagnostic goes through this macro so the message always
+// carries the slot number (tools/lint.py enforces both properties).
+#define FIFOMS_AUDIT_FAIL(now, msg)                                   \
+  ::fifoms::panic(__FILE__, __LINE__,                                 \
+                  "audit violation at slot " + std::to_string(now) +  \
+                      ": " + (msg))
+
+namespace fifoms::net {
+
+#if FIFOMS_AUDIT
+
+namespace {
+
+constexpr SlotTime kNeverServed = std::numeric_limits<SlotTime>::min();
+
+std::string port_str(PortId p) { return std::to_string(p); }
+std::string pkt_str(PacketId p) { return std::to_string(p); }
+std::string sw_str(int sw) { return std::to_string(sw); }
+
+}  // namespace
+
+NetworkAuditor::NetworkAuditor(Options options) : options_(options) {}
+
+void NetworkAuditor::reset() {
+  live_.clear();
+  last_flow_ts_.clear();
+  failed_outputs_.clear();
+  failed_inputs_.clear();
+  link_faults_active_ = 0;
+  copies_in_ = copies_out_ = copies_purged_ = pending_ = 0;
+  packets_retired_ = slots_audited_ = hops_seen_ = fault_events_seen_ = 0;
+}
+
+bool NetworkAuditor::any_fault_active() const {
+  if (link_faults_active_ > 0) return true;
+  for (const PortSet& set : failed_outputs_)
+    if (!set.empty()) return true;
+  for (const PortSet& set : failed_inputs_)
+    if (!set.empty()) return true;
+  return false;
+}
+
+void NetworkAuditor::on_external_inject(const NetworkFabric& fabric,
+                                        const Packet& packet) {
+  const SlotTime now = packet.arrival;
+  if (packet.input < 0 || packet.input >= fabric.num_inputs())
+    FIFOMS_AUDIT_FAIL(now, "accepted packet " + pkt_str(packet.id) +
+                               " names external input " +
+                               port_str(packet.input) + " out of range");
+  if (packet.destinations.empty())
+    FIFOMS_AUDIT_FAIL(now, "accepted packet " + pkt_str(packet.id) +
+                               " has no destinations");
+  if (!packet.destinations.is_subset_of(PortSet::all(fabric.num_outputs())))
+    FIFOMS_AUDIT_FAIL(now, "accepted packet " + pkt_str(packet.id) +
+                               " names an external output out of range");
+  const auto [it, fresh] = live_.emplace(
+      packet.id, Shadow{
+                     .ext_input = packet.input,
+                     .arrival = packet.arrival,
+                     .remaining = packet.destinations,
+                     .payload_tag = packet.payload_tag(),
+                 });
+  if (!fresh)
+    FIFOMS_AUDIT_FAIL(now, "packet id " + pkt_str(packet.id) +
+                               " reused while still in flight");
+  const auto fanout = static_cast<std::uint64_t>(packet.fanout());
+  copies_in_ += fanout;
+  pending_ += fanout;
+}
+
+void NetworkAuditor::on_hop(const NetworkFabric& fabric,
+                            const HopEvent& event) {
+  ++hops_seen_;
+  const SlotTime now = event.slot;
+  const Topology& topo = fabric.topology();
+  const auto it = live_.find(event.packet.id);
+  if (it == live_.end())
+    FIFOMS_AUDIT_FAIL(now, "hop of unknown packet " +
+                               pkt_str(event.packet.id));
+  if (event.flight_arrival != it->second.arrival)
+    FIFOMS_AUDIT_FAIL(now, "hop of packet " + pkt_str(event.packet.id) +
+                               " carries a rewritten arrival stamp");
+  const OutPort& wire = topo.out_port(event.from_sw, event.output);
+  if (wire.external || wire.to.sw != event.to_sw ||
+      wire.to.port != event.input)
+    FIFOMS_AUDIT_FAIL(now, "hop of packet " + pkt_str(event.packet.id) +
+                               " does not follow the topology wiring "
+                               "(switch " +
+                               sw_str(event.from_sw) + " output " +
+                               port_str(event.output) + ")");
+  if (static_cast<std::size_t>(event.from_sw) < failed_outputs_.size() &&
+      failed_outputs_[static_cast<std::size_t>(event.from_sw)].contains(
+          event.output))
+    FIFOMS_AUDIT_FAIL(now, "cell of packet " + pkt_str(event.packet.id) +
+                               " forwarded on failed inter-stage link "
+                               "(switch " +
+                               sw_str(event.from_sw) + " output " +
+                               port_str(event.output) + ")");
+}
+
+void NetworkAuditor::on_net_fault_event(SlotTime now, int sw,
+                                        const fault::FaultEvent& event) {
+  ++fault_events_seen_;
+  const auto s = static_cast<std::size_t>(sw);
+  if (failed_outputs_.size() <= s) failed_outputs_.resize(s + 1);
+  if (failed_inputs_.size() <= s) failed_inputs_.resize(s + 1);
+  switch (event.kind) {
+    case fault::FaultKind::kOutputDown:
+      if (failed_outputs_[s].contains(event.port))
+        FIFOMS_AUDIT_FAIL(now, "fault stream corrupt: switch " + sw_str(sw) +
+                                   " output " + port_str(event.port) +
+                                   " downed twice");
+      failed_outputs_[s].insert(event.port);
+      break;
+    case fault::FaultKind::kOutputUp:
+      if (!failed_outputs_[s].contains(event.port))
+        FIFOMS_AUDIT_FAIL(now, "fault stream corrupt: switch " + sw_str(sw) +
+                                   " output " + port_str(event.port) +
+                                   " restored while up");
+      failed_outputs_[s].erase(event.port);
+      break;
+    case fault::FaultKind::kInputDown:
+      failed_inputs_[s].insert(event.port);
+      break;
+    case fault::FaultKind::kInputUp:
+      failed_inputs_[s].erase(event.port);
+      break;
+    case fault::FaultKind::kLinkDown:
+      ++link_faults_active_;
+      break;
+    case fault::FaultKind::kLinkUp:
+      --link_faults_active_;
+      break;
+    case fault::FaultKind::kGrantCorrupt:
+      FIFOMS_AUDIT_FAIL(now,
+                        "grant corruption event inside a fabric (rejected "
+                        "by NetFaultPlan)");
+  }
+}
+
+void NetworkAuditor::check_result_stream(SlotTime now,
+                                         const NetworkFabric& fabric,
+                                         const SlotResult& result) {
+  const auto num_outputs = static_cast<std::size_t>(fabric.num_outputs());
+  const auto flows =
+      static_cast<std::size_t>(fabric.num_inputs()) * num_outputs;
+  if (last_flow_ts_.size() < flows)
+    last_flow_ts_.resize(flows, kNeverServed);
+  for (const Delivery& d : result.deliveries) {
+    const auto it = live_.find(d.packet);
+    if (it == live_.end())
+      FIFOMS_AUDIT_FAIL(now,
+                        "delivery of unknown packet " + pkt_str(d.packet));
+    Shadow& shadow = it->second;
+    if (!shadow.remaining.contains(d.output))
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " delivered at external output " +
+                                 port_str(d.output) +
+                                 " outside its outstanding fanout "
+                                 "(duplicate or foreign copy)");
+    if (d.input != shadow.ext_input)
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " delivered with external input " +
+                                 port_str(d.input) + ", accepted at " +
+                                 port_str(shadow.ext_input));
+    if (d.arrival != shadow.arrival)
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " delivered with a rewritten arrival "
+                                 "stamp");
+    if (d.payload_tag != shadow.payload_tag)
+      FIFOMS_AUDIT_FAIL(now, "payload corruption across the fabric: "
+                             "packet " +
+                                 pkt_str(d.packet) + " at external output " +
+                                 port_str(d.output));
+    const std::size_t flow =
+        static_cast<std::size_t>(shadow.ext_input) * num_outputs +
+        static_cast<std::size_t>(d.output);
+    if (shadow.arrival < last_flow_ts_[flow])
+      FIFOMS_AUDIT_FAIL(now, "per-flow FIFO order violated on route (" +
+                                 port_str(shadow.ext_input) + " -> " +
+                                 port_str(d.output) + "): arrival " +
+                                 std::to_string(shadow.arrival) +
+                                 " delivered after " +
+                                 std::to_string(last_flow_ts_[flow]));
+    last_flow_ts_[flow] = shadow.arrival;
+    shadow.remaining.erase(d.output);
+    ++copies_out_;
+    --pending_;
+    if (shadow.remaining.empty()) {
+      live_.erase(it);
+      ++packets_retired_;
+    }
+  }
+  for (const Delivery& d : result.purged) {
+    const auto it = live_.find(d.packet);
+    if (it == live_.end())
+      FIFOMS_AUDIT_FAIL(now, "purge of unknown packet " + pkt_str(d.packet));
+    Shadow& shadow = it->second;
+    if (!shadow.remaining.contains(d.output))
+      FIFOMS_AUDIT_FAIL(now, "packet " + pkt_str(d.packet) +
+                                 " purged at external output " +
+                                 port_str(d.output) +
+                                 " outside its outstanding fanout");
+    if (!any_fault_active())
+      FIFOMS_AUDIT_FAIL(now, "copy of packet " + pkt_str(d.packet) +
+                                 " purged with no active fault");
+    shadow.remaining.erase(d.output);
+    ++copies_purged_;
+    --pending_;
+    if (shadow.remaining.empty()) {
+      live_.erase(it);
+      ++packets_retired_;
+    }
+  }
+}
+
+void NetworkAuditor::check_buffers(SlotTime now,
+                                   const NetworkFabric& fabric) {
+  const std::size_t capacity = fabric.options().link_buffer_capacity;
+  if (capacity == 0) return;
+  const Topology& topo = fabric.topology();
+  for (int link = 0; link < topo.num_internal_links(); ++link) {
+    const auto [sw, output] = topo.link_source(link);
+    const LinkEnd to = topo.out_port(sw, output).to;
+    const std::size_t queued = fabric.switch_at(to.sw).occupancy(to.port);
+    if (queued > capacity)
+      FIFOMS_AUDIT_FAIL(now, "inter-stage buffer over capacity at switch " +
+                                 sw_str(to.sw) + " input " +
+                                 port_str(to.port) + ": " +
+                                 std::to_string(queued) + " cells, bound " +
+                                 std::to_string(capacity));
+  }
+}
+
+void NetworkAuditor::check_structure(SlotTime now,
+                                     const NetworkFabric& fabric) {
+  // Ledger vs the fabric's own O(1) counter first (cheap), then vs the
+  // structural ground truth (the ring walk): a copy that evaporated
+  // mid-stage leaves the counters balanced but the rings short.
+  if (pending_ != fabric.pending_copies())
+    FIFOMS_AUDIT_FAIL(now, "fabric flight ledger disagrees with the audit "
+                           "ledger: " +
+                               std::to_string(fabric.pending_copies()) +
+                               " vs " + std::to_string(pending_) +
+                               " outstanding copies");
+  const std::uint64_t queued = fabric.queued_external_copies();
+  if (queued != pending_)
+    FIFOMS_AUDIT_FAIL(now, "network conservation broken: " +
+                               std::to_string(pending_) +
+                               " copies outstanding but the fabric holds " +
+                               std::to_string(queued));
+}
+
+void NetworkAuditor::on_net_slot(SlotTime now, const NetworkFabric& fabric,
+                                 const SlotResult& result) {
+  check_result_stream(now, fabric, result);
+  check_buffers(now, fabric);
+  if (options_.deep_structure &&
+      (options_.structure_every <= 1 ||
+       now % options_.structure_every == 0))
+    check_structure(now, fabric);
+  ++slots_audited_;
+}
+
+#else  // !FIFOMS_AUDIT — the auditor compiles to an inert observer.
+
+NetworkAuditor::NetworkAuditor(Options options) : options_(options) {}
+void NetworkAuditor::reset() {}
+bool NetworkAuditor::any_fault_active() const { return false; }
+void NetworkAuditor::on_external_inject(const NetworkFabric&,
+                                        const Packet&) {}
+void NetworkAuditor::on_hop(const NetworkFabric&, const HopEvent&) {}
+void NetworkAuditor::on_net_fault_event(SlotTime, int,
+                                        const fault::FaultEvent&) {}
+void NetworkAuditor::on_net_slot(SlotTime, const NetworkFabric&,
+                                 const SlotResult&) {}
+void NetworkAuditor::check_result_stream(SlotTime, const NetworkFabric&,
+                                         const SlotResult&) {}
+void NetworkAuditor::check_buffers(SlotTime, const NetworkFabric&) {}
+void NetworkAuditor::check_structure(SlotTime, const NetworkFabric&) {}
+
+#endif  // FIFOMS_AUDIT
+
+}  // namespace fifoms::net

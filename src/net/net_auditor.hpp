@@ -1,0 +1,121 @@
+// NetworkAuditor: the network-level runtime invariant checker.
+//
+// Attached through the NetObserver seam, the auditor rebuilds an
+// independent end-to-end ledger of every external packet from the event
+// stream alone (external injects, link hops, fault events, end-of-slot
+// results) and cross-checks the fabric against the network invariants
+// (docs/NETWORK.md):
+//
+//   * end-to-end conservation — every accepted copy is eventually
+//     delivered or purged exactly once, and at every end-of-slot the
+//     copies still queued inside the fabric (a structural walk over all
+//     VOQ rings, expanded through the multicast trees) cover the
+//     outstanding ledger exactly — a copy silently dropped mid-stage is
+//     caught the same slot;
+//   * exactly-once fanout — a copy delivered at an external output must
+//     name an output inside the flight's original destination set that
+//     was not delivered (or purged) before, with the original input,
+//     arrival stamp and payload tag preserved across every hop;
+//   * per-flow FIFO along a route — for each (external input, external
+//     output) pair, delivered original-arrival stamps never decrease:
+//     input-pinned routing plus per-hop FIFO VOQs must compose into
+//     end-to-end order, so a reordering inter-stage link is a violation;
+//   * no forwarding on a failed link — a copy never crosses an internal
+//     wire whose upstream output is currently down, and a purge is only
+//     legal while some fault is active;
+//   * bounded inter-stage buffers — with link_buffer_capacity > 0 no
+//     internal input buffer ever exceeds the configured bound
+//     (backpressure must throttle the upstream element first).
+//
+// Violations panic with a slot-stamped diagnostic.  Like MatchingAuditor
+// the checks compile to no-ops when FIFOMS_AUDIT is 0 (Release preset),
+// and nothing is checked unless an auditor is attached.  The per-element
+// (single-switch) invariants are covered separately by attaching a
+// MatchingAuditor to every element: NetworkFabric::Options::audit_switches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "net/net_observer.hpp"
+
+#ifndef FIFOMS_AUDIT
+#ifdef NDEBUG
+#define FIFOMS_AUDIT 0
+#else
+#define FIFOMS_AUDIT 1
+#endif
+#endif
+
+namespace fifoms::net {
+
+class NetworkAuditor final : public NetObserver {
+ public:
+  struct Options {
+    /// Walk every VOQ ring of every element each audited slot and expand
+    /// the queued cells through their multicast trees to cross-check the
+    /// outstanding-copy ledger.  O(queued address cells) per audited slot.
+    bool deep_structure = true;
+    /// Audit only every k-th slot's structural state (delivery-stream
+    /// checks always run).  1 = every slot.
+    SlotTime structure_every = 1;
+  };
+
+  NetworkAuditor() : NetworkAuditor(Options{}) {}
+  explicit NetworkAuditor(Options options);
+
+  /// False when the build compiled the checks out (FIFOMS_AUDIT=0).
+  static constexpr bool enabled() { return FIFOMS_AUDIT != 0; }
+
+  void on_external_inject(const NetworkFabric& fabric,
+                          const Packet& packet) override;
+  void on_hop(const NetworkFabric& fabric, const HopEvent& event) override;
+  void on_net_fault_event(SlotTime now, int sw,
+                          const fault::FaultEvent& event) override;
+  void on_net_slot(SlotTime now, const NetworkFabric& fabric,
+                   const SlotResult& result) override;
+
+  std::uint64_t slots_audited() const { return slots_audited_; }
+  std::uint64_t copies_checked() const { return copies_out_; }
+  std::uint64_t copies_purged() const { return copies_purged_; }
+  std::uint64_t packets_retired() const { return packets_retired_; }
+  std::uint64_t hops_seen() const { return hops_seen_; }
+  std::uint64_t fault_events_seen() const { return fault_events_seen_; }
+
+  /// Forget all shadow state (call between simulation runs).
+  void reset();
+
+ private:
+  struct Shadow {  // one live (accepted, not fully retired) flight
+    PortId ext_input = kNoPort;
+    SlotTime arrival = 0;
+    PortSet remaining;
+    std::uint64_t payload_tag = 0;
+  };
+
+  void check_result_stream(SlotTime now, const NetworkFabric& fabric,
+                           const SlotResult& result);
+  void check_buffers(SlotTime now, const NetworkFabric& fabric);
+  void check_structure(SlotTime now, const NetworkFabric& fabric);
+  bool any_fault_active() const;
+
+  Options options_;
+  std::unordered_map<PacketId, Shadow> live_;
+  std::vector<SlotTime> last_flow_ts_;  // per (ext_input * Out + ext_output)
+  // Shadow failure state per switch, rebuilt from the fault event stream.
+  std::vector<PortSet> failed_outputs_;
+  std::vector<PortSet> failed_inputs_;
+  std::uint64_t link_faults_active_ = 0;
+  std::uint64_t copies_in_ = 0;
+  std::uint64_t copies_out_ = 0;
+  std::uint64_t copies_purged_ = 0;
+  std::uint64_t pending_ = 0;
+  std::uint64_t packets_retired_ = 0;
+  std::uint64_t slots_audited_ = 0;
+  std::uint64_t hops_seen_ = 0;
+  std::uint64_t fault_events_seen_ = 0;
+};
+
+}  // namespace fifoms::net

@@ -1,0 +1,66 @@
+#include "net/net_experiment.hpp"
+
+#include <utility>
+
+#include "core/fifoms.hpp"
+
+namespace fifoms::net {
+
+namespace {
+
+NetworkFabric::SchedulerFactory fifoms_elements() {
+  return [] { return std::make_unique<FifomsScheduler>(); };
+}
+
+}  // namespace
+
+int clos3_radix_for_ports(int num_ports) {
+  for (int k = 1; k * k <= num_ports; ++k)
+    if (k * k == num_ports) return k;
+  FIFOMS_ASSERT(false, "clos3 needs a perfect-square external port count");
+}
+
+int fat_tree2_radix_for_ports(int num_ports) {
+  for (int k = 2; k * (k / 2) <= num_ports; k += 2)
+    if (k * (k / 2) == num_ports) return k;
+  FIFOMS_ASSERT(false,
+                "fat_tree2 needs num_ports = k*k/2 for an even radix k");
+}
+
+SwitchFactory make_net(std::string label,
+                       std::function<Topology(int num_ports)> topology,
+                       NetworkFabric::SchedulerFactory scheduler,
+                       NetworkFabric::Options options) {
+  return SwitchFactory{
+      std::move(label),
+      [topology = std::move(topology), scheduler = std::move(scheduler),
+       options](int ports) -> std::unique_ptr<SwitchModel> {
+        return std::make_unique<NetworkFabric>(topology(ports), scheduler,
+                                               options);
+      }};
+}
+
+SwitchFactory make_clos3_fifoms(NetworkFabric::Options options) {
+  return make_net(
+      "Clos3-FIFOMS",
+      [](int ports) { return Topology::clos3(clos3_radix_for_ports(ports)); },
+      fifoms_elements(), options);
+}
+
+SwitchFactory make_fat_tree2_fifoms(NetworkFabric::Options options) {
+  return make_net(
+      "FatTree2-FIFOMS",
+      [](int ports) {
+        return Topology::fat_tree2(fat_tree2_radix_for_ports(ports));
+      },
+      fifoms_elements(), options);
+}
+
+SwitchFactory make_single_net_fifoms(NetworkFabric::Options options) {
+  return make_net(
+      "NetSingle-FIFOMS",
+      [](int ports) { return Topology::single_switch(ports); }, fifoms_elements(),
+      options);
+}
+
+}  // namespace fifoms::net

@@ -1,0 +1,40 @@
+// Sweep factories for multistage fabrics: adapters that let run_sweep(),
+// the benches and the CLI drive a NetworkFabric exactly like any
+// single-switch model.  `num_ports` in the factory contract is the
+// EXTERNAL port count; each maker derives the element radix from it
+// (clos3: ports = k*k, fat_tree2: ports = k*k/2) and panics when the
+// count does not fit the shape.
+#pragma once
+
+#include "net/network_fabric.hpp"
+#include "sim/experiment.hpp"
+
+namespace fifoms::net {
+
+/// FIFOMS elements arranged as a 3-stage Clos; `num_ports` must be a
+/// perfect square k*k with k*k <= kMaxPorts.
+SwitchFactory make_clos3_fifoms(NetworkFabric::Options options = {});
+
+/// FIFOMS elements arranged as a 2-level fat tree; `num_ports` must be
+/// k*k/2 for an even k (8 -> k=4, 18 -> k=6, 32 -> k=8, ...).
+SwitchFactory make_fat_tree2_fifoms(NetworkFabric::Options options = {});
+
+/// One FIFOMS element wrapped in the fabric layer (the degenerate
+/// topology) — the differential anchor against bare FIFOMS.
+SwitchFactory make_single_net_fifoms(NetworkFabric::Options options = {});
+
+/// General adapter: any topology-from-ports rule and element scheduler.
+SwitchFactory make_net(std::string label,
+                       std::function<Topology(int num_ports)> topology,
+                       NetworkFabric::SchedulerFactory scheduler,
+                       NetworkFabric::Options options = {});
+
+/// The element radix k for `num_ports = k*k` external Clos ports; panics
+/// unless the count is a perfect square.
+int clos3_radix_for_ports(int num_ports);
+
+/// The element radix k for `num_ports = k*k/2` external fat-tree ports;
+/// panics unless such an even k exists.
+int fat_tree2_radix_for_ports(int num_ports);
+
+}  // namespace fifoms::net

@@ -1,0 +1,157 @@
+#include "net/net_fault.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace fifoms::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw fault::FaultError("net fault plan: " + message);
+}
+
+void require(bool condition, const char* message) {
+  if (!condition) fail(message);
+}
+
+/// `cards` distinct external inputs drawn by a seeded partial
+/// Fisher-Yates, mapped to kInputDown/kInputUp at their ingress switch.
+void append_card_loss(std::vector<NetFaultEvent>& events,
+                      const Topology& topology, std::uint64_t seed,
+                      SlotTime down_at, SlotTime up_at, int cards) {
+  const int externals = topology.num_external_inputs();
+  require(cards > 0 && cards <= externals, "card count out of range");
+  require(down_at < up_at, "line cards must recover after they fail");
+  std::vector<PortId> ext(static_cast<std::size_t>(externals));
+  std::iota(ext.begin(), ext.end(), PortId{0});
+  // Scenario builders take the seed itself (mirroring src/fault's API),
+  // so the stream IS traceable from the argument; the Rng&-threading
+  // rule is for decision code inside a run, not plan construction.
+  // fifoms-analyze: allow(determinism-dataflow)
+  Rng pick_rng(splitmix64(seed, 0));
+  for (int k = 0; k < cards; ++k) {
+    const auto j =
+        static_cast<std::size_t>(k) +
+        // fifoms-analyze: allow(determinism-dataflow)
+        pick_rng.next_below(static_cast<std::uint64_t>(externals - k));
+    std::swap(ext[static_cast<std::size_t>(k)], ext[j]);
+    const LinkEnd in = topology.ingress_of(ext[static_cast<std::size_t>(k)]);
+    events.push_back({in.sw, {down_at, fault::FaultKind::kInputDown, in.port,
+                              kNoPort}});
+    events.push_back(
+        {in.sw, {up_at, fault::FaultKind::kInputUp, in.port, kNoPort}});
+  }
+}
+
+}  // namespace
+
+NetFaultPlan::NetFaultPlan(std::vector<NetFaultEvent> events,
+                           const Topology& topology, std::uint64_t seed)
+    : seed_(seed) {
+  const int switches = topology.num_switches();
+  std::vector<std::vector<fault::FaultEvent>> per_switch(
+      static_cast<std::size_t>(switches));
+  for (const NetFaultEvent& ev : events) {
+    if (ev.sw < 0 || ev.sw >= switches)
+      fail("switch index " + std::to_string(ev.sw) + " out of range");
+    // A corrupted grant wire ignores ScheduleConstraints, so it could
+    // push a cell into a full inter-stage buffer and void the fabric's
+    // bounded-buffer guarantee.  Grant corruption stays a single-switch
+    // scenario.
+    if (ev.event.kind == fault::FaultKind::kGrantCorrupt)
+      fail("grant corruption is not supported inside a fabric");
+    per_switch[static_cast<std::size_t>(ev.sw)].push_back(ev.event);
+  }
+  plans_.reserve(static_cast<std::size_t>(switches));
+  for (int sw = 0; sw < switches; ++sw) {
+    auto& group = per_switch[static_cast<std::size_t>(sw)];
+    total_events_ += group.size();
+    // Per-switch validation (port ranges, down/up pairing) and stable
+    // slot ordering come from the single-switch plan's constructor.
+    plans_.emplace_back(std::move(group), topology.radix(),
+                        splitmix64(seed, static_cast<std::uint64_t>(sw)));
+  }
+}
+
+const fault::FaultPlan& NetFaultPlan::plan_for(int sw) const {
+  if (sw < 0 || sw >= num_switches())
+    fail("switch index " + std::to_string(sw) + " out of range");
+  return plans_[static_cast<std::size_t>(sw)];
+}
+
+NetFaultPlan NetFaultPlan::inter_stage_link_flaps(const Topology& topology,
+                                                  SlotTime first_down,
+                                                  SlotTime period,
+                                                  SlotTime down_slots,
+                                                  SlotTime horizon) {
+  const int links = topology.num_internal_links();
+  require(links > 0, "topology has no internal links to flap");
+  require(first_down >= 0 && period > 0 && down_slots > 0,
+          "flap timing must be positive");
+  require(down_slots < period,
+          "a link must recover before its next scheduled flap");
+  std::vector<NetFaultEvent> events;
+  int cycle = 0;
+  for (SlotTime at = first_down; at + down_slots <= horizon;
+       at += period, ++cycle) {
+    const auto [sw, port] = topology.link_source(cycle % links);
+    events.push_back({sw, {at, fault::FaultKind::kOutputDown, port, kNoPort}});
+    events.push_back(
+        {sw, {at + down_slots, fault::FaultKind::kOutputUp, port, kNoPort}});
+  }
+  return NetFaultPlan(std::move(events), topology, 0);
+}
+
+NetFaultPlan NetFaultPlan::ingress_line_card_loss(const Topology& topology,
+                                                  std::uint64_t seed,
+                                                  SlotTime down_at,
+                                                  SlotTime up_at, int cards) {
+  std::vector<NetFaultEvent> events;
+  append_card_loss(events, topology, seed, down_at, up_at, cards);
+  return NetFaultPlan(std::move(events), topology, seed);
+}
+
+NetFaultPlan NetFaultPlan::net_fault_storm(const Topology& topology,
+                                           std::uint64_t seed,
+                                           SlotTime horizon) {
+  require(horizon >= 64, "net fault storm needs at least 64 slots");
+  std::vector<NetFaultEvent> events;
+  // Seed-parameter builder: the stream is traceable from the argument
+  // (see append_card_loss above).
+  // fifoms-analyze: allow(determinism-dataflow)
+  Rng storm_rng(splitmix64(seed, 2));
+  const int links = topology.num_internal_links();
+  if (links > 0) {
+    // Seeded link flaps with per-link busy tracking so no link is downed
+    // twice before it recovered (a double-down would fail validation).
+    std::vector<SlotTime> busy(static_cast<std::size_t>(links), 0);
+    const int flaps = std::min(links, 8);
+    for (int f = 0; f < flaps; ++f) {
+      const auto link = static_cast<int>(
+          // fifoms-analyze: allow(determinism-dataflow)
+          storm_rng.next_below(static_cast<std::uint64_t>(links)));
+      const auto start = static_cast<SlotTime>(
+          // fifoms-analyze: allow(determinism-dataflow)
+          1 + storm_rng.next_below(static_cast<std::uint64_t>(horizon / 2)));
+      const auto duration = static_cast<SlotTime>(
+          // fifoms-analyze: allow(determinism-dataflow)
+          1 + storm_rng.next_below(static_cast<std::uint64_t>(horizon / 4)));
+      if (busy[static_cast<std::size_t>(link)] >= start) continue;
+      const auto [sw, port] = topology.link_source(link);
+      events.push_back(
+          {sw, {start, fault::FaultKind::kOutputDown, port, kNoPort}});
+      events.push_back({sw, {start + duration, fault::FaultKind::kOutputUp,
+                             port, kNoPort}});
+      busy[static_cast<std::size_t>(link)] = start + duration;
+    }
+  }
+  // A correlated ingress line-card outage in the middle of the storm.
+  const int cards = std::max(1, topology.num_external_inputs() / 8);
+  append_card_loss(events, topology, splitmix64(seed, 3), horizon / 2,
+                   horizon / 2 + horizon / 8, cards);
+  return NetFaultPlan(std::move(events), topology, seed);
+}
+
+}  // namespace fifoms::net

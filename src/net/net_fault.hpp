@@ -1,0 +1,86 @@
+// NetFaultPlan: deterministic fault schedules for a multistage fabric.
+//
+// A network fault plan is a per-switch bundle of ordinary fault::FaultPlan
+// schedules, addressed by switch index in a Topology.  Inter-stage link
+// loss is expressed as kOutputDown at the upstream switch (the wire's
+// driver): the upstream element then masks, holds or purges exactly as a
+// single switch would for a dead external output, and the fabric refuses
+// to forward across the link.  Line-card loss at an ingress is kInputDown
+// at the owning first-stage switch; a dead INTERNAL input additionally
+// loses copies that arrive over the wire while it is down (the fabric
+// accounts them as purged — a line card that is off the bus drops what
+// lands on it).
+//
+// Like fault::FaultPlan, every builder derives all randomness from a seed
+// through the house splitmix64 streams, so a net fault storm replays
+// bit-identically under any sweep thread count.  Validation throws
+// fault::FaultError (never panics): fault handling degrades, it does not
+// abort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "net/topology.hpp"
+
+namespace fifoms::net {
+
+/// One fault event aimed at one switch element of the fabric.
+struct NetFaultEvent {
+  int sw = -1;
+  fault::FaultEvent event;
+};
+
+class NetFaultPlan {
+ public:
+  /// The empty plan (no faults ever).
+  NetFaultPlan() = default;
+
+  /// Groups `events` by switch and validates each group as a per-switch
+  /// fault::FaultPlan over the topology's radix (port ranges, down/up
+  /// pairing).  Throws fault::FaultError on a bad switch index, on
+  /// kGrantCorrupt (a corrupted grant would bypass backpressure and void
+  /// the bounded-buffer guarantee) or any per-switch validation failure.
+  NetFaultPlan(std::vector<NetFaultEvent> events, const Topology& topology,
+               std::uint64_t seed = 0);
+
+  bool empty() const { return total_events_ == 0; }
+  int num_switches() const { return static_cast<int>(plans_.size()); }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t total_events() const { return total_events_; }
+
+  /// The validated schedule of one switch element (empty plan if the
+  /// switch is never faulted).  Throws fault::FaultError out of range.
+  const fault::FaultPlan& plan_for(int sw) const;
+
+  // ---- Scenario builders (docs/NETWORK.md) ------------------------------
+
+  /// One internal link at a time goes down for `down_slots`, cycling
+  /// through every link each `period` slots until `horizon`.  The
+  /// network analogue of FaultPlan::rolling_port_flaps.
+  static NetFaultPlan inter_stage_link_flaps(const Topology& topology,
+                                             SlotTime first_down,
+                                             SlotTime period,
+                                             SlotTime down_slots,
+                                             SlotTime horizon);
+
+  /// `cards` external ingress line cards (chosen by seed) fail together
+  /// at `down_at` and recover together at `up_at`.
+  static NetFaultPlan ingress_line_card_loss(const Topology& topology,
+                                             std::uint64_t seed,
+                                             SlotTime down_at, SlotTime up_at,
+                                             int cards);
+
+  /// Adversarial mix until `horizon`: seeded inter-stage link flaps plus
+  /// a correlated ingress line-card outage in the middle of the storm.
+  static NetFaultPlan net_fault_storm(const Topology& topology,
+                                      std::uint64_t seed, SlotTime horizon);
+
+ private:
+  std::vector<fault::FaultPlan> plans_;  // one per switch element
+  std::uint64_t seed_ = 0;
+  std::size_t total_events_ = 0;
+};
+
+}  // namespace fifoms::net

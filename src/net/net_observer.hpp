@@ -1,0 +1,77 @@
+// NetObserver: per-slot instrumentation hook for NetworkFabric.
+//
+// The single-switch SlotObserver seam cannot express what a network-level
+// checker needs: which internal link a copy crossed, which switch a fault
+// event hit, and the end-of-slot fabric state.  NetObserver is the
+// network analogue — NetworkAuditor (net_auditor.hpp) is the standard
+// implementation, rebuilding an independent conservation/ordering ledger
+// from exactly this event stream.  External deliveries still flow through
+// the ordinary SwitchModel/SlotObserver path via the Simulator, so
+// metrics and tracing keep working unchanged.
+#pragma once
+
+#include "common/types.hpp"
+#include "fabric/packet.hpp"
+#include "sim/switch_model.hpp"
+
+namespace fifoms::fault {
+struct FaultEvent;
+}  // namespace fifoms::fault
+
+namespace fifoms::net {
+
+class NetworkFabric;
+
+/// One copy crossing an internal link: served by `from_sw` on `output`,
+/// re-injected into `to_sw` at `input` the same slot (the link adds one
+/// slot of latency because the downstream switch schedules it next slot).
+struct HopEvent {
+  SlotTime slot = 0;
+  int from_sw = -1;
+  PortId output = kNoPort;
+  int to_sw = -1;
+  PortId input = kNoPort;
+  /// The per-hop packet as injected downstream: original id, arrival
+  /// re-stamped to `slot`, destinations expanded for the next hop.
+  Packet packet;
+  /// Original external arrival slot of the flight (for ordering checks).
+  SlotTime flight_arrival = 0;
+};
+
+class NetObserver {
+ public:
+  virtual ~NetObserver() = default;
+
+  /// A packet accepted at an external input, before any switch stepped.
+  virtual void on_external_inject(const NetworkFabric& fabric,
+                                  const Packet& packet) {
+    (void)fabric;
+    (void)packet;
+  }
+
+  /// One copy crossed an internal link this slot.
+  virtual void on_hop(const NetworkFabric& fabric, const HopEvent& event) {
+    (void)fabric;
+    (void)event;
+  }
+
+  /// A fault event was applied to switch `sw` at the top of the slot.
+  virtual void on_net_fault_event(SlotTime now, int sw,
+                                  const fault::FaultEvent& event) {
+    (void)now;
+    (void)sw;
+    (void)event;
+  }
+
+  /// End of slot: every switch stepped, every transfer processed.
+  /// `result` holds this slot's external deliveries and purged copies
+  /// (both reported with the flight's ORIGINAL arrival slot).
+  virtual void on_net_slot(SlotTime now, const NetworkFabric& fabric,
+                           const SlotResult& result) {
+    (void)now;
+    (void)fabric;
+    (void)result;
+  }
+};
+
+}  // namespace fifoms::net

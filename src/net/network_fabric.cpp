@@ -1,0 +1,432 @@
+#include "net/network_fabric.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fifoms::net {
+
+NetworkFabric::NetworkFabric(Topology topology,
+                             const SchedulerFactory& scheduler_factory)
+    : NetworkFabric(std::move(topology), scheduler_factory, Options{}) {}
+
+NetworkFabric::NetworkFabric(Topology topology,
+                             const SchedulerFactory& scheduler_factory,
+                             Options options)
+    : topo_(std::move(topology)), options_(options) {
+  FIFOMS_ASSERT(scheduler_factory != nullptr,
+                "NetworkFabric requires a scheduler factory");
+  FIFOMS_ASSERT(options_.num_classes >= 1, "num_classes must be positive");
+  const int switches = topo_.num_switches();
+  switches_.reserve(static_cast<std::size_t>(switches));
+  for (int sw = 0; sw < switches; ++sw) {
+    auto scheduler = scheduler_factory();
+    FIFOMS_ASSERT(scheduler != nullptr, "scheduler factory returned null");
+    switches_.push_back(std::make_unique<VoqSwitch>(
+        topo_.radix(), std::move(scheduler),
+        VoqSwitch::Options{
+            .input_capacity = 0,  // bounded-ness comes from backpressure
+            .num_classes = options_.num_classes,
+            .stranded_policy = options_.stranded_policy,
+            .mutant_skip_fault_masking = options_.mutant_skip_fault_masking,
+        }));
+  }
+  name_ = "net-";
+  name_ += switches_[0]->name();
+  name_ += "/";
+  name_ += topo_.name();
+  paused_.resize(static_cast<std::size_t>(switches));
+  sub_results_.resize(static_cast<std::size_t>(switches));
+  relay_.resize(static_cast<std::size_t>(topo_.num_internal_links()));
+  hop_delay_.resize(static_cast<std::size_t>(topo_.num_stages()));
+  // The pause masks live at stable addresses for the fabric's lifetime
+  // (paused_ is never resized again), so each element can hold a pointer.
+  for (int sw = 0; sw < switches; ++sw)
+    switches_[static_cast<std::size_t>(sw)]->set_backpressure(
+        &paused_[static_cast<std::size_t>(sw)]);
+  if (options_.audit_switches && MatchingAuditor::enabled()) {
+    element_auditors_.reserve(static_cast<std::size_t>(switches));
+    for (int sw = 0; sw < switches; ++sw)
+      element_auditors_.push_back(std::make_unique<MatchingAuditor>());
+  }
+}
+
+bool NetworkFabric::inject(const Packet& packet) {
+  FIFOMS_ASSERT(packet.input >= 0 &&
+                    packet.input < topo_.num_external_inputs(),
+                "external input out of range");
+  FIFOMS_ASSERT(!packet.destinations.empty(),
+                "packet with no destinations");
+  FIFOMS_ASSERT(packet.destinations.is_subset_of(
+                    PortSet::all(topo_.num_external_outputs())),
+                "external destination out of range");
+  // Faults scheduled for this slot must suppress this slot's arrivals,
+  // and arrivals precede step(): first touch of the slot applies them.
+  advance_faults(packet.arrival);
+  const LinkEnd in = topo_.ingress_of(packet.input);
+  if (!fault_states_.empty() &&
+      fault_states_[static_cast<std::size_t>(in.sw)].failed_inputs().contains(
+          in.port)) {
+    ++dropped_;  // dead ingress line card: the whole packet is lost
+    return false;
+  }
+  const Packet hop{
+      .id = packet.id,
+      .input = in.port,
+      .arrival = packet.arrival,
+      .destinations = topo_.hop_destinations(in.sw, in.port, packet.input,
+                                             packet.destinations),
+      .priority = packet.priority,
+  };
+  const bool accepted =
+      switches_[static_cast<std::size_t>(in.sw)]->inject(hop);
+  FIFOMS_ASSERT(accepted, "ingress element refused an unbounded inject");
+  const auto [it, fresh] = flights_.emplace(
+      packet.id, Flight{
+                     .ext_input = packet.input,
+                     .arrival = packet.arrival,
+                     .priority = packet.priority,
+                     .dests = packet.destinations,
+                     .remaining = packet.destinations,
+                 });
+  FIFOMS_ASSERT(fresh, "packet id reused while still in flight");
+  const auto fanout = static_cast<std::uint64_t>(packet.fanout());
+  copies_injected_ += fanout;
+  pending_copies_ += fanout;
+  if (!element_auditors_.empty())
+    element_auditors_[static_cast<std::size_t>(in.sw)]->on_inject(
+        *switches_[static_cast<std::size_t>(in.sw)], hop);
+  if (observer_ != nullptr) observer_->on_external_inject(*this, packet);
+  return true;
+}
+
+void NetworkFabric::advance_faults(SlotTime now) {
+  if (fault_states_.empty() || now <= faults_advanced_to_) return;
+  faults_advanced_to_ = now;
+  for (int sw = 0; sw < topo_.num_switches(); ++sw) {
+    const auto applied =
+        fault_states_[static_cast<std::size_t>(sw)].advance(now);
+    for (const fault::FaultEvent& event : applied) {
+      if (observer_ != nullptr)
+        observer_->on_net_fault_event(now, sw, event);
+      if (!element_auditors_.empty())
+        element_auditors_[static_cast<std::size_t>(sw)]->on_fault_event(
+            now, *switches_[static_cast<std::size_t>(sw)], event);
+    }
+  }
+}
+
+void NetworkFabric::compute_backpressure() {
+  for (PortSet& mask : paused_) mask.clear();
+  if (options_.link_buffer_capacity == 0 || options_.mutant_skip_backpressure)
+    return;
+  // A wire pauses for the slot when its downstream input buffer is at
+  // capacity now; one arrival per input per slot bounds the buffer at
+  // exactly the capacity.
+  for (int link = 0; link < topo_.num_internal_links(); ++link) {
+    const auto [sw, output] = topo_.link_source(link);
+    const OutPort& out = topo_.out_port(sw, output);
+    const std::size_t queued =
+        switches_[static_cast<std::size_t>(out.to.sw)]->occupancy(
+            out.to.port);
+    if (queued >= options_.link_buffer_capacity) {
+      paused_[static_cast<std::size_t>(sw)].insert(output);
+      ++pauses_applied_;
+    }
+  }
+}
+
+void NetworkFabric::release_relays(SlotTime now) {
+  for (int link = 0; link < topo_.num_internal_links(); ++link) {
+    auto& queue = relay_[static_cast<std::size_t>(link)];
+    if (queue.empty()) continue;
+    const auto [sw, output] = topo_.link_source(link);
+    const LinkEnd to = topo_.out_port(sw, output).to;
+    // A held-back cell waits until a successor exists, then lets it
+    // overtake: the successor releases first, the held cell follows in
+    // a later slot — a genuinely reordering link.
+    std::size_t pick = 0;
+    if (queue.front().hold_back) {
+      if (queue.size() < 2) continue;  // no successor to overtake yet
+      pick = 1;
+      queue.front().hold_back = false;  // overtaken once; release next
+    }
+    RelayCell cell = queue[pick];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+    cell.packet.arrival = now;
+    if (observer_ != nullptr) {
+      observer_->on_hop(*this, HopEvent{
+                                   .slot = now,
+                                   .from_sw = sw,
+                                   .output = output,
+                                   .to_sw = to.sw,
+                                   .input = to.port,
+                                   .packet = cell.packet,
+                                   .flight_arrival = cell.flight_arrival,
+                               });
+    }
+    const bool accepted =
+        switches_[static_cast<std::size_t>(to.sw)]->inject(cell.packet);
+    FIFOMS_ASSERT(accepted, "relay target refused an unbounded inject");
+    if (!element_auditors_.empty())
+      element_auditors_[static_cast<std::size_t>(to.sw)]->on_inject(
+          *switches_[static_cast<std::size_t>(to.sw)], cell.packet);
+  }
+}
+
+void NetworkFabric::purge_copies(Flight& flight, PacketId id,
+                                 const PortSet& covered, SlotResult& result) {
+  Packet probe;
+  probe.id = id;
+  const std::uint64_t tag = probe.payload_tag();
+  for (PortId ext : covered) {
+    FIFOMS_ASSERT(flight.remaining.contains(ext),
+                  "purged copy already delivered or purged");
+    flight.remaining.erase(ext);
+    result.purged.push_back(Delivery{
+        .packet = id,
+        .input = flight.ext_input,
+        .output = ext,
+        .arrival = flight.arrival,
+        .payload_tag = tag,
+    });
+    ++copies_purged_;
+    --pending_copies_;
+  }
+}
+
+void NetworkFabric::process_switch_results(SlotTime now, SlotResult& result) {
+  for (int sw = 0; sw < topo_.num_switches(); ++sw) {
+    SlotResult& sub = sub_results_[static_cast<std::size_t>(sw)];
+    const int stage = topo_.stage_of(sw);
+    // Purges first (the element purges at the top of its step).  Each
+    // purged per-hop copy retires every external destination it was
+    // still responsible for.
+    for (const Delivery& d : sub.purged) {
+      const auto it = flights_.find(d.packet);
+      FIFOMS_ASSERT(it != flights_.end(), "purged copy of unknown packet");
+      Flight& flight = it->second;
+      purge_copies(flight, d.packet,
+                   topo_.reachable_externals(sw, d.output, flight.dests),
+                   result);
+      if (flight.remaining.empty()) flights_.erase(it);
+    }
+    for (const Delivery& d : sub.deliveries) {
+      const auto it = flights_.find(d.packet);
+      FIFOMS_ASSERT(it != flights_.end(), "delivered copy of unknown packet");
+      Flight& flight = it->second;
+      // d.arrival is the per-hop stamp: service delay at this element.
+      hop_delay_[static_cast<std::size_t>(stage)].add(
+          static_cast<double>(now - d.arrival));
+      const OutPort& out = topo_.out_port(sw, d.output);
+      if (out.external) {
+        FIFOMS_ASSERT(flight.remaining.contains(out.ext),
+                      "external copy delivered twice");
+        flight.remaining.erase(out.ext);
+        end_to_end_delay_.add(static_cast<double>(now - flight.arrival));
+        result.deliveries.push_back(Delivery{
+            .packet = d.packet,
+            .input = flight.ext_input,
+            .output = out.ext,
+            .arrival = flight.arrival,  // end-to-end delay for metrics
+            .payload_tag = d.payload_tag,
+        });
+        ++copies_delivered_;
+        --pending_copies_;
+        if (flight.remaining.empty()) flights_.erase(it);
+        continue;
+      }
+      // Internal transfer across one link.
+      ++transfer_seq_;
+      if (options_.mutant_drop_every > 0 &&
+          transfer_seq_ %
+                  static_cast<std::uint64_t>(options_.mutant_drop_every) ==
+              0)
+        continue;  // mutant: the copy silently evaporates mid-stage
+      if (!fault_states_.empty() &&
+          fault_states_[static_cast<std::size_t>(out.to.sw)]
+              .failed_inputs()
+              .contains(out.to.port)) {
+        // The wire works but the downstream line card is off the bus:
+        // everything this copy still covered is lost (and accounted).
+        purge_copies(flight, d.packet,
+                     topo_.reachable_externals(sw, d.output, flight.dests),
+                     result);
+        if (flight.remaining.empty()) flights_.erase(it);
+        continue;
+      }
+      const Packet hop{
+          .id = d.packet,
+          .input = out.to.port,
+          .arrival = now,  // per-hop stamp; the link costs one slot
+          .destinations = topo_.hop_destinations(
+              out.to.sw, out.to.port, flight.ext_input, flight.dests),
+          .priority = flight.priority,
+      };
+      ++forwarded_cells_;
+      if (options_.mutant_reorder_every > 0) {
+        // Mutant: park the cell in the link's relay queue, marking
+        // every k-th cell to be overtaken by its successor.
+        auto& queue = relay_[static_cast<std::size_t>(out.link)];
+        ++relay_seq_;
+        const bool held =
+            relay_seq_ % static_cast<std::uint64_t>(
+                             options_.mutant_reorder_every) ==
+            0;
+        queue.push_back(RelayCell{hop, flight.arrival, held});
+        continue;
+      }
+      if (observer_ != nullptr) {
+        observer_->on_hop(*this, HopEvent{
+                                     .slot = now,
+                                     .from_sw = sw,
+                                     .output = d.output,
+                                     .to_sw = out.to.sw,
+                                     .input = out.to.port,
+                                     .packet = hop,
+                                     .flight_arrival = flight.arrival,
+                                 });
+      }
+      const bool accepted =
+          switches_[static_cast<std::size_t>(out.to.sw)]->inject(hop);
+      FIFOMS_ASSERT(accepted, "downstream element refused an inject");
+      if (!element_auditors_.empty())
+        element_auditors_[static_cast<std::size_t>(out.to.sw)]->on_inject(
+            *switches_[static_cast<std::size_t>(out.to.sw)], hop);
+    }
+    result.rounds = std::max(result.rounds, sub.rounds);
+    result.matched_pairs += sub.matched_pairs;
+  }
+}
+
+void NetworkFabric::step(SlotTime now, Rng& rng, SlotResult& result) {
+  advance_faults(now);
+  if (options_.mutant_reorder_every > 0) release_relays(now);
+  compute_backpressure();
+  // Elements only schedule cells that arrived in earlier slots, so the
+  // fixed stepping order cannot leak state between elements in-slot; the
+  // shared RNG makes the whole fabric one deterministic stream.
+  for (int sw = 0; sw < topo_.num_switches(); ++sw) {
+    SlotResult& sub = sub_results_[static_cast<std::size_t>(sw)];
+    sub.clear();
+    switches_[static_cast<std::size_t>(sw)]->step(now, rng, sub);
+  }
+  process_switch_results(now, result);
+  if (!element_auditors_.empty()) {
+    for (int sw = 0; sw < topo_.num_switches(); ++sw)
+      element_auditors_[static_cast<std::size_t>(sw)]->on_slot(
+          now, *switches_[static_cast<std::size_t>(sw)],
+          sub_results_[static_cast<std::size_t>(sw)]);
+  }
+  if (observer_ != nullptr) observer_->on_net_slot(now, *this, result);
+}
+
+std::size_t NetworkFabric::occupancy(PortId port) const {
+  FIFOMS_ASSERT(port >= 0 && port < occupancy_ports(),
+                "occupancy port out of range");
+  const int sw = port / topo_.radix();
+  return switches_[static_cast<std::size_t>(sw)]->occupancy(
+      port % topo_.radix());
+}
+
+std::size_t NetworkFabric::total_buffered() const {
+  std::size_t total = 0;
+  for (const auto& sw : switches_) total += sw->total_buffered();
+  for (const auto& queue : relay_) total += queue.size();
+  return total;
+}
+
+void NetworkFabric::clear() {
+  for (auto& sw : switches_) sw->clear();
+  for (auto& queue : relay_) queue.clear();
+  for (PortSet& mask : paused_) mask.clear();
+  flights_.clear();
+  rebuild_fault_states();
+  for (auto& auditor : element_auditors_) auditor->reset();
+  dropped_ = 0;
+  copies_injected_ = copies_delivered_ = copies_purged_ = 0;
+  pending_copies_ = forwarded_cells_ = pauses_applied_ = 0;
+  transfer_seq_ = relay_seq_ = 0;
+  for (RunningStat& stat : hop_delay_) stat.reset();
+  end_to_end_delay_.reset();
+}
+
+void NetworkFabric::set_fault_state(const fault::FaultState* faults) {
+  FIFOMS_ASSERT(faults == nullptr,
+                "single-switch fault plans do not apply to a fabric; use "
+                "set_net_fault_plan");
+}
+
+void NetworkFabric::set_net_fault_plan(const NetFaultPlan* plan) {
+  fault_plan_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+  if (fault_plan_ != nullptr)
+    FIFOMS_ASSERT(fault_plan_->num_switches() == topo_.num_switches(),
+                  "fault plan built for a different topology");
+  rebuild_fault_states();
+}
+
+void NetworkFabric::rebuild_fault_states() {
+  fault_states_.clear();
+  faults_advanced_to_ = -1;
+  if (fault_plan_ == nullptr) {
+    for (auto& sw : switches_) sw->set_fault_state(nullptr);
+    return;
+  }
+  fault_states_.reserve(static_cast<std::size_t>(topo_.num_switches()));
+  for (int sw = 0; sw < topo_.num_switches(); ++sw)
+    fault_states_.emplace_back(fault_plan_->plan_for(sw));
+  for (int sw = 0; sw < topo_.num_switches(); ++sw)
+    switches_[static_cast<std::size_t>(sw)]->set_fault_state(
+        &fault_states_[static_cast<std::size_t>(sw)]);
+}
+
+const VoqSwitch& NetworkFabric::switch_at(int sw) const {
+  FIFOMS_ASSERT(sw >= 0 && sw < topo_.num_switches(),
+                "switch id out of range");
+  return *switches_[static_cast<std::size_t>(sw)];
+}
+
+const RunningStat& NetworkFabric::hop_delay(int stage) const {
+  FIFOMS_ASSERT(stage >= 0 && stage < topo_.num_stages(),
+                "stage out of range");
+  return hop_delay_[static_cast<std::size_t>(stage)];
+}
+
+std::uint64_t NetworkFabric::queued_external_copies() const {
+  std::uint64_t total = 0;
+  const auto covered_by = [this](int sw, PortId output, PacketId id) {
+    const auto it = flights_.find(id);
+    FIFOMS_ASSERT(it != flights_.end(), "queued cell of unknown packet");
+    return topo_.reachable_externals(sw, output, it->second.dests).count();
+  };
+  for (int sw = 0; sw < topo_.num_switches(); ++sw) {
+    const VoqSwitch& element = *switches_[static_cast<std::size_t>(sw)];
+    for (PortId in = 0; in < topo_.radix(); ++in) {
+      const McVoqInput& port = element.input(in);
+      for (int priority = 0; priority < port.num_classes(); ++priority) {
+        for (PortId output : port.occupied()) {
+          const RingBuffer<AddressCell>& ring =
+              port.address_cells(priority, output);
+          for (std::size_t i = 0; i < ring.size(); ++i)
+            total += static_cast<std::uint64_t>(
+                covered_by(sw, output, ring[i].packet));
+        }
+      }
+    }
+  }
+  for (int link = 0; link < topo_.num_internal_links(); ++link) {
+    const auto& queue = relay_[static_cast<std::size_t>(link)];
+    if (queue.empty()) continue;
+    const auto [sw, output] = topo_.link_source(link);
+    const LinkEnd to = topo_.out_port(sw, output).to;
+    for (const RelayCell& cell : queue) {
+      // A relayed cell already carries its per-hop destination set for
+      // the downstream element; those hop outputs partition its share.
+      for (PortId output_next : cell.packet.destinations)
+        total += static_cast<std::uint64_t>(
+            covered_by(to.sw, output_next, cell.packet.id));
+    }
+  }
+  return total;
+}
+
+}  // namespace fifoms::net

@@ -1,0 +1,193 @@
+// NetworkFabric: a multistage switching network that IS a SwitchModel.
+//
+// The fabric composes square VoqSwitch elements along a Topology: external
+// ports on the outside, synchronous 1-slot links on the inside.  Every
+// slot it (1) applies the slot's network fault events, (2) computes the
+// link-level backpressure masks from downstream buffer occupancy,
+// (3) steps every element with a shared RNG in fixed index order, and
+// (4) moves the slot's transfers: copies served on an internal wire are
+// re-injected into the downstream element with a fresh per-hop arrival
+// stamp and a per-hop destination set from Topology::hop_destinations —
+// so a multicast cell replicates as late as possible along its tree.
+// Copies served on an external wire leave the fabric as ordinary
+// Delivery records carrying the flight's ORIGINAL arrival slot, which
+// makes the simulator's delay pipeline measure true end-to-end latency
+// with no changes.
+//
+// Because every element schedules only cells that arrived in earlier
+// slots, stepping order cannot leak information between elements inside
+// a slot: the fabric is deterministic in (topology, seed) and — through
+// the degenerate single(n) topology — bit-identical to a bare VoqSwitch
+// (same matchings, same metrics, same RNG draws), the golden anchor the
+// differential tests pin.
+//
+// Backpressure: an internal wire is paused for a slot when its
+// downstream input buffer held >= link_buffer_capacity data cells at the
+// top of the slot.  Paused wires are merged into the element's
+// ScheduleConstraints::failed_outputs, so the scheduler simply never
+// grants them; with at most one arrival per input per slot the
+// downstream buffer can never exceed its capacity (the bounded-buffer
+// network invariant).  An empty pause mask takes the unconstrained
+// scheduler path, keeping fault-free runs bit-identical to the
+// pre-backpressure behaviour.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/auditor.hpp"
+#include "fault/fault.hpp"
+#include "net/net_fault.hpp"
+#include "net/net_observer.hpp"
+#include "net/topology.hpp"
+#include "sim/voq_switch.hpp"
+#include "stats/welford.hpp"
+
+namespace fifoms::net {
+
+class NetworkFabric final : public SwitchModel {
+ public:
+  /// Builds one scheduler instance per switch element.
+  using SchedulerFactory = std::function<std::unique_ptr<VoqScheduler>()>;
+
+  struct Options {
+    /// Data cells buffered per internal (inter-stage) input before the
+    /// upstream wire is backpressured; 0 = unbounded (no backpressure).
+    std::size_t link_buffer_capacity = 32;
+    /// Degradation policy of every element (docs/FAULTS.md).
+    StrandedCellPolicy stranded_policy = StrandedCellPolicy::kHold;
+    /// QoS classes of every element (1 = the paper's structure).
+    int num_classes = 1;
+    /// Attach a MatchingAuditor to every element so each hop is audited
+    /// as a full single-switch run (FIFOMS_AUDIT builds only; a no-op
+    /// when the checks are compiled out).
+    bool audit_switches = false;
+    /// Test-only mutant: silently discard every k-th copy crossing an
+    /// internal link.  Exists to prove the network auditor's end-to-end
+    /// conservation check has teeth; never set it in a real config.
+    int mutant_drop_every = 0;
+    /// Test-only mutant: route internal transfers through per-link relay
+    /// queues and hold every k-th cell back until its successor on the
+    /// same link overtakes it — a link that reorders.  Proves the
+    /// per-flow FIFO network check.
+    int mutant_reorder_every = 0;
+    /// Test-only mutant: elements skip fault masking, so cells are
+    /// forwarded across failed inter-stage links.  Proves the
+    /// no-forwarding-on-a-failed-link network check.
+    bool mutant_skip_fault_masking = false;
+    /// Test-only mutant: never pause a wire, so a bounded inter-stage
+    /// buffer can overflow.  Proves the bounded-buffer network check.
+    bool mutant_skip_backpressure = false;
+  };
+
+  NetworkFabric(Topology topology, const SchedulerFactory& scheduler_factory);
+  NetworkFabric(Topology topology, const SchedulerFactory& scheduler_factory,
+                Options options);
+
+  // ---- SwitchModel surface (external ports) -----------------------------
+  std::string_view name() const override { return name_; }
+  int num_inputs() const override { return topo_.num_external_inputs(); }
+  int num_outputs() const override { return topo_.num_external_outputs(); }
+  bool inject(const Packet& packet) override;
+  std::uint64_t dropped_packets() const override { return dropped_; }
+  void step(SlotTime now, Rng& rng, SlotResult& result) override;
+  /// Per-port queue metric: data cells buffered at input `port % radix`
+  /// of element `port / radix` (every internal buffer is visible).
+  std::size_t occupancy(PortId port) const override;
+  int occupancy_ports() const override {
+    return topo_.num_switches() * topo_.radix();
+  }
+  std::size_t total_buffered() const override;
+  void clear() override;
+  /// Single-switch fault plans do not apply to a fabric; attach a
+  /// NetFaultPlan via set_net_fault_plan instead.  Panics unless null.
+  void set_fault_state(const fault::FaultState* faults) override;
+
+  // ---- Network surface --------------------------------------------------
+  const Topology& topology() const { return topo_; }
+  const Options& options() const { return options_; }
+  const VoqSwitch& switch_at(int sw) const;
+  /// Attach (or detach) a network fault plan.  The plan must outlive the
+  /// fabric or the next set_net_fault_plan/clear call.
+  void set_net_fault_plan(const NetFaultPlan* plan);
+  void set_observer(NetObserver* observer) { observer_ = observer; }
+
+  /// Copies accepted at external inputs / delivered at external outputs /
+  /// lost to faults (stranded-purge or a dead internal line card).
+  std::uint64_t copies_injected() const { return copies_injected_; }
+  std::uint64_t copies_delivered() const { return copies_delivered_; }
+  std::uint64_t copies_purged() const { return copies_purged_; }
+  /// Outstanding external copies (accepted, not yet delivered or purged).
+  std::uint64_t pending_copies() const { return pending_copies_; }
+  /// Copies that crossed an internal link (0 on the single topology).
+  std::uint64_t forwarded_cells() const { return forwarded_cells_; }
+  /// Wires paused by backpressure, summed over slots.
+  std::uint64_t pauses_applied() const { return pauses_applied_; }
+
+  /// Per-stage hop latency (service delay at each element) and true
+  /// end-to-end delay of delivered copies, over the whole run.
+  const RunningStat& hop_delay(int stage) const;
+  const RunningStat& end_to_end_delay() const { return end_to_end_delay_; }
+
+  /// Structural ground truth for the conservation audit: walk every VOQ
+  /// ring of every element plus the relay queues and count the external
+  /// copies the queued cells are still responsible for.  Must equal
+  /// pending_copies() at every end-of-slot.
+  std::uint64_t queued_external_copies() const;
+
+ private:
+  struct Flight {  // one live external packet
+    PortId ext_input = kNoPort;
+    SlotTime arrival = 0;
+    int priority = 0;
+    PortSet dests;      ///< original external destination set (route key)
+    PortSet remaining;  ///< externals not yet delivered or purged
+  };
+  struct RelayCell {  // mutant_reorder_every only
+    Packet packet;
+    SlotTime flight_arrival = 0;
+    bool hold_back = false;  ///< wait for a successor to overtake first
+  };
+
+  /// Apply the fault events of slot `now` exactly once (first touch wins:
+  /// inject() for arrivals of the slot, else step()).
+  void advance_faults(SlotTime now);
+  void compute_backpressure();
+  /// Account `covered` external copies of `flight` as purged.
+  void purge_copies(Flight& flight, PacketId id, const PortSet& covered,
+                    SlotResult& result);
+  void process_switch_results(SlotTime now, SlotResult& result);
+  void release_relays(SlotTime now);
+  void rebuild_fault_states();
+
+  Topology topo_;
+  Options options_;
+  std::string name_;
+  std::vector<std::unique_ptr<VoqSwitch>> switches_;
+  std::vector<std::unique_ptr<MatchingAuditor>> element_auditors_;
+  std::vector<PortSet> paused_;          // per switch, stable addresses
+  std::vector<SlotResult> sub_results_;  // reused across slots
+  std::vector<std::deque<RelayCell>> relay_;  // per internal link
+  std::unordered_map<PacketId, Flight> flights_;
+  const NetFaultPlan* fault_plan_ = nullptr;
+  std::vector<fault::FaultState> fault_states_;  // per switch, iff plan
+  SlotTime faults_advanced_to_ = -1;
+  NetObserver* observer_ = nullptr;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t copies_injected_ = 0;
+  std::uint64_t copies_delivered_ = 0;
+  std::uint64_t copies_purged_ = 0;
+  std::uint64_t pending_copies_ = 0;
+  std::uint64_t forwarded_cells_ = 0;
+  std::uint64_t pauses_applied_ = 0;
+  std::uint64_t transfer_seq_ = 0;  // mutant counters
+  std::uint64_t relay_seq_ = 0;
+  std::vector<RunningStat> hop_delay_;  // per stage
+  RunningStat end_to_end_delay_;
+};
+
+}  // namespace fifoms::net

@@ -1,0 +1,293 @@
+#include "net/topology.hpp"
+
+namespace fifoms::net {
+
+namespace {
+
+// Fat-tree half-radix: external ports (and uplinks) per leaf.
+int half(int k) { return k / 2; }
+
+}  // namespace
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSingle: return "single";
+    case TopologyKind::kClos3: return "clos3";
+    case TopologyKind::kFatTree2: return "fat-tree2";
+  }
+  FIFOMS_ASSERT(false, "unknown topology kind");
+}
+
+Topology Topology::single_switch(int num_ports) {
+  FIFOMS_ASSERT(num_ports >= 1 && num_ports <= kMaxPorts,
+                "single topology: port count out of range");
+  Topology t;
+  t.kind_ = TopologyKind::kSingle;
+  t.radix_ = num_ports;
+  t.num_stages_ = 1;
+  t.num_external_ = num_ports;
+  t.name_ = "single/" + std::to_string(num_ports);
+  t.ingress_.resize(static_cast<std::size_t>(num_ports));
+  t.out_ports_.resize(1);
+  t.out_ports_[0].resize(static_cast<std::size_t>(num_ports));
+  for (PortId p = 0; p < num_ports; ++p) {
+    t.ingress_[static_cast<std::size_t>(p)] = LinkEnd{0, p};
+    t.out_ports_[0][static_cast<std::size_t>(p)] =
+        OutPort{.external = true, .ext = p, .to = {}, .link = -1};
+  }
+  return t;
+}
+
+Topology Topology::clos3(int k) {
+  FIFOMS_ASSERT(k >= 1 && k * k <= kMaxPorts,
+                "clos3 topology: k out of range (need k*k <= kMaxPorts)");
+  Topology t;
+  t.kind_ = TopologyKind::kClos3;
+  t.radix_ = k;
+  t.num_stages_ = 3;
+  t.num_external_ = k * k;
+  t.name_ = "clos3/" + std::to_string(k);
+  const auto sk = static_cast<std::size_t>(k);
+  t.ingress_.resize(sk * sk);
+  t.out_ports_.resize(3 * sk);
+  for (auto& row : t.out_ports_) row.resize(sk);
+  // External input i enters ingress switch i/k at port i%k.
+  for (PortId i = 0; i < k * k; ++i)
+    t.ingress_[static_cast<std::size_t>(i)] = LinkEnd{i / k, i % k};
+  // Ingress g, output j  ->  middle k+j, input g.
+  for (int g = 0; g < k; ++g) {
+    for (PortId j = 0; j < k; ++j) {
+      const int link = static_cast<int>(t.links_.size());
+      t.links_.emplace_back(g, j);
+      t.out_ports_[static_cast<std::size_t>(g)][static_cast<std::size_t>(j)] =
+          OutPort{.external = false,
+                  .ext = kNoPort,
+                  .to = LinkEnd{k + j, g},
+                  .link = link};
+    }
+  }
+  // Middle k+j, output e  ->  egress 2k+e, input j.
+  for (int j = 0; j < k; ++j) {
+    for (PortId e = 0; e < k; ++e) {
+      const int link = static_cast<int>(t.links_.size());
+      t.links_.emplace_back(k + j, e);
+      t.out_ports_[static_cast<std::size_t>(k + j)]
+                  [static_cast<std::size_t>(e)] =
+          OutPort{.external = false,
+                  .ext = kNoPort,
+                  .to = LinkEnd{2 * k + e, j},
+                  .link = link};
+    }
+  }
+  // Egress 2k+e, output o  ->  external e*k + o.
+  for (int e = 0; e < k; ++e) {
+    for (PortId o = 0; o < k; ++o) {
+      t.out_ports_[static_cast<std::size_t>(2 * k + e)]
+                  [static_cast<std::size_t>(o)] =
+          OutPort{.external = true, .ext = e * k + o, .to = {}, .link = -1};
+    }
+  }
+  return t;
+}
+
+Topology Topology::fat_tree2(int k) {
+  FIFOMS_ASSERT(k >= 2 && k % 2 == 0,
+                "fat_tree2 topology: k must be even and >= 2");
+  FIFOMS_ASSERT(k * half(k) <= kMaxPorts,
+                "fat_tree2 topology: k out of range");
+  Topology t;
+  const int h = half(k);
+  t.kind_ = TopologyKind::kFatTree2;
+  t.radix_ = k;
+  t.num_stages_ = 2;
+  t.num_external_ = k * h;
+  t.name_ = "fat-tree2/" + std::to_string(k);
+  const auto sk = static_cast<std::size_t>(k);
+  t.ingress_.resize(static_cast<std::size_t>(k * h));
+  t.out_ports_.resize(sk + static_cast<std::size_t>(h));
+  for (auto& row : t.out_ports_) row.resize(sk);
+  // External input i enters leaf i/h at port i%h (ports 0..h-1 are the
+  // leaf's external side; ports h..k-1 are its uplinks).
+  for (PortId i = 0; i < k * h; ++i)
+    t.ingress_[static_cast<std::size_t>(i)] = LinkEnd{i / h, i % h};
+  for (int leaf = 0; leaf < k; ++leaf) {
+    // Leaf outputs 0..h-1 are external; h+s is the uplink to spine s.
+    for (PortId j = 0; j < h; ++j) {
+      t.out_ports_[static_cast<std::size_t>(leaf)][static_cast<std::size_t>(
+          j)] = OutPort{
+          .external = true, .ext = leaf * h + j, .to = {}, .link = -1};
+    }
+    for (int s = 0; s < h; ++s) {
+      const int link = static_cast<int>(t.links_.size());
+      t.links_.emplace_back(leaf, static_cast<PortId>(h + s));
+      t.out_ports_[static_cast<std::size_t>(leaf)]
+                  [static_cast<std::size_t>(h + s)] =
+          OutPort{.external = false,
+                  .ext = kNoPort,
+                  .to = LinkEnd{k + s, static_cast<PortId>(leaf)},
+                  .link = link};
+    }
+  }
+  // Spine s, output L  ->  leaf L, input h+s (the folded return wire).
+  for (int s = 0; s < h; ++s) {
+    for (PortId leaf = 0; leaf < k; ++leaf) {
+      const int link = static_cast<int>(t.links_.size());
+      t.links_.emplace_back(k + s, leaf);
+      t.out_ports_[static_cast<std::size_t>(k + s)]
+                  [static_cast<std::size_t>(leaf)] =
+          OutPort{.external = false,
+                  .ext = kNoPort,
+                  .to = LinkEnd{leaf, static_cast<PortId>(h + s)},
+                  .link = link};
+    }
+  }
+  return t;
+}
+
+int Topology::stage_of(int sw) const {
+  FIFOMS_ASSERT(sw >= 0 && sw < num_switches(), "switch id out of range");
+  switch (kind_) {
+    case TopologyKind::kSingle: return 0;
+    case TopologyKind::kClos3: return sw / radix_;
+    case TopologyKind::kFatTree2: return sw < radix_ ? 0 : 1;
+  }
+  FIFOMS_ASSERT(false, "unknown topology kind");
+}
+
+LinkEnd Topology::ingress_of(PortId ext) const {
+  FIFOMS_ASSERT(ext >= 0 && ext < num_external_,
+                "external input out of range");
+  return ingress_[static_cast<std::size_t>(ext)];
+}
+
+const OutPort& Topology::out_port(int sw, PortId output) const {
+  FIFOMS_ASSERT(sw >= 0 && sw < num_switches(), "switch id out of range");
+  FIFOMS_ASSERT(output >= 0 && output < radix_, "output port out of range");
+  return out_ports_[static_cast<std::size_t>(sw)]
+                   [static_cast<std::size_t>(output)];
+}
+
+std::pair<int, PortId> Topology::link_source(int link) const {
+  FIFOMS_ASSERT(link >= 0 && link < num_internal_links(),
+                "link index out of range");
+  return links_[static_cast<std::size_t>(link)];
+}
+
+PortSet Topology::hop_destinations(int sw, PortId in_port, PortId ext_input,
+                                   const PortSet& dests) const {
+  FIFOMS_ASSERT(sw >= 0 && sw < num_switches(), "switch id out of range");
+  FIFOMS_ASSERT(in_port >= 0 && in_port < radix_, "input port out of range");
+  FIFOMS_ASSERT(ext_input >= 0 && ext_input < num_external_,
+                "external input out of range");
+  FIFOMS_ASSERT(!dests.empty(), "empty destination set");
+  PortSet out;
+  switch (kind_) {
+    case TopologyKind::kSingle:
+      return dests;
+    case TopologyKind::kClos3: {
+      const int k = radix_;
+      const int stage = sw / k;
+      if (stage == 0) {
+        // Ingress: one copy to the flow's pinned middle switch.
+        return PortSet::single(ext_input % k);
+      }
+      if (stage == 1) {
+        // Middle: one copy per egress switch that owns a destination.
+        for (PortId d : dests) out.insert(d / k);
+        return out;
+      }
+      // Egress e: the local output ports of the destinations it owns.
+      const int e = sw - 2 * k;
+      for (PortId d : dests)
+        if (d / k == e) out.insert(d % k);
+      FIFOMS_ASSERT(!out.empty(), "cell routed to an egress it never needed");
+      return out;
+    }
+    case TopologyKind::kFatTree2: {
+      const int k = radix_;
+      const int h = half(k);
+      if (sw >= k) {
+        // Spine: one copy per remote leaf that owns a destination (spine
+        // output port L is the wire down to leaf L).  Destinations local
+        // to the SOURCE leaf were already served when the cell hairpinned
+        // there — echoing them back down would deliver them twice.
+        const int source_leaf = ext_input / h;
+        for (PortId d : dests)
+          if (d / h != source_leaf) out.insert(d / h);
+        FIFOMS_ASSERT(!out.empty(),
+                      "cell uplinked to a spine it never needed");
+        return out;
+      }
+      // Leaf.  Copies returning from a spine (in_port >= h) only fan to
+      // the local external side; fresh ingress cells additionally take
+      // the flow's pinned uplink when any destination is remote.
+      const int leaf = sw;
+      bool remote = false;
+      for (PortId d : dests) {
+        if (d / h == leaf) {
+          out.insert(d % h);
+        } else {
+          remote = true;
+        }
+      }
+      if (in_port < h && remote) out.insert(h + ext_input % h);
+      FIFOMS_ASSERT(!out.empty(), "cell routed to a leaf it never needed");
+      return out;
+    }
+  }
+  FIFOMS_ASSERT(false, "unknown topology kind");
+}
+
+PortSet Topology::reachable_externals(int sw, PortId output,
+                                      const PortSet& dests) const {
+  FIFOMS_ASSERT(sw >= 0 && sw < num_switches(), "switch id out of range");
+  FIFOMS_ASSERT(output >= 0 && output < radix_, "output port out of range");
+  PortSet out;
+  switch (kind_) {
+    case TopologyKind::kSingle:
+      FIFOMS_ASSERT(dests.contains(output),
+                    "queued copy outside its destination set");
+      return PortSet::single(output);
+    case TopologyKind::kClos3: {
+      const int k = radix_;
+      const int stage = sw / k;
+      // Ingress uplink: still responsible for the whole set.
+      if (stage == 0) return dests;
+      if (stage == 1) {
+        // Middle output e covers the destinations egress e owns.
+        for (PortId d : dests)
+          if (d / k == output) out.insert(d);
+        return out;
+      }
+      const int e = sw - 2 * k;
+      const PortId ext = e * k + output;
+      FIFOMS_ASSERT(dests.contains(ext),
+                    "queued copy outside its destination set");
+      return PortSet::single(ext);
+    }
+    case TopologyKind::kFatTree2: {
+      const int k = radix_;
+      const int h = half(k);
+      if (sw >= k) {
+        // Spine output L covers the destinations local to leaf L.
+        for (PortId d : dests)
+          if (d / h == output) out.insert(d);
+        return out;
+      }
+      const int leaf = sw;
+      if (output < h) {
+        const PortId ext = leaf * h + output;
+        FIFOMS_ASSERT(dests.contains(ext),
+                      "queued copy outside its destination set");
+        return PortSet::single(ext);
+      }
+      // Uplink: responsible for every destination not local to this leaf.
+      for (PortId d : dests)
+        if (d / h != leaf) out.insert(d);
+      return out;
+    }
+  }
+  FIFOMS_ASSERT(false, "unknown topology kind");
+}
+
+}  // namespace fifoms::net

@@ -1,0 +1,121 @@
+// Topology: the static wiring and routing descriptor of a multistage
+// switching network built from square VOQ switch elements.
+//
+// Three shapes are supported (docs/NETWORK.md):
+//
+//   * single_switch(n) — one n-port switch, zero internal links.  The
+//     degenerate anchor: a NetworkFabric over this topology must be
+//     bit-identical to a bare VoqSwitch run.
+//   * clos3(k)     — the symmetric 3-stage Clos C(k, k, k): k ingress,
+//     k middle and k egress switches of radix k, k*k external ports.
+//     Every ingress reaches every middle switch and every middle switch
+//     reaches every egress switch (full bipartite wiring per stage pair).
+//   * fat_tree2(k) — a 2-level folded Clos (leaf/spine fat tree): k leaf
+//     switches of radix k (k/2 external ports + k/2 uplinks) and k/2
+//     spine switches of radix k, k*k/2 external ports.  Traffic local to
+//     a leaf hairpins in one hop; remote traffic takes leaf-spine-leaf.
+//
+// Routing is deterministic and input-pinned: the middle/spine element a
+// flow uses is a pure function of its external input (ext % k for the
+// Clos, ext % (k/2) for the fat tree), never of the destination set or
+// any RNG draw.  All copies of all cells of one flow therefore share one
+// path per (flow, egress) pair, which is what makes per-flow FIFO order
+// along a route a network invariant rather than a statistical accident.
+//
+// Multicast trees fall out of the same rule: hop_destinations() expands a
+// cell's original external destination set into the per-hop fanout set at
+// each traversed switch (ingress: one uplink; middle: the set of egress
+// switches it must cover; egress: the local output ports), so a copy is
+// replicated as late as possible — the classic multicast-tree economy.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/panic.hpp"
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+
+namespace fifoms::net {
+
+enum class TopologyKind {
+  kSingle,    ///< one switch, no internal links
+  kClos3,     ///< 3-stage symmetric Clos C(k, k, k)
+  kFatTree2,  ///< 2-level leaf/spine folded Clos
+};
+
+const char* topology_kind_name(TopologyKind kind);
+
+/// One endpoint of an internal link: an input port of a specific switch.
+struct LinkEnd {
+  int sw = -1;
+  PortId port = kNoPort;
+};
+
+/// Where one (switch, output) wire goes: off the fabric (external) or to
+/// the input of a downstream switch (internal, with a dense link index).
+struct OutPort {
+  bool external = true;
+  PortId ext = kNoPort;  ///< external output id when external
+  LinkEnd to;            ///< downstream endpoint when internal
+  int link = -1;         ///< dense internal-link index, -1 when external
+};
+
+class Topology {
+ public:
+  static Topology single_switch(int num_ports);
+  static Topology clos3(int k);
+  static Topology fat_tree2(int k);
+
+  TopologyKind kind() const { return kind_; }
+  /// Port count of every switch element (all elements are square).
+  int radix() const { return radix_; }
+  int num_switches() const { return static_cast<int>(out_ports_.size()); }
+  int num_stages() const { return num_stages_; }
+  /// Pipeline stage of a switch: 0 = touches external inputs.  For the
+  /// fat tree, leaves are stage 0 and spines stage 1 (a leaf serves both
+  /// the first and the last hop of a remote route).
+  int stage_of(int sw) const;
+  int num_external_inputs() const { return num_external_; }
+  int num_external_outputs() const { return num_external_; }
+  int num_internal_links() const { return static_cast<int>(links_.size()); }
+  const std::string& name() const { return name_; }
+
+  /// The (switch, input port) where external input `ext` enters.
+  LinkEnd ingress_of(PortId ext) const;
+  /// Wiring of one (switch, output port) wire.
+  const OutPort& out_port(int sw, PortId output) const;
+  /// The (switch, output port) driving internal link `link`.
+  std::pair<int, PortId> link_source(int link) const;
+
+  /// The per-hop VOQ fanout set for a cell of flow `ext_input` (original
+  /// external destination set `dests`) arriving at `in_port` of switch
+  /// `sw`: which output ports of `sw` the cell must be copied to.
+  /// `in_port` disambiguates the role of a fat-tree leaf (fresh ingress
+  /// cell vs a copy returning from a spine); the other shapes ignore it.
+  PortSet hop_destinations(int sw, PortId in_port, PortId ext_input,
+                           const PortSet& dests) const;
+
+  /// The external destinations a copy queued at (sw, output) is still
+  /// responsible for, given the cell's original destination set.  Over
+  /// the outputs a cell is fanned to at one switch these sets partition
+  /// the destinations the cell carried into that switch — the property
+  /// the purge accounting and the structural network audit rely on.
+  PortSet reachable_externals(int sw, PortId output,
+                              const PortSet& dests) const;
+
+ private:
+  Topology() = default;
+
+  TopologyKind kind_ = TopologyKind::kSingle;
+  int radix_ = 0;
+  int num_stages_ = 1;
+  int num_external_ = 0;
+  std::string name_;
+  std::vector<LinkEnd> ingress_;                 // per external input
+  std::vector<std::vector<OutPort>> out_ports_;  // [sw][output]
+  std::vector<std::pair<int, PortId>> links_;    // dense internal links
+};
+
+}  // namespace fifoms::net

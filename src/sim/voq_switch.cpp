@@ -43,11 +43,20 @@ void VoqSwitch::step(SlotTime now, Rng& rng, SlotResult& result) {
     purge_stranded_cells(result);
 
   matching_.reset(num_ports_, num_ports_);
-  if (faulted && !options_.mutant_skip_fault_masking) {
+  const bool masked = faulted && !options_.mutant_skip_fault_masking;
+  const bool pressured =
+      backpressure_ != nullptr && !backpressure_->empty();
+  if (masked || pressured) {
     ScheduleConstraints constraints;
-    constraints.failed_inputs = faults_->failed_inputs();
-    constraints.failed_outputs = faults_->failed_outputs();
-    constraints.failed_links = faults_->failed_links();
+    if (masked) {
+      constraints.failed_inputs = faults_->failed_inputs();
+      constraints.failed_outputs = faults_->failed_outputs();
+      constraints.failed_links = faults_->failed_links();
+    }
+    // A paused output (downstream inter-stage buffer full) is masked
+    // exactly like a failed one for this slot, but without the purge or
+    // sanitize machinery: the cells just wait.
+    if (pressured) constraints.failed_outputs |= *backpressure_;
     // The scheduler seam is the one sanctioned dispatch on this path:
     // every VoqScheduler::schedule implementation carries its own
     // hot-path-root tag, so the analyzer walks the callees directly.

@@ -68,6 +68,14 @@ class VoqSwitch final : public SwitchModel {
   void clear() override;
   void set_fault_state(const fault::FaultState* faults) override;
 
+  /// Attach (or detach, with nullptr) a backpressure mask: outputs the
+  /// surrounding fabric has paused for the current slot (downstream
+  /// buffer full — see src/net/network_fabric.hpp).  The mask is read at
+  /// every step() and merged into the scheduler's constraints exactly
+  /// like failed outputs; an empty (or absent) mask takes the
+  /// unconstrained path, bit-identical to the standalone switch.
+  void set_backpressure(const PortSet* paused) { backpressure_ = paused; }
+
   /// Test access to the queue structure of one input port.
   const McVoqInput& input(PortId port) const;
   VoqScheduler& scheduler() { return *scheduler_; }
@@ -92,6 +100,7 @@ class VoqSwitch final : public SwitchModel {
   SlotMatching matching_;                     // reused across slots
   std::vector<SlotTime> last_arrival_slot_;   // single-arrival enforcement
   const fault::FaultState* faults_ = nullptr;
+  const PortSet* backpressure_ = nullptr;
   std::vector<McVoqInput::Served> purge_scratch_;
 };
 

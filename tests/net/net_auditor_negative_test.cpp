@@ -1,0 +1,129 @@
+// Negative tests for the network auditor: every network invariant has a
+// mutant that violates it, and the auditor must kill each one with its
+// slot-stamped diagnostic.  The mutants live behind NetworkFabric
+// options (a link that drops, a link that reorders, elements that ignore
+// fault masks, a fabric that never backpressures) so the corruption
+// happens inside the real data path, not in a scripted stand-in.
+#include <gtest/gtest.h>
+
+#include "core/fifoms.hpp"
+#include "net/net_auditor.hpp"
+#include "net/net_fault.hpp"
+#include "net/network_fabric.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms::net {
+namespace {
+
+NetworkFabric::SchedulerFactory fifoms_elements() {
+  return [] { return std::make_unique<FifomsScheduler>(); };
+}
+
+// Drive `fabric` with seeded Bernoulli traffic under an armed network
+// auditor; returns only if no invariant fired.
+void drive_audited(NetworkFabric& fabric, SlotTime slots,
+                   const NetFaultPlan* plan = nullptr, double p = 0.8,
+                   double b = 0.5) {
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  if (plan != nullptr) fabric.set_net_fault_plan(plan);
+  BernoulliTraffic traffic(fabric.num_inputs(), p, b);
+  Rng traffic_rng(derive_seed(13, 1, 0));
+  Rng sched_rng(derive_seed(13, 2, 0));
+  traffic.reset(traffic_rng);
+  SlotResult result;
+  PacketId next_id = 1;
+  for (SlotTime now = 0; now < slots; ++now) {
+    for (PortId input = 0; input < fabric.num_inputs(); ++input) {
+      const PortSet dests = traffic.arrival(input, now, traffic_rng);
+      if (dests.empty()) continue;
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = input;
+      packet.arrival = now;
+      packet.destinations = dests;
+      fabric.inject(packet);
+    }
+    result.clear();
+    fabric.step(now, sched_rng, result);
+  }
+}
+
+class NetAuditorNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!NetworkAuditor::enabled())
+      GTEST_SKIP() << "FIFOMS_AUDIT compiled out in this build";
+  }
+};
+
+TEST_F(NetAuditorNegativeTest, DroppingLinkDiesOnConservation) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements(),
+                       NetworkFabric::Options{.mutant_drop_every = 5});
+  EXPECT_DEATH(drive_audited(fabric, 400), "network conservation broken");
+}
+
+TEST_F(NetAuditorNegativeTest, ReorderingLinkDiesOnPerFlowFifo) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements(),
+                       NetworkFabric::Options{.mutant_reorder_every = 3});
+  EXPECT_DEATH(drive_audited(fabric, 600),
+               "per-flow FIFO order violated on route");
+}
+
+TEST_F(NetAuditorNegativeTest, IgnoringFaultMasksDiesOnFailedLinkForward) {
+  NetworkFabric fabric(
+      Topology::clos3(2), fifoms_elements(),
+      NetworkFabric::Options{.mutant_skip_fault_masking = true});
+  // Hold one ingress uplink down for a long window: the mutant elements
+  // keep granting it, and the first copy across the dead wire must die.
+  const NetFaultPlan plan(
+      {{.sw = 0,
+        .event = {.slot = 20, .kind = fault::FaultKind::kOutputDown,
+                  .port = 0}},
+       {.sw = 0,
+        .event = {.slot = 500, .kind = fault::FaultKind::kOutputUp,
+                  .port = 0}}},
+      fabric.topology());
+  EXPECT_DEATH(drive_audited(fabric, 400, &plan),
+               "forwarded on failed inter-stage link");
+}
+
+TEST_F(NetAuditorNegativeTest, SkippingBackpressureDiesOnBufferBound) {
+  NetworkFabric fabric(
+      Topology::clos3(2), fifoms_elements(),
+      NetworkFabric::Options{.link_buffer_capacity = 1,
+                             .mutant_skip_backpressure = true});
+  EXPECT_DEATH(drive_audited(fabric, 400, nullptr, /*p=*/1.0, /*b=*/0.75),
+               "inter-stage buffer over capacity at switch");
+}
+
+// The same configurations without their mutants must run clean under the
+// armed auditor — the checks have teeth, not hair triggers.
+TEST_F(NetAuditorNegativeTest, CleanConfigurationsSurviveTheAuditor) {
+  {
+    NetworkFabric fabric(Topology::clos3(2), fifoms_elements());
+    drive_audited(fabric, 400);
+  }
+  {
+    NetworkFabric fabric(
+        Topology::clos3(2), fifoms_elements(),
+        NetworkFabric::Options{.link_buffer_capacity = 1});
+    drive_audited(fabric, 400, nullptr, /*p=*/1.0, /*b=*/0.75);
+  }
+  {
+    NetworkFabric fabric(Topology::clos3(2), fifoms_elements());
+    const NetFaultPlan plan(
+        {{.sw = 0,
+          .event = {.slot = 20, .kind = fault::FaultKind::kOutputDown,
+                    .port = 0}},
+         {.sw = 0,
+          .event = {.slot = 300, .kind = fault::FaultKind::kOutputUp,
+                    .port = 0}}},
+        fabric.topology());
+    drive_audited(fabric, 400, &plan);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fifoms::net

@@ -1,0 +1,124 @@
+// Seeded determinism of the network layer under the parallel sweep
+// engine: a topology grid over multistage fabrics must produce
+// BYTE-identical CSV output for any worker thread count, exactly like
+// the single-switch sweeps (docs/BENCHMARKING.md).  This extends the
+// thread-count-invariance contract across the src/net/ composition seams
+// — per-hop injection, backpressure, flight bookkeeping — none of which
+// may consume RNG draws dependent on execution order.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "io/csv.hpp"
+#include "net/net_experiment.hpp"
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms::net {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Clos-of-FIFOMS vs the degenerate net-wrapped single switch on the same
+// 16-external-port grid (16 = 4*4 fits both shapes).
+std::string clos_sweep_csv(int threads, const char* name) {
+  SweepConfig config;
+  config.num_ports = 16;
+  config.loads = {0.3, 0.6};
+  config.slots = 1'500;
+  config.replications = 2;
+  config.master_seed = 2026;
+  config.threads = threads;
+
+  const auto points = run_sweep(
+      config, {make_clos3_fifoms(), make_single_net_fifoms()},
+      [](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<UniformFanoutTraffic>(
+            16, UniformFanoutTraffic::p_for_load(load, 4), 4);
+      });
+
+  const std::string path = temp_path(name);
+  write_sweep_csv(path, points);
+  return read_file(path);
+}
+
+// Fat tree on its own grid: 8 external ports needs k = 4.
+std::string fat_tree_sweep_csv(int threads, const char* name) {
+  SweepConfig config;
+  config.num_ports = 8;
+  config.loads = {0.4, 0.7};
+  config.slots = 1'500;
+  config.replications = 2;
+  config.master_seed = 77;
+  config.threads = threads;
+
+  const auto points = run_sweep(
+      config, {make_fat_tree2_fifoms()},
+      [](double load) -> std::unique_ptr<TrafficModel> {
+        return std::make_unique<UniformFanoutTraffic>(
+            8, UniformFanoutTraffic::p_for_load(load, 2), 2);
+      });
+
+  const std::string path = temp_path(name);
+  write_sweep_csv(path, points);
+  return read_file(path);
+}
+
+TEST(NetDeterminism, ClosSweepCsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = clos_sweep_csv(1, "net_clos_t1.csv");
+  const std::string two = clos_sweep_csv(2, "net_clos_t2.csv");
+  const std::string eight = clos_sweep_csv(8, "net_clos_t8.csv");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(NetDeterminism, FatTreeSweepCsvByteIdenticalAcrossThreadCounts) {
+  const std::string serial = fat_tree_sweep_csv(1, "net_ft_t1.csv");
+  const std::string eight = fat_tree_sweep_csv(8, "net_ft_t8.csv");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(NetDeterminism, RepeatedSweepIsBitStable) {
+  const std::string first = clos_sweep_csv(4, "net_clos_run1.csv");
+  const std::string second = clos_sweep_csv(4, "net_clos_run2.csv");
+  EXPECT_EQ(first, second);
+}
+
+TEST(NetDeterminism, RadixDerivationMatchesTheShapes) {
+  EXPECT_EQ(clos3_radix_for_ports(16), 4);
+  EXPECT_EQ(clos3_radix_for_ports(256), 16);
+  EXPECT_EQ(fat_tree2_radix_for_ports(8), 4);
+  EXPECT_EQ(fat_tree2_radix_for_ports(18), 6);
+  EXPECT_EQ(fat_tree2_radix_for_ports(32), 8);
+}
+
+TEST(NetDeterminism, FactoriesBuildTheAdvertisedShapes) {
+  const auto clos = make_clos3_fifoms();
+  EXPECT_EQ(clos.label, "Clos3-FIFOMS");
+  const auto model = clos.make(16);
+  EXPECT_EQ(model->num_inputs(), 16);
+  EXPECT_EQ(model->name(), "net-FIFOMS/clos3/4");
+  const auto tree = make_fat_tree2_fifoms();
+  const auto tree_model = tree.make(8);
+  EXPECT_EQ(tree_model->name(), "net-FIFOMS/fat-tree2/4");
+  const auto single = make_single_net_fifoms();
+  const auto single_model = single.make(8);
+  EXPECT_EQ(single_model->name(), "net-FIFOMS/single/8");
+}
+
+}  // namespace
+}  // namespace fifoms::net

@@ -1,0 +1,255 @@
+// NetFaultPlan validation and network fault scenarios: inter-stage link
+// flaps, ingress and internal line-card loss, and the seeded fault storm
+// — with conservation accounting checked end to end in every case.
+#include <gtest/gtest.h>
+
+#include "core/fifoms.hpp"
+#include "net/net_auditor.hpp"
+#include "net/net_fault.hpp"
+#include "net/network_fabric.hpp"
+#include "net_test_util.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms::net {
+namespace {
+
+using test::drive_fabric;
+using test::DriveResult;
+
+NetworkFabric::SchedulerFactory fifoms_elements() {
+  return [] { return std::make_unique<FifomsScheduler>(); };
+}
+
+TEST(NetFaultPlanTest, RejectsBadSwitchIndex) {
+  const Topology topo = Topology::clos3(2);
+  std::vector<NetFaultEvent> events{
+      {.sw = 99,
+       .event = {.slot = 1, .kind = fault::FaultKind::kOutputDown,
+                 .port = 0}}};
+  EXPECT_THROW(NetFaultPlan(events, topo), fault::FaultError);
+  events[0].sw = -1;
+  EXPECT_THROW(NetFaultPlan(events, topo), fault::FaultError);
+}
+
+TEST(NetFaultPlanTest, RejectsGrantCorruption) {
+  // A corrupted grant bypasses ScheduleConstraints, which is exactly the
+  // seam backpressure rides on — the network layer refuses the kind.
+  const Topology topo = Topology::clos3(2);
+  const std::vector<NetFaultEvent> events{
+      {.sw = 0,
+       .event = {.slot = 5, .kind = fault::FaultKind::kGrantCorrupt,
+                 .port = 1}}};
+  EXPECT_THROW(NetFaultPlan(events, topo), fault::FaultError);
+}
+
+TEST(NetFaultPlanTest, RejectsPerSwitchValidationFailures) {
+  const Topology topo = Topology::clos3(2);
+  // Port out of the element radix.
+  EXPECT_THROW(
+      NetFaultPlan({{.sw = 0,
+                     .event = {.slot = 1,
+                               .kind = fault::FaultKind::kOutputDown,
+                               .port = 7}}},
+                   topo),
+      fault::FaultError);
+  // Double-down on the same output.
+  EXPECT_THROW(
+      NetFaultPlan({{.sw = 1,
+                     .event = {.slot = 1,
+                               .kind = fault::FaultKind::kOutputDown,
+                               .port = 0}},
+                    {.sw = 1,
+                     .event = {.slot = 2,
+                               .kind = fault::FaultKind::kOutputDown,
+                               .port = 0}}},
+                   topo),
+      fault::FaultError);
+}
+
+TEST(NetFaultPlanTest, GroupsEventsBySwitch) {
+  const Topology topo = Topology::clos3(2);
+  const NetFaultPlan plan(
+      {{.sw = 2,
+        .event = {.slot = 10, .kind = fault::FaultKind::kOutputDown,
+                  .port = 1}},
+       {.sw = 2,
+        .event = {.slot = 20, .kind = fault::FaultKind::kOutputUp,
+                  .port = 1}},
+       {.sw = 4,
+        .event = {.slot = 5, .kind = fault::FaultKind::kInputDown,
+                  .port = 0}},
+       {.sw = 4,
+        .event = {.slot = 9, .kind = fault::FaultKind::kInputUp,
+                  .port = 0}}},
+      topo);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.num_switches(), topo.num_switches());
+  EXPECT_EQ(plan.total_events(), 4u);
+  EXPECT_EQ(plan.plan_for(2).events().size(), 2u);
+  EXPECT_EQ(plan.plan_for(4).events().size(), 2u);
+  EXPECT_TRUE(plan.plan_for(0).empty());
+  EXPECT_THROW(plan.plan_for(topo.num_switches()), fault::FaultError);
+}
+
+TEST(NetFaultPlanTest, BuildersAreSeedDeterministic) {
+  const Topology topo = Topology::clos3(4);
+  const NetFaultPlan a = NetFaultPlan::net_fault_storm(topo, 7, 2'000);
+  const NetFaultPlan b = NetFaultPlan::net_fault_storm(topo, 7, 2'000);
+  const NetFaultPlan c = NetFaultPlan::net_fault_storm(topo, 8, 2'000);
+  ASSERT_EQ(a.total_events(), b.total_events());
+  bool any_events = false;
+  bool differs_from_c = a.total_events() != c.total_events();
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    EXPECT_EQ(a.plan_for(sw).events(), b.plan_for(sw).events()) << sw;
+    any_events = any_events || !a.plan_for(sw).empty();
+    differs_from_c =
+        differs_from_c || a.plan_for(sw).events() != c.plan_for(sw).events();
+  }
+  EXPECT_TRUE(any_events);
+  EXPECT_TRUE(differs_from_c) << "different seeds produced the same storm";
+}
+
+TEST(NetFaultPlanTest, LinkFlapsTargetEveryLinkInTurn) {
+  const Topology topo = Topology::clos3(2);
+  const NetFaultPlan plan = NetFaultPlan::inter_stage_link_flaps(
+      topo, /*first_down=*/10, /*period=*/20, /*down_slots=*/5,
+      /*horizon=*/10 + 20 * topo.num_internal_links());
+  // Every event is a down/up pair at the upstream driver of some link.
+  std::size_t downs = 0;
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    for (const fault::FaultEvent& event : plan.plan_for(sw).events()) {
+      ASSERT_TRUE(event.kind == fault::FaultKind::kOutputDown ||
+                  event.kind == fault::FaultKind::kOutputUp);
+      EXPECT_FALSE(topo.out_port(sw, event.port).external)
+          << "flap aimed at an external output";
+      if (event.kind == fault::FaultKind::kOutputDown) ++downs;
+    }
+  }
+  EXPECT_EQ(downs, static_cast<std::size_t>(topo.num_internal_links()));
+}
+
+// A dead ingress line card drops whole packets at the fabric edge, and
+// the fabric counts them; accepted copies still conserve exactly.
+TEST(NetFaultScenario, IngressLineCardLossDropsAtTheEdge) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements());
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  const NetFaultPlan plan = NetFaultPlan::ingress_line_card_loss(
+      fabric.topology(), /*seed=*/3, /*down_at=*/200, /*up_at=*/600,
+      /*cards=*/2);
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(4, 0.8, 0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 1'200, 0xEDfe);
+  EXPECT_GT(fabric.dropped_packets(), 0u)
+      << "two dead cards over 400 slots at p=0.8 must drop something";
+  EXPECT_EQ(fabric.copies_injected(), run.copies_offered);
+  EXPECT_EQ(fabric.copies_delivered() + fabric.copies_purged(),
+            run.copies_offered);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+}
+
+// A dead INTERNAL line card (middle-switch input) loses the copies that
+// land on it while down; the fabric accounts every one of them as purged
+// even under the hold policy — the loss is physical, not a policy.
+TEST(NetFaultScenario, InternalLineCardLossIsAccountedAsPurged) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements(),
+                       NetworkFabric::Options{
+                           .stranded_policy = StrandedCellPolicy::kHold});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  // Middle switch 2, input 0: the wire from ingress 0 carrying every
+  // flow pinned to middle 0 (external input 0).
+  const NetFaultPlan plan(
+      {{.sw = 2,
+        .event = {.slot = 100, .kind = fault::FaultKind::kInputDown,
+                  .port = 0}},
+       {.sw = 2,
+        .event = {.slot = 400, .kind = fault::FaultKind::kInputUp,
+                  .port = 0}}},
+      fabric.topology());
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(4, 0.9, 0.6);
+  const DriveResult run = drive_fabric(fabric, traffic, 800, 0xDEAD);
+  EXPECT_GT(fabric.copies_purged(), 0u)
+      << "300 slots of a dead middle input must lose copies";
+  EXPECT_EQ(fabric.copies_delivered() + fabric.copies_purged(),
+            run.copies_offered);
+  EXPECT_EQ(fabric.pending_copies(), 0u);
+  EXPECT_EQ(run.purged.size(), fabric.copies_purged());
+  test::expect_exactly_once(run.deliveries);
+}
+
+// An egress external output going down and recovering under the hold
+// policy: cells wait, nothing is purged, everything arrives.
+TEST(NetFaultScenario, EgressOutputFlapHoldsAndRecovers) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements(),
+                       NetworkFabric::Options{
+                           .stranded_policy = StrandedCellPolicy::kHold});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  // Egress switch 4 (= 2k + 0), output 1 = external output 1.
+  const NetFaultPlan plan(
+      {{.sw = 4,
+        .event = {.slot = 150, .kind = fault::FaultKind::kOutputDown,
+                  .port = 1}},
+       {.sw = 4,
+        .event = {.slot = 450, .kind = fault::FaultKind::kOutputUp,
+                  .port = 1}}},
+      fabric.topology());
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(4, 0.6, 0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 900, 0xE9);
+  EXPECT_EQ(fabric.copies_purged(), 0u);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  if (NetworkAuditor::enabled()) {
+    EXPECT_EQ(auditor.fault_events_seen(), 2u);
+  }
+}
+
+// The full adversarial storm on a 4-ary Clos: whatever the mix does,
+// accounting stays exact and order holds.
+TEST(NetFaultScenario, FaultStormConservesEveryCopy) {
+  NetworkFabric fabric(Topology::clos3(4), fifoms_elements(),
+                       NetworkFabric::Options{
+                           .stranded_policy = StrandedCellPolicy::kPurge});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  const NetFaultPlan plan =
+      NetFaultPlan::net_fault_storm(fabric.topology(), /*seed=*/11,
+                                    /*horizon=*/1'500);
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(16, 0.5, 0.25);
+  const DriveResult run = drive_fabric(fabric, traffic, 2'000, 0x5708);
+  EXPECT_EQ(fabric.copies_delivered() + fabric.copies_purged(),
+            run.copies_offered);
+  EXPECT_EQ(fabric.pending_copies(), 0u);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  test::expect_payloads_intact(run.deliveries);
+  if (NetworkAuditor::enabled()) {
+    EXPECT_GT(auditor.fault_events_seen(), 0u);
+    EXPECT_EQ(auditor.copies_checked() + auditor.copies_purged(),
+              run.copies_offered);
+  }
+}
+
+// Detaching the plan (or clear()) restores fault-free behaviour.
+TEST(NetFaultScenario, DetachingThePlanRestoresFaultFreeRuns) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements());
+  const NetFaultPlan plan = NetFaultPlan::inter_stage_link_flaps(
+      fabric.topology(), 10, 50, 25, 400);
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(4, 0.6, 0.5);
+  drive_fabric(fabric, traffic, 500, 0x11);
+  fabric.clear();
+  fabric.set_net_fault_plan(nullptr);
+  const DriveResult clean = drive_fabric(fabric, traffic, 500, 0x11);
+  EXPECT_EQ(fabric.copies_delivered(), clean.copies_offered);
+  EXPECT_EQ(fabric.copies_purged(), 0u);
+}
+
+}  // namespace
+}  // namespace fifoms::net

@@ -1,0 +1,83 @@
+// Flow-level (Zipf group, membership churn) traffic over multistage
+// fabrics: the network invariants must hold when the destination sets
+// come from a mutating group table rather than an i.i.d. draw — each
+// packet snapshots its group membership at arrival, and the fabric must
+// deliver exactly that snapshot whatever churn does afterwards.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fifoms.hpp"
+#include "flows/flow_traffic.hpp"
+#include "net/net_auditor.hpp"
+#include "net/network_fabric.hpp"
+#include "net_test_util.hpp"
+
+namespace fifoms::net {
+namespace {
+
+using test::drive_fabric;
+using test::DriveResult;
+
+NetworkFabric::SchedulerFactory fifoms_elements() {
+  return [] { return std::make_unique<FifomsScheduler>(); };
+}
+
+GroupTable make_groups(int num_ports, std::uint64_t seed) {
+  Rng rng(seed);
+  return GroupTable::random(num_ports, /*count=*/8, /*min_size=*/2,
+                            /*max_size=*/num_ports / 2, rng);
+}
+
+TEST(NetFlows, ZipfChurnOverClosConservesEveryCopy) {
+  NetworkFabric fabric(Topology::clos3(4), fifoms_elements());
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  FlowTraffic traffic(make_groups(16, 5), /*p=*/0.35, /*zipf_skew=*/1.2,
+                      /*churn_rate=*/0.2);
+  const DriveResult run = drive_fabric(fabric, traffic, 2'500, 0xF10);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  EXPECT_EQ(fabric.pending_copies(), 0u);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  test::expect_payloads_intact(run.deliveries);
+  if (NetworkAuditor::enabled()) {
+    EXPECT_EQ(auditor.copies_checked(), run.copies_offered);
+  }
+}
+
+TEST(NetFlows, ChurningGroupsSpreadAcrossEveryEgressStage) {
+  NetworkFabric fabric(Topology::clos3(4), fifoms_elements());
+  FlowTraffic traffic(make_groups(16, 9), /*p=*/0.4, /*zipf_skew=*/0.9,
+                      /*churn_rate=*/0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 3'000, 0xCAFE);
+  ASSERT_GT(run.copies_offered, 0u);
+  std::set<PortId> outputs;
+  std::set<int> egress_switches;
+  for (const Delivery& d : run.deliveries) {
+    outputs.insert(d.output);
+    egress_switches.insert(d.output / 4);
+  }
+  // Heavy churn walks the memberships around: over 3000 slots the
+  // deliveries must have touched every egress element and most outputs.
+  EXPECT_EQ(egress_switches.size(), 4u);
+  EXPECT_GE(outputs.size(), 12u);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+}
+
+TEST(NetFlows, ZipfFlowsOverTheFatTreeHoldOrder) {
+  NetworkFabric fabric(Topology::fat_tree2(4), fifoms_elements());
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  FlowTraffic traffic(make_groups(8, 21), /*p=*/0.3, /*zipf_skew=*/1.5,
+                      /*churn_rate=*/0.1);
+  const DriveResult run = drive_fabric(fabric, traffic, 2'500, 0x7EE);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+}
+
+}  // namespace
+}  // namespace fifoms::net

@@ -1,0 +1,283 @@
+// Network invariant property tests for the multistage fabric: end-to-end
+// cell conservation, per-flow FIFO across hops, bounded inter-stage
+// buffers under backpressure, exactly-once multicast fanout, late-as-
+// possible tree replication, and hold/purge accounting under link faults
+// — all with the network auditor armed wherever the build carries it.
+#include <gtest/gtest.h>
+
+#include "core/fifoms.hpp"
+#include "net/net_auditor.hpp"
+#include "net/net_fault.hpp"
+#include "net/network_fabric.hpp"
+#include "net_test_util.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms::net {
+namespace {
+
+using test::drive_fabric;
+using test::DriveResult;
+
+NetworkFabric::SchedulerFactory fifoms_elements() {
+  return [] { return std::make_unique<FifomsScheduler>(); };
+}
+
+// The ISSUE acceptance run: a 3-stage Clos of 4x4 FIFOMS elements under
+// admissible uniform multicast at load 0.8, auditor armed at both the
+// network and the element level.  With the drain tail every accepted
+// copy must come out exactly once (>= 99.9% delivered is implied by
+// equality), in per-flow FIFO order, payloads intact.
+TEST(NetProperty, ClosSustainsLoad08UniformMulticast) {
+  NetworkFabric fabric(Topology::clos3(4), fifoms_elements(),
+                       NetworkFabric::Options{.audit_switches = true});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  UniformFanoutTraffic traffic(16, UniformFanoutTraffic::p_for_load(0.8, 4),
+                               4);
+  const DriveResult run = drive_fabric(fabric, traffic, 2'500, 0xC105A11);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_injected(), run.copies_offered);
+  EXPECT_EQ(fabric.pending_copies(), 0u)
+      << "fabric failed to drain within the limit";
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  EXPECT_EQ(fabric.copies_purged(), 0u);
+  EXPECT_EQ(run.deliveries.size(), run.copies_offered);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  test::expect_payloads_intact(run.deliveries);
+  // Delay decomposes per stage: the ingress serves one uplink cell per
+  // packet, the egress one cell per delivered copy, and a 3-hop route
+  // costs at least the two link slots end to end.
+  EXPECT_GE(fabric.end_to_end_delay().mean(), 2.0);
+  EXPECT_EQ(fabric.hop_delay(0).count(),
+            run.packets_offered);
+  EXPECT_EQ(fabric.hop_delay(2).count(),
+            run.copies_offered);
+  if (NetworkAuditor::enabled()) {
+    EXPECT_EQ(auditor.copies_checked(), run.copies_offered);
+    EXPECT_EQ(auditor.packets_retired(), run.packets_offered);
+    EXPECT_GT(auditor.slots_audited(), 0u);
+  }
+}
+
+TEST(NetProperty, BernoulliMulticastConservesEveryCopy) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements());
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  BernoulliTraffic traffic(4, BernoulliTraffic::p_for_load(0.7, 0.5, 4),
+                           0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 4'000, 0xBE57);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_delivered() + fabric.copies_purged(),
+            run.copies_offered);
+  EXPECT_EQ(fabric.copies_purged(), 0u);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+}
+
+// The bounded-buffer invariant, checked structurally every slot of an
+// overloaded run: no internal input buffer ever exceeds the configured
+// capacity, and the wires actually had to pause to achieve that.
+TEST(NetProperty, BackpressureBoundsEveryInterStageBuffer) {
+  const std::size_t capacity = 2;
+  NetworkFabric fabric(
+      Topology::clos3(2), fifoms_elements(),
+      NetworkFabric::Options{.link_buffer_capacity = capacity});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  // Inadmissible load (1.5): only backpressure keeps the inside bounded.
+  BernoulliTraffic traffic(4, 1.0, 0.75);
+  Rng traffic_rng(derive_seed(7, 1, 0));
+  Rng sched_rng(derive_seed(7, 2, 0));
+  traffic.reset(traffic_rng);
+  SlotResult result;
+  PacketId next_id = 1;
+  const Topology& topo = fabric.topology();
+  for (SlotTime now = 0; now < 2'000; ++now) {
+    for (PortId input = 0; input < fabric.num_inputs(); ++input) {
+      const PortSet dests = traffic.arrival(input, now, traffic_rng);
+      if (dests.empty()) continue;
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = input;
+      packet.arrival = now;
+      packet.destinations = dests;
+      fabric.inject(packet);
+    }
+    result.clear();
+    fabric.step(now, sched_rng, result);
+    for (int link = 0; link < topo.num_internal_links(); ++link) {
+      const auto [sw, output] = topo.link_source(link);
+      const LinkEnd to = topo.out_port(sw, output).to;
+      EXPECT_LE(fabric.switch_at(to.sw).occupancy(to.port), capacity)
+          << "link " << link << " overflowed at slot " << now;
+    }
+  }
+  EXPECT_GT(fabric.pauses_applied(), 0u)
+      << "an overloaded run never engaged backpressure";
+}
+
+// A cell to all 16 external outputs replicates as late as possible: one
+// uplink copy, four middle-to-egress copies, sixteen deliveries.
+TEST(NetProperty, MulticastTreeReplicatesLateAsPossible) {
+  NetworkFabric fabric(Topology::clos3(4), fifoms_elements());
+  Packet packet;
+  packet.id = 1;
+  packet.input = 0;
+  packet.arrival = 0;
+  packet.destinations = PortSet::all(16);
+  ASSERT_TRUE(fabric.inject(packet));
+  Rng rng(42);
+  SlotResult result;
+  std::size_t delivered = 0;
+  for (SlotTime now = 0; now < 16 && fabric.pending_copies() > 0; ++now) {
+    result.clear();
+    fabric.step(now, rng, result);
+    delivered += result.deliveries.size();
+  }
+  EXPECT_EQ(delivered, 16u);
+  EXPECT_EQ(fabric.forwarded_cells(), 5u)
+      << "a broadcast should cross 1 ingress uplink + 4 middle links";
+  EXPECT_EQ(fabric.hop_delay(0).count(), 1);
+  EXPECT_EQ(fabric.hop_delay(1).count(), 4);
+  EXPECT_EQ(fabric.hop_delay(2).count(), 16);
+  EXPECT_EQ(fabric.end_to_end_delay().count(), 16);
+}
+
+// Leaf-local fat-tree traffic never touches a spine; remote traffic does.
+TEST(NetProperty, FatTreeLocalTrafficNeverLeavesTheLeaf) {
+  NetworkFabric fabric(Topology::fat_tree2(4), fifoms_elements());
+  Rng rng(9);
+  SlotResult result;
+  PacketId next_id = 1;
+  for (SlotTime now = 0; now < 64; ++now) {
+    for (PortId input = 0; input < 8; ++input) {
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = input;
+      packet.arrival = now;
+      // Both outputs of the input's own leaf: strictly local multicast.
+      const PortId base = (input / 2) * 2;
+      packet.destinations = PortSet{base, base + 1};
+      ASSERT_TRUE(fabric.inject(packet));
+    }
+    result.clear();
+    fabric.step(now, rng, result);
+  }
+  for (SlotTime now = 64; fabric.pending_copies() > 0 && now < 256; ++now) {
+    result.clear();
+    fabric.step(now, rng, result);
+  }
+  EXPECT_EQ(fabric.pending_copies(), 0u);
+  EXPECT_EQ(fabric.forwarded_cells(), 0u)
+      << "local hairpin traffic crossed an internal link";
+  EXPECT_EQ(fabric.hop_delay(1).count(), 0);
+}
+
+TEST(NetProperty, FatTreeRemoteMulticastDeliversExactlyOnce) {
+  NetworkFabric fabric(Topology::fat_tree2(4), fifoms_elements());
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  UniformFanoutTraffic traffic(8, UniformFanoutTraffic::p_for_load(0.6, 4),
+                               4);
+  const DriveResult run = drive_fabric(fabric, traffic, 3'000, 0xFA7);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  EXPECT_GT(fabric.forwarded_cells(), 0u);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  test::expect_payloads_intact(run.deliveries);
+}
+
+// Link faults with the hold policy: cells wait out the outage, nothing
+// is lost, everything still arrives exactly once and in flow order.
+TEST(NetProperty, HoldPolicySurvivesLinkFlapsWithoutLoss) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements(),
+                       NetworkFabric::Options{
+                           .stranded_policy = StrandedCellPolicy::kHold});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  const NetFaultPlan plan = NetFaultPlan::inter_stage_link_flaps(
+      fabric.topology(), /*first_down=*/100, /*period=*/150,
+      /*down_slots=*/40, /*horizon=*/1'800);
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(4, BernoulliTraffic::p_for_load(0.5, 0.5, 4),
+                           0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 2'000, 0x401D);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  EXPECT_EQ(fabric.copies_purged(), 0u);
+  EXPECT_EQ(fabric.pending_copies(), 0u);
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  if (NetworkAuditor::enabled()) {
+    EXPECT_GT(auditor.fault_events_seen(), 0u);
+  }
+}
+
+// The purge policy under the same flaps: every accepted copy is either
+// delivered or purged (with full accounting), never lost silently.
+TEST(NetProperty, PurgePolicyAccountsEveryCopyUnderLinkFlaps) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements(),
+                       NetworkFabric::Options{
+                           .stranded_policy = StrandedCellPolicy::kPurge});
+  NetworkAuditor auditor;
+  fabric.set_observer(&auditor);
+  const NetFaultPlan plan = NetFaultPlan::inter_stage_link_flaps(
+      fabric.topology(), /*first_down=*/50, /*period=*/120,
+      /*down_slots=*/60, /*horizon=*/1'700);
+  fabric.set_net_fault_plan(&plan);
+  BernoulliTraffic traffic(4, BernoulliTraffic::p_for_load(0.6, 0.5, 4),
+                           0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 2'000, 0x9043);
+  ASSERT_GT(run.copies_offered, 0u);
+  EXPECT_EQ(fabric.copies_delivered() + fabric.copies_purged(),
+            run.copies_offered);
+  EXPECT_GT(fabric.copies_purged(), 0u)
+      << "a purge run through 60-slot outages should strand something";
+  EXPECT_EQ(run.purged.size(), fabric.copies_purged());
+  test::expect_exactly_once(run.deliveries);
+  test::expect_flow_fifo(run.deliveries);
+  // Purged copies carry their original flight identity for accounting.
+  for (const Delivery& p : run.purged) {
+    EXPECT_GE(p.output, 0);
+    EXPECT_LT(p.output, 4);
+  }
+}
+
+// Degenerate fabric smoke: the single-switch topology with backpressure
+// configured has no links to pause, so options are inert by construction.
+TEST(NetProperty, SingleTopologyHasNoInternalMachinery) {
+  NetworkFabric fabric(Topology::single_switch(4), fifoms_elements(),
+                       NetworkFabric::Options{.link_buffer_capacity = 1});
+  BernoulliTraffic traffic(4, 0.6, 0.5);
+  const DriveResult run = drive_fabric(fabric, traffic, 1'000, 0x51);
+  EXPECT_EQ(fabric.copies_delivered(), run.copies_offered);
+  EXPECT_EQ(fabric.forwarded_cells(), 0u);
+  EXPECT_EQ(fabric.pauses_applied(), 0u);
+  EXPECT_EQ(fabric.end_to_end_delay().count(),
+            run.copies_offered);
+}
+
+// clear() resets the fabric to a fresh run: same seed, same outcome.
+TEST(NetProperty, ClearResetsToBitIdenticalRuns) {
+  NetworkFabric fabric(Topology::clos3(2), fifoms_elements());
+  BernoulliTraffic traffic(4, 0.5, 0.5);
+  const DriveResult first = drive_fabric(fabric, traffic, 500, 0xAB);
+  const std::uint64_t delivered_first = fabric.copies_delivered();
+  fabric.clear();
+  EXPECT_EQ(fabric.copies_delivered(), 0u);
+  EXPECT_EQ(fabric.pending_copies(), 0u);
+  const DriveResult second = drive_fabric(fabric, traffic, 500, 0xAB);
+  EXPECT_EQ(fabric.copies_delivered(), delivered_first);
+  ASSERT_EQ(first.deliveries.size(), second.deliveries.size());
+  for (std::size_t i = 0; i < first.deliveries.size(); ++i) {
+    EXPECT_EQ(first.deliveries[i].packet, second.deliveries[i].packet);
+    EXPECT_EQ(first.deliveries[i].output, second.deliveries[i].output);
+    EXPECT_EQ(first.deliveries[i].arrival, second.deliveries[i].arrival);
+  }
+}
+
+}  // namespace
+}  // namespace fifoms::net

@@ -1,0 +1,114 @@
+// Shared helpers for the network (multistage fabric) test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/net_auditor.hpp"
+#include "net/network_fabric.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms::net::test {
+
+struct DriveResult {
+  std::vector<Delivery> deliveries;
+  std::vector<Delivery> purged;
+  std::uint64_t packets_offered = 0;
+  std::uint64_t copies_offered = 0;
+  SlotTime traffic_slots = 0;
+  SlotTime total_slots = 0;  ///< including the drain tail
+};
+
+/// Drive `fabric` with `traffic` for `slots` arrival slots, then keep
+/// stepping arrival-free until every accepted copy left the fabric (or
+/// `drain_limit` extra slots pass — faults holding cells can prevent a
+/// full drain).  Seeding mirrors the Simulator: separate traffic and
+/// scheduler streams derived from one run seed.
+inline DriveResult drive_fabric(NetworkFabric& fabric, TrafficModel& traffic,
+                                SlotTime slots, std::uint64_t seed,
+                                SlotTime drain_limit = 20'000) {
+  Rng traffic_rng(derive_seed(seed, 1, 0));
+  Rng sched_rng(derive_seed(seed, 2, 0));
+  traffic.reset(traffic_rng);
+  DriveResult out;
+  out.traffic_slots = slots;
+  SlotResult result;
+  PacketId next_id = 1;
+  SlotTime now = 0;
+  const auto step_once = [&] {
+    result.clear();
+    fabric.step(now, sched_rng, result);
+    out.deliveries.insert(out.deliveries.end(), result.deliveries.begin(),
+                          result.deliveries.end());
+    out.purged.insert(out.purged.end(), result.purged.begin(),
+                      result.purged.end());
+    ++now;
+  };
+  for (; now < slots;) {
+    for (PortId input = 0; input < fabric.num_inputs(); ++input) {
+      const PortSet dests = traffic.arrival(input, now, traffic_rng);
+      if (dests.empty()) continue;
+      Packet packet;
+      packet.id = next_id++;
+      packet.input = input;
+      packet.arrival = now;
+      packet.destinations = dests;
+      packet.priority = traffic.last_priority();
+      if (fabric.inject(packet)) {
+        ++out.packets_offered;
+        out.copies_offered += static_cast<std::uint64_t>(dests.count());
+      }
+    }
+    step_once();
+  }
+  for (SlotTime extra = 0; fabric.pending_copies() > 0 && extra < drain_limit;
+       ++extra)
+    step_once();
+  out.total_slots = now;
+  return out;
+}
+
+/// Every (packet, external output) pair delivered at most once, and only
+/// at an output the packet asked for.
+inline void expect_exactly_once(const std::vector<Delivery>& deliveries) {
+  std::map<std::pair<PacketId, PortId>, int> seen;
+  for (const Delivery& d : deliveries) {
+    const int count = ++seen[{d.packet, d.output}];
+    EXPECT_EQ(count, 1) << "packet " << d.packet
+                        << " delivered twice at external output "
+                        << d.output;
+  }
+}
+
+/// Per-flow FIFO along every route: for each (external input, external
+/// output) pair, delivered original-arrival stamps never decrease.
+inline void expect_flow_fifo(const std::vector<Delivery>& deliveries) {
+  std::map<std::pair<PortId, PortId>, SlotTime> last;
+  for (const Delivery& d : deliveries) {
+    const auto key = std::make_pair(d.input, d.output);
+    const auto it = last.find(key);
+    if (it != last.end()) {
+      EXPECT_GE(d.arrival, it->second)
+          << "flow (" << d.input << " -> " << d.output
+          << ") delivered out of order";
+      if (d.arrival < it->second) return;  // one failure is enough detail
+    }
+    last[key] = d.arrival;
+  }
+}
+
+/// Payload of every delivered copy matches the packet id's tag (the data
+/// path, not just the bookkeeping, crossed the fabric intact).
+inline void expect_payloads_intact(const std::vector<Delivery>& deliveries) {
+  for (const Delivery& d : deliveries) {
+    Packet probe;
+    probe.id = d.packet;
+    EXPECT_EQ(d.payload_tag, probe.payload_tag())
+        << "payload corrupted for packet " << d.packet;
+  }
+}
+
+}  // namespace fifoms::net::test

@@ -1,0 +1,271 @@
+// Wiring and routing unit tests for the Topology descriptor: shapes,
+// link round-trips, input-pinned route selection, multicast-tree fanout
+// expansion, and the partition property the purge accounting and the
+// structural network audit rely on.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fifoms::net {
+namespace {
+
+// A cell entering `sw` fans to hop_destinations(); the reachable sets of
+// those hop outputs must partition the destinations the cell carried in.
+void expect_partition(const Topology& topo, int sw, PortId in_port,
+                      PortId ext_input, const PortSet& carried) {
+  const PortSet hop = topo.hop_destinations(sw, in_port, ext_input, carried);
+  ASSERT_FALSE(hop.empty());
+  PortSet covered;
+  for (PortId output : hop) {
+    const PortSet share = topo.reachable_externals(sw, output, carried);
+    EXPECT_FALSE(share.empty())
+        << "hop output " << output << " of switch " << sw << " covers nothing";
+    EXPECT_FALSE(covered.intersects(share))
+        << "hop outputs of switch " << sw << " overlap";
+    covered |= share;
+  }
+  EXPECT_EQ(covered, carried)
+      << "hop outputs of switch " << sw << " do not cover the carried set";
+}
+
+PortSet random_dests(int num_external, Rng& rng) {
+  PortSet dests;
+  const int fanout = 1 + static_cast<int>(rng.next_below(
+                             static_cast<std::uint32_t>(num_external)));
+  while (dests.count() < fanout)
+    dests.insert(static_cast<PortId>(
+        rng.next_below(static_cast<std::uint32_t>(num_external))));
+  return dests;
+}
+
+TEST(TopologySingle, Shape) {
+  const Topology topo = Topology::single_switch(8);
+  EXPECT_EQ(topo.kind(), TopologyKind::kSingle);
+  EXPECT_EQ(topo.radix(), 8);
+  EXPECT_EQ(topo.num_switches(), 1);
+  EXPECT_EQ(topo.num_stages(), 1);
+  EXPECT_EQ(topo.num_external_inputs(), 8);
+  EXPECT_EQ(topo.num_external_outputs(), 8);
+  EXPECT_EQ(topo.num_internal_links(), 0);
+  EXPECT_EQ(topo.name(), "single/8");
+  EXPECT_EQ(topo.stage_of(0), 0);
+}
+
+TEST(TopologySingle, WiringIsTheIdentity) {
+  const Topology topo = Topology::single_switch(4);
+  for (PortId p = 0; p < 4; ++p) {
+    const LinkEnd in = topo.ingress_of(p);
+    EXPECT_EQ(in.sw, 0);
+    EXPECT_EQ(in.port, p);
+    const OutPort& out = topo.out_port(0, p);
+    EXPECT_TRUE(out.external);
+    EXPECT_EQ(out.ext, p);
+    EXPECT_EQ(out.link, -1);
+  }
+  const PortSet dests{0, 2, 3};
+  EXPECT_EQ(topo.hop_destinations(0, 1, 1, dests), dests);
+  EXPECT_EQ(topo.reachable_externals(0, 2, dests), PortSet::single(2));
+}
+
+TEST(TopologyClos3, Shape) {
+  const Topology topo = Topology::clos3(4);
+  EXPECT_EQ(topo.kind(), TopologyKind::kClos3);
+  EXPECT_EQ(topo.radix(), 4);
+  EXPECT_EQ(topo.num_switches(), 12);
+  EXPECT_EQ(topo.num_stages(), 3);
+  EXPECT_EQ(topo.num_external_inputs(), 16);
+  EXPECT_EQ(topo.num_internal_links(), 32);  // k*k per stage pair
+  EXPECT_EQ(topo.name(), "clos3/4");
+  for (int sw = 0; sw < 12; ++sw) EXPECT_EQ(topo.stage_of(sw), sw / 4);
+}
+
+TEST(TopologyClos3, LinksRoundTrip) {
+  const Topology topo = Topology::clos3(4);
+  for (int link = 0; link < topo.num_internal_links(); ++link) {
+    const auto [sw, output] = topo.link_source(link);
+    const OutPort& out = topo.out_port(sw, output);
+    EXPECT_FALSE(out.external);
+    EXPECT_EQ(out.link, link);
+    EXPECT_EQ(topo.stage_of(out.to.sw), topo.stage_of(sw) + 1)
+        << "link " << link << " skips a stage";
+    EXPECT_GE(out.to.port, 0);
+    EXPECT_LT(out.to.port, topo.radix());
+  }
+  // Ingress g output j lands on middle k+j at input g; middle k+j output
+  // e lands on egress 2k+e at input j; egress output o is external e*k+o.
+  const OutPort& up = topo.out_port(1, 2);
+  EXPECT_EQ(up.to.sw, 4 + 2);
+  EXPECT_EQ(up.to.port, 1);
+  const OutPort& down = topo.out_port(4 + 2, 3);
+  EXPECT_EQ(down.to.sw, 8 + 3);
+  EXPECT_EQ(down.to.port, 2);
+  const OutPort& egress = topo.out_port(8 + 3, 1);
+  EXPECT_TRUE(egress.external);
+  EXPECT_EQ(egress.ext, 3 * 4 + 1);
+}
+
+TEST(TopologyClos3, RoutePinsMiddleSwitchByExternalInput) {
+  const Topology topo = Topology::clos3(4);
+  for (PortId ext = 0; ext < 16; ++ext) {
+    const LinkEnd in = topo.ingress_of(ext);
+    EXPECT_EQ(in.sw, ext / 4);
+    EXPECT_EQ(in.port, ext % 4);
+    // The ingress fanout is a single uplink chosen by the input alone,
+    // whatever the destination set — that is what makes per-flow FIFO a
+    // structural property.
+    for (const PortSet& dests :
+         {PortSet{0}, PortSet{15}, PortSet::all(16), PortSet{3, 7, 11}}) {
+      EXPECT_EQ(topo.hop_destinations(in.sw, in.port, ext, dests),
+                PortSet::single(ext % 4));
+    }
+  }
+}
+
+TEST(TopologyClos3, MulticastTreeExpandsLate) {
+  const Topology topo = Topology::clos3(4);
+  const PortSet dests{0, 7, 13};  // egress switches 0, 1 and 3
+  const PortId ext = 5;           // ingress 1, pinned middle 4 + 1
+  EXPECT_EQ(topo.hop_destinations(1, 1, ext, dests), PortSet::single(1));
+  EXPECT_EQ(topo.hop_destinations(5, 1, ext, dests), (PortSet{0, 1, 3}));
+  EXPECT_EQ(topo.hop_destinations(8, 1, ext, dests), PortSet::single(0));
+  EXPECT_EQ(topo.hop_destinations(9, 1, ext, dests), PortSet::single(3));
+  EXPECT_EQ(topo.hop_destinations(11, 1, ext, dests), PortSet::single(1));
+}
+
+TEST(TopologyClos3, ReachableSetsPartitionEveryHop) {
+  const Topology topo = Topology::clos3(4);
+  Rng rng(0xC105'1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const PortId ext = static_cast<PortId>(rng.next_below(16));
+    const PortSet dests = random_dests(16, rng);
+    const LinkEnd in = topo.ingress_of(ext);
+    expect_partition(topo, in.sw, in.port, ext, dests);
+    // The middle switch carries the full set; each egress carries its own
+    // share.
+    expect_partition(topo, 4 + ext % 4, in.sw, ext, dests);
+    for (int e = 0; e < 4; ++e) {
+      PortSet share;
+      for (PortId d : dests)
+        if (d / 4 == e) share.insert(d);
+      if (share.empty()) continue;
+      expect_partition(topo, 8 + e, ext % 4, ext, share);
+    }
+  }
+}
+
+TEST(TopologyFatTree, Shape) {
+  const Topology topo = Topology::fat_tree2(4);
+  EXPECT_EQ(topo.kind(), TopologyKind::kFatTree2);
+  EXPECT_EQ(topo.radix(), 4);
+  EXPECT_EQ(topo.num_switches(), 6);  // 4 leaves + 2 spines
+  EXPECT_EQ(topo.num_stages(), 2);
+  EXPECT_EQ(topo.num_external_inputs(), 8);
+  EXPECT_EQ(topo.num_internal_links(), 16);  // k*h up + h*k down
+  EXPECT_EQ(topo.name(), "fat-tree2/4");
+  for (int leaf = 0; leaf < 4; ++leaf) EXPECT_EQ(topo.stage_of(leaf), 0);
+  EXPECT_EQ(topo.stage_of(4), 1);
+  EXPECT_EQ(topo.stage_of(5), 1);
+}
+
+TEST(TopologyFatTree, FoldedWiringRoundTrips) {
+  const Topology topo = Topology::fat_tree2(4);
+  // Leaf L uplink h+s reaches spine k+s at input L, and the spine's
+  // output L is the folded wire back to leaf L at input h+s.
+  for (int leaf = 0; leaf < 4; ++leaf) {
+    for (int s = 0; s < 2; ++s) {
+      const OutPort& up = topo.out_port(leaf, 2 + s);
+      EXPECT_FALSE(up.external);
+      EXPECT_EQ(up.to.sw, 4 + s);
+      EXPECT_EQ(up.to.port, leaf);
+      const OutPort& down = topo.out_port(4 + s, leaf);
+      EXPECT_FALSE(down.external);
+      EXPECT_EQ(down.to.sw, leaf);
+      EXPECT_EQ(down.to.port, 2 + s);
+    }
+    for (PortId o = 0; o < 2; ++o) {
+      const OutPort& out = topo.out_port(leaf, o);
+      EXPECT_TRUE(out.external);
+      EXPECT_EQ(out.ext, leaf * 2 + o);
+    }
+  }
+}
+
+TEST(TopologyFatTree, LocalTrafficHairpinsWithoutUplink) {
+  const Topology topo = Topology::fat_tree2(4);
+  // Input 0 (leaf 0, port 0) to outputs {0, 1} — both local to leaf 0.
+  const PortSet local{0, 1};
+  EXPECT_EQ(topo.hop_destinations(0, 0, 0, local), (PortSet{0, 1}));
+  // A mixed set adds exactly the flow's pinned uplink (h + ext % h).
+  const PortSet mixed{1, 6};
+  EXPECT_EQ(topo.hop_destinations(0, 0, 0, mixed), (PortSet{1, 2}));
+  EXPECT_EQ(topo.reachable_externals(0, 1, mixed), PortSet::single(1));
+  EXPECT_EQ(topo.reachable_externals(0, 2, mixed), PortSet::single(6));
+}
+
+TEST(TopologyFatTree, RemoteRouteTakesLeafSpineLeaf) {
+  const Topology topo = Topology::fat_tree2(4);
+  const PortId ext = 1;    // leaf 0 port 1, pinned spine 4 + 1
+  const PortSet dests{5};  // leaf 2 port 1
+  EXPECT_EQ(topo.hop_destinations(0, 1, ext, dests), PortSet::single(3));
+  EXPECT_EQ(topo.out_port(0, 3).to.sw, 5);
+  EXPECT_EQ(topo.hop_destinations(5, 0, ext, dests), PortSet::single(2));
+  // Back at leaf 2 through the folded input (>= h): local fanout only —
+  // no second uplink, so a copy can never loop between levels.
+  EXPECT_EQ(topo.hop_destinations(2, 3, ext, dests), PortSet::single(1));
+  EXPECT_EQ(topo.out_port(2, 1).ext, 5);
+}
+
+TEST(TopologyFatTree, SpineNeverEchoesTheSourceLeaf) {
+  const Topology topo = Topology::fat_tree2(4);
+  // Input 0 (leaf 0) multicasts to {1, 5, 7}: destination 1 is local to
+  // leaf 0 and is served on the hairpin, so the spine hop — fed the FULL
+  // original set — must fan only to leaves 2 and 3, never back to leaf 0.
+  const PortSet mixed{1, 5, 7};
+  EXPECT_EQ(topo.hop_destinations(4, 0, 0, mixed), (PortSet{2, 3}));
+  // Purely-remote sets are unaffected by the exclusion.
+  EXPECT_EQ(topo.hop_destinations(4, 0, 0, PortSet{5, 7}), (PortSet{2, 3}));
+}
+
+TEST(TopologyFatTree, ReachableSetsPartitionEveryHop) {
+  const Topology topo = Topology::fat_tree2(4);
+  Rng rng(0xFA7'7EE);
+  for (int trial = 0; trial < 200; ++trial) {
+    const PortId ext = static_cast<PortId>(rng.next_below(8));
+    const PortSet dests = random_dests(8, rng);
+    const LinkEnd in = topo.ingress_of(ext);
+    expect_partition(topo, in.sw, in.port, ext, dests);
+    PortSet remote;
+    for (PortId d : dests)
+      if (d / 2 != in.sw) remote.insert(d);
+    if (remote.empty()) continue;
+    // The pinned spine carries the remote share; each remote leaf then
+    // carries its local slice through the folded input.
+    expect_partition(topo, 4 + ext % 2, in.sw, ext, remote);
+    for (int leaf = 0; leaf < 4; ++leaf) {
+      if (leaf == in.sw) continue;
+      PortSet share;
+      for (PortId d : remote)
+        if (d / 2 == leaf) share.insert(d);
+      if (share.empty()) continue;
+      expect_partition(topo, leaf, 2 + ext % 2, ext, share);
+    }
+  }
+}
+
+TEST(TopologyTest, KindNamesAreStable) {
+  EXPECT_STREQ(topology_kind_name(TopologyKind::kSingle), "single");
+  EXPECT_STREQ(topology_kind_name(TopologyKind::kClos3), "clos3");
+  EXPECT_STREQ(topology_kind_name(TopologyKind::kFatTree2), "fat-tree2");
+}
+
+TEST(TopologyTest, MaximumClosFitsThePortSetCapacity) {
+  const Topology topo = Topology::clos3(16);
+  EXPECT_EQ(topo.num_external_inputs(), 256);
+  EXPECT_EQ(topo.num_switches(), 48);
+  EXPECT_EQ(topo.num_internal_links(), 512);
+}
+
+}  // namespace
+}  // namespace fifoms::net

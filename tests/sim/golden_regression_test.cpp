@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/fifoms.hpp"
+#include "net/network_fabric.hpp"
 #include "sim/simulator.hpp"
 #include "sim/voq_switch.hpp"
 #include "traffic/bernoulli.hpp"
@@ -61,6 +62,57 @@ TEST(GoldenRegression, PinnedValues) {
   EXPECT_GE(result.rounds_busy.mean(), 1.0);
   EXPECT_LT(result.rounds_busy.mean(), 3.0);
   EXPECT_LT(result.queue_max, 60u);
+  EXPECT_EQ(result.packets_offered,
+            result.packets_delivered + result.in_flight_at_end);
+}
+
+// The same pinning discipline for the multistage fabric: a 3-stage Clos
+// of 2x2 FIFOMS elements behind the identical Simulator harness.  The
+// per-hop schedules, relay ordering, and RNG stream layout are all part
+// of the pinned behaviour.
+SimResult golden_clos_run() {
+  net::NetworkFabric fabric(
+      net::Topology::clos3(2),
+      [] { return std::make_unique<FifomsScheduler>(); });
+  BernoulliTraffic traffic(4, 0.4, 0.25);
+  SimConfig config;
+  config.total_slots = 10'000;
+  config.warmup_fraction = 0.5;
+  config.seed = 0xc105c105ULL;
+  Simulator sim(fabric, traffic, config);
+  return sim.run();
+}
+
+TEST(GoldenRegression, ClosRunIsReproducible) {
+  const SimResult a = golden_clos_run();
+  const SimResult b = golden_clos_run();
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.copies_delivered, b.copies_delivered);
+  EXPECT_EQ(a.queue_max, b.queue_max);
+  EXPECT_DOUBLE_EQ(a.input_delay.mean(), b.input_delay.mean());
+  EXPECT_DOUBLE_EQ(a.output_delay.mean(), b.output_delay.mean());
+  EXPECT_DOUBLE_EQ(a.rounds_busy.mean(), b.rounds_busy.mean());
+}
+
+TEST(GoldenRegression, ClosPinnedValues) {
+  const SimResult result = golden_clos_run();
+  EXPECT_FALSE(result.unstable);
+  EXPECT_EQ(result.warmup_end, 5'000);
+  EXPECT_EQ(result.total_slots, 10'000);
+  // Arrival rate per input: 0.4 * (1 - 0.75^4) = 0.2734 -> 4 * 10000 *
+  // 0.2734 = 10937 packets offered over the run.
+  EXPECT_NEAR(static_cast<double>(result.packets_offered), 10'937, 400);
+  // Conditional mean fanout: b*N / (1-(1-b)^N) = 1 / 0.6836 = 1.4629.
+  EXPECT_NEAR(static_cast<double>(result.copies_offered) /
+                  static_cast<double>(result.packets_offered),
+              1.4629, 0.03);
+  // Effective load p*b*N = 0.4 per external output.
+  EXPECT_NEAR(result.throughput, 0.4, 0.02);
+  // Three store-and-forward hops put a floor of 2 slots under the
+  // end-to-end delay; at this load the mean sits just above it.
+  EXPECT_GT(result.output_delay.mean(), 2.0);
+  EXPECT_LT(result.output_delay.mean(), 8.0);
+  EXPECT_GE(result.input_delay.mean(), result.output_delay.mean());
   EXPECT_EQ(result.packets_offered,
             result.packets_delivered + result.in_flight_at_end);
 }

@@ -23,9 +23,11 @@ from model import Finding, FunctionInfo, ProjectModel
 # randomness there has to flow in through an explicit Rng parameter.
 # src/fabric and src/flows joined the scope once the fabric started
 # maintaining scheduling state (HOL weight planes) and the flow layer
-# started driving admission decisions.
+# started driving admission decisions; src/net joined with the
+# multistage fabrics, whose relay/backpressure plumbing must stay as
+# replayable as the elements it composes.
 DETERMINISM_SCOPES = ("src/sched/", "src/core/", "src/hw/", "src/fabric/",
-                      "src/flows/")
+                      "src/flows/", "src/net/")
 FAULT_SCOPE = "src/fault/"
 
 # Draw methods of common/rng.hpp's Rng.
