@@ -1,0 +1,181 @@
+// fifoms_replay: re-execute a counterexample bundle (docs/RECOVERY.md).
+//
+// A bundle is what fifoms_soak's panic hook freezes when an invariant
+// audit fails: the run's manifest (scenario, policy, ports, slots, seed,
+// injected-defect slot), the newest good checkpoint frame and the trace
+// ring's tail.  This tool rebuilds the IDENTICAL harness stack from the
+// manifest (via bench/soak_scenarios), restores the checkpoint and steps
+// forward — so the defect reproduces deterministically, slots not hours
+// from the panic, with the trace tail printed for context.
+//
+// Exit status: 0 when the replay completes without the defect firing
+// (the bundle did not reproduce); the process aborts with the original
+// panic diagnostic when it does — which is the expected outcome and what
+// the recovery tests assert.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "analysis/auditor.hpp"
+#include "common/panic.hpp"
+#include "io/cli.hpp"
+#include "sim/simulator.hpp"
+#include "snapshot/bundle.hpp"
+#include "snapshot/observers.hpp"
+#include "snapshot/snapshot.hpp"
+#include "soak_scenarios.hpp"
+
+namespace {
+
+using namespace fifoms;
+
+/// Same forwarding defect injector as fifoms_soak: replay must rebuild
+/// the exact observer chain or the checkpointed observer state would not
+/// align.
+struct DefectInjector final : SlotObserver {
+  SlotTime defect_slot = -1;
+  SlotObserver* inner = nullptr;
+
+  void on_inject(const SwitchModel& sw, const Packet& packet) override {
+    if (inner != nullptr) inner->on_inject(sw, packet);
+  }
+  void on_fault_event(SlotTime now, const SwitchModel& sw,
+                      const fault::FaultEvent& event) override {
+    if (inner != nullptr) inner->on_fault_event(now, sw, event);
+  }
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override {
+    if (inner != nullptr) inner->on_slot(now, sw, result);
+    FIFOMS_ASSERT(now != defect_slot,
+                  "injected audit defect (--inject-audit-defect)");
+  }
+  void save_state(snapshot::Writer& out) const override {
+    if (inner != nullptr) inner->save_state(out);
+  }
+  void load_state(snapshot::Reader& in) override {
+    if (inner != nullptr) inner->load_state(in);
+  }
+};
+
+std::int64_t to_int(const std::string& text, const char* what) {
+  try {
+    return std::stoll(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "fifoms_replay: bad %s in manifest: '%s'\n", what,
+                 text.c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("fifoms_replay",
+                   "replay a counterexample bundle emitted by a "
+                   "fifoms_soak audit panic (docs/RECOVERY.md)");
+  parser.add_string("bundle", "", "bundle directory (required)");
+  parser.add_int("extra-slots", 0,
+                 "keep stepping this many slots past the manifest horizon");
+  if (!parser.parse(argc, argv)) return 1;
+  const std::string dir = parser.get_string("bundle");
+  if (dir.empty()) {
+    std::fprintf(stderr, "fifoms_replay: --bundle is required\n");
+    parser.print_usage();
+    return 1;
+  }
+
+  snapshot::ReplayBundle bundle;
+  try {
+    bundle = snapshot::read_bundle(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fifoms_replay: cannot read bundle: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string scenario = bundle.value_or("scenario", "");
+  const std::string policy_text = bundle.value_or("policy", "hold");
+  const int ports =
+      static_cast<int>(to_int(bundle.value_or("ports", "8"), "ports"));
+  const SlotTime slots = to_int(bundle.value_or("slots", "2000"), "slots");
+  const auto seed =
+      static_cast<std::uint64_t>(to_int(bundle.value_or("seed", "42"), "seed"));
+  const SlotTime defect_slot =
+      to_int(bundle.value_or("defect_slot", "-1"), "defect_slot");
+  const StrandedCellPolicy policy = policy_text == "purge"
+                                        ? StrandedCellPolicy::kPurge
+                                        : StrandedCellPolicy::kHold;
+
+  std::printf("== fifoms_replay ==\nscenario=%s policy=%s N=%d slots=%lld "
+              "seed=%llu defect_slot=%lld\n",
+              scenario.c_str(), policy_text.c_str(), ports,
+              static_cast<long long>(slots),
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(defect_slot));
+  std::printf("original panic: %s\n",
+              bundle.value_or("panic", "<none recorded>").c_str());
+  if (!bundle.trace.empty()) {
+    std::printf("-- trace tail (%zu events) --\n", bundle.trace.size());
+    for (const std::string& line : bundle.trace)
+      std::printf("  %s\n", line.c_str());
+  }
+
+  soak::SoakSetup setup;
+  try {
+    setup = soak::make_soak_setup(scenario, policy, ports, slots, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fifoms_replay: %s\n", e.what());
+    return 1;
+  }
+
+  SimConfig config;
+  config.total_slots = slots + parser.get_int("extra-slots");
+  config.warmup_fraction = 0.25;
+  config.seed = seed;
+  config.fault_plan = &setup.plan;
+
+  // Identical observer stack to fifoms_soak, so the checkpointed chain
+  // state lines up byte for byte.
+  MatchingAuditor auditor;
+  DefectInjector defect;
+  defect.defect_slot = defect_slot;
+  defect.inner = &auditor;
+  snapshot::TraceRingObserver trace(256, &defect);
+  snapshot::DigestObserver digest(&trace);
+
+  Simulator simulator(*setup.sw, *setup.traffic, config);
+  simulator.set_observer(&digest);
+
+  SlotTime start_slot = 0;
+  if (!bundle.checkpoint.empty()) {
+    try {
+      const snapshot::Frame frame = snapshot::decode_frame(
+          bundle.checkpoint, simulator.state_fingerprint());
+      snapshot::Reader reader(frame.payload);
+      simulator.load_state(reader);
+      reader.expect_end();
+      start_slot = simulator.now();
+    } catch (const snapshot::SnapshotError& e) {
+      std::fprintf(stderr, "fifoms_replay: bundle checkpoint rejected: %s\n",
+                   e.what());
+      return 1;
+    }
+  } else {
+    simulator.prepare();
+  }
+  std::printf("replaying from slot %lld toward the defect...\n",
+              static_cast<long long>(start_slot));
+  std::fflush(stdout);  // the defect aborts; don't lose the banner
+
+  // Step to the end.  If the defect is real, FIFOMS_ASSERT fires on the
+  // way and the process aborts with the original diagnostic — the
+  // counterexample reproduced.
+  while (!simulator.done()) simulator.step();
+  const SimResult result = simulator.finalize();
+
+  std::printf("replay completed WITHOUT reproducing the defect "
+              "(%lld slots, %llu copies delivered)\n",
+              static_cast<long long>(result.total_slots),
+              static_cast<unsigned long long>(result.copies_delivered));
+  return 0;
+}

@@ -1,4 +1,4 @@
-// fifoms_soak: fault-storm soak harness (docs/FAULTS.md).
+// fifoms_soak: fault-storm soak harness (docs/FAULTS.md, docs/RECOVERY.md).
 //
 // Drives FIFOMS on the multicast VOQ switch through the fault scenarios —
 // rolling output flaps under 0.9 load, correlated line-card loss, and the
@@ -10,40 +10,57 @@
 // transition; the harness adds end-of-run cross-checks of the auditor's
 // counters against the simulator's.
 //
-// Exit status: 0 when every scenario passed, 1 otherwise (CI: the
-// soak-smoke job runs `fifoms_soak --quick` under asan-ubsan).
-#include <algorithm>
+// Recovery surface (docs/RECOVERY.md):
+//   --checkpoint-every N   periodic checkpoints through the atomic-write
+//                          protocol; emits "CHECKPOINT tag=... slot=..."
+//   --resume               restart from the newest valid checkpoint; runs
+//                          already completed (done-marker on disk) are
+//                          skipped and their recorded digest reprinted,
+//                          so a SIGKILLed soak resumed repeatedly
+//                          converges to the uninterrupted golden output
+//                          (the kill-test's assertion)
+//   SIGTERM                parks a final checkpoint, then exits 3
+//   --inject-audit-defect S  forces an audit panic at slot S; the panic
+//                          hook freezes the newest checkpoint + trace
+//                          tail as a replayable bundle for fifoms_replay
+//
+// Every run prints "DIGEST <tag> <hex>" — the FNV-1a fold of its full
+// delivery/purge/fault stream.  Digest equality across interrupted and
+// uninterrupted runs certifies bit-identical behaviour.
+//
+// Exit status: 0 when every scenario passed, 1 otherwise, 3 on SIGTERM.
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/auditor.hpp"
-#include "core/fifoms.hpp"
-#include "fault/fault.hpp"
+#include "common/panic.hpp"
 #include "io/cli.hpp"
 #include "sim/simulator.hpp"
-#include "sim/voq_switch.hpp"
-#include "traffic/bernoulli.hpp"
-#include "traffic/burst.hpp"
+#include "snapshot/bundle.hpp"
+#include "snapshot/observers.hpp"
+#include "snapshot/recovery.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/snapshot_io.hpp"
+#include "soak_scenarios.hpp"
 
 namespace {
 
 using namespace fifoms;
 
-struct Scenario {
-  std::string name;
-  fault::FaultPlan plan;
-};
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_sigterm(int) { g_stop = 1; }
 
 struct SoakStats {
   int scenarios = 0;
   int failures = 0;
+  bool stopped = false;
 };
-
-const char* policy_name(StrandedCellPolicy policy) {
-  return policy == StrandedCellPolicy::kHold ? "hold" : "purge";
-}
 
 void expect(SoakStats& stats, bool ok, const std::string& what) {
   if (ok) return;
@@ -51,34 +68,194 @@ void expect(SoakStats& stats, bool ok, const std::string& what) {
   std::fprintf(stderr, "  FAIL: %s\n", what.c_str());
 }
 
-/// Run one (scenario, policy) combination with the auditor attached and
-/// cross-check its counters against the simulator's report.
-void run_scenario(SoakStats& stats, const Scenario& scenario,
-                  TrafficModel& traffic, StrandedCellPolicy policy,
-                  int ports, SlotTime slots, std::uint64_t seed) {
-  ++stats.scenarios;
+/// Forwarding observer that panics at a chosen slot — a deliberate audit
+/// defect, used to prove the counterexample-bundle path end to end.
+struct DefectInjector final : SlotObserver {
+  SlotTime defect_slot = -1;
+  SlotObserver* inner = nullptr;
 
-  VoqSwitch::Options options;
-  options.stranded_policy = policy;
-  VoqSwitch sw(ports, std::make_unique<FifomsScheduler>(), options);
+  void on_inject(const SwitchModel& sw, const Packet& packet) override {
+    if (inner != nullptr) inner->on_inject(sw, packet);
+  }
+  void on_fault_event(SlotTime now, const SwitchModel& sw,
+                      const fault::FaultEvent& event) override {
+    if (inner != nullptr) inner->on_fault_event(now, sw, event);
+  }
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override {
+    if (inner != nullptr) inner->on_slot(now, sw, result);
+    FIFOMS_ASSERT(now != defect_slot,
+                  "injected audit defect (--inject-audit-defect)");
+  }
+  void save_state(snapshot::Writer& out) const override {
+    if (inner != nullptr) inner->save_state(out);
+  }
+  void load_state(snapshot::Reader& in) override {
+    if (inner != nullptr) inner->load_state(in);
+  }
+};
+
+/// Context for the panic hook (a plain function pointer: no captures).
+struct BundleContext {
+  std::string dir;  // empty = bundles disabled
+  const snapshot::TraceRingObserver* trace = nullptr;
+  const snapshot::CheckpointStore* store = nullptr;
+  std::vector<std::pair<std::string, std::string>> manifest;
+};
+BundleContext g_bundle;
+
+/// Freeze the evidence before abort(): newest good checkpoint frame plus
+/// the trace ring's tail, as a bundle fifoms_replay can re-execute.
+void bundle_panic_hook(const char* file, int line, std::string_view message) {
+  if (g_bundle.dir.empty()) return;
+  try {
+    snapshot::ReplayBundle bundle;
+    bundle.manifest = g_bundle.manifest;
+    bundle.manifest.emplace_back("panic", std::string(message));
+    bundle.manifest.emplace_back(
+        "panic_at", std::string(file) + ":" + std::to_string(line));
+    if (g_bundle.store != nullptr) {
+      if (auto loaded = g_bundle.store->load_latest())
+        bundle.checkpoint = snapshot::read_file(loaded->path);
+    }
+    if (g_bundle.trace != nullptr)
+      bundle.trace.assign(g_bundle.trace->lines().begin(),
+                          g_bundle.trace->lines().end());
+    snapshot::write_bundle(g_bundle.dir, bundle);
+    std::fprintf(stderr, "counterexample bundle written to %s\n",
+                 g_bundle.dir.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bundle emission failed: %s\n", e.what());
+  }
+}
+
+std::string sanitize(const std::string& tag) {
+  std::string out = tag;
+  for (char& c : out)
+    if (c == '/' || c == '.') c = '-';
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+struct RunFlags {
+  SlotTime checkpoint_every = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
+  SlotTime defect_slot = -1;
+  std::string bundle_dir;
+};
+
+/// Run one (scenario, policy) combination with the full harness stack —
+/// auditor, defect injector, trace ring, digest — under checkpoint
+/// protection when enabled, and cross-check the auditor's counters
+/// against the simulator's report.
+void run_scenario(SoakStats& stats, soak::SoakSetup setup, SlotTime slots,
+                  std::uint64_t seed, const RunFlags& flags) {
+  ++stats.scenarios;
+  const std::string tag = setup.tag();
+  const std::string stem = sanitize(tag);
+  const bool checkpointing =
+      flags.checkpoint_every > 0 && !flags.checkpoint_dir.empty();
+
+  // Completed runs leave a done-marker holding their digest: a resumed
+  // soak skips the work and reprints the recorded line, so repeated
+  // kill/resume cycles converge to the golden transcript.
+  const std::filesystem::path done_path =
+      std::filesystem::path(flags.checkpoint_dir) / (stem + ".done");
+  if (checkpointing && flags.resume && std::filesystem::exists(done_path)) {
+    const auto bytes = snapshot::read_file(done_path);
+    std::string digest_hex(bytes.begin(), bytes.end());
+    while (!digest_hex.empty() && digest_hex.back() == '\n')
+      digest_hex.pop_back();
+    std::printf("DIGEST %s %s\n", tag.c_str(), digest_hex.c_str());
+    std::printf("RUN-DONE %s (cached)\n", tag.c_str());
+    return;
+  }
 
   SimConfig config;
   config.total_slots = slots;
   config.warmup_fraction = 0.25;
   config.seed = seed;
-  config.fault_plan = &scenario.plan;
+  config.fault_plan = &setup.plan;
 
+  // Observer stack, outermost first: digest -> trace ring -> defect
+  // injector -> auditor.  The whole chain serialises into checkpoints.
   MatchingAuditor auditor;
-  Simulator simulator(sw, traffic, config);
-  simulator.set_observer(&auditor);
-  const SimResult result = simulator.run();
+  DefectInjector defect;
+  defect.defect_slot = flags.defect_slot;
+  defect.inner = &auditor;
+  snapshot::TraceRingObserver trace(256, &defect);
+  snapshot::DigestObserver digest(&trace);
 
-  const std::string tag = scenario.name + "/" + policy_name(policy);
+  Simulator simulator(*setup.sw, *setup.traffic, config);
+  simulator.set_observer(&digest);
+
+  SimResult result;
+  if (checkpointing) {
+    snapshot::RecoveryOptions recovery;
+    recovery.checkpoint_every = flags.checkpoint_every;
+    recovery.dir = flags.checkpoint_dir;
+    recovery.stem = stem;
+    recovery.resume = flags.resume;
+    recovery.stop_requested = [] { return g_stop != 0; };
+    recovery.on_checkpoint = [&](std::uint64_t epoch, std::size_t bytes) {
+      std::printf("CHECKPOINT tag=%s slot=%llu bytes=%zu\n", tag.c_str(),
+                  static_cast<unsigned long long>(epoch), bytes);
+      std::fflush(stdout);  // survive a SIGKILL mid-epoch (kill-test)
+    };
+    snapshot::RecoveryRunner runner(simulator, std::move(recovery));
+
+    // Arm the panic hook: an invariant failure mid-run freezes the
+    // newest checkpoint and the trace tail as a replayable bundle.
+    g_bundle.dir = flags.bundle_dir;
+    g_bundle.trace = &trace;
+    g_bundle.store = &runner.store();
+    g_bundle.manifest = {
+        {"scenario", setup.name},
+        {"policy", soak::policy_name(setup.policy)},
+        {"ports", std::to_string(setup.sw->num_inputs())},
+        {"slots", std::to_string(slots)},
+        {"seed", std::to_string(seed)},
+        {"defect_slot", std::to_string(flags.defect_slot)},
+    };
+    set_panic_hook(&bundle_panic_hook);
+
+    snapshot::RecoveryReport report = runner.run();
+
+    set_panic_hook(nullptr);
+    g_bundle = BundleContext{};
+
+    for (const std::string& note : report.rejected_files)
+      std::fprintf(stderr, "  checkpoint rejected: %s\n", note.c_str());
+    if (report.resumed)
+      std::printf("RESUMED %s slot=%lld\n", tag.c_str(),
+                  static_cast<long long>(report.resumed_from_slot));
+    if (!report.completed) {
+      if (report.quarantined) {
+        expect(stats, false, tag + ": quarantined: " + report.error);
+      } else {
+        stats.stopped = true;
+        std::printf("STOPPED %s slot=%lld (checkpoint parked)\n", tag.c_str(),
+                    static_cast<long long>(report.last_checkpoint_slot));
+      }
+      return;
+    }
+    result = std::move(report.result);
+  } else {
+    result = simulator.run();
+  }
+
   expect(stats, result.fault_events_applied > 0,
          tag + ": no fault events fired");
   expect(stats, result.packets_delivered > 0,
          tag + ": nothing was delivered through the storm");
-  if (policy == StrandedCellPolicy::kHold)
+  if (setup.policy == StrandedCellPolicy::kHold)
     expect(stats, result.copies_purged == 0,
            tag + ": hold policy purged " +
                std::to_string(result.copies_purged) + " copies");
@@ -114,6 +291,15 @@ void run_scenario(SoakStats& stats, const Scenario& scenario,
       static_cast<unsigned long long>(result.packets_suppressed),
       static_cast<unsigned long long>(result.fault_events_applied),
       result.unstable ? "  UNSTABLE" : "");
+  const std::string digest_hex = hex64(digest.digest());
+  std::printf("DIGEST %s %s\n", tag.c_str(), digest_hex.c_str());
+  std::printf("RUN-DONE %s\n", tag.c_str());
+  if (checkpointing) {
+    const std::string done_text = digest_hex + "\n";
+    snapshot::write_file_atomic(
+        done_path, std::vector<std::uint8_t>(done_text.begin(),
+                                             done_text.end()));
+  }
 }
 
 }  // namespace
@@ -122,11 +308,27 @@ int main(int argc, char** argv) {
   ArgParser parser("fifoms_soak",
                    "fault-storm soak: FIFOMS degradation under the "
                    "docs/FAULTS.md scenarios with the invariant auditor "
-                   "attached");
+                   "attached, under checkpoint/restore protection "
+                   "(docs/RECOVERY.md)");
   parser.add_int("ports", 16, "switch radix N");
   parser.add_int("slots", 20'000, "simulated slots per scenario");
   parser.add_int("seed", 42, "master seed");
   parser.add_bool("quick", false, "small preset for CI (8 ports, 2k slots)");
+  parser.add_int("checkpoint-every", 0,
+                 "checkpoint cadence in slots (0 = no checkpoints)");
+  parser.add_string("checkpoint-dir", "",
+                    "checkpoint directory (required for checkpointing)");
+  parser.add_bool("resume", false,
+                  "resume from the newest valid checkpoint; skip runs "
+                  "with a done-marker");
+  parser.add_string("scenario", "",
+                    "run only this scenario (substring match on the tag)");
+  parser.add_int("inject-audit-defect", -1,
+                 "force an audit panic at this slot (tests the "
+                 "counterexample-bundle path; -1 = off)");
+  parser.add_string("bundle-dir", "",
+                    "where an audit panic writes its replay bundle "
+                    "(default: <checkpoint-dir>/bundle)");
   if (!parser.parse(argc, argv)) return 1;
 
   int ports = static_cast<int>(parser.get_int("ports"));
@@ -137,56 +339,46 @@ int main(int argc, char** argv) {
     slots = 2'000;
   }
 
+  RunFlags flags;
+  flags.checkpoint_every = parser.get_int("checkpoint-every");
+  flags.checkpoint_dir = parser.get_string("checkpoint-dir");
+  flags.resume = parser.get_bool("resume");
+  flags.defect_slot = parser.get_int("inject-audit-defect");
+  flags.bundle_dir = parser.get_string("bundle-dir");
+  if (flags.bundle_dir.empty() && !flags.checkpoint_dir.empty())
+    flags.bundle_dir = flags.checkpoint_dir + "/bundle";
+  const std::string only = parser.get_string("scenario");
+
+  std::signal(SIGTERM, &on_sigterm);
+
   std::printf("== fifoms_soak ==\nN=%d, slots=%lld, seed=%llu, audit=%s\n",
               ports, static_cast<long long>(slots),
               static_cast<unsigned long long>(seed),
               MatchingAuditor::enabled() ? "on" : "OFF (FIFOMS_AUDIT=0)");
 
-  const double b = 0.2;
-  auto bernoulli_09 = [&] {
-    return std::make_unique<BernoulliTraffic>(
-        ports, BernoulliTraffic::p_for_load(0.9, b, ports), b);
-  };
-  // Burst traffic at 0.8 load: the storm scenario's arrival process
-  // (paper Fig. 8 parameters, shortened horizon).
-  const double burst_b = 0.5;
-  const double e_on = 16.0;
-  auto burst_08 = [&] {
-    return std::make_unique<BurstTraffic>(
-        ports, BurstTraffic::e_off_for_load(0.8, e_on, burst_b, ports), e_on,
-        burst_b);
-  };
-
-  // The flap cadence scales with the horizon so every scenario sees many
-  // full down/up cycles regardless of --slots.
-  const SlotTime flap_period = std::max<SlotTime>(16, slots / (4 * ports));
-  const SlotTime flap_down = std::max<SlotTime>(4, flap_period / 2);
-
-  std::vector<Scenario> scenarios;
-  scenarios.push_back(Scenario{
-      "rolling-flaps/bern-0.9",
-      fault::FaultPlan::rolling_port_flaps(ports, flap_period, flap_period,
-                                           flap_down, slots)});
-  scenarios.push_back(Scenario{
-      "line-card-loss/bern-0.9",
-      fault::FaultPlan::correlated_line_card_loss(
-          ports, seed, slots / 4, slots / 2, std::max(1, ports / 4))});
-  scenarios.push_back(Scenario{"fault-storm/burst-0.8",
-                               fault::FaultPlan::fault_storm(ports, seed,
-                                                             slots)});
-
   SoakStats stats;
-  for (const Scenario& scenario : scenarios) {
+  for (const std::string& name : soak::scenario_names()) {
     for (const StrandedCellPolicy policy :
          {StrandedCellPolicy::kHold, StrandedCellPolicy::kPurge}) {
-      // Fresh traffic per run so the arrival stream restarts identically.
-      auto traffic = scenario.name.find("burst") != std::string::npos
-                         ? std::unique_ptr<TrafficModel>(burst_08())
-                         : std::unique_ptr<TrafficModel>(bernoulli_09());
-      run_scenario(stats, scenario, *traffic, policy, ports, slots, seed);
+      if (g_stop != 0) {
+        stats.stopped = true;
+        break;
+      }
+      // Fresh setup per run so the arrival stream restarts identically.
+      soak::SoakSetup setup =
+          soak::make_soak_setup(name, policy, ports, slots, seed);
+      if (!only.empty() && setup.tag().find(only) == std::string::npos)
+        continue;
+      run_scenario(stats, std::move(setup), slots, seed, flags);
+      if (stats.stopped) break;
     }
+    if (stats.stopped) break;
   }
 
+  if (stats.stopped) {
+    std::printf("\nSIGTERM: soak stopped cleanly; resume with --resume\n");
+    return 3;
+  }
   std::printf("\n%d scenario runs, %d failures\n", stats.scenarios,
               stats.failures);
   if (stats.failures > 0) return 1;

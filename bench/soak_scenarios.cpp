@@ -1,0 +1,67 @@
+#include "soak_scenarios.hpp"
+
+#include <algorithm>
+
+#include "core/fifoms.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/burst.hpp"
+
+namespace fifoms::soak {
+
+const char* policy_name(StrandedCellPolicy policy) {
+  return policy == StrandedCellPolicy::kHold ? "hold" : "purge";
+}
+
+std::string SoakSetup::tag() const { return name + "/" + policy_name(policy); }
+
+std::vector<std::string> scenario_names() {
+  return {"rolling-flaps/bern-0.9", "line-card-loss/bern-0.9",
+          "fault-storm/burst-0.8"};
+}
+
+SoakSetup make_soak_setup(const std::string& name, StrandedCellPolicy policy,
+                          int ports, SlotTime slots, std::uint64_t seed) {
+  SoakSetup setup;
+  setup.name = name;
+  setup.policy = policy;
+
+  // The flap cadence scales with the horizon so every scenario sees many
+  // full down/up cycles regardless of --slots.
+  const SlotTime flap_period = std::max<SlotTime>(16, slots / (4 * ports));
+  const SlotTime flap_down = std::max<SlotTime>(4, flap_period / 2);
+
+  if (name == "rolling-flaps/bern-0.9") {
+    setup.plan = fault::FaultPlan::rolling_port_flaps(
+        ports, flap_period, flap_period, flap_down, slots);
+  } else if (name == "line-card-loss/bern-0.9") {
+    setup.plan = fault::FaultPlan::correlated_line_card_loss(
+        ports, seed, slots / 4, slots / 2, std::max(1, ports / 4));
+  } else if (name == "fault-storm/burst-0.8") {
+    setup.plan = fault::FaultPlan::fault_storm(ports, seed, slots);
+  } else {
+    throw fault::FaultError("unknown soak scenario: " + name);
+  }
+
+  if (name.find("burst") != std::string::npos) {
+    // Burst traffic at 0.8 load: the storm scenario's arrival process
+    // (paper Fig. 8 parameters, shortened horizon).
+    const double burst_b = 0.5;
+    const double e_on = 16.0;
+    setup.traffic = std::make_unique<BurstTraffic>(
+        ports, BurstTraffic::e_off_for_load(0.8, e_on, burst_b, ports), e_on,
+        burst_b);
+  } else {
+    const double b = 0.2;
+    setup.traffic = std::make_unique<BernoulliTraffic>(
+        ports, BernoulliTraffic::p_for_load(0.9, b, ports), b);
+  }
+
+  VoqSwitch::Options options;
+  options.stranded_policy = policy;
+  setup.sw = std::make_unique<VoqSwitch>(
+      ports, std::make_unique<FifomsScheduler>(), options);
+  return setup;
+}
+
+}  // namespace fifoms::soak

@@ -1,0 +1,42 @@
+// Shared construction of the fault-storm soak scenarios (docs/FAULTS.md).
+//
+// fifoms_soak runs these; fifoms_replay rebuilds the IDENTICAL scenario
+// from a counterexample bundle's manifest (docs/RECOVERY.md).  Factoring
+// the construction here is what makes a bundle replayable: both binaries
+// derive switch, traffic and fault plan from the same (name, policy,
+// ports, slots, seed) tuple, so the replay's slot stream is bit-identical
+// to the soak run that panicked.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/voq_switch.hpp"
+#include "traffic/traffic_model.hpp"
+
+namespace fifoms::soak {
+
+struct SoakSetup {
+  std::string name;  ///< e.g. "rolling-flaps/bern-0.9"
+  fault::FaultPlan plan;
+  std::unique_ptr<TrafficModel> traffic;
+  std::unique_ptr<SwitchModel> sw;
+  StrandedCellPolicy policy = StrandedCellPolicy::kHold;
+
+  /// "<name>/<hold|purge>": the run tag and checkpoint stem.
+  std::string tag() const;
+};
+
+const char* policy_name(StrandedCellPolicy policy);
+
+/// Scenario names in canonical run order.
+std::vector<std::string> scenario_names();
+
+/// Build one (scenario, policy) combination.  Throws fault::FaultError
+/// for an unknown scenario name (the bundle path is user input).
+SoakSetup make_soak_setup(const std::string& name, StrandedCellPolicy policy,
+                          int ports, SlotTime slots, std::uint64_t seed);
+
+}  // namespace fifoms::soak

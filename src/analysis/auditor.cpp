@@ -1,7 +1,10 @@
 #include "analysis/auditor.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <string>
+
+#include "snapshot/snapshot.hpp"
 
 #include "common/panic.hpp"
 #include "fault/fault.hpp"
@@ -58,6 +61,83 @@ void MatchingAuditor::reset() {
   packets_retired_ = 0;
   slots_audited_ = 0;
   fault_events_seen_ = 0;
+}
+
+void MatchingAuditor::save_state(snapshot::Writer& out) const {
+  std::vector<std::pair<PacketId, Shadow>> live(live_.begin(), live_.end());
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u64(live.size());
+  for (const auto& [id, shadow] : live) {
+    out.u64(id);
+    out.i32(shadow.input);
+    out.i64(shadow.arrival);
+    out.port_set(shadow.remaining);
+    out.u64(shadow.payload_tag);
+  }
+  auto write_u64s = [&out](const std::vector<std::uint64_t>& v) {
+    out.u64(v.size());
+    for (std::uint64_t x : v) out.u64(x);
+  };
+  auto write_slots = [&out](const std::vector<SlotTime>& v) {
+    out.u64(v.size());
+    for (SlotTime x : v) out.i64(x);
+  };
+  write_u64s(live_per_input_);
+  write_u64s(queued_per_output_);
+  write_slots(last_pair_ts_);
+  write_slots(last_input_ts_);
+  write_slots(last_output_ts_);
+  out.port_set(failed_outputs_);
+  out.port_set(failed_inputs_);
+  out.u64(failed_links_.size());
+  for (const PortSet& links : failed_links_) out.port_set(links);
+  out.u64(copies_in_);
+  out.u64(copies_out_);
+  out.u64(copies_purged_);
+  out.u64(packets_retired_);
+  out.u64(slots_audited_);
+  out.u64(fault_events_seen_);
+}
+
+void MatchingAuditor::load_state(snapshot::Reader& in) {
+  constexpr std::size_t kLimit = std::size_t{1} << 26;
+  live_.clear();
+  const std::size_t count = in.length(kLimit);
+  live_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const PacketId id = in.u64();
+    Shadow shadow;
+    shadow.input = in.i32();
+    shadow.arrival = in.i64();
+    shadow.remaining = in.port_set();
+    shadow.payload_tag = in.u64();
+    if (!live_.emplace(id, shadow).second)
+      throw snapshot::SnapshotError("duplicate live packet in auditor state");
+  }
+  auto read_u64s = [&in, kLimit](std::vector<std::uint64_t>& v) {
+    v.resize(in.length(kLimit));
+    for (std::uint64_t& x : v) x = in.u64();
+  };
+  auto read_slots = [&in, kLimit](std::vector<SlotTime>& v) {
+    v.resize(in.length(kLimit));
+    for (SlotTime& x : v) x = in.i64();
+  };
+  read_u64s(live_per_input_);
+  read_u64s(queued_per_output_);
+  read_slots(last_pair_ts_);
+  read_slots(last_input_ts_);
+  read_slots(last_output_ts_);
+  failed_outputs_ = in.port_set();
+  failed_inputs_ = in.port_set();
+  failed_links_.resize(in.length(kLimit));
+  for (PortSet& links : failed_links_) links = in.port_set();
+  copies_in_ = in.u64();
+  copies_out_ = in.u64();
+  copies_purged_ = in.u64();
+  packets_retired_ = in.u64();
+  slots_audited_ = in.u64();
+  fault_events_seen_ = in.u64();
 }
 
 void MatchingAuditor::on_fault_event(SlotTime now, const SwitchModel& sw,
@@ -617,6 +697,8 @@ void MatchingAuditor::check_structure(SlotTime now, const SwitchModel& sw) {
 
 MatchingAuditor::MatchingAuditor(Options options) : options_(options) {}
 void MatchingAuditor::reset() {}
+void MatchingAuditor::save_state(snapshot::Writer&) const {}
+void MatchingAuditor::load_state(snapshot::Reader&) {}
 void MatchingAuditor::on_inject(const SwitchModel&, const Packet&) {}
 void MatchingAuditor::on_slot(SlotTime, const SwitchModel&,
                               const SlotResult&) {}

@@ -91,6 +91,12 @@ class MatchingAuditor final : public SlotObserver {
   /// Forget all shadow state (call between simulation runs).
   void reset();
 
+  /// Serialise the complete shadow ledger (live packets sorted by id —
+  /// canonical form) so a resumed run audits with exactly the state the
+  /// uninterrupted run would have.
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   struct Shadow {  // one live (injected, not fully served) packet
     PortId input = kNoPort;

@@ -5,10 +5,26 @@
 
 namespace fifoms {
 
+namespace {
+PanicHook g_panic_hook = nullptr;
+}  // namespace
+
+PanicHook set_panic_hook(PanicHook hook) {
+  PanicHook previous = g_panic_hook;
+  g_panic_hook = hook;
+  return previous;
+}
+
 void panic(const char* file, int line, std::string_view message) {
   std::fprintf(stderr, "fifoms panic at %s:%d: %.*s\n", file, line,
                static_cast<int>(message.size()), message.data());
   std::fflush(stderr);
+  if (g_panic_hook != nullptr) {
+    PanicHook hook = g_panic_hook;
+    g_panic_hook = nullptr;  // a panic inside the hook must not recurse
+    hook(file, line, message);
+    std::fflush(stderr);
+  }
   std::abort();
 }
 

@@ -14,6 +14,16 @@ namespace fifoms {
 /// Print a diagnostic (file:line + message) to stderr and abort.
 [[noreturn]] void panic(const char* file, int line, std::string_view message);
 
+/// Last-gasp callback invoked by panic() after printing the diagnostic
+/// and before abort().  The recovery harness uses it to emit a replayable
+/// counterexample bundle (docs/RECOVERY.md) when an invariant audit
+/// fails mid-soak.  A plain function pointer — installed once, no
+/// allocation on the panic path; the hook is cleared before it runs so a
+/// panic inside the hook cannot recurse.  Returns the previous hook.
+using PanicHook = void (*)(const char* file, int line,
+                           std::string_view message);
+PanicHook set_panic_hook(PanicHook hook);
+
 }  // namespace fifoms
 
 #define FIFOMS_ASSERT(cond, msg)                        \

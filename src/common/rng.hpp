@@ -114,6 +114,11 @@ class Rng {
   /// Fork an independent stream; deterministic given this stream's state.
   Rng split() { return Rng(next_u64()); }
 
+  /// Raw generator state, for snapshot/restore.  Restoring a saved state
+  /// resumes the exact output sequence from the save point.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

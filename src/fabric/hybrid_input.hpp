@@ -9,6 +9,7 @@
 // and Fig. 1(c), and the substrate the ESLIP scheduler runs on.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/port_set.hpp"
@@ -62,6 +63,38 @@ class HybridInput {
   std::size_t pending_copies() const;
 
   void clear();
+
+  // --- snapshot/restore -------------------------------------------------
+  /// One VOQ head-to-tail.
+  std::vector<UnicastCell> voq_cells(PortId output) const {
+    const RingBuffer<UnicastCell>& q = voq(output);
+    std::vector<UnicastCell> out;
+    out.reserve(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) out.push_back(q[i]);
+    return out;
+  }
+  /// The multicast FIFO head-to-tail (verbatim cells, mid-service residue).
+  std::vector<FifoCell> mcq_cells() const {
+    std::vector<FifoCell> out;
+    out.reserve(mcq_.size());
+    for (std::size_t i = 0; i < mcq_.size(); ++i) out.push_back(mcq_[i]);
+    return out;
+  }
+  /// Replace one VOQ head-to-tail, maintaining the occupied mask.
+  void restore_unicast(PortId output, std::span<const UnicastCell> cells) {
+    RingBuffer<UnicastCell>& q = voq(output);
+    q.clear();
+    for (const UnicastCell& cell : cells) q.push_back(cell);
+    if (q.empty())
+      unicast_occupied_.erase(output);
+    else
+      unicast_occupied_.insert(output);
+  }
+  /// Replace the multicast FIFO head-to-tail.
+  void restore_multicast(std::span<const FifoCell> cells) {
+    mcq_.clear();
+    for (const FifoCell& cell : cells) mcq_.push_back(cell);
+  }
 
  private:
   RingBuffer<UnicastCell>& voq(PortId output);

@@ -6,6 +6,8 @@
 // as the performance upper bound.
 #pragma once
 
+#include <vector>
+
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "fabric/packet.hpp"
@@ -34,6 +36,14 @@ class OutputFifo {
   OutputCell pop() { return queue_.pop_front(); }
 
   void clear() { queue_.clear(); }
+
+  /// The queue head-to-tail, for snapshot (restore is clear() + push()).
+  std::vector<OutputCell> cells() const {
+    std::vector<OutputCell> out;
+    out.reserve(queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i) out.push_back(queue_[i]);
+    return out;
+  }
 
  private:
   PortId output_;

@@ -9,6 +9,9 @@
 // the head cannot be scheduled at all.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "common/port_set.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
@@ -44,6 +47,22 @@ class SingleFifoInput {
   bool serve_hol(const PortSet& outputs);
 
   void clear() { queue_.clear(); }
+
+  /// The queue head-to-tail, for snapshot.  Cells are copied verbatim —
+  /// residues and initial fanouts are mid-service state that cannot be
+  /// reconstructed from the original packets.
+  std::vector<FifoCell> cells() const {
+    std::vector<FifoCell> out;
+    out.reserve(queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i) out.push_back(queue_[i]);
+    return out;
+  }
+
+  /// Replace the queue with `cells` head-to-tail (restore).
+  void restore_cells(std::span<const FifoCell> cells) {
+    queue_.clear();
+    for (const FifoCell& cell : cells) queue_.push_back(cell);
+  }
 
  private:
   PortId input_;

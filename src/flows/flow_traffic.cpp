@@ -1,5 +1,7 @@
 #include "flows/flow_traffic.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 namespace fifoms {
 
 FlowTraffic::FlowTraffic(GroupTable table, double p, double zipf_skew,
@@ -43,6 +45,23 @@ double FlowTraffic::offered_load() const {
         table_.members(static_cast<GroupId>(rank)).count());
   });
   return p_ * mean_fanout;
+}
+
+
+void FlowTraffic::save_state(snapshot::Writer& out) const {
+  out.u64(table_.size());
+  for (GroupId g = 0; g < static_cast<GroupId>(table_.size()); ++g)
+    out.port_set(table_.members(g));
+  out.u32(last_group_);
+}
+
+void FlowTraffic::load_state(snapshot::Reader& in) {
+  const std::size_t groups = in.length(table_.size());
+  if (groups != table_.size())
+    throw snapshot::SnapshotError("flow-traffic group count mismatch");
+  for (GroupId g = 0; g < static_cast<GroupId>(groups); ++g)
+    table_.set_members(g, in.port_set());
+  last_group_ = in.u32();
 }
 
 }  // namespace fifoms

@@ -38,6 +38,11 @@ class FlowTraffic final : public TrafficModel {
   static constexpr GroupId kNoGroup = 0xffffffffu;
   GroupId last_group() const { return last_group_; }
 
+  /// Churn mutates the internal table copy; both it and the last-group
+  /// cursor must survive a resume.
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   GroupTable table_;
   double p_;

@@ -44,6 +44,12 @@ class GroupTable {
   static GroupTable random(int num_ports, int count, int min_size,
                            int max_size, Rng& rng);
 
+  /// Overwrite one group's membership wholesale (snapshot/restore of
+  /// churn-mutated tables; normal mutation goes through join/leave).
+  void set_members(GroupId group, const PortSet& members) {
+    members_mutable(group) = members;
+  }
+
  private:
   PortSet& members_mutable(GroupId group);
 

@@ -1,5 +1,7 @@
 #include "hw/fifoms_control_unit.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 namespace fifoms::hw {
 
 void FifomsControlUnit::reset(int num_inputs, int num_outputs) {
@@ -87,6 +89,14 @@ void FifomsControlUnit::schedule(std::span<const McVoqInput> inputs,
   }
 
   matching.rounds = rounds;
+}
+
+void FifomsControlUnit::save_state(snapshot::Writer& out) const {
+  out.u64(total_rounds_);
+}
+
+void FifomsControlUnit::load_state(snapshot::Reader& in) {
+  total_rounds_ = in.u64();
 }
 
 }  // namespace fifoms::hw

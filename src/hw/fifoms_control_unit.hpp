@@ -46,6 +46,11 @@ class FifomsControlUnit final : public VoqScheduler {
   /// Rounds executed across all schedule() calls.
   std::uint64_t total_rounds() const { return total_rounds_; }
 
+  /// The datapath is combinational — only the rounds accumulator crosses
+  /// slots (comparator-evaluation counters are bench-only diagnostics).
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   int num_inputs_ = 0;
   int num_outputs_ = 0;

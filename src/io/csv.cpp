@@ -50,7 +50,7 @@ void write_sweep_csv(const std::string& path,
   csv.row({"algorithm", "load", "replications", "unstable", "input_delay",
            "input_delay_se", "output_delay", "output_delay_se",
            "output_delay_p99", "queue_mean", "queue_max", "rounds_busy",
-           "rounds_all", "throughput", "failed"});
+           "rounds_all", "throughput", "failed", "truncated"});
   for (const PointSummary& p : points) {
     csv.row({p.algorithm, CsvWriter::num(p.load),
              std::to_string(p.replications), std::to_string(p.unstable_count),
@@ -59,7 +59,8 @@ void write_sweep_csv(const std::string& path,
              CsvWriter::num(p.output_delay_p99), CsvWriter::num(p.queue_mean),
              CsvWriter::num(p.queue_max), CsvWriter::num(p.rounds_busy),
              CsvWriter::num(p.rounds_all), CsvWriter::num(p.throughput),
-             std::to_string(p.failed_count)});
+             std::to_string(p.failed_count),
+             std::to_string(p.truncated_count)});
   }
 }
 

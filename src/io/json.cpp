@@ -139,6 +139,8 @@ std::string sweep_to_json(const std::vector<PointSummary>& points) {
     json.value(p.unstable_count);
     json.key("failed_count");
     json.value(p.failed_count);
+    json.key("truncated_count");
+    json.value(p.truncated_count);
     json.key("input_delay");
     json.value(p.input_delay);
     json.key("output_delay");

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_codec.hpp"
+
 namespace fifoms::net {
 
 NetworkFabric::NetworkFabric(Topology topology,
@@ -389,6 +392,114 @@ const RunningStat& NetworkFabric::hop_delay(int stage) const {
   FIFOMS_ASSERT(stage >= 0 && stage < topo_.num_stages(),
                 "stage out of range");
   return hop_delay_[static_cast<std::size_t>(stage)];
+}
+
+void NetworkFabric::save_state(snapshot::Writer& out) const {
+  // Element state first: queues, scheduler cursors, drop counters.
+  for (const auto& sw : switches_) sw->save_state(out);
+  // Element auditors (shadow ledgers).  Presence is config-derived, but
+  // the byte lets load_state reject a checkpoint from a differently
+  // configured build with a clean error instead of a desynced stream.
+  out.boolean(!element_auditors_.empty());
+  for (const auto& auditor : element_auditors_) auditor->save_state(out);
+  // Relay queues, one per internal link (count fixed by the topology).
+  for (const auto& queue : relay_) {
+    out.u64(static_cast<std::uint64_t>(queue.size()));
+    for (const RelayCell& cell : queue) {
+      snapshot::write_packet(out, cell.packet);
+      out.i64(cell.flight_arrival);
+      out.boolean(cell.hold_back);
+    }
+  }
+  // In-flight table, sorted by packet id (canonical form).
+  std::vector<PacketId> ids;
+  ids.reserve(flights_.size());
+  for (const auto& [id, flight] : flights_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out.u64(static_cast<std::uint64_t>(ids.size()));
+  for (PacketId id : ids) {
+    const Flight& flight = flights_.at(id);
+    out.u64(id);
+    out.i32(flight.ext_input);
+    out.i64(flight.arrival);
+    out.i32(flight.priority);
+    out.port_set(flight.dests);
+    out.port_set(flight.remaining);
+  }
+  out.u64(dropped_);
+  out.u64(copies_injected_);
+  out.u64(copies_delivered_);
+  out.u64(copies_purged_);
+  out.u64(pending_copies_);
+  out.u64(forwarded_cells_);
+  out.u64(pauses_applied_);
+  out.u64(transfer_seq_);
+  out.u64(relay_seq_);
+  for (const RunningStat& stat : hop_delay_) snapshot::write_stat(out, stat);
+  snapshot::write_stat(out, end_to_end_delay_);
+  out.i64(faults_advanced_to_);
+}
+
+void NetworkFabric::load_state(snapshot::Reader& in) {
+  for (auto& sw : switches_) sw->load_state(in);
+  const bool has_auditors = in.boolean();
+  if (has_auditors != !element_auditors_.empty())
+    throw snapshot::SnapshotError(
+        "fabric checkpoint element-auditor presence mismatch");
+  for (auto& auditor : element_auditors_) auditor->load_state(in);
+  for (auto& queue : relay_) {
+    queue.clear();
+    const std::uint64_t count = in.length(snapshot::kMaxContainer);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RelayCell cell;
+      cell.packet = snapshot::read_packet(in);
+      cell.flight_arrival = in.i64();
+      cell.hold_back = in.boolean();
+      queue.push_back(std::move(cell));
+    }
+  }
+  flights_.clear();
+  const std::uint64_t nflights = in.length(snapshot::kMaxContainer);
+  const PortSet all_in = PortSet::all(topo_.num_external_inputs());
+  const PortSet all_out = PortSet::all(topo_.num_external_outputs());
+  for (std::uint64_t i = 0; i < nflights; ++i) {
+    const auto id = static_cast<PacketId>(in.u64());
+    Flight flight;
+    flight.ext_input = static_cast<PortId>(in.i32());
+    flight.arrival = in.i64();
+    flight.priority = static_cast<int>(in.i32());
+    flight.dests = in.port_set();
+    flight.remaining = in.port_set();
+    if (flight.ext_input < 0 || !all_in.contains(flight.ext_input) ||
+        flight.dests.empty() || !flight.dests.is_subset_of(all_out) ||
+        flight.remaining.empty() ||
+        !flight.remaining.is_subset_of(flight.dests))
+      throw snapshot::SnapshotError("fabric checkpoint flight invalid");
+    const auto [it, fresh] = flights_.emplace(id, std::move(flight));
+    if (!fresh)
+      throw snapshot::SnapshotError("fabric checkpoint duplicate flight id");
+  }
+  dropped_ = in.u64();
+  copies_injected_ = in.u64();
+  copies_delivered_ = in.u64();
+  copies_purged_ = in.u64();
+  pending_copies_ = in.u64();
+  forwarded_cells_ = in.u64();
+  pauses_applied_ = in.u64();
+  transfer_seq_ = in.u64();
+  relay_seq_ = in.u64();
+  for (RunningStat& stat : hop_delay_) snapshot::read_stat(in, stat);
+  snapshot::read_stat(in, end_to_end_delay_);
+  const SlotTime cursor = in.i64();
+  // Rebuild the per-switch FaultStates by replaying the plan up to the
+  // saved cursor.  The events replayed here are NOT forwarded to the
+  // observer or the element auditors: the auditors' shadow failure state
+  // was restored above, and the uninterrupted run already reported them.
+  rebuild_fault_states();
+  if (!fault_states_.empty() && cursor >= 0) {
+    for (auto& state : fault_states_) (void)state.advance(cursor);
+    faults_advanced_to_ = cursor;
+  }
 }
 
 std::uint64_t NetworkFabric::queued_external_copies() const {

@@ -139,6 +139,14 @@ class NetworkFabric final : public SwitchModel {
   /// pending_copies() at every end-of-slot.
   std::uint64_t queued_external_copies() const;
 
+  /// Serialise the whole fabric: every element's queues and scheduler,
+  /// every element auditor, relay queues, the in-flight table (sorted by
+  /// packet id), counters, latency stats and the fault cursor.  Restore
+  /// rebuilds the per-switch FaultStates by replaying the plan up to the
+  /// saved cursor, so mid-storm checkpoints resume with exact level state.
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   struct Flight {  // one live external packet
     PortId ext_input = kNoPort;

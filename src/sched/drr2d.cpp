@@ -1,5 +1,7 @@
 #include "sched/drr2d.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 namespace fifoms {
 
 void Drr2dScheduler::reset(int num_inputs, int num_outputs) {
@@ -44,6 +46,14 @@ void Drr2dScheduler::schedule(std::span<const McVoqInput> inputs,
   // co-prime; for even N a stride of 1 is the classical choice.
   first_diagonal_ = (first_diagonal_ + 1) % size_;
   matching.rounds = rounds == 0 ? 1 : rounds;
+}
+
+void Drr2dScheduler::save_state(snapshot::Writer& out) const {
+  out.i32(first_diagonal_);
+}
+
+void Drr2dScheduler::load_state(snapshot::Reader& in) {
+  first_diagonal_ = in.i32();
 }
 
 }  // namespace fifoms

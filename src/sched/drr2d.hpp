@@ -29,6 +29,9 @@ class Drr2dScheduler final : public VoqScheduler {
   /// Diagonal visited first in the current slot (exposed for tests).
   int first_diagonal() const { return first_diagonal_; }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   int size_ = 0;            // 2DRR is defined on square switches
   int first_diagonal_ = 0;  // rotates every slot

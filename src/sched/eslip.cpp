@@ -2,6 +2,7 @@
 
 #include "common/bit_matrix.hpp"
 #include "fault/fault.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
@@ -250,6 +251,50 @@ void EslipSwitch::clear() {
 const HybridInput& EslipSwitch::input(PortId port) const {
   FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
   return inputs_[static_cast<std::size_t>(port)];
+}
+
+
+void EslipSwitch::save_state(snapshot::Writer& out) const {
+  for (SlotTime slot : last_arrival_slot_) out.i64(slot);
+  for (PortId p : unicast_grant_ptr_) out.i32(p);
+  for (PortId p : unicast_accept_ptr_) out.i32(p);
+  out.i32(multicast_ptr_);
+  for (const HybridInput& port : inputs_) {
+    for (PortId output = 0; output < num_ports_; ++output) {
+      const std::vector<UnicastCell> cells = port.voq_cells(output);
+      out.u64(cells.size());
+      for (const UnicastCell& cell : cells)
+        snapshot::write_unicast_cell(out, cell);
+    }
+    const std::vector<FifoCell> mcq = port.mcq_cells();
+    out.u64(mcq.size());
+    for (const FifoCell& cell : mcq) snapshot::write_fifo_cell(out, cell);
+  }
+}
+
+void EslipSwitch::load_state(snapshot::Reader& in) {
+  for (SlotTime& slot : last_arrival_slot_) slot = in.i64();
+  for (PortId& p : unicast_grant_ptr_) p = in.i32();
+  for (PortId& p : unicast_accept_ptr_) p = in.i32();
+  multicast_ptr_ = in.i32();
+  std::vector<UnicastCell> unicast;
+  std::vector<FifoCell> multicast;
+  for (HybridInput& port : inputs_) {
+    for (PortId output = 0; output < num_ports_; ++output) {
+      const std::size_t count = in.length(snapshot::kMaxContainer);
+      unicast.clear();
+      unicast.reserve(count);
+      for (std::size_t i = 0; i < count; ++i)
+        unicast.push_back(snapshot::read_unicast_cell(in));
+      port.restore_unicast(output, unicast);
+    }
+    const std::size_t count = in.length(snapshot::kMaxContainer);
+    multicast.clear();
+    multicast.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      multicast.push_back(snapshot::read_fifo_cell(in));
+    port.restore_multicast(multicast);
+  }
 }
 
 }  // namespace fifoms

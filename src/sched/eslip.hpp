@@ -55,6 +55,9 @@ class EslipSwitch final : public SwitchModel {
     faults_ = faults;
   }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   enum class Mode { kNone, kUnicast, kMulticast };
 

@@ -18,6 +18,11 @@
 
 namespace fifoms {
 
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
 struct HolCellView {
   bool valid = false;  ///< false when the input queue is empty
   PortId input = kNoPort;
@@ -37,6 +42,10 @@ class HolScheduler {
 
   virtual void schedule(std::span<const HolCellView> hol, SlotTime now,
                         SlotMatching& matching, Rng& rng) = 0;
+
+  /// Cross-slot policy state for snapshot (see VoqScheduler).
+  virtual void save_state(snapshot::Writer& out) const { (void)out; }
+  virtual void load_state(snapshot::Reader& in) { (void)in; }
 };
 
 }  // namespace fifoms

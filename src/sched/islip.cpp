@@ -5,6 +5,7 @@
 #include "sched/islip.hpp"
 
 #include "common/bit_matrix.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace fifoms {
 
@@ -119,6 +120,18 @@ void IslipScheduler::schedule(std::span<const McVoqInput> inputs,
   }
 
   matching.rounds = rounds;
+}
+
+void IslipScheduler::save_state(snapshot::Writer& out) const {
+  // The pointers are the scheduler's only cross-slot state; the request/
+  // grant vectors are per-slot scratch.
+  for (PortId p : grant_ptr_) out.i32(p);
+  for (PortId p : accept_ptr_) out.i32(p);
+}
+
+void IslipScheduler::load_state(snapshot::Reader& in) {
+  for (PortId& p : grant_ptr_) p = in.i32();
+  for (PortId& p : accept_ptr_) p = in.i32();
 }
 
 }  // namespace fifoms

@@ -45,6 +45,9 @@ class IslipScheduler final : public VoqScheduler {
   const std::vector<PortId>& grant_pointers() const { return grant_ptr_; }
   const std::vector<PortId>& accept_pointers() const { return accept_ptr_; }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   IslipOptions options_;
   std::vector<PortId> grant_ptr_;   // per output

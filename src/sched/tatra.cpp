@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.hpp"
+
 namespace fifoms {
 
 void TatraScheduler::reset(int num_inputs, int num_outputs) {
@@ -57,6 +59,41 @@ void TatraScheduler::schedule(std::span<const HolCellView> hol,
     matching.add_match(block.input, output);
   }
   matching.rounds = 1;
+}
+
+void TatraScheduler::save_state(snapshot::Writer& out) const {
+  // Tetris box: every column's block stack bottom-to-top, plus which HOL
+  // packet each input has already dropped blocks for.
+  out.u64(columns_.size());
+  for (const auto& column : columns_) {
+    out.u64(column.size());
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      out.i32(column[i].input);
+      out.u64(column[i].packet);
+    }
+  }
+  out.u64(placed_packet_.size());
+  for (PacketId packet : placed_packet_) out.u64(packet);
+}
+
+void TatraScheduler::load_state(snapshot::Reader& in) {
+  const std::size_t num_columns = in.length(columns_.size());
+  if (num_columns != columns_.size())
+    throw snapshot::SnapshotError("TATRA column count mismatch");
+  for (auto& column : columns_) {
+    column.clear();
+    const std::size_t height = in.length(std::size_t{1} << 26);
+    for (std::size_t i = 0; i < height; ++i) {
+      Block block;
+      block.input = in.i32();
+      block.packet = in.u64();
+      column.push_back(block);
+    }
+  }
+  const std::size_t num_inputs = in.length(placed_packet_.size());
+  if (num_inputs != placed_packet_.size())
+    throw snapshot::SnapshotError("TATRA input count mismatch");
+  for (PacketId& packet : placed_packet_) packet = in.u64();
 }
 
 }  // namespace fifoms

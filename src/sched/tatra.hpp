@@ -36,6 +36,9 @@ class TatraScheduler final : public HolScheduler {
     return columns_[static_cast<std::size_t>(output)].size();
   }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   struct Block {
     PortId input = kNoPort;

@@ -18,6 +18,11 @@
 
 namespace fifoms {
 
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
 class VoqScheduler {
  public:
   virtual ~VoqScheduler() = default;
@@ -45,6 +50,13 @@ class VoqScheduler {
                 SlotMatching& matching, Rng& rng) {
     schedule(inputs, now, matching, rng, ScheduleConstraints{});
   }
+
+  /// Cross-slot policy state (round-robin cursors etc.) for snapshot.
+  /// Schedulers that are pure functions of the queue state keep the
+  /// no-op defaults; stateful ones override both so a restored run
+  /// replays the same grant sequence.
+  virtual void save_state(snapshot::Writer& out) const { (void)out; }
+  virtual void load_state(snapshot::Reader& in) { (void)in; }
 };
 
 }  // namespace fifoms

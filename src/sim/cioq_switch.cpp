@@ -1,6 +1,7 @@
 #include "sim/cioq_switch.hpp"
 
 #include "fault/fault.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
@@ -123,6 +124,30 @@ std::size_t CioqSwitch::output_occupancy(PortId port) const {
 const McVoqInput& CioqSwitch::input(PortId port) const {
   FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
   return inputs_[static_cast<std::size_t>(port)];
+}
+
+
+void CioqSwitch::save_state(snapshot::Writer& out) const {
+  for (SlotTime slot : last_arrival_slot_) out.i64(slot);
+  for (const McVoqInput& port : inputs_) snapshot::write_mc_voq(out, port);
+  for (const OutputFifo& port : outputs_) {
+    const std::vector<OutputCell> cells = port.cells();
+    out.u64(cells.size());
+    for (const OutputCell& cell : cells) snapshot::write_output_cell(out, cell);
+  }
+  scheduler_->save_state(out);
+}
+
+void CioqSwitch::load_state(snapshot::Reader& in) {
+  for (SlotTime& slot : last_arrival_slot_) slot = in.i64();
+  for (McVoqInput& port : inputs_) snapshot::read_mc_voq(in, port);
+  for (OutputFifo& port : outputs_) {
+    port.clear();
+    const std::size_t count = in.length(snapshot::kMaxContainer);
+    for (std::size_t i = 0; i < count; ++i)
+      port.push(snapshot::read_output_cell(in));
+  }
+  scheduler_->load_state(in);
 }
 
 }  // namespace fifoms

@@ -49,6 +49,9 @@ class CioqSwitch final : public SwitchModel {
     faults_ = faults;
   }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   const fault::FaultState* faults_ = nullptr;
   int num_ports_;

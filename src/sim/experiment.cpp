@@ -36,11 +36,13 @@ PointSummary summarise(const std::string& algorithm, double load,
 
   RunningStat in_delay, out_delay, out_p99, q_mean, q_max, r_busy, r_all, thr;
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    if (failed[i]) {
+    const SimResult& run = runs[i];
+    if (failed[i] && !run.truncated) {
       ++point.failed_count;
       continue;  // quarantined cell: its SimResult is a default object
     }
-    const SimResult& run = runs[i];
+    if (failed[i])
+      ++point.truncated_count;  // watchdog partial: completed slots count
     if (run.unstable) {
       ++point.unstable_count;
       continue;  // delay numbers of a diverging run are meaningless
@@ -58,7 +60,7 @@ PointSummary summarise(const std::string& algorithm, double load,
     // Every replication diverged: report throughput anyway (it saturates
     // at the capacity of the scheduler), leave delays at zero.
     for (std::size_t i = 0; i < runs.size(); ++i)
-      if (!failed[i]) thr.add(runs[i].throughput);
+      if (!failed[i] || runs[i].truncated) thr.add(runs[i].throughput);
   }
   point.input_delay = in_delay.mean();
   point.output_delay = out_delay.mean();
@@ -130,6 +132,7 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
     // Bounded retry on the cell's IDENTICAL RNG stream, then quarantine.
     // Failures never escape to the pool: the rest of the grid — and the
     // byte-identity of every other cell's result — is unaffected.
+    std::shared_ptr<const SimResult> partial;
     for (int attempt = 0; attempt < config.cell_attempts; ++attempt) {
       outcome.attempts = attempt + 1;
       try {
@@ -153,7 +156,14 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
         results[task_index] = simulator.run();
         outcome.failed = false;
         outcome.error.clear();
+        partial.reset();
         break;
+      } catch (const SimTimeout& e) {
+        outcome.failed = true;
+        outcome.error = e.what();
+        // Keep the watchdog's partial: if every attempt fails, the stats
+        // of the slots that DID complete survive instead of vanishing.
+        if (e.partial() != nullptr) partial = e.partial();
       } catch (const std::exception& e) {
         outcome.failed = true;
         outcome.error = e.what();
@@ -162,8 +172,14 @@ std::vector<PointSummary> run_sweep(const SweepConfig& config,
         outcome.error = "unknown exception";
       }
     }
-    if (outcome.failed)
-      results[task_index] = SimResult{};  // quarantined: inert placeholder
+    if (outcome.failed) {
+      if (partial != nullptr) {
+        results[task_index] = *partial;  // truncated, but real measurements
+        outcome.truncated = true;
+      } else {
+        results[task_index] = SimResult{};  // quarantined: inert placeholder
+      }
+    }
     if (config.verbose) {
       // Live forward-progress line per finished cell (stderr only, never
       // part of the deterministic results).  The counter is the shared

@@ -76,6 +76,9 @@ struct CellOutcome {
   int replication = 0;
   int attempts = 0;
   bool failed = false;
+  /// Failed cell whose SimTimeout carried a partial result: the stats of
+  /// the completed slots were preserved instead of discarded.
+  bool truncated = false;
   std::string error;  // empty unless failed
 };
 
@@ -84,9 +87,14 @@ struct PointSummary {
   double load = 0.0;
   int replications = 0;
   int unstable_count = 0;
-  /// Replications quarantined by the hardened sweep (excluded from every
-  /// mean below; surfaces as the `failed` CSV column).
+  /// Replications quarantined by the hardened sweep with nothing
+  /// preserved (excluded from every mean below; surfaces as the `failed`
+  /// CSV column).
   int failed_count = 0;
+  /// Replications cut short by the wall-clock watchdog whose completed
+  /// slots WERE preserved: they contribute to the means below over the
+  /// slots that ran (surfaces as the `truncated` CSV column).
+  int truncated_count = 0;
 
   // Means over stable replications (all replications when none is stable).
   double input_delay = 0.0;

@@ -1,6 +1,9 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 #include "common/panic.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
@@ -87,6 +90,74 @@ const RunningStat& MetricsCollector::class_output_delay(int priority) const {
       static_cast<std::size_t>(priority) >= class_output_delay_.size())
     return kEmpty;
   return class_output_delay_[static_cast<std::size_t>(priority)];
+}
+
+void MetricsCollector::save_state(snapshot::Writer& out) const {
+  // Canonical form: the pending map sorted by packet id, so equal
+  // collector states always serialise to equal bytes.
+  std::vector<std::pair<PacketId, Pending>> pending(pending_.begin(),
+                                                    pending_.end());
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u64(pending.size());
+  for (const auto& [id, p] : pending) {
+    out.u64(id);
+    out.i64(p.arrival);
+    out.i32(p.remaining);
+    out.i32(p.priority);
+  }
+  snapshot::write_stat(out, input_delay_);
+  snapshot::write_stat(out, output_delay_);
+  out.u64(class_output_delay_.size());
+  for (const RunningStat& stat : class_output_delay_)
+    snapshot::write_stat(out, stat);
+  snapshot::write_stat(out, queue_mean_);
+  out.u64(queue_max_);
+  snapshot::write_stat(out, rounds_all_);
+  snapshot::write_stat(out, rounds_busy_);
+  snapshot::write_histogram(out, rounds_hist_);
+  snapshot::write_p2(out, output_delay_p99_);
+  out.u64(packets_offered_);
+  out.u64(copies_offered_);
+  out.u64(packets_delivered_);
+  out.u64(copies_delivered_);
+  out.u64(copies_purged_);
+  out.u64(measured_copies_);
+  out.i64(measured_slots_);
+}
+
+void MetricsCollector::load_state(snapshot::Reader& in) {
+  pending_.clear();
+  const std::size_t count = in.length(snapshot::kMaxContainer);
+  pending_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const PacketId id = in.u64();
+    Pending p;
+    p.arrival = in.i64();
+    p.remaining = in.i32();
+    p.priority = in.i32();
+    if (p.remaining <= 0)
+      throw snapshot::SnapshotError("pending packet with no remaining copies");
+    if (!pending_.emplace(id, p).second)
+      throw snapshot::SnapshotError("duplicate pending packet id");
+  }
+  snapshot::read_stat(in, input_delay_);
+  snapshot::read_stat(in, output_delay_);
+  class_output_delay_.resize(in.length(snapshot::kMaxContainer));
+  for (RunningStat& stat : class_output_delay_) snapshot::read_stat(in, stat);
+  snapshot::read_stat(in, queue_mean_);
+  queue_max_ = in.u64();
+  snapshot::read_stat(in, rounds_all_);
+  snapshot::read_stat(in, rounds_busy_);
+  snapshot::read_histogram(in, rounds_hist_);
+  snapshot::read_p2(in, output_delay_p99_);
+  packets_offered_ = in.u64();
+  copies_offered_ = in.u64();
+  packets_delivered_ = in.u64();
+  copies_delivered_ = in.u64();
+  copies_purged_ = in.u64();
+  measured_copies_ = in.u64();
+  measured_slots_ = in.i64();
 }
 
 double MetricsCollector::throughput(int num_outputs) const {

@@ -69,6 +69,11 @@ class MetricsCollector {
 
   SlotTime measured_slots() const { return measured_slots_; }
 
+  /// Full accumulator state for snapshot/restore; the pending map is
+  /// serialised sorted by packet id (canonical form).
+  void save_state(snapshot::Writer& out) const;
+  void load_state(snapshot::Reader& in);
+
  private:
   struct Pending {
     SlotTime arrival = 0;

@@ -44,6 +44,13 @@ class SlotObserver {
   /// Called once per slot after transmission and metrics accounting.
   virtual void on_slot(SlotTime now, const SwitchModel& sw,
                        const SlotResult& result) = 0;
+
+  /// Observer-side state for snapshot (shadow ledgers, digests).  A
+  /// restored run must drive a restored observer to the same final state
+  /// as the uninterrupted run — the auditor overrides these so its
+  /// conservation ledger survives a resume.  Defaults are no-ops.
+  virtual void save_state(snapshot::Writer& out) const { (void)out; }
+  virtual void load_state(snapshot::Reader& in) { (void)in; }
 };
 
 /// Writes one line per traced slot:

@@ -2,6 +2,7 @@
 
 #include "common/panic.hpp"
 #include "fault/fault.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
@@ -74,6 +75,26 @@ void OqSwitch::clear() {
 const OutputFifo& OqSwitch::output(PortId port) const {
   FIFOMS_ASSERT(port >= 0 && port < num_ports_, "output out of range");
   return outputs_[static_cast<std::size_t>(port)];
+}
+
+
+void OqSwitch::save_state(snapshot::Writer& out) const {
+  for (SlotTime slot : last_arrival_slot_) out.i64(slot);
+  for (const OutputFifo& port : outputs_) {
+    const std::vector<OutputCell> cells = port.cells();
+    out.u64(cells.size());
+    for (const OutputCell& cell : cells) snapshot::write_output_cell(out, cell);
+  }
+}
+
+void OqSwitch::load_state(snapshot::Reader& in) {
+  for (SlotTime& slot : last_arrival_slot_) slot = in.i64();
+  for (OutputFifo& port : outputs_) {
+    port.clear();
+    const std::size_t count = in.length(snapshot::kMaxContainer);
+    for (std::size_t i = 0; i < count; ++i)
+      port.push(snapshot::read_output_cell(in));
+  }
 }
 
 }  // namespace fifoms

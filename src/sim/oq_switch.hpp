@@ -34,6 +34,9 @@ class OqSwitch final : public SwitchModel {
     faults_ = faults;
   }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   const fault::FaultState* faults_ = nullptr;
   int num_ports_;

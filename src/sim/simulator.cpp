@@ -1,25 +1,23 @@
 #include "sim/simulator.hpp"
 
-#include <chrono>
-#include <optional>
+#include <bit>
+
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
 namespace {
-
-/// Detaches the switch's fault-state pointer on every exit path (normal
-/// return, instability break, SimTimeout, observer exception).
-struct FaultAttachment {
-  SwitchModel* sw = nullptr;
-  ~FaultAttachment() {
-    if (sw != nullptr) sw->set_fault_state(nullptr);
-  }
-};
-
+constexpr SlotTime kWallCheckPeriod = 512;
 }  // namespace
 
 Simulator::Simulator(SwitchModel& sw, TrafficModel& traffic, SimConfig config)
-    : switch_(sw), traffic_(traffic), config_(config) {
+    : switch_(sw),
+      traffic_(traffic),
+      config_(config),
+      traffic_rng_(derive_seed(config.seed, /*stream=*/1, 0)),
+      sched_rng_(derive_seed(config.seed, /*stream=*/2, 0)),
+      stability_(config.stability) {
   FIFOMS_ASSERT(sw.num_inputs() == traffic.num_ports(),
                 "switch and traffic model disagree on port count");
   FIFOMS_ASSERT(config.total_slots > 0, "empty simulation horizon");
@@ -27,98 +25,115 @@ Simulator::Simulator(SwitchModel& sw, TrafficModel& traffic, SimConfig config)
                 "warm-up fraction out of [0, 1)");
 }
 
-SimResult Simulator::run() {
-  const auto warmup_end = static_cast<SlotTime>(
+Simulator::~Simulator() { detach_faults(); }
+
+void Simulator::detach_faults() {
+  if (faults_attached_) {
+    switch_.set_fault_state(nullptr);
+    faults_attached_ = false;
+  }
+  faults_.reset();
+}
+
+void Simulator::prepare() {
+  detach_faults();
+  warmup_end_ = static_cast<SlotTime>(
       static_cast<double>(config_.total_slots) * config_.warmup_fraction);
 
   // Independent streams: scheduler randomness must not perturb arrivals.
-  Rng traffic_rng(derive_seed(config_.seed, /*stream=*/1, 0));
-  Rng sched_rng(derive_seed(config_.seed, /*stream=*/2, 0));
+  traffic_rng_ = Rng(derive_seed(config_.seed, /*stream=*/1, 0));
+  sched_rng_ = Rng(derive_seed(config_.seed, /*stream=*/2, 0));
 
-  traffic_.reset(traffic_rng);
-  MetricsCollector metrics(warmup_end, switch_.occupancy_ports());
-  StabilityMonitor stability(config_.stability);
+  traffic_.reset(traffic_rng_);
+  metrics_.emplace(warmup_end_, switch_.occupancy_ports());
+  stability_ = StabilityMonitor(config_.stability);
 
   // Fault plumbing: advance the plan cursor at the top of every slot and
   // let the switch model see the level view while it schedules.
-  std::optional<fault::FaultState> faults;
-  FaultAttachment attachment;
   if (config_.fault_plan != nullptr && !config_.fault_plan->empty()) {
     FIFOMS_ASSERT(config_.fault_plan->num_ports() == switch_.num_inputs(),
                   "fault plan and switch disagree on port count");
-    faults.emplace(*config_.fault_plan);
-    switch_.set_fault_state(&*faults);
-    attachment.sw = &switch_;
+    faults_.emplace(*config_.fault_plan);
+    switch_.set_fault_state(&*faults_);
+    faults_attached_ = true;
   }
-  std::uint64_t packets_suppressed = 0;
-  std::uint64_t fault_events_applied = 0;
 
-  const auto wall_start = std::chrono::steady_clock::now();
-  constexpr SlotTime kWallCheckPeriod = 512;
+  next_packet_id_ = 0;
+  now_ = 0;
+  packets_suppressed_ = 0;
+  fault_events_applied_ = 0;
+  wall_start_ = std::chrono::steady_clock::now();
+  prepared_ = true;
+}
+
+void Simulator::restart() {
+  switch_.clear();
+  prepare();
+}
+
+bool Simulator::done() const {
+  return prepared_ && (now_ >= config_.total_slots || stability_.unstable());
+}
+
+void Simulator::step() {
+  FIFOMS_ASSERT(prepared_, "step() before prepare()");
+  FIFOMS_ASSERT(!done(), "step() past the end of the run");
+  const SlotTime now = now_;
+
+  if (faults_) {
+    const auto applied = faults_->advance(now);
+    fault_events_applied_ += applied.size();
+    if (observer_ != nullptr) {
+      for (const fault::FaultEvent& event : applied)
+        observer_->on_fault_event(now, switch_, event);
+    }
+  }
 
   const int num_inputs = switch_.num_inputs();
-  SlotResult slot_result;
-  SlotTime now = 0;
-  for (; now < config_.total_slots; ++now) {
-    if (faults) {
-      const auto applied = faults->advance(now);
-      fault_events_applied += applied.size();
-      if (observer_ != nullptr) {
-        for (const fault::FaultEvent& event : applied)
-          observer_->on_fault_event(now, switch_, event);
-      }
+  for (PortId input = 0; input < num_inputs; ++input) {
+    // Always draw, even for a failed line card: the arrival stream must
+    // stay bit-identical to the fault-free twin of this run.
+    const PortSet destinations = traffic_.arrival(input, now, traffic_rng_);
+    if (destinations.empty()) continue;
+    if (faults_ && faults_->failed_inputs().contains(input)) {
+      ++packets_suppressed_;
+      continue;  // lost at the dead line card, never enters the fabric
     }
-
-    for (PortId input = 0; input < num_inputs; ++input) {
-      // Always draw, even for a failed line card: the arrival stream must
-      // stay bit-identical to the fault-free twin of this run.
-      const PortSet destinations = traffic_.arrival(input, now, traffic_rng);
-      if (destinations.empty()) continue;
-      if (faults && faults->failed_inputs().contains(input)) {
-        ++packets_suppressed;
-        continue;  // lost at the dead line card, never enters the fabric
-      }
-      const Packet packet{
-          .id = next_packet_id_++,
-          .input = input,
-          .arrival = now,
-          .destinations = destinations,
-          .priority = traffic_.last_priority(),
-      };
-      if (!switch_.inject(packet)) continue;  // dropped at a full buffer
-      metrics.on_inject(packet);
-      if (observer_ != nullptr) observer_->on_inject(switch_, packet);
-    }
-
-    slot_result.clear();
-    switch_.step(now, sched_rng, slot_result);
-    metrics.on_slot_end(switch_, slot_result, now);
-    if (observer_ != nullptr) observer_->on_slot(now, switch_, slot_result);
-
-    if (stability.check(switch_, now)) break;
-
-    if (config_.wall_limit_ms > 0 && now % kWallCheckPeriod == 0) {
-      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::steady_clock::now() - wall_start);
-      if (elapsed.count() > config_.wall_limit_ms) {
-        throw SimTimeout("simulation exceeded wall-clock limit of " +
-                         std::to_string(config_.wall_limit_ms) + " ms at slot " +
-                         std::to_string(now));
-      }
-    }
+    const Packet packet{
+        .id = next_packet_id_++,
+        .input = input,
+        .arrival = now,
+        .destinations = destinations,
+        .priority = traffic_.last_priority(),
+    };
+    if (!switch_.inject(packet)) continue;  // dropped at a full buffer
+    metrics_->on_inject(packet);
+    if (observer_ != nullptr) observer_->on_inject(switch_, packet);
   }
-  // On an instability break the for-increment did not run: slot `now` was
-  // still fully executed, so the executed-slot count is now + 1.
-  const SlotTime executed_slots = stability.unstable() ? now + 1 : now;
+
+  slot_result_.clear();
+  switch_.step(now, sched_rng_, slot_result_);
+  metrics_->on_slot_end(switch_, slot_result_, now);
+  if (observer_ != nullptr) observer_->on_slot(now, switch_, slot_result_);
+
+  stability_.check(switch_, now);  // sticky; done() reads unstable()
+  ++now_;
+}
+
+SimResult Simulator::report() const {
+  // now_ counts fully executed slots on every exit path: on an
+  // instability break the breaking slot still ran to completion.
+  const SlotTime executed_slots = now_;
+  const MetricsCollector& metrics = *metrics_;
 
   SimResult result;
   result.algorithm = std::string(switch_.name());
   result.traffic = std::string(traffic_.name());
   result.offered_load = traffic_.offered_load();
   result.total_slots = executed_slots;
-  result.warmup_end = warmup_end;
-  result.unstable = stability.unstable();
-  result.unstable_at = stability.unstable_at();
+  result.warmup_end = warmup_end_;
+  result.unstable = stability_.unstable();
+  result.unstable_at = stability_.unstable_at();
   result.input_delay = metrics.input_delay();
   result.output_delay = metrics.output_delay();
   result.output_delay_p99 = metrics.output_delay_p99().value();
@@ -132,8 +147,8 @@ SimResult Simulator::run() {
   result.packets_offered = metrics.packets_offered();
   result.packets_delivered = metrics.packets_delivered();
   result.packets_dropped = switch_.dropped_packets();
-  result.packets_suppressed = packets_suppressed;
-  result.fault_events_applied = fault_events_applied;
+  result.packets_suppressed = packets_suppressed_;
+  result.fault_events_applied = fault_events_applied_;
   result.copies_offered = metrics.copies_offered();
   result.copies_delivered = metrics.copies_delivered();
   result.copies_purged = metrics.copies_purged();
@@ -147,6 +162,100 @@ SimResult Simulator::run() {
                          static_cast<double>(switch_.num_outputs()));
   }
   return result;
+}
+
+SimResult Simulator::finalize() {
+  FIFOMS_ASSERT(prepared_, "finalize() before prepare()");
+  SimResult result = report();
+  detach_faults();
+  return result;
+}
+
+SimResult Simulator::run() {
+  prepare();
+  while (!done()) {
+    const SlotTime slot = now_;
+    step();
+    if (config_.wall_limit_ms > 0 && slot % kWallCheckPeriod == 0 &&
+        !stability_.unstable()) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wall_start_);
+      if (elapsed.count() > config_.wall_limit_ms) {
+        auto partial = std::make_shared<SimResult>(report());
+        partial->truncated = true;
+        detach_faults();
+        throw SimTimeout("simulation exceeded wall-clock limit of " +
+                             std::to_string(config_.wall_limit_ms) +
+                             " ms at slot " + std::to_string(slot),
+                         std::move(partial));
+      }
+    }
+  }
+  return finalize();
+}
+
+std::uint64_t Simulator::state_fingerprint() const {
+  using snapshot::mix_fingerprint;
+  std::uint64_t acc = 0x46534e50;  // "FSNP"
+  acc = mix_fingerprint(acc, config_.seed);
+  acc = mix_fingerprint(acc, static_cast<std::uint64_t>(config_.total_slots));
+  acc = mix_fingerprint(acc,
+                        std::bit_cast<std::uint64_t>(config_.warmup_fraction));
+  acc = mix_fingerprint(acc, static_cast<std::uint64_t>(switch_.num_inputs()));
+  acc = mix_fingerprint(acc, static_cast<std::uint64_t>(switch_.num_outputs()));
+  for (char c : switch_.name())
+    acc = mix_fingerprint(acc, static_cast<unsigned char>(c));
+  for (char c : traffic_.name())
+    acc = mix_fingerprint(acc, static_cast<unsigned char>(c));
+  const bool has_plan =
+      config_.fault_plan != nullptr && !config_.fault_plan->empty();
+  acc = mix_fingerprint(acc, has_plan ? 1 : 0);
+  if (has_plan)
+    acc = mix_fingerprint(
+        acc, static_cast<std::uint64_t>(config_.fault_plan->num_ports()));
+  return acc;
+}
+
+void Simulator::save_state(snapshot::Writer& out) const {
+  FIFOMS_ASSERT(prepared_, "save_state() before prepare()");
+  out.u64(next_packet_id_);
+  out.i64(now_);
+  out.u64(packets_suppressed_);
+  out.u64(fault_events_applied_);
+  snapshot::write_rng(out, traffic_rng_);
+  snapshot::write_rng(out, sched_rng_);
+  metrics_->save_state(out);
+  stability_.save_state(out);
+  out.boolean(observer_ != nullptr);
+  if (observer_ != nullptr) observer_->save_state(out);
+  traffic_.save_state(out);
+  switch_.save_state(out);
+}
+
+void Simulator::load_state(snapshot::Reader& in) {
+  prepare();  // clean baseline: fresh RNGs, reset models, fault cursor 0
+  next_packet_id_ = in.u64();
+  now_ = in.i64();
+  if (now_ < 0 || now_ > config_.total_slots)
+    throw snapshot::SnapshotError("checkpoint slot out of range");
+  packets_suppressed_ = in.u64();
+  fault_events_applied_ = in.u64();
+  snapshot::read_rng(in, traffic_rng_);
+  snapshot::read_rng(in, sched_rng_);
+  metrics_->load_state(in);
+  stability_.load_state(in);
+  const bool has_observer = in.boolean();
+  if (has_observer != (observer_ != nullptr))
+    throw snapshot::SnapshotError("checkpoint observer presence mismatch");
+  if (observer_ != nullptr) observer_->load_state(in);
+  traffic_.load_state(in);
+  switch_.clear();
+  switch_.load_state(in);
+  // Replay the fault plan up to the restored slot boundary, silently: the
+  // uninterrupted run already reported these events to the observer, and
+  // the counter above was restored from the payload.
+  if (faults_ && now_ > 0) (void)faults_->advance(now_ - 1);
 }
 
 }  // namespace fifoms

@@ -9,8 +9,21 @@
 // *separate* RNG streams derived from the run seed, so every algorithm
 // sees the bit-identical arrival sequence for a given (config, seed) —
 // scheduler comparisons are paired, not merely statistically matched.
+//
+// The driver is steppable: prepare() arms a run, step() executes exactly
+// one slot, done() reports the end condition and finalize() builds the
+// report.  run() is the classic one-shot composition of the four and is
+// bit-identical to stepping by hand.  Between steps the complete run
+// state — both RNG streams, the packet-id counter, metrics, stability,
+// the switch, the traffic model and the fault cursor — can be serialised
+// with save_state() and restored with load_state(), the foundation of
+// the checkpoint/restore engine (docs/RECOVERY.md): restore(snapshot(S))
+// resumed k slots is bit-identical to running S straight.
 #pragma once
 
+#include <chrono>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -23,14 +36,6 @@
 #include "traffic/traffic_model.hpp"
 
 namespace fifoms {
-
-/// Thrown by Simulator::run when a wall-clock limit is exceeded (the
-/// sweep engine's per-cell watchdog).  An exception — never an abort —
-/// so the sweep can quarantine the cell and keep the rest of the grid.
-class SimTimeout : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 struct SimConfig {
   SlotTime total_slots = 200'000;
@@ -58,6 +63,9 @@ struct SimResult {
 
   bool unstable = false;
   SlotTime unstable_at = -1;
+  /// True when the run was cut short (wall-clock watchdog): the fields
+  /// cover only the slots that completed before the interruption.
+  bool truncated = false;
 
   RunningStat input_delay;
   RunningStat output_delay;
@@ -95,23 +103,97 @@ struct SimResult {
   }
 };
 
+/// Thrown by Simulator::run when a wall-clock limit is exceeded (the
+/// sweep engine's per-cell watchdog).  An exception — never an abort —
+/// so the sweep can quarantine the cell and keep the rest of the grid.
+/// Carries the partial result of the completed slots (truncated = true)
+/// so the sweep preserves what finished instead of discarding the cell.
+class SimTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+  SimTimeout(const std::string& what, std::shared_ptr<const SimResult> partial)
+      : std::runtime_error(what), partial_(std::move(partial)) {}
+
+  /// Metrics of the slots that completed before the watchdog fired;
+  /// null when the thrower had nothing to report.
+  const std::shared_ptr<const SimResult>& partial() const { return partial_; }
+
+ private:
+  std::shared_ptr<const SimResult> partial_;
+};
+
 class Simulator {
  public:
   /// Neither reference is owned; both must outlive the Simulator.
   Simulator(SwitchModel& sw, TrafficModel& traffic, SimConfig config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Run the full horizon (or until instability) and return the report.
+  /// Exactly prepare() + step() while !done() + finalize().
   SimResult run();
+
+  // ---- Steppable surface (checkpoint/restore engine) --------------------
+  /// Arm a fresh run: derive both RNG streams, reset the traffic model,
+  /// metrics and stability, and attach the fault plan.  Does NOT clear
+  /// the switch (run() never did); pass a fresh or cleared switch.
+  void prepare();
+  /// prepare() with the switch cleared first: a from-scratch restart on
+  /// a switch that already ran (the recovery engine's no-usable-
+  /// checkpoint fallback).
+  void restart();
+  /// True once the horizon is reached or instability was declared.
+  bool done() const;
+  /// Execute exactly one slot (arrivals, schedule, metrics, stability).
+  /// Precondition: prepare() was called and done() is false.
+  void step();
+  /// Build the report for the executed slots and detach the fault plan.
+  SimResult finalize();
+  /// Next slot to execute == slots executed so far.
+  SlotTime now() const { return now_; }
 
   /// Attach a per-slot observer (not owned; nullptr detaches).
   void set_observer(SlotObserver* observer) { observer_ = observer; }
 
+  /// Fingerprint of the run configuration (seed, horizon, model names,
+  /// port counts, fault-plan shape).  Stamped into every checkpoint
+  /// frame so a snapshot can never be restored into a different run.
+  std::uint64_t state_fingerprint() const;
+  /// Serialise the complete run state at a slot boundary.  Precondition:
+  /// prepare() was called (steps taken so far are captured exactly).
+  void save_state(snapshot::Writer& out) const;
+  /// Restore a run state saved by save_state().  Internally re-arms via
+  /// prepare() and clears the switch first, then replays the fault plan
+  /// up to the restored slot, so the resumed run is bit-identical to the
+  /// uninterrupted one.  Throws snapshot::SnapshotError on invalid data.
+  void load_state(snapshot::Reader& in);
+
  private:
+  /// Build the report for the slots executed so far (no detach).
+  SimResult report() const;
+  void detach_faults();
+
   SwitchModel& switch_;
   TrafficModel& traffic_;
   SimConfig config_;
   SlotObserver* observer_ = nullptr;
   PacketId next_packet_id_ = 0;
+
+  bool prepared_ = false;
+  SlotTime warmup_end_ = 0;
+  SlotTime now_ = 0;
+  Rng traffic_rng_;
+  Rng sched_rng_;
+  std::optional<MetricsCollector> metrics_;
+  StabilityMonitor stability_;
+  std::optional<fault::FaultState> faults_;
+  bool faults_attached_ = false;
+  std::uint64_t packets_suppressed_ = 0;
+  std::uint64_t fault_events_applied_ = 0;
+  SlotResult slot_result_;
+  std::chrono::steady_clock::time_point wall_start_{};
 };
 
 }  // namespace fifoms

@@ -1,6 +1,7 @@
 #include "sim/single_fifo_switch.hpp"
 
 #include "fault/fault.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
@@ -118,6 +119,33 @@ void SingleFifoSwitch::clear() {
 const SingleFifoInput& SingleFifoSwitch::input(PortId port) const {
   FIFOMS_ASSERT(port >= 0 && port < num_ports_, "input out of range");
   return inputs_[static_cast<std::size_t>(port)];
+}
+
+
+void SingleFifoSwitch::save_state(snapshot::Writer& out) const {
+  out.u64(dropped_);
+  for (SlotTime slot : last_arrival_slot_) out.i64(slot);
+  for (const SingleFifoInput& port : inputs_) {
+    const std::vector<FifoCell> cells = port.cells();
+    out.u64(cells.size());
+    for (const FifoCell& cell : cells) snapshot::write_fifo_cell(out, cell);
+  }
+  scheduler_->save_state(out);
+}
+
+void SingleFifoSwitch::load_state(snapshot::Reader& in) {
+  dropped_ = in.u64();
+  for (SlotTime& slot : last_arrival_slot_) slot = in.i64();
+  std::vector<FifoCell> cells;
+  for (SingleFifoInput& port : inputs_) {
+    const std::size_t count = in.length(snapshot::kMaxContainer);
+    cells.clear();
+    cells.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      cells.push_back(snapshot::read_fifo_cell(in));
+    port.restore_cells(cells);
+  }
+  scheduler_->load_state(in);
 }
 
 }  // namespace fifoms

@@ -1,5 +1,7 @@
 #include "sim/stability.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 namespace fifoms {
 
 bool StabilityMonitor::check(const SwitchModel& sw, SlotTime now) {
@@ -33,6 +35,20 @@ void StabilityMonitor::reset() {
   unstable_at_ = -1;
   last_window_peak_ = 0;
   growth_streak_ = 0;
+}
+
+void StabilityMonitor::save_state(snapshot::Writer& out) const {
+  out.boolean(unstable_);
+  out.i64(unstable_at_);
+  out.u64(last_window_peak_);
+  out.i32(growth_streak_);
+}
+
+void StabilityMonitor::load_state(snapshot::Reader& in) {
+  unstable_ = in.boolean();
+  unstable_at_ = in.i64();
+  last_window_peak_ = in.u64();
+  growth_streak_ = in.i32();
 }
 
 }  // namespace fifoms

@@ -41,6 +41,9 @@ class StabilityMonitor {
 
   void reset();
 
+  void save_state(snapshot::Writer& out) const;
+  void load_state(snapshot::Reader& in);
+
  private:
   StabilityConfig config_;
   bool unstable_ = false;

@@ -21,6 +21,11 @@ namespace fault {
 class FaultState;
 }  // namespace fault
 
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
 /// One copy of a packet crossing the fabric to one output.
 struct Delivery {
   PacketId packet = kNoPacket;
@@ -88,6 +93,15 @@ class SwitchModel {
   virtual void set_fault_state(const fault::FaultState* faults) {
     (void)faults;
   }
+
+  /// Serialise all mutable state into `out` such that load_state() on an
+  /// equally-configured, cleared instance reproduces it exactly —
+  /// subsequent step() calls must be bit-identical to never having
+  /// saved.  Defaults are no-ops (a stateless model saves nothing);
+  /// every concrete model with cross-slot state overrides both.
+  /// load_state() throws snapshot::SnapshotError on malformed bytes.
+  virtual void save_state(snapshot::Writer& out) const { (void)out; }
+  virtual void load_state(snapshot::Reader& in) { (void)in; }
 };
 
 }  // namespace fifoms

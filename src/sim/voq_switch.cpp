@@ -1,6 +1,7 @@
 #include "sim/voq_switch.hpp"
 
 #include "fault/fault.hpp"
+#include "snapshot/state_codec.hpp"
 
 namespace fifoms {
 
@@ -209,6 +210,24 @@ void VoqSwitch::clear() {
   for (auto& slot : last_arrival_slot_) slot = -1;
   dropped_ = 0;
   scheduler_->reset(num_ports_, num_ports_);
+}
+
+void VoqSwitch::save_state(snapshot::Writer& out) const {
+  out.u64(dropped_);
+  for (SlotTime slot : last_arrival_slot_) out.i64(slot);
+  // The queue structure is saved as each input's unserved-packet list;
+  // inject_queue_state() rebuilds data cells, address cells, weight
+  // planes and the global-min carrier from it bit-exactly.  Crossbar and
+  // matching are per-slot scratch and carry no cross-slot state.
+  for (const McVoqInput& port : inputs_) snapshot::write_mc_voq(out, port);
+  scheduler_->save_state(out);
+}
+
+void VoqSwitch::load_state(snapshot::Reader& in) {
+  dropped_ = in.u64();
+  for (SlotTime& slot : last_arrival_slot_) slot = in.i64();
+  for (McVoqInput& port : inputs_) snapshot::read_mc_voq(in, port);
+  scheduler_->load_state(in);
 }
 
 const McVoqInput& VoqSwitch::input(PortId port) const {

@@ -80,6 +80,9 @@ class VoqSwitch final : public SwitchModel {
   const McVoqInput& input(PortId port) const;
   VoqScheduler& scheduler() { return *scheduler_; }
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   /// kPurge housekeeping at the top of a faulted slot: drain every VOQ
   /// addressed to a currently-failed output into result.purged.

@@ -1,0 +1,88 @@
+#include "snapshot/bundle.hpp"
+
+#include <system_error>
+
+#include "snapshot/snapshot.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace fifoms::snapshot {
+
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+std::string to_text(const std::vector<std::uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+std::string ReplayBundle::value_or(const std::string& key,
+                                   std::string fallback) const {
+  for (const auto& [k, v] : manifest)
+    if (k == key) return v;
+  return fallback;
+}
+
+void write_bundle(const std::filesystem::path& dir,
+                  const ReplayBundle& bundle) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw SnapshotError("cannot create bundle directory " + dir.string() +
+                        ": " + ec.message());
+  std::string manifest;
+  for (const auto& [key, value] : bundle.manifest) {
+    if (key.find('=') != std::string::npos ||
+        key.find('\n') != std::string::npos ||
+        value.find('\n') != std::string::npos)
+      throw SnapshotError("bundle manifest key/value contains '=' or newline");
+    manifest += key;
+    manifest += '=';
+    manifest += value;
+    manifest += '\n';
+  }
+  write_file_atomic(dir / "manifest.txt", to_bytes(manifest));
+  if (!bundle.checkpoint.empty())
+    write_file_atomic(dir / "checkpoint.ckpt", bundle.checkpoint);
+  std::string trace;
+  for (const std::string& line : bundle.trace) {
+    trace += line;
+    trace += '\n';
+  }
+  write_file_atomic(dir / "trace.txt", to_bytes(trace));
+}
+
+ReplayBundle read_bundle(const std::filesystem::path& dir) {
+  ReplayBundle bundle;
+  const std::string manifest = to_text(read_file(dir / "manifest.txt"));
+  std::size_t start = 0;
+  while (start < manifest.size()) {
+    std::size_t end = manifest.find('\n', start);
+    if (end == std::string::npos) end = manifest.size();
+    const std::string line = manifest.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw SnapshotError("bundle manifest line without '=': " + line);
+    bundle.manifest.emplace_back(line.substr(0, eq), line.substr(eq + 1));
+  }
+  if (std::filesystem::exists(dir / "checkpoint.ckpt"))
+    bundle.checkpoint = read_file(dir / "checkpoint.ckpt");
+  if (std::filesystem::exists(dir / "trace.txt")) {
+    const std::string trace = to_text(read_file(dir / "trace.txt"));
+    start = 0;
+    while (start < trace.size()) {
+      std::size_t end = trace.find('\n', start);
+      if (end == std::string::npos) end = trace.size();
+      if (end > start) bundle.trace.push_back(trace.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  return bundle;
+}
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,49 @@
+// Replayable counterexample bundles (docs/RECOVERY.md).
+//
+// When an invariant audit panics mid-soak, the harness's panic hook
+// freezes the evidence as a bundle directory:
+//
+//   <dir>/manifest.txt   key=value lines (scenario, seed, ports, ...)
+//   <dir>/checkpoint.ckpt  newest good checkpoint frame (optional)
+//   <dir>/trace.txt      the trace ring's tail, oldest first
+//
+// fifoms_replay consumes the bundle: it rebuilds the identical scenario
+// from the manifest, restores the checkpoint and steps forward until the
+// defect reproduces — a panic turned into a deterministic repro script.
+// All bytes go through write_file_atomic (snapshot_io), so a bundle is
+// never half-written even though it is born inside a dying process.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fifoms::snapshot {
+
+struct ReplayBundle {
+  /// Ordered key=value pairs; keys must not contain '=' or '\n'.
+  std::vector<std::pair<std::string, std::string>> manifest;
+  /// Encoded checkpoint frame bytes; empty = no checkpoint was taken
+  /// before the defect (replay then starts from slot 0).
+  std::vector<std::uint8_t> checkpoint;
+  /// Event lines leading up to the defect, oldest first.
+  std::vector<std::string> trace;
+
+  /// First value for `key`, or `fallback`.
+  std::string value_or(const std::string& key, std::string fallback) const;
+};
+
+/// Write the bundle under `dir` (created if needed).  Throws
+/// SnapshotError on IO failure.
+void write_bundle(const std::filesystem::path& dir,
+                  const ReplayBundle& bundle);
+
+/// Read a bundle written by write_bundle.  Throws SnapshotError when the
+/// directory or manifest is missing or malformed.  A missing checkpoint
+/// file yields an empty `checkpoint` (valid: the defect predated the
+/// first checkpoint).
+ReplayBundle read_bundle(const std::filesystem::path& dir);
+
+}  // namespace fifoms::snapshot

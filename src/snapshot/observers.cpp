@@ -1,0 +1,135 @@
+#include "snapshot/observers.hpp"
+
+#include "fault/fault.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_codec.hpp"
+
+namespace fifoms::snapshot {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+void DigestObserver::mix(std::uint64_t word) {
+  // FNV-1a one byte at a time, little-endian.
+  for (int i = 0; i < 8; ++i) {
+    digest_ ^= (word >> (8 * i)) & 0xff;
+    digest_ *= kFnvPrime;
+  }
+}
+
+void DigestObserver::on_inject(const SwitchModel& sw, const Packet& packet) {
+  if (inner_ != nullptr) inner_->on_inject(sw, packet);
+}
+
+void DigestObserver::on_fault_event(SlotTime now, const SwitchModel& sw,
+                                    const fault::FaultEvent& event) {
+  mix(0xfau);  // domain separator: fault event
+  mix(static_cast<std::uint64_t>(now));
+  mix(static_cast<std::uint64_t>(event.kind));
+  mix(static_cast<std::uint64_t>(event.port));
+  mix(static_cast<std::uint64_t>(event.output));
+  if (inner_ != nullptr) inner_->on_fault_event(now, sw, event);
+}
+
+void DigestObserver::on_slot(SlotTime now, const SwitchModel& sw,
+                             const SlotResult& result) {
+  for (const Delivery& d : result.deliveries) {
+    mix(0xdeu);  // domain separator: delivery
+    mix(static_cast<std::uint64_t>(now));
+    mix(d.packet);
+    mix(static_cast<std::uint64_t>(d.input));
+    mix(static_cast<std::uint64_t>(d.output));
+    mix(d.payload_tag);
+  }
+  for (const Delivery& d : result.purged) {
+    mix(0xb9u);  // domain separator: purge
+    mix(static_cast<std::uint64_t>(now));
+    mix(d.packet);
+    mix(static_cast<std::uint64_t>(d.input));
+    mix(static_cast<std::uint64_t>(d.output));
+    mix(d.payload_tag);
+  }
+  if (inner_ != nullptr) inner_->on_slot(now, sw, result);
+}
+
+void DigestObserver::save_state(Writer& out) const {
+  out.u64(digest_);
+  out.boolean(inner_ != nullptr);
+  if (inner_ != nullptr) inner_->save_state(out);
+}
+
+void DigestObserver::load_state(Reader& in) {
+  digest_ = in.u64();
+  const bool has_inner = in.boolean();
+  if (has_inner != (inner_ != nullptr))
+    throw SnapshotError("digest checkpoint inner-observer presence mismatch");
+  if (inner_ != nullptr) inner_->load_state(in);
+}
+
+void TraceRingObserver::push(std::string line) {
+  if (capacity_ == 0) return;
+  if (lines_.size() == capacity_) lines_.pop_front();
+  lines_.push_back(std::move(line));
+}
+
+void TraceRingObserver::on_inject(const SwitchModel& sw,
+                                  const Packet& packet) {
+  std::string line = "inject slot=" + std::to_string(packet.arrival) +
+                     " packet=" + std::to_string(packet.id) +
+                     " input=" + std::to_string(packet.input) + " dests=";
+  bool first = true;
+  for (PortId output : packet.destinations) {
+    if (!first) line += '+';
+    line += std::to_string(output);
+    first = false;
+  }
+  if (packet.priority != 0)
+    line += " priority=" + std::to_string(packet.priority);
+  push(std::move(line));
+  if (inner_ != nullptr) inner_->on_inject(sw, packet);
+}
+
+void TraceRingObserver::on_fault_event(SlotTime now, const SwitchModel& sw,
+                                       const fault::FaultEvent& event) {
+  push("fault slot=" + std::to_string(now) + " " + fault::to_string(event));
+  if (inner_ != nullptr) inner_->on_fault_event(now, sw, event);
+}
+
+void TraceRingObserver::on_slot(SlotTime now, const SwitchModel& sw,
+                                const SlotResult& result) {
+  for (const Delivery& d : result.deliveries)
+    push("deliver slot=" + std::to_string(now) +
+         " packet=" + std::to_string(d.packet) +
+         " input=" + std::to_string(d.input) +
+         " output=" + std::to_string(d.output));
+  for (const Delivery& d : result.purged)
+    push("purge slot=" + std::to_string(now) +
+         " packet=" + std::to_string(d.packet) +
+         " input=" + std::to_string(d.input) +
+         " output=" + std::to_string(d.output));
+  if (inner_ != nullptr) inner_->on_slot(now, sw, result);
+}
+
+void TraceRingObserver::save_state(Writer& out) const {
+  out.u64(static_cast<std::uint64_t>(lines_.size()));
+  for (const std::string& line : lines_) out.str(line);
+  out.boolean(inner_ != nullptr);
+  if (inner_ != nullptr) inner_->save_state(out);
+}
+
+void TraceRingObserver::load_state(Reader& in) {
+  lines_.clear();
+  const std::size_t count = in.length(kMaxContainer);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string line = in.str();
+    if (capacity_ > 0 && lines_.size() == capacity_) lines_.pop_front();
+    if (capacity_ > 0) lines_.push_back(std::move(line));
+  }
+  const bool has_inner = in.boolean();
+  if (has_inner != (inner_ != nullptr))
+    throw SnapshotError("trace checkpoint inner-observer presence mismatch");
+  if (inner_ != nullptr) inner_->load_state(in);
+}
+
+}  // namespace fifoms::snapshot

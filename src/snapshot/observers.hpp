@@ -1,0 +1,77 @@
+// Recovery-harness observers (docs/RECOVERY.md).
+//
+// DigestObserver folds every delivery, purge and fault event into one
+// FNV-1a word — the cheap run fingerprint the kill-test compares: a
+// SIGKILLed run resumed from its last checkpoint must converge to the
+// digest of the uninterrupted golden run, so digest equality certifies
+// bit-identical delivery streams without storing them.
+//
+// TraceRingObserver keeps the last K slot events as human-readable lines.
+// When an invariant audit panics mid-soak, the ring's content is the
+// "arrival trace tail" of the counterexample bundle: the events that led
+// to the defect, replayable through fifoms_replay.
+//
+// Both chain an optional inner observer (typically the MatchingAuditor)
+// so one Simulator observer slot carries the whole harness stack, and
+// both serialise their state so a resumed run observes with exactly the
+// ledger of the uninterrupted one.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "sim/observer.hpp"
+
+namespace fifoms::snapshot {
+
+class DigestObserver final : public SlotObserver {
+ public:
+  explicit DigestObserver(SlotObserver* inner = nullptr) : inner_(inner) {}
+
+  void on_inject(const SwitchModel& sw, const Packet& packet) override;
+  void on_fault_event(SlotTime now, const SwitchModel& sw,
+                      const fault::FaultEvent& event) override;
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override;
+
+  /// FNV-1a fold of every (slot, packet, input, output, payload_tag)
+  /// delivered or purged, and every fault event applied, in stream order.
+  std::uint64_t digest() const { return digest_; }
+
+  void save_state(Writer& out) const override;
+  void load_state(Reader& in) override;
+
+ private:
+  void mix(std::uint64_t word);
+
+  SlotObserver* inner_ = nullptr;           // not owned; may be null
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+class TraceRingObserver final : public SlotObserver {
+ public:
+  explicit TraceRingObserver(std::size_t capacity = 256,
+                             SlotObserver* inner = nullptr)
+      : capacity_(capacity), inner_(inner) {}
+
+  void on_inject(const SwitchModel& sw, const Packet& packet) override;
+  void on_fault_event(SlotTime now, const SwitchModel& sw,
+                      const fault::FaultEvent& event) override;
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override;
+
+  /// Oldest-first tail of recent events (at most `capacity` lines).
+  const std::deque<std::string>& lines() const { return lines_; }
+
+  void save_state(Writer& out) const override;
+  void load_state(Reader& in) override;
+
+ private:
+  void push(std::string line);
+
+  std::size_t capacity_;
+  SlotObserver* inner_ = nullptr;  // not owned; may be null
+  std::deque<std::string> lines_;
+};
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,110 @@
+#include "snapshot/recovery.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "snapshot/snapshot.hpp"
+
+namespace fifoms::snapshot {
+
+RecoveryRunner::RecoveryRunner(Simulator& simulator, RecoveryOptions options)
+    : simulator_(simulator),
+      options_(std::move(options)),
+      store_(options_.dir, options_.stem, simulator.state_fingerprint(),
+             options_.keep) {
+  FIFOMS_ASSERT(options_.max_retries >= 0, "negative retry budget");
+}
+
+std::int64_t RecoveryRunner::restore_latest(RecoveryReport& report) {
+  // Walk newest-first: load_latest() already skips torn/corrupt frames
+  // (collecting diagnostics); a frame that decodes but fails the model's
+  // semantic validation is deleted here so the next iteration falls back
+  // to its predecessor — "previous good checkpoint" all the way down.
+  for (;;) {
+    std::optional<LoadedCheckpoint> loaded = store_.load_latest();
+    if (!loaded) return -1;
+    for (std::string& note : loaded->rejected)
+      report.rejected_files.push_back(std::move(note));
+    try {
+      Reader reader(loaded->payload);
+      simulator_.load_state(reader);
+      reader.expect_end();
+      return static_cast<std::int64_t>(loaded->epoch);
+    } catch (const SnapshotError& e) {
+      report.rejected_files.push_back(loaded->path.string() +
+                                      ": semantic reject: " + e.what());
+      std::error_code ec;
+      std::filesystem::remove(loaded->path, ec);  // fall back to predecessor
+    }
+  }
+}
+
+RecoveryReport RecoveryRunner::run() {
+  RecoveryReport report;
+
+  const auto save_checkpoint = [&](std::uint64_t epoch) {
+    Writer writer;
+    simulator_.save_state(writer);
+    store_.save(epoch, writer.bytes());
+    ++report.checkpoints_written;
+    report.last_checkpoint_slot = static_cast<std::int64_t>(epoch);
+    if (options_.on_checkpoint) options_.on_checkpoint(epoch, writer.size());
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      // Arm the run: resume from the newest valid checkpoint when asked,
+      // else a fresh slot-0 run.  Restarts always re-enter through here,
+      // so a crash rewinds to the last durable state.
+      std::int64_t restored = -1;
+      if (options_.resume || attempt > 0) restored = restore_latest(report);
+      // No usable checkpoint: a first attempt trusts the caller's fresh
+      // switch (prepare never cleared; run() never did), but a RESTART
+      // must scrub the dirty state of the failed attempt first.
+      if (restored < 0) {
+        if (attempt == 0)
+          simulator_.prepare();
+        else
+          simulator_.restart();
+      }
+      if (attempt == 0 && restored >= 0) {
+        report.resumed = true;
+        report.resumed_from_slot = restored;
+      }
+
+      while (!simulator_.done()) {
+        simulator_.step();
+        const SlotTime now = simulator_.now();
+        if (options_.checkpoint_every > 0 &&
+            now % options_.checkpoint_every == 0 &&
+            static_cast<std::int64_t>(now) > report.last_checkpoint_slot)
+          save_checkpoint(static_cast<std::uint64_t>(now));
+        if (options_.stop_requested && options_.stop_requested()) {
+          // Clean shutdown: park a final checkpoint so the next --resume
+          // continues from this exact slot boundary.
+          if (static_cast<std::int64_t>(now) > report.last_checkpoint_slot)
+            save_checkpoint(static_cast<std::uint64_t>(now));
+          return report;
+        }
+      }
+      report.result = simulator_.finalize();
+      report.completed = true;
+      return report;
+    } catch (const std::exception& e) {
+      report.error = e.what();
+      if (attempt >= options_.max_retries) {
+        report.quarantined = true;
+        return report;
+      }
+      ++report.restarts;
+      if (options_.backoff_initial_ms > 0) {
+        const auto delay = std::chrono::milliseconds(
+            static_cast<std::int64_t>(options_.backoff_initial_ms) << attempt);
+        std::this_thread::sleep_for(delay);
+      }
+    }
+  }
+}
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,94 @@
+// RecoveryRunner: checkpointed execution with automatic resume
+// (docs/RECOVERY.md).
+//
+// Wraps a Simulator's step loop with (1) periodic epoch-stamped
+// checkpoints through CheckpointStore's atomic-write protocol, (2) a
+// clean-shutdown poll so a SIGTERM'd soak parks a final checkpoint
+// before exiting, and (3) bounded crash recovery: when a step or a
+// restore throws, the runner backs off exponentially, rewinds to the
+// newest checkpoint that validates (torn and corrupted files are
+// skipped and reported; a checkpoint that decodes but fails semantic
+// validation is deleted so the next attempt falls back to its
+// predecessor) and replays forward.  Only when the retry budget is
+// exhausted does it quarantine: the error is reported, never rethrown —
+// the recovery path degrades, it does not abort.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace fifoms::snapshot {
+
+struct RecoveryOptions {
+  /// Checkpoint cadence in slots; 0 disables periodic checkpoints.
+  SlotTime checkpoint_every = 10'000;
+  /// Checkpoint directory (created if needed) and file stem.
+  std::string dir = "checkpoints";
+  std::string stem = "run";
+  /// Newest checkpoints kept on disk (>= 1).
+  int keep = 2;
+  /// Start from the newest valid checkpoint when one exists; a fresh run
+  /// otherwise.  Off = ignore existing checkpoints and start at slot 0.
+  bool resume = true;
+  /// Recovery restarts allowed after a mid-run failure before the run is
+  /// quarantined.
+  int max_retries = 2;
+  /// First retry backs off this long, doubling per retry (0 = no sleep —
+  /// tests and CI want instant retries).
+  int backoff_initial_ms = 0;
+  /// Polled once per slot; return true to request a clean shutdown (the
+  /// runner saves a final checkpoint and returns completed = false).
+  std::function<bool()> stop_requested;
+  /// Called after every checkpoint save as (epoch, bytes).
+  std::function<void(std::uint64_t, std::size_t)> on_checkpoint;
+};
+
+struct RecoveryReport {
+  /// Valid iff `completed`.
+  SimResult result;
+  /// The run reached its horizon (or declared instability) and finalised.
+  bool completed = false;
+  /// A checkpoint was restored at start-up (the --resume path).
+  bool resumed = false;
+  std::int64_t resumed_from_slot = -1;
+  /// Mid-run recovery restarts performed (not counting the initial
+  /// resume).
+  int restarts = 0;
+  std::uint64_t checkpoints_written = 0;
+  /// Slot of the newest checkpoint on disk; -1 when none was written.
+  std::int64_t last_checkpoint_slot = -1;
+  /// Torn/corrupt checkpoint files skipped or deleted across all loads.
+  std::vector<std::string> rejected_files;
+  /// Retry budget exhausted; `error` holds the final failure.
+  bool quarantined = false;
+  std::string error;
+};
+
+class RecoveryRunner {
+ public:
+  /// The simulator is borrowed; it must outlive the runner.
+  RecoveryRunner(Simulator& simulator, RecoveryOptions options);
+
+  /// Execute the run under checkpoint protection (see file comment).
+  RecoveryReport run();
+
+  const CheckpointStore& store() const { return store_; }
+
+ private:
+  /// Restore the newest valid checkpoint into the simulator, deleting
+  /// semantically-invalid files as it goes.  Returns the restored slot,
+  /// or -1 when no checkpoint was usable (the simulator is then freshly
+  /// prepared).
+  std::int64_t restore_latest(RecoveryReport& report);
+
+  Simulator& simulator_;
+  RecoveryOptions options_;
+  CheckpointStore store_;
+};
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,158 @@
+#include "snapshot/snapshot.hpp"
+
+#include <array>
+
+namespace fifoms::snapshot {
+
+namespace {
+
+// Frame header: magic(4) version(4) epoch(8) fingerprint(8) length(8)
+// crc(4) = 36 bytes, followed by `length` payload bytes.
+constexpr std::array<std::uint8_t, 4> kMagic = {'F', 'S', 'N', 'P'};
+constexpr std::size_t kHeaderSize = 36;
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1U) ? 0xedb88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t crc = 0xffffffffU;
+  for (std::uint8_t b : bytes) crc = kCrcTable[(crc ^ b) & 0xffU] ^ (crc >> 8);
+  return crc ^ 0xffffffffU;
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (char c : v) bytes_.push_back(static_cast<std::uint8_t>(c));
+}
+
+void Writer::port_set(const PortSet& v) {
+  for (std::uint64_t word : v.words()) u64(word);
+}
+
+std::uint8_t Reader::u8() {
+  if (remaining() < 1) throw SnapshotError("snapshot payload truncated (u8)");
+  return bytes_[at_++];
+}
+
+std::uint32_t Reader::u32() {
+  if (remaining() < 4) throw SnapshotError("snapshot payload truncated (u32)");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(bytes_[at_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (remaining() < 8) throw SnapshotError("snapshot payload truncated (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes_[at_++]) << (8 * i);
+  return v;
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw SnapshotError("snapshot boolean out of range");
+  return v != 0;
+}
+
+std::string Reader::str() {
+  const std::uint32_t size = u32();
+  if (remaining() < size) throw SnapshotError("snapshot string truncated");
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + at_), size);
+  at_ += size;
+  return out;
+}
+
+PortSet Reader::port_set() {
+  PortSet set;
+  for (int w = 0; w < PortSet::kWords; ++w) set.set_word(w, u64());
+  return set;
+}
+
+void Reader::expect_end() const {
+  if (remaining() != 0)
+    throw SnapshotError("snapshot payload has trailing bytes");
+}
+
+std::size_t Reader::length(std::size_t limit) {
+  const std::uint64_t n = u64();
+  if (n > limit) throw SnapshotError("snapshot container length implausible");
+  return static_cast<std::size_t>(n);
+}
+
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload,
+                                       std::uint64_t epoch,
+                                       std::uint64_t fingerprint) {
+  Writer header;
+  for (std::uint8_t m : kMagic) header.u8(m);
+  header.u32(kFormatVersion);
+  header.u64(epoch);
+  header.u64(fingerprint);
+  header.u64(static_cast<std::uint64_t>(payload.size()));
+  header.u32(crc32(payload));
+  std::vector<std::uint8_t> out = header.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize)
+    throw SnapshotError("snapshot frame shorter than its header");
+  Reader header(bytes.first(kHeaderSize));
+  for (std::uint8_t m : kMagic)
+    if (header.u8() != m) throw SnapshotError("snapshot magic mismatch");
+  Frame frame;
+  frame.version = header.u32();
+  if (frame.version != kFormatVersion)
+    throw SnapshotError("unsupported snapshot format version " +
+                        std::to_string(frame.version) + " (engine speaks " +
+                        std::to_string(kFormatVersion) + ")");
+  frame.epoch = header.u64();
+  frame.fingerprint = header.u64();
+  const std::uint64_t length = header.u64();
+  const std::uint32_t expected_crc = header.u32();
+  if (bytes.size() - kHeaderSize != length)
+    throw SnapshotError("snapshot frame length mismatch (torn file?)");
+  frame.payload = bytes.subspan(kHeaderSize);
+  if (crc32(frame.payload) != expected_crc)
+    throw SnapshotError("snapshot payload CRC mismatch");
+  return frame;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes,
+                   std::uint64_t expected_fingerprint) {
+  Frame frame = decode_frame(bytes);
+  if (frame.fingerprint != expected_fingerprint)
+    throw SnapshotError(
+        "snapshot belongs to a differently-configured run "
+        "(fingerprint mismatch)");
+  return frame;
+}
+
+std::uint64_t mix_fingerprint(std::uint64_t acc, std::uint64_t word) {
+  std::uint64_t state = acc ^ (word + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,133 @@
+// Deterministic snapshot codec (docs/RECOVERY.md).
+//
+// A snapshot is the full mutable state of a simulation — every VOQ ring,
+// scheduler cursor, RNG word, fault-plan cursor, in-flight fabric buffer
+// and accumulated statistic — serialised so that restore(snapshot(S))
+// resumed for k slots is bit-identical to running S for k slots straight.
+//
+// The codec is deliberately dumb: explicit little-endian primitives with
+// bounds-checked reads, wrapped in a versioned, CRC-checked frame.  There
+// is no schema negotiation — a version bump is a format break, and an old
+// engine refuses a new frame cleanly (docs/RECOVERY.md states the
+// versioning policy).  Canonical-form discipline follows the bounded
+// verifier's state encoding (src/verify/): containers with nondeterministic
+// iteration order (hash maps) are serialised sorted by key, so equal
+// states produce equal bytes and checkpoint files are diffable.
+//
+// Error handling contract: snapshot/restore runs exactly when the process
+// is least healthy (crash recovery, corrupted files, mid-fault-storm
+// checkpoints), so like src/fault/ it must degrade, never abort.  Every
+// failure throws SnapshotError — a FaultError subclass, keeping the whole
+// recovery path under the analyzer's fault-path exception discipline —
+// and the `no-raw-fwrite-in-snapshot-path` lint rule forbids unchecked
+// file IO anywhere in src/snapshot/ outside the checksummed writer
+// (snapshot_io.cpp).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/port_set.hpp"
+#include "common/types.hpp"
+#include "fault/fault.hpp"
+
+namespace fifoms::snapshot {
+
+/// Thrown on malformed, truncated, corrupted or version-mismatched
+/// snapshot bytes.  Subclasses fault::FaultError: recovery-path code may
+/// only throw FaultError kinds (fault-path-exception-discipline).
+class SnapshotError : public fault::FaultError {
+ public:
+  using fault::FaultError::FaultError;
+};
+
+/// Format version; bump on ANY byte-layout change (docs/RECOVERY.md).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Append-only byte sink with explicit little-endian primitives.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view v);
+  void port_set(const PortSet& v);
+
+  std::size_t size() const { return bytes_.size(); }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a byte span; every primitive throws
+/// SnapshotError on underrun, so truncated or mutated payloads surface as
+/// clean exceptions, never out-of-bounds reads (the fuzz harness's
+/// contract).
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean();
+  std::string str();
+  PortSet port_set();
+
+  std::size_t remaining() const { return bytes_.size() - at_; }
+  /// Assert the payload was consumed exactly (trailing garbage rejects).
+  void expect_end() const;
+
+  /// Read a container length and validate it against a sanity `limit`
+  /// (corrupted-but-CRC-valid bytes must not drive allocations wild).
+  std::size_t length(std::size_t limit);
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+/// A decoded checkpoint frame.  `payload` views the caller's buffer.
+struct Frame {
+  std::uint32_t version = 0;
+  /// Monotonic checkpoint epoch (the slot the snapshot was taken at).
+  std::uint64_t epoch = 0;
+  /// Fingerprint of the configuration the snapshot belongs to; restore
+  /// into a differently-configured run is refused.
+  std::uint64_t fingerprint = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Wrap `payload` in the checksummed frame: magic, version, epoch,
+/// fingerprint, payload length, payload CRC, payload bytes.
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload,
+                                       std::uint64_t epoch,
+                                       std::uint64_t fingerprint);
+
+/// Validate and unwrap a frame.  Throws SnapshotError on bad magic, any
+/// unknown version, a length mismatch (torn file) or a CRC mismatch.
+Frame decode_frame(std::span<const std::uint8_t> bytes);
+
+/// decode_frame + fingerprint check against the expected configuration.
+Frame decode_frame(std::span<const std::uint8_t> bytes,
+                   std::uint64_t expected_fingerprint);
+
+/// One mixing step for configuration fingerprints (splitmix64 chaining).
+std::uint64_t mix_fingerprint(std::uint64_t acc, std::uint64_t word);
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,176 @@
+// The one file allowed to do raw file IO in src/snapshot/ (lint rule
+// no-raw-fwrite-in-snapshot-path): every byte written here goes through
+// write_file_atomic's tmp+fsync+rename protocol.
+#include "snapshot/snapshot_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace fifoms::snapshot {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what, const fs::path& path) {
+  throw SnapshotError(what + " '" + path.string() +
+                      "': " + std::strerror(errno));
+}
+
+/// Parse `<stem>.<epoch>.ckpt`; nullopt when `name` is anything else.
+std::optional<std::uint64_t> parse_epoch(const std::string& name,
+                                         const std::string& stem) {
+  const std::string prefix = stem + ".";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return std::nullopt;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    epoch = epoch * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return epoch;
+}
+
+}  // namespace
+
+void write_file_atomic(const fs::path& path,
+                       std::span<const std::uint8_t> bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  std::FILE* file = std::fopen(tmp.string().c_str(), "wb");
+  if (file == nullptr) throw_io("cannot open checkpoint tmp", tmp);
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  if (written != bytes.size() || std::fflush(file) != 0) {
+    std::fclose(file);
+    std::remove(tmp.string().c_str());
+    throw_io("short write to checkpoint tmp", tmp);
+  }
+#ifndef _WIN32
+  if (::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    std::remove(tmp.string().c_str());
+    throw_io("fsync of checkpoint tmp failed", tmp);
+  }
+#endif
+  if (std::fclose(file) != 0) {
+    std::remove(tmp.string().c_str());
+    throw_io("close of checkpoint tmp failed", tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.string().c_str());
+    throw SnapshotError("rename of checkpoint tmp to '" + path.string() +
+                        "' failed: " + ec.message());
+  }
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::FILE* file = std::fopen(path.string().c_str(), "rb");
+  if (file == nullptr) throw_io("cannot open checkpoint", path);
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  for (;;) {
+    const std::size_t got = std::fread(chunk.data(), 1, chunk.size(), file);
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+    if (got < chunk.size()) break;
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) throw_io("read of checkpoint failed", path);
+  return bytes;
+}
+
+CheckpointStore::CheckpointStore(fs::path dir, std::string stem,
+                                 std::uint64_t fingerprint, int keep)
+    : dir_(std::move(dir)),
+      stem_(std::move(stem)),
+      fingerprint_(fingerprint),
+      keep_(keep < 1 ? 1 : keep) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw SnapshotError("cannot create checkpoint directory '" +
+                        dir_.string() + "': " + ec.message());
+}
+
+fs::path CheckpointStore::path_for(std::uint64_t epoch) const {
+  return dir_ / (stem_ + "." + std::to_string(epoch) + ".ckpt");
+}
+
+std::filesystem::path CheckpointStore::save(
+    std::uint64_t epoch, std::span<const std::uint8_t> payload) {
+  if (static_cast<std::int64_t>(epoch) <= last_saved_epoch_)
+    throw SnapshotError("checkpoint epoch " + std::to_string(epoch) +
+                        " is not monotonic (last saved " +
+                        std::to_string(last_saved_epoch_) + ")");
+  const std::vector<std::uint8_t> frame =
+      encode_frame(payload, epoch, fingerprint_);
+  const fs::path path = path_for(epoch);
+  write_file_atomic(path, frame);
+  last_saved_epoch_ = static_cast<std::int64_t>(epoch);
+
+  // Prune: keep the newest keep_ checkpoints.
+  std::vector<std::uint64_t> epochs = epochs_on_disk();
+  if (epochs.size() > static_cast<std::size_t>(keep_)) {
+    for (std::size_t i = 0; i + static_cast<std::size_t>(keep_) < epochs.size();
+         ++i) {
+      std::error_code ec;
+      fs::remove(path_for(epochs[i]), ec);  // best-effort
+    }
+  }
+  return path;
+}
+
+std::vector<std::uint64_t> CheckpointStore::epochs_on_disk() const {
+  std::vector<std::uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    if (auto epoch = parse_epoch(entry.path().filename().string(), stem_))
+      epochs.push_back(*epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+std::optional<LoadedCheckpoint> CheckpointStore::load_latest() const {
+  std::vector<std::uint64_t> epochs = epochs_on_disk();
+  std::vector<std::string> rejected;
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const fs::path path = path_for(*it);
+    try {
+      const std::vector<std::uint8_t> bytes = read_file(path);
+      const Frame frame = decode_frame(bytes, fingerprint_);
+      if (frame.epoch != *it)
+        throw SnapshotError("frame epoch " + std::to_string(frame.epoch) +
+                            " does not match filename epoch " +
+                            std::to_string(*it));
+      LoadedCheckpoint loaded;
+      loaded.epoch = frame.epoch;
+      loaded.payload.assign(frame.payload.begin(), frame.payload.end());
+      loaded.path = path;
+      loaded.rejected = std::move(rejected);
+      return loaded;
+    } catch (const SnapshotError& error) {
+      rejected.push_back(path.string() + ": " + error.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,83 @@
+// Checkpoint persistence (docs/RECOVERY.md).
+//
+// All snapshot bytes reach disk through exactly one function —
+// write_file_atomic() — which implements the atomic-write protocol:
+// write to `<path>.tmp`, flush, fsync, then rename over the final name.
+// A crash (or SIGKILL) at any instant leaves either the previous file
+// intact or a `.tmp` orphan; never a half-written checkpoint under the
+// real name.  Torn writes that do slip through (e.g. power loss between
+// fsync and rename metadata) are caught at read time by the frame's
+// length + CRC checks.
+//
+// CheckpointStore manages a rotating set of `<stem>.<epoch>.ckpt` files
+// in one directory: saves are epoch-stamped and pruned to the newest
+// few, and load_latest() walks epochs newest-first, skipping torn or
+// corrupted files until a frame validates — the "previous good
+// checkpoint" fallback the kill-test exercises.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace fifoms::snapshot {
+
+/// Atomically replace `path` with `bytes` (tmp + fsync + rename).
+/// Throws SnapshotError on any IO failure.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// Read a whole file.  Throws SnapshotError if it cannot be opened or
+/// read.
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path);
+
+/// A checkpoint recovered from disk by CheckpointStore::load_latest().
+struct LoadedCheckpoint {
+  std::uint64_t epoch = 0;
+  /// Decoded, CRC-validated payload (owning copy).
+  std::vector<std::uint8_t> payload;
+  std::filesystem::path path;
+  /// Human-readable notes for every newer file that was skipped as
+  /// torn/corrupt/mismatched on the way to this one.
+  std::vector<std::string> rejected;
+};
+
+/// Rotating epoch-stamped checkpoint directory.
+class CheckpointStore {
+ public:
+  /// Creates `dir` if needed.  `keep` newest checkpoints survive each
+  /// save; older ones are pruned.
+  CheckpointStore(std::filesystem::path dir, std::string stem,
+                  std::uint64_t fingerprint, int keep = 2);
+
+  /// Frame and atomically persist `payload` as epoch `epoch`, then
+  /// prune.  Epochs must be strictly increasing across saves (monotonic
+  /// epoch check — a stale or replayed writer is refused).
+  std::filesystem::path save(std::uint64_t epoch,
+                             std::span<const std::uint8_t> payload);
+
+  /// Newest checkpoint that validates (magic/version/length/CRC/
+  /// fingerprint, and frame epoch matching its filename).  Returns
+  /// nullopt when no valid checkpoint exists.
+  std::optional<LoadedCheckpoint> load_latest() const;
+
+  /// Epochs currently on disk (by filename), ascending.
+  std::vector<std::uint64_t> epochs_on_disk() const;
+
+  const std::filesystem::path& dir() const { return dir_; }
+  std::filesystem::path path_for(std::uint64_t epoch) const;
+
+ private:
+  std::filesystem::path dir_;
+  std::string stem_;
+  std::uint64_t fingerprint_;
+  int keep_;
+  std::int64_t last_saved_epoch_ = -1;
+};
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,202 @@
+#include "snapshot/state_codec.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fifoms::snapshot {
+
+void write_rng(Writer& out, const Rng& rng) {
+  for (std::uint64_t word : rng.state()) out.u64(word);
+}
+
+void read_rng(Reader& in, Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (auto& word : state) word = in.u64();
+  rng.set_state(state);
+}
+
+void write_stat(Writer& out, const RunningStat& stat) {
+  const RunningStat::RawState s = stat.raw_state();
+  out.u64(s.count);
+  out.f64(s.mean);
+  out.f64(s.m2);
+  out.f64(s.min);
+  out.f64(s.max);
+}
+
+void read_stat(Reader& in, RunningStat& stat) {
+  RunningStat::RawState s;
+  s.count = in.u64();
+  s.mean = in.f64();
+  s.m2 = in.f64();
+  s.min = in.f64();
+  s.max = in.f64();
+  stat.set_raw_state(s);
+}
+
+void write_histogram(Writer& out, const Histogram& hist) {
+  const std::vector<std::uint64_t>& buckets = hist.buckets();
+  out.u64(buckets.size());
+  for (std::uint64_t count : buckets) out.u64(count);
+}
+
+void read_histogram(Reader& in, Histogram& hist) {
+  const std::size_t size = in.length(kMaxContainer);
+  std::vector<std::uint64_t> buckets(size);
+  for (auto& count : buckets) count = in.u64();
+  hist.restore(buckets);
+}
+
+void write_p2(Writer& out, const P2Quantile& q) {
+  const P2Quantile::RawState s = q.raw_state();
+  out.u64(s.count);
+  for (double h : s.heights) out.f64(h);
+  for (double p : s.positions) out.f64(p);
+  for (double d : s.desired) out.f64(d);
+  for (double i : s.increments) out.f64(i);
+}
+
+void read_p2(Reader& in, P2Quantile& q) {
+  P2Quantile::RawState s;
+  s.count = in.u64();
+  for (auto& h : s.heights) h = in.f64();
+  for (auto& p : s.positions) p = in.f64();
+  for (auto& d : s.desired) d = in.f64();
+  for (auto& i : s.increments) i = in.f64();
+  q.set_raw_state(s);
+}
+
+void write_packet(Writer& out, const Packet& packet) {
+  out.u64(packet.id);
+  out.i32(packet.input);
+  out.i64(packet.arrival);
+  out.port_set(packet.destinations);
+  out.i32(packet.priority);
+}
+
+Packet read_packet(Reader& in) {
+  Packet packet;
+  packet.id = in.u64();
+  packet.input = in.i32();
+  packet.arrival = in.i64();
+  packet.destinations = in.port_set();
+  packet.priority = in.i32();
+  return packet;
+}
+
+void write_fifo_cell(Writer& out, const FifoCell& cell) {
+  out.u64(cell.packet);
+  out.i64(cell.arrival);
+  out.port_set(cell.remaining);
+  out.i32(cell.initial_fanout);
+  out.u64(cell.payload_tag);
+}
+
+FifoCell read_fifo_cell(Reader& in) {
+  FifoCell cell;
+  cell.packet = in.u64();
+  cell.arrival = in.i64();
+  cell.remaining = in.port_set();
+  cell.initial_fanout = in.i32();
+  cell.payload_tag = in.u64();
+  if (cell.remaining.empty())
+    throw SnapshotError("queued multicast cell with empty residue");
+  return cell;
+}
+
+void write_unicast_cell(Writer& out, const UnicastCell& cell) {
+  out.u64(cell.packet);
+  out.i64(cell.arrival);
+  out.u64(cell.payload_tag);
+}
+
+UnicastCell read_unicast_cell(Reader& in) {
+  UnicastCell cell;
+  cell.packet = in.u64();
+  cell.arrival = in.i64();
+  cell.payload_tag = in.u64();
+  return cell;
+}
+
+void write_output_cell(Writer& out, const OutputCell& cell) {
+  out.u64(cell.packet);
+  out.i32(cell.input);
+  out.i64(cell.arrival);
+  out.u64(cell.payload_tag);
+}
+
+OutputCell read_output_cell(Reader& in) {
+  OutputCell cell;
+  cell.packet = in.u64();
+  cell.input = in.i32();
+  cell.arrival = in.i64();
+  cell.payload_tag = in.u64();
+  return cell;
+}
+
+std::vector<Packet> mc_voq_packets(const McVoqInput& input) {
+  // One unserved packet may hold address cells in several VOQs; group the
+  // cells by packet id, rebuilding the destination residue output by
+  // output.  The arrival stamp and priority are identical across a
+  // packet's cells by construction.
+  std::unordered_map<PacketId, std::size_t> index;
+  std::vector<Packet> packets;
+  for (int priority = 0; priority < input.num_classes(); ++priority) {
+    for (PortId output : input.occupied()) {
+      const RingBuffer<AddressCell>& cells =
+          input.address_cells(priority, output);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const AddressCell& cell = cells[i];
+        auto [it, inserted] = index.try_emplace(cell.packet, packets.size());
+        if (inserted) {
+          Packet packet;
+          packet.id = cell.packet;
+          packet.input = input.port();
+          packet.arrival = cell.timestamp;
+          packet.priority = priority;
+          packets.push_back(packet);
+        }
+        packets[it->second].destinations.insert(output);
+      }
+    }
+  }
+  // Arrivals are unique per input (one arrival per slot), so sorting by
+  // arrival is a deterministic canonical order — and the order
+  // inject_queue_state() requires.
+  std::sort(packets.begin(), packets.end(),
+            [](const Packet& a, const Packet& b) { return a.arrival < b.arrival; });
+  return packets;
+}
+
+void write_mc_voq(Writer& out, const McVoqInput& input) {
+  const std::vector<Packet> packets = mc_voq_packets(input);
+  out.u64(packets.size());
+  for (const Packet& packet : packets) write_packet(out, packet);
+}
+
+void read_mc_voq(Reader& in, McVoqInput& input) {
+  const std::size_t count = in.length(kMaxContainer);
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  const PortSet valid_outputs = PortSet::all(input.num_outputs());
+  SlotTime last_arrival = -1;
+  for (std::size_t i = 0; i < count; ++i) {
+    Packet packet = read_packet(in);
+    if (packet.input != input.port())
+      throw SnapshotError("VOQ packet belongs to a different input port");
+    if (packet.arrival <= last_arrival)
+      throw SnapshotError("VOQ packet arrivals are not strictly increasing");
+    if (packet.arrival > kMaxWeightSlot)
+      throw SnapshotError("VOQ packet arrival exceeds the weight-slot range");
+    if (packet.destinations.empty() ||
+        !packet.destinations.is_subset_of(valid_outputs))
+      throw SnapshotError("VOQ packet destination set out of range");
+    if (packet.priority < 0 || packet.priority >= input.num_classes())
+      throw SnapshotError("VOQ packet priority out of range");
+    last_arrival = packet.arrival;
+    packets.push_back(packet);
+  }
+  input.inject_queue_state(packets);
+}
+
+}  // namespace fifoms::snapshot

@@ -1,0 +1,66 @@
+// Shared value codecs for snapshot payloads.
+//
+// Every model's save_state()/load_state() is built from these helpers so
+// the byte layout of a Packet, a queued cell or a statistics accumulator
+// is defined once.  Readers validate semantic invariants (port ranges,
+// monotonic arrivals, non-empty destination sets) and throw SnapshotError
+// before handing data to structures whose own precondition checks panic —
+// a corrupted-but-CRC-valid payload must surface as a clean error.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fabric/hybrid_input.hpp"
+#include "fabric/mc_voq_input.hpp"
+#include "fabric/output_fifo.hpp"
+#include "fabric/packet.hpp"
+#include "fabric/single_fifo_input.hpp"
+#include "snapshot/snapshot.hpp"
+#include "stats/histogram.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/welford.hpp"
+
+namespace fifoms::snapshot {
+
+/// Sanity bound for queue/container lengths inside one payload.
+inline constexpr std::size_t kMaxContainer = std::size_t{1} << 26;
+
+void write_rng(Writer& out, const Rng& rng);
+void read_rng(Reader& in, Rng& rng);
+
+void write_stat(Writer& out, const RunningStat& stat);
+void read_stat(Reader& in, RunningStat& stat);
+
+void write_histogram(Writer& out, const Histogram& hist);
+void read_histogram(Reader& in, Histogram& hist);
+
+void write_p2(Writer& out, const P2Quantile& q);
+void read_p2(Reader& in, P2Quantile& q);
+
+void write_packet(Writer& out, const Packet& packet);
+Packet read_packet(Reader& in);
+
+void write_fifo_cell(Writer& out, const FifoCell& cell);
+FifoCell read_fifo_cell(Reader& in);
+
+void write_unicast_cell(Writer& out, const UnicastCell& cell);
+UnicastCell read_unicast_cell(Reader& in);
+
+void write_output_cell(Writer& out, const OutputCell& cell);
+OutputCell read_output_cell(Reader& in);
+
+/// Reconstruct the unserved-packet list of a multicast VOQ input, sorted
+/// by arrival.  Each returned Packet carries the RESIDUE of its original
+/// destination set (the outputs whose VOQ still holds one of its address
+/// cells); replaying the list through inject_queue_state() reproduces the
+/// queue structure, weight planes and global-min carrier exactly.
+std::vector<Packet> mc_voq_packets(const McVoqInput& input);
+
+void write_mc_voq(Writer& out, const McVoqInput& input);
+
+/// Validate and inject a saved packet list.  Throws SnapshotError when the
+/// payload violates inject_queue_state()'s preconditions (wrong input id,
+/// non-increasing arrivals, empty or out-of-range destination sets,
+/// out-of-range priority).
+void read_mc_voq(Reader& in, McVoqInput& input);
+
+}  // namespace fifoms::snapshot

@@ -53,6 +53,17 @@ void Histogram::merge(const Histogram& other) {
   weighted_sum_ += other.weighted_sum_;
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& counts) {
+  buckets_ = counts;
+  total_ = 0;
+  weighted_sum_ = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    total_ += buckets_[i];
+    weighted_sum_ += static_cast<__int128>(buckets_[i]) *
+                     static_cast<__int128>(i);
+  }
+}
+
 void Histogram::reset() {
   buckets_.clear();
   total_ = 0;

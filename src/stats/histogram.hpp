@@ -38,6 +38,10 @@ class Histogram {
   /// Dense counts [0 .. max_value()].
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Replace contents with dense `counts` (snapshot/restore); total and
+  /// weighted sum are recomputed, so buckets() round-trips exactly.
+  void restore(const std::vector<std::uint64_t>& counts);
+
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;

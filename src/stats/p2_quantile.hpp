@@ -24,6 +24,26 @@ class P2Quantile {
 
   std::uint64_t count() const { return count_; }
 
+  /// Exact marker state, for snapshot/restore.  The target quantile q is
+  /// construction-time configuration and is not part of the state.
+  struct RawState {
+    std::uint64_t count;
+    std::array<double, 5> heights;
+    std::array<double, 5> positions;
+    std::array<double, 5> desired;
+    std::array<double, 5> increments;
+  };
+  RawState raw_state() const {
+    return {count_, heights_, positions_, desired_, increments_};
+  }
+  void set_raw_state(const RawState& s) {
+    count_ = s.count;
+    heights_ = s.heights;
+    positions_ = s.positions;
+    desired_ = s.desired;
+    increments_ = s.increments;
+  }
+
  private:
   double parabolic(int i, double d) const;
   double linear(int i, double d) const;

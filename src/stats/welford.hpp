@@ -71,6 +71,25 @@ class RunningStat {
 
   void reset() { *this = RunningStat{}; }
 
+  /// Exact internal state, for snapshot/restore.  Unlike the public
+  /// accessors (which clamp empty accumulators to 0), this round-trips the
+  /// raw words so restored stats are bit-identical.
+  struct RawState {
+    std::uint64_t count;
+    double mean;
+    double m2;
+    double min;
+    double max;
+  };
+  RawState raw_state() const { return {count_, mean_, m2_, min_, max_}; }
+  void set_raw_state(const RawState& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;

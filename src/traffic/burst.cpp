@@ -1,5 +1,7 @@
 #include "traffic/burst.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 namespace fifoms {
 
 BurstTraffic::BurstTraffic(int num_ports, double e_off, double e_on, double b)
@@ -48,6 +50,21 @@ double BurstTraffic::e_off_for_load(double load, double e_on, double b,
   const double peak = b * static_cast<double>(num_ports);
   FIFOMS_ASSERT(load < peak, "load unreachable: must be < b*N");
   return e_on * (peak / load - 1.0);
+}
+
+
+void BurstTraffic::save_state(snapshot::Writer& out) const {
+  for (const SourceState& source : sources_) {
+    out.boolean(source.on);
+    out.port_set(source.destinations);
+  }
+}
+
+void BurstTraffic::load_state(snapshot::Reader& in) {
+  for (SourceState& source : sources_) {
+    source.on = in.boolean();
+    source.destinations = in.port_set();
+  }
 }
 
 }  // namespace fifoms

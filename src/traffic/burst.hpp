@@ -35,6 +35,9 @@ class BurstTraffic final : public TrafficModel {
   static double e_off_for_load(double load, double e_on, double b,
                                int num_ports);
 
+  void save_state(snapshot::Writer& out) const override;
+  void load_state(snapshot::Reader& in) override;
+
  private:
   PortSet draw_destinations(Rng& rng) const;
 

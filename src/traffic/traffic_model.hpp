@@ -20,6 +20,11 @@
 
 namespace fifoms {
 
+namespace snapshot {
+class Writer;
+class Reader;
+}  // namespace snapshot
+
 class TrafficModel {
  public:
   virtual ~TrafficModel() = default;
@@ -43,6 +48,12 @@ class TrafficModel {
   /// arrival() (0 = highest priority).  Single-class models — everything
   /// in the paper — keep the default.
   virtual int last_priority() const { return 0; }
+
+  /// Cross-slot source state (burst on/off, churned group tables) for
+  /// snapshot.  Memoryless models keep the no-op defaults; the Rng is
+  /// saved separately by the simulator.
+  virtual void save_state(snapshot::Writer& out) const { (void)out; }
+  virtual void load_state(snapshot::Reader& in) { (void)in; }
 
  protected:
   explicit TrafficModel(int num_ports) : num_ports_(num_ports) {

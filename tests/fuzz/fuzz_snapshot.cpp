@@ -1,0 +1,103 @@
+// libFuzzer harness: snapshot frame and codec hardening (docs/RECOVERY.md).
+//
+// Arbitrary bytes are thrown at decode_frame and at the Reader's
+// primitive surface.  The contract under test is the recovery engine's
+// foundation: malformed, truncated or bit-flipped snapshot bytes must be
+// rejected with a clean SnapshotError — never an out-of-bounds read, an
+// allocation blow-up or any other escape.  Any non-SnapshotError escape
+// terminates the process and hands libFuzzer a minimizable crash input.
+//
+// The harness also round-trips: a frame encoded from the input's tail
+// must decode back bit-exactly, and a single-byte corruption of it
+// outside the unchecked header-metadata words must be refused.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+using fifoms::snapshot::decode_frame;
+using fifoms::snapshot::encode_frame;
+using fifoms::snapshot::Reader;
+using fifoms::snapshot::SnapshotError;
+
+namespace {
+
+[[noreturn]] void escape(const char* what) {
+  std::fprintf(stderr, "fuzz_snapshot: %s\n", what);
+  std::abort();
+}
+
+/// Raw bytes as a frame: virtually always rejected; must reject cleanly.
+void fuzz_decode(std::span<const std::uint8_t> bytes) {
+  try {
+    (void)decode_frame(bytes);
+    (void)decode_frame(bytes, /*expected_fingerprint=*/0);
+  } catch (const SnapshotError&) {
+  }
+}
+
+/// Drive the Reader's primitives with an op stream derived from the
+/// input itself; every underrun or limit breach must be a SnapshotError.
+void fuzz_reader(std::span<const std::uint8_t> bytes) {
+  Reader reader(bytes);
+  try {
+    for (std::size_t op = 0; op < 64 && reader.remaining() > 0; ++op) {
+      switch (reader.u8() % 8) {
+        case 0: (void)reader.u8(); break;
+        case 1: (void)reader.u32(); break;
+        case 2: (void)reader.u64(); break;
+        case 3: (void)reader.f64(); break;
+        case 4: (void)reader.boolean(); break;
+        case 5: (void)reader.str(); break;
+        case 6: (void)reader.port_set(); break;
+        case 7: (void)reader.length(/*limit=*/1 << 20); break;
+      }
+    }
+    reader.expect_end();
+  } catch (const SnapshotError&) {
+  }
+}
+
+/// Round-trip the tail as a payload, then corrupt one byte.
+void fuzz_roundtrip(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 3) return;
+  const std::uint64_t epoch = bytes[0];
+  const std::uint64_t fingerprint = bytes[1];
+  const auto payload = bytes.subspan(2);
+
+  std::vector<std::uint8_t> frame = encode_frame(payload, epoch, fingerprint);
+  try {
+    const auto decoded = decode_frame(frame, fingerprint);
+    if (decoded.epoch != epoch ||
+        decoded.payload.size() != payload.size() ||
+        !std::equal(payload.begin(), payload.end(), decoded.payload.begin()))
+      escape("pristine frame did not round-trip");
+  } catch (const SnapshotError&) {
+    escape("pristine frame was rejected");
+  }
+
+  // One-byte corruption at an input-chosen offset.  Only the epoch word
+  // (bytes 8..15 — header metadata outside the payload CRC and the
+  // fingerprint check) may legitimately still decode.
+  const std::size_t at = bytes[2] % frame.size();
+  frame[at] ^= static_cast<std::uint8_t>(bytes[0] | 1);  // non-zero flip
+  try {
+    (void)decode_frame(frame, fingerprint);
+    if (at < 8 || at >= 16) escape("corrupted frame decoded");
+  } catch (const SnapshotError&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  fuzz_decode(bytes);
+  fuzz_reader(bytes);
+  fuzz_roundtrip(bytes);
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Resume equivalence across the multistage fabrics (docs/RECOVERY.md,
+// docs/NETWORK.md): a NetworkFabric checkpoint captures every element's
+// queues and scheduler, the relay queues, the in-flight table and the
+// per-switch fault cursors — so restore + resume must be bit-identical
+// to the straight run on BOTH topologies (clos3, fat-tree2), including
+// checkpoints taken mid-network-fault-storm under both stranded-cell
+// policies.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/fifoms.hpp"
+#include "net/net_experiment.hpp"
+#include "net/net_fault.hpp"
+#include "net/network_fabric.hpp"
+#include "sim/simulator.hpp"
+#include "snapshot/observers.hpp"
+#include "snapshot/snapshot.hpp"
+#include "traffic/uniform_fanout.hpp"
+
+namespace fifoms::net {
+namespace {
+
+using SwitchBuilder = std::function<std::unique_ptr<SwitchModel>()>;
+
+constexpr SlotTime kSlots = 400;
+constexpr std::uint64_t kSeed = 404;
+
+SimConfig make_config(SlotTime slots) {
+  SimConfig config;
+  config.total_slots = slots;
+  config.warmup_fraction = 0.25;
+  config.seed = kSeed;
+  return config;
+}
+
+std::unique_ptr<TrafficModel> fanout_traffic(int ports, int fanout,
+                                             double load) {
+  return std::make_unique<UniformFanoutTraffic>(
+      ports, UniformFanoutTraffic::p_for_load(load, fanout), fanout);
+}
+
+struct RunOutput {
+  SimResult result;
+  std::uint64_t digest = 0;
+  std::uint64_t forwarded = 0;  ///< copies that crossed an internal link
+  std::uint64_t pauses = 0;     ///< backpressure events
+};
+
+RunOutput finish(Simulator& sim, const snapshot::DigestObserver& digest,
+                 const SwitchModel& sw) {
+  while (!sim.done()) sim.step();
+  RunOutput out;
+  out.result = sim.finalize();
+  out.digest = digest.digest();
+  if (const auto* fabric = dynamic_cast<const NetworkFabric*>(&sw)) {
+    out.forwarded = fabric->forwarded_cells();
+    out.pauses = fabric->pauses_applied();
+  }
+  return out;
+}
+
+void expect_equivalent(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.digest, b.digest) << "delivery-stream digests diverged";
+  EXPECT_EQ(a.result.total_slots, b.result.total_slots);
+  EXPECT_EQ(a.result.packets_offered, b.result.packets_offered);
+  EXPECT_EQ(a.result.packets_delivered, b.result.packets_delivered);
+  EXPECT_EQ(a.result.copies_offered, b.result.copies_offered);
+  EXPECT_EQ(a.result.copies_delivered, b.result.copies_delivered);
+  EXPECT_EQ(a.result.copies_purged, b.result.copies_purged);
+  EXPECT_EQ(a.result.packets_suppressed, b.result.packets_suppressed);
+  EXPECT_EQ(a.result.fault_events_applied, b.result.fault_events_applied);
+  EXPECT_EQ(a.result.in_flight_at_end, b.result.in_flight_at_end);
+  EXPECT_EQ(a.result.queue_max, b.result.queue_max);
+  EXPECT_EQ(a.result.throughput, b.result.throughput);
+  {
+    const auto ra = a.result.output_delay.raw_state();
+    const auto rb = b.result.output_delay.raw_state();
+    EXPECT_EQ(ra.count, rb.count);
+    EXPECT_EQ(ra.mean, rb.mean);
+    EXPECT_EQ(ra.m2, rb.m2);
+  }
+  EXPECT_EQ(a.forwarded, b.forwarded);
+  EXPECT_EQ(a.pauses, b.pauses);
+}
+
+/// Golden / saver / resumed triple on fresh fabric instances.  `arm`
+/// runs after construction (e.g. attaches the net fault plan — clear()
+/// keeps the plan, so attaching once before use is enough).
+void check_net_resume(const SwitchBuilder& build,
+                      const std::function<std::unique_ptr<TrafficModel>()>&
+                          traffic_builder,
+                      SlotTime slots, SlotTime k,
+                      const NetFaultPlan* plan = nullptr) {
+  const SimConfig config = make_config(slots);
+  const auto arm = [&](SwitchModel& sw) {
+    if (plan != nullptr)
+      dynamic_cast<NetworkFabric&>(sw).set_net_fault_plan(plan);
+  };
+
+  auto golden_sw = build();
+  arm(*golden_sw);
+  auto golden_traffic = traffic_builder();
+  snapshot::DigestObserver golden_digest;
+  Simulator golden(*golden_sw, *golden_traffic, config);
+  golden.set_observer(&golden_digest);
+  golden.prepare();
+  const RunOutput straight = finish(golden, golden_digest, *golden_sw);
+  EXPECT_GT(straight.result.copies_delivered, 0u);
+
+  auto saver_sw = build();
+  arm(*saver_sw);
+  auto saver_traffic = traffic_builder();
+  snapshot::DigestObserver saver_digest;
+  Simulator saver(*saver_sw, *saver_traffic, config);
+  saver.set_observer(&saver_digest);
+  saver.prepare();
+  while (saver.now() < k) saver.step();
+  snapshot::Writer writer;
+  saver.save_state(writer);
+  const std::vector<std::uint8_t> payload = writer.take();
+  expect_equivalent(finish(saver, saver_digest, *saver_sw), straight);
+
+  auto resumed_sw = build();
+  arm(*resumed_sw);
+  auto resumed_traffic = traffic_builder();
+  snapshot::DigestObserver resumed_digest;
+  Simulator resumed(*resumed_sw, *resumed_traffic, config);
+  resumed.set_observer(&resumed_digest);
+  snapshot::Reader reader(payload);
+  resumed.load_state(reader);
+  reader.expect_end();
+  EXPECT_EQ(resumed.now(), k);
+  expect_equivalent(finish(resumed, resumed_digest, *resumed_sw), straight);
+}
+
+TEST(NetResume, Clos3FabricRoundTrips) {
+  const SwitchFactory factory = make_clos3_fifoms();
+  check_net_resume([&] { return factory.make(16); },
+                   [] { return fanout_traffic(16, 4, 0.5); }, kSlots,
+                   /*k=*/160);
+}
+
+TEST(NetResume, FatTree2FabricRoundTrips) {
+  const SwitchFactory factory = make_fat_tree2_fifoms();
+  check_net_resume([&] { return factory.make(8); },
+                   [] { return fanout_traffic(8, 2, 0.5); }, kSlots,
+                   /*k=*/160);
+}
+
+TEST(NetResume, DegenerateSingleTopologyRoundTrips) {
+  const SwitchFactory factory = make_single_net_fifoms();
+  check_net_resume([&] { return factory.make(8); },
+                   [] { return fanout_traffic(8, 2, 0.6); }, kSlots,
+                   /*k=*/100);
+}
+
+TEST(NetResume, MidNetworkFaultStormBothPolicies) {
+  const Topology topo = Topology::clos3(2);
+  const NetFaultPlan storm =
+      NetFaultPlan::net_fault_storm(topo, /*seed=*/13, /*slots=*/400);
+  ASSERT_GT(storm.total_events(), 0u);
+  for (const StrandedCellPolicy policy :
+       {StrandedCellPolicy::kHold, StrandedCellPolicy::kPurge}) {
+    SCOPED_TRACE(policy == StrandedCellPolicy::kHold ? "hold" : "purge");
+    NetworkFabric::Options options;
+    options.stranded_policy = policy;
+    // Element auditors ride inside the checkpoint too (FIFOMS_AUDIT
+    // builds): the resumed fabric re-audits from the restored ledger.
+    options.audit_switches = true;
+    const SwitchBuilder build = [&] {
+      return std::make_unique<NetworkFabric>(
+          topo, [] { return std::make_unique<FifomsScheduler>(); }, options);
+    };
+    check_net_resume(build,
+                     [&] { return fanout_traffic(topo.num_external_inputs(),
+                                                 2, 0.8); },
+                     /*slots=*/400, /*k=*/180, &storm);
+  }
+}
+
+TEST(NetResume, TightBackpressureStateSurvivesTheRoundTrip) {
+  // A 1-cell link buffer forces pauses constantly; the paused masks are
+  // recomputed per slot but the buffered occupancy driving them is
+  // checkpointed state — pause counters must line up exactly.
+  const Topology topo = Topology::clos3(2);
+  NetworkFabric::Options options;
+  options.link_buffer_capacity = 1;
+  const SwitchBuilder build = [&] {
+    return std::make_unique<NetworkFabric>(
+        topo, [] { return std::make_unique<FifomsScheduler>(); }, options);
+  };
+  check_net_resume(build,
+                   [&] { return fanout_traffic(topo.num_external_inputs(),
+                                               2, 0.9); },
+                   /*slots=*/300, /*k=*/120);
+}
+
+}  // namespace
+}  // namespace fifoms::net

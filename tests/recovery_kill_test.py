@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""SIGKILL kill-test for the checkpointed soak harness (docs/RECOVERY.md).
+
+Protocol:
+  1. Golden: run `fifoms_soak --quick --checkpoint-every N` uninterrupted
+     and record its DIGEST lines (one FNV-1a fold per scenario run).
+  2. Kill cycle: in a fresh checkpoint directory, start the same soak and
+     SIGKILL it the moment a chosen number of CHECKPOINT lines have been
+     flushed -- the process dies mid-epoch with checkpoints on disk.
+     Repeat with --resume, killing again at later marks, then let the
+     final resume run to completion.
+  3. Assert the surviving transcript's DIGEST set equals the golden run's
+     exactly: a resumed run converged to the uninterrupted behaviour.
+  4. Torn-file variant: after a kill, truncate the newest .ckpt to half
+     its bytes.  The resume must report the rejected file on stderr, fall
+     back to the previous good checkpoint, and still converge.
+
+Usage: recovery_kill_test.py <path-to-fifoms_soak>
+"""
+
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CHECKPOINT_EVERY = "250"
+RUN_TIMEOUT_S = 300
+
+
+def soak_cmd(soak, ckpt_dir, resume=False):
+    cmd = [soak, "--quick", "--checkpoint-every", CHECKPOINT_EVERY,
+           "--checkpoint-dir", str(ckpt_dir)]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def digest_lines(text):
+    return sorted(line for line in text.splitlines()
+                  if line.startswith("DIGEST "))
+
+
+def fail(message):
+    print("FAIL: " + message)
+    sys.exit(1)
+
+
+def run_to_completion(cmd):
+    result = subprocess.run(cmd, capture_output=True, text=True,
+                            timeout=RUN_TIMEOUT_S)
+    if result.returncode != 0:
+        fail("soak exited %d\nstdout:\n%s\nstderr:\n%s"
+             % (result.returncode, result.stdout, result.stderr))
+    return result
+
+
+def kill_after_checkpoints(cmd, marks):
+    """Start the soak and SIGKILL it once `marks` CHECKPOINT lines have
+    been flushed.  Returns True if the kill landed mid-run (the process
+    can legitimately finish first when `marks` overshoots the horizon)."""
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    seen = 0
+    killed = False
+    try:
+        for line in proc.stdout:
+            if line.startswith("CHECKPOINT "):
+                seen += 1
+                if seen >= marks:
+                    proc.kill()
+                    killed = True
+                    break
+    finally:
+        proc.stdout.close()
+        proc.wait(timeout=RUN_TIMEOUT_S)
+    if killed and proc.returncode == 0:
+        fail("process exited cleanly despite SIGKILL")
+    return killed
+
+
+def newest_checkpoint(ckpt_dir):
+    ckpts = sorted(pathlib.Path(ckpt_dir).glob("*.ckpt"),
+                   key=lambda p: int(p.name.split(".")[-2]))
+    return ckpts[-1] if ckpts else None
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: recovery_kill_test.py <path-to-fifoms_soak>")
+    soak = sys.argv[1]
+    tmp = tempfile.mkdtemp(prefix="fifoms_kill_test_")
+    try:
+        # -- 1. Golden transcript -------------------------------------
+        golden_dir = os.path.join(tmp, "golden")
+        golden = digest_lines(
+            run_to_completion(soak_cmd(soak, golden_dir)).stdout)
+        if len(golden) != 6:  # 3 scenarios x {hold, purge}
+            fail("golden run produced %d DIGEST lines, expected 6" %
+                 len(golden))
+
+        # -- 2. Kill / resume cycle -----------------------------------
+        kill_dir = os.path.join(tmp, "killed")
+        if not kill_after_checkpoints(soak_cmd(soak, kill_dir), marks=2):
+            fail("first kill never landed: no second checkpoint appeared")
+        # Kill again mid-resume at a later mark, then finish for real.
+        kill_after_checkpoints(soak_cmd(soak, kill_dir, resume=True),
+                               marks=4)
+        final = run_to_completion(soak_cmd(soak, kill_dir, resume=True))
+        if digest_lines(final.stdout) != golden:
+            fail("resumed digests diverged from golden\nresumed:\n%s\n"
+                 "golden:\n%s" % ("\n".join(digest_lines(final.stdout)),
+                                  "\n".join(golden)))
+        if not any(line.startswith(("RESUMED ", "RUN-DONE"))
+                   for line in final.stdout.splitlines()):
+            fail("final transcript shows neither a resume nor a run")
+        print("kill/resume cycle converged to the golden digests")
+
+        # -- 3. Torn-file variant -------------------------------------
+        torn_dir = os.path.join(tmp, "torn")
+        if not kill_after_checkpoints(soak_cmd(soak, torn_dir), marks=2):
+            fail("torn-variant kill never landed")
+        newest = newest_checkpoint(torn_dir)
+        if newest is None:
+            fail("no checkpoint survived the kill")
+        data = newest.read_bytes()
+        newest.write_bytes(data[:len(data) // 2])  # tear it
+
+        final = run_to_completion(soak_cmd(soak, torn_dir, resume=True))
+        if digest_lines(final.stdout) != golden:
+            fail("torn-file resume diverged from golden")
+        if "checkpoint rejected" not in final.stderr:
+            fail("torn checkpoint was not reported as rejected; stderr:\n%s"
+                 % final.stderr)
+        print("torn-checkpoint resume fell back and converged")
+        print("PASS")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,14 @@
 // other cell of the grid stays byte-identical to a failure-free run.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "io/csv.hpp"
+#include "io/json.hpp"
 #include "sim/experiment.hpp"
 #include "traffic/bernoulli.hpp"
 
@@ -170,10 +174,92 @@ TEST(SweepFailure, NonStandardExceptionIsQuarantinedAsUnknown) {
   EXPECT_EQ(points[0].failed_count, 1);
 }
 
-TEST(SweepFailure, WallClockWatchdogQuarantinesARunawayCell) {
+TEST(SweepFailure, TimeoutWithPartialResultIsPreservedAsTruncated) {
+  // A SimTimeout that carries the completed slots' statistics must not
+  // discard them: the cell is marked truncated, its partial metrics
+  // still contribute to the point, and failed_count stays 0.
+  SweepConfig config = base_config();
+  config.loads = {0.5};
+  config.replications = 1;
+  auto partial = std::make_shared<SimResult>();
+  partial->total_slots = 300;
+  partial->truncated = true;
+  partial->throughput = 0.25;
+  partial->output_delay.add(4.0);
+  partial->output_delay.add(6.0);
+  config.cell_probe = [partial](std::size_t, int) {
+    throw SimTimeout("watchdog fired mid-cell", partial);
+  };
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(config, {make_fifoms()},
+                                bernoulli_traffic(config.num_ports),
+                                &outcomes);
+
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_TRUE(outcomes[0].truncated);
+  EXPECT_EQ(outcomes[0].error, "watchdog fired mid-cell");
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].truncated_count, 1);
+  EXPECT_EQ(points[0].failed_count, 0);
+  // The preserved partial statistics drive the point's means.
+  EXPECT_EQ(points[0].throughput, 0.25);
+  EXPECT_EQ(points[0].output_delay, 5.0);
+}
+
+TEST(SweepFailure, TimeoutWithoutPartialStaysAPlainQuarantine) {
+  SweepConfig config = base_config();
+  config.loads = {0.5};
+  config.replications = 1;
+  config.cell_probe = [](std::size_t, int) {
+    throw SimTimeout("watchdog fired with nothing to report");
+  };
+  std::vector<CellOutcome> outcomes;
+  const auto points = run_sweep(config, {make_fifoms()},
+                                bernoulli_traffic(config.num_ports),
+                                &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_FALSE(outcomes[0].truncated);
+  EXPECT_EQ(points[0].failed_count, 1);
+  EXPECT_EQ(points[0].truncated_count, 0);
+}
+
+TEST(SweepFailure, TruncatedCountSurfacesInCsvAndJson) {
+  SweepConfig config = base_config();
+  config.loads = {0.5};
+  config.replications = 2;
+  auto partial = std::make_shared<SimResult>();
+  partial->truncated = true;
+  partial->throughput = 0.5;
+  config.cell_probe = [partial](std::size_t cell, int) {
+    if (cell == 0) throw SimTimeout("watchdog", partial);
+  };
+  const auto points = run_sweep(config, {make_fifoms()},
+                                bernoulli_traffic(config.num_ports));
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].truncated_count, 1);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/truncated_sweep.csv";
+  write_sweep_csv(path, points);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string csv = buffer.str();
+  EXPECT_NE(csv.find("failed,truncated"), std::string::npos) << csv;
+  // The data row ends ...,<failed=0>,<truncated=1>.
+  EXPECT_NE(csv.find(",0,1\n"), std::string::npos) << csv;
+
+  const std::string json = sweep_to_json(points);
+  EXPECT_NE(json.find("\"truncated_count\":1"), std::string::npos) << json;
+}
+
+TEST(SweepFailure, WallClockWatchdogTruncatesARunawayCell) {
   // A 1 ms budget against a few hundred thousand slots: the cooperative
-  // watchdog inside Simulator::run must fire and the sweep must report a
-  // SimTimeout quarantine instead of hanging.
+  // watchdog inside Simulator::run must fire, and because the simulator
+  // packages the completed slots into the SimTimeout, the sweep keeps
+  // the cell as a truncated partial instead of hanging or discarding it.
   SweepConfig config = base_config();
   config.num_ports = 8;
   config.loads = {0.9};
@@ -186,9 +272,11 @@ TEST(SweepFailure, WallClockWatchdogQuarantinesARunawayCell) {
                                 &outcomes);
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_TRUE(outcomes[0].truncated);
   EXPECT_NE(outcomes[0].error.find("wall-clock limit"), std::string::npos)
       << outcomes[0].error;
-  EXPECT_EQ(points[0].failed_count, 1);
+  EXPECT_EQ(points[0].truncated_count, 1);
+  EXPECT_EQ(points[0].failed_count, 0);
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// RecoveryRunner semantics (docs/RECOVERY.md): periodic checkpoints,
+// resume-from-newest-good, torn-file fallback, clean-shutdown parking,
+// bounded retry with from-scratch restart, and quarantine when the
+// budget runs dry — all against the bit-identity contract: whatever
+// path recovery takes, a completed run's words equal the uninterrupted
+// golden run's.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "snapshot/observers.hpp"
+#include "snapshot/recovery.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/snapshot_io.hpp"
+#include "traffic/bernoulli.hpp"
+
+namespace fifoms::snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kPorts = 4;
+constexpr SlotTime kSlots = 600;
+constexpr std::uint64_t kSeed = 31;
+
+fs::path temp_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+SimConfig make_config() {
+  SimConfig config;
+  config.total_slots = kSlots;
+  config.warmup_fraction = 0.25;
+  config.seed = kSeed;
+  return config;
+}
+
+/// Fresh models + simulator + digest observer for one run.
+struct Stack {
+  std::unique_ptr<SwitchModel> sw = make_fifoms().make(kPorts);
+  std::unique_ptr<TrafficModel> traffic = std::make_unique<BernoulliTraffic>(
+      kPorts, BernoulliTraffic::p_for_load(0.6, 0.3, kPorts), 0.3);
+  DigestObserver digest;
+  Simulator sim{*sw, *traffic, make_config()};
+
+  Stack() { sim.set_observer(&digest); }
+};
+
+/// Observer that throws (an exception, not a panic) at a chosen slot;
+/// `times` bounds how often, so a transient flake stops flaking.
+struct FlakyObserver final : SlotObserver {
+  SlotTime at = -1;
+  int times = 1;
+  int thrown = 0;
+  SlotObserver* inner = nullptr;
+
+  void on_inject(const SwitchModel& sw, const Packet& packet) override {
+    if (inner != nullptr) inner->on_inject(sw, packet);
+  }
+  void on_fault_event(SlotTime now, const SwitchModel& sw,
+                      const fault::FaultEvent& event) override {
+    if (inner != nullptr) inner->on_fault_event(now, sw, event);
+  }
+  void on_slot(SlotTime now, const SwitchModel& sw,
+               const SlotResult& result) override {
+    if (inner != nullptr) inner->on_slot(now, sw, result);
+    if (now == at && thrown < times) {
+      ++thrown;
+      throw std::runtime_error("injected step failure at slot " +
+                               std::to_string(now));
+    }
+  }
+  void save_state(Writer& out) const override {
+    if (inner != nullptr) inner->save_state(out);
+  }
+  void load_state(Reader& in) override {
+    if (inner != nullptr) inner->load_state(in);
+  }
+};
+
+SimResult golden_run() {
+  Stack stack;
+  return stack.sim.run();
+}
+
+void expect_result_eq(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.copies_delivered, b.copies_delivered);
+  EXPECT_EQ(a.copies_purged, b.copies_purged);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.output_delay.raw_state().mean, b.output_delay.raw_state().mean);
+  EXPECT_EQ(a.output_delay.raw_state().m2, b.output_delay.raw_state().m2);
+}
+
+TEST(RecoveryRunner, FreshRunCompletesAndRotatesCheckpoints) {
+  const fs::path dir = temp_dir("rec_fresh");
+  Stack stack;
+  RecoveryOptions options;
+  options.checkpoint_every = 100;
+  options.dir = dir.string();
+  options.keep = 2;
+  std::vector<std::uint64_t> epochs_seen;
+  options.on_checkpoint = [&](std::uint64_t epoch, std::size_t bytes) {
+    epochs_seen.push_back(epoch);
+    EXPECT_GT(bytes, 0u);
+  };
+  RecoveryRunner runner(stack.sim, std::move(options));
+  const RecoveryReport report = runner.run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_FALSE(report.quarantined);
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_EQ(report.checkpoints_written, 6u);  // 100, 200, ..., 600
+  EXPECT_EQ(report.last_checkpoint_slot, 600);
+  EXPECT_EQ(epochs_seen,
+            (std::vector<std::uint64_t>{100, 200, 300, 400, 500, 600}));
+  // keep=2: only the newest two survive on disk.
+  EXPECT_EQ(runner.store().epochs_on_disk(),
+            (std::vector<std::uint64_t>{500, 600}));
+  expect_result_eq(report.result, golden_run());
+}
+
+TEST(RecoveryRunner, StopRequestParksACheckpointAndResumeFinishes) {
+  const fs::path dir = temp_dir("rec_stop");
+
+  // Phase 1: a clean shutdown at slot 250 (between the periodic marks).
+  {
+    Stack stack;
+    RecoveryOptions options;
+    options.checkpoint_every = 100;
+    options.dir = dir.string();
+    options.stop_requested = [&] { return stack.sim.now() >= 250; };
+    RecoveryRunner runner(stack.sim, std::move(options));
+    const RecoveryReport report = runner.run();
+    EXPECT_FALSE(report.completed);
+    EXPECT_FALSE(report.quarantined);
+    EXPECT_EQ(report.last_checkpoint_slot, 250);  // parked at the stop slot
+  }
+
+  // Phase 2: a fresh process resumes from the parked checkpoint.
+  {
+    Stack stack;
+    RecoveryOptions options;
+    options.checkpoint_every = 100;
+    options.dir = dir.string();
+    options.resume = true;
+    RecoveryRunner runner(stack.sim, std::move(options));
+    const RecoveryReport report = runner.run();
+    EXPECT_TRUE(report.completed);
+    EXPECT_TRUE(report.resumed);
+    EXPECT_EQ(report.resumed_from_slot, 250);
+    expect_result_eq(report.result, golden_run());
+    EXPECT_EQ(stack.digest.digest(), [] {
+      Stack golden;
+      golden.sim.prepare();
+      while (!golden.sim.done()) golden.sim.step();
+      (void)golden.sim.finalize();
+      return golden.digest.digest();
+    }());
+  }
+}
+
+TEST(RecoveryRunner, TornNewestCheckpointFallsBackToPreviousGood) {
+  const fs::path dir = temp_dir("rec_torn");
+  {
+    Stack stack;
+    RecoveryOptions options;
+    options.checkpoint_every = 100;
+    options.dir = dir.string();
+    options.keep = 3;
+    options.stop_requested = [&] { return stack.sim.now() >= 300; };
+    RecoveryRunner(stack.sim, std::move(options)).run();
+  }
+  // Tear the newest checkpoint (epoch 300) down to half its bytes.
+  {
+    CheckpointStore probe(dir, "run", 0, 3);
+    const auto epochs = probe.epochs_on_disk();
+    ASSERT_FALSE(epochs.empty());
+    const fs::path newest = probe.path_for(epochs.back());
+    const auto bytes = read_file(newest);
+    write_file_atomic(newest, std::span(bytes).first(bytes.size() / 2));
+  }
+  Stack stack;
+  RecoveryOptions options;
+  options.checkpoint_every = 100;
+  options.dir = dir.string();
+  options.resume = true;
+  RecoveryRunner runner(stack.sim, std::move(options));
+  const RecoveryReport report = runner.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.resumed_from_slot, 200);  // 300 is torn; 200 is good
+  ASSERT_FALSE(report.rejected_files.empty());
+  EXPECT_NE(report.rejected_files.front().find("run.300"), std::string::npos)
+      << report.rejected_files.front();
+  expect_result_eq(report.result, golden_run());
+}
+
+TEST(RecoveryRunner, TransientFailureRewindsToCheckpointAndCompletes) {
+  const fs::path dir = temp_dir("rec_flake");
+  Stack stack;
+  FlakyObserver flaky;
+  flaky.at = 320;  // after the slot-300 checkpoint
+  flaky.inner = &stack.digest;
+  stack.sim.set_observer(&flaky);
+
+  RecoveryOptions options;
+  options.checkpoint_every = 100;
+  options.dir = dir.string();
+  options.max_retries = 2;
+  RecoveryRunner runner(stack.sim, std::move(options));
+  const RecoveryReport report = runner.run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.quarantined);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_NE(report.error.find("slot 320"), std::string::npos);
+  // The rewind replayed slots 300..320; the result must still equal the
+  // failure-free golden run (the replay is bit-identical, and the digest
+  // chain was restored from the checkpoint, not double-counted).
+  SimResult golden;
+  {
+    Stack g;
+    FlakyObserver never;  // identical chain shape, no failure
+    never.inner = &g.digest;
+    g.sim.set_observer(&never);
+    golden = g.sim.run();
+  }
+  expect_result_eq(report.result, golden);
+}
+
+TEST(RecoveryRunner, RestartWithoutCheckpointsScrubsTheSwitch) {
+  // No checkpoints at all (checkpoint_every = 0): recovery must restart
+  // from scratch on a CLEARED switch, or the second attempt would run on
+  // the first attempt's leftover queues and diverge.
+  Stack stack;
+  FlakyObserver flaky;
+  flaky.at = 200;
+  flaky.inner = &stack.digest;
+  stack.sim.set_observer(&flaky);
+
+  RecoveryOptions options;
+  options.checkpoint_every = 0;
+  options.dir = temp_dir("rec_scratch").string();
+  options.max_retries = 1;
+  RecoveryRunner runner(stack.sim, std::move(options));
+  const RecoveryReport report = runner.run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_EQ(report.checkpoints_written, 0u);
+  SimResult golden;
+  {
+    Stack g;
+    FlakyObserver never;
+    never.inner = &g.digest;
+    g.sim.set_observer(&never);
+    golden = g.sim.run();
+  }
+  expect_result_eq(report.result, golden);
+}
+
+TEST(RecoveryRunner, DeterministicFailureExhaustsRetriesAndQuarantines) {
+  const fs::path dir = temp_dir("rec_quarantine");
+  Stack stack;
+  FlakyObserver broken;
+  broken.at = 150;
+  broken.times = 1'000'000;  // every attempt fails
+  broken.inner = &stack.digest;
+  stack.sim.set_observer(&broken);
+
+  RecoveryOptions options;
+  options.checkpoint_every = 100;
+  options.dir = dir.string();
+  options.max_retries = 2;
+  RecoveryRunner runner(stack.sim, std::move(options));
+  const RecoveryReport report = runner.run();
+
+  EXPECT_FALSE(report.completed);
+  EXPECT_TRUE(report.quarantined);
+  EXPECT_EQ(report.restarts, 2);  // budget spent, never rethrown
+  EXPECT_NE(report.error.find("slot 150"), std::string::npos);
+}
+
+TEST(RecoveryRunner, ResumeOffIgnoresExistingCheckpoints) {
+  const fs::path dir = temp_dir("rec_noresume");
+  {
+    Stack stack;
+    RecoveryOptions options;
+    options.checkpoint_every = 100;
+    options.dir = dir.string();
+    options.stop_requested = [&] { return stack.sim.now() >= 200; };
+    RecoveryRunner(stack.sim, std::move(options)).run();
+  }
+  Stack stack;
+  RecoveryOptions options;
+  options.checkpoint_every = 100;
+  options.dir = dir.string();
+  options.resume = false;
+  RecoveryRunner runner(stack.sim, std::move(options));
+  const RecoveryReport report = runner.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.resumed);
+  expect_result_eq(report.result, golden_run());
+}
+
+}  // namespace
+}  // namespace fifoms::snapshot

@@ -1,0 +1,306 @@
+// Differential resume-equivalence suite (docs/RECOVERY.md): for EVERY
+// switch-model factory, restore(snapshot(S)) resumed to the horizon must
+// be bit-identical to running S straight — same SimResult words, same
+// delivery-stream digest.  Three runs per scenario:
+//
+//   golden   fresh models, straight run
+//   saver    fresh models, save_state at slot k, then continue (the save
+//            itself must be non-invasive)
+//   resumed  fresh models, load_state(saver's bytes), run to the end
+//
+// All three must agree exactly.  Scenarios cover bernoulli and burst
+// traffic, checkpoints taken before and after the warm-up boundary, and
+// mid-fault-storm saves under both stranded-cell policies with the full
+// observer chain (auditor inside trace ring inside digest) serialised.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/auditor.hpp"
+#include "core/fifoms.hpp"
+#include "sim/experiment.hpp"
+#include "sim/voq_switch.hpp"
+#include "snapshot/observers.hpp"
+#include "snapshot/snapshot.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/burst.hpp"
+
+namespace fifoms {
+namespace {
+
+using SwitchBuilder = std::function<std::unique_ptr<SwitchModel>()>;
+using TrafficBuilder = std::function<std::unique_ptr<TrafficModel>()>;
+
+constexpr int kPorts = 8;
+constexpr SlotTime kSlots = 360;
+constexpr std::uint64_t kSeed = 2026;
+
+SimConfig make_config(SlotTime slots, const fault::FaultPlan* plan) {
+  SimConfig config;
+  config.total_slots = slots;
+  config.warmup_fraction = 0.25;
+  config.seed = kSeed;
+  config.fault_plan = plan;
+  return config;
+}
+
+TrafficBuilder bernoulli_traffic(double load = 0.65) {
+  return [load] {
+    return std::make_unique<BernoulliTraffic>(
+        kPorts, BernoulliTraffic::p_for_load(load, 0.3, kPorts), 0.3);
+  };
+}
+
+TrafficBuilder burst_traffic(double load = 0.7) {
+  return [load] {
+    return std::make_unique<BurstTraffic>(
+        kPorts, BurstTraffic::e_off_for_load(load, 16.0, 0.5, kPorts), 16.0,
+        0.5);
+  };
+}
+
+/// One simulation stack with the full recovery observer chain attached:
+/// digest -> trace ring -> auditor, exactly the soak harness's shape.
+struct Stack {
+  std::unique_ptr<SwitchModel> sw;
+  std::unique_ptr<TrafficModel> traffic;
+  MatchingAuditor auditor;
+  snapshot::TraceRingObserver trace{64, &auditor};
+  snapshot::DigestObserver digest{&trace};
+  std::unique_ptr<Simulator> sim;
+
+  Stack(const SwitchBuilder& sb, const TrafficBuilder& tb,
+        const SimConfig& config)
+      : sw(sb()), traffic(tb()) {
+    sim = std::make_unique<Simulator>(*sw, *traffic, config);
+    sim->set_observer(&digest);
+  }
+};
+
+struct RunOutput {
+  SimResult result;
+  std::uint64_t digest = 0;
+};
+
+void expect_stat_eq(const RunningStat& a, const RunningStat& b,
+                    const char* what) {
+  const auto ra = a.raw_state();
+  const auto rb = b.raw_state();
+  EXPECT_EQ(ra.count, rb.count) << what;
+  EXPECT_EQ(ra.mean, rb.mean) << what;
+  EXPECT_EQ(ra.m2, rb.m2) << what;
+  EXPECT_EQ(ra.min, rb.min) << what;
+  EXPECT_EQ(ra.max, rb.max) << what;
+}
+
+/// Word-exact equality: the contract is bit-identity, not closeness.
+void expect_equivalent(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.digest, b.digest) << "delivery-stream digests diverged";
+  EXPECT_EQ(a.result.algorithm, b.result.algorithm);
+  EXPECT_EQ(a.result.traffic, b.result.traffic);
+  EXPECT_EQ(a.result.total_slots, b.result.total_slots);
+  EXPECT_EQ(a.result.warmup_end, b.result.warmup_end);
+  EXPECT_EQ(a.result.unstable, b.result.unstable);
+  EXPECT_EQ(a.result.unstable_at, b.result.unstable_at);
+  expect_stat_eq(a.result.input_delay, b.result.input_delay, "input_delay");
+  expect_stat_eq(a.result.output_delay, b.result.output_delay,
+                 "output_delay");
+  EXPECT_EQ(a.result.output_delay_p99, b.result.output_delay_p99);
+  ASSERT_EQ(a.result.class_output_delays.size(),
+            b.result.class_output_delays.size());
+  for (std::size_t i = 0; i < a.result.class_output_delays.size(); ++i)
+    expect_stat_eq(a.result.class_output_delays[i],
+                   b.result.class_output_delays[i], "class_output_delay");
+  expect_stat_eq(a.result.queue_mean, b.result.queue_mean, "queue_mean");
+  EXPECT_EQ(a.result.queue_max, b.result.queue_max);
+  expect_stat_eq(a.result.rounds_all, b.result.rounds_all, "rounds_all");
+  expect_stat_eq(a.result.rounds_busy, b.result.rounds_busy, "rounds_busy");
+  EXPECT_EQ(a.result.packets_offered, b.result.packets_offered);
+  EXPECT_EQ(a.result.packets_delivered, b.result.packets_delivered);
+  EXPECT_EQ(a.result.copies_offered, b.result.copies_offered);
+  EXPECT_EQ(a.result.copies_delivered, b.result.copies_delivered);
+  EXPECT_EQ(a.result.packets_dropped, b.result.packets_dropped);
+  EXPECT_EQ(a.result.packets_suppressed, b.result.packets_suppressed);
+  EXPECT_EQ(a.result.copies_purged, b.result.copies_purged);
+  EXPECT_EQ(a.result.fault_events_applied, b.result.fault_events_applied);
+  EXPECT_EQ(a.result.in_flight_at_end, b.result.in_flight_at_end);
+  EXPECT_EQ(a.result.throughput, b.result.throughput);
+}
+
+RunOutput finish(Stack& stack) {
+  while (!stack.sim->done()) stack.sim->step();
+  RunOutput out;
+  out.result = stack.sim->finalize();
+  out.digest = stack.digest.digest();
+  return out;
+}
+
+/// The differential triple for one (switch, traffic, plan, k) scenario.
+void check_resume_equivalence(const SwitchBuilder& sb,
+                              const TrafficBuilder& tb,
+                              const fault::FaultPlan* plan, SlotTime slots,
+                              SlotTime k) {
+  const SimConfig config = make_config(slots, plan);
+
+  Stack golden(sb, tb, config);
+  golden.sim->prepare();
+  const RunOutput straight = finish(golden);
+
+  Stack saver(sb, tb, config);
+  saver.sim->prepare();
+  while (saver.sim->now() < k) saver.sim->step();
+  snapshot::Writer writer;
+  saver.sim->save_state(writer);
+  const std::vector<std::uint8_t> payload = writer.take();
+  const RunOutput continued = finish(saver);  // the save was non-invasive
+  expect_equivalent(continued, straight);
+
+  Stack resumed(sb, tb, config);
+  snapshot::Reader reader(payload);
+  resumed.sim->load_state(reader);
+  reader.expect_end();
+  EXPECT_EQ(resumed.sim->now(), k);
+  const RunOutput after = finish(resumed);
+  expect_equivalent(after, straight);
+
+  // Fingerprints must agree across independently-built identical stacks.
+  EXPECT_EQ(golden.sim->state_fingerprint(), resumed.sim->state_fingerprint());
+}
+
+TEST(ResumeEquivalence, EveryFactoryUnderBernoulliTraffic) {
+  const std::vector<SwitchFactory> lineup = {
+      make_fifoms(),      make_fifoms_nosplit(), make_islip(),
+      make_pim(),         make_ilqf(),           make_drr2d(),
+      make_tatra(),       make_wba(),            make_concentrate(),
+      make_eslip(),       make_fifoms_hw(),      make_oqfifo(),
+      make_cioq_fifoms(2)};
+  for (const SwitchFactory& factory : lineup) {
+    SCOPED_TRACE(factory.label);
+    check_resume_equivalence([&] { return factory.make(kPorts); },
+                             bernoulli_traffic(), nullptr, kSlots,
+                             /*k=*/150);
+  }
+}
+
+TEST(ResumeEquivalence, BurstTrafficRoundTripsTheOnOffChains) {
+  for (const SwitchFactory& factory : {make_fifoms(), make_tatra()}) {
+    SCOPED_TRACE(factory.label);
+    check_resume_equivalence([&] { return factory.make(kPorts); },
+                             burst_traffic(), nullptr, kSlots, /*k=*/150);
+  }
+}
+
+TEST(ResumeEquivalence, CheckpointBeforeDuringAndAfterWarmup) {
+  // warmup_end = 90 here: k = 37 saves mid-warm-up (metrics still
+  // gated), k = 150 after, k = 355 five slots from the horizon.
+  const SwitchFactory factory = make_fifoms();
+  for (const SlotTime k : {SlotTime{37}, SlotTime{150}, SlotTime{355}}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    check_resume_equivalence([&] { return factory.make(kPorts); },
+                             bernoulli_traffic(), nullptr, kSlots, k);
+  }
+}
+
+TEST(ResumeEquivalence, MidFaultStormUnderBothStrandedPolicies) {
+  const fault::FaultPlan storm =
+      fault::FaultPlan::fault_storm(kPorts, /*seed=*/7, /*slots=*/400);
+  for (const StrandedCellPolicy policy :
+       {StrandedCellPolicy::kHold, StrandedCellPolicy::kPurge}) {
+    SCOPED_TRACE(policy == StrandedCellPolicy::kHold ? "hold" : "purge");
+    const SwitchBuilder sb = [policy] {
+      VoqSwitch::Options options;
+      options.stranded_policy = policy;
+      return std::make_unique<VoqSwitch>(
+          kPorts, std::make_unique<FifomsScheduler>(), options);
+    };
+    // k = 180 lands inside the storm: failed ports, suppressed arrivals
+    // and (for purge) purge counters are all live at the save.
+    check_resume_equivalence(sb, bernoulli_traffic(0.9), &storm,
+                             /*slots=*/400, /*k=*/180);
+  }
+}
+
+TEST(ResumeEquivalence, MidStormUnderBurstTraffic) {
+  const fault::FaultPlan storm =
+      fault::FaultPlan::fault_storm(kPorts, /*seed=*/11, /*slots=*/400);
+  check_resume_equivalence(
+      [] { return make_fifoms().make(kPorts); }, burst_traffic(0.8), &storm,
+      /*slots=*/400, /*k=*/200);
+}
+
+TEST(ResumeEquivalence, TruncatedPayloadRejectsCleanly) {
+  Stack stack([] { return make_fifoms().make(kPorts); }, bernoulli_traffic(),
+              make_config(kSlots, nullptr));
+  stack.sim->prepare();
+  while (stack.sim->now() < 100) stack.sim->step();
+  snapshot::Writer writer;
+  stack.sim->save_state(writer);
+  const auto payload = writer.take();
+
+  // Every proper prefix must be refused with SnapshotError — the frame
+  // CRC normally catches tears, but load_state must also hold on its own
+  // (the fuzz harness's contract).
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{8}, payload.size() / 2,
+        payload.size() - 1}) {
+    Stack fresh([] { return make_fifoms().make(kPorts); },
+                bernoulli_traffic(), make_config(kSlots, nullptr));
+    snapshot::Reader reader(
+        std::span<const std::uint8_t>(payload).first(keep));
+    EXPECT_THROW(fresh.sim->load_state(reader), snapshot::SnapshotError)
+        << "prefix of " << keep << " bytes restored";
+  }
+
+  // Trailing garbage after a valid payload is rejected by expect_end.
+  auto padded = payload;
+  padded.push_back(0xcc);
+  Stack fresh([] { return make_fifoms().make(kPorts); }, bernoulli_traffic(),
+              make_config(kSlots, nullptr));
+  snapshot::Reader reader(padded);
+  fresh.sim->load_state(reader);
+  EXPECT_THROW(reader.expect_end(), snapshot::SnapshotError);
+}
+
+TEST(ResumeEquivalence, ObserverPresenceMismatchRejects) {
+  Stack saver([] { return make_fifoms().make(kPorts); }, bernoulli_traffic(),
+              make_config(kSlots, nullptr));
+  saver.sim->prepare();
+  while (saver.sim->now() < 50) saver.sim->step();
+  snapshot::Writer writer;
+  saver.sim->save_state(writer);
+  const auto payload = writer.take();
+
+  // Saved WITH an observer chain, restored WITHOUT one: refused, because
+  // the chain's serialised ledger would have nowhere to go.
+  auto sw = make_fifoms().make(kPorts);
+  auto traffic = bernoulli_traffic()();
+  Simulator bare(*sw, *traffic, make_config(kSlots, nullptr));
+  snapshot::Reader reader(payload);
+  EXPECT_THROW(bare.load_state(reader), snapshot::SnapshotError);
+}
+
+TEST(ResumeEquivalence, FingerprintSeparatesConfigurations) {
+  auto sw = make_fifoms().make(kPorts);
+  auto traffic = bernoulli_traffic()();
+  SimConfig config = make_config(kSlots, nullptr);
+  Simulator sim(*sw, *traffic, config);
+  const std::uint64_t base = sim.state_fingerprint();
+
+  config.seed += 1;
+  Simulator other_seed(*sw, *traffic, config);
+  EXPECT_NE(other_seed.state_fingerprint(), base);
+
+  config.seed -= 1;
+  config.total_slots += 1;
+  Simulator other_horizon(*sw, *traffic, config);
+  EXPECT_NE(other_horizon.state_fingerprint(), base);
+
+  auto other_sw = make_islip().make(kPorts);
+  Simulator other_model(*other_sw, *traffic, make_config(kSlots, nullptr));
+  EXPECT_NE(other_model.state_fingerprint(), base);
+}
+
+}  // namespace
+}  // namespace fifoms

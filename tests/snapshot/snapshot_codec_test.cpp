@@ -1,0 +1,317 @@
+// Snapshot codec, frame and checkpoint-store tests (docs/RECOVERY.md):
+// primitive round-trips, every rejection path of decode_frame (magic,
+// version, torn length, CRC, fingerprint), the atomic-write protocol's
+// read-back, CheckpointStore rotation with torn-file fallback and the
+// monotonic-epoch refusal, and the replay-bundle round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "snapshot/bundle.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/snapshot_io.hpp"
+
+namespace fifoms::snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> sample_payload() {
+  Writer writer;
+  writer.u8(0xab);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefULL);
+  writer.i64(-17);
+  writer.i32(-4);
+  writer.f64(3.25);
+  writer.boolean(true);
+  writer.str("fifoms");
+  writer.port_set(PortSet({0, 3, 7}));
+  return writer.take();
+}
+
+TEST(SnapshotCodec, PrimitivesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = sample_payload();
+  Reader reader(bytes);
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.i64(), -17);
+  EXPECT_EQ(reader.i32(), -4);
+  EXPECT_EQ(reader.f64(), 3.25);
+  EXPECT_TRUE(reader.boolean());
+  EXPECT_EQ(reader.str(), "fifoms");
+  EXPECT_EQ(reader.port_set(), PortSet({0, 3, 7}));
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_NO_THROW(reader.expect_end());
+}
+
+TEST(SnapshotCodec, F64RoundTripsExactBits) {
+  // The codec bit_casts doubles: NaN payloads, -0.0 and denormals must
+  // survive exactly (restored stats are bit-identical, not just close).
+  for (const std::uint64_t bits :
+       {std::uint64_t{0x8000000000000000ULL},   // -0.0
+        std::uint64_t{0x7ff8000000000dedULL},   // NaN with payload
+        std::uint64_t{0x0000000000000001ULL},   // smallest denormal
+        std::uint64_t{0x7fefffffffffffffULL}})  // largest finite
+  {
+    Writer writer;
+    writer.f64(std::bit_cast<double>(bits));
+    const auto bytes = writer.take();
+    Reader reader(bytes);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(reader.f64()), bits);
+  }
+}
+
+TEST(SnapshotCodec, ReaderUnderrunThrowsCleanly) {
+  Writer writer;
+  writer.u32(7);
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  (void)reader.u32();
+  EXPECT_THROW(reader.u8(), SnapshotError);
+  Reader truncated(std::span<const std::uint8_t>(bytes).first(2));
+  EXPECT_THROW(truncated.u32(), SnapshotError);
+}
+
+TEST(SnapshotCodec, TrailingGarbageRejects) {
+  Writer writer;
+  writer.u8(1);
+  writer.u8(2);
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  (void)reader.u8();
+  EXPECT_THROW(reader.expect_end(), SnapshotError);
+}
+
+TEST(SnapshotCodec, LengthGuardsAgainstWildAllocations) {
+  Writer writer;
+  writer.u64(1'000'000);
+  const auto bytes = writer.take();
+  Reader generous(bytes);
+  EXPECT_EQ(generous.length(2'000'000), 1'000'000u);
+  Reader strict(bytes);
+  EXPECT_THROW(strict.length(1000), SnapshotError);
+}
+
+TEST(SnapshotCodec, SnapshotErrorIsAFaultError) {
+  // The whole recovery path rides the fault-path exception discipline
+  // (tools/analyzer): SnapshotError must be catchable as FaultError.
+  static_assert(std::is_base_of_v<fault::FaultError, SnapshotError>);
+  try {
+    throw SnapshotError("torn");
+  } catch (const fault::FaultError& e) {
+    EXPECT_STREQ(e.what(), "torn");
+  }
+}
+
+TEST(SnapshotFrame, EncodeDecodeRoundTrip) {
+  const auto payload = sample_payload();
+  const auto bytes = encode_frame(payload, /*epoch=*/42, /*fingerprint=*/7);
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.version, kFormatVersion);
+  EXPECT_EQ(frame.epoch, 42u);
+  EXPECT_EQ(frame.fingerprint, 7u);
+  ASSERT_EQ(frame.payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         frame.payload.begin()));
+  EXPECT_NO_THROW(decode_frame(bytes, /*expected_fingerprint=*/7));
+  EXPECT_THROW(decode_frame(bytes, /*expected_fingerprint=*/8),
+               SnapshotError);
+}
+
+TEST(SnapshotFrame, EmptyPayloadFramesCleanly) {
+  const auto bytes = encode_frame({}, 0, 0);
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.payload.size(), 0u);
+}
+
+TEST(SnapshotFrame, RejectsBadMagic) {
+  auto bytes = encode_frame(sample_payload(), 1, 1);
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(decode_frame(bytes), SnapshotError);
+}
+
+TEST(SnapshotFrame, RejectsUnknownVersion) {
+  // An engine must refuse frames from ANY other format version — newer
+  // or older — rather than misparse them (the versioning policy).
+  auto bytes = encode_frame(sample_payload(), 1, 1);
+  bytes[4] ^= 0x01;  // version word follows the 4-byte magic
+  EXPECT_THROW(decode_frame(bytes), SnapshotError);
+}
+
+TEST(SnapshotFrame, RejectsTornFile) {
+  const auto bytes = encode_frame(sample_payload(), 1, 1);
+  // Every proper prefix is a torn write; all must reject, none may read
+  // out of bounds.
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep)
+    EXPECT_THROW(decode_frame(std::span(bytes).first(keep)), SnapshotError)
+        << "prefix of " << keep << " bytes decoded";
+}
+
+TEST(SnapshotFrame, RejectsEverySingleByteCorruption) {
+  const auto pristine = encode_frame(sample_payload(), 3, 9);
+  for (std::size_t at = 0; at < pristine.size(); ++at) {
+    auto bytes = pristine;
+    bytes[at] ^= 0x5a;
+    // Flips inside the epoch/fingerprint words still decode (they are
+    // header metadata, not payload) — but then the fingerprint check or
+    // the store's epoch/filename cross-check catches them.  Everything
+    // else must throw.
+    try {
+      const Frame frame = decode_frame(bytes, /*expected_fingerprint=*/9);
+      EXPECT_GE(at, 8u) << "corrupt magic/version byte decoded";
+      EXPECT_LT(at, 16u) << "corrupt length/CRC/payload byte decoded";
+      EXPECT_NE(frame.epoch, 3u);  // the flip landed in the epoch word
+    } catch (const SnapshotError&) {
+    }
+  }
+}
+
+TEST(SnapshotIo, AtomicWriteReadBack) {
+  const fs::path dir = temp_dir("snap_io");
+  fs::create_directories(dir);
+  const fs::path path = dir / "blob.bin";
+  const auto payload = sample_payload();
+  write_file_atomic(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  // Overwrite in place: the rename replaces the old content atomically.
+  const std::vector<std::uint8_t> next{1, 2, 3};
+  write_file_atomic(path, next);
+  EXPECT_EQ(read_file(path), next);
+  EXPECT_THROW(read_file(dir / "missing.bin"), SnapshotError);
+}
+
+TEST(CheckpointStore, SavePruneAndLoadLatest) {
+  const fs::path dir = temp_dir("snap_store");
+  CheckpointStore store(dir, "run", /*fingerprint=*/0xf00d, /*keep=*/2);
+  const auto payload = sample_payload();
+  store.save(100, payload);
+  store.save(200, payload);
+  store.save(300, payload);
+  // keep=2: epoch 100 was pruned.
+  EXPECT_EQ(store.epochs_on_disk(), (std::vector<std::uint64_t>{200, 300}));
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 300u);
+  EXPECT_EQ(loaded->payload, payload);
+  EXPECT_TRUE(loaded->rejected.empty());
+}
+
+TEST(CheckpointStore, RefusesNonMonotonicEpochs) {
+  const fs::path dir = temp_dir("snap_epochs");
+  CheckpointStore store(dir, "run", 1, 2);
+  const auto payload = sample_payload();
+  store.save(50, payload);
+  EXPECT_THROW(store.save(50, payload), SnapshotError);
+  EXPECT_THROW(store.save(49, payload), SnapshotError);
+  EXPECT_NO_THROW(store.save(51, payload));
+}
+
+TEST(CheckpointStore, TornNewestFallsBackToPreviousGood) {
+  const fs::path dir = temp_dir("snap_torn");
+  CheckpointStore store(dir, "run", 1, 3);
+  const auto payload = sample_payload();
+  store.save(10, payload);
+  const fs::path newest = store.save(20, payload);
+
+  // Tear the newest file: keep half its bytes, as a crash between write
+  // and fsync would.
+  const auto full = read_file(newest);
+  write_file_atomic(newest,
+                    std::span(full).first(full.size() / 2));
+
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 10u);
+  EXPECT_EQ(loaded->payload, payload);
+  ASSERT_FALSE(loaded->rejected.empty());
+  EXPECT_NE(loaded->rejected.front().find("run.20"), std::string::npos)
+      << loaded->rejected.front();
+}
+
+TEST(CheckpointStore, CorruptPayloadByteFallsBack) {
+  const fs::path dir = temp_dir("snap_corrupt");
+  CheckpointStore store(dir, "run", 1, 3);
+  const auto payload = sample_payload();
+  store.save(5, payload);
+  const fs::path newest = store.save(6, payload);
+  auto bytes = read_file(newest);
+  bytes.back() ^= 0x01;  // flip one payload byte: CRC must catch it
+  write_file_atomic(newest, bytes);
+
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 5u);
+  EXPECT_FALSE(loaded->rejected.empty());
+}
+
+TEST(CheckpointStore, FingerprintMismatchIsSkipped) {
+  const fs::path dir = temp_dir("snap_fp");
+  const auto payload = sample_payload();
+  {
+    CheckpointStore other(dir, "run", /*fingerprint=*/111, 3);
+    other.save(40, payload);
+  }
+  CheckpointStore store(dir, "run", /*fingerprint=*/222, 3);
+  store.save(30, payload);  // ours, but an older epoch
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 30u);  // 40 belongs to a different run config
+  EXPECT_FALSE(loaded->rejected.empty());
+}
+
+TEST(CheckpointStore, EmptyDirectoryLoadsNothing) {
+  const fs::path dir = temp_dir("snap_empty");
+  CheckpointStore store(dir, "run", 1, 2);
+  EXPECT_FALSE(store.load_latest().has_value());
+  EXPECT_TRUE(store.epochs_on_disk().empty());
+}
+
+TEST(ReplayBundle, WriteReadRoundTrip) {
+  const fs::path dir = temp_dir("snap_bundle");
+  ReplayBundle bundle;
+  bundle.manifest = {{"scenario", "fault-storm/burst-0.8"},
+                     {"policy", "purge"},
+                     {"seed", "42"}};
+  bundle.checkpoint = encode_frame(sample_payload(), 7, 1);
+  bundle.trace = {"inject slot=1 packet=0 input=2 dests=0+1",
+                  "deliver slot=3 packet=0 output=1"};
+  write_bundle(dir, bundle);
+
+  const ReplayBundle loaded = read_bundle(dir);
+  EXPECT_EQ(loaded.manifest, bundle.manifest);
+  EXPECT_EQ(loaded.checkpoint, bundle.checkpoint);
+  EXPECT_EQ(loaded.trace, bundle.trace);
+  EXPECT_EQ(loaded.value_or("policy", "hold"), "purge");
+  EXPECT_EQ(loaded.value_or("missing", "fallback"), "fallback");
+}
+
+TEST(ReplayBundle, MissingCheckpointIsValid) {
+  // A defect can fire before the first checkpoint: the bundle then has
+  // no .ckpt and replay starts from slot 0.
+  const fs::path dir = temp_dir("snap_bundle_nockpt");
+  ReplayBundle bundle;
+  bundle.manifest = {{"scenario", "rolling-flaps/bern-0.9"}};
+  write_bundle(dir, bundle);
+  const ReplayBundle loaded = read_bundle(dir);
+  EXPECT_TRUE(loaded.checkpoint.empty());
+  EXPECT_EQ(loaded.manifest, bundle.manifest);
+}
+
+TEST(ReplayBundle, MissingDirectoryThrows) {
+  EXPECT_THROW(read_bundle(temp_dir("snap_bundle_missing")), SnapshotError);
+}
+
+}  // namespace
+}  // namespace fifoms::snapshot

@@ -1,0 +1,48 @@
+// fault-path-exception-discipline covers the snapshot/recovery engine
+// too: SnapshotError (a FaultError subclass) is the only legal failure
+// currency there, so the RecoveryRunner can classify a torn or corrupt
+// checkpoint and fall back instead of dying with it.  Covers a clean
+// SnapshotError throw, a bad std:: throw, and a transitive reach into
+// a same-file helper.
+#include "support/stubs.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace fifoms {
+namespace snapshot {
+
+class SnapshotError : public fault::FaultError {
+ public:
+  using fault::FaultError::FaultError;
+};
+
+void check_magic(bool ok) {
+  if (!ok) {
+    throw SnapshotError("bad frame magic");  // clean: FaultError subclass
+  }
+}
+
+void check_payload_length(std::size_t got, std::size_t want) {
+  if (got != want) {
+    throw std::length_error("frame payload length mismatch");  // BAD
+  }
+}
+
+void decode_header(std::size_t size) {
+  check_magic(size >= 36);
+  check_payload_length(size - 36, size);
+}
+
+// Regression guard: an identifier that merely starts with "throw" must
+// not parse as a throw-expression of type `_io`.
+[[noreturn]] void throw_io(const char* what) {
+  throw SnapshotError(what);  // clean
+}
+
+void open_or_die(bool ok) {
+  if (!ok) throw_io("cannot open checkpoint");  // a call, not a throw
+}
+
+}  // namespace snapshot
+}  // namespace fifoms

@@ -44,8 +44,10 @@ _STATIC_LOCAL = re.compile(
     r"\bstatic\s+(?P<quals>(?:(?:const|constexpr|thread_local)\s+)*)"
     r"(?P<type>[\w:]+(?:\s*<[^<>;]*>)?(?:\s*[&*])*(?:\s+const)?)"
     r"\s+(?P<name>\w+)\s*(?=[=;{(\[])")
+# The trailing \b keeps identifiers that merely start with "throw"
+# (throw_io, throw_helper) from parsing as throw-expressions.
 _THROW = re.compile(
-    r"\bthrow\s*(?:\bnew\b\s*)?([A-Za-z_][\w:]*)?\s*([(;{])")
+    r"\bthrow\b\s*(?:\bnew\b\s*)?([A-Za-z_][\w:]*)?\s*([(;{])")
 _MEMBER_CALL = re.compile(r"(\w+)\s*(?:\.|->)\s*(\w+)\s*\(")
 # Member calls on subscripted named receivers (`rows_[i].m(`,
 # `planes_[p][o].m(`): recorded as `name[]` / `name[][]` so the rules

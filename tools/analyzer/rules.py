@@ -28,7 +28,11 @@ from model import Finding, FunctionInfo, ProjectModel
 # replayable as the elements it composes.
 DETERMINISM_SCOPES = ("src/sched/", "src/core/", "src/hw/", "src/fabric/",
                       "src/flows/", "src/net/")
-FAULT_SCOPE = "src/fault/"
+# Layers whose failures must stay classifiable: the fault plan itself,
+# and the snapshot/recovery engine (src/snapshot/), whose SnapshotError
+# subclasses FaultError so the RecoveryRunner and the hardened sweep can
+# quarantine a bad checkpoint instead of dying with it.
+FAULT_SCOPES = ("src/fault/", "src/snapshot/")
 
 # Draw methods of common/rng.hpp's Rng.
 DRAW_METHODS = {"next_u64", "next_double", "next_below", "bernoulli",
@@ -71,8 +75,8 @@ RULES: dict[str, str] = {
         "mutable globals, no locally constructed or value-held Rng, no "
         "draws in functions without an Rng parameter",
     "fault-path-exception-discipline":
-        "every throw reachable from a function defined in src/fault/ "
-        "must raise FaultError or a subclass",
+        "every throw reachable from a function defined in src/fault/ or "
+        "src/snapshot/ must raise FaultError or a subclass",
     "observer-purity":
         "SlotObserver hook overrides must not mutate observed switch "
         "state (no const_cast in the hook or its same-class/same-file "
@@ -169,7 +173,7 @@ def check_fault_path_exceptions(project: ProjectModel) -> list[Finding]:
     family = project.subclasses_of(FAULT_ERROR_ROOT)
     by_name = project.functions_by_name()
     entries = [fn for fn in project.functions.values()
-               if fn.file.startswith(FAULT_SCOPE)]
+               if _in_scope(fn.file, FAULT_SCOPES)]
     # BFS over the name-resolved call graph, remembering one witness
     # chain per reached function for the diagnostic.
     parent: dict[tuple[str, int, str], tuple[str, int, str] | None] = {}

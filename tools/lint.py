@@ -52,6 +52,15 @@ compiler nor clang-tidy enforces:
       verifier proves.  Ages, fanouts and time stamps are integers;
       integer weights lose nothing.
 
+  no-raw-fwrite-in-snapshot-path
+      Checkpoint durability (docs/RECOVERY.md) hinges on one write
+      protocol: tmp file + fflush + fsync + rename, implemented once in
+      src/snapshot/snapshot_io.cpp (write_file_atomic/read_file).  A raw
+      fopen/fwrite/fstream anywhere else in src/snapshot/ can leave a
+      torn checkpoint that the CRC catches only after the previous good
+      one was pruned, so all other snapshot sources are banned from
+      direct file IO.
+
   no-per-port-loop-in-kernel  (retired)
       The textual ban on `for (PortId p = ...)` in `fifoms-lint:
       kernel-file` sources is superseded by the semantic analyzer's
@@ -303,6 +312,31 @@ def check_no_float_in_decision_path(rel: str,
     return findings
 
 
+SNAPSHOT_IO_FILE = "src/snapshot/snapshot_io.cpp"
+SNAPSHOT_RAW_IO = re.compile(
+    r"\b(?:std::)?(?:fopen|freopen|fwrite|fread|fprintf|fputs|fputc)\s*\("
+    r"|\b(?:std::)?(?:basic_)?[oi]?fstream\b"
+)
+
+
+def check_no_raw_fwrite_in_snapshot_path(rel: str,
+                                         lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/snapshot/") or rel == SNAPSHOT_IO_FILE:
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        if suppressed(raw, "no-raw-fwrite-in-snapshot-path"):
+            continue
+        if SNAPSHOT_RAW_IO.search(strip_noise(raw)):
+            findings.append(
+                Finding(rel, i, "no-raw-fwrite-in-snapshot-path",
+                        "snapshot files must be written through "
+                        "snapshot_io.cpp's write_file_atomic "
+                        "(tmp+fsync+rename); raw file IO can tear a "
+                        "checkpoint"))
+    return findings
+
+
 KERNEL_FILE_MARKER = "fifoms-lint: kernel-file"
 
 
@@ -340,8 +374,9 @@ def check_unknown_suppression(rel: str, lines: list[str]) -> list[Finding]:
 
 CHECKS = [check_no_raw_rand, check_no_unordered, check_audit_panic_slot,
           check_no_abort_in_fault_path, check_verify_panic_state_hash,
-          check_no_float_in_decision_path, check_no_per_port_loop_in_kernel,
-          check_unknown_suppression]
+          check_no_float_in_decision_path,
+          check_no_raw_fwrite_in_snapshot_path,
+          check_no_per_port_loop_in_kernel, check_unknown_suppression]
 RULES = {
     "no-raw-rand": "ban rand()/srand()/random_device/random_shuffle",
     "no-unordered-in-decision-path":
@@ -354,6 +389,9 @@ RULES = {
         "src/verify/ panics must carry the canonical state hash",
     "no-float-in-decision-path":
         "ban float/double in src/sched/, src/core/ and src/hw/",
+    "no-raw-fwrite-in-snapshot-path":
+        "src/snapshot/ file IO must go through snapshot_io.cpp's "
+        "atomic write protocol",
     "no-per-port-loop-in-kernel":
         "(retired) superseded by the semantic analyzer's "
         "hot-path-no-port-loop; name kept so allow() comments parse",
@@ -497,6 +535,34 @@ def self_test() -> int:
         ("float suppression honoured", False, check_no_float_in_decision_path,
          "src/sched/x.cpp",
          "double d;  // fifoms-lint: allow(no-float-in-decision-path)"),
+        ("fwrite in snapshot path flagged", True,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/recovery.cpp",
+         "std::fwrite(bytes.data(), 1, bytes.size(), file);"),
+        ("fopen in snapshot path flagged", True,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/bundle.cpp",
+         'std::FILE* f = std::fopen(path.c_str(), "wb");'),
+        ("ofstream in snapshot path flagged", True,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/bundle.cpp",
+         "std::ofstream out(path, std::ios::binary);"),
+        ("ifstream in snapshot path flagged", True,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/bundle.cpp",
+         "std::ifstream in(path);"),
+        ("snapshot_io.cpp is the sanctioned exception", False,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/snapshot_io.cpp",
+         "std::fwrite(bytes.data(), 1, bytes.size(), file);"),
+        ("write_file_atomic call ok", False,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/recovery.cpp",
+         "write_file_atomic(path, frame);"),
+        ("fwrite in comment ok", False,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/snapshot.hpp",
+         "// raw fwrite is banned here; see snapshot_io.cpp"),
+        ("snapshot rule ignores other dirs", False,
+         check_no_raw_fwrite_in_snapshot_path, "src/io/csv.cpp",
+         "std::ofstream out(path);"),
+        ("snapshot suppression honoured", False,
+         check_no_raw_fwrite_in_snapshot_path, "src/snapshot/bundle.cpp",
+         "std::ofstream out(path);  "
+         "// fifoms-lint: allow(no-raw-fwrite-in-snapshot-path)"),
         # no-per-port-loop-in-kernel is retired (the semantic analyzer's
         # hot-path-no-port-loop supersedes it): the shim must stay
         # silent even on its old positives, and the rule name must keep
